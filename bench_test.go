@@ -1,0 +1,283 @@
+package wss
+
+// One benchmark per paper artifact (figure/table), plus ablation and
+// kernel micro-benchmarks. Each figure/table benchmark regenerates its
+// artifact end to end in quick mode; `go test -bench=. -benchmem` is the
+// reproduction sweep, and `wsstudy all` prints the full-scale renderings.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wsstudy/internal/apps/barneshut"
+	"wsstudy/internal/apps/cg"
+	"wsstudy/internal/apps/fft"
+	"wsstudy/internal/apps/lu"
+	"wsstudy/internal/apps/volrend"
+	"wsstudy/internal/cache"
+	"wsstudy/internal/core"
+	"wsstudy/internal/trace"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := core.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(core.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Figures) == 0 && len(rep.Tables) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// Figures.
+
+func BenchmarkFig2LU(b *testing.B)                { benchExperiment(b, "fig2") }
+func BenchmarkFig4CG(b *testing.B)                { benchExperiment(b, "fig4") }
+func BenchmarkFig5FFT(b *testing.B)               { benchExperiment(b, "fig5") }
+func BenchmarkFig6BarnesHut(b *testing.B)         { benchExperiment(b, "fig6") }
+func BenchmarkFig7Volrend(b *testing.B)           { benchExperiment(b, "fig7") }
+func BenchmarkBarnesHutDirectMapped(b *testing.B) { benchExperiment(b, "fig6dm") }
+
+// Tables and analyses.
+
+func BenchmarkTable1Growth(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkTable2Summary(b *testing.B)  { benchExperiment(b, "table2") }
+func BenchmarkMachines(b *testing.B)       { benchExperiment(b, "machines") }
+func BenchmarkGrainScenarios(b *testing.B) { benchExperiment(b, "grain") }
+func BenchmarkScalingBH(b *testing.B)      { benchExperiment(b, "scalingbh") }
+func BenchmarkCostModel(b *testing.B)      { benchExperiment(b, "cost") }
+func BenchmarkAssocSweep(b *testing.B)     { benchExperiment(b, "assoc") }
+func BenchmarkLineSizeStudy(b *testing.B)  { benchExperiment(b, "linesize") }
+func BenchmarkScalingAll(b *testing.B)     { benchExperiment(b, "scalingall") }
+func BenchmarkPhases(b *testing.B)         { benchExperiment(b, "phases") }
+func BenchmarkBusTraffic(b *testing.B)     { benchExperiment(b, "bus") }
+
+// Ablation: one stack-distance pass versus a bank of exact LRU caches at
+// 16 sizes, over the same random trace. The profiler should win by an
+// order of magnitude while producing identical counts (asserted in the
+// cache package's tests).
+func ablationTrace(n int) []uint64 {
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		// Mixture of a hot set and a cold stream, like a real kernel.
+		if rng.Intn(4) == 0 {
+			addrs[i] = uint64(rng.Intn(1<<16) * 8)
+		} else {
+			addrs[i] = uint64(rng.Intn(512) * 8)
+		}
+	}
+	return addrs
+}
+
+func ablationSizes() []int {
+	sizes := make([]int, 0, 16)
+	for s := 4; s <= 1<<17; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+func BenchmarkAblationStackProfiler(b *testing.B) {
+	addrs := ablationTrace(200_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := cache.NewStackProfiler(8)
+		for _, a := range addrs {
+			p.Access(a, 8, true)
+		}
+		p.Curve(ablationSizes())
+	}
+	b.ReportMetric(float64(len(addrs)), "refs/op")
+}
+
+func BenchmarkAblationLRUBank(b *testing.B) {
+	addrs := ablationTrace(200_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank := cache.NewBank(ablationSizes(), 8)
+		for _, a := range addrs {
+			bank.Access(a, 8, true)
+		}
+		bank.Curve()
+	}
+	b.ReportMetric(float64(len(addrs)), "refs/op")
+}
+
+// Kernel micro-benchmarks: raw application throughput, untraced and
+// traced, quantifying the cost of emitting the reference stream.
+
+func BenchmarkLUFactor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := lu.NewBlockMatrix(128, 8, nil)
+		m.FillRandomDominant(1)
+		b.StartTimer()
+		if err := lu.Factor(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLUFactorTraced(b *testing.B) {
+	var sink trace.Counter
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := lu.NewBlockMatrix(128, 8, nil)
+		m.FillRandomDominant(1)
+		b.StartTimer()
+		if _, err := lu.FactorTraced(m, lu.Grid{PR: 2, PC: 2}, &sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCGIteration(b *testing.B) {
+	part, err := cg.NewPartition2D(128, 2, 2, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := cg.NewSolver2D(part, nil)
+	rhs := make([]float64, 128*128)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	s.SetB(rhs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(cg.Config{MaxIters: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFT64K(b *testing.B) {
+	f, err := fft.New(fft.Config{LogN: 16, P: 4, InternalRadix: 8}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]complex128, 1<<16)
+	for i := range x {
+		x[i] = complex(float64(i%31), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SetInput(x)
+		f.Run()
+	}
+}
+
+func BenchmarkBarnesHutStep(b *testing.B) {
+	bodies := barneshut.Plummer(1024, 1)
+	sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
+		Theta: 1.0, Quadrupole: true, Eps: 0.05, DT: 0.003, P: 4,
+	}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var inter int
+	for i := 0; i < b.N; i++ {
+		st, err := sim.Step()
+		if err != nil {
+			b.Fatal(err)
+		}
+		inter = st.Interactions
+	}
+	b.ReportMetric(float64(inter), "interactions/step")
+}
+
+func BenchmarkVolrendFrame(b *testing.B) {
+	vol := volrend.SyntheticHead(64, 64, 56)
+	ren, err := volrend.NewRenderer(vol, volrend.Config{ImageW: 96, ImageH: 96, P: 4}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var samples int
+	for i := 0; i < b.N; i++ {
+		st := ren.RenderFrame(0.03 * float64(i))
+		samples = st.Samples
+	}
+	b.ReportMetric(float64(samples), "samples/frame")
+}
+
+// Design-choice ablation sweeps (the DESIGN.md section 4 items): each
+// reports the knob's effect as a custom metric.
+
+func BenchmarkAblationThetaSweep(b *testing.B) {
+	for _, theta := range []float64{0.5, 0.8, 1.2} {
+		b.Run(fmt.Sprintf("theta=%.1f", theta), func(b *testing.B) {
+			bodies := barneshut.Plummer(512, 1)
+			sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
+				Theta: theta, Quadrupole: true, Eps: 0.05, DT: 0.003, P: 4,
+			}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var inter float64
+			for i := 0; i < b.N; i++ {
+				st, err := sim.Step()
+				if err != nil {
+					b.Fatal(err)
+				}
+				inter = st.InteractionsPerBody(512)
+			}
+			b.ReportMetric(inter, "interactions/body")
+		})
+	}
+}
+
+func BenchmarkAblationRadixSweep(b *testing.B) {
+	for _, radix := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("radix=%d", radix), func(b *testing.B) {
+			f, err := fft.New(fft.Config{LogN: 14, P: 4, InternalRadix: radix}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := make([]complex128, 1<<14)
+			for i := range x {
+				x[i] = complex(float64(i%31), 0)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.SetInput(x)
+				f.Run()
+			}
+		})
+	}
+}
+
+func BenchmarkAblationCGTileSweep(b *testing.B) {
+	for _, tile := range []int{0, 8, 16} {
+		b.Run(fmt.Sprintf("tile=%d", tile), func(b *testing.B) {
+			part, err := cg.NewPartition2D(128, 2, 2, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := cg.NewSolver2D(part, nil)
+			if tile > 0 {
+				s.SetTileSize(tile)
+			}
+			rhs := make([]float64, 128*128)
+			for i := range rhs {
+				rhs[i] = 1
+			}
+			s.SetB(rhs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Solve(cg.Config{MaxIters: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,108 @@
+// Command wsstudy regenerates the figures and tables of Rothberg, Singh &
+// Gupta (ISCA 1993) from this library's simulators and models.
+//
+// Usage:
+//
+//	wsstudy list                 # show available experiments
+//	wsstudy verify               # audit every closed-form paper checkpoint
+//	wsstudy all [-quick]         # run everything
+//	wsstudy <id> [-quick]        # run one (fig2, fig4, fig5, fig6,
+//	                             # fig6dm, fig7, table1, table2,
+//	                             # machines, grain, scalingbh)
+//
+// -quick shrinks the simulated problems so the full suite finishes in
+// seconds; without it the simulations run at the largest feasible scale
+// (Figure 6 at the paper's exact n=1024 configuration, Figure 7 on the
+// full 256x256x113 phantom).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"wsstudy/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wsstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wsstudy", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shrink simulated problem sizes")
+	csvPath := fs.String("csv", "", "also write figure series as CSV to this file")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: wsstudy [list|all|<experiment-id>] [-quick] [-csv out.csv]")
+		fs.PrintDefaults()
+	}
+
+	if len(args) == 0 {
+		return list()
+	}
+	cmd := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	opt := core.Options{Quick: *quick}
+
+	switch cmd {
+	case "list", "help", "-h", "--help":
+		return list()
+	case "verify":
+		return verifyCheckpoints()
+	case "all":
+		for _, e := range core.Registry() {
+			if err := runOne(e, opt, *csvPath); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		e, ok := core.Find(cmd)
+		if !ok {
+			list()
+			return fmt.Errorf("unknown experiment %q", cmd)
+		}
+		return runOne(e, opt, *csvPath)
+	}
+}
+
+func runOne(e core.Experiment, opt core.Options, csvPath string) error {
+	start := time.Now()
+	rep, err := e.Run(opt)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	rep.Render(os.Stdout)
+	if csvPath != "" && len(rep.Figures) > 0 {
+		f, err := os.OpenFile(csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if err := rep.RenderCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("(series appended to %s)\n", csvPath)
+	}
+	fmt.Printf("\n[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func list() error {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tTITLE")
+	for _, e := range core.Registry() {
+		fmt.Fprintf(tw, "%s\t%s\n", e.ID, e.Title)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"wsstudy/internal/apps/cg"
+	"wsstudy/internal/apps/fft"
+	"wsstudy/internal/apps/lu"
+	"wsstudy/internal/apps/volrend"
+	"wsstudy/internal/machine"
+	"wsstudy/internal/scaling"
+)
+
+// verifyCheckpoints evaluates every closed-form checkpoint the paper
+// states as a number against this library's models and prints a PASS/FAIL
+// line per claim — a fast sanity audit that needs no simulation.
+func verifyCheckpoints() error {
+	type check struct {
+		name      string
+		paper     float64 // the value as printed in the paper
+		got       float64
+		tolerance float64 // relative
+	}
+	luM := lu.Model{N: 10000, B: 16, P: 1024}
+	cg2 := cg.Model2D{N: 4000, P: 1024}
+	cg3 := cg.Model3D{N: 225, P: 1024}
+	fftM := fft.Model{LogN: 26, P: 1024, InternalRadix: 8}
+	checks := []check{
+		{"LU lev1WS (B=16) ~260 B", 260, float64(luM.Lev1WS()), 0.1},
+		{"LU lev2WS ~2200 B", 2200, float64(luM.Lev2WS()), 0.1},
+		{"LU lev3WS ~80 KB", 80000, float64(luM.Lev3WS()), 0.05},
+		{"LU ratio ~200 FLOPs/word", 200, luM.CommToCompRatio(), 0.1},
+		{"LU blocks/PE ~380", 380, luM.BlocksPerPE(), 0.05},
+		{"LU ratio @16K PEs ~50", 50, lu.Model{N: 10000, B: 16, P: 16384}.CommToCompRatio(), 0.1},
+		{"LU blocks/PE @16K ~25", 25, lu.Model{N: 10000, B: 16, P: 16384}.BlocksPerPE(), 0.1},
+		{"CG 2-D ratio ~300", 300, cg2.CommToCompRatio(), 0.1},
+		{"CG 3-D ratio ~50", 50, cg3.CommToCompRatio(), 0.1},
+		{"CG 2-D ratio @16K ~75", 75, cg.Model2D{N: 4000, P: 16384}.CommToCompRatio(), 0.1},
+		{"CG 3-D ratio @16K ~20", 20, cg.Model3D{N: 225, P: 16384}.CommToCompRatio(), 0.1},
+		{"FFT ratio 33", 33, fftM.CommToCompRatio(), 0.05},
+		{"FFT radix-2 plateau 0.6", 0.6, fft.Model{LogN: 26, P: 1024, InternalRadix: 2}.RateAfterLev1(), 0.01},
+		{"FFT radix-8 plateau 0.25", 0.25, fftM.RateAfterLev1(), 0.01},
+		{"FFT radix-32 plateau ~0.15", 0.15, fft.Model{LogN: 26, P: 1024, InternalRadix: 32}.RateAfterLev1(), 0.1},
+		{"FFT grain for R=60 ~270 MB", 270e6, fft.GrainForRatio(60), 0.1},
+		{"FFT grain for R=100 ~18 TB", 18e12, fft.GrainForRatio(100), 0.1},
+		{"BH lev2WS @64K particles 32 KB", 32000, float64(scaling.BHWorkingSet(65536, 1)), 0.1},
+		{"BH lev2WS @1M particles 40 KB", 40000, float64(scaling.BHWorkingSet(1<<20, 1)), 0.1},
+		{"BH lev2WS @1G particles 60 KB", 60000, float64(scaling.BHWorkingSet(1<<30, 1)), 0.1},
+		{"BH MC 64->1K PEs: theta 0.71", 0.71,
+			scaling.BHScaleMC(scaling.BHParams{N: 65536, Theta: 1, DT: 1}, 16).Theta, 0.01},
+		{"Paragon nearest-neighbor 8", 8, machine.Paragon(1024).NearestNeighborRatio(), 0.001},
+		{"Paragon random 64", 64, machine.Paragon(1024).RandomRatio(), 0.001},
+		{"CM-5 nearest-neighbor ~50", 50, machine.CM5(1024).NearestNeighborRatio(), 0.05},
+		{"VR lev2WS @600^3 70 KB", 70000, float64(volrend.Model{N: 600, P: 1024}.Lev2WS()), 0.05},
+		{"VR rays/PE @1024 ~1000", 1000, volrend.Model{N: 600, P: 1024}.RaysPerPE(), 0.1},
+		{"VR rays/PE @16K ~66", 66, volrend.Model{N: 600, P: 16384}.RaysPerPE(), 0.05},
+		{"VR lev2WS @1024^3 ~116 KB", 116000, float64(volrend.Model{N: 1024, P: 1024}.Lev2WS()), 0.05},
+	}
+	failed := 0
+	for _, c := range checks {
+		rel := math.Abs(c.got-c.paper) / math.Abs(c.paper)
+		status := "PASS"
+		if rel > c.tolerance {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%-4s %-36s paper %-10.4g ours %-10.4g (%.1f%% off)\n",
+			status, c.name, c.paper, c.got, 100*rel)
+	}
+	fmt.Printf("\n%d/%d checkpoints within tolerance\n", len(checks)-failed, len(checks))
+	if failed > 0 {
+		os.Exit(1)
+	}
+	return nil
+}

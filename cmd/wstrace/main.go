@@ -1,0 +1,265 @@
+// Command wstrace captures application reference traces to compact binary
+// files and analyzes them offline: one expensive kernel run, many cheap
+// simulator configurations.
+//
+// Usage:
+//
+//	wstrace capture -app lu|cg|fft|barneshut|volrend -o trace.wst [-scale N]
+//	wstrace info trace.wst
+//	wstrace analyze [-pe 1] [-line 8] trace.wst
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"wsstudy/internal/apps/barneshut"
+	"wsstudy/internal/apps/cg"
+	"wsstudy/internal/apps/fft"
+	"wsstudy/internal/apps/lu"
+	"wsstudy/internal/apps/volrend"
+	"wsstudy/internal/cache"
+	"wsstudy/internal/trace"
+	"wsstudy/internal/workingset"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wstrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "capture":
+		return capture(args[1:])
+	case "info":
+		return info(args[1:])
+	case "analyze":
+		return analyze(args[1:])
+	default:
+		return usage()
+	}
+}
+
+func usage() error {
+	fmt.Fprintln(os.Stderr, `usage:
+  wstrace capture -app lu|cg|fft|barneshut|volrend -o trace.wst [-scale N]
+  wstrace info <trace.wst>
+  wstrace analyze [-pe 1] [-line 8] <trace.wst>`)
+	return fmt.Errorf("missing or unknown subcommand")
+}
+
+// capture runs one kernel at a small default scale and writes its trace.
+func capture(args []string) error {
+	fs := flag.NewFlagSet("capture", flag.ContinueOnError)
+	app := fs.String("app", "", "application: lu, cg, fft, barneshut, volrend")
+	out := fs.String("o", "trace.wst", "output file")
+	scale := fs.Int("scale", 1, "problem scale multiplier (1 = seconds-fast default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scale < 1 {
+		return fmt.Errorf("scale must be >= 1")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	if err := runApp(*app, *scale, w); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("captured %d references to %s\n", w.Records(), *out)
+	return nil
+}
+
+// runApp drives one application into the sink.
+func runApp(app string, scale int, sink trace.Consumer) error {
+	switch app {
+	case "lu":
+		n := 96 * scale
+		b := 8
+		m := lu.NewBlockMatrix(n, b, nil)
+		m.FillRandomDominant(1)
+		_, err := lu.FactorTraced(m, lu.Grid{PR: 2, PC: 2}, sink)
+		return err
+	case "cg":
+		n := 64 * scale
+		part, err := cg.NewPartition2D(n, 2, 2, nil)
+		if err != nil {
+			return err
+		}
+		s := cg.NewSolver2D(part, sink)
+		rhs := make([]float64, n*n)
+		for i := range rhs {
+			rhs[i] = float64(i%9) - 4
+		}
+		s.SetB(rhs)
+		_, err = s.Solve(cg.Config{MaxIters: 5})
+		return err
+	case "fft":
+		logn := 12
+		for s := scale; s > 1; s /= 2 {
+			logn++
+		}
+		f, err := fft.New(fft.Config{LogN: logn, P: 4, InternalRadix: 8}, sink)
+		if err != nil {
+			return err
+		}
+		x := make([]complex128, 1<<logn)
+		for i := range x {
+			x[i] = complex(float64(i%13)-6, float64(i%7)-3)
+		}
+		f.SetInput(x)
+		f.Run()
+		return nil
+	case "barneshut":
+		bodies := barneshut.Plummer(256*scale, 42)
+		sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
+			Theta: 1.0, Quadrupole: true, Eps: 0.05, DT: 0.003, P: 4,
+		}, sink)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < 4; s++ {
+			if _, err := sim.Step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "volrend":
+		edge := 48 * scale
+		vol := volrend.SyntheticHead(edge, edge, edge*7/8)
+		ren, err := volrend.NewRenderer(vol, volrend.Config{
+			ImageW: edge * 3 / 2, ImageH: edge * 3 / 2, P: 4,
+		}, sink)
+		if err != nil {
+			return err
+		}
+		for f := 0; f < 3; f++ {
+			ren.RenderFrame(0.04 * float64(f))
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown app %q", app)
+	}
+}
+
+// info summarizes a trace file.
+func info(args []string) error {
+	if len(args) != 1 {
+		return usage()
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	type peStat struct{ reads, writes, bytes uint64 }
+	stats := map[int]*peStat{}
+	epochs := 0
+	tally := func(r trace.Ref) {
+		s := stats[r.PE]
+		if s == nil {
+			s = &peStat{}
+			stats[r.PE] = s
+		}
+		if r.Kind == trace.Read {
+			s.reads++
+		} else {
+			s.writes++
+		}
+		s.bytes += uint64(r.Size)
+	}
+	n, err := trace.Replay(f, epochCounter{tally, &epochs})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d references, %d epochs\n", args[0], n, epochs)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "PE\treads\twrites\tbytes")
+	for pe := 0; pe < 1024; pe++ {
+		s, ok := stats[pe]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%s\n", pe, s.reads, s.writes,
+			workingset.FormatBytes(s.bytes))
+	}
+	return tw.Flush()
+}
+
+// epochCounter counts epoch markers while forwarding refs.
+type epochCounter struct {
+	fn     trace.Func
+	epochs *int
+}
+
+func (e epochCounter) Ref(r trace.Ref)  { e.fn(r) }
+func (e epochCounter) BeginEpoch(_ int) { *e.epochs++ }
+
+// analyze replays a trace into a working-set profiler for one processor.
+func analyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	pe := fs.Int("pe", 1, "processor to profile")
+	line := fs.Int("line", 8, "cache line size (bytes, power of two)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 1 {
+		return usage()
+	}
+	f, err := os.Open(rest[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	prof := cache.NewStackProfiler(uint32(*line))
+	sink := trace.PEFilter{PE: *pe, Next: trace.Func(func(r trace.Ref) {
+		prof.Access(r.Addr, r.Size, r.Kind == trace.Read)
+	})}
+	if _, err := trace.Replay(f, sink); err != nil {
+		return err
+	}
+	if prof.Accesses() == 0 {
+		return fmt.Errorf("PE %d issued no references in this trace", *pe)
+	}
+
+	fmt.Printf("PE %d: %d reads, %d writes (line %d B)\n",
+		*pe, prof.Reads(), prof.Writes(), *line)
+	curve := workingset.Curve{Label: "trace", Metric: "miss rate"}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "cache size\tmiss rate\tread miss rate")
+	for _, bytes := range workingset.LogSizes(64, 4<<20, 2) {
+		mc := prof.MissesAt(int(bytes / uint64(*line)))
+		rate := float64(mc.Misses()) / float64(prof.Accesses())
+		rrate := float64(mc.ReadMisses) / float64(prof.Reads())
+		curve.Points = append(curve.Points, workingset.Point{CacheBytes: bytes, MissRate: rate})
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\n", workingset.FormatBytes(bytes), rate, rrate)
+	}
+	tw.Flush()
+	for _, k := range workingset.FindKnees(&curve, 1.5, 0.005) {
+		fmt.Printf("knee: %s (%.3g -> %.3g)\n",
+			workingset.FormatBytes(k.CacheBytes), k.Before, k.After)
+	}
+	return nil
+}

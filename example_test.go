@@ -1,0 +1,59 @@
+package wss_test
+
+import (
+	"fmt"
+
+	"wsstudy"
+)
+
+type sink struct{ p *wss.StackProfiler }
+
+func (s sink) Ref(r wss.Ref) { s.p.Access(r.Addr, r.Size, r.Kind == wss.Read) }
+
+// ExampleProfileCurve measures the working set of a kernel that sweeps a
+// fixed 64-word region repeatedly: one pass yields the whole curve, and
+// knee detection finds the 512-byte working set.
+func ExampleProfileCurve() {
+	prof := wss.NewStackProfiler(8)
+	emit := wss.NewEmitter(0, sink{prof})
+	for pass := 0; pass < 10; pass++ {
+		for i := 0; i < 64; i++ {
+			emit.LoadDW(uint64(i) * 8)
+		}
+	}
+	curve := wss.ProfileCurve("sweep", prof,
+		wss.LogSizes(64, 2048, 1), float64(prof.Reads()), true)
+	for _, k := range wss.FindKnees(curve, 2, 0.01) {
+		fmt.Printf("working set: %s\n", wss.FormatBytes(k.CacheBytes))
+	}
+	// Output:
+	// working set: 512 B
+}
+
+// ExampleMachine reproduces the paper's Section 2.3 Paragon arithmetic.
+func ExampleMachine() {
+	m := wss.Paragon(1024)
+	fmt.Printf("nearest-neighbor: %.0f FLOPs/word\n", m.NearestNeighborRatio())
+	fmt.Printf("random: %.0f FLOPs/word\n", m.RandomRatio())
+	// Output:
+	// nearest-neighbor: 8 FLOPs/word
+	// random: 64 FLOPs/word
+}
+
+// ExampleNewSystem shows inherent communication: a value written by one
+// processor and read by another misses at any cache size.
+func ExampleNewSystem() {
+	sys, err := wss.NewSystem(wss.SystemConfig{
+		PEs: 2, LineSize: 8, Profile: true, ProfilePE: 0,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sys.Ref(wss.Ref{PE: 0, Addr: 0, Size: 8, Kind: wss.Read})
+	sys.Ref(wss.Ref{PE: 1, Addr: 0, Size: 8, Kind: wss.Write})
+	sys.Ref(wss.Ref{PE: 0, Addr: 0, Size: 8, Kind: wss.Read})
+	coh, _ := sys.Profiler(0).CoherenceMisses()
+	fmt.Printf("coherence misses: %d\n", coh)
+	// Output:
+	// coherence misses: 1
+}

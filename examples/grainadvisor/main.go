@@ -1,0 +1,55 @@
+// Grain advisor example: given a machine size, evaluate how each of the
+// paper's five application classes would fare — computation-to-
+// communication ratio, sustainability band, and load balance — and print
+// the desirable node granularity.
+//
+// Run with:
+//
+//	go run ./examples/grainadvisor [-p 1024]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"wsstudy/internal/grain"
+	"wsstudy/internal/machine"
+)
+
+func main() {
+	p := flag.Int("p", 1024, "processors")
+	flag.Parse()
+
+	fmt.Println("reference machines (Section 2.3):")
+	for _, m := range []machine.Machine{machine.Paragon(*p), machine.CM5(*p)} {
+		fmt.Printf("  %s\n", m)
+	}
+	fmt.Printf("  bands: <15 FLOPs/word %s; 15-75 %s; >75 %s\n\n",
+		machine.VeryHard, machine.Sustainable, machine.Easy)
+
+	fmt.Printf("prototypical 1 GB problems on %d processors:\n", *p)
+	scenarios := []grain.Scenario{
+		grain.LU(10000, 16, *p),
+		grain.CG2D(4000, *p),
+		grain.CG3D(225, *p),
+		grain.FFT(26, *p),
+		grain.BarnesHut(4.5e6, 1.0, *p),
+		grain.VolumeRendering(600, *p),
+	}
+	for _, s := range scenarios {
+		flag := ""
+		if !s.Healthy() {
+			flag = "  <-- strained"
+		}
+		fmt.Printf("  %s%s\n", s.Describe(), flag)
+	}
+
+	fmt.Println("\nfull advisory (64 / 1024 / 16K processors):")
+	for _, a := range grain.AdviseAll() {
+		fmt.Printf("\n%s — desirable grain %s\n  limiting: %s\n",
+			a.App, a.DesirableGrain, a.Limiting)
+		for _, s := range a.Scenarios {
+			fmt.Printf("    %s\n", s.Describe())
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// N-body example: run a Barnes-Hut galaxy simulation, check its physics,
+// then attach the multiprocessor simulator and measure the per-processor
+// working-set hierarchy the paper's Figure 6 describes.
+//
+// Run with:
+//
+//	go run ./examples/nbody [-n 512] [-theta 1.0] [-p 4] [-steps 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"wsstudy/internal/apps/barneshut"
+	"wsstudy/internal/memsys"
+	"wsstudy/internal/workingset"
+)
+
+func main() {
+	n := flag.Int("n", 512, "particles")
+	theta := flag.Float64("theta", 1.0, "opening criterion")
+	p := flag.Int("p", 4, "processors")
+	steps := flag.Int("steps", 6, "time steps (first 2 are warm-up)")
+	flag.Parse()
+
+	cfg := barneshut.Config{
+		Theta: *theta, Quadrupole: true, Eps: 0.05, DT: 0.003, P: *p,
+	}
+
+	// Physics check: untraced run, energy drift.
+	bodies := barneshut.Plummer(*n, 1)
+	e0 := barneshut.TotalEnergy(bodies, cfg.Eps)
+	sim, err := barneshut.NewSimulation(bodies, cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var last barneshut.StepStats
+	for s := 0; s < *steps; s++ {
+		if last, err = sim.Step(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	e1 := barneshut.TotalEnergy(sim.Bodies(), cfg.Eps)
+	fmt.Printf("galaxy: n=%d theta=%.2f p=%d\n", *n, *theta, *p)
+	fmt.Printf("  energy drift over %d steps: %+.3f%%\n", *steps, 100*(e1-e0)/(-e0))
+	fmt.Printf("  interactions/body: %.0f   tree depth: %d   imbalance: %.2f\n",
+		last.InteractionsPerBody(*n), last.Depth, last.Imbalance)
+
+	// Working-set measurement: same run, traced through the simulated
+	// multiprocessor, profiling processor 1 with 2 warm-up steps.
+	sys := memsys.MustNew(memsys.Config{
+		PEs: *p, LineSize: 8, Profile: true, ProfilePE: 1, WarmupEpochs: 2,
+	})
+	sim2, err := barneshut.NewSimulation(barneshut.Plummer(*n, 1), cfg, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for s := 0; s < *steps; s++ {
+		if _, err := sim2.Step(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	prof := sys.Profiler(1)
+	fmt.Printf("\nper-processor read miss rate vs cache size (PE 1):\n")
+	curve := workingset.Curve{Label: "barnes-hut", Metric: "read miss rate"}
+	for _, bytes := range workingset.LogSizes(64, 2<<20, 2) {
+		mc := prof.MissesAt(int(bytes / 8))
+		rate := float64(mc.ReadMisses) / float64(prof.Reads())
+		curve.Points = append(curve.Points, workingset.Point{CacheBytes: bytes, MissRate: rate})
+		fmt.Printf("  %10s  %.4f\n", workingset.FormatBytes(bytes), rate)
+	}
+	h := workingset.FromKnees("Barnes-Hut", workingset.FindKnees(&curve, 1.35, 0.005))
+	fmt.Println()
+	fmt.Print(h)
+	if imp, ok := h.Important(4); ok {
+		fmt.Printf("important working set: %s at %s (paper: lev2WS, ~20 KB for n=1024)\n",
+			imp.Name, workingset.FormatBytes(imp.SizeBytes))
+	}
+}

@@ -1,0 +1,3 @@
+module wsstudy
+
+go 1.24

@@ -1,0 +1,446 @@
+package barneshut
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wsstudy/internal/memsys"
+	"wsstudy/internal/trace"
+)
+
+func TestVec3Arithmetic(t *testing.T) {
+	a, b := Vec3{1, 2, 3}, Vec3{4, 5, 6}
+	if a.Add(b) != (Vec3{5, 7, 9}) || b.Sub(a) != (Vec3{3, 3, 3}) {
+		t.Fatal("Add/Sub wrong")
+	}
+	if a.Dot(b) != 32 || a.Scale(2) != (Vec3{2, 4, 6}) {
+		t.Fatal("Dot/Scale wrong")
+	}
+	if math.Abs(Vec3{3, 4, 0}.Norm()-5) > 1e-12 {
+		t.Fatal("Norm wrong")
+	}
+}
+
+func TestQuadrupolePointMassPair(t *testing.T) {
+	// Two point masses m at +/-a on the x-axis about their COM: the exact
+	// quadrupole is diag(4ma^2, -2ma^2, -2ma^2), and it must be traceless.
+	m, a := 0.5, 1.5
+	var q Quadrupole
+	q.Add(pointQuad(m, Vec3{a, 0, 0}))
+	q.Add(pointQuad(m, Vec3{-a, 0, 0}))
+	if math.Abs(q.XX-4*m*a*a) > 1e-12 || math.Abs(q.YY+2*m*a*a) > 1e-12 {
+		t.Fatalf("quad = %+v", q)
+	}
+	if tr := q.XX + q.YY + q.ZZ; math.Abs(tr) > 1e-12 {
+		t.Fatalf("trace = %v, want 0", tr)
+	}
+}
+
+func TestQuadrupoleShiftConsistency(t *testing.T) {
+	// Property: computing the quadrupole of random masses directly about
+	// a new origin equals shifting the COM-referenced quadrupole there.
+	check := func(seedRaw int64) bool {
+		rng := rand.New(rand.NewSource(seedRaw))
+		const k = 5
+		pos := make([]Vec3, k)
+		mass := make([]float64, k)
+		var com Vec3
+		var mtot float64
+		for i := range pos {
+			pos[i] = Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+			mass[i] = rng.Float64() + 0.1
+			com = com.Add(pos[i].Scale(mass[i]))
+			mtot += mass[i]
+		}
+		com = com.Scale(1 / mtot)
+		origin := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		var direct, aboutCOM Quadrupole
+		for i := range pos {
+			direct.Add(pointQuad(mass[i], pos[i].Sub(origin)))
+			aboutCOM.Add(pointQuad(mass[i], pos[i].Sub(com)))
+		}
+		shifted := shiftQuad(aboutCOM, mtot, com.Sub(origin))
+		for _, d := range []float64{
+			shifted.XX - direct.XX, shifted.YY - direct.YY, shifted.ZZ - direct.ZZ,
+			shifted.XY - direct.XY, shifted.XZ - direct.XZ, shifted.YZ - direct.YZ,
+		} {
+			if math.Abs(d) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlummerProperties(t *testing.T) {
+	bodies := Plummer(512, 1)
+	if len(bodies) != 512 {
+		t.Fatal("wrong count")
+	}
+	var mass float64
+	for _, b := range bodies {
+		mass += b.Mass
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Fatalf("total mass = %v, want 1", mass)
+	}
+	if p := TotalMomentum(bodies).Norm(); p > 1e-9 {
+		t.Fatalf("net momentum = %v, want ~0", p)
+	}
+	// The system should be gravitationally bound (negative total energy).
+	if e := TotalEnergy(bodies, 0.05); e >= 0 {
+		t.Fatalf("total energy = %v, want negative", e)
+	}
+	// Determinism.
+	again := Plummer(512, 1)
+	if again[100].Pos != bodies[100].Pos {
+		t.Fatal("Plummer not deterministic")
+	}
+}
+
+func TestTreeIntegrity(t *testing.T) {
+	bodies := Plummer(300, 2)
+	var tr tree
+	tr.build(bodies)
+	if got := tr.countBodies(tr.root); got != 300 {
+		t.Fatalf("tree holds %d bodies", got)
+	}
+	tr.computeMoments(tr.root, bodies)
+	root := &tr.cells[tr.root]
+	if math.Abs(root.mass-1) > 1e-9 {
+		t.Fatalf("root mass = %v", root.mass)
+	}
+	// Root COM matches the direct center of mass.
+	var com Vec3
+	for _, b := range bodies {
+		com = com.Add(b.Pos.Scale(b.Mass))
+	}
+	if root.com.Sub(com).Norm() > 1e-9 {
+		t.Fatalf("root COM off by %v", root.com.Sub(com).Norm())
+	}
+	// Rebuild reuses the pool without leaking.
+	cellsBefore := len(tr.cells)
+	tr.build(bodies)
+	if len(tr.cells) != cellsBefore {
+		t.Fatalf("rebuild changed cell count %d -> %d", cellsBefore, len(tr.cells))
+	}
+}
+
+func TestThetaZeroMatchesDirect(t *testing.T) {
+	// theta=0 never accepts a cell: the traversal degenerates to exact
+	// pairwise summation.
+	bodies := Plummer(128, 3)
+	sim, err := NewSimulation(bodies, Config{Theta: 0, Eps: 0.05, DT: 0.01, P: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.ComputeForcesOnly(); err != nil {
+		t.Fatal(err)
+	}
+	want := DirectForces(bodies, 0.05)
+	for i := range want {
+		if d := sim.Bodies()[i].Acc.Sub(want[i]).Norm(); d > 1e-9 {
+			t.Fatalf("body %d: theta=0 force off by %g", i, d)
+		}
+	}
+}
+
+func forceErrors(t *testing.T, theta float64, quad bool) float64 {
+	t.Helper()
+	bodies := Plummer(256, 4)
+	sim, err := NewSimulation(bodies, Config{Theta: theta, Quadrupole: quad, Eps: 0.05, DT: 0.01, P: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.ComputeForcesOnly(); err != nil {
+		t.Fatal(err)
+	}
+	exact := DirectForces(bodies, 0.05)
+	sumErr, sumMag := 0.0, 0.0
+	for i := range exact {
+		sumErr += sim.Bodies()[i].Acc.Sub(exact[i]).Norm()
+		sumMag += exact[i].Norm()
+	}
+	return sumErr / sumMag
+}
+
+func TestForceAccuracy(t *testing.T) {
+	// Approximation error grows with theta and is small at practical
+	// settings.
+	e05 := forceErrors(t, 0.5, true)
+	e10 := forceErrors(t, 1.0, true)
+	if e05 > 0.01 {
+		t.Errorf("theta=0.5 relative error %v, want < 1%%", e05)
+	}
+	if e10 > 0.05 {
+		t.Errorf("theta=1.0 relative error %v, want < 5%%", e10)
+	}
+	if e10 <= e05 {
+		t.Errorf("error should grow with theta: %v vs %v", e05, e10)
+	}
+}
+
+func TestQuadrupoleImprovesAccuracy(t *testing.T) {
+	mono := forceErrors(t, 1.0, false)
+	quad := forceErrors(t, 1.0, true)
+	if quad >= mono {
+		t.Fatalf("quadrupole error %v should beat monopole %v", quad, mono)
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	bodies := Plummer(128, 5)
+	cfg := Config{Theta: 0.5, Quadrupole: true, Eps: 0.1, DT: 0.002, P: 2}
+	sim, err := NewSimulation(bodies, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := TotalEnergy(sim.Bodies(), cfg.Eps)
+	for step := 0; step < 50; step++ {
+		if _, err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e1 := TotalEnergy(sim.Bodies(), cfg.Eps)
+	drift := math.Abs((e1 - e0) / e0)
+	if drift > 0.02 {
+		t.Fatalf("energy drift %v over 50 steps, want < 2%%", drift)
+	}
+}
+
+func TestPartitionProperties(t *testing.T) {
+	bodies := Plummer(1000, 6)
+	rng := rand.New(rand.NewSource(1))
+	for i := range bodies {
+		bodies[i].Cost = rng.Intn(100) + 1
+	}
+	for _, p := range []int{1, 2, 4, 7, 16} {
+		assign, byPE := Partition(bodies, p)
+		seen := make([]bool, len(bodies))
+		for pe, list := range byPE {
+			for _, bi := range list {
+				if seen[bi] {
+					t.Fatalf("body %d assigned twice", bi)
+				}
+				seen[bi] = true
+				if assign[bi] != pe {
+					t.Fatalf("assign/byPE disagree for body %d", bi)
+				}
+			}
+		}
+		for bi, ok := range seen {
+			if !ok {
+				t.Fatalf("body %d unassigned (p=%d)", bi, p)
+			}
+		}
+		if imb := costImbalance(bodies, byPE); imb > 1.5 {
+			t.Errorf("p=%d: cost imbalance %v, want <= 1.5", p, imb)
+		}
+	}
+}
+
+func TestPartitionSpatialLocality(t *testing.T) {
+	// A partition along the Morton curve should give each PE a compact
+	// region: the mean intra-PE pairwise distance must be well under the
+	// global mean.
+	bodies := Plummer(512, 7)
+	_, byPE := Partition(bodies, 8)
+	meanDist := func(list []int) float64 {
+		if len(list) < 2 {
+			return 0
+		}
+		sum, cnt := 0.0, 0
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				sum += bodies[list[i]].Pos.Sub(bodies[list[j]].Pos).Norm()
+				cnt++
+			}
+		}
+		return sum / float64(cnt)
+	}
+	all := make([]int, len(bodies))
+	for i := range all {
+		all[i] = i
+	}
+	global := meanDist(all)
+	intra := 0.0
+	for _, list := range byPE {
+		intra += meanDist(list)
+	}
+	intra /= 8
+	if intra > 0.8*global {
+		t.Fatalf("intra-PE mean distance %v vs global %v: partition not spatial", intra, global)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bodies := Plummer(16, 8)
+	for _, cfg := range []Config{
+		{Theta: -1, P: 1, DT: 0.01},
+		{Theta: 0.5, P: 0, DT: 0.01},
+		{Theta: 0.5, P: 1, DT: 0},
+		{Theta: 3, P: 1, DT: 0.01},
+	} {
+		if _, err := NewSimulation(bodies, cfg, nil); err == nil {
+			t.Errorf("invalid config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestTracedStepEmitsPerPE(t *testing.T) {
+	bodies := Plummer(200, 9)
+	var counter trace.Counter
+	perPE := make([]uint64, 4)
+	sink := trace.Tee{&counter, trace.Func(func(r trace.Ref) { perPE[r.PE]++ })}
+	sim, err := NewSimulation(bodies, Config{Theta: 0.8, Quadrupole: true, Eps: 0.05, DT: 0.01, P: 4}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sim.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter.Refs == 0 || stats.Interactions == 0 {
+		t.Fatal("no work traced")
+	}
+	for pe, c := range perPE {
+		if c == 0 {
+			t.Errorf("PE %d emitted nothing", pe)
+		}
+	}
+	if err := sim.TreeIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Imbalance > 2.0 {
+		t.Errorf("imbalance %v too high", stats.Imbalance)
+	}
+}
+
+func TestInteractionCountScalesWithTheta(t *testing.T) {
+	// Interactions per body ~ (1/theta^2) log n: smaller theta, more work.
+	count := func(theta float64) float64 {
+		bodies := Plummer(512, 10)
+		sim, _ := NewSimulation(bodies, Config{Theta: theta, Eps: 0.05, DT: 0.01, P: 1}, nil)
+		st, err := sim.ComputeForcesOnly()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.InteractionsPerBody(512)
+	}
+	c12, c06 := count(1.2), count(0.6)
+	if c06 <= c12 {
+		t.Fatalf("interactions should grow as theta shrinks: %v vs %v", c06, c12)
+	}
+	// The paper's 1/theta^2 law: halving theta should give roughly 4x,
+	// within a loose band (tree discreteness).
+	ratio := c06 / c12
+	if ratio < 2 || ratio > 8 {
+		t.Errorf("theta scaling ratio %v, want in [2,8]", ratio)
+	}
+}
+
+// TestWorkingSetShape measures the Figure 6 structure on a scaled-down
+// problem: a small lev1WS knee (high rate before, ~15-40%% after), the
+// dominant lev2WS knee (to near the communication floor), and a floor
+// under 2%%.
+func TestWorkingSetShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("working-set measurement is slow")
+	}
+	const n, p = 512, 4
+	bodies := Plummer(n, 11)
+	sys := memsys.MustNew(memsys.Config{
+		PEs: p, LineSize: 8, Profile: true, ProfilePE: 1, WarmupEpochs: 2,
+	})
+	sim, err := NewSimulation(bodies, Config{Theta: 1.0, Quadrupole: true, Eps: 0.05, DT: 0.005, P: p}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 5; step++ {
+		if _, err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prof := sys.Profiler(1)
+	reads := prof.Reads()
+	if reads == 0 {
+		t.Fatal("nothing measured")
+	}
+	readRate := func(bytes uint64) float64 {
+		return float64(prof.MissesAt(int(bytes/8)).ReadMisses) / float64(reads)
+	}
+	tiny := readRate(64)
+	afterLev1 := readRate(2 * 1024)
+	afterLev2 := readRate(64 * 1024)
+	floor := readRate(8 << 20)
+
+	if tiny < 0.5 {
+		t.Errorf("tiny-cache read miss rate %v, want > 0.5", tiny)
+	}
+	// Paper: lev1WS ~ 0.7 KB cuts the rate to ~20%.
+	if afterLev1 > 0.45 || afterLev1 < floor {
+		t.Errorf("post-lev1 rate %v, want well below tiny %v", afterLev1, tiny)
+	}
+	if tiny < 2*afterLev1 {
+		t.Errorf("lev1 knee too shallow: %v -> %v", tiny, afterLev1)
+	}
+	// lev2WS (~20 KB at paper scale) takes it near the floor.
+	if afterLev2 > 0.1 {
+		t.Errorf("post-lev2 rate %v, want < 0.1", afterLev2)
+	}
+	// Inherent communication floor is small but nonzero.
+	if floor > 0.02 {
+		t.Errorf("floor %v, want < 2%%", floor)
+	}
+	if floor <= 0 {
+		t.Error("floor should be nonzero (bodies move and are rewritten)")
+	}
+}
+
+func TestTwoGalaxiesProperties(t *testing.T) {
+	bodies := TwoGalaxies(400, 3)
+	if len(bodies) != 400 {
+		t.Fatal("wrong count")
+	}
+	var mass float64
+	for _, b := range bodies {
+		mass += b.Mass
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Fatalf("total mass = %v, want 1", mass)
+	}
+	// Antisymmetric setup: net momentum ~ 0.
+	if p := TotalMomentum(bodies).Norm(); p > 1e-9 {
+		t.Fatalf("net momentum = %v", p)
+	}
+	// Two distinct clumps: mean |x| well away from zero.
+	left, right := 0, 0
+	for _, b := range bodies {
+		if b.Pos.X < 0 {
+			left++
+		} else {
+			right++
+		}
+	}
+	if left < 150 || right < 150 {
+		t.Fatalf("clump split %d/%d, want near even", left, right)
+	}
+	// And it simulates stably for a few steps.
+	sim, err := NewSimulation(bodies, Config{Theta: 0.8, Quadrupole: true, Eps: 0.1, DT: 0.005, P: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 5; s++ {
+		if _, err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sim.TreeIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}

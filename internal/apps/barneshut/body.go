@@ -1,0 +1,136 @@
+package barneshut
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Body is one particle.
+type Body struct {
+	Pos, Vel, Acc Vec3
+	Mass          float64
+	Cost          int // interactions computed last step (costzone weight)
+}
+
+// Plummer generates n bodies from the Plummer model — the standard
+// galactic initial condition of Barnes-Hut studies — deterministically
+// from seed, with total mass 1 and the center of mass at rest at the
+// origin.
+func Plummer(n int, seed int64) []Body {
+	rng := rand.New(rand.NewSource(seed))
+	bodies := make([]Body, n)
+	const rcut = 8.0 // truncate the halo to keep the box bounded
+	for i := range bodies {
+		m := 1.0 / float64(n)
+		// Radius from the inverse cumulative mass profile.
+		var r float64
+		for {
+			u := rng.Float64()
+			if u == 0 {
+				continue
+			}
+			r = 1 / math.Sqrt(math.Pow(u, -2.0/3.0)-1)
+			if r < rcut {
+				break
+			}
+		}
+		pos := randomDirection(rng).Scale(r)
+		// Speed by von Neumann rejection on g(q) = q^2 (1-q^2)^(7/2).
+		var q float64
+		for {
+			q = rng.Float64()
+			g := 0.1 * rng.Float64()
+			if g < q*q*math.Pow(1-q*q, 3.5) {
+				break
+			}
+		}
+		vesc := math.Sqrt2 * math.Pow(1+r*r, -0.25)
+		vel := randomDirection(rng).Scale(q * vesc)
+		bodies[i] = Body{Pos: pos, Vel: vel, Mass: m}
+	}
+	// Zero the aggregate momentum and recentre.
+	var cm, cv Vec3
+	for _, b := range bodies {
+		cm = cm.Add(b.Pos.Scale(b.Mass))
+		cv = cv.Add(b.Vel.Scale(b.Mass))
+	}
+	for i := range bodies {
+		bodies[i].Pos = bodies[i].Pos.Sub(cm)
+		bodies[i].Vel = bodies[i].Vel.Sub(cv)
+	}
+	return bodies
+}
+
+func randomDirection(rng *rand.Rand) Vec3 {
+	for {
+		v := Vec3{2*rng.Float64() - 1, 2*rng.Float64() - 1, 2*rng.Float64() - 1}
+		n2 := v.Norm2()
+		if n2 > 1e-6 && n2 <= 1 {
+			return v.Scale(1 / math.Sqrt(n2))
+		}
+	}
+}
+
+// boundingCube returns the center and half-width of a cube containing all
+// bodies (with a little slack so boundary comparisons stay strict).
+func boundingCube(bodies []Body) (center Vec3, half float64) {
+	if len(bodies) == 0 {
+		return Vec3{}, 1
+	}
+	min := bodies[0].Pos
+	max := bodies[0].Pos
+	for _, b := range bodies[1:] {
+		min.X = math.Min(min.X, b.Pos.X)
+		min.Y = math.Min(min.Y, b.Pos.Y)
+		min.Z = math.Min(min.Z, b.Pos.Z)
+		max.X = math.Max(max.X, b.Pos.X)
+		max.Y = math.Max(max.Y, b.Pos.Y)
+		max.Z = math.Max(max.Z, b.Pos.Z)
+	}
+	center = min.Add(max).Scale(0.5)
+	half = math.Max(max.X-min.X, math.Max(max.Y-min.Y, max.Z-min.Z))/2 + 1e-9
+	return center, half * 1.001
+}
+
+// TotalEnergy computes kinetic plus (exact pairwise, softened) potential
+// energy — the conservation invariant the integrator tests check.
+func TotalEnergy(bodies []Body, eps float64) float64 {
+	e := 0.0
+	for i := range bodies {
+		e += 0.5 * bodies[i].Mass * bodies[i].Vel.Norm2()
+		for j := i + 1; j < len(bodies); j++ {
+			d := bodies[i].Pos.Sub(bodies[j].Pos)
+			e -= bodies[i].Mass * bodies[j].Mass / math.Sqrt(d.Norm2()+eps*eps)
+		}
+	}
+	return e
+}
+
+// TotalMomentum returns the aggregate momentum vector.
+func TotalMomentum(bodies []Body) Vec3 {
+	var p Vec3
+	for _, b := range bodies {
+		p = p.Add(b.Vel.Scale(b.Mass))
+	}
+	return p
+}
+
+// TwoGalaxies builds a colliding pair: two Plummer spheres of n/2 bodies,
+// offset and given approach velocities, a classic stress workload — the
+// costzone partition must track mass as the systems interpenetrate.
+func TwoGalaxies(n int, seed int64) []Body {
+	a := Plummer(n/2, seed)
+	b := Plummer(n-n/2, seed+1)
+	const sep, speed = 4.0, 0.3
+	for i := range a {
+		a[i].Pos.X -= sep / 2
+		a[i].Vel.X += speed / 2
+		a[i].Mass /= 2
+	}
+	for i := range b {
+		b[i].Pos.X += sep / 2
+		b[i].Vel.X -= speed / 2
+		b[i].Mass /= 2
+	}
+	return append(a, b...)
+}

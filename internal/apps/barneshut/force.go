@@ -1,0 +1,183 @@
+package barneshut
+
+import (
+	"math"
+
+	"wsstudy/internal/trace"
+)
+
+// Simulated data layout. Sizes are in double words; records are padded to
+// fixed strides so addresses are easy to audit.
+const (
+	bodyStride = 16 // pos 3, vel 3, acc 3, mass 1, cost 1, pad
+	cellStride = 24 // center 3, half 1, com 3, mass 1, quad 6, children 8, pad
+	frameDW    = 6  // traversal stack frame: cell ref, body ref, scratch
+	maxFrames  = 128
+	// scratchDW models the temporaries of one interaction (the paper's
+	// ~80-instruction kernel): sized so the per-interaction local state
+	// (scratch + active stack frames + the body's own record) is about
+	// 0.7 KB, the paper's lev1WS, and so that tree data is ~20% of reads
+	// once it fits.
+	scratchDW = 48
+)
+
+// layout assigns simulated addresses to every structure the force phase
+// touches.
+type layout struct {
+	bodyBase    uint64
+	cellBase    uint64
+	octBase     uint64   // octopole records, 10 dw per cell
+	stackBase   []uint64 // per PE
+	scratchBase []uint64 // per PE
+}
+
+func newLayout(n, p int, maxCells int, arena *trace.Arena) *layout {
+	if arena == nil {
+		arena = &trace.Arena{}
+	}
+	l := &layout{
+		bodyBase:    arena.AllocDW(uint64(n * bodyStride)),
+		cellBase:    arena.AllocDW(uint64(maxCells * cellStride)),
+		octBase:     arena.AllocDW(uint64(maxCells * 10)),
+		stackBase:   make([]uint64, p),
+		scratchBase: make([]uint64, p),
+	}
+	for pe := 0; pe < p; pe++ {
+		l.stackBase[pe] = arena.AllocDW(frameDW * maxFrames)
+		l.scratchBase[pe] = arena.AllocDW(scratchDW)
+	}
+	return l
+}
+
+func (l *layout) bodyAddr(i int) uint64   { return l.bodyBase + uint64(i*bodyStride)*8 }
+func (l *layout) bodyPos(i int) uint64    { return l.bodyAddr(i) }
+func (l *layout) bodyVel(i int) uint64    { return l.bodyAddr(i) + 3*8 }
+func (l *layout) bodyAcc(i int) uint64    { return l.bodyAddr(i) + 6*8 }
+func (l *layout) bodyMass(i int) uint64   { return l.bodyAddr(i) + 9*8 }
+func (l *layout) cellAddr(c int32) uint64 { return l.cellBase + uint64(c)*cellStride*8 }
+func (l *layout) cellGeom(c int32) uint64 { return l.cellAddr(c) }        // center+half
+func (l *layout) cellCom(c int32) uint64  { return l.cellAddr(c) + 4*8 }  // com+mass
+func (l *layout) cellQuad(c int32) uint64 { return l.cellAddr(c) + 8*8 }  // 6 dw
+func (l *layout) cellKids(c int32) uint64 { return l.cellAddr(c) + 14*8 } // 8 dw
+func (l *layout) cellOct(c int32) uint64  { return l.octBase + uint64(c)*10*8 }
+func (l *layout) frameAddr(pe, d int) uint64 {
+	if d >= maxFrames {
+		d = maxFrames - 1
+	}
+	return l.stackBase[pe] + uint64(d*frameDW)*8
+}
+
+// forceResult carries per-body traversal statistics.
+type forceResult struct {
+	interactions int // body-body or body-cell interactions
+	visits       int // cells visited (opening tests performed)
+}
+
+// forceOn computes the acceleration on body bi by traversing the tree,
+// emitting the reference stream of processor pe. Quadrupole corrections
+// are applied to accepted cells when quad is set. Returns the traversal
+// statistics.
+func (s *Simulation) forceOn(bi, pe int, e *trace.Emitter) forceResult {
+	b := &s.bodies[bi]
+	// The body's own position is part of the per-body context.
+	e.Load(s.lay.bodyPos(bi), 24)
+	var acc Vec3
+	res := forceResult{}
+	s.walk(s.tr.root, bi, b.Pos, &acc, e, pe, 0, &res)
+	b.Acc = acc
+	e.Store(s.lay.bodyAcc(bi), 24)
+	return res
+}
+
+func (s *Simulation) walk(ci int32, bi int, pos Vec3, acc *Vec3, e *trace.Emitter, pe, depth int, res *forceResult) {
+	c := &s.tr.cells[ci]
+	if c.mass == 0 {
+		return
+	}
+	// Stack frame for this traversal level.
+	e.Store(s.lay.frameAddr(pe, depth), frameDW*8)
+	res.visits++
+	if c.body >= 0 {
+		if c.body == bi {
+			return
+		}
+		// Direct body-body interaction.
+		e.Load(s.lay.bodyPos(c.body), 24)
+		e.Load(s.lay.bodyMass(c.body), 8)
+		s.interact(acc, pos, c.com, c.mass, nil, nil, e, pe)
+		res.interactions++
+		return
+	}
+	// Opening test: load the cell's center of mass and geometry.
+	e.Load(s.lay.cellCom(ci), 32)
+	e.Load(s.lay.cellGeom(ci), 8)
+	d := pos.Sub(c.com).Norm()
+	if d > 0 && 2*c.half/d < s.cfg.Theta {
+		// Far enough: one aggregate interaction.
+		var q *Quadrupole
+		if s.cfg.Quadrupole {
+			e.Load(s.lay.cellQuad(ci), 48)
+			q = &c.quad
+		}
+		var oct *Octopole
+		if s.cfg.Octopole {
+			e.Load(s.lay.cellOct(ci), 80)
+			oct = &s.octs[ci]
+		}
+		s.interact(acc, pos, c.com, c.mass, q, oct, e, pe)
+		res.interactions++
+		return
+	}
+	// Open the cell: read the child pointers, recurse.
+	e.Load(s.lay.cellKids(ci), 64)
+	for _, ch := range c.child {
+		if ch != nilCell {
+			s.walk(ch, bi, pos, acc, e, pe, depth+1, res)
+		}
+	}
+}
+
+// interact accumulates the (softened) gravitational pull of an aggregate
+// at position src with the given mass and optional quadrupole onto acc.
+// The scratch traffic models the interaction's temporaries (the paper's
+// lev1WS component).
+func (s *Simulation) interact(acc *Vec3, pos, src Vec3, mass float64, q *Quadrupole, oct *Octopole, e *trace.Emitter, pe int) {
+	e.Load(s.lay.scratchBase[pe], scratchDW*8)
+	e.Store(s.lay.scratchBase[pe], scratchDW*8)
+	d := src.Sub(pos)
+	r2 := d.Norm2() + s.cfg.Eps*s.cfg.Eps
+	r := math.Sqrt(r2)
+	inv3 := 1 / (r2 * r)
+	*acc = acc.Add(d.Scale(mass * inv3))
+	if q != nil {
+		// Quadrupole correction of the field at pos, from
+		// phi = -M/r - (x.Q.x)/(2 r^5) with x = pos-src = -d:
+		// a += -Q.d / r^5 + (5/2) d (d.Q.d) / r^7.
+		// (Checked against the exact two-point-mass expansion.)
+		r5 := r2 * r2 * r
+		qd := q.Apply(d)
+		dqd := d.Dot(qd)
+		*acc = acc.Sub(qd.Scale(1 / r5)).Add(d.Scale(2.5 * dqd / (r5 * r2)))
+	}
+	if oct != nil {
+		*acc = acc.Add(octAccel(*oct, d, r2))
+	}
+}
+
+// DirectForces computes exact pairwise accelerations (the ground truth for
+// accuracy tests), untraced.
+func DirectForces(bodies []Body, eps float64) []Vec3 {
+	acc := make([]Vec3, len(bodies))
+	for i := range bodies {
+		for j := range bodies {
+			if i == j {
+				continue
+			}
+			d := bodies[j].Pos.Sub(bodies[i].Pos)
+			r2 := d.Norm2() + eps*eps
+			r := math.Sqrt(r2)
+			acc[i] = acc[i].Add(d.Scale(bodies[j].Mass / (r2 * r)))
+		}
+	}
+	return acc
+}

@@ -1,0 +1,114 @@
+package barneshut
+
+import "math"
+
+// Octopole moments. Section 6.2's scaling rule floors theta at about 0.6
+// and then increases force accuracy with higher-order (octopole) moments
+// instead; this file supplies that next order. Cell octopoles are
+// accumulated directly from the bodies beneath each cell (one root-to-leaf
+// walk per body), which is O(n log n) and sidesteps the error-prone
+// parallel-axis algebra for rank-3 tensors.
+
+// Octopole is the symmetric traceless rank-3 tensor
+// O_ijk = sum_b m_b (15 x_i x_j x_k - 3 |x|^2 (x_i d_jk + x_j d_ik + x_k d_ij))
+// about the cell's center of mass, stored by its ten independent
+// components.
+type Octopole struct {
+	XXX, XXY, XXZ, XYY, XYZ, XZZ, YYY, YYZ, YZZ, ZZZ float64
+}
+
+// Add accumulates o += p.
+func (o *Octopole) Add(p Octopole) {
+	o.XXX += p.XXX
+	o.XXY += p.XXY
+	o.XXZ += p.XXZ
+	o.XYY += p.XYY
+	o.XYZ += p.XYZ
+	o.XZZ += p.XZZ
+	o.YYY += p.YYY
+	o.YYZ += p.YYZ
+	o.YZZ += p.YZZ
+	o.ZZZ += p.ZZZ
+}
+
+// pointOct is the octopole of a point mass m at offset x.
+func pointOct(m float64, x Vec3) Octopole {
+	r2 := x.Norm2()
+	f := func(a, b, c float64, da, db, dc float64) float64 {
+		// 15 x_i x_j x_k - 3 r^2 (x_i d_jk + x_j d_ik + x_k d_ij)
+		return m * (15*a*b*c - 3*r2*(a*da+b*db+c*dc))
+	}
+	// d_jk terms: for component (i,j,k), da multiplies x_i and is
+	// delta(j,k), etc.
+	return Octopole{
+		XXX: f(x.X, x.X, x.X, 1, 1, 1),
+		XXY: f(x.X, x.X, x.Y, 0, 0, 1),
+		XXZ: f(x.X, x.X, x.Z, 0, 0, 1),
+		XYY: f(x.X, x.Y, x.Y, 1, 0, 0),
+		XYZ: f(x.X, x.Y, x.Z, 0, 0, 0),
+		XZZ: f(x.X, x.Z, x.Z, 1, 0, 0),
+		YYY: f(x.Y, x.Y, x.Y, 1, 1, 1),
+		YYZ: f(x.Y, x.Y, x.Z, 0, 0, 1),
+		YZZ: f(x.Y, x.Z, x.Z, 1, 0, 0),
+		ZZZ: f(x.Z, x.Z, x.Z, 1, 1, 1),
+	}
+}
+
+// contract computes v_i = O_ijk d_j d_k and t = O_ijk d_i d_j d_k.
+func (o Octopole) contract(d Vec3) (v Vec3, t float64) {
+	x, y, z := d.X, d.Y, d.Z
+	v.X = o.XXX*x*x + 2*o.XXY*x*y + 2*o.XXZ*x*z + o.XYY*y*y + 2*o.XYZ*y*z + o.XZZ*z*z
+	v.Y = o.XXY*x*x + 2*o.XYY*x*y + 2*o.XYZ*x*z + o.YYY*y*y + 2*o.YYZ*y*z + o.YZZ*z*z
+	v.Z = o.XXZ*x*x + 2*o.XYZ*x*y + 2*o.XZZ*x*z + o.YYZ*y*y + 2*o.YZZ*y*z + o.ZZZ*z*z
+	t = v.Dot(d)
+	return v, t
+}
+
+// computeOctopoles accumulates every cell's octopole about its center of
+// mass by walking each body's root-to-leaf path. computeMoments must have
+// run first (it establishes the centers of mass).
+func (t *tree) computeOctopoles(bodies []Body, octs []Octopole) []Octopole {
+	if cap(octs) < len(t.cells) {
+		octs = make([]Octopole, len(t.cells))
+	} else {
+		octs = octs[:len(t.cells)]
+		for i := range octs {
+			octs[i] = Octopole{}
+		}
+	}
+	for bi := range bodies {
+		pos := bodies[bi].Pos
+		m := bodies[bi].Mass
+		ci := t.root
+		for {
+			c := &t.cells[ci]
+			if c.body >= 0 {
+				// Leaf: a point mass about its own COM has no moments.
+				break
+			}
+			octs[ci].Add(pointOct(m, pos.Sub(c.com)))
+			next := c.child[c.octant(pos)]
+			if next == nilCell {
+				break
+			}
+			ci = next
+		}
+	}
+	return octs
+}
+
+// octAccel returns the octopole acceleration correction of the field at
+// the body, with d = src - pos (matching interact's convention) and
+// r2 = |d|^2 + softening:
+//
+//	a += (1/2) (O:dd)/r^7 - (7/6) (O:ddd) d / r^9
+//
+// derived from phi = -(O:xxx)/(6 r^7) at x = -d. Checked against the
+// exact far-field series of an asymmetric two-mass system (the -4 S3/x^5
+// term) in the tests.
+func octAccel(o Octopole, d Vec3, r2 float64) Vec3 {
+	r7 := r2 * r2 * r2 * math.Sqrt(r2)
+	r9 := r7 * r2
+	v, t := o.contract(d)
+	return v.Scale(0.5 / r7).Sub(d.Scale(7.0 / 6.0 * t / r9))
+}

@@ -1,0 +1,171 @@
+package barneshut
+
+import (
+	"math"
+	"testing"
+)
+
+// TestOctopoleAxisSeries validates the tensor convention against the exact
+// far-field expansion: for masses m1 at (a,0,0) and m2 at (-b,0,0) about
+// their COM, the octopole force term at (x,0,0) must be -4*S3/x^5 with
+// S3 = m1 a^3 - m2 b^3.
+func TestOctopoleAxisSeries(t *testing.T) {
+	m1, m2 := 3.0, 1.0
+	a := 1.0
+	b := m1 * a / m2 // COM at origin
+	var oct Octopole
+	oct.Add(pointOct(m1, Vec3{a, 0, 0}))
+	oct.Add(pointOct(m2, Vec3{-b, 0, 0}))
+	s3 := m1*a*a*a - m2*b*b*b
+
+	x := 50.0
+	d := Vec3{-x, 0, 0} // src (COM) - pos
+	got := octAccel(oct, d, x*x)
+	want := -4 * s3 / math.Pow(x, 5)
+	if math.Abs(got.X-want)/math.Abs(want) > 1e-9 {
+		t.Fatalf("octopole axis term = %v, want %v", got.X, want)
+	}
+	if got.Y != 0 || got.Z != 0 {
+		t.Fatalf("off-axis components should vanish: %+v", got)
+	}
+}
+
+// TestOctopoleSeriesConvergence: monopole+quad+oct must approach the exact
+// two-body field one order faster than monopole+quad.
+func TestOctopoleSeriesConvergence(t *testing.T) {
+	m1, m2 := 3.0, 1.0
+	a := 1.0
+	b := m1 * a / m2
+	p1, p2 := Vec3{a, 0.3, -0.2}, Vec3{-b, -0.9, 0.6}
+	// Recenter to the COM.
+	com := p1.Scale(m1).Add(p2.Scale(m2)).Scale(1 / (m1 + m2))
+	p1, p2 = p1.Sub(com), p2.Sub(com)
+
+	var q Quadrupole
+	q.Add(pointQuad(m1, p1))
+	q.Add(pointQuad(m2, p2))
+	var oct Octopole
+	oct.Add(pointOct(m1, p1))
+	oct.Add(pointOct(m2, p2))
+
+	errAt := func(x float64, withOct bool) float64 {
+		pos := Vec3{x, 0.4 * x, -0.3 * x}
+		r := pos.Norm()
+		d := pos.Scale(-1) // src (COM at origin) - pos
+		// Exact field.
+		exact := Vec3{}
+		for _, mp := range []struct {
+			m float64
+			p Vec3
+		}{{m1, p1}, {m2, p2}} {
+			dd := mp.p.Sub(pos)
+			rr := dd.Norm()
+			exact = exact.Add(dd.Scale(mp.m / (rr * rr * rr)))
+		}
+		// Multipole approximation.
+		approx := d.Scale((m1 + m2) / (r * r * r))
+		r5 := math.Pow(r, 5)
+		qd := q.Apply(d)
+		dqd := d.Dot(qd)
+		approx = approx.Sub(qd.Scale(1 / r5)).Add(d.Scale(2.5 * dqd / (r5 * r * r)))
+		if withOct {
+			approx = approx.Add(octAccel(oct, d, r*r))
+		}
+		return approx.Sub(exact).Norm() / exact.Norm()
+	}
+
+	for _, x := range []float64{8, 16, 32} {
+		quadErr := errAt(x, false)
+		octErr := errAt(x, true)
+		if octErr >= quadErr {
+			t.Errorf("x=%v: octopole error %g not below quadrupole %g", x, octErr, quadErr)
+		}
+	}
+	// Order check: doubling the distance should shrink the quad-only
+	// error ~16x (next term ~r^-4 relative) vs oct ~32x. Verify the
+	// octopole error falls strictly faster.
+	qRatio := errAt(8, false) / errAt(32, false)
+	oRatio := errAt(8, true) / errAt(32, true)
+	if oRatio <= qRatio {
+		t.Errorf("octopole error should fall faster: quad ratio %g, oct ratio %g", qRatio, oRatio)
+	}
+}
+
+func TestOctopoleImprovesTreeForces(t *testing.T) {
+	// Full-simulation accuracy: octopole < quadrupole at the same theta.
+	errWith := func(octopole bool) float64 {
+		bodies := Plummer(256, 4)
+		sim, err := NewSimulation(bodies, Config{
+			Theta: 1.0, Quadrupole: true, Octopole: octopole,
+			Eps: 0.05, DT: 0.01, P: 2,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.ComputeForcesOnly(); err != nil {
+			t.Fatal(err)
+		}
+		exact := DirectForces(bodies, 0.05)
+		sumErr, sumMag := 0.0, 0.0
+		for i := range exact {
+			sumErr += sim.Bodies()[i].Acc.Sub(exact[i]).Norm()
+			sumMag += exact[i].Norm()
+		}
+		return sumErr / sumMag
+	}
+	quad := errWith(false)
+	oct := errWith(true)
+	if oct >= quad {
+		t.Fatalf("octopole error %g should beat quadrupole %g", oct, quad)
+	}
+}
+
+// TestOctopoleMatchesScalingNarrative reproduces the Section 6.2 claim:
+// octopole moments at the theta floor (0.6) reach accuracy comparable to
+// quadrupole at a substantially smaller theta.
+func TestOctopoleMatchesScalingNarrative(t *testing.T) {
+	run := func(theta float64, octopole bool) float64 {
+		bodies := Plummer(256, 7)
+		sim, _ := NewSimulation(bodies, Config{
+			Theta: theta, Quadrupole: true, Octopole: octopole,
+			Eps: 0.05, DT: 0.01, P: 1,
+		}, nil)
+		if _, err := sim.ComputeForcesOnly(); err != nil {
+			t.Fatal(err)
+		}
+		exact := DirectForces(bodies, 0.05)
+		sumErr, sumMag := 0.0, 0.0
+		for i := range exact {
+			sumErr += sim.Bodies()[i].Acc.Sub(exact[i]).Norm()
+			sumMag += exact[i].Norm()
+		}
+		return sumErr / sumMag
+	}
+	octAtFloor := run(0.6, true)
+	quadSmaller := run(0.45, false)
+	quadAtFloor := run(0.6, false)
+	// "Comparable" within 2x of quadrupole at the much finer theta, and
+	// strictly better than quadrupole at the same theta.
+	if octAtFloor > 2*quadSmaller {
+		t.Errorf("octopole at theta=0.6 (%g) should be comparable to quadrupole at theta=0.45 (%g)",
+			octAtFloor, quadSmaller)
+	}
+	if octAtFloor >= quadAtFloor {
+		t.Errorf("octopole (%g) should beat quadrupole (%g) at theta=0.6", octAtFloor, quadAtFloor)
+	}
+}
+
+func TestComputeOctopolesReuse(t *testing.T) {
+	// The accumulation buffer is reused without leaking stale values.
+	bodies := Plummer(64, 8)
+	var tr tree
+	tr.build(bodies)
+	tr.computeMoments(tr.root, bodies)
+	octs := tr.computeOctopoles(bodies, nil)
+	first := octs[tr.root]
+	// Re-run on the same tree: identical result, same backing array.
+	octs2 := tr.computeOctopoles(bodies, octs)
+	if octs2[tr.root] != first {
+		t.Fatal("octopole recomputation differs")
+	}
+}

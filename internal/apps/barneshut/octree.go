@@ -1,0 +1,207 @@
+package barneshut
+
+// The octree. Cells are allocated from a pool whose simulated addresses
+// are stable across rebuilds (as in the SPLASH implementation the paper
+// measures), so cross-time-step reuse is visible to the cache simulators.
+
+// cell is one octree node. Leaves reference a single body (body >= 0);
+// internal cells have body == -1 and up to eight children.
+type cell struct {
+	center Vec3
+	half   float64
+	body   int // body index for leaves, -1 for internal cells
+	child  [8]int32
+	// Moments, filled by computeMoments.
+	mass float64
+	com  Vec3
+	quad Quadrupole
+	n    int // bodies under this cell
+}
+
+const nilCell = int32(-1)
+
+// tree is the octree over a body set.
+type tree struct {
+	cells       []cell
+	root        int32
+	buildVisits int // cells touched during the last build (work measure)
+}
+
+// reset prepares the pool for a rebuild, keeping capacity (and therefore
+// simulated addresses).
+func (t *tree) reset(center Vec3, half float64) {
+	t.cells = t.cells[:0]
+	t.root = t.newCell(center, half)
+}
+
+func (t *tree) newCell(center Vec3, half float64) int32 {
+	idx := int32(len(t.cells))
+	c := cell{center: center, half: half, body: -1}
+	for i := range c.child {
+		c.child[i] = nilCell
+	}
+	t.cells = append(t.cells, c)
+	return idx
+}
+
+// octant returns which child octant of c the position falls in.
+func (c *cell) octant(p Vec3) int {
+	o := 0
+	if p.X >= c.center.X {
+		o |= 1
+	}
+	if p.Y >= c.center.Y {
+		o |= 2
+	}
+	if p.Z >= c.center.Z {
+		o |= 4
+	}
+	return o
+}
+
+// childCenter returns the center of octant o of c.
+func (c *cell) childCenter(o int) Vec3 {
+	h := c.half / 2
+	ctr := c.center
+	if o&1 != 0 {
+		ctr.X += h
+	} else {
+		ctr.X -= h
+	}
+	if o&2 != 0 {
+		ctr.Y += h
+	} else {
+		ctr.Y -= h
+	}
+	if o&4 != 0 {
+		ctr.Z += h
+	} else {
+		ctr.Z -= h
+	}
+	return ctr
+}
+
+// insert adds body bi (at position p) below cell ci.
+func (t *tree) insert(ci int32, bi int, bodies []Body) {
+	t.buildVisits++
+	c := &t.cells[ci]
+	if c.body == -1 && c.n == 0 && !t.hasChildren(ci) {
+		// Empty cell: make it a leaf.
+		c.body = bi
+		c.n = 1
+		return
+	}
+	if c.body >= 0 {
+		// Occupied leaf: push the resident down, then fall through.
+		resident := c.body
+		c.body = -1
+		t.pushDown(ci, resident, bodies)
+		c = &t.cells[ci] // pushDown may grow the pool
+	}
+	c.n++
+	t.pushDown(ci, bi, bodies)
+}
+
+func (t *tree) pushDown(ci int32, bi int, bodies []Body) {
+	c := &t.cells[ci]
+	o := c.octant(bodies[bi].Pos)
+	if c.child[o] == nilCell {
+		ctr := c.childCenter(o)
+		nc := t.newCell(ctr, c.half/2)
+		t.cells[ci].child[o] = nc // newCell may have moved the slice
+	}
+	t.insert(t.cells[ci].child[o], bi, bodies)
+}
+
+func (t *tree) hasChildren(ci int32) bool {
+	for _, ch := range t.cells[ci].child {
+		if ch != nilCell {
+			return true
+		}
+	}
+	return false
+}
+
+// build constructs the tree over the bodies.
+func (t *tree) build(bodies []Body) {
+	center, half := boundingCube(bodies)
+	t.reset(center, half)
+	t.cells[t.root].n = 0
+	t.buildVisits = 0
+	for i := range bodies {
+		t.insert(t.root, i, bodies)
+	}
+}
+
+// computeMoments fills mass, center of mass and quadrupole moments bottom
+// up. Leaf moments are the body's; internal moments aggregate children via
+// the parallel-axis shift.
+func (t *tree) computeMoments(ci int32, bodies []Body) {
+	c := &t.cells[ci]
+	if c.body >= 0 {
+		b := &bodies[c.body]
+		c.mass = b.Mass
+		c.com = b.Pos
+		c.quad = Quadrupole{}
+		c.n = 1
+		return
+	}
+	c.mass = 0
+	c.com = Vec3{}
+	c.n = 0
+	for _, ch := range c.child {
+		if ch == nilCell {
+			continue
+		}
+		t.computeMoments(ch, bodies)
+		cc := &t.cells[ch]
+		c = &t.cells[ci] // recursion cannot grow the pool, but stay safe
+		c.mass += cc.mass
+		c.com = c.com.Add(cc.com.Scale(cc.mass))
+		c.n += cc.n
+	}
+	if c.mass > 0 {
+		c.com = c.com.Scale(1 / c.mass)
+	}
+	c.quad = Quadrupole{}
+	for _, ch := range c.child {
+		if ch == nilCell {
+			continue
+		}
+		cc := &t.cells[ch]
+		c.quad.Add(shiftQuad(cc.quad, cc.mass, cc.com.Sub(c.com)))
+	}
+}
+
+// countBodies verifies structural integrity: the number of bodies reachable
+// below ci (used by tests).
+func (t *tree) countBodies(ci int32) int {
+	c := &t.cells[ci]
+	if c.body >= 0 {
+		return 1
+	}
+	total := 0
+	for _, ch := range c.child {
+		if ch != nilCell {
+			total += t.countBodies(ch)
+		}
+	}
+	return total
+}
+
+// maxDepth reports the deepest leaf below ci.
+func (t *tree) maxDepth(ci int32) int {
+	c := &t.cells[ci]
+	if c.body >= 0 {
+		return 1
+	}
+	deepest := 0
+	for _, ch := range c.child {
+		if ch != nilCell {
+			if d := t.maxDepth(ch); d > deepest {
+				deepest = d
+			}
+		}
+	}
+	return deepest + 1
+}

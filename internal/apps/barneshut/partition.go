@@ -1,0 +1,106 @@
+package barneshut
+
+import "sort"
+
+// Costzone partitioning (Singh et al., the scheme the paper's measurements
+// rely on for locality): bodies are ordered along a Morton (Z-order)
+// space-filling curve and split into contiguous segments of roughly equal
+// cost, where a body's cost is the number of interactions it needed last
+// step. Contiguity along the curve gives each processor a spatially
+// compact region, which is what makes the lev2WS reusable across
+// successive bodies.
+
+// mortonKey interleaves the top bits of the quantized coordinates.
+func mortonKey(p Vec3, center Vec3, half float64) uint64 {
+	const bitsPer = 16
+	quant := func(v, c float64) uint64 {
+		// Map [c-half, c+half) to [0, 2^bitsPer).
+		x := (v - (c - half)) / (2 * half)
+		if x < 0 {
+			x = 0
+		}
+		if x >= 1 {
+			x = 0.999999999
+		}
+		return uint64(x * (1 << bitsPer))
+	}
+	ix, iy, iz := quant(p.X, center.X), quant(p.Y, center.Y), quant(p.Z, center.Z)
+	var key uint64
+	for b := bitsPer - 1; b >= 0; b-- {
+		key = key<<3 | (ix>>uint(b))&1<<2 | (iy>>uint(b))&1<<1 | (iz>>uint(b))&1
+	}
+	return key
+}
+
+// Partition assigns each body to one of p processors. It returns
+// assign[bodyIndex] = pe and the per-processor body lists in curve order.
+func Partition(bodies []Body, p int) (assign []int, byPE [][]int) {
+	n := len(bodies)
+	assign = make([]int, n)
+	byPE = make([][]int, p)
+	if n == 0 {
+		return assign, byPE
+	}
+	center, half := boundingCube(bodies)
+	order := make([]int, n)
+	keys := make([]uint64, n)
+	totalCost := 0
+	for i := range bodies {
+		order[i] = i
+		keys[i] = mortonKey(bodies[i].Pos, center, half)
+		c := bodies[i].Cost
+		if c <= 0 {
+			c = 1
+		}
+		totalCost += c
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	// Walk the curve, cutting a segment whenever the running cost passes
+	// the next 1/p boundary.
+	pe := 0
+	running := 0
+	for _, bi := range order {
+		c := bodies[bi].Cost
+		if c <= 0 {
+			c = 1
+		}
+		// Advance to the segment this cumulative position belongs to,
+		// never beyond the last processor.
+		for pe < p-1 && running >= (pe+1)*totalCost/p {
+			pe++
+		}
+		assign[bi] = pe
+		byPE[pe] = append(byPE[pe], bi)
+		running += c
+	}
+	return assign, byPE
+}
+
+// costImbalance reports max/mean segment cost (1.0 is perfect), used by
+// tests and the grain analysis.
+func costImbalance(bodies []Body, byPE [][]int) float64 {
+	if len(byPE) == 0 {
+		return 1
+	}
+	total, max := 0, 0
+	for _, list := range byPE {
+		c := 0
+		for _, bi := range list {
+			w := bodies[bi].Cost
+			if w <= 0 {
+				w = 1
+			}
+			c += w
+		}
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(len(byPE))
+	return float64(max) / mean
+}

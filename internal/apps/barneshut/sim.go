@@ -1,0 +1,203 @@
+package barneshut
+
+import (
+	"fmt"
+
+	"wsstudy/internal/trace"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	Theta      float64 // opening criterion (0.5-1.2 typical); 0 forces exact summation
+	Quadrupole bool    // apply quadrupole corrections to accepted cells
+	Octopole   bool    // additionally apply octopole corrections (Section 6.2's high-accuracy regime)
+	Eps        float64 // Plummer softening
+	DT         float64 // leapfrog time step
+	P          int     // processors
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Theta < 0 || c.Theta > 2 {
+		return fmt.Errorf("barneshut: theta %v out of range [0,2]", c.Theta)
+	}
+	if c.P <= 0 {
+		return fmt.Errorf("barneshut: P must be positive")
+	}
+	if c.DT <= 0 {
+		return fmt.Errorf("barneshut: DT must be positive")
+	}
+	return nil
+}
+
+// StepStats summarizes one time step.
+type StepStats struct {
+	Interactions int     // total body-body + body-cell interactions
+	Visits       int     // total opening tests
+	Cells        int     // octree cells this step
+	Depth        int     // tree depth
+	Imbalance    float64 // max/mean partition cost
+	BuildVisits  int     // cells touched while building the tree
+}
+
+// InteractionsPerBody is the paper's working-set driver, (1/theta^2)*log n.
+func (s StepStats) InteractionsPerBody(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Interactions) / float64(n)
+}
+
+// Simulation is a traced Barnes-Hut run.
+type Simulation struct {
+	cfg    Config
+	bodies []Body
+	tr     tree
+	lay    *layout
+	octs   []Octopole
+	em     []*trace.Emitter
+	sink   trace.Consumer
+	assign []int
+	byPE   [][]int
+	step   int
+}
+
+// NewSimulation builds a simulation over the given bodies. sink may be nil
+// for a pure numeric run.
+func NewSimulation(bodies []Body, cfg Config, sink trace.Consumer) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(bodies)
+	s := &Simulation{
+		cfg:    cfg,
+		bodies: append([]Body(nil), bodies...),
+		sink:   sink,
+	}
+	// The cell pool never exceeds a small multiple of n in practice; the
+	// layout reserves a generous fixed region so addresses stay stable.
+	s.lay = newLayout(n, cfg.P, 4*n+64, nil)
+	s.em = make([]*trace.Emitter, cfg.P)
+	for pe := range s.em {
+		s.em[pe] = trace.NewEmitter(pe, sink)
+	}
+	return s, nil
+}
+
+// Bodies exposes the current particle state.
+func (s *Simulation) Bodies() []Body { return s.bodies }
+
+// Step advances the simulation one leapfrog step: partition, build tree,
+// compute moments, compute forces (the measured phase), integrate. The
+// sink receives BeginEpoch(step) so cold-start exclusion can skip the
+// first steps, exactly as the paper does.
+func (s *Simulation) Step() (StepStats, error) {
+	if ec, ok := s.sink.(trace.EpochConsumer); ok {
+		ec.BeginEpoch(s.step)
+	}
+	s.step++
+	n := len(s.bodies)
+
+	// Phase 1: costzone partition (cost = last step's interactions).
+	s.assign, s.byPE = Partition(s.bodies, s.cfg.P)
+
+	// Phase 2: tree build. Each insertion is charged to the inserting
+	// body's owner, approximating the parallel build the paper describes
+	// as the less-scalable phase.
+	s.tr.build(s.bodies)
+	for bi := range s.bodies {
+		e := s.em[s.assign[bi]]
+		e.Load(s.lay.bodyPos(bi), 24)
+		e.Store(s.lay.cellAddr(0), 8) // root update, shared write traffic
+	}
+	if int32(len(s.tr.cells)) > int32(4*n+64) {
+		return StepStats{}, fmt.Errorf("barneshut: cell pool overflow (%d cells)", len(s.tr.cells))
+	}
+
+	// Phase 3: moments, bottom-up. Charged to the owner of each cell's
+	// first body (a static approximation of the parallel upward pass).
+	s.tr.computeMoments(s.tr.root, s.bodies)
+	if s.cfg.Octopole {
+		s.octs = s.tr.computeOctopoles(s.bodies, s.octs)
+	}
+	for ci := range s.tr.cells {
+		c := &s.tr.cells[ci]
+		owner := 0
+		if c.body >= 0 {
+			owner = s.assign[c.body]
+		}
+		e := s.em[owner]
+		e.Store(s.lay.cellCom(int32(ci)), 32)
+		if s.cfg.Quadrupole {
+			e.Store(s.lay.cellQuad(int32(ci)), 48)
+		}
+	}
+
+	// Phase 4: force computation — the phase whose working sets Figure 6
+	// shows. Processors sweep their curve-ordered bodies.
+	stats := StepStats{Cells: len(s.tr.cells), Depth: s.tr.maxDepth(s.tr.root), BuildVisits: s.tr.buildVisits}
+	for pe := 0; pe < s.cfg.P; pe++ {
+		for _, bi := range s.byPE[pe] {
+			r := s.forceOn(bi, pe, s.em[pe])
+			s.bodies[bi].Cost = r.interactions
+			stats.Interactions += r.interactions
+			stats.Visits += r.visits
+		}
+	}
+	stats.Imbalance = costImbalance(s.bodies, s.byPE)
+
+	// Phase 5: leapfrog kick+drift, charged to owners.
+	dt := s.cfg.DT
+	for pe := 0; pe < s.cfg.P; pe++ {
+		e := s.em[pe]
+		for _, bi := range s.byPE[pe] {
+			b := &s.bodies[bi]
+			e.Load(s.lay.bodyVel(bi), 24)
+			e.Load(s.lay.bodyAcc(bi), 24)
+			b.Vel = b.Vel.Add(b.Acc.Scale(dt))
+			e.Store(s.lay.bodyVel(bi), 24)
+			e.Load(s.lay.bodyPos(bi), 24)
+			b.Pos = b.Pos.Add(b.Vel.Scale(dt))
+			e.Store(s.lay.bodyPos(bi), 24)
+		}
+	}
+	return stats, nil
+}
+
+// ComputeForcesOnly builds the tree and computes accelerations without
+// integrating — used by accuracy tests.
+func (s *Simulation) ComputeForcesOnly() (StepStats, error) {
+	s.assign, s.byPE = Partition(s.bodies, s.cfg.P)
+	s.tr.build(s.bodies)
+	s.tr.computeMoments(s.tr.root, s.bodies)
+	if s.cfg.Octopole {
+		s.octs = s.tr.computeOctopoles(s.bodies, s.octs)
+	}
+	stats := StepStats{Cells: len(s.tr.cells), Depth: s.tr.maxDepth(s.tr.root), BuildVisits: s.tr.buildVisits}
+	for pe := 0; pe < s.cfg.P; pe++ {
+		for _, bi := range s.byPE[pe] {
+			r := s.forceOn(bi, pe, s.em[pe])
+			s.bodies[bi].Cost = r.interactions
+			stats.Interactions += r.interactions
+			stats.Visits += r.visits
+		}
+	}
+	return stats, nil
+}
+
+// TreeIntegrity verifies structural invariants (every body reachable
+// exactly once; moment mass equals total mass). Used by tests.
+func (s *Simulation) TreeIntegrity() error {
+	if got := s.tr.countBodies(s.tr.root); got != len(s.bodies) {
+		return fmt.Errorf("barneshut: tree holds %d bodies, want %d", got, len(s.bodies))
+	}
+	var total float64
+	for _, b := range s.bodies {
+		total += b.Mass
+	}
+	root := &s.tr.cells[s.tr.root]
+	if diff := root.mass - total; diff > 1e-9 || diff < -1e-9 {
+		return fmt.Errorf("barneshut: root mass %v, want %v", root.mass, total)
+	}
+	return nil
+}

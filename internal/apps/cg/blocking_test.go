@@ -1,0 +1,118 @@
+package cg
+
+import (
+	"testing"
+
+	"wsstudy/internal/cache"
+	"wsstudy/internal/trace"
+)
+
+// profSink adapts a StackProfiler to trace.Consumer for one PE.
+type profSink struct {
+	pe int
+	p  *cache.StackProfiler
+}
+
+func (s profSink) Ref(r trace.Ref) {
+	if r.PE == s.pe {
+		s.p.Access(r.Addr, r.Size, r.Kind == trace.Read)
+	}
+}
+
+// matvecMissCurve runs a few traced iterations at grid size n (P=4) and
+// returns the profiler.
+func matvecMissCurve(t *testing.T, n, tile int) *cache.StackProfiler {
+	t.Helper()
+	prof := cache.NewStackProfiler(8)
+	part, err := NewPartition2D(n, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSolver2D(part, profSink{pe: 3, p: prof})
+	if tile > 0 {
+		s.SetTileSize(tile)
+	}
+	b := make([]float64, n*n)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	s.SetB(b)
+	if _, err := s.Solve(Config{MaxIters: 3}); err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+// rateAt reports the total miss rate at a cache of the given size.
+func rateAt(p *cache.StackProfiler, bytes uint64) float64 {
+	return float64(p.MissesAt(int(bytes/8)).Misses()) / float64(p.Accesses())
+}
+
+// TestTiledSweepNumericsUnchanged: tiling must not change the answer.
+func TestTiledSweepNumericsUnchanged(t *testing.T) {
+	run := func(tile int) []float64 {
+		part, _ := NewPartition2D(32, 2, 2, nil)
+		s := NewSolver2D(part, nil)
+		if tile > 0 {
+			s.SetTileSize(tile)
+		}
+		b := make([]float64, 32*32)
+		for i := range b {
+			b[i] = float64(i % 5)
+		}
+		s.SetB(b)
+		if _, err := s.Solve(Config{MaxIters: 20}); err != nil {
+			t.Fatal(err)
+		}
+		return append([]float64(nil), s.X()...)
+	}
+	plain := run(0)
+	tiled := run(8)
+	for i := range plain {
+		if plain[i] != tiled[i] {
+			t.Fatalf("tiling changed x[%d]: %v vs %v", i, plain[i], tiled[i])
+		}
+	}
+}
+
+func TestTileValidation(t *testing.T) {
+	part, _ := NewPartition2D(8, 1, 1, nil)
+	s := NewSolver2D(part, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative tile accepted")
+		}
+	}()
+	s.SetTileSize(-1)
+}
+
+// TestBlockingMakesLev1Constant is the Section 4.2 claim, tested at a
+// fixed probe cache sized between the two untiled knees: the untiled
+// lev1WS is O(n/sqrt P) words (measured ~4 KB at n=64, ~8 KB at n=128), so
+// the rate at the probe jumps when n doubles; a fixed 8-point tile pins
+// the reuse distance (~1 KB), so the tiled rate stays put.
+func TestBlockingMakesLev1Constant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four traced solves")
+	}
+	// Measured knees: untiled lev1WS completes at ~4 KB for n=64 and
+	// ~8 KB for n=128; tiled at ~1 KB regardless. Probe between the two
+	// untiled knees.
+	const probe = 4096
+	plainSmall := rateAt(matvecMissCurve(t, 64, 0), probe)
+	plainBig := rateAt(matvecMissCurve(t, 128, 0), probe)
+	tiledSmall := rateAt(matvecMissCurve(t, 64, 8), probe)
+	tiledBig := rateAt(matvecMissCurve(t, 128, 8), probe)
+
+	if plainBig <= plainSmall+0.02 {
+		t.Errorf("untiled rate at probe should jump when lev1WS outgrows the cache: %v -> %v",
+			plainSmall, plainBig)
+	}
+	if diff := tiledBig - tiledSmall; diff > 0.02 || diff < -0.02 {
+		t.Errorf("tiled rate should be size-independent: %v vs %v", tiledSmall, tiledBig)
+	}
+	if tiledBig >= plainBig-0.02 {
+		t.Errorf("tiling should recover the reuse at n=128: tiled %v vs plain %v",
+			tiledBig, plainBig)
+	}
+}

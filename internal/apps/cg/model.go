@@ -1,0 +1,210 @@
+package cg
+
+import (
+	"fmt"
+	"math"
+
+	"wsstudy/internal/workingset"
+)
+
+// Model2D is the analytic working-set and grain model for CG on an n x n
+// grid over P processors (Section 4 of the paper).
+//
+// Working-set constants follow this package's kernel, whose per-point
+// traffic per iteration is: matvec 5 coefficients + 5 p-values (10 FLOPs),
+// two dot products (3 loads, 4 FLOPs) and three vector updates (6 loads,
+// 6 FLOPs) — 19 loads and 20 FLOPs per point. The paper's Figure 4 counts
+// only the x-vector rows in lev1WS (3 subrows, "roughly 5 KB"); our lev1WS
+// is the reuse distance of the row-below p value, about 7 words per point
+// per subrow, the same O(n/sqrt(P)) quantity with a slightly larger
+// constant.
+type Model2D struct {
+	N, P int
+}
+
+const dw = 8
+
+// SubrowBytes is one subrow of one vector, (n/sqrt(P)) double words.
+func (m Model2D) SubrowBytes() uint64 {
+	return uint64(float64(m.N) / math.Sqrt(float64(m.P)) * dw)
+}
+
+// Lev1WS is the cache size at which the vertical stencil reuse is
+// captured: roughly 7 streamed words per point over one subrow.
+func (m Model2D) Lev1WS() uint64 { return 7 * m.SubrowBytes() }
+
+// Lev2WS is a processor's entire partition: 5 coefficients and 5 vector
+// elements per point.
+func (m Model2D) Lev2WS() uint64 {
+	pts := float64(m.N) * float64(m.N) / float64(m.P)
+	return uint64(pts * (coeffsPerPoint2D + numVecs) * dw)
+}
+
+// Side is the owned square's edge, n/sqrt(P).
+func (m Model2D) Side() float64 { return float64(m.N) / math.Sqrt(float64(m.P)) }
+
+// Plateau miss rates (misses per FLOP) for the kernel in this package.
+
+// RateTiny applies when nothing is reused: 19 loads per 20 FLOPs.
+func (m Model2D) RateTiny() float64 { return 19.0 / 20 }
+
+// RateRowReuse applies once in-row stencil reuse fits (a few dozen words):
+// the self and left p-loads hit, 17 loads per 20 FLOPs.
+func (m Model2D) RateRowReuse() float64 { return 17.0 / 20 }
+
+// RateAfterLev1 applies once lev1WS fits: each p value's first touch per
+// sweep still misses, as do the 5 coefficients and the 9 streamed-phase
+// loads: 15 loads per 20 FLOPs.
+func (m Model2D) RateAfterLev1() float64 { return 15.0 / 20 }
+
+// CommRate is the inherent communication floor: the 4*(n/sqrt(P)) boundary
+// p-values re-read each iteration, over 20*(n^2/P) FLOPs.
+func (m Model2D) CommRate() float64 {
+	s := m.Side()
+	return 4 * s / (20 * s * s)
+}
+
+// MissRatePerFLOP evaluates the model's step curve.
+func (m Model2D) MissRatePerFLOP(cacheBytes uint64) float64 {
+	switch {
+	case cacheBytes < 32*dw:
+		return m.RateTiny()
+	case cacheBytes < m.Lev1WS():
+		return m.RateRowReuse()
+	case cacheBytes < m.Lev2WS():
+		return m.RateAfterLev1()
+	default:
+		return m.CommRate()
+	}
+}
+
+// Curve samples the model at the given sizes.
+func (m Model2D) Curve(sizes []uint64) *workingset.Curve {
+	c := &workingset.Curve{
+		Label:  fmt.Sprintf("CG 2-D n=%d P=%d", m.N, m.P),
+		Metric: "misses/FLOP",
+	}
+	for _, s := range sizes {
+		c.Points = append(c.Points, workingset.Point{CacheBytes: s, MissRate: m.MissRatePerFLOP(s)})
+	}
+	return c
+}
+
+// WorkingSets lists the hierarchy.
+func (m Model2D) WorkingSets() workingset.Hierarchy {
+	return workingset.Hierarchy{
+		App: "CG 2-D",
+		Levels: []workingset.Level{
+			{Name: "lev1WS", SizeBytes: m.Lev1WS(), MissRate: m.RateAfterLev1(),
+				Note: "streamed words spanning adjacent subrows"},
+			{Name: "lev2WS", SizeBytes: m.Lev2WS(), MissRate: m.CommRate(),
+				Note: "a PE's entire partition"},
+		},
+	}
+}
+
+// Grain quantities, paper conventions (matvec FLOPs only, Section 4.3).
+
+// CommToCompRatio is 5n/(2*sqrt(P)) FLOPs per communicated word: about
+// 300 for the prototypical 1-Mbyte-grain problem.
+func (m Model2D) CommToCompRatio() float64 {
+	return 5 * float64(m.N) / (2 * math.Sqrt(float64(m.P)))
+}
+
+// DataSetBytes is the total problem size in this package's layout.
+func (m Model2D) DataSetBytes() uint64 { return m.Lev2WS() * uint64(m.P) }
+
+// GrainBytes is the per-processor memory.
+func (m Model2D) GrainBytes() uint64 { return m.Lev2WS() }
+
+// Model3D is the 3-D analog on an n^3 grid over P = pc^3 processors.
+type Model3D struct {
+	N, P int
+}
+
+// Side is the owned subcube's edge, n/P^(1/3).
+func (m Model3D) Side() float64 { return float64(m.N) / math.Cbrt(float64(m.P)) }
+
+// CrossSectionBytes is one 2-D cross-section of one vector of the subcube.
+func (m Model3D) CrossSectionBytes() uint64 {
+	s := m.Side()
+	return uint64(s * s * dw)
+}
+
+// Lev1WS captures the plane-to-plane stencil reuse: roughly 9 streamed
+// words per point over one cross-section.
+func (m Model3D) Lev1WS() uint64 { return 9 * m.CrossSectionBytes() }
+
+// Lev2WS is the whole partition: 7 coefficients + 5 vectors per point.
+func (m Model3D) Lev2WS() uint64 {
+	pts := math.Pow(float64(m.N), 3) / float64(m.P)
+	return uint64(pts * (coeffsPerPoint3D + numVecs) * dw)
+}
+
+// RateTiny is 23 loads per 24 FLOPs.
+func (m Model3D) RateTiny() float64 { return 23.0 / 24 }
+
+// RateRowReuse applies once in-row reuse fits: of the 7 touches each p
+// value receives per sweep, the three separated by a plane-sized gap
+// still miss: 19 loads per 24 FLOPs.
+func (m Model3D) RateRowReuse() float64 { return 19.0 / 24 }
+
+// RateAfterLev1 applies once cross-section reuse fits: 17 per 24.
+func (m Model3D) RateAfterLev1() float64 { return 17.0 / 24 }
+
+// CommRate is the 6*side^2 face exchange over 24*side^3 FLOPs.
+func (m Model3D) CommRate() float64 {
+	s := m.Side()
+	return 6 * s * s / (24 * s * s * s)
+}
+
+// MissRatePerFLOP evaluates the model's step curve.
+func (m Model3D) MissRatePerFLOP(cacheBytes uint64) float64 {
+	switch {
+	case cacheBytes < 32*dw:
+		return m.RateTiny()
+	case cacheBytes < m.Lev1WS():
+		return m.RateRowReuse()
+	case cacheBytes < m.Lev2WS():
+		return m.RateAfterLev1()
+	default:
+		return m.CommRate()
+	}
+}
+
+// Curve samples the model at the given sizes.
+func (m Model3D) Curve(sizes []uint64) *workingset.Curve {
+	c := &workingset.Curve{
+		Label:  fmt.Sprintf("CG 3-D n=%d P=%d", m.N, m.P),
+		Metric: "misses/FLOP",
+	}
+	for _, s := range sizes {
+		c.Points = append(c.Points, workingset.Point{CacheBytes: s, MissRate: m.MissRatePerFLOP(s)})
+	}
+	return c
+}
+
+// WorkingSets lists the hierarchy.
+func (m Model3D) WorkingSets() workingset.Hierarchy {
+	return workingset.Hierarchy{
+		App: "CG 3-D",
+		Levels: []workingset.Level{
+			{Name: "lev1WS", SizeBytes: m.Lev1WS(), MissRate: m.RateAfterLev1(),
+				Note: "streamed words spanning adjacent cross-sections"},
+			{Name: "lev2WS", SizeBytes: m.Lev2WS(), MissRate: m.CommRate(),
+				Note: "a PE's entire partition"},
+		},
+	}
+}
+
+// CommToCompRatio is 7n/(3*P^(1/3)) FLOPs per word (paper convention):
+// about 50 for the prototypical 225^3 problem on 1024 processors.
+func (m Model3D) CommToCompRatio() float64 {
+	return 7 * float64(m.N) / (3 * math.Cbrt(float64(m.P)))
+}
+
+// DataSetBytes is the total problem size in this package's layout.
+func (m Model3D) DataSetBytes() uint64 { return m.Lev2WS() * uint64(m.P) }
+
+// GrainBytes is the per-processor memory.
+func (m Model3D) GrainBytes() uint64 { return m.Lev2WS() }

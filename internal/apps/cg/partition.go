@@ -1,0 +1,180 @@
+// Package cg implements the paper's second application class (Section 4):
+// the conjugate gradient method on regular 2-D and 3-D grids.
+//
+// As with the other kernels, the solver is numerically real (it solves
+// Laplacian systems and its convergence is tested), emits the per-processor
+// reference stream of the parallel program while it runs, and is paired
+// with an analytic model of the Figure 4 working-set curves and the
+// Section 4.3 grain-size quantities.
+package cg
+
+import (
+	"fmt"
+
+	"wsstudy/internal/trace"
+)
+
+// Vector identifiers for the CG state. Each processor's partition of each
+// vector is contiguous in the simulated address space.
+const (
+	vecX = iota // solution estimate
+	vecB        // right-hand side
+	vecR        // residual
+	vecP        // search direction (the communicated vector)
+	vecQ        // A*p
+	numVecs
+)
+
+const coeffsPerPoint2D = 5 // 5-point stencil rows
+const coeffsPerPoint3D = 7 // 7-point stencil rows
+
+// Partition2D maps an n x n grid onto a px x py processor grid, each
+// processor owning a contiguous rectangle, and assigns per-processor
+// contiguous addresses to the matrix coefficients and the five CG vectors.
+type Partition2D struct {
+	N      int
+	Px, Py int
+	bases  []uint64 // per PE base address
+	coeffs int      // coefficients per point
+}
+
+// NewPartition2D validates and builds the partition. px*py processors;
+// px and py must divide n.
+func NewPartition2D(n, px, py int, arena *trace.Arena) (*Partition2D, error) {
+	if n <= 0 || px <= 0 || py <= 0 {
+		return nil, fmt.Errorf("cg: bad partition %dx%d over %d", px, py, n)
+	}
+	if n%px != 0 || n%py != 0 {
+		return nil, fmt.Errorf("cg: %dx%d processor grid must divide n=%d", px, py, n)
+	}
+	if arena == nil {
+		arena = &trace.Arena{}
+	}
+	p := &Partition2D{N: n, Px: px, Py: py, coeffs: coeffsPerPoint2D}
+	pts := (n / px) * (n / py)
+	perPE := uint64(pts * (p.coeffs + numVecs))
+	p.bases = make([]uint64, px*py)
+	for pe := range p.bases {
+		p.bases[pe] = arena.AllocDW(perPE)
+	}
+	return p, nil
+}
+
+// P reports the processor count.
+func (p *Partition2D) P() int { return p.Px * p.Py }
+
+// RowsPerPE and ColsPerPE report the owned rectangle dimensions.
+func (p *Partition2D) RowsPerPE() int { return p.N / p.Px }
+
+// ColsPerPE reports the columns of the owned rectangle.
+func (p *Partition2D) ColsPerPE() int { return p.N / p.Py }
+
+// Owner returns the processor owning grid point (i,j).
+func (p *Partition2D) Owner(i, j int) int {
+	return (i/p.RowsPerPE())*p.Py + j/p.ColsPerPE()
+}
+
+// Bounds returns the half-open row/column ranges owned by pe.
+func (p *Partition2D) Bounds(pe int) (r0, r1, c0, c1 int) {
+	pr, pc := pe/p.Py, pe%p.Py
+	rp, cp := p.RowsPerPE(), p.ColsPerPE()
+	return pr * rp, (pr + 1) * rp, pc * cp, (pc + 1) * cp
+}
+
+// local returns the owning PE and local point index of (i,j) in the
+// owner's row-major sweep order.
+func (p *Partition2D) local(i, j int) (pe, idx int) {
+	pe = p.Owner(i, j)
+	r0, _, c0, _ := p.Bounds(pe)
+	return pe, (i-r0)*p.ColsPerPE() + (j - c0)
+}
+
+// VecAddr returns the simulated address of vector element vec[(i,j)].
+func (p *Partition2D) VecAddr(vec, i, j int) uint64 {
+	pe, idx := p.local(i, j)
+	pts := p.RowsPerPE() * p.ColsPerPE()
+	return p.bases[pe] + uint64(pts*p.coeffs+vec*pts+idx)*8
+}
+
+// CoeffAddr returns the address of the c-th stencil coefficient of (i,j).
+func (p *Partition2D) CoeffAddr(c, i, j int) uint64 {
+	pe, idx := p.local(i, j)
+	return p.bases[pe] + uint64(idx*p.coeffs+c)*8
+}
+
+// PartitionBytes is the per-processor data size in bytes (coefficients
+// plus all five vectors): the paper's lev2WS.
+func (p *Partition2D) PartitionBytes() uint64 {
+	pts := p.RowsPerPE() * p.ColsPerPE()
+	return uint64(pts*(p.coeffs+numVecs)) * 8
+}
+
+// Partition3D is the 3-D analog: an n^3 grid over a pc^3 processor cube.
+type Partition3D struct {
+	N, Pc  int // grid side; processors per cube side
+	bases  []uint64
+	coeffs int
+}
+
+// NewPartition3D validates and builds the 3-D partition. pc^3 processors;
+// pc must divide n.
+func NewPartition3D(n, pc int, arena *trace.Arena) (*Partition3D, error) {
+	if n <= 0 || pc <= 0 {
+		return nil, fmt.Errorf("cg: bad 3-D partition pc=%d n=%d", pc, n)
+	}
+	if n%pc != 0 {
+		return nil, fmt.Errorf("cg: processor cube side %d must divide n=%d", pc, n)
+	}
+	if arena == nil {
+		arena = &trace.Arena{}
+	}
+	p := &Partition3D{N: n, Pc: pc, coeffs: coeffsPerPoint3D}
+	s := n / pc
+	perPE := uint64(s * s * s * (p.coeffs + numVecs))
+	p.bases = make([]uint64, pc*pc*pc)
+	for pe := range p.bases {
+		p.bases[pe] = arena.AllocDW(perPE)
+	}
+	return p, nil
+}
+
+// P reports the processor count, pc^3.
+func (p *Partition3D) P() int { return p.Pc * p.Pc * p.Pc }
+
+// Side reports the owned subcube edge length n/pc.
+func (p *Partition3D) Side() int { return p.N / p.Pc }
+
+// Owner returns the processor owning (i,j,k).
+func (p *Partition3D) Owner(i, j, k int) int {
+	s := p.Side()
+	return ((i/s)*p.Pc+j/s)*p.Pc + k/s
+}
+
+// local returns the owner and local sweep index of (i,j,k).
+func (p *Partition3D) local(i, j, k int) (pe, idx int) {
+	s := p.Side()
+	pe = p.Owner(i, j, k)
+	li, lj, lk := i%s, j%s, k%s
+	return pe, (li*s+lj)*s + lk
+}
+
+// VecAddr returns the address of vector element vec[(i,j,k)].
+func (p *Partition3D) VecAddr(vec, i, j, k int) uint64 {
+	pe, idx := p.local(i, j, k)
+	s := p.Side()
+	pts := s * s * s
+	return p.bases[pe] + uint64(pts*p.coeffs+vec*pts+idx)*8
+}
+
+// CoeffAddr returns the address of the c-th stencil coefficient of (i,j,k).
+func (p *Partition3D) CoeffAddr(c, i, j, k int) uint64 {
+	pe, idx := p.local(i, j, k)
+	return p.bases[pe] + uint64(idx*p.coeffs+c)*8
+}
+
+// PartitionBytes is the per-processor data size in bytes.
+func (p *Partition3D) PartitionBytes() uint64 {
+	s := p.Side()
+	pts := s * s * s
+	return uint64(pts*(p.coeffs+numVecs)) * 8
+}

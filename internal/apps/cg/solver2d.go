@@ -1,0 +1,296 @@
+package cg
+
+import (
+	"fmt"
+	"math"
+
+	"wsstudy/internal/trace"
+)
+
+// Result summarizes a CG run.
+type Result struct {
+	Iterations int
+	Residuals  []float64 // 2-norm of the residual after each iteration
+	FLOPs      float64   // total floating-point operations, all PEs
+	Converged  bool
+}
+
+// Config controls a traced CG solve.
+type Config struct {
+	MaxIters int     // hard iteration cap (required)
+	Tol      float64 // stop when ||r|| < Tol (0 disables early stop)
+}
+
+// Solver2D is conjugate gradient on the 5-point Laplacian of an n x n grid,
+// partitioned as the paper's Section 4 describes. The matrix is held as
+// per-point coefficient rows, exactly what the reference stream touches.
+type Solver2D struct {
+	part    *Partition2D
+	coeffs  []float64 // n*n*5, stencil rows
+	x, b    []float64
+	r, p, q []float64
+	em      []*trace.Emitter
+	sink    trace.Consumer
+	tile    int // matvec sweep tile edge; 0 = plain row sweep
+}
+
+// NewSolver2D builds the solver with the standard Dirichlet Laplacian
+// (diagonal 4, off-diagonals -1, missing neighbors dropped) and the given
+// right-hand side layout. sink may be nil for a pure numeric run.
+func NewSolver2D(part *Partition2D, sink trace.Consumer) *Solver2D {
+	n := part.N
+	s := &Solver2D{
+		part:   part,
+		coeffs: make([]float64, n*n*coeffsPerPoint2D),
+		x:      make([]float64, n*n),
+		b:      make([]float64, n*n),
+		r:      make([]float64, n*n),
+		p:      make([]float64, n*n),
+		q:      make([]float64, n*n),
+		sink:   sink,
+	}
+	s.em = make([]*trace.Emitter, part.P())
+	for pe := range s.em {
+		s.em[pe] = trace.NewEmitter(pe, sink)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			c := s.coeffs[(i*n+j)*coeffsPerPoint2D:]
+			c[0] = 4
+			if i > 0 {
+				c[1] = -1
+			}
+			if i < n-1 {
+				c[2] = -1
+			}
+			if j > 0 {
+				c[3] = -1
+			}
+			if j < n-1 {
+				c[4] = -1
+			}
+		}
+	}
+	return s
+}
+
+// SetTileSize switches the matvec sweep to t x t tiles. Section 4.2 notes
+// that "the size of lev1WS can actually be kept constant through the use
+// of blocking techniques": with a tiled sweep the vertical stencil reuse
+// distance is one tile row (~7t words) instead of one partition row
+// (~7(n/sqrt P) words), independent of the problem size. Zero restores
+// the plain row sweep. The numeric results are unchanged (matvec order is
+// irrelevant); only the reference order moves.
+func (s *Solver2D) SetTileSize(t int) {
+	if t < 0 {
+		panic("cg: negative tile size")
+	}
+	s.tile = t
+}
+
+// SetB assigns the right-hand side.
+func (s *Solver2D) SetB(b []float64) {
+	if len(b) != len(s.b) {
+		panic("cg: rhs length mismatch")
+	}
+	copy(s.b, b)
+}
+
+// X returns the current solution estimate.
+func (s *Solver2D) X() []float64 { return s.x }
+
+// ApplyA computes dst = A*src for testing and RHS construction (untraced).
+func (s *Solver2D) ApplyA(dst, src []float64) {
+	n := s.part.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			idx := i*n + j
+			c := s.coeffs[idx*coeffsPerPoint2D:]
+			sum := c[0] * src[idx]
+			if i > 0 {
+				sum += c[1] * src[idx-n]
+			}
+			if i < n-1 {
+				sum += c[2] * src[idx+n]
+			}
+			if j > 0 {
+				sum += c[3] * src[idx-1]
+			}
+			if j < n-1 {
+				sum += c[4] * src[idx+1]
+			}
+			dst[idx] = sum
+		}
+	}
+}
+
+// Solve runs CG, emitting the reference stream of every processor phase by
+// phase (the serial order respects the parallel program's dependences:
+// the matvec reads of the shared p vector precede its update each
+// iteration, so the coherence layer sees correct write-before-read).
+func (s *Solver2D) Solve(cfg Config) (Result, error) {
+	if cfg.MaxIters <= 0 {
+		return Result{}, fmt.Errorf("cg: MaxIters must be positive")
+	}
+	res := Result{}
+	ec, _ := s.sink.(trace.EpochConsumer)
+	n := s.part.N
+
+	// x = 0, r = b, p = r. Setup phase; counted as epoch -1 is avoided by
+	// starting epochs at 0 with the first iteration.
+	copy(s.r, s.b)
+	copy(s.p, s.r)
+	rr := s.dotSelf(s.r, vecR)
+	res.FLOPs += 2 * float64(n*n)
+
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		if ec != nil {
+			ec.BeginEpoch(iter)
+		}
+		if rr == 0 {
+			// Exact solution already reached (e.g. the RHS was an
+			// eigenvector); a zero search direction is convergence, not
+			// breakdown.
+			res.Converged = true
+			break
+		}
+		s.matvec()
+		pq := s.dot(s.p, s.q, vecP, vecQ)
+		if pq == 0 {
+			return res, fmt.Errorf("cg: breakdown (p.q = 0) at iteration %d", iter)
+		}
+		alpha := rr / pq
+		s.axpy(s.x, s.p, alpha, vecX, vecP)  // x += alpha p
+		s.axpy(s.r, s.q, -alpha, vecR, vecQ) // r -= alpha q
+		rr2 := s.dotSelf(s.r, vecR)
+		beta := rr2 / rr
+		rr = rr2
+		s.xpby(s.p, s.r, beta, vecP, vecR) // p = r + beta p
+		res.FLOPs += s.iterFLOPs()
+		res.Iterations++
+		norm := math.Sqrt(rr)
+		res.Residuals = append(res.Residuals, norm)
+		if cfg.Tol > 0 && norm < cfg.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// iterFLOPs counts one iteration's operations: 10/point matvec (2-D),
+// 2/point for each of two dots and three vector updates.
+func (s *Solver2D) iterFLOPs() float64 {
+	pts := float64(s.part.N * s.part.N)
+	return pts * (2*coeffsPerPoint2D + 2*2 + 3*2)
+}
+
+// matvec computes q = A*p, sweeping each processor's rectangle row-major,
+// or tile by tile when a tile size is set.
+func (s *Solver2D) matvec() {
+	for pe := 0; pe < s.part.P(); pe++ {
+		r0, r1, c0, c1 := s.part.Bounds(pe)
+		if s.tile > 0 {
+			for ti := r0; ti < r1; ti += s.tile {
+				for tj := c0; tj < c1; tj += s.tile {
+					i1, j1 := min(ti+s.tile, r1), min(tj+s.tile, c1)
+					s.matvecRect(pe, ti, i1, tj, j1)
+				}
+			}
+		} else {
+			s.matvecRect(pe, r0, r1, c0, c1)
+		}
+	}
+}
+
+// matvecRect processes one rectangle of points for pe.
+func (s *Solver2D) matvecRect(pe, r0, r1, c0, c1 int) {
+	n := s.part.N
+	{
+		e := s.em[pe]
+		for i := r0; i < r1; i++ {
+			for j := c0; j < c1; j++ {
+				idx := i*n + j
+				c := s.coeffs[idx*coeffsPerPoint2D:]
+				for k := 0; k < coeffsPerPoint2D; k++ {
+					e.LoadDW(s.part.CoeffAddr(k, i, j))
+				}
+				e.LoadDW(s.part.VecAddr(vecP, i, j))
+				sum := c[0] * s.p[idx]
+				if i > 0 {
+					e.LoadDW(s.part.VecAddr(vecP, i-1, j))
+					sum += c[1] * s.p[idx-n]
+				}
+				if i < n-1 {
+					e.LoadDW(s.part.VecAddr(vecP, i+1, j))
+					sum += c[2] * s.p[idx+n]
+				}
+				if j > 0 {
+					e.LoadDW(s.part.VecAddr(vecP, i, j-1))
+					sum += c[3] * s.p[idx-1]
+				}
+				if j < n-1 {
+					e.LoadDW(s.part.VecAddr(vecP, i, j+1))
+					sum += c[4] * s.p[idx+1]
+				}
+				s.q[idx] = sum
+				e.StoreDW(s.part.VecAddr(vecQ, i, j))
+			}
+		}
+	}
+}
+
+// sweep visits every point PE by PE in sweep order.
+func (s *Solver2D) sweep(f func(e *trace.Emitter, i, j, idx int)) {
+	n := s.part.N
+	for pe := 0; pe < s.part.P(); pe++ {
+		e := s.em[pe]
+		r0, r1, c0, c1 := s.part.Bounds(pe)
+		for i := r0; i < r1; i++ {
+			for j := c0; j < c1; j++ {
+				f(e, i, j, i*n+j)
+			}
+		}
+	}
+}
+
+// dot computes sum(a[i]*b[i]) with loads of both vectors.
+func (s *Solver2D) dot(a, b []float64, va, vb int) float64 {
+	total := 0.0
+	s.sweep(func(e *trace.Emitter, i, j, idx int) {
+		e.LoadDW(s.part.VecAddr(va, i, j))
+		e.LoadDW(s.part.VecAddr(vb, i, j))
+		total += a[idx] * b[idx]
+	})
+	return total
+}
+
+// dotSelf computes sum(a[i]^2) with a single load per point.
+func (s *Solver2D) dotSelf(a []float64, va int) float64 {
+	total := 0.0
+	s.sweep(func(e *trace.Emitter, i, j, idx int) {
+		e.LoadDW(s.part.VecAddr(va, i, j))
+		total += a[idx] * a[idx]
+	})
+	return total
+}
+
+// axpy computes dst += alpha*src.
+func (s *Solver2D) axpy(dst, src []float64, alpha float64, vd, vs int) {
+	s.sweep(func(e *trace.Emitter, i, j, idx int) {
+		e.LoadDW(s.part.VecAddr(vd, i, j))
+		e.LoadDW(s.part.VecAddr(vs, i, j))
+		dst[idx] += alpha * src[idx]
+		e.StoreDW(s.part.VecAddr(vd, i, j))
+	})
+}
+
+// xpby computes dst = src + beta*dst (the search-direction update).
+func (s *Solver2D) xpby(dst, src []float64, beta float64, vd, vs int) {
+	s.sweep(func(e *trace.Emitter, i, j, idx int) {
+		e.LoadDW(s.part.VecAddr(vd, i, j))
+		e.LoadDW(s.part.VecAddr(vs, i, j))
+		dst[idx] = src[idx] + beta*dst[idx]
+		e.StoreDW(s.part.VecAddr(vd, i, j))
+	})
+}

@@ -1,0 +1,272 @@
+package cg
+
+import (
+	"fmt"
+	"math"
+
+	"wsstudy/internal/trace"
+)
+
+// Solver3D is conjugate gradient on the 7-point Laplacian of an n^3 grid
+// over a cube of processors — the paper's "important trend toward 3-D
+// problems". Structure mirrors Solver2D; the stencil and partition differ.
+type Solver3D struct {
+	part    *Partition3D
+	coeffs  []float64 // n^3*7
+	x, b    []float64
+	r, p, q []float64
+	em      []*trace.Emitter
+	sink    trace.Consumer
+}
+
+// NewSolver3D builds the 3-D solver (diagonal 6, off-diagonals -1,
+// Dirichlet boundaries). sink may be nil for a pure numeric run.
+func NewSolver3D(part *Partition3D, sink trace.Consumer) *Solver3D {
+	n := part.N
+	pts := n * n * n
+	s := &Solver3D{
+		part:   part,
+		coeffs: make([]float64, pts*coeffsPerPoint3D),
+		x:      make([]float64, pts),
+		b:      make([]float64, pts),
+		r:      make([]float64, pts),
+		p:      make([]float64, pts),
+		q:      make([]float64, pts),
+		sink:   sink,
+	}
+	s.em = make([]*trace.Emitter, part.P())
+	for pe := range s.em {
+		s.em[pe] = trace.NewEmitter(pe, sink)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				c := s.coeffs[s.idx(i, j, k)*coeffsPerPoint3D:]
+				c[0] = 6
+				if i > 0 {
+					c[1] = -1
+				}
+				if i < n-1 {
+					c[2] = -1
+				}
+				if j > 0 {
+					c[3] = -1
+				}
+				if j < n-1 {
+					c[4] = -1
+				}
+				if k > 0 {
+					c[5] = -1
+				}
+				if k < n-1 {
+					c[6] = -1
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *Solver3D) idx(i, j, k int) int {
+	n := s.part.N
+	return (i*n+j)*n + k
+}
+
+// SetB assigns the right-hand side.
+func (s *Solver3D) SetB(b []float64) {
+	if len(b) != len(s.b) {
+		panic("cg: rhs length mismatch")
+	}
+	copy(s.b, b)
+}
+
+// X returns the current solution estimate.
+func (s *Solver3D) X() []float64 { return s.x }
+
+// ApplyA computes dst = A*src (untraced), for testing and RHS setup.
+func (s *Solver3D) ApplyA(dst, src []float64) {
+	n := s.part.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				idx := s.idx(i, j, k)
+				c := s.coeffs[idx*coeffsPerPoint3D:]
+				sum := c[0] * src[idx]
+				if i > 0 {
+					sum += c[1] * src[idx-n*n]
+				}
+				if i < n-1 {
+					sum += c[2] * src[idx+n*n]
+				}
+				if j > 0 {
+					sum += c[3] * src[idx-n]
+				}
+				if j < n-1 {
+					sum += c[4] * src[idx+n]
+				}
+				if k > 0 {
+					sum += c[5] * src[idx-1]
+				}
+				if k < n-1 {
+					sum += c[6] * src[idx+1]
+				}
+				dst[idx] = sum
+			}
+		}
+	}
+}
+
+// Solve runs CG with tracing, exactly as Solver2D.Solve does.
+func (s *Solver3D) Solve(cfg Config) (Result, error) {
+	if cfg.MaxIters <= 0 {
+		return Result{}, fmt.Errorf("cg: MaxIters must be positive")
+	}
+	res := Result{}
+	ec, _ := s.sink.(trace.EpochConsumer)
+	pts := float64(len(s.x))
+
+	copy(s.r, s.b)
+	copy(s.p, s.r)
+	rr := s.dotSelf(s.r, vecR)
+	res.FLOPs += 2 * pts
+
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		if ec != nil {
+			ec.BeginEpoch(iter)
+		}
+		if rr == 0 {
+			// Exact solution already reached (e.g. the RHS was an
+			// eigenvector); a zero search direction is convergence, not
+			// breakdown.
+			res.Converged = true
+			break
+		}
+		s.matvec()
+		pq := s.dot(s.p, s.q, vecP, vecQ)
+		if pq == 0 {
+			return res, fmt.Errorf("cg: breakdown (p.q = 0) at iteration %d", iter)
+		}
+		alpha := rr / pq
+		s.axpy(s.x, s.p, alpha, vecX, vecP)
+		s.axpy(s.r, s.q, -alpha, vecR, vecQ)
+		rr2 := s.dotSelf(s.r, vecR)
+		beta := rr2 / rr
+		rr = rr2
+		s.xpby(s.p, s.r, beta, vecP, vecR)
+		res.FLOPs += pts * (2*coeffsPerPoint3D + 2*2 + 3*2)
+		res.Iterations++
+		norm := math.Sqrt(rr)
+		res.Residuals = append(res.Residuals, norm)
+		if cfg.Tol > 0 && norm < cfg.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// matvec computes q = A*p, each processor sweeping its subcube.
+func (s *Solver3D) matvec() {
+	n := s.part.N
+	side := s.part.Side()
+	for pe := 0; pe < s.part.P(); pe++ {
+		e := s.em[pe]
+		pi := pe / (s.part.Pc * s.part.Pc)
+		pj := (pe / s.part.Pc) % s.part.Pc
+		pk := pe % s.part.Pc
+		for i := pi * side; i < (pi+1)*side; i++ {
+			for j := pj * side; j < (pj+1)*side; j++ {
+				for k := pk * side; k < (pk+1)*side; k++ {
+					idx := s.idx(i, j, k)
+					c := s.coeffs[idx*coeffsPerPoint3D:]
+					for cc := 0; cc < coeffsPerPoint3D; cc++ {
+						e.LoadDW(s.part.CoeffAddr(cc, i, j, k))
+					}
+					e.LoadDW(s.part.VecAddr(vecP, i, j, k))
+					sum := c[0] * s.p[idx]
+					if i > 0 {
+						e.LoadDW(s.part.VecAddr(vecP, i-1, j, k))
+						sum += c[1] * s.p[idx-n*n]
+					}
+					if i < n-1 {
+						e.LoadDW(s.part.VecAddr(vecP, i+1, j, k))
+						sum += c[2] * s.p[idx+n*n]
+					}
+					if j > 0 {
+						e.LoadDW(s.part.VecAddr(vecP, i, j-1, k))
+						sum += c[3] * s.p[idx-n]
+					}
+					if j < n-1 {
+						e.LoadDW(s.part.VecAddr(vecP, i, j+1, k))
+						sum += c[4] * s.p[idx+n]
+					}
+					if k > 0 {
+						e.LoadDW(s.part.VecAddr(vecP, i, j, k-1))
+						sum += c[5] * s.p[idx-1]
+					}
+					if k < n-1 {
+						e.LoadDW(s.part.VecAddr(vecP, i, j, k+1))
+						sum += c[6] * s.p[idx+1]
+					}
+					s.q[idx] = sum
+					e.StoreDW(s.part.VecAddr(vecQ, i, j, k))
+				}
+			}
+		}
+	}
+}
+
+// sweep visits every point PE by PE in subcube sweep order.
+func (s *Solver3D) sweep(f func(e *trace.Emitter, i, j, k, idx int)) {
+	side := s.part.Side()
+	for pe := 0; pe < s.part.P(); pe++ {
+		e := s.em[pe]
+		pi := pe / (s.part.Pc * s.part.Pc)
+		pj := (pe / s.part.Pc) % s.part.Pc
+		pk := pe % s.part.Pc
+		for i := pi * side; i < (pi+1)*side; i++ {
+			for j := pj * side; j < (pj+1)*side; j++ {
+				for k := pk * side; k < (pk+1)*side; k++ {
+					f(e, i, j, k, s.idx(i, j, k))
+				}
+			}
+		}
+	}
+}
+
+func (s *Solver3D) dot(a, b []float64, va, vb int) float64 {
+	total := 0.0
+	s.sweep(func(e *trace.Emitter, i, j, k, idx int) {
+		e.LoadDW(s.part.VecAddr(va, i, j, k))
+		e.LoadDW(s.part.VecAddr(vb, i, j, k))
+		total += a[idx] * b[idx]
+	})
+	return total
+}
+
+func (s *Solver3D) dotSelf(a []float64, va int) float64 {
+	total := 0.0
+	s.sweep(func(e *trace.Emitter, i, j, k, idx int) {
+		e.LoadDW(s.part.VecAddr(va, i, j, k))
+		total += a[idx] * a[idx]
+	})
+	return total
+}
+
+func (s *Solver3D) axpy(dst, src []float64, alpha float64, vd, vs int) {
+	s.sweep(func(e *trace.Emitter, i, j, k, idx int) {
+		e.LoadDW(s.part.VecAddr(vd, i, j, k))
+		e.LoadDW(s.part.VecAddr(vs, i, j, k))
+		dst[idx] += alpha * src[idx]
+		e.StoreDW(s.part.VecAddr(vd, i, j, k))
+	})
+}
+
+func (s *Solver3D) xpby(dst, src []float64, beta float64, vd, vs int) {
+	s.sweep(func(e *trace.Emitter, i, j, k, idx int) {
+		e.LoadDW(s.part.VecAddr(vd, i, j, k))
+		e.LoadDW(s.part.VecAddr(vs, i, j, k))
+		dst[idx] = src[idx] + beta*dst[idx]
+		e.StoreDW(s.part.VecAddr(vd, i, j, k))
+	})
+}

@@ -1,0 +1,436 @@
+package cg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"wsstudy/internal/trace"
+)
+
+// Unstructured problems. Section 4.3 warns that "many important problems
+// ... will not be nearly as regular as the 2-D and 3-D grids considered
+// here", with three consequences: worse load balance, a higher
+// communication-to-computation ratio at the same data-set size, and a
+// partitioning step with limited parallelism. This file makes those
+// claims measurable: a random geometric mesh, a general sparse CG solver
+// over it, and two partitioners (spatial and random) whose edge cuts
+// quantify the communication difference.
+
+// Point2 is a mesh vertex location.
+type Point2 struct {
+	X, Y float64
+}
+
+// Mesh is an undirected graph over random points in the unit square, the
+// sparse-matrix structure of an unstructured problem.
+type Mesh struct {
+	Pts []Point2
+	adj [][]int32 // symmetric, sorted neighbor lists
+}
+
+// N reports the vertex count.
+func (m *Mesh) N() int { return len(m.Pts) }
+
+// Degree reports vertex i's neighbor count.
+func (m *Mesh) Degree(i int) int { return len(m.adj[i]) }
+
+// MaxDegree reports the largest degree.
+func (m *Mesh) MaxDegree() int {
+	max := 0
+	for _, a := range m.adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	return max
+}
+
+// Edges reports the undirected edge count.
+func (m *Mesh) Edges() int {
+	total := 0
+	for _, a := range m.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// RandomMesh builds a k-nearest-neighbor geometric graph over n uniformly
+// random points (symmetrized), deterministic in seed. It approximates the
+// meshes of unstructured finite-element problems: bounded degree, spatial
+// edges, irregular structure.
+func RandomMesh(n, k int, seed int64) *Mesh {
+	if n <= 0 || k <= 0 || k >= n {
+		panic(fmt.Sprintf("cg: bad mesh parameters n=%d k=%d", n, k))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Mesh{Pts: make([]Point2, n), adj: make([][]int32, n)}
+	for i := range m.Pts {
+		m.Pts[i] = Point2{rng.Float64(), rng.Float64()}
+	}
+	// Bucket grid for neighbor queries.
+	side := int(math.Sqrt(float64(n)/4)) + 1
+	buckets := make([][]int32, side*side)
+	bidx := func(p Point2) int {
+		bx := int(p.X * float64(side))
+		by := int(p.Y * float64(side))
+		if bx >= side {
+			bx = side - 1
+		}
+		if by >= side {
+			by = side - 1
+		}
+		return by*side + bx
+	}
+	for i, p := range m.Pts {
+		b := bidx(p)
+		buckets[b] = append(buckets[b], int32(i))
+	}
+	type cand struct {
+		j int32
+		d float64
+	}
+	for i, p := range m.Pts {
+		bx := int(p.X * float64(side))
+		by := int(p.Y * float64(side))
+		var cands []cand
+		for ring := 0; len(cands) < k+1 && ring <= side; ring++ {
+			for dy := -ring; dy <= ring; dy++ {
+				for dx := -ring; dx <= ring; dx++ {
+					if maxAbs(dx, dy) != ring {
+						continue
+					}
+					x, y := bx+dx, by+dy
+					if x < 0 || y < 0 || x >= side || y >= side {
+						continue
+					}
+					for _, j := range buckets[y*side+x] {
+						if int(j) == i {
+							continue
+						}
+						q := m.Pts[j]
+						ddx, ddy := q.X-p.X, q.Y-p.Y
+						cands = append(cands, cand{j, ddx*ddx + ddy*ddy})
+					}
+				}
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		for _, c := range cands {
+			m.addEdge(int32(i), c.j)
+		}
+	}
+	for i := range m.adj {
+		sort.Slice(m.adj[i], func(a, b int) bool { return m.adj[i][a] < m.adj[i][b] })
+	}
+	return m
+}
+
+func maxAbs(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (m *Mesh) addEdge(i, j int32) {
+	for _, x := range m.adj[i] {
+		if x == j {
+			return
+		}
+	}
+	m.adj[i] = append(m.adj[i], j)
+	m.adj[j] = append(m.adj[j], i)
+}
+
+// EdgeCut counts edges whose endpoints live on different processors: the
+// per-iteration communication volume of the unstructured CG.
+func (m *Mesh) EdgeCut(assign []int) int {
+	cut := 0
+	for i, neigh := range m.adj {
+		for _, j := range neigh {
+			if int32(i) < j && assign[i] != assign[j] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// PartitionSpatial assigns vertices to p processors by Morton order over
+// their coordinates — the "sophisticated strategy" class of partitioners.
+// Returns assign and per-PE vertex lists in curve order.
+func (m *Mesh) PartitionSpatial(p int) (assign []int, byPE [][]int) {
+	n := m.N()
+	order := make([]int, n)
+	keys := make([]uint64, n)
+	for i, pt := range m.Pts {
+		order[i] = i
+		keys[i] = morton2(pt.X, pt.Y)
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	assign = make([]int, n)
+	byPE = make([][]int, p)
+	for rank, v := range order {
+		pe := rank * p / n
+		if pe >= p {
+			pe = p - 1
+		}
+		assign[v] = pe
+		byPE[pe] = append(byPE[pe], v)
+	}
+	return assign, byPE
+}
+
+// PartitionRandom assigns vertices uniformly at random: the naive baseline
+// whose edge cut shows why partitioning quality matters.
+func (m *Mesh) PartitionRandom(p int, seed int64) (assign []int, byPE [][]int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := m.N()
+	assign = make([]int, n)
+	byPE = make([][]int, p)
+	for i := 0; i < n; i++ {
+		pe := rng.Intn(p)
+		assign[i] = pe
+		byPE[pe] = append(byPE[pe], i)
+	}
+	return assign, byPE
+}
+
+// morton2 interleaves 16 bits of each coordinate.
+func morton2(x, y float64) uint64 {
+	q := func(v float64) uint64 {
+		if v < 0 {
+			v = 0
+		}
+		if v >= 1 {
+			v = 0.999999999
+		}
+		return uint64(v * 65536)
+	}
+	ix, iy := q(x), q(y)
+	var key uint64
+	for b := 15; b >= 0; b-- {
+		key = key<<2 | (ix>>uint(b))&1<<1 | (iy>>uint(b))&1
+	}
+	return key
+}
+
+// SolverU is conjugate gradient on the mesh Laplacian (diagonal degree+1,
+// off-diagonals -1: symmetric, strictly diagonally dominant, hence SPD),
+// partitioned by the supplied assignment.
+type SolverU struct {
+	mesh    *Mesh
+	assign  []int
+	byPE    [][]int
+	slot    []int // vertex -> slot within its PE's region
+	bases   []uint64
+	maxDeg  int
+	x, b    []float64
+	r, p, q []float64
+	em      []*trace.Emitter
+	sink    trace.Consumer
+}
+
+// NewSolverU builds the unstructured solver over mesh with the given
+// partition (from PartitionSpatial or PartitionRandom).
+func NewSolverU(mesh *Mesh, assign []int, byPE [][]int, sink trace.Consumer) *SolverU {
+	n := mesh.N()
+	s := &SolverU{
+		mesh: mesh, assign: assign, byPE: byPE,
+		slot: make([]int, n),
+		x:    make([]float64, n), b: make([]float64, n),
+		r: make([]float64, n), p: make([]float64, n), q: make([]float64, n),
+		maxDeg: mesh.MaxDegree(),
+		sink:   sink,
+	}
+	var arena trace.Arena
+	s.bases = make([]uint64, len(byPE))
+	s.em = make([]*trace.Emitter, len(byPE))
+	for pe, list := range byPE {
+		// Per node: padded coefficient row (maxDeg+1) plus 5 vector slots.
+		s.bases[pe] = arena.AllocDW(uint64(len(list) * (s.maxDeg + 1 + numVecs)))
+		s.em[pe] = trace.NewEmitter(pe, sink)
+		for slot, v := range list {
+			s.slot[v] = slot
+		}
+	}
+	return s
+}
+
+// vecAddr gives the address of vector element vec[v].
+func (s *SolverU) vecAddr(vec, v int) uint64 {
+	pe := s.assign[v]
+	nodes := len(s.byPE[pe])
+	return s.bases[pe] + uint64(nodes*(s.maxDeg+1)+vec*nodes+s.slot[v])*8
+}
+
+// coeffAddr gives the address of the c-th coefficient of vertex v.
+func (s *SolverU) coeffAddr(c, v int) uint64 {
+	pe := s.assign[v]
+	return s.bases[pe] + uint64(s.slot[v]*(s.maxDeg+1)+c)*8
+}
+
+// ApplyA computes dst = A*src, untraced.
+func (s *SolverU) ApplyA(dst, src []float64) {
+	for i := range src {
+		sum := float64(s.mesh.Degree(i)+1) * src[i]
+		for _, j := range s.mesh.adj[i] {
+			sum -= src[j]
+		}
+		dst[i] = sum
+	}
+}
+
+// SetB assigns the right-hand side.
+func (s *SolverU) SetB(b []float64) {
+	if len(b) != len(s.b) {
+		panic("cg: rhs length mismatch")
+	}
+	copy(s.b, b)
+}
+
+// X returns the current solution estimate.
+func (s *SolverU) X() []float64 { return s.x }
+
+// Solve runs CG exactly like the regular solvers, sweeping each
+// processor's vertex list in partition order.
+func (s *SolverU) Solve(cfg Config) (Result, error) {
+	if cfg.MaxIters <= 0 {
+		return Result{}, fmt.Errorf("cg: MaxIters must be positive")
+	}
+	res := Result{}
+	ec, _ := s.sink.(trace.EpochConsumer)
+	n := float64(s.mesh.N())
+
+	copy(s.r, s.b)
+	copy(s.p, s.r)
+	rr := s.udotSelf(s.r, vecR)
+	res.FLOPs += 2 * n
+
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		if ec != nil {
+			ec.BeginEpoch(iter)
+		}
+		if rr == 0 {
+			// Exact solution already reached (e.g. the RHS was an
+			// eigenvector); a zero search direction is convergence, not
+			// breakdown.
+			res.Converged = true
+			break
+		}
+		s.umatvec()
+		pq := s.udot(s.p, s.q, vecP, vecQ)
+		if pq == 0 {
+			return res, fmt.Errorf("cg: breakdown at iteration %d", iter)
+		}
+		alpha := rr / pq
+		s.uaxpy(s.x, s.p, alpha, vecX, vecP)
+		s.uaxpy(s.r, s.q, -alpha, vecR, vecQ)
+		rr2 := s.udotSelf(s.r, vecR)
+		beta := rr2 / rr
+		rr = rr2
+		s.uxpby(s.p, s.r, beta, vecP, vecR)
+		res.FLOPs += n * float64(2*(s.mesh.Edges()*2/s.mesh.N()+1)+10)
+		res.Iterations++
+		norm := math.Sqrt(rr)
+		res.Residuals = append(res.Residuals, norm)
+		if cfg.Tol > 0 && norm < cfg.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}
+
+func (s *SolverU) umatvec() {
+	for pe, list := range s.byPE {
+		e := s.em[pe]
+		for _, v := range list {
+			e.LoadDW(s.coeffAddr(0, v)) // diagonal
+			sum := float64(s.mesh.Degree(v)+1) * s.p[v]
+			e.LoadDW(s.vecAddr(vecP, v))
+			for c, j := range s.mesh.adj[v] {
+				e.LoadDW(s.coeffAddr(c+1, v))
+				e.LoadDW(s.vecAddr(vecP, int(j)))
+				sum -= s.p[j]
+			}
+			s.q[v] = sum
+			e.StoreDW(s.vecAddr(vecQ, v))
+		}
+	}
+}
+
+func (s *SolverU) usweep(f func(e *trace.Emitter, v int)) {
+	for pe, list := range s.byPE {
+		e := s.em[pe]
+		for _, v := range list {
+			f(e, v)
+		}
+	}
+}
+
+func (s *SolverU) udot(a, b []float64, va, vb int) float64 {
+	total := 0.0
+	s.usweep(func(e *trace.Emitter, v int) {
+		e.LoadDW(s.vecAddr(va, v))
+		e.LoadDW(s.vecAddr(vb, v))
+		total += a[v] * b[v]
+	})
+	return total
+}
+
+func (s *SolverU) udotSelf(a []float64, va int) float64 {
+	total := 0.0
+	s.usweep(func(e *trace.Emitter, v int) {
+		e.LoadDW(s.vecAddr(va, v))
+		total += a[v] * a[v]
+	})
+	return total
+}
+
+func (s *SolverU) uaxpy(dst, src []float64, alpha float64, vd, vs int) {
+	s.usweep(func(e *trace.Emitter, v int) {
+		e.LoadDW(s.vecAddr(vd, v))
+		e.LoadDW(s.vecAddr(vs, v))
+		dst[v] += alpha * src[v]
+		e.StoreDW(s.vecAddr(vd, v))
+	})
+}
+
+func (s *SolverU) uxpby(dst, src []float64, beta float64, vd, vs int) {
+	s.usweep(func(e *trace.Emitter, v int) {
+		e.LoadDW(s.vecAddr(vd, v))
+		e.LoadDW(s.vecAddr(vs, v))
+		dst[v] = src[v] + beta*dst[v]
+		e.StoreDW(s.vecAddr(vd, v))
+	})
+}
+
+// LoadImbalance reports max/mean vertices per processor.
+func LoadImbalance(byPE [][]int) float64 {
+	if len(byPE) == 0 {
+		return 1
+	}
+	total, max := 0, 0
+	for _, l := range byPE {
+		total += len(l)
+		if len(l) > max {
+			max = len(l)
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(max) / (float64(total) / float64(len(byPE)))
+}

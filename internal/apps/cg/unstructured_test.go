@@ -1,0 +1,183 @@
+package cg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wsstudy/internal/memsys"
+)
+
+func TestRandomMeshStructure(t *testing.T) {
+	m := RandomMesh(500, 6, 1)
+	if m.N() != 500 {
+		t.Fatal("wrong vertex count")
+	}
+	// Symmetry: j in adj(i) iff i in adj(j).
+	for i := 0; i < m.N(); i++ {
+		for _, j := range m.adj[i] {
+			found := false
+			for _, back := range m.adj[j] {
+				if int(back) == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) not symmetric", i, j)
+			}
+		}
+	}
+	// Degrees are near k (symmetrization can raise them modestly).
+	if m.MaxDegree() > 24 {
+		t.Errorf("max degree %d suspiciously high", m.MaxDegree())
+	}
+	if m.Edges() < 500*6/2 {
+		t.Errorf("edges = %d, want >= %d", m.Edges(), 500*3)
+	}
+	// Determinism.
+	m2 := RandomMesh(500, 6, 1)
+	if m2.Edges() != m.Edges() {
+		t.Error("mesh generation not deterministic")
+	}
+}
+
+func TestRandomMeshValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RandomMesh(10, 10, 1)
+}
+
+func TestSpatialPartitionBeatsRandom(t *testing.T) {
+	// The paper's point: irregular problems need sophisticated
+	// partitioning. Spatial partitioning should cut far fewer edges.
+	m := RandomMesh(2000, 6, 2)
+	const p = 16
+	aS, byS := m.PartitionSpatial(p)
+	aR, byR := m.PartitionRandom(p, 3)
+	cutS, cutR := m.EdgeCut(aS), m.EdgeCut(aR)
+	if cutS*3 > cutR {
+		t.Fatalf("spatial cut %d should be well below random cut %d", cutS, cutR)
+	}
+	// Both partitions balance vertex counts reasonably.
+	if LoadImbalance(byS) > 1.05 || LoadImbalance(byR) > 1.4 {
+		t.Errorf("imbalance: spatial %v random %v", LoadImbalance(byS), LoadImbalance(byR))
+	}
+	// Every vertex assigned exactly once.
+	seen := make([]bool, m.N())
+	for _, list := range byS {
+		for _, v := range list {
+			if seen[v] {
+				t.Fatal("vertex assigned twice")
+			}
+			seen[v] = true
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("vertex %d unassigned", v)
+		}
+	}
+}
+
+func TestUnstructuredCGConverges(t *testing.T) {
+	m := RandomMesh(400, 5, 4)
+	assign, byPE := m.PartitionSpatial(4)
+	s := NewSolverU(m, assign, byPE, nil)
+	rng := rand.New(rand.NewSource(5))
+	want := make([]float64, m.N())
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := make([]float64, m.N())
+	s.ApplyA(b, want)
+	s.SetB(b)
+	res, err := s.Solve(Config{MaxIters: 500, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge; last residual %g", res.Residuals[len(res.Residuals)-1])
+	}
+	for i := range want {
+		if math.Abs(s.X()[i]-want[i]) > 1e-6 {
+			t.Fatalf("solution error at %d: %g", i, s.X()[i]-want[i])
+		}
+	}
+}
+
+func TestUnstructuredMatrixSPD(t *testing.T) {
+	m := RandomMesh(200, 5, 6)
+	assign, byPE := m.PartitionSpatial(2)
+	s := NewSolverU(m, assign, byPE, nil)
+	rng := rand.New(rand.NewSource(7))
+	u := make([]float64, m.N())
+	v := make([]float64, m.N())
+	au := make([]float64, m.N())
+	av := make([]float64, m.N())
+	for i := range u {
+		u[i], v[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	s.ApplyA(au, u)
+	s.ApplyA(av, v)
+	var uav, vau, uau float64
+	for i := range u {
+		uav += u[i] * av[i]
+		vau += v[i] * au[i]
+		uau += u[i] * au[i]
+	}
+	if math.Abs(uav-vau) > 1e-9 {
+		t.Fatalf("not symmetric: %v vs %v", uav, vau)
+	}
+	if uau <= 0 {
+		t.Fatalf("not positive definite: %v", uau)
+	}
+}
+
+// TestPartitionQualityDrivesCoherence runs the same unstructured solve
+// through the coherence simulator with both partitions: the random
+// partition's invalidation traffic must exceed the spatial one roughly in
+// proportion to the edge cuts.
+func TestPartitionQualityDrivesCoherence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coherence simulation")
+	}
+	m := RandomMesh(800, 5, 8)
+	const p = 8
+	run := func(assign []int, byPE [][]int) uint64 {
+		sys := memsys.MustNew(memsys.Config{
+			PEs: p, LineSize: 8, Profile: true, ProfilePE: -1, WarmupEpochs: 1,
+		})
+		s := NewSolverU(m, assign, byPE, sys)
+		rng := rand.New(rand.NewSource(11))
+		b := make([]float64, m.N())
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		s.SetB(b)
+		if _, err := s.Solve(Config{MaxIters: 5}); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Directory().Stats().Invalidations
+	}
+	aS, byS := m.PartitionSpatial(p)
+	aR, byR := m.PartitionRandom(p, 9)
+	invS := run(aS, byS)
+	invR := run(aR, byR)
+	if invS == 0 || invR == 0 {
+		t.Fatalf("expected nonzero invalidations: %d, %d", invS, invR)
+	}
+	if invR < 2*invS {
+		t.Errorf("random partition invalidations %d should far exceed spatial %d", invR, invS)
+	}
+	cutS, cutR := m.EdgeCut(aS), m.EdgeCut(aR)
+	// The invalidation ratio should be on the order of the cut ratio.
+	gotRatio := float64(invR) / float64(invS)
+	wantRatio := float64(cutR) / float64(cutS)
+	if gotRatio < wantRatio/3 || gotRatio > wantRatio*3 {
+		t.Errorf("invalidation ratio %v vs cut ratio %v: out of band", gotRatio, wantRatio)
+	}
+}

@@ -1,0 +1,123 @@
+// Package fft implements the paper's third application class (Section 5):
+// the 1-D complex FFT, parallelized radix-D with internal-radix cache
+// blocking.
+//
+// The serial kernel (Serial) and the naive DFT ground truth live here; the
+// traced parallel algorithm is in parallel.go and the analytic model of
+// Figure 5 in model.go.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Log2 returns log2(n) for a power of two.
+func Log2(n int) int {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: %d is not a power of two", n))
+	}
+	return bits.TrailingZeros(uint(n))
+}
+
+// bitrev reverses the low `width` bits of x.
+func bitrev(x, width int) int {
+	return int(bits.Reverse32(uint32(x)) >> (32 - uint(width)))
+}
+
+// Serial computes an in-place forward FFT of x (len a power of two) with
+// the standard iterative radix-2 decimation-in-time algorithm. It is the
+// reference the parallel algorithm is tested against.
+func Serial(x []complex128) {
+	n := len(x)
+	logn := Log2(n)
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := bitrev(i, logn)
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for s := 0; s < logn; s++ {
+		half := 1 << s
+		span := half * 2
+		for base := 0; base < n; base += span {
+			for j := 0; j < half; j++ {
+				tw := cmplx.Exp(complex(0, -2*math.Pi*float64(j)/float64(span)))
+				u := x[base+j]
+				v := x[base+j+half] * tw
+				x[base+j] = u + v
+				x[base+j+half] = u - v
+			}
+		}
+	}
+}
+
+// NaiveDFT computes the forward DFT by definition, O(n^2): the ground
+// truth for correctness tests.
+func NaiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// MaxAbsDiff reports the largest elementwise |a[i]-b[i]|.
+func MaxAbsDiff(a, b []complex128) float64 {
+	if len(a) != len(b) {
+		panic("fft: length mismatch")
+	}
+	max := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// twiddleTable precomputes the n/2 roots of unity w_n^j = exp(-2 pi i j/n)
+// for j in [0, n/2), the table every butterfly indexes.
+type twiddleTable struct {
+	n     int
+	roots []complex128
+}
+
+func newTwiddleTable(n int) *twiddleTable {
+	t := &twiddleTable{n: n, roots: make([]complex128, n/2)}
+	for j := range t.roots {
+		t.roots[j] = cmplx.Exp(complex(0, -2*math.Pi*float64(j)/float64(n)))
+	}
+	return t
+}
+
+// root returns w_n^j for any j >= 0 (indexes modulo n, using symmetry for
+// the upper half).
+func (t *twiddleTable) root(j int) complex128 {
+	j %= t.n
+	if j < t.n/2 {
+		return t.roots[j]
+	}
+	return -t.roots[j-t.n/2]
+}
+
+// rootIndex gives the table index used for simulated addressing.
+func (t *twiddleTable) rootIndex(j int) int {
+	j %= t.n
+	if j >= t.n/2 {
+		j -= t.n / 2
+	}
+	return j
+}

@@ -1,0 +1,204 @@
+package fft
+
+import (
+	"fmt"
+
+	"wsstudy/internal/trace"
+)
+
+// 2-D complex FFT. Section 5 states the 1-D analysis "also applies to the
+// complex 2D and 3D FFT"; this file makes that concrete with the standard
+// slab (row) decomposition: each processor owns a contiguous band of rows,
+// performs row FFTs locally, participates in one all-to-all transpose,
+// performs the column FFTs locally, and transposes back — the same
+// internal-radix blocking and the same bisection-bound exchanges as the
+// 1-D case, with 5*n^2*log(n^2) operations over two movements of the
+// 2n^2-word data set (the identical ratio law).
+
+// Config2D parameterizes the 2-D transform on an n x n grid, n = 2^LogN.
+type Config2D struct {
+	LogN          int // grid side is 2^LogN
+	P             int // processors (power of two, P <= n)
+	InternalRadix int
+}
+
+// Validate checks the configuration.
+func (c Config2D) Validate() error {
+	if c.LogN < 1 || c.LogN > 14 {
+		return fmt.Errorf("fft: 2-D LogN %d out of range", c.LogN)
+	}
+	if !IsPow2(c.P) || c.P > 1<<c.LogN {
+		return fmt.Errorf("fft: 2-D P=%d must be a power of two <= n", c.P)
+	}
+	if !IsPow2(c.InternalRadix) || c.InternalRadix < 2 {
+		return fmt.Errorf("fft: internal radix %d must be a power of two >= 2", c.InternalRadix)
+	}
+	return nil
+}
+
+// N returns the grid side.
+func (c Config2D) N() int { return 1 << c.LogN }
+
+// FFT2D is the traced 2-D transform.
+type FFT2D struct {
+	cfg Config2D
+	tw  *twiddleTable // size n
+
+	rows  [][]complex128 // rows[i] of the working grid
+	rowsT [][]complex128 // transpose buffer
+
+	rowBase  []uint64 // address of row i
+	rowTBase []uint64
+	twBase   uint64
+
+	em    []*trace.Emitter
+	sink  trace.Consumer
+	flops float64
+}
+
+// New2D builds the transform. sink may be nil for a pure numeric run.
+func New2D(cfg Config2D, sink trace.Consumer) (*FFT2D, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.N()
+	f := &FFT2D{cfg: cfg, tw: newTwiddleTable(n), sink: sink}
+	var arena trace.Arena
+	f.twBase = arena.AllocDW(uint64(n))
+	alloc := func() ([][]complex128, []uint64) {
+		rows := make([][]complex128, n)
+		bases := make([]uint64, n)
+		for i := range rows {
+			rows[i] = make([]complex128, n)
+			bases[i] = arena.AllocDW(uint64(2 * n))
+		}
+		return rows, bases
+	}
+	f.rows, f.rowBase = alloc()
+	f.rowsT, f.rowTBase = alloc()
+	f.em = make([]*trace.Emitter, cfg.P)
+	for pe := range f.em {
+		f.em[pe] = trace.NewEmitter(pe, sink)
+	}
+	return f, nil
+}
+
+// SetInput loads a row-major n*n input.
+func (f *FFT2D) SetInput(x []complex128) {
+	n := f.cfg.N()
+	if len(x) != n*n {
+		panic("fft: 2-D input length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		copy(f.rows[i], x[i*n:(i+1)*n])
+	}
+}
+
+// Output returns the row-major spectrum after Run.
+func (f *FFT2D) Output() []complex128 {
+	n := f.cfg.N()
+	out := make([]complex128, n*n)
+	for i := 0; i < n; i++ {
+		copy(out[i*n:(i+1)*n], f.rows[i])
+	}
+	return out
+}
+
+// FLOPs reports the operation count of the last Run.
+func (f *FFT2D) FLOPs() float64 { return f.flops }
+
+// owner maps a row to its processor (contiguous bands).
+func (f *FFT2D) owner(row int) int { return row / (f.cfg.N() / f.cfg.P) }
+
+// Run executes the transform: row FFTs, transpose, row FFTs (i.e. column
+// transforms), transpose back.
+func (f *FFT2D) Run() {
+	if ec, ok := f.sink.(trace.EpochConsumer); ok {
+		ec.BeginEpoch(0)
+	}
+	f.flops = 0
+	n := f.cfg.N()
+
+	rowFFTs := func(rows [][]complex128, bases []uint64) {
+		for i := 0; i < n; i++ {
+			e := f.em[f.owner(i)]
+			blockedFFT(rows[i], bases[i], e, f.tw, f.twBase, 1,
+				f.cfg.InternalRadix, &f.flops)
+		}
+	}
+
+	// transpose moves dst[j][i] = src[i][j]; the reader pulls: each
+	// processor reads the columns it needs from every other band (the
+	// all-to-all the ratio law charges as one movement of 2n^2 words).
+	transpose := func(dst, src [][]complex128, dstBase, srcBase []uint64) {
+		for j := 0; j < n; j++ {
+			e := f.em[f.owner(j)]
+			for i := 0; i < n; i++ {
+				e.Load(pointAddr(srcBase[i], j), 16)
+				dst[j][i] = src[i][j]
+				e.Store(pointAddr(dstBase[j], i), 16)
+			}
+		}
+	}
+
+	rowFFTs(f.rows, f.rowBase)
+	transpose(f.rowsT, f.rows, f.rowTBase, f.rowBase)
+	rowFFTs(f.rowsT, f.rowTBase)
+	transpose(f.rows, f.rowsT, f.rowBase, f.rowTBase)
+}
+
+// Naive2D computes the 2-D DFT by definition (O(n^4) work via row/column
+// 1-D naive DFTs), the verification ground truth.
+func Naive2D(x []complex128, n int) []complex128 {
+	if len(x) != n*n {
+		panic("fft: naive 2-D length mismatch")
+	}
+	// Rows.
+	tmp := make([]complex128, n*n)
+	for i := 0; i < n; i++ {
+		row := NaiveDFT(x[i*n : (i+1)*n])
+		copy(tmp[i*n:(i+1)*n], row)
+	}
+	// Columns.
+	out := make([]complex128, n*n)
+	col := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = tmp[i*n+j]
+		}
+		cf := NaiveDFT(col)
+		for i := 0; i < n; i++ {
+			out[i*n+j] = cf[i]
+		}
+	}
+	return out
+}
+
+// Model2D extends the Section 5 ratio law to the 2-D transform: the total
+// work is 5*n^2*log2(n^2) and the data crosses the machine twice, so the
+// ratio is (5/2)*log2(n^2)/2 per word... evaluated exactly as in the 1-D
+// model with N = n^2.
+type Model2D struct {
+	LogN          int // grid side 2^LogN
+	P             int
+	InternalRadix int
+}
+
+// as1D views the 2-D transform through the 1-D model with N = n^2.
+func (m Model2D) as1D() Model {
+	return Model{LogN: 2 * m.LogN, P: m.P, InternalRadix: m.InternalRadix}
+}
+
+// Lev1WS matches the 1-D internal-radix group.
+func (m Model2D) Lev1WS() uint64 { return m.as1D().Lev1WS() }
+
+// Lev2WS is the processor's band of rows, 16*n^2/P bytes.
+func (m Model2D) Lev2WS() uint64 { return m.as1D().Lev2WS() }
+
+// CommToCompRatio is (5/4)*log2(n^2): the same law as 1-D at N = n^2,
+// because both transforms move the whole data set through the bisection
+// twice.
+func (m Model2D) CommToCompRatio() float64 { return m.as1D().CommToCompRatio() }
+
+// RateAfterLev1 matches the 1-D plateau for the same internal radix.
+func (m Model2D) RateAfterLev1() float64 { return m.as1D().RateAfterLev1() }

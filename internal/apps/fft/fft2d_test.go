@@ -1,0 +1,222 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"wsstudy/internal/trace"
+)
+
+func TestConfig2DValidation(t *testing.T) {
+	bad := []Config2D{
+		{LogN: 0, P: 1, InternalRadix: 2},
+		{LogN: 4, P: 3, InternalRadix: 2},
+		{LogN: 4, P: 32, InternalRadix: 2}, // P > n
+		{LogN: 4, P: 4, InternalRadix: 3},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := (Config2D{LogN: 5, P: 8, InternalRadix: 4}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestFFT2DMatchesNaive(t *testing.T) {
+	for _, logn := range []int{2, 3, 4} {
+		n := 1 << logn
+		cfg := Config2D{LogN: logn, P: 2, InternalRadix: 4}
+		f, err := New2D(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomSignal(n*n, int64(logn))
+		f.SetInput(x)
+		f.Run()
+		want := Naive2D(x, n)
+		if d := MaxAbsDiff(f.Output(), want); d > 1e-7 {
+			t.Errorf("n=%d: 2-D FFT differs from naive by %g", n, d)
+		}
+	}
+}
+
+func TestFFT2DImpulse(t *testing.T) {
+	// A centered impulse transforms to alternating-sign constants.
+	const logn, n = 3, 8
+	f, _ := New2D(Config2D{LogN: logn, P: 4, InternalRadix: 2}, nil)
+	x := make([]complex128, n*n)
+	x[0] = 1 // impulse at the origin: flat spectrum of ones
+	f.SetInput(x)
+	f.Run()
+	for i, v := range f.Output() {
+		if cmplx.Abs(v-1) > 1e-10 {
+			t.Fatalf("spectrum[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFT2DSeparability(t *testing.T) {
+	// Property: the 2-D transform of an outer product a_i * b_j is the
+	// outer product of the 1-D transforms.
+	const logn, n = 4, 16
+	a := randomSignal(n, 9)
+	b := randomSignal(n, 10)
+	x := make([]complex128, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x[i*n+j] = a[i] * b[j]
+		}
+	}
+	f, _ := New2D(Config2D{LogN: logn, P: 4, InternalRadix: 8}, nil)
+	f.SetInput(x)
+	f.Run()
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	Serial(fa)
+	Serial(fb)
+	out := f.Output()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := fa[i] * fb[j]
+			if cmplx.Abs(out[i*n+j]-want) > 1e-7 {
+				t.Fatalf("separability violated at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFFT2DTracedEmitsAllPEs(t *testing.T) {
+	const logn = 4
+	perPE := make([]uint64, 4)
+	sink := trace.Func(func(r trace.Ref) { perPE[r.PE]++ })
+	f, err := New2D(Config2D{LogN: logn, P: 4, InternalRadix: 4}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetInput(randomSignal(16*16, 3))
+	f.Run()
+	for pe, c := range perPE {
+		if c == 0 {
+			t.Errorf("PE %d emitted nothing", pe)
+		}
+	}
+	// FLOPs: 5 * n^2 * log2(n^2) butterfly operations.
+	want := 5.0 * 256 * 8
+	if math.Abs(f.FLOPs()-want) > 1 {
+		t.Errorf("FLOPs = %v, want %v", f.FLOPs(), want)
+	}
+}
+
+func TestModel2DLawsMatch1D(t *testing.T) {
+	// A 1024x1024 2-D transform has the ratio of a 2^20-point 1-D one.
+	m2 := Model2D{LogN: 10, P: 256, InternalRadix: 8}
+	m1 := Model{LogN: 20, P: 256, InternalRadix: 8}
+	if m2.CommToCompRatio() != m1.CommToCompRatio() {
+		t.Error("2-D ratio should equal the 1-D law at N=n^2")
+	}
+	if m2.RateAfterLev1() != m1.RateAfterLev1() {
+		t.Error("plateaus should match for the same radix")
+	}
+	if m2.Lev2WS() != m1.Lev2WS() {
+		t.Error("per-PE data should match")
+	}
+}
+
+func TestFFT3DMatchesNaive(t *testing.T) {
+	for _, logn := range []int{1, 2, 3} {
+		n := 1 << logn
+		f, err := New3D(Config3D{LogN: logn, P: min(2, n), InternalRadix: 2}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomSignal(n*n*n, int64(logn+50))
+		f.SetInput(x)
+		f.Run()
+		want := Naive3D(x, n)
+		if d := MaxAbsDiff(f.Output(), want); d > 1e-7 {
+			t.Errorf("n=%d: 3-D FFT differs from naive by %g", n, d)
+		}
+	}
+}
+
+func TestFFT3DImpulse(t *testing.T) {
+	const logn, n = 3, 8
+	f, _ := New3D(Config3D{LogN: logn, P: 4, InternalRadix: 4}, nil)
+	x := make([]complex128, n*n*n)
+	x[0] = 1
+	f.SetInput(x)
+	f.Run()
+	for i, v := range f.Output() {
+		if cmplx.Abs(v-1) > 1e-10 {
+			t.Fatalf("spectrum[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFT3DSeparability(t *testing.T) {
+	// FFT3D of a_i*b_j*c_k is the outer product of the 1-D transforms.
+	const logn, n = 3, 8
+	a := randomSignal(n, 60)
+	b := randomSignal(n, 61)
+	c := randomSignal(n, 62)
+	x := make([]complex128, n*n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				x[(i*n+j)*n+k] = a[i] * b[j] * c[k]
+			}
+		}
+	}
+	f, _ := New3D(Config3D{LogN: logn, P: 2, InternalRadix: 8}, nil)
+	f.SetInput(x)
+	f.Run()
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	fc := append([]complex128(nil), c...)
+	Serial(fa)
+	Serial(fb)
+	Serial(fc)
+	out := f.Output()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				want := fa[i] * fb[j] * fc[k]
+				if cmplx.Abs(out[(i*n+j)*n+k]-want) > 1e-7*(cmplx.Abs(want)+1) {
+					t.Fatalf("separability violated at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestFFT3DTracedEmits(t *testing.T) {
+	perPE := make([]uint64, 4)
+	sink := trace.Func(func(r trace.Ref) { perPE[r.PE]++ })
+	f, err := New3D(Config3D{LogN: 2, P: 4, InternalRadix: 2}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetInput(randomSignal(64, 7))
+	f.Run()
+	for pe, cnt := range perPE {
+		if cnt == 0 {
+			t.Errorf("PE %d emitted nothing", pe)
+		}
+	}
+}
+
+func TestConfig3DValidation(t *testing.T) {
+	for _, cfg := range []Config3D{
+		{LogN: 0, P: 1, InternalRadix: 2},
+		{LogN: 3, P: 16, InternalRadix: 2}, // P > n
+		{LogN: 3, P: 3, InternalRadix: 2},
+		{LogN: 3, P: 2, InternalRadix: 5},
+	} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %+v", cfg)
+		}
+	}
+}

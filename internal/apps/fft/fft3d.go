@@ -1,0 +1,202 @@
+package fft
+
+import (
+	"fmt"
+
+	"wsstudy/internal/trace"
+)
+
+// 3-D complex FFT, completing Section 5's "our analysis ... also applies
+// to the complex 2D and 3D FFT". Pencil decomposition: 1-D transforms
+// along each axis with two transpose-like redistributions in between, each
+// moving the whole 2n^3-word data set — the same two-movement accounting
+// as the 1-D and 2-D cases, so the ratio law is again (5/4)*log2(N) with
+// N = n^3. (Three axes need two redistributions because the first axis is
+// local in the initial slab layout and the last stays local in the final
+// one.)
+
+// Config3D parameterizes the transform on an n^3 grid, n = 2^LogN.
+type Config3D struct {
+	LogN          int // grid side is 2^LogN
+	P             int // processors (power of two, P <= n)
+	InternalRadix int
+}
+
+// Validate checks the configuration.
+func (c Config3D) Validate() error {
+	if c.LogN < 1 || c.LogN > 9 {
+		return fmt.Errorf("fft: 3-D LogN %d out of range", c.LogN)
+	}
+	if !IsPow2(c.P) || c.P > 1<<c.LogN {
+		return fmt.Errorf("fft: 3-D P=%d must be a power of two <= n", c.P)
+	}
+	if !IsPow2(c.InternalRadix) || c.InternalRadix < 2 {
+		return fmt.Errorf("fft: internal radix %d must be a power of two >= 2", c.InternalRadix)
+	}
+	return nil
+}
+
+// N returns the grid side.
+func (c Config3D) N() int { return 1 << c.LogN }
+
+// FFT3D is the traced 3-D transform. Data is held as n^2 "pencils" of n
+// points; pencils are distributed over processors in contiguous bands.
+type FFT3D struct {
+	cfg Config3D
+	tw  *twiddleTable
+
+	cur, tmp   [][]complex128 // n^2 pencils of n points each
+	curB, tmpB []uint64
+
+	twBase uint64
+	em     []*trace.Emitter
+	sink   trace.Consumer
+	flops  float64
+}
+
+// New3D builds the transform. sink may be nil for a pure numeric run.
+func New3D(cfg Config3D, sink trace.Consumer) (*FFT3D, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.N()
+	f := &FFT3D{cfg: cfg, tw: newTwiddleTable(n), sink: sink}
+	var arena trace.Arena
+	f.twBase = arena.AllocDW(uint64(n))
+	alloc := func() ([][]complex128, []uint64) {
+		p := make([][]complex128, n*n)
+		b := make([]uint64, n*n)
+		for i := range p {
+			p[i] = make([]complex128, n)
+			b[i] = arena.AllocDW(uint64(2 * n))
+		}
+		return p, b
+	}
+	f.cur, f.curB = alloc()
+	f.tmp, f.tmpB = alloc()
+	f.em = make([]*trace.Emitter, cfg.P)
+	for pe := range f.em {
+		f.em[pe] = trace.NewEmitter(pe, sink)
+	}
+	return f, nil
+}
+
+// SetInput loads x[(i*n+j)*n+k] (k fastest) into k-pencils.
+func (f *FFT3D) SetInput(x []complex128) {
+	n := f.cfg.N()
+	if len(x) != n*n*n {
+		panic("fft: 3-D input length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			copy(f.cur[i*n+j], x[(i*n+j)*n:(i*n+j+1)*n])
+		}
+	}
+}
+
+// Output returns the row-major spectrum after Run.
+func (f *FFT3D) Output() []complex128 {
+	n := f.cfg.N()
+	out := make([]complex128, n*n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			copy(out[(i*n+j)*n:(i*n+j+1)*n], f.cur[i*n+j])
+		}
+	}
+	return out
+}
+
+// FLOPs reports the operation count of the last Run.
+func (f *FFT3D) FLOPs() float64 { return f.flops }
+
+// owner assigns pencil slabs to processors by leading index.
+func (f *FFT3D) owner(i int) int { return i / (f.cfg.N() / f.cfg.P) }
+
+// Run executes the transform: FFT along k, redistribute so j is the pencil
+// axis, FFT, redistribute so i is the pencil axis, FFT, and restore the
+// original layout.
+func (f *FFT3D) Run() {
+	if ec, ok := f.sink.(trace.EpochConsumer); ok {
+		ec.BeginEpoch(0)
+	}
+	f.flops = 0
+	n := f.cfg.N()
+
+	fftAll := func(p [][]complex128, b []uint64) {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				e := f.em[f.owner(i)]
+				blockedFFT(p[i*n+j], b[i*n+j], e, f.tw, f.twBase, 1,
+					f.cfg.InternalRadix, &f.flops)
+			}
+		}
+	}
+	// exchange remaps dst[i*n+j][k] = src[perm(i,j,k)], reader-pulls.
+	exchange := func(dst, src [][]complex128, dstB, srcB []uint64,
+		perm func(i, j, k int) (int, int, int)) {
+		for i := 0; i < n; i++ {
+			e := f.em[f.owner(i)]
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					si, sj, sk := perm(i, j, k)
+					e.Load(pointAddr(srcB[si*n+sj], sk), 16)
+					dst[i*n+j][k] = src[si*n+sj][sk]
+					e.Store(pointAddr(dstB[i*n+j], k), 16)
+				}
+			}
+		}
+	}
+
+	// Pass 1: pencils along k (cur is (i,j)[k]).
+	fftAll(f.cur, f.curB)
+	// Swap j <-> k: tmp(i,k)[j] = cur(i,j)[k].
+	exchange(f.tmp, f.cur, f.tmpB, f.curB, func(i, a, b int) (int, int, int) { return i, b, a })
+	fftAll(f.tmp, f.tmpB) // transforms along j
+	// Swap i <-> k (of the current layout): cur(b,k)[i]... we want pencils
+	// along i: cur(j,k)[i] = tmp(i,k)[j]: dst index (a=j, b=k), k=i.
+	exchange(f.cur, f.tmp, f.curB, f.tmpB, func(a, b, c int) (int, int, int) { return c, b, a })
+	fftAll(f.cur, f.curB) // transforms along i
+	// Restore natural layout: tmp(i,j)[k] = cur(j,k)[i].
+	exchange(f.tmp, f.cur, f.tmpB, f.curB, func(i, j, k int) (int, int, int) { return j, k, i })
+	f.cur, f.tmp = f.tmp, f.cur
+	f.curB, f.tmpB = f.tmpB, f.curB
+}
+
+// Naive3D computes the 3-D DFT via three naive 1-D passes (O(n^4) work),
+// the verification ground truth.
+func Naive3D(x []complex128, n int) []complex128 {
+	if len(x) != n*n*n {
+		panic("fft: naive 3-D length mismatch")
+	}
+	cur := append([]complex128(nil), x...)
+	buf := make([]complex128, n)
+	// Transform along each axis in turn.
+	for axis := 0; axis < 3; axis++ {
+		next := make([]complex128, n*n*n)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				for k := 0; k < n; k++ {
+					buf[k] = cur[index3(axis, a, b, k, n)]
+				}
+				fk := NaiveDFT(buf)
+				for k := 0; k < n; k++ {
+					next[index3(axis, a, b, k, n)] = fk[k]
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// index3 linearizes coordinates with the transform axis as k.
+func index3(axis, a, b, k, n int) int {
+	switch axis {
+	case 0: // k axis (fastest)
+		return (a*n+b)*n + k
+	case 1: // j axis
+		return (a*n+k)*n + b
+	default: // i axis
+		return (k*n+a)*n + b
+	}
+}

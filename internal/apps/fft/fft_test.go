@@ -1,0 +1,263 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"wsstudy/internal/cache"
+	"wsstudy/internal/trace"
+)
+
+func randomSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestSerialMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		x := randomSignal(n, int64(n))
+		want := NaiveDFT(x)
+		got := append([]complex128(nil), x...)
+		Serial(got)
+		if d := MaxAbsDiff(got, want); d > 1e-8 {
+			t.Errorf("n=%d: serial FFT differs from DFT by %g", n, d)
+		}
+	}
+}
+
+func TestSerialImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	Serial(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse spectrum[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestSerialParseval(t *testing.T) {
+	x := randomSignal(128, 3)
+	var timeEnergy float64
+	for _, v := range x {
+		timeEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	Serial(x)
+	var freqEnergy float64
+	for _, v := range x {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if d := math.Abs(freqEnergy/float64(len(x)) - timeEnergy); d > 1e-8 {
+		t.Fatalf("Parseval violated by %g", d)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{LogN: 0, P: 1, InternalRadix: 2},
+		{LogN: 8, P: 3, InternalRadix: 2},  // P not a power of two
+		{LogN: 4, P: 8, InternalRadix: 2},  // P^2 > N
+		{LogN: 8, P: 4, InternalRadix: 3},  // radix not a power of two
+		{LogN: 8, P: 4, InternalRadix: 1},  // radix too small
+		{LogN: 40, P: 4, InternalRadix: 2}, // absurd size
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	good := Config{LogN: 12, P: 16, InternalRadix: 8}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if good.N() != 4096 || good.D() != 256 {
+		t.Errorf("N/D wrong: %d %d", good.N(), good.D())
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, tc := range []struct{ logn, p, r int }{
+		{6, 1, 2}, {6, 4, 2}, {8, 4, 8}, {8, 16, 4}, {10, 8, 32}, {10, 32, 8},
+	} {
+		cfg := Config{LogN: tc.logn, P: tc.p, InternalRadix: tc.r}
+		f, err := New(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomSignal(cfg.N(), int64(tc.logn*100+tc.p))
+		f.SetInput(x)
+		f.Run()
+		want := append([]complex128(nil), x...)
+		Serial(want)
+		if d := MaxAbsDiff(f.Output(), want); d > 1e-7 {
+			t.Errorf("logN=%d P=%d r=%d: parallel differs from serial by %g",
+				tc.logn, tc.p, tc.r, d)
+		}
+	}
+}
+
+func TestParallelRadixInvariance(t *testing.T) {
+	// The internal radix is a cache-blocking choice; it must not change
+	// the answer.
+	x := randomSignal(1024, 5)
+	var ref []complex128
+	for _, r := range []int{2, 4, 8, 16, 32} {
+		f, err := New(Config{LogN: 10, P: 4, InternalRadix: r}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.SetInput(x)
+		f.Run()
+		out := f.Output()
+		if ref == nil {
+			ref = out
+			continue
+		}
+		if d := MaxAbsDiff(out, ref); d > 1e-9 {
+			t.Errorf("radix %d changes the spectrum by %g", r, d)
+		}
+	}
+}
+
+func TestTracingDoesNotChangeNumbers(t *testing.T) {
+	x := randomSignal(256, 8)
+	var counter trace.Counter
+	traced, _ := New(Config{LogN: 8, P: 4, InternalRadix: 8}, &counter)
+	plain, _ := New(Config{LogN: 8, P: 4, InternalRadix: 8}, nil)
+	traced.SetInput(x)
+	plain.SetInput(x)
+	traced.Run()
+	plain.Run()
+	if d := MaxAbsDiff(traced.Output(), plain.Output()); d != 0 {
+		t.Fatalf("tracing changed results by %g", d)
+	}
+	if counter.Refs == 0 {
+		t.Fatal("no references emitted")
+	}
+}
+
+func TestFLOPsAccounting(t *testing.T) {
+	cfg := Config{LogN: 10, P: 4, InternalRadix: 8}
+	f, _ := New(cfg, nil)
+	f.SetInput(randomSignal(cfg.N(), 1))
+	f.Run()
+	// 5*N*logN butterfly FLOPs plus 6N twiddle-scale FLOPs.
+	want := 5*1024*10 + 6*1024
+	if math.Abs(f.FLOPs()-float64(want)) > 1 {
+		t.Fatalf("FLOPs = %v, want %d", f.FLOPs(), want)
+	}
+}
+
+func TestTwiddleTable(t *testing.T) {
+	tw := newTwiddleTable(16)
+	for j := 0; j < 32; j++ {
+		want := cmplx.Exp(complex(0, -2*math.Pi*float64(j)/16))
+		if d := cmplx.Abs(tw.root(j) - want); d > 1e-12 {
+			t.Fatalf("root(%d) off by %g", j, d)
+		}
+		if idx := tw.rootIndex(j); idx < 0 || idx >= 8 {
+			t.Fatalf("rootIndex(%d) = %d out of range", j, idx)
+		}
+	}
+}
+
+func TestModelPaperNumbers(t *testing.T) {
+	// Figure 5 plateaus.
+	cases := []struct {
+		radix int
+		want  float64
+	}{
+		{2, 0.6},
+		{8, 0.25},
+		{32, 0.1575},
+	}
+	for _, c := range cases {
+		m := Model{LogN: 26, P: 1024, InternalRadix: c.radix}
+		if got := m.RateAfterLev1(); math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("radix %d plateau = %v, want %v", c.radix, got, c.want)
+		}
+	}
+	// Prototypical ratio: 5*26/4 = 32.5 ("yielding a ratio of 33").
+	m := Model{LogN: 26, P: 1024, InternalRadix: 8}
+	if got := m.CommToCompRatio(); math.Abs(got-32.5) > 1e-9 {
+		t.Errorf("ratio = %v, want 32.5", got)
+	}
+	// Quantization: P=64 leaves the ratio unchanged (still two exchanges).
+	m64 := Model{LogN: 26, P: 64, InternalRadix: 8}
+	if m64.CommToCompRatio() != m.CommToCompRatio() {
+		t.Error("ratio should not change between P=1024 and P=64")
+	}
+	// Grain blowup: R=60 needs ~270 MB per PE; R=100 ~18 TB.
+	if got := GrainForRatio(60) / (1 << 20); math.Abs(got-256) > 1 {
+		t.Errorf("grain for R=60 = %v MB, want 256 MB (paper: ~270)", got)
+	}
+	if got := GrainForRatio(100) / (1 << 40); math.Abs(got-16) > 0.1 {
+		t.Errorf("grain for R=100 = %v TB, want 16 TB (paper: ~18)", got)
+	}
+	// lev1WS stays tiny for realistic radices ("a few Kbytes").
+	if ws := m.Lev1WS(); ws > 4096 {
+		t.Errorf("lev1WS = %d, want under 4 KB", ws)
+	}
+}
+
+// TestSimulationMatchesModel profiles one processor of a 2^14-point FFT
+// and checks the three model plateaus.
+func TestSimulationMatchesModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation cross-check is slow")
+	}
+	cfg := Config{LogN: 14, P: 4, InternalRadix: 8}
+	model := Model{LogN: cfg.LogN, P: cfg.P, InternalRadix: cfg.InternalRadix}
+	prof := cache.NewStackProfiler(8)
+	const pe = 1
+	f, err := New(cfg, trace.PEFilter{PE: pe, Next: profConsumer{prof}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetInput(randomSignal(cfg.N(), 2))
+	f.Run()
+	opsPerPE := f.FLOPs() / float64(cfg.P)
+
+	rate := func(bytes uint64) float64 {
+		return float64(prof.MissesAt(int(bytes/8)).Misses()) / opsPerPE
+	}
+	// The model's plateau constants follow the paper's convention of
+	// counting only the butterfly loop; the measured kernel also pays for
+	// bit reversal, the twiddle scaling and the two exchanges, which at
+	// this small test scale (logN=14 versus the paper's 26) add a
+	// noticeable constant. The checks below therefore bound each plateau
+	// and assert the knee structure rather than exact values; the
+	// remaining offset is documented in EXPERIMENTS.md.
+
+	// Tiny cache: near the 0.6 baseline.
+	if got := rate(64); math.Abs(got-model.RateBaseline()) > 0.15 {
+		t.Errorf("baseline rate = %v, want ~%v", got, model.RateBaseline())
+	}
+	// Radix-8 plateau (lev1WS=240B < 1KB < lev2WS=64KB): between the
+	// butterfly-only 0.25 and baseline, and clearly below baseline.
+	if got := rate(1024); got < model.RateAfterLev1()*0.8 || got > 0.5 {
+		t.Errorf("post-lev1 rate = %v, want in [0.2, 0.5]", got)
+	}
+	// Beyond the partition: the cold/communication floor.
+	if got := rate(1 << 22); got > 0.2 {
+		t.Errorf("comm floor = %v, want <= 0.2", got)
+	}
+	// The knees must be real drops: each plateau well below the previous.
+	r0, r1, r2 := rate(64), rate(1024), rate(1<<22)
+	if !(r0 > 1.3*r1 && r1 > 1.5*r2) {
+		t.Errorf("plateaus not cleanly separated: %v, %v, %v", r0, r1, r2)
+	}
+}
+
+type profConsumer struct{ p *cache.StackProfiler }
+
+func (c profConsumer) Ref(r trace.Ref) {
+	c.p.Access(r.Addr, r.Size, r.Kind == trace.Read)
+}

@@ -1,0 +1,125 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+
+	"wsstudy/internal/workingset"
+)
+
+// Model is the analytic working-set and communication model of Section 5
+// and Figure 5.
+type Model struct {
+	LogN          int
+	P             int
+	InternalRadix int
+}
+
+const bytesPerPoint = 16 // one complex double
+
+// Lev1WS is the internal-radix group: r points plus the (up to r-1)
+// distinct twiddles its butterflies touch — about 32r bytes, a few KB at
+// most.
+func (m Model) Lev1WS() uint64 {
+	r := uint64(m.InternalRadix)
+	return r*bytesPerPoint + (r-1)*bytesPerPoint
+}
+
+// Lev2WS is the data set assigned to one processor, D = N/P points.
+func (m Model) Lev2WS() uint64 {
+	return uint64((1<<m.LogN)/m.P) * bytesPerPoint
+}
+
+// RateBaseline is the miss rate with no blocking captured: each butterfly
+// misses its two points and its twiddle, 6 double words per 10 operations.
+func (m Model) RateBaseline() float64 { return 0.6 }
+
+// RateAfterLev1 is the plateau once an internal-radix group fits: per
+// group, 2r point double words plus 2(r-1) twiddle double words over
+// 5*r*log2(r) operations. Radix 2 gives 0.6, radix 8 gives 0.25, radix 32
+// gives ~0.1575 — the paper's 0.6 / 0.25 / 0.15.
+func (m Model) RateAfterLev1() float64 {
+	r := float64(m.InternalRadix)
+	return (4*r - 2) / (5 * r * math.Log2(r))
+}
+
+// CommRate is the floor once a processor's partition fits: the first
+// touch of the input and the two all-to-all exchanges still miss — about
+// 6 double words per point over 5*log2(N) operations per point.
+func (m Model) CommRate() float64 { return 6 / (5 * float64(m.LogN)) }
+
+// MissRatePerOp evaluates the Figure 5 step curve.
+func (m Model) MissRatePerOp(cacheBytes uint64) float64 {
+	switch {
+	case cacheBytes < m.Lev1WS():
+		return m.RateBaseline()
+	case cacheBytes < m.Lev2WS():
+		return m.RateAfterLev1()
+	default:
+		return m.CommRate()
+	}
+}
+
+// Curve samples the model at the given sizes.
+func (m Model) Curve(sizes []uint64) *workingset.Curve {
+	c := &workingset.Curve{
+		Label:  fmt.Sprintf("FFT n=2^%d P=%d radix %d", m.LogN, m.P, m.InternalRadix),
+		Metric: "misses/op",
+	}
+	for _, s := range sizes {
+		c.Points = append(c.Points, workingset.Point{CacheBytes: s, MissRate: m.MissRatePerOp(s)})
+	}
+	return c
+}
+
+// WorkingSets lists the two-level hierarchy.
+func (m Model) WorkingSets() workingset.Hierarchy {
+	return workingset.Hierarchy{
+		App: "FFT",
+		Levels: []workingset.Level{
+			{Name: "lev1WS", SizeBytes: m.Lev1WS(), MissRate: m.RateAfterLev1(),
+				Note: "one internal-radix group and its twiddles"},
+			{Name: "lev2WS", SizeBytes: m.Lev2WS(), MissRate: m.CommRate(),
+				Note: "a PE's D points"},
+		},
+	}
+}
+
+// FLOPs is 5*N*log2(N).
+func (m Model) FLOPs() float64 {
+	n := float64(uint64(1) << m.LogN)
+	return 5 * n * float64(m.LogN)
+}
+
+// Exchanges is the number of all-to-all data exchanges; the two-step
+// decomposition (valid while P^2 <= N) always uses two, which is why the
+// paper finds the ratio unchanged when P drops from 1024 to 64.
+func (m Model) Exchanges() int { return 2 }
+
+// CommToCompRatio is the actual (quantized) ratio: 5*N*log2(N) operations
+// over 2 exchanges of 2N words each — (5/4)*log2(N), about 33 for the
+// prototypical 64M-point problem.
+func (m Model) CommToCompRatio() float64 {
+	return 5 * float64(m.LogN) / 4
+}
+
+// UnquantizedRatio is the idealized per-superstage ratio (5/2)*log2(D)
+// used in the paper's grain discussion.
+func (m Model) UnquantizedRatio() float64 {
+	d := (1 << m.LogN) / m.P
+	return 2.5 * math.Log2(float64(d))
+}
+
+// GrainForRatio inverts the unquantized ratio: the per-processor memory
+// (bytes) needed to sustain R FLOPs per word, N/P = 2^(2R/5) points.
+// R=60 needs about 270 MB; R=100 about 18 TB — the paper's argument that
+// growing the grain cannot rescue the FFT.
+func GrainForRatio(r float64) float64 {
+	return math.Exp2(2*r/5) * bytesPerPoint
+}
+
+// DataSetBytes is 16*N.
+func (m Model) DataSetBytes() uint64 { return uint64(1<<m.LogN) * bytesPerPoint }
+
+// GrainBytes is the per-processor memory, 16*N/P.
+func (m Model) GrainBytes() uint64 { return m.DataSetBytes() / uint64(m.P) }

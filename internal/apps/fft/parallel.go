@@ -1,0 +1,267 @@
+package fft
+
+import (
+	"fmt"
+
+	"wsstudy/internal/trace"
+)
+
+// Config parameterizes the parallel FFT.
+type Config struct {
+	LogN          int // transform size is N = 2^LogN points
+	P             int // processors (power of two, P*P <= N)
+	InternalRadix int // cache-blocking radix r (power of two >= 2)
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.LogN < 1 || c.LogN > 30 {
+		return fmt.Errorf("fft: LogN %d out of range", c.LogN)
+	}
+	if !IsPow2(c.P) {
+		return fmt.Errorf("fft: P=%d must be a power of two", c.P)
+	}
+	n := 1 << c.LogN
+	if c.P*c.P > n {
+		return fmt.Errorf("fft: need P^2 <= N (P=%d, N=%d) for the two-exchange decomposition", c.P, n)
+	}
+	if !IsPow2(c.InternalRadix) || c.InternalRadix < 2 {
+		return fmt.Errorf("fft: internal radix %d must be a power of two >= 2", c.InternalRadix)
+	}
+	return nil
+}
+
+// N returns the point count.
+func (c Config) N() int { return 1 << c.LogN }
+
+// D returns points per processor, N/P.
+func (c Config) D() int { return c.N() / c.P }
+
+// FFT is the traced parallel transform: the paper's radix-D organization,
+// realized as the four-step factorization FFT_N = (FFT_P twiddle FFT_D)
+// over a cyclic input distribution. Each processor performs one D-point
+// local FFT (log D butterfly stages, blocked by the internal radix), a
+// twiddle scaling, an all-to-all exchange, D/P local P-point FFTs
+// (log P stages), and a final all-to-all that leaves the spectrum blocked
+// across processors. Two exchanges of all 2N double words — exactly the
+// communication accounting behind the paper's ratio of 33 for the
+// prototypical problem.
+type FFT struct {
+	cfg Config
+	tw  *twiddleTable
+
+	local [][]complex128 // per PE, D slots; slot l holds x[p + P*l]
+	recv  [][]complex128 // per PE, D slots; exchange-1 destination
+	out   [][]complex128 // per PE, D slots; blocked spectrum
+
+	localBase, recvBase, outBase []uint64
+	twBase                       uint64
+
+	em    []*trace.Emitter
+	sink  trace.Consumer
+	flops float64
+}
+
+// New builds the transform. sink may be nil for a pure numeric run.
+func New(cfg Config, sink trace.Consumer) (*FFT, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n, p, d := cfg.N(), cfg.P, cfg.D()
+	f := &FFT{
+		cfg:  cfg,
+		tw:   newTwiddleTable(n),
+		sink: sink,
+	}
+	var arena trace.Arena
+	f.twBase = arena.AllocDW(uint64(n)) // n/2 complex roots = n double words
+	alloc := func() ([][]complex128, []uint64) {
+		bufs := make([][]complex128, p)
+		bases := make([]uint64, p)
+		for pe := 0; pe < p; pe++ {
+			bufs[pe] = make([]complex128, d)
+			bases[pe] = arena.AllocDW(uint64(2 * d))
+		}
+		return bufs, bases
+	}
+	f.local, f.localBase = alloc()
+	f.recv, f.recvBase = alloc()
+	f.out, f.outBase = alloc()
+	f.em = make([]*trace.Emitter, p)
+	for pe := range f.em {
+		f.em[pe] = trace.NewEmitter(pe, sink)
+	}
+	return f, nil
+}
+
+// SetInput loads a natural-order input of length N into the cyclic
+// distribution.
+func (f *FFT) SetInput(x []complex128) {
+	if len(x) != f.cfg.N() {
+		panic("fft: input length mismatch")
+	}
+	p := f.cfg.P
+	for n, v := range x {
+		f.local[n%p][n/p] = v
+	}
+}
+
+// Output returns the natural-order spectrum after Run.
+func (f *FFT) Output() []complex128 {
+	d := f.cfg.D()
+	x := make([]complex128, f.cfg.N())
+	for m := range x {
+		x[m] = f.out[m/d][m%d]
+	}
+	return x
+}
+
+// FLOPs reports the floating-point operations of the last Run.
+func (f *FFT) FLOPs() float64 { return f.flops }
+
+// pointAddr returns the address of complex slot i in a per-PE region.
+func pointAddr(base uint64, i int) uint64 { return base + uint64(i)*16 }
+
+// loadPoint/storePoint emit the two-double-word accesses of one complex.
+func (f *FFT) loadPoint(e *trace.Emitter, base uint64, i int) {
+	e.Load(pointAddr(base, i), 16)
+}
+
+func (f *FFT) storePoint(e *trace.Emitter, base uint64, i int) {
+	e.Store(pointAddr(base, i), 16)
+}
+
+// loadRoot emits the table lookup for w_N^j and returns its value.
+func (f *FFT) loadRoot(e *trace.Emitter, j int) complex128 {
+	e.Load(f.twBase+uint64(f.tw.rootIndex(j))*16, 16)
+	return f.tw.root(j)
+}
+
+// Run executes the transform, emitting every processor's references.
+// Epoch 0 spans the whole run (the FFT is a one-shot computation; the
+// paper does not exclude its cold misses).
+func (f *FFT) Run() {
+	if ec, ok := f.sink.(trace.EpochConsumer); ok {
+		ec.BeginEpoch(0)
+	}
+	f.flops = 0
+	p, d, n := f.cfg.P, f.cfg.D(), f.cfg.N()
+	dp := d / p
+
+	// Step 1: local D-point FFTs (log D stages, radix-blocked), then the
+	// step-2 twiddle scaling w_N^(p*k2).
+	for pe := 0; pe < p; pe++ {
+		f.localFFT(f.local[pe], f.localBase[pe], f.em[pe], n/d)
+		for k2 := 0; k2 < d; k2++ {
+			f.loadPoint(f.em[pe], f.localBase[pe], k2)
+			w := f.loadRoot(f.em[pe], pe*k2)
+			f.local[pe][k2] *= w
+			f.storePoint(f.em[pe], f.localBase[pe], k2)
+			f.flops += 6
+		}
+	}
+
+	// Exchange 1: receiver pulls. PE pe collects sequence j (global
+	// k2 = pe*dp + j) from every other processor.
+	for pe := 0; pe < p; pe++ {
+		e := f.em[pe]
+		for j := 0; j < dp; j++ {
+			k2 := pe*dp + j
+			for n1 := 0; n1 < p; n1++ {
+				f.loadPoint(e, f.localBase[n1], k2)
+				f.recv[pe][j*p+n1] = f.local[n1][k2]
+				f.storePoint(e, f.recvBase[pe], j*p+n1)
+			}
+		}
+	}
+
+	// Step 3: P-point FFTs on each received sequence.
+	for pe := 0; pe < p; pe++ {
+		for j := 0; j < dp; j++ {
+			f.localFFT(f.recv[pe][j*p:(j+1)*p],
+				pointAddr(f.recvBase[pe], j*p), f.em[pe], n/p)
+		}
+	}
+
+	// Exchange 2: blocked redistribution of the spectrum. PE pe owns
+	// X[pe*D .. (pe+1)*D); X[k2 + D*k1] sits at recv[k2/dp][(k2%dp)*p+k1].
+	for pe := 0; pe < p; pe++ {
+		e := f.em[pe]
+		for t := 0; t < d; t++ {
+			k2, k1 := t, pe
+			src := k2 / dp
+			slot := (k2%dp)*p + k1
+			f.loadPoint(e, f.recvBase[src], slot)
+			f.out[pe][t] = f.recv[src][slot]
+			f.storePoint(e, f.outBase[pe], t)
+		}
+	}
+}
+
+// localFFT runs the shared blocked engine with this transform's twiddle
+// table and internal radix.
+func (f *FFT) localFFT(buf []complex128, base uint64, e *trace.Emitter, rootStride int) {
+	blockedFFT(buf, base, e, f.tw, f.twBase, rootStride, f.cfg.InternalRadix, &f.flops)
+}
+
+// blockedFFT runs an in-place radix-2 DIT FFT over buf (a power-of-two
+// length), blocked into internal-radix groups: the stages are processed in
+// chunks of log2(radix), and within a chunk each closed group of `radix`
+// points is taken through all the chunk's stages before the next group is
+// touched — the paper's "smaller internal groups". rootStride maps local
+// twiddle exponents onto the shared w table (stride tw.n/len(buf)); flops
+// accumulates the operation count.
+func blockedFFT(buf []complex128, base uint64, e *trace.Emitter, tw *twiddleTable, twBase uint64, rootStride, radix int, flops *float64) {
+	l := len(buf)
+	logl := Log2(l)
+	// Bit-reversal permutation.
+	for i := 0; i < l; i++ {
+		j := bitrev(i, logl)
+		if i < j {
+			e.Load(pointAddr(base, i), 16)
+			e.Load(pointAddr(base, j), 16)
+			buf[i], buf[j] = buf[j], buf[i]
+			e.Store(pointAddr(base, i), 16)
+			e.Store(pointAddr(base, j), 16)
+		}
+	}
+	m := Log2(radix)
+	for t := 0; t < logl; t += m {
+		mm := m
+		if t+mm > logl {
+			mm = logl - t
+		}
+		groupSpan := 1 << (t + mm) // indices a group spreads over
+		stride := 1 << t
+		for high := 0; high < l; high += groupSpan {
+			for low := 0; low < stride; low++ {
+				// The group is {high + low + s*stride : s in [0, 2^mm)}.
+				// Run its mm stages depth-first.
+				for q := 0; q < mm; q++ {
+					half := 1 << q
+					span := half * 2
+					for gb := 0; gb < 1<<mm; gb += span {
+						for jj := 0; jj < half; jj++ {
+							i0 := high + low + (gb+jj)*stride
+							i1 := i0 + half*stride
+							// Twiddle exponent: (index mod 2^(t+q)) scaled
+							// to the w table.
+							jtw := (low + jj*stride) * (l >> (t + q + 1)) * rootStride
+							e.Load(twBase+uint64(tw.rootIndex(jtw))*16, 16)
+							w := tw.root(jtw)
+							e.Load(pointAddr(base, i0), 16)
+							e.Load(pointAddr(base, i1), 16)
+							u := buf[i0]
+							v := buf[i1] * w
+							buf[i0] = u + v
+							buf[i1] = u - v
+							e.Store(pointAddr(base, i0), 16)
+							e.Store(pointAddr(base, i1), 16)
+							*flops += 10
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package fft
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestFFTLinearityProperty: FFT(a*x + y) == a*FFT(x) + FFT(y).
+func TestFFTLinearityProperty(t *testing.T) {
+	check := func(seed int64, aRe, aIm float64) bool {
+		if aRe != aRe || aIm != aIm { // NaN guards from quick
+			return true
+		}
+		if aRe > 1e3 || aRe < -1e3 || aIm > 1e3 || aIm < -1e3 {
+			return true
+		}
+		a := complex(aRe, aIm)
+		const n = 64
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		combo := make([]complex128, n)
+		for i := range combo {
+			combo[i] = a*x[i] + y[i]
+		}
+		fx := append([]complex128(nil), x...)
+		fy := append([]complex128(nil), y...)
+		Serial(fx)
+		Serial(fy)
+		Serial(combo)
+		for i := range combo {
+			want := a*fx[i] + fy[i]
+			scale := cmplx.Abs(want) + 1
+			if cmplx.Abs(combo[i]-want)/scale > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFFTShiftTheoremProperty: a circular shift in time multiplies the
+// spectrum by a phase ramp.
+func TestFFTShiftTheoremProperty(t *testing.T) {
+	check := func(seed int64, shiftRaw uint8) bool {
+		const n = 64
+		shift := int(shiftRaw) % n
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		shifted := make([]complex128, n)
+		for i := range x {
+			shifted[i] = x[(i+shift)%n]
+		}
+		fx := append([]complex128(nil), x...)
+		Serial(fx)
+		Serial(shifted)
+		tw := newTwiddleTable(n)
+		for k := range fx {
+			// x[(i+s)] transforms to X[k] * w_n^{-ks}.
+			want := fx[k] * cmplx.Conj(tw.root(k*shift))
+			if cmplx.Abs(shifted[k]-want) > 1e-8*(cmplx.Abs(want)+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelSerialAgreementProperty fuzzes the parallel decomposition
+// against the serial kernel over random shapes.
+func TestParallelSerialAgreementProperty(t *testing.T) {
+	check := func(seed int64, shape uint8) bool {
+		logn := 6 + int(shape%4)     // 64..512 points
+		p := 1 << (int(shape/4) % 3) // 1, 2, 4
+		radix := []int{2, 4, 8}[int(shape/16)%3]
+		cfg := Config{LogN: logn, P: p, InternalRadix: radix}
+		if cfg.Validate() != nil {
+			return true
+		}
+		f, err := New(cfg, nil)
+		if err != nil {
+			return true
+		}
+		x := randomSignal(cfg.N(), seed)
+		f.SetInput(x)
+		f.Run()
+		want := append([]complex128(nil), x...)
+		Serial(want)
+		return MaxAbsDiff(f.Output(), want) < 1e-7
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInverseRoundTrip recovers the input through the conjugate trick:
+// IFFT(x) = conj(FFT(conj(x)))/n.
+func TestInverseRoundTrip(t *testing.T) {
+	const n = 256
+	x := randomSignal(n, 21)
+	freq := append([]complex128(nil), x...)
+	Serial(freq)
+	inv := make([]complex128, n)
+	for i, v := range freq {
+		inv[i] = cmplx.Conj(v)
+	}
+	Serial(inv)
+	for i := range inv {
+		inv[i] = cmplx.Conj(inv[i]) / complex(float64(n), 0)
+	}
+	if d := MaxAbsDiff(inv, x); d > 1e-9 {
+		t.Fatalf("round trip error %g", d)
+	}
+}

@@ -1,0 +1,157 @@
+package lu
+
+import (
+	"math"
+	"testing"
+
+	"wsstudy/internal/cache"
+	"wsstudy/internal/trace"
+)
+
+func TestBandMatrixBasics(t *testing.T) {
+	m := NewBandMatrix(6, 2, nil)
+	m.Set(3, 1, 7)
+	if m.At(3, 1) != 7 || m.At(1, 3) != 7 {
+		t.Fatal("symmetric readback failed")
+	}
+	if m.At(5, 0) != 0 {
+		t.Fatal("outside-band entry should be zero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-band Set accepted")
+		}
+	}()
+	m.Set(5, 0, 1)
+}
+
+func TestBandMatrixValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad dims accepted")
+		}
+	}()
+	NewBandMatrix(4, 4, nil)
+}
+
+func TestGridLaplacianStructure(t *testing.T) {
+	m := GridLaplacian(3, nil) // 9x9, w=3
+	if m.N != 9 || m.W != 3 {
+		t.Fatalf("dims %d/%d", m.N, m.W)
+	}
+	if m.At(4, 4) != 4 {
+		t.Fatal("diagonal should be 4")
+	}
+	if m.At(4, 3) != -1 || m.At(4, 1) != -1 {
+		t.Fatal("neighbor couplings should be -1")
+	}
+	// Row boundary: point 3 (start of row 1) has no left neighbor.
+	if m.At(3, 2) != 0 {
+		t.Fatal("grid row boundary should break the -1 chain")
+	}
+}
+
+func TestBandCholeskyReconstructs(t *testing.T) {
+	for _, s := range []int{3, 4, 6} {
+		m := GridLaplacian(s, nil)
+		orig := m.Clone()
+		if _, err := BandCholesky(m, Grid{2, 2}, nil); err != nil {
+			t.Fatalf("s=%d: %v", s, err)
+		}
+		recon := m.MulLLTBand()
+		for i := 0; i < m.N; i++ {
+			for j := 0; j < m.N; j++ {
+				if d := math.Abs(recon[i][j] - orig.At(i, j)); d > 1e-9 {
+					t.Fatalf("s=%d: LL^T(%d,%d) off by %g", s, i, j, d)
+				}
+			}
+		}
+	}
+}
+
+func TestBandCholeskyMatchesDense(t *testing.T) {
+	// Factor the same Laplacian densely (blocked Cholesky) and banded:
+	// the factors must agree within the band.
+	const s = 4
+	band := GridLaplacian(s, nil)
+	dense := NewBlockMatrix(16, 4, nil)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			dense.Set(i, j, band.At(i, j))
+		}
+	}
+	if _, err := BandCholesky(band, Grid{1, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Cholesky(dense); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		for j := maxInt(0, i-band.W); j <= i; j++ {
+			if d := math.Abs(band.At(i, j) - dense.At(i, j)); d > 1e-9 {
+				t.Fatalf("factors disagree at (%d,%d) by %g", i, j, d)
+			}
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestBandCholeskyRejectsIndefinite(t *testing.T) {
+	m := NewBandMatrix(4, 1, nil)
+	m.Set(0, 0, -1)
+	if _, err := BandCholesky(m, Grid{1, 1}, nil); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+// TestBandWorkingSetScalesWithBandwidth: the family contrast — the sparse
+// kernel's important working set is two band rows, O(sqrt n) for grids,
+// unlike dense LU's constant blocks. Doubling the grid side doubles the
+// knee location.
+func TestBandWorkingSetScalesWithBandwidth(t *testing.T) {
+	knee := func(s int) float64 {
+		m := GridLaplacian(s, nil)
+		prof := cache.NewStackProfiler(8)
+		sink := trace.Func(func(r trace.Ref) {
+			prof.Access(r.Addr, r.Size, r.Kind == trace.Read)
+		})
+		if _, err := BandCholesky(m, Grid{1, 1}, sink); err != nil {
+			t.Fatal(err)
+		}
+		// Rate at a probe sized for the SMALL problem's two band rows.
+		probe := uint64(2 * (s + 1) * 8)
+		return float64(prof.MissesAt(int(probe/8)).Misses()) / float64(prof.Accesses())
+	}
+	model := BandModel{N: 32 * 32, W: 32, P: 1}
+	if model.Lev1WS() != uint64(2*33*8) {
+		t.Fatalf("model lev1WS = %d", model.Lev1WS())
+	}
+	// A cache sized for s=16's two band rows works at s=16 but not s=32
+	// (where the band rows are twice as long).
+	at16 := knee(16)
+	m32 := GridLaplacian(32, nil)
+	prof := cache.NewStackProfiler(8)
+	sink := trace.Func(func(r trace.Ref) {
+		prof.Access(r.Addr, r.Size, r.Kind == trace.Read)
+	})
+	if _, err := BandCholesky(m32, Grid{1, 1}, sink); err != nil {
+		t.Fatal(err)
+	}
+	probe16 := 2 * (16 + 1) * 8 / 8
+	at32small := float64(prof.MissesAt(probe16).Misses()) / float64(prof.Accesses())
+	probe32 := 2 * (32 + 1) * 8 / 8
+	at32right := float64(prof.MissesAt(probe32).Misses()) / float64(prof.Accesses())
+	if at32small < 1.5*at32right {
+		t.Errorf("s=32 rate at an s=16-sized cache (%v) should be well above its own knee (%v)",
+			at32small, at32right)
+	}
+	if at16 > 1.8*at32right {
+		t.Errorf("both problems should reach similar post-knee rates: %v vs %v", at16, at32right)
+	}
+}

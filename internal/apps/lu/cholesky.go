@@ -1,0 +1,258 @@
+package lu
+
+import (
+	"fmt"
+	"math"
+
+	"wsstudy/internal/trace"
+)
+
+// Blocked Cholesky factorization. Section 3 notes that the LU analysis
+// "applies to a wider set of applications", naming dense Cholesky
+// explicitly; this file provides that sibling kernel on the same
+// BlockMatrix substrate, with the same 2-D scatter decomposition and the
+// same traced-reference machinery, so the working-set claims can be
+// checked on a second member of the class.
+//
+// The factorization computes A = L * L^T in the lower triangle (the upper
+// triangle is ignored); A must be symmetric positive definite.
+
+// Cholesky performs in-place blocked Cholesky factorization, leaving L in
+// the lower triangle (diagonal included).
+func Cholesky(m *BlockMatrix) error {
+	_, err := cholesky(m, Grid{1, 1}, nil)
+	return err
+}
+
+// CholeskyTraced factors with the parallel structure of the 2-D scatter
+// decomposition, emitting every processor's references, exactly like
+// FactorTraced.
+func CholeskyTraced(m *BlockMatrix, grid Grid, sink trace.Consumer) (TraceStats, error) {
+	if grid.PR <= 0 || grid.PC <= 0 {
+		return TraceStats{}, fmt.Errorf("lu: invalid grid %+v", grid)
+	}
+	return cholesky(m, grid, sink)
+}
+
+func cholesky(m *BlockMatrix, grid Grid, sink trace.Consumer) (TraceStats, error) {
+	stats := TraceStats{
+		FLOPsByPE: make([]float64, grid.P()),
+		FLOPsByK:  make([]float64, m.NB),
+	}
+	emitters := make([]*trace.Emitter, grid.P())
+	for pe := range emitters {
+		emitters[pe] = trace.NewEmitter(pe, sink)
+	}
+	ec, _ := sink.(trace.EpochConsumer)
+
+	for k := 0; k < m.NB; k++ {
+		if ec != nil {
+			ec.BeginEpoch(k)
+		}
+		flops := 0.0
+		// Factor the diagonal block: A_kk = L_kk L_kk^T.
+		pe := grid.Owner(k, k)
+		f, err := m.cholDiag(k, emitters[pe])
+		if err != nil {
+			return stats, fmt.Errorf("lu: cholesky K=%d: %w", k, err)
+		}
+		stats.FLOPsByPE[pe] += f
+		flops += f
+
+		// Panel: A_ik <- A_ik * L_kk^-T for i > k.
+		for i := k + 1; i < m.NB; i++ {
+			pe := grid.Owner(i, k)
+			f := m.cholPanel(i, k, emitters[pe])
+			stats.FLOPsByPE[pe] += f
+			flops += f
+		}
+
+		// Trailing update on the lower triangle only:
+		// A_ij -= A_ik * A_jk^T for k < j <= i.
+		for i := k + 1; i < m.NB; i++ {
+			for j := k + 1; j <= i; j++ {
+				pe := grid.Owner(i, j)
+				f := m.cholUpdate(i, j, k, emitters[pe])
+				stats.FLOPsByPE[pe] += f
+				flops += f
+			}
+		}
+		stats.FLOPsByK[k] = flops
+	}
+	return stats, nil
+}
+
+// cholDiag runs unblocked Cholesky on diagonal block (k,k).
+func (m *BlockMatrix) cholDiag(k int, e *trace.Emitter) (float64, error) {
+	blk := m.block(k, k)
+	b := m.B
+	flops := 0.0
+	for p := 0; p < b; p++ {
+		// Diagonal element: sqrt(a_pp - sum of squares of the row).
+		app := m.elemAddr(k, k, p, p)
+		e.LoadDW(app)
+		sum := blk[p*b+p]
+		for c := 0; c < p; c++ {
+			apc := m.elemAddr(k, k, p, c)
+			e.LoadDW(apc)
+			v := blk[c*b+p]
+			sum -= v * v
+			flops += 2
+		}
+		if sum <= 0 {
+			return flops, fmt.Errorf("matrix not positive definite at block element %d", p)
+		}
+		d := math.Sqrt(sum)
+		blk[p*b+p] = d
+		e.StoreDW(app)
+		inv := 1 / d
+		for i := p + 1; i < b; i++ {
+			aip := m.elemAddr(k, k, i, p)
+			e.LoadDW(aip)
+			s := blk[p*b+i]
+			for c := 0; c < p; c++ {
+				e.LoadDW(m.elemAddr(k, k, i, c))
+				e.LoadDW(m.elemAddr(k, k, p, c))
+				s -= blk[c*b+i] * blk[c*b+p]
+				flops += 2
+			}
+			blk[p*b+i] = s * inv
+			e.StoreDW(aip)
+			flops++
+		}
+	}
+	return flops, nil
+}
+
+// cholPanel computes X <- X * L^-T for X = A_ik and L the factored
+// diagonal block, column by column (forward substitution in c).
+func (m *BlockMatrix) cholPanel(bi, bk int, e *trace.Emitter) float64 {
+	x := m.block(bi, bk)
+	l := m.block(bk, bk)
+	b := m.B
+	flops := 0.0
+	// X L^T = A  =>  column j of X depends on columns c < j.
+	for j := 0; j < b; j++ {
+		for c := 0; c < j; c++ {
+			ljc := m.elemAddr(bk, bk, j, c)
+			e.LoadDW(ljc)
+			v := l[c*b+j]
+			for i := 0; i < b; i++ {
+				xic := m.elemAddr(bi, bk, i, c)
+				xij := m.elemAddr(bi, bk, i, j)
+				e.LoadDW(xic)
+				e.LoadDW(xij)
+				x[j*b+i] -= x[c*b+i] * v
+				e.StoreDW(xij)
+				flops += 2
+			}
+		}
+		ljj := m.elemAddr(bk, bk, j, j)
+		e.LoadDW(ljj)
+		inv := 1 / l[j*b+j]
+		for i := 0; i < b; i++ {
+			xij := m.elemAddr(bi, bk, i, j)
+			e.LoadDW(xij)
+			x[j*b+i] *= inv
+			e.StoreDW(xij)
+			flops++
+		}
+	}
+	return flops
+}
+
+// cholUpdate performs C -= A * B^T for C = A_ij, A = A_ik, B = A_jk, in
+// the same axpy form as the LU update so the working sets match.
+func (m *BlockMatrix) cholUpdate(bi, bj, bk int, e *trace.Emitter) float64 {
+	c := m.block(bi, bj)
+	a := m.block(bi, bk)
+	bb := m.block(bj, bk)
+	b := m.B
+	for j := 0; j < b; j++ {
+		cj := c[j*b : j*b+b]
+		for k := 0; k < b; k++ {
+			// B^T element (k, j) is B(j, k).
+			e.LoadDW(m.elemAddr(bj, bk, j, k))
+			bjk := bb[k*b+j]
+			ak := a[k*b : k*b+b]
+			for i := 0; i < b; i++ {
+				e.LoadDW(m.elemAddr(bi, bk, i, k))
+				cij := m.elemAddr(bi, bj, i, j)
+				e.LoadDW(cij)
+				cj[i] -= ak[i] * bjk
+				e.StoreDW(cij)
+			}
+		}
+	}
+	return float64(2 * b * b * b)
+}
+
+// MulLLT computes L * L^T from the lower-triangular factor, for
+// verification.
+func (m *BlockMatrix) MulLLT() *BlockMatrix {
+	out := NewBlockMatrix(m.N, m.B, nil)
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			sum := 0.0
+			for k := 0; k <= kmax; k++ {
+				sum += m.At(i, k) * m.At(j, k)
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out
+}
+
+// FillRandomSPD fills the matrix with a random symmetric positive definite
+// matrix (diagonally dominant symmetric construction).
+func (m *BlockMatrix) FillRandomSPD(seed int64) {
+	m.FillRandomDominant(seed)
+	// Symmetrize: A <- (A + A^T)/2, keeping the dominant diagonal.
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < i; j++ {
+			v := (m.At(i, j) + m.At(j, i)) / 2
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+}
+
+// CholeskyModel adapts the Section 3 analysis to Cholesky: the working
+// sets are identical (the kernels share the block update); only the
+// operation and communication counts halve (n^3/3 FLOPs, triangular
+// traffic).
+type CholeskyModel struct {
+	N, B, P int
+}
+
+// FLOPs is n^3/3.
+func (mo CholeskyModel) FLOPs() float64 {
+	n := float64(mo.N)
+	return n * n * n / 3
+}
+
+// CommVolumeWords is half the LU volume (only the lower triangle moves).
+func (mo CholeskyModel) CommVolumeWords() float64 {
+	return luModel(mo).CommVolumeWords() / 2
+}
+
+// CommToCompRatio matches LU's 2n/(3 sqrt(P)) — both halve.
+func (mo CholeskyModel) CommToCompRatio() float64 {
+	return mo.FLOPs() / mo.CommVolumeWords()
+}
+
+// WorkingSets reuses the LU hierarchy (identical block kernels).
+func (mo CholeskyModel) WorkingSets() interface{ String() string } {
+	return luModel(mo).WorkingSets()
+}
+
+// MissRatePerFLOP reuses the LU step curve.
+func (mo CholeskyModel) MissRatePerFLOP(cacheBytes uint64) float64 {
+	return luModel(mo).MissRatePerFLOP(cacheBytes)
+}
+
+func luModel(mo CholeskyModel) Model { return Model{N: mo.N, B: mo.B, P: mo.P} }

@@ -1,0 +1,122 @@
+package lu
+
+import (
+	"math"
+	"testing"
+
+	"wsstudy/internal/trace"
+)
+
+func TestCholeskyReconstructs(t *testing.T) {
+	for _, cfg := range []struct{ n, b int }{{8, 4}, {16, 4}, {24, 8}, {32, 16}} {
+		m := NewBlockMatrix(cfg.n, cfg.b, nil)
+		m.FillRandomSPD(1)
+		orig := m.Clone()
+		if err := Cholesky(m); err != nil {
+			t.Fatalf("n=%d b=%d: %v", cfg.n, cfg.b, err)
+		}
+		recon := m.MulLLT()
+		// Compare against the lower triangle of the original (Cholesky
+		// only reads/writes it; symmetry makes that the whole matrix).
+		maxDiff := 0.0
+		for i := 0; i < cfg.n; i++ {
+			for j := 0; j <= i; j++ {
+				if d := math.Abs(recon.At(i, j) - orig.At(i, j)); d > maxDiff {
+					maxDiff = d
+				}
+			}
+		}
+		if maxDiff > 1e-9*float64(cfg.n) {
+			t.Errorf("n=%d b=%d: reconstruction error %g", cfg.n, cfg.b, maxDiff)
+		}
+	}
+}
+
+func TestCholeskyMatchesUnblocked(t *testing.T) {
+	a := NewBlockMatrix(16, 16, nil)
+	a.FillRandomSPD(3)
+	b := NewBlockMatrix(16, 4, nil)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			b.Set(i, j, a.At(i, j))
+		}
+	}
+	if err := Cholesky(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Cholesky(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		for j := 0; j <= i; j++ {
+			if d := math.Abs(a.At(i, j) - b.At(i, j)); d > 1e-9 {
+				t.Fatalf("factors disagree at (%d,%d) by %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m := NewBlockMatrix(8, 4, nil)
+	// Negative diagonal: not SPD.
+	for i := 0; i < 8; i++ {
+		m.Set(i, i, -1)
+	}
+	if err := Cholesky(m); err == nil {
+		t.Fatal("expected not-positive-definite error")
+	}
+}
+
+func TestCholeskyTracedConsistency(t *testing.T) {
+	a := NewBlockMatrix(24, 8, nil)
+	a.FillRandomSPD(5)
+	b := a.Clone()
+	if err := Cholesky(a); err != nil {
+		t.Fatal(err)
+	}
+	var counter trace.Counter
+	stats, err := CholeskyTraced(b, Grid{2, 2}, &counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		for j := 0; j <= i; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatalf("traced Cholesky changed results at (%d,%d)", i, j)
+			}
+		}
+	}
+	if counter.Refs == 0 {
+		t.Fatal("no references emitted")
+	}
+	// FLOPs near n^3/3.
+	want := 24.0 * 24 * 24 / 3
+	if got := stats.TotalFLOPs(); math.Abs(got-want)/want > 0.4 {
+		t.Errorf("FLOPs = %v, want within 40%% of %v", got, want)
+	}
+	// Work is distributed.
+	for pe, f := range stats.FLOPsByPE {
+		if f == 0 {
+			t.Errorf("PE %d idle", pe)
+		}
+	}
+}
+
+func TestCholeskyModelHalvesLU(t *testing.T) {
+	cm := CholeskyModel{N: 10000, B: 16, P: 1024}
+	lm := Model{N: 10000, B: 16, P: 1024}
+	if math.Abs(cm.FLOPs()-lm.FLOPs()/2) > 1 {
+		t.Error("Cholesky FLOPs should be half of LU")
+	}
+	// Ratio identical: both computation and communication halve.
+	if math.Abs(cm.CommToCompRatio()-lm.CommToCompRatio()) > 1e-9 {
+		t.Error("Cholesky ratio should equal LU's")
+	}
+	// Working sets identical (same block kernels).
+	if cm.MissRatePerFLOP(4096) != lm.MissRatePerFLOP(4096) {
+		t.Error("Cholesky working sets should match LU")
+	}
+	if cm.WorkingSets().String() == "" {
+		t.Error("empty hierarchy")
+	}
+}

@@ -1,0 +1,229 @@
+package lu
+
+import (
+	"fmt"
+
+	"wsstudy/internal/trace"
+)
+
+// TraceStats summarizes a traced factorization.
+type TraceStats struct {
+	FLOPsByPE []float64 // floating-point operations performed by each PE
+	FLOPsByK  []float64 // operations per K iteration (epoch)
+}
+
+// TotalFLOPs sums the per-PE operation counts.
+func (s TraceStats) TotalFLOPs() float64 {
+	total := 0.0
+	for _, f := range s.FLOPsByPE {
+		total += f
+	}
+	return total
+}
+
+// Factor performs in-place blocked LU factorization (no pivoting; intended
+// for diagonally dominant systems) and returns an error if a zero pivot
+// appears. After it returns, the matrix holds L below the diagonal (unit
+// diagonal implicit) and U on and above it.
+func Factor(m *BlockMatrix) error {
+	_, err := factor(m, Grid{1, 1}, nil)
+	return err
+}
+
+// FactorTraced factors m with the parallel structure of the paper's
+// Section 3 — 2-D scatter decomposition over grid, owner-computes — and
+// emits every processor's memory references into sink. The serial emission
+// order within one K iteration (factor, then row/column scaling, then
+// trailing updates) respects the data dependences of the parallel program,
+// so write-before-read orderings seen by the coherence layer are correct.
+//
+// sink may implement trace.EpochConsumer; it then receives BeginEpoch(K)
+// at each outer iteration, which drives cold-start exclusion.
+func FactorTraced(m *BlockMatrix, grid Grid, sink trace.Consumer) (TraceStats, error) {
+	if grid.PR <= 0 || grid.PC <= 0 {
+		return TraceStats{}, fmt.Errorf("lu: invalid grid %+v", grid)
+	}
+	return factor(m, grid, sink)
+}
+
+func factor(m *BlockMatrix, grid Grid, sink trace.Consumer) (TraceStats, error) {
+	stats := TraceStats{
+		FLOPsByPE: make([]float64, grid.P()),
+		FLOPsByK:  make([]float64, m.NB),
+	}
+	emitters := make([]*trace.Emitter, grid.P())
+	for pe := range emitters {
+		emitters[pe] = trace.NewEmitter(pe, sink)
+	}
+	ec, _ := sink.(trace.EpochConsumer)
+
+	for k := 0; k < m.NB; k++ {
+		if ec != nil {
+			ec.BeginEpoch(k)
+		}
+		flops := 0.0
+		// Step 1: factor the diagonal block.
+		pe := grid.Owner(k, k)
+		f, err := m.factorDiag(k, emitters[pe])
+		if err != nil {
+			return stats, fmt.Errorf("lu: K=%d: %w", k, err)
+		}
+		stats.FLOPsByPE[pe] += f
+		flops += f
+
+		// Step 2: scale column K blocks (L panel) and row K blocks (U panel).
+		for i := k + 1; i < m.NB; i++ {
+			pe := grid.Owner(i, k)
+			f := m.solveColumnBlock(i, k, emitters[pe])
+			stats.FLOPsByPE[pe] += f
+			flops += f
+		}
+		for j := k + 1; j < m.NB; j++ {
+			pe := grid.Owner(k, j)
+			f := m.solveRowBlock(k, j, emitters[pe])
+			stats.FLOPsByPE[pe] += f
+			flops += f
+		}
+
+		// Step 3: trailing update, the dominant matrix-multiply phase.
+		for i := k + 1; i < m.NB; i++ {
+			for j := k + 1; j < m.NB; j++ {
+				pe := grid.Owner(i, j)
+				f := m.updateBlock(i, j, k, emitters[pe])
+				stats.FLOPsByPE[pe] += f
+				flops += f
+			}
+		}
+		stats.FLOPsByK[k] = flops
+	}
+	return stats, nil
+}
+
+// factorDiag runs unblocked LU on diagonal block (k,k).
+func (m *BlockMatrix) factorDiag(k int, e *trace.Emitter) (float64, error) {
+	blk := m.block(k, k)
+	b := m.B
+	flops := 0.0
+	for p := 0; p < b; p++ {
+		pivAddr := m.elemAddr(k, k, p, p)
+		e.LoadDW(pivAddr)
+		piv := blk[p*b+p]
+		if piv == 0 {
+			return flops, fmt.Errorf("zero pivot at block element %d", p)
+		}
+		inv := 1 / piv
+		for i := p + 1; i < b; i++ {
+			a := m.elemAddr(k, k, i, p)
+			e.LoadDW(a)
+			blk[p*b+i] *= inv
+			e.StoreDW(a)
+			flops++
+		}
+		for j := p + 1; j < b; j++ {
+			upj := m.elemAddr(k, k, p, j)
+			e.LoadDW(upj)
+			upjv := blk[j*b+p]
+			for i := p + 1; i < b; i++ {
+				lip := m.elemAddr(k, k, i, p)
+				cij := m.elemAddr(k, k, i, j)
+				e.LoadDW(lip)
+				e.LoadDW(cij)
+				blk[j*b+i] -= blk[p*b+i] * upjv
+				e.StoreDW(cij)
+				flops += 2
+			}
+		}
+	}
+	return flops, nil
+}
+
+// solveColumnBlock computes A[I][K] <- A[I][K] * U_KK^{-1} (right solve
+// with the upper-triangular factor of the diagonal block), column by
+// column so the reference stream reuses one result column at a time.
+func (m *BlockMatrix) solveColumnBlock(bi, bk int, e *trace.Emitter) float64 {
+	x := m.block(bi, bk)
+	u := m.block(bk, bk)
+	b := m.B
+	flops := 0.0
+	for j := 0; j < b; j++ {
+		// x[:,j] = (x[:,j] - sum_{c<j} x[:,c]*U[c][j]) / U[j][j]
+		for c := 0; c < j; c++ {
+			ucj := m.elemAddr(bk, bk, c, j)
+			e.LoadDW(ucj)
+			ucjv := u[j*b+c]
+			for i := 0; i < b; i++ {
+				xic := m.elemAddr(bi, bk, i, c)
+				xij := m.elemAddr(bi, bk, i, j)
+				e.LoadDW(xic)
+				e.LoadDW(xij)
+				x[j*b+i] -= x[c*b+i] * ucjv
+				e.StoreDW(xij)
+				flops += 2
+			}
+		}
+		ujj := m.elemAddr(bk, bk, j, j)
+		e.LoadDW(ujj)
+		inv := 1 / u[j*b+j]
+		for i := 0; i < b; i++ {
+			xij := m.elemAddr(bi, bk, i, j)
+			e.LoadDW(xij)
+			x[j*b+i] *= inv
+			e.StoreDW(xij)
+			flops++
+		}
+	}
+	return flops
+}
+
+// solveRowBlock computes A[K][J] <- L_KK^{-1} * A[K][J] (left solve with
+// the unit-lower-triangular factor), column by column.
+func (m *BlockMatrix) solveRowBlock(bk, bj int, e *trace.Emitter) float64 {
+	x := m.block(bk, bj)
+	l := m.block(bk, bk)
+	b := m.B
+	flops := 0.0
+	for c := 0; c < b; c++ {
+		for i := 1; i < b; i++ {
+			xic := m.elemAddr(bk, bj, i, c)
+			e.LoadDW(xic)
+			sum := x[c*b+i]
+			for k := 0; k < i; k++ {
+				lik := m.elemAddr(bk, bk, i, k)
+				xkc := m.elemAddr(bk, bj, k, c)
+				e.LoadDW(lik)
+				e.LoadDW(xkc)
+				sum -= l[k*b+i] * x[c*b+k]
+				flops += 2
+			}
+			x[c*b+i] = sum
+			e.StoreDW(xic)
+		}
+	}
+	return flops
+}
+
+// updateBlock performs C -= A*Bk for C = A[I][J], A = A[I][K],
+// Bk = A[K][J]: the paper's Step 6, in axpy form (j outer, k middle,
+// i inner) so that lev1WS is two block columns and lev2WS the A block.
+func (m *BlockMatrix) updateBlock(bi, bj, bk int, e *trace.Emitter) float64 {
+	c := m.block(bi, bj)
+	a := m.block(bi, bk)
+	bb := m.block(bk, bj)
+	b := m.B
+	for j := 0; j < b; j++ {
+		cj := c[j*b : j*b+b]
+		for k := 0; k < b; k++ {
+			e.LoadDW(m.elemAddr(bk, bj, k, j))
+			bkj := bb[j*b+k]
+			ak := a[k*b : k*b+b]
+			for i := 0; i < b; i++ {
+				e.LoadDW(m.elemAddr(bi, bk, i, k))
+				cij := m.elemAddr(bi, bj, i, j)
+				e.LoadDW(cij)
+				cj[i] -= ak[i] * bkj
+				e.StoreDW(cij)
+			}
+		}
+	}
+	return float64(2 * b * b * b)
+}

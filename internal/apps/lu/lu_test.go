@@ -1,0 +1,354 @@
+package lu
+
+import (
+	"math"
+	"testing"
+
+	"wsstudy/internal/cache"
+	"wsstudy/internal/trace"
+	"wsstudy/internal/workingset"
+)
+
+func TestBlockMatrixAddressing(t *testing.T) {
+	m := NewBlockMatrix(8, 4, nil)
+	m.Set(5, 6, 3.5)
+	if got := m.At(5, 6); got != 3.5 {
+		t.Fatalf("At(5,6) = %v", got)
+	}
+	// Column-major within block: (i+1,j) is 8 bytes after (i,j).
+	if m.elemAddr(0, 0, 1, 0)-m.elemAddr(0, 0, 0, 0) != 8 {
+		t.Fatal("within-column stride should be 8")
+	}
+	if m.elemAddr(0, 0, 0, 1)-m.elemAddr(0, 0, 0, 0) != 8*4 {
+		t.Fatal("column stride should be B*8")
+	}
+	// Distinct blocks occupy distinct address ranges.
+	if m.BlockAddr(0, 1) == m.BlockAddr(1, 0) {
+		t.Fatal("blocks must not alias")
+	}
+}
+
+func TestBlockMatrixValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when B does not divide N")
+		}
+	}()
+	NewBlockMatrix(10, 4, nil)
+}
+
+func TestGridOwner(t *testing.T) {
+	g := Grid{PR: 2, PC: 3}
+	if g.P() != 6 {
+		t.Fatalf("P = %d", g.P())
+	}
+	// (I mod 2, J mod 3) flattened as r*PC+c.
+	if got := g.Owner(0, 0); got != 0 {
+		t.Fatalf("Owner(0,0) = %d", got)
+	}
+	if got := g.Owner(1, 2); got != 5 {
+		t.Fatalf("Owner(1,2) = %d", got)
+	}
+	if got := g.Owner(2, 3); got != 0 {
+		t.Fatalf("Owner(2,3) = %d (wraps)", got)
+	}
+}
+
+// TestFactorReconstructs is the numeric ground truth: L*U must reproduce
+// the original matrix to tight tolerance.
+func TestFactorReconstructs(t *testing.T) {
+	for _, cfg := range []struct{ n, b int }{{8, 4}, {16, 4}, {24, 8}, {32, 16}} {
+		m := NewBlockMatrix(cfg.n, cfg.b, nil)
+		m.FillRandomDominant(1)
+		orig := m.Clone()
+		if err := Factor(m); err != nil {
+			t.Fatalf("n=%d b=%d: %v", cfg.n, cfg.b, err)
+		}
+		if diff := m.MulLU().MaxAbsDiff(orig); diff > 1e-9*float64(cfg.n) {
+			t.Errorf("n=%d b=%d: reconstruction error %g", cfg.n, cfg.b, diff)
+		}
+	}
+}
+
+func TestFactorMatchesUnblocked(t *testing.T) {
+	// Blocked LU with B=n is plain LU; different block sizes must agree.
+	a := NewBlockMatrix(16, 16, nil)
+	a.FillRandomDominant(7)
+	b := NewBlockMatrix(16, 4, nil)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			b.Set(i, j, a.At(i, j))
+		}
+	}
+	if err := Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Factor(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if d := math.Abs(a.At(i, j) - b.At(i, j)); d > 1e-9 {
+				t.Fatalf("factors disagree at (%d,%d) by %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestFactorZeroPivot(t *testing.T) {
+	m := NewBlockMatrix(8, 4, nil) // all zeros
+	if err := Factor(m); err == nil {
+		t.Fatal("expected zero-pivot error")
+	}
+}
+
+func TestFactorTracedFLOPs(t *testing.T) {
+	m := NewBlockMatrix(32, 8, nil)
+	m.FillRandomDominant(3)
+	var counter trace.Counter
+	stats, err := FactorTraced(m, Grid{2, 2}, &counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total FLOPs should be near 2n^3/3 (within the O(n^2) boundary terms
+	// of the triangular-solve and diagonal-factor corrections).
+	want := 2.0 * 32 * 32 * 32 / 3
+	got := stats.TotalFLOPs()
+	if math.Abs(got-want)/want > 0.30 {
+		t.Fatalf("total FLOPs = %v, want within 30%% of %v", got, want)
+	}
+	if counter.Refs == 0 {
+		t.Fatal("traced run emitted no references")
+	}
+	// Epoch FLOPs decrease with K (shrinking trailing matrix).
+	if stats.FLOPsByK[0] <= stats.FLOPsByK[len(stats.FLOPsByK)-1] {
+		t.Fatal("first K iteration should dominate the last")
+	}
+	// Work is spread over all 4 PEs.
+	for pe, f := range stats.FLOPsByPE {
+		if f == 0 {
+			t.Errorf("PE %d did no work", pe)
+		}
+	}
+}
+
+func TestFactorTracedSameNumbers(t *testing.T) {
+	// Tracing must not change the arithmetic.
+	a := NewBlockMatrix(16, 4, nil)
+	a.FillRandomDominant(9)
+	b := a.Clone()
+	if err := Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FactorTraced(b, Grid{2, 2}, trace.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if d := a.MaxAbsDiff(b); d != 0 {
+		t.Fatalf("traced factorization changed results by %g", d)
+	}
+}
+
+func TestModelPaperNumbers(t *testing.T) {
+	// The paper's prototypical problem: n=10,000, B=16, P=1024.
+	mo := Model{N: 10000, B: 16, P: 1024}
+	if err := mo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mo.Lev1WS(); got != 256 { // paper: "roughly 260 bytes"
+		t.Errorf("lev1WS = %d, want 256", got)
+	}
+	if got := mo.Lev2WS(); got != 2048 { // paper: "roughly 2200 bytes"
+		t.Errorf("lev2WS = %d, want 2048", got)
+	}
+	if got := mo.Lev3WS(); got != 80000 { // paper: "roughly 80 Kbytes"
+		t.Errorf("lev3WS = %d, want 80000", got)
+	}
+	// Comm/comp ratio: 2n/(3*sqrt(P)) ~ 208 ("roughly 200 FLOPs/word").
+	if got := mo.CommToCompRatio(); math.Abs(got-208.33) > 0.5 {
+		t.Errorf("comm/comp = %v, want ~208.3", got)
+	}
+	// ~380 blocks per PE ("roughly 380").
+	if got := mo.BlocksPerPE(); math.Abs(got-381.5) > 1 {
+		t.Errorf("blocks/PE = %v, want ~381", got)
+	}
+	// 1 Mbyte grain ("1 Gbyte data set ... 1 Mbyte per node").
+	if got := mo.GrainBytes(); got != 781250 { // 10000^2*8/1024
+		t.Errorf("grain = %d", got)
+	}
+}
+
+func TestModelScaleInvariance(t *testing.T) {
+	// Section 3.3: fixing the grain size fixes the ratio and the load
+	// balance. 20,000^2 on 4096 PEs matches 10,000^2 on 1024.
+	a := Model{N: 10000, B: 16, P: 1024}
+	b := Model{N: 20000, B: 16, P: 4096}
+	if math.Abs(a.CommToCompRatio()-b.CommToCompRatio()) > 1e-9 {
+		t.Error("comm/comp should depend only on grain size")
+	}
+	if math.Abs(a.BlocksPerPE()-b.BlocksPerPE()) > 1e-9 {
+		t.Error("blocks/PE should be unchanged under MC scaling")
+	}
+	// And the important working set is independent of n and P entirely.
+	if a.Lev2WS() != b.Lev2WS() {
+		t.Error("lev2WS must depend only on B")
+	}
+}
+
+func TestModelGrainScenario16K(t *testing.T) {
+	// Section 3.3: same 1 GB problem on 16K processors: ratio drops ~4x
+	// to ~50 and blocks/PE to ~25.
+	mo := Model{N: 10000, B: 16, P: 16384}
+	if got := mo.CommToCompRatio(); math.Abs(got-52.1) > 0.5 {
+		t.Errorf("comm/comp at 16K PEs = %v, want ~52", got)
+	}
+	if got := mo.BlocksPerPE(); math.Abs(got-23.8) > 1 {
+		t.Errorf("blocks/PE at 16K PEs = %v, want ~24", got)
+	}
+}
+
+func TestModelCurveShape(t *testing.T) {
+	mo := Model{N: 1024, B: 16, P: 16}
+	sizes := workingset.LogSizes(64, 1<<20, 2)
+	curve := mo.Curve(sizes)
+	if err := curve.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Rates step down monotonically.
+	for i := 1; i < len(curve.Points); i++ {
+		if curve.Points[i].MissRate > curve.Points[i-1].MissRate {
+			t.Fatal("model curve must be non-increasing")
+		}
+	}
+	// Knees appear at lev1 and lev2 at least.
+	knees := workingset.FindKnees(curve, 1.5, 0.001)
+	if len(knees) < 2 {
+		t.Fatalf("expected >=2 knees, got %+v", knees)
+	}
+}
+
+// TestSimulationMatchesModel cross-validates the traced simulation against
+// the analytic plateaus on a small instance: the measured misses/FLOP at
+// cache sizes between lev2WS and lev3WS should sit near 1/B, and beyond
+// lev4WS near the cold/communication floor.
+func TestSimulationMatchesModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation cross-check is slow")
+	}
+	const (
+		n  = 128
+		b  = 8
+		pr = 2
+		pc = 2
+	)
+	mo := Model{N: n, B: b, P: pr * pc}
+	m := NewBlockMatrix(n, b, nil)
+	m.FillRandomDominant(5)
+
+	const pe = 3
+	prof := cache.NewStackProfiler(8)
+	sink := trace.PEFilter{PE: pe, Next: profConsumer{prof}}
+	stats, err := FactorTraced(m, Grid{pr, pc}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flops := stats.FLOPsByPE[pe]
+	if flops == 0 {
+		t.Fatal("profiled PE did no work")
+	}
+
+	missPerFLOP := func(bytes uint64) float64 {
+		lines := int(bytes / 8)
+		return float64(prof.MissesAt(lines).Misses()) / flops
+	}
+
+	// Plateau between lev2WS (512 B) and lev3WS (2*128*8*8/2 = 8192 B):
+	// model says 1/B = 0.125.
+	got := missPerFLOP(2048)
+	if got < 0.5/float64(b) || got > 2.0/float64(b) {
+		t.Errorf("plateau at 2KB: %v, want near %v", got, 1/float64(b))
+	}
+	// Tiny cache: near 1 miss/FLOP (within a factor ~1.6: loop overheads
+	// in the panel phases shift it a little).
+	got0 := missPerFLOP(8)
+	if got0 < 0.6 || got0 > 1.7 {
+		t.Errorf("tiny-cache rate = %v, want near 1.0", got0)
+	}
+	// Huge cache: at most the cold+communication floor, well below 1/(2B).
+	gotInf := missPerFLOP(1 << 26)
+	if gotInf > 1/(2*float64(b)) {
+		t.Errorf("infinite-cache rate = %v, want < %v", gotInf, 1/(2*float64(b)))
+	}
+	// And the ordering of plateaus is monotone like the model's.
+	if !(got0 > got && got > gotInf) {
+		t.Errorf("plateaus not ordered: %v, %v, %v", got0, got, gotInf)
+	}
+	_ = mo
+}
+
+// profConsumer adapts a StackProfiler to trace.Consumer.
+type profConsumer struct{ p *cache.StackProfiler }
+
+func (c profConsumer) Ref(r trace.Ref) {
+	c.p.Access(r.Addr, r.Size, r.Kind == trace.Read)
+}
+
+func TestSolveRecoversKnownSolution(t *testing.T) {
+	for _, cfg := range []struct{ n, b int }{{16, 4}, {32, 8}} {
+		m := NewBlockMatrix(cfg.n, cfg.b, nil)
+		m.FillRandomDominant(13)
+		orig := m.Clone()
+		want := make([]float64, cfg.n)
+		for i := range want {
+			want[i] = float64(i%7) - 3
+		}
+		rhs := orig.MulVec(want)
+		if err := Factor(m); err != nil {
+			t.Fatal(err)
+		}
+		x, err := Solve(m, Grid{2, 2}, rhs, trace.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if d := math.Abs(x[i] - want[i]); d > 1e-8 {
+				t.Fatalf("n=%d: x[%d] off by %g", cfg.n, i, d)
+			}
+		}
+		// The RHS must be untouched.
+		check := orig.MulVec(want)
+		for i := range rhs {
+			if rhs[i] != check[i] {
+				t.Fatal("Solve modified its input")
+			}
+		}
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	m := NewBlockMatrix(8, 4, nil)
+	m.FillRandomDominant(1)
+	if err := Factor(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(m, Grid{1, 1}, make([]float64, 3), nil); err == nil {
+		t.Error("wrong rhs length accepted")
+	}
+	if _, err := Solve(m, Grid{0, 1}, make([]float64, 8), nil); err == nil {
+		t.Error("bad grid accepted")
+	}
+}
+
+func TestSolveTracedEmits(t *testing.T) {
+	m := NewBlockMatrix(16, 4, nil)
+	m.FillRandomDominant(2)
+	if err := Factor(m); err != nil {
+		t.Fatal(err)
+	}
+	var counter trace.Counter
+	if _, err := Solve(m, Grid{2, 2}, make([]float64, 16), &counter); err != nil {
+		t.Fatal(err)
+	}
+	if counter.Refs == 0 {
+		t.Fatal("traced solve emitted nothing")
+	}
+}

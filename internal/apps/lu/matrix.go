@@ -1,0 +1,169 @@
+// Package lu implements the paper's first application class (Section 3):
+// blocked dense LU factorization with a 2-D scatter decomposition.
+//
+// The package carries three faces of the same computation:
+//
+//   - a real numeric kernel (BlockMatrix, Factor) that factors matrices and
+//     is verified against reconstruction, so the traced reference stream is
+//     the stream of a correct program;
+//   - a trace generator (FactorTraced) emitting the per-processor memory
+//     references of the parallel computation for the cache simulators;
+//   - an analytic model (Model) of miss rate versus cache size, working-set
+//     sizes, and communication, which is how the paper itself evaluates LU
+//     at the prototypical 10,000 x 10,000 / 1024-processor scale.
+package lu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wsstudy/internal/trace"
+)
+
+// BlockMatrix is an N x N dense matrix stored as an NB x NB array of B x B
+// blocks; each block is contiguous and column-major, matching the layout
+// the paper's working-set analysis assumes (lev1WS = two block columns).
+// Every block also carries an address in the simulated address space so
+// kernels can emit references while they compute.
+type BlockMatrix struct {
+	N, B, NB int
+	blocks   [][]float64
+	addrs    []uint64
+}
+
+// NewBlockMatrix allocates an n x n matrix of b x b blocks (b must divide
+// n) with addresses from arena. A nil arena lays blocks out contiguously
+// from a private arena.
+func NewBlockMatrix(n, b int, arena *trace.Arena) *BlockMatrix {
+	if n <= 0 || b <= 0 || n%b != 0 {
+		panic(fmt.Sprintf("lu: block size %d must divide matrix size %d", b, n))
+	}
+	if arena == nil {
+		arena = &trace.Arena{}
+	}
+	nb := n / b
+	m := &BlockMatrix{
+		N: n, B: b, NB: nb,
+		blocks: make([][]float64, nb*nb),
+		addrs:  make([]uint64, nb*nb),
+	}
+	for i := range m.blocks {
+		m.blocks[i] = make([]float64, b*b)
+		m.addrs[i] = arena.AllocDW(uint64(b * b))
+	}
+	return m
+}
+
+// block returns the storage of block (I,J).
+func (m *BlockMatrix) block(bi, bj int) []float64 {
+	return m.blocks[bi*m.NB+bj]
+}
+
+// BlockAddr returns the base address of block (I,J).
+func (m *BlockMatrix) BlockAddr(bi, bj int) uint64 {
+	return m.addrs[bi*m.NB+bj]
+}
+
+// elemAddr returns the address of element (i,j) within block (bi,bj),
+// column-major.
+func (m *BlockMatrix) elemAddr(bi, bj, i, j int) uint64 {
+	return m.addrs[bi*m.NB+bj] + uint64(j*m.B+i)*8
+}
+
+// At returns element (i,j) in global coordinates.
+func (m *BlockMatrix) At(i, j int) float64 {
+	b := m.B
+	return m.block(i/b, j/b)[(j%b)*b+(i%b)]
+}
+
+// Set assigns element (i,j) in global coordinates.
+func (m *BlockMatrix) Set(i, j int, v float64) {
+	b := m.B
+	m.block(i/b, j/b)[(j%b)*b+(i%b)] = v
+}
+
+// Clone deep-copies the matrix (sharing no storage; addresses are copied,
+// so the clone aliases the same simulated address space).
+func (m *BlockMatrix) Clone() *BlockMatrix {
+	c := &BlockMatrix{
+		N: m.N, B: m.B, NB: m.NB,
+		blocks: make([][]float64, len(m.blocks)),
+		addrs:  append([]uint64(nil), m.addrs...),
+	}
+	for i, blk := range m.blocks {
+		c.blocks[i] = append([]float64(nil), blk...)
+	}
+	return c
+}
+
+// FillRandomDominant fills the matrix with uniform random values in
+// [-1, 1) and adds 2n to the diagonal, making it strictly diagonally
+// dominant so LU factorization without pivoting is numerically stable.
+func (m *BlockMatrix) FillRandomDominant(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			m.Set(i, j, 2*rng.Float64()-1)
+		}
+		m.Set(i, i, m.At(i, i)+2*float64(m.N))
+	}
+}
+
+// MulLU computes the product of the L and U factors stored in a factored
+// matrix (L unit lower triangular, U upper triangular), for verification.
+func (m *BlockMatrix) MulLU() *BlockMatrix {
+	out := NewBlockMatrix(m.N, m.B, nil)
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			kmax := i
+			if j < i {
+				kmax = j + 1 // L[i][k] for k<=i has U[k][j]=0 when k>j
+			}
+			sum := 0.0
+			for k := 0; k < kmax; k++ {
+				sum += m.At(i, k) * m.At(k, j)
+			}
+			// Diagonal of L is an implicit 1.
+			if i <= j {
+				sum += m.At(i, j)
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff reports the largest elementwise absolute difference between
+// two matrices of identical shape.
+func (m *BlockMatrix) MaxAbsDiff(o *BlockMatrix) float64 {
+	if m.N != o.N {
+		panic("lu: shape mismatch")
+	}
+	max := 0.0
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			d := m.At(i, j) - o.At(i, j)
+			if d < 0 {
+				d = -d
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Grid is the PR x PC processor grid of the 2-D scatter decomposition:
+// block (I,J) belongs to processor (I mod PR, J mod PC).
+type Grid struct {
+	PR, PC int
+}
+
+// P reports the processor count.
+func (g Grid) P() int { return g.PR * g.PC }
+
+// Owner returns the flat processor id owning block (I,J).
+func (g Grid) Owner(bi, bj int) int {
+	return (bi%g.PR)*g.PC + bj%g.PC
+}

@@ -1,0 +1,140 @@
+package lu
+
+import (
+	"fmt"
+	"math"
+
+	"wsstudy/internal/workingset"
+)
+
+// Model is the paper's closed-form analysis of dense blocked LU (Section
+// 3): working-set sizes, the miss-rate-versus-cache-size step curve of
+// Figure 2, and the grain-size quantities of Section 3.3. N is the matrix
+// dimension, B the block size and P the processor count (assumed an
+// approximately square grid, as the 2-D scatter decomposition wants).
+type Model struct {
+	N, B, P int
+}
+
+// Validate reports whether the parameters make sense.
+func (mo Model) Validate() error {
+	if mo.N <= 0 || mo.B <= 0 || mo.P <= 0 {
+		return fmt.Errorf("lu: model parameters must be positive: %+v", mo)
+	}
+	if mo.N%mo.B != 0 {
+		return fmt.Errorf("lu: block size %d must divide n=%d", mo.B, mo.N)
+	}
+	return nil
+}
+
+const dw = 8 // bytes per double word
+
+// Working-set sizes (bytes), Section 3.2.
+
+// Lev1WS is two columns of a block: once they fit, one column is reused
+// and the miss rate halves. Roughly 260 bytes for B=16.
+func (mo Model) Lev1WS() uint64 { return uint64(2 * mo.B * dw) }
+
+// Lev2WS is an entire B x B block; once it fits the miss rate drops to
+// about 1/B. Roughly 2200 bytes for B=16.
+func (mo Model) Lev2WS() uint64 { return uint64(mo.B * mo.B * dw) }
+
+// Lev3WS is all blocks of row and column K that a processor uses within
+// one K iteration: 2*n*B/sqrt(P) double words (about 80 KB for B=16,
+// n=10,000, P=1024). Fitting it halves the rate again to 1/(2B).
+func (mo Model) Lev3WS() uint64 {
+	return uint64(2 * float64(mo.N) * float64(mo.B) * dw / math.Sqrt(float64(mo.P)))
+}
+
+// Lev4WS is a processor's entire partition, n^2/P double words. Beyond it
+// only communication misses remain.
+func (mo Model) Lev4WS() uint64 {
+	return uint64(float64(mo.N) * float64(mo.N) * dw / float64(mo.P))
+}
+
+// Miss rates (double-word misses per FLOP) on each plateau.
+
+// CommMissRate is the inherent communication miss rate per FLOP: the total
+// communication volume n^2*sqrt(P) words over 2n^3/3 operations.
+func (mo Model) CommMissRate() float64 {
+	return 3 * math.Sqrt(float64(mo.P)) / (2 * float64(mo.N))
+}
+
+// MissRatePerFLOP evaluates the Figure 2 step curve at one cache size.
+func (mo Model) MissRatePerFLOP(cacheBytes uint64) float64 {
+	b := float64(mo.B)
+	switch {
+	case cacheBytes < mo.Lev1WS():
+		return 1.0
+	case cacheBytes < mo.Lev2WS():
+		return 0.5
+	case cacheBytes < mo.Lev3WS():
+		return 1 / b
+	case cacheBytes < mo.Lev4WS():
+		return 1 / (2 * b)
+	default:
+		return mo.CommMissRate()
+	}
+}
+
+// Curve samples the model at the given cache sizes.
+func (mo Model) Curve(sizes []uint64) *workingset.Curve {
+	c := &workingset.Curve{
+		Label:  fmt.Sprintf("LU n=%d B=%d P=%d", mo.N, mo.B, mo.P),
+		Metric: "misses/FLOP",
+	}
+	for _, s := range sizes {
+		c.Points = append(c.Points, workingset.Point{CacheBytes: s, MissRate: mo.MissRatePerFLOP(s)})
+	}
+	return c
+}
+
+// WorkingSets lists the hierarchy with the paper's descriptions.
+func (mo Model) WorkingSets() workingset.Hierarchy {
+	return workingset.Hierarchy{
+		App: "LU",
+		Levels: []workingset.Level{
+			{Name: "lev1WS", SizeBytes: mo.Lev1WS(), MissRate: 0.5, Note: "two columns of a block"},
+			{Name: "lev2WS", SizeBytes: mo.Lev2WS(), MissRate: 1 / float64(mo.B), Note: "one BxB block"},
+			{Name: "lev3WS", SizeBytes: mo.Lev3WS(), MissRate: 1 / (2 * float64(mo.B)), Note: "row/column K blocks used by one PE"},
+			{Name: "lev4WS", SizeBytes: mo.Lev4WS(), MissRate: mo.CommMissRate(), Note: "a PE's whole partition"},
+		},
+	}
+}
+
+// Grain-size quantities, Section 3.3.
+
+// FLOPs is the operation count of the factorization, 2n^3/3.
+func (mo Model) FLOPs() float64 {
+	n := float64(mo.N)
+	return 2 * n * n * n / 3
+}
+
+// CommVolumeWords is the total interprocessor communication: every block
+// travels to a row or column of sqrt(P) processors, n^2*sqrt(P) words.
+func (mo Model) CommVolumeWords() float64 {
+	n := float64(mo.N)
+	return n * n * math.Sqrt(float64(mo.P))
+}
+
+// CommToCompRatio is FLOPs per communicated word, 2n/(3*sqrt(P)): about
+// 200 for the prototypical 1-Mbyte-per-PE problem.
+func (mo Model) CommToCompRatio() float64 {
+	return mo.FLOPs() / mo.CommVolumeWords()
+}
+
+// DataSetBytes is the total problem size, 8n^2.
+func (mo Model) DataSetBytes() uint64 {
+	return uint64(mo.N) * uint64(mo.N) * dw
+}
+
+// GrainBytes is the per-processor memory, n^2*8/P.
+func (mo Model) GrainBytes() uint64 { return mo.DataSetBytes() / uint64(mo.P) }
+
+// BlocksPerPE is the average number of matrix blocks per processor; the
+// paper uses it as the load-balance proxy (380 blocks is comfortable, 25
+// is not).
+func (mo Model) BlocksPerPE() float64 {
+	nb := float64(mo.N / mo.B)
+	return nb * nb / float64(mo.P)
+}

@@ -1,0 +1,177 @@
+package lu
+
+import (
+	"fmt"
+	"math"
+
+	"wsstudy/internal/trace"
+)
+
+// Householder QR, the third member of Section 3's family ("dense QR
+// factorization ... [has] very similar structure"). The kernel is
+// column-oriented reflector application, so the level-1 working set is
+// again two columns — the same shape as LU's, which is the family claim
+// this file lets the tests check.
+
+// Dense is an m x n column-major matrix with simulated addresses.
+type Dense struct {
+	M, N int
+	a    []float64
+	base uint64
+}
+
+// NewDense allocates an m x n dense matrix with addresses from arena
+// (nil for a private arena).
+func NewDense(m, n int, arena *trace.Arena) *Dense {
+	if m <= 0 || n <= 0 {
+		panic("lu: dense dimensions must be positive")
+	}
+	if arena == nil {
+		arena = &trace.Arena{}
+	}
+	return &Dense{M: m, N: n, a: make([]float64, m*n), base: arena.AllocDW(uint64(m * n))}
+}
+
+// At returns element (i,j).
+func (d *Dense) At(i, j int) float64 { return d.a[j*d.M+i] }
+
+// Set assigns element (i,j).
+func (d *Dense) Set(i, j int, v float64) { d.a[j*d.M+i] = v }
+
+// addr returns the simulated address of element (i,j).
+func (d *Dense) addr(i, j int) uint64 { return d.base + uint64(j*d.M+i)*8 }
+
+// Clone deep-copies the matrix (same simulated addresses).
+func (d *Dense) Clone() *Dense {
+	c := &Dense{M: d.M, N: d.N, a: append([]float64(nil), d.a...), base: d.base}
+	return c
+}
+
+// QRResult carries the factorization output: R sits in the upper triangle
+// of A; V holds the unit-norm Householder vectors (column j's reflector in
+// V[j:m, j]).
+type QRResult struct {
+	A, V  *Dense
+	Stats TraceStats
+}
+
+// QRFactor computes A = Q*R with Householder reflections, columns
+// distributed cyclically over grid.P() processors (the standard 1-D QR
+// decomposition: column j's reflector is built by its owner; every trailing
+// column's owner applies it). sink may be nil.
+func QRFactor(a *Dense, grid Grid, sink trace.Consumer) (*QRResult, error) {
+	if grid.PR <= 0 || grid.PC <= 0 {
+		return nil, fmt.Errorf("lu: invalid grid %+v", grid)
+	}
+	if a.M < a.N {
+		return nil, fmt.Errorf("lu: QR requires m >= n (got %dx%d)", a.M, a.N)
+	}
+	p := grid.P()
+	em := make([]*trace.Emitter, p)
+	for pe := range em {
+		em[pe] = trace.NewEmitter(pe, sink)
+	}
+	ec, _ := sink.(trace.EpochConsumer)
+	v := NewDense(a.M, a.N, nil)
+	res := &QRResult{A: a, V: v}
+	res.Stats.FLOPsByPE = make([]float64, p)
+	res.Stats.FLOPsByK = make([]float64, a.N)
+
+	for j := 0; j < a.N; j++ {
+		if ec != nil {
+			ec.BeginEpoch(j)
+		}
+		owner := j % p
+		e := em[owner]
+		flops := 0.0
+		// Build the reflector from column j below the diagonal.
+		norm2 := 0.0
+		for i := j; i < a.M; i++ {
+			e.LoadDW(a.addr(i, j))
+			norm2 += a.At(i, j) * a.At(i, j)
+			flops += 2
+		}
+		norm := math.Sqrt(norm2)
+		if norm == 0 {
+			return nil, fmt.Errorf("lu: rank-deficient column %d", j)
+		}
+		alpha := -norm
+		if a.At(j, j) < 0 {
+			alpha = norm
+		}
+		// v = x - alpha*e1, normalized.
+		vnorm2 := norm2 - 2*alpha*a.At(j, j) + alpha*alpha
+		vn := math.Sqrt(vnorm2)
+		for i := j; i < a.M; i++ {
+			x := a.At(i, j)
+			if i == j {
+				x -= alpha
+			}
+			v.Set(i, j, x/vn)
+			e.StoreDW(v.addr(i, j))
+			flops++
+		}
+		// Column j of R: alpha on the diagonal, zeros below.
+		a.Set(j, j, alpha)
+		e.StoreDW(a.addr(j, j))
+		for i := j + 1; i < a.M; i++ {
+			a.Set(i, j, 0)
+			e.StoreDW(a.addr(i, j))
+		}
+		res.Stats.FLOPsByPE[owner] += flops
+		res.Stats.FLOPsByK[j] += flops
+
+		// Apply I - 2 v v^T to each trailing column, owner-computes.
+		for c := j + 1; c < a.N; c++ {
+			co := c % p
+			ce := em[co]
+			w := 0.0
+			for i := j; i < a.M; i++ {
+				ce.LoadDW(v.addr(i, j))
+				ce.LoadDW(a.addr(i, c))
+				w += v.At(i, j) * a.At(i, c)
+			}
+			for i := j; i < a.M; i++ {
+				ce.LoadDW(v.addr(i, j))
+				ce.LoadDW(a.addr(i, c))
+				a.Set(i, c, a.At(i, c)-2*w*v.At(i, j))
+				ce.StoreDW(a.addr(i, c))
+			}
+			f := 4 * float64(a.M-j)
+			res.Stats.FLOPsByPE[co] += f
+			res.Stats.FLOPsByK[j] += f
+		}
+	}
+	return res, nil
+}
+
+// ApplyQ computes Q*x (len m) by applying the reflectors in reverse,
+// untraced — used for verification and least-squares style consumers.
+func (r *QRResult) ApplyQ(x []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for j := r.A.N - 1; j >= 0; j-- {
+		w := 0.0
+		for i := j; i < r.A.M; i++ {
+			w += r.V.At(i, j) * out[i]
+		}
+		for i := j; i < r.A.M; i++ {
+			out[i] -= 2 * w * r.V.At(i, j)
+		}
+	}
+	return out
+}
+
+// ApplyQT computes Q^T*x by applying the reflectors in forward order.
+func (r *QRResult) ApplyQT(x []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for j := 0; j < r.A.N; j++ {
+		w := 0.0
+		for i := j; i < r.A.M; i++ {
+			w += r.V.At(i, j) * out[i]
+		}
+		for i := j; i < r.A.M; i++ {
+			out[i] -= 2 * w * r.V.At(i, j)
+		}
+	}
+	return out
+}

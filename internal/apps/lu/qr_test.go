@@ -1,0 +1,149 @@
+package lu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wsstudy/internal/cache"
+	"wsstudy/internal/trace"
+)
+
+func randomDense(m, n int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	d := NewDense(m, n, nil)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			d.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return d
+}
+
+// TestQRReconstructs: Q*R must equal the original matrix.
+func TestQRReconstructs(t *testing.T) {
+	for _, shape := range []struct{ m, n int }{{8, 8}, {16, 12}, {24, 24}, {30, 7}} {
+		a := randomDense(shape.m, shape.n, int64(shape.m))
+		orig := a.Clone()
+		res, err := QRFactor(a, Grid{2, 2}, nil)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", shape.m, shape.n, err)
+		}
+		// R must be upper triangular.
+		for j := 0; j < shape.n; j++ {
+			for i := j + 1; i < shape.m; i++ {
+				if a.At(i, j) != 0 {
+					t.Fatalf("R(%d,%d) = %v, want 0", i, j, a.At(i, j))
+				}
+			}
+		}
+		// Reconstruct column by column: Q * R[:,j] == orig[:,j].
+		for j := 0; j < shape.n; j++ {
+			rcol := make([]float64, shape.m)
+			for i := 0; i <= j; i++ {
+				rcol[i] = a.At(i, j)
+			}
+			got := res.ApplyQ(rcol)
+			for i := 0; i < shape.m; i++ {
+				if d := math.Abs(got[i] - orig.At(i, j)); d > 1e-9 {
+					t.Fatalf("%dx%d: QR(%d,%d) off by %g", shape.m, shape.n, i, j, d)
+				}
+			}
+		}
+	}
+}
+
+// TestQROrthogonality: Q^T Q = I via the reflector applications.
+func TestQROrthogonality(t *testing.T) {
+	const m, n = 16, 16
+	a := randomDense(m, n, 5)
+	res, err := QRFactor(a, Grid{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		x := make([]float64, m)
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var norm2 float64
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			norm2 += x[i] * x[i]
+		}
+		// Orthogonal maps preserve norms, and Q^T undoes Q.
+		qx := res.ApplyQ(x)
+		var qnorm2 float64
+		for _, v := range qx {
+			qnorm2 += v * v
+		}
+		if math.Abs(qnorm2-norm2) > 1e-9*norm2 {
+			t.Fatalf("Q does not preserve norms: %v vs %v", qnorm2, norm2)
+		}
+		back := res.ApplyQT(qx)
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-9 {
+				t.Fatalf("Q^T Q x != x at %d", i)
+			}
+		}
+	}
+}
+
+func TestQRValidation(t *testing.T) {
+	if _, err := QRFactor(randomDense(4, 8, 1), Grid{1, 1}, nil); err == nil {
+		t.Error("m < n accepted")
+	}
+	if _, err := QRFactor(randomDense(4, 4, 1), Grid{0, 1}, nil); err == nil {
+		t.Error("bad grid accepted")
+	}
+	zero := NewDense(4, 4, nil)
+	if _, err := QRFactor(zero, Grid{1, 1}, nil); err == nil {
+		t.Error("rank-deficient matrix accepted")
+	}
+}
+
+func TestQRTracedWorkDistribution(t *testing.T) {
+	a := randomDense(32, 32, 9)
+	var counter trace.Counter
+	res, err := QRFactor(a, Grid{2, 2}, &counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter.Refs == 0 {
+		t.Fatal("no references emitted")
+	}
+	// Cyclic column distribution puts work on every PE.
+	for pe, f := range res.Stats.FLOPsByPE {
+		if f == 0 {
+			t.Errorf("PE %d idle", pe)
+		}
+	}
+	// Total ~ 2mn^2 - (2/3)n^3 = (4/3)n^3 for square: within 40%.
+	n := 32.0
+	want := 4 * n * n * n / 3
+	if got := res.Stats.TotalFLOPs(); math.Abs(got-want)/want > 0.4 {
+		t.Errorf("FLOPs = %v, want near %v", got, want)
+	}
+}
+
+// TestQRWorkingSetFamily: the Section 3 family claim — QR's column-axpy
+// kernel has a two-column lev1WS knee like LU's, visible as a sharp drop
+// once two columns (2*m*8 bytes) fit.
+func TestQRWorkingSetFamily(t *testing.T) {
+	const m, n = 64, 64
+	a := randomDense(m, n, 11)
+	prof := cache.NewStackProfiler(8)
+	sink := trace.PEFilter{PE: 1, Next: trace.Func(func(r trace.Ref) {
+		prof.Access(r.Addr, r.Size, r.Kind == trace.Read)
+	})}
+	if _, err := QRFactor(a, Grid{2, 2}, sink); err != nil {
+		t.Fatal(err)
+	}
+	rate := func(bytes uint64) float64 {
+		return float64(prof.MissesAt(int(bytes/8)).Misses()) / float64(prof.Accesses())
+	}
+	// Two columns = 2*64*8 = 1 KB; probe either side.
+	before := rate(256)
+	after := rate(4096)
+	if before < 1.5*after {
+		t.Fatalf("no two-column knee: %v -> %v", before, after)
+	}
+}

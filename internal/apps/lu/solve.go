@@ -1,0 +1,133 @@
+package lu
+
+import (
+	"fmt"
+
+	"wsstudy/internal/trace"
+)
+
+// Triangular solves: the paper's motivating radar-cross-section problems
+// factor once and then solve for many right-hand sides, so a usable direct
+// solver needs Ax=b on top of the factorization. The solves stream the
+// factored blocks once (no block reuse), which is why the paper's analysis
+// concentrates on the factorization.
+
+// Solve computes x with A x = b, where f holds the in-place LU factors of
+// A (from Factor or FactorTraced). b is not modified. The traced variant
+// charges the work to block owners under grid; pass a nil sink (or
+// Grid{1,1}) for a plain numeric solve.
+func Solve(f *BlockMatrix, grid Grid, b []float64, sink trace.Consumer) ([]float64, error) {
+	if len(b) != f.N {
+		return nil, fmt.Errorf("lu: rhs length %d != n=%d", len(b), f.N)
+	}
+	if grid.PR <= 0 || grid.PC <= 0 {
+		return nil, fmt.Errorf("lu: invalid grid %+v", grid)
+	}
+	em := make([]*trace.Emitter, grid.P())
+	for pe := range em {
+		em[pe] = trace.NewEmitter(pe, sink)
+	}
+	// The solution vector lives in one contiguous region; which PE holds
+	// an element is irrelevant to the working-set story (the vector is
+	// tiny next to the matrix).
+	var arena trace.Arena
+	xBase := arena.AllocDW(uint64(f.N))
+	x := append([]float64(nil), b...)
+
+	// Forward substitution: L y = b (unit diagonal).
+	for bj := 0; bj < f.NB; bj++ {
+		for bi := bj; bi < f.NB; bi++ {
+			e := em[grid.Owner(bi, bj)]
+			f.solveForwardBlock(bi, bj, x, xBase, e)
+		}
+	}
+	// Back substitution: U x = y.
+	for bj := f.NB - 1; bj >= 0; bj-- {
+		for bi := bj; bi >= 0; bi-- {
+			e := em[grid.Owner(bi, bj)]
+			f.solveBackwardBlock(bi, bj, x, xBase, e)
+		}
+	}
+	return x, nil
+}
+
+// solveForwardBlock applies block (bi,bj) of L during forward substitution:
+// the diagonal block solves its span; off-diagonal blocks subtract their
+// contribution from the rows below.
+func (m *BlockMatrix) solveForwardBlock(bi, bj int, x []float64, xBase uint64, e *trace.Emitter) {
+	b := m.B
+	r0, c0 := bi*b, bj*b
+	if bi == bj {
+		// Unit-lower triangular solve within the block.
+		for j := 0; j < b; j++ {
+			e.LoadDW(xBase + uint64(c0+j)*8)
+			for i := j + 1; i < b; i++ {
+				e.LoadDW(m.elemAddr(bi, bj, i, j))
+				e.LoadDW(xBase + uint64(r0+i)*8)
+				x[r0+i] -= m.block(bi, bj)[j*b+i] * x[c0+j]
+				e.StoreDW(xBase + uint64(r0+i)*8)
+			}
+		}
+		return
+	}
+	// x[rows of bi] -= L[bi][bj] * x[cols of bj].
+	blk := m.block(bi, bj)
+	for j := 0; j < b; j++ {
+		e.LoadDW(xBase + uint64(c0+j)*8)
+		v := x[c0+j]
+		for i := 0; i < b; i++ {
+			e.LoadDW(m.elemAddr(bi, bj, i, j))
+			e.LoadDW(xBase + uint64(r0+i)*8)
+			x[r0+i] -= blk[j*b+i] * v
+			e.StoreDW(xBase + uint64(r0+i)*8)
+		}
+	}
+}
+
+// solveBackwardBlock applies block (bi,bj) of U during back substitution.
+func (m *BlockMatrix) solveBackwardBlock(bi, bj int, x []float64, xBase uint64, e *trace.Emitter) {
+	b := m.B
+	r0, c0 := bi*b, bj*b
+	blk := m.block(bi, bj)
+	if bi == bj {
+		for j := b - 1; j >= 0; j-- {
+			e.LoadDW(m.elemAddr(bi, bj, j, j))
+			e.LoadDW(xBase + uint64(c0+j)*8)
+			x[c0+j] /= blk[j*b+j]
+			e.StoreDW(xBase + uint64(c0+j)*8)
+			for i := j - 1; i >= 0; i-- {
+				e.LoadDW(m.elemAddr(bi, bj, i, j))
+				e.LoadDW(xBase + uint64(r0+i)*8)
+				x[r0+i] -= blk[j*b+i] * x[c0+j]
+				e.StoreDW(xBase + uint64(r0+i)*8)
+			}
+		}
+		return
+	}
+	for j := 0; j < b; j++ {
+		e.LoadDW(xBase + uint64(c0+j)*8)
+		v := x[c0+j]
+		for i := 0; i < b; i++ {
+			e.LoadDW(m.elemAddr(bi, bj, i, j))
+			e.LoadDW(xBase + uint64(r0+i)*8)
+			x[r0+i] -= blk[j*b+i] * v
+			e.StoreDW(xBase + uint64(r0+i)*8)
+		}
+	}
+}
+
+// MulVec computes A*x for an unfactored matrix (verification helper).
+func (m *BlockMatrix) MulVec(x []float64) []float64 {
+	if len(x) != m.N {
+		panic("lu: vector length mismatch")
+	}
+	out := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		sum := 0.0
+		for j := 0; j < m.N; j++ {
+			sum += m.At(i, j) * x[j]
+		}
+		out[i] = sum
+	}
+	return out
+}

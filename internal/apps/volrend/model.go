@@ -1,0 +1,120 @@
+package volrend
+
+import (
+	"fmt"
+	"math"
+
+	"wsstudy/internal/workingset"
+)
+
+// Model is the paper's Section 7 analysis: working-set sizes and their
+// scaling, the communication accounting, and the load-balance proxy.
+// N is the voxel count along one dimension (the paper treats the volume
+// as an n-cube for scaling; for a non-cubic volume use the cube root of
+// the voxel count), P the processor count.
+type Model struct {
+	N, P int
+}
+
+// Lev1WS is the voxel and octree data reused between neighboring samples
+// on one ray: about 0.4 KB, independent of n and P.
+func (m Model) Lev1WS() uint64 { return 400 }
+
+// Lev2WS is the data reused between successive rays: the paper fits
+// 4000 + 110*n bytes (110 bytes per voxel-length along the ray).
+func (m Model) Lev2WS() uint64 { return uint64(4000 + 110*m.N) }
+
+// Lev3WS is the voxel data a processor references in one frame, reused
+// across frames when the viewing angle changes slowly: roughly the
+// processor's share of the interesting voxels (2 bytes each, times a
+// small overlap factor). About 700 KB for the paper's head on 4 PEs.
+func (m Model) Lev3WS() uint64 {
+	voxels := math.Pow(float64(m.N), 3)
+	return uint64(voxels * 2 * 1.5 / float64(m.P))
+}
+
+// Plateau read miss rates from the paper's Figure 7.
+
+// RateAfterLev1 is ~15%: still too high, and the misses are irregular.
+func (m Model) RateAfterLev1() float64 { return 0.15 }
+
+// RateAfterLev2 is ~2%: the important knee.
+func (m Model) RateAfterLev2() float64 { return 0.02 }
+
+// CommRate is the ~0.1% floor once cross-frame reuse is captured.
+func (m Model) CommRate() float64 { return 0.001 }
+
+// MissRate evaluates the Figure 7 step curve (read miss rate).
+func (m Model) MissRate(cacheBytes uint64) float64 {
+	switch {
+	case cacheBytes < m.Lev1WS():
+		return 0.5
+	case cacheBytes < m.Lev2WS():
+		return m.RateAfterLev1()
+	case cacheBytes < m.Lev3WS():
+		return m.RateAfterLev2()
+	default:
+		return m.CommRate()
+	}
+}
+
+// Curve samples the model.
+func (m Model) Curve(sizes []uint64) *workingset.Curve {
+	c := &workingset.Curve{
+		Label:  fmt.Sprintf("volrend n=%d P=%d", m.N, m.P),
+		Metric: "read miss rate",
+	}
+	for _, s := range sizes {
+		c.Points = append(c.Points, workingset.Point{CacheBytes: s, MissRate: m.MissRate(s)})
+	}
+	return c
+}
+
+// WorkingSets lists the three-level hierarchy.
+func (m Model) WorkingSets() workingset.Hierarchy {
+	return workingset.Hierarchy{
+		App: "Volume Rendering",
+		Levels: []workingset.Level{
+			{Name: "lev1WS", SizeBytes: m.Lev1WS(), MissRate: m.RateAfterLev1(),
+				Note: "voxel+octree data shared by adjacent samples"},
+			{Name: "lev2WS", SizeBytes: m.Lev2WS(), MissRate: m.RateAfterLev2(),
+				Note: "data shared by successive rays (4000+110n)"},
+			{Name: "lev3WS", SizeBytes: m.Lev3WS(), MissRate: m.CommRate(),
+				Note: "a PE's voxels for one frame (cross-frame reuse)"},
+		},
+	}
+}
+
+// DataSetBytes is the paper's ~4 bytes per voxel.
+func (m Model) DataSetBytes() uint64 {
+	return uint64(4 * math.Pow(float64(m.N), 3))
+}
+
+// InstructionsPerFrame is the paper's >300 n^3.
+func (m Model) InstructionsPerFrame() float64 {
+	return 300 * math.Pow(float64(m.N), 3)
+}
+
+// CommBytesPerFrame is "somewhat larger than 2n^3" (2 bytes per voxel
+// read once per frame).
+func (m Model) CommBytesPerFrame() float64 {
+	return 2 * math.Pow(float64(m.N), 3)
+}
+
+// CommToCompRatio is instructions per communicated word: ~600,
+// independent of n and P.
+func (m Model) CommToCompRatio() float64 {
+	words := m.CommBytesPerFrame() / 8
+	return m.InstructionsPerFrame() / words
+}
+
+// RaysPerPE is the concurrency / load-balance proxy: the image plane
+// projected from the volume has about 3n^2 pixels (the bounding-sphere
+// diagonal squared), one ray each. 1000 at the prototypical granularity;
+// 66 on the 16K-processor machine — too few for cheap stealing.
+func (m Model) RaysPerPE() float64 {
+	return 3 * float64(m.N) * float64(m.N) / float64(m.P)
+}
+
+// GrainBytes is the per-processor share of the data set.
+func (m Model) GrainBytes() uint64 { return m.DataSetBytes() / uint64(m.P) }

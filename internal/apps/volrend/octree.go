@@ -1,0 +1,148 @@
+package volrend
+
+// minmax octree: each node records the maximum opacity under a cubic
+// region of the volume, letting rays skip fully transparent space and
+// letting samples test whether their neighborhood is interesting — the
+// data structure the paper's renderer uses for both purposes.
+
+type mmNode struct {
+	maxOpacity uint8
+}
+
+// mmOctree stores the pyramid as flat per-level arrays: level 0 covers
+// the volume with leafSize-cubed blocks; each higher level halves the
+// resolution.
+type mmOctree struct {
+	leafSize int
+	levels   [][]mmNode
+	dims     [][3]int // node-grid dimensions per level
+}
+
+const leafSize = 4
+
+// buildOctree constructs the min-max pyramid of a volume.
+func buildOctree(v *Volume) *mmOctree {
+	o := &mmOctree{leafSize: leafSize}
+	nx := (v.NX + leafSize - 1) / leafSize
+	ny := (v.NY + leafSize - 1) / leafSize
+	nz := (v.NZ + leafSize - 1) / leafSize
+
+	// Level 0: max over each leaf block, dilated by one voxel on every
+	// side so that a sample whose trilinear neighborhood touches opacity
+	// is never inside a "transparent" block.
+	lvl := make([]mmNode, nx*ny*nz)
+	clamp := func(a, lo, hi int) int {
+		if a < lo {
+			return lo
+		}
+		if a > hi {
+			return hi
+		}
+		return a
+	}
+	for bz := 0; bz < nz; bz++ {
+		for by := 0; by < ny; by++ {
+			for bx := 0; bx < nx; bx++ {
+				var max uint8
+				z0, z1 := clamp(bz*leafSize-1, 0, v.NZ-1), clamp((bz+1)*leafSize, 0, v.NZ-1)
+				y0, y1 := clamp(by*leafSize-1, 0, v.NY-1), clamp((by+1)*leafSize, 0, v.NY-1)
+				x0, x1 := clamp(bx*leafSize-1, 0, v.NX-1), clamp((bx+1)*leafSize, 0, v.NX-1)
+				for z := z0; z <= z1; z++ {
+					for y := y0; y <= y1; y++ {
+						for x := x0; x <= x1; x++ {
+							if op := v.Opacity(x, y, z); op > max {
+								max = op
+							}
+						}
+					}
+				}
+				lvl[(bz*ny+by)*nx+bx] = mmNode{maxOpacity: max}
+			}
+		}
+	}
+	o.levels = append(o.levels, lvl)
+	o.dims = append(o.dims, [3]int{nx, ny, nz})
+
+	// Higher levels: max over 2x2x2 children.
+	for nx > 1 || ny > 1 || nz > 1 {
+		px, py, pz := nx, ny, nz
+		nx, ny, nz = (nx+1)/2, (ny+1)/2, (nz+1)/2
+		prev := o.levels[len(o.levels)-1]
+		lvl := make([]mmNode, nx*ny*nz)
+		for bz := 0; bz < nz; bz++ {
+			for by := 0; by < ny; by++ {
+				for bx := 0; bx < nx; bx++ {
+					var max uint8
+					for dz := 0; dz < 2; dz++ {
+						for dy := 0; dy < 2; dy++ {
+							for dx := 0; dx < 2; dx++ {
+								cx, cy, cz := bx*2+dx, by*2+dy, bz*2+dz
+								if cx >= px || cy >= py || cz >= pz {
+									continue
+								}
+								if m := prev[(cz*py+cy)*px+cx].maxOpacity; m > max {
+									max = m
+								}
+							}
+						}
+					}
+					lvl[(bz*ny+by)*nx+bx] = mmNode{maxOpacity: max}
+				}
+			}
+		}
+		o.levels = append(o.levels, lvl)
+		o.dims = append(o.dims, [3]int{nx, ny, nz})
+	}
+	return o
+}
+
+// nodeIndex returns (level-local index, ok) of the node containing voxel
+// (x,y,z) at the given level.
+func (o *mmOctree) nodeIndex(level, x, y, z int) (int, bool) {
+	span := o.leafSize << uint(level)
+	bx, by, bz := x/span, y/span, z/span
+	d := o.dims[level]
+	if bx < 0 || by < 0 || bz < 0 || bx >= d[0] || by >= d[1] || bz >= d[2] {
+		return 0, false
+	}
+	return (bz*d[1]+by)*d[0] + bx, true
+}
+
+// transparentSpan reports the largest block span (in voxels) around
+// (x,y,z) that is fully transparent, walking up the pyramid, together
+// with the number of pyramid nodes inspected. Zero span means the leaf
+// block is not transparent.
+func (o *mmOctree) transparentSpan(x, y, z int) (span, nodesVisited int) {
+	best := 0
+	for level := 0; level < len(o.levels); level++ {
+		idx, ok := o.nodeIndex(level, x, y, z)
+		if !ok {
+			break
+		}
+		nodesVisited++
+		if o.levels[level][idx].maxOpacity != 0 {
+			break
+		}
+		best = o.leafSize << uint(level)
+	}
+	return best, nodesVisited
+}
+
+// nodeAddrOffset gives a stable flat offset (in nodes) for simulated
+// addressing of node idx at the given level.
+func (o *mmOctree) nodeAddrOffset(level, idx int) int {
+	off := 0
+	for l := 0; l < level; l++ {
+		off += len(o.levels[l])
+	}
+	return off + idx
+}
+
+// totalNodes reports the pyramid size.
+func (o *mmOctree) totalNodes() int {
+	n := 0
+	for _, l := range o.levels {
+		n += len(l)
+	}
+	return n
+}

@@ -1,0 +1,405 @@
+package volrend
+
+import (
+	"fmt"
+	"math"
+
+	"wsstudy/internal/trace"
+)
+
+// Config parameterizes the renderer.
+type Config struct {
+	ImageW, ImageH int
+	P              int     // processors
+	TermOpacity    float64 // early-termination threshold (default 0.95)
+	DisableOctree  bool    // march every lattice sample (tests/ablation)
+	// Shading applies Lambertian shading from the density gradient
+	// (central differences: six extra voxel reads per contributing
+	// sample), as in the Levoy renderer the paper parallelizes.
+	Shading bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ImageW <= 0 || c.ImageH <= 0 {
+		return fmt.Errorf("volrend: bad image %dx%d", c.ImageW, c.ImageH)
+	}
+	if c.P <= 0 {
+		return fmt.Errorf("volrend: P must be positive")
+	}
+	if c.P > c.ImageW*c.ImageH {
+		return fmt.Errorf("volrend: more processors than pixels")
+	}
+	return nil
+}
+
+// FrameStats summarizes one rendered frame.
+type FrameStats struct {
+	Rays            int
+	Samples         int
+	VoxelReads      int
+	OctreeReads     int
+	EarlyTerminated int
+	StolenRays      int
+	RaysByPE        []int
+}
+
+// Renderer casts rays through a volume. With a trace sink attached it
+// emits every processor's reference stream; the image-plane partition
+// gives each processor a contiguous pixel block, and idle processors
+// steal rays (the paper's load-balancing scheme).
+type Renderer struct {
+	vol  *Volume
+	oct  *mmOctree
+	cfg  Config
+	sink trace.Consumer
+	em   []*trace.Emitter
+
+	voxBase, octBase, imgBase uint64
+
+	img   []float64
+	frame int
+}
+
+// NewRenderer builds a renderer over the volume.
+func NewRenderer(vol *Volume, cfg Config, sink trace.Consumer) (*Renderer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TermOpacity == 0 {
+		cfg.TermOpacity = 0.95
+	}
+	r := &Renderer{
+		vol:  vol,
+		oct:  buildOctree(vol),
+		cfg:  cfg,
+		sink: sink,
+		img:  make([]float64, cfg.ImageW*cfg.ImageH),
+	}
+	var arena trace.Arena
+	r.voxBase = arena.Alloc(uint64(vol.Voxels())*2, 8)
+	r.octBase = arena.Alloc(uint64(r.oct.totalNodes()), 8)
+	r.imgBase = arena.Alloc(uint64(cfg.ImageW*cfg.ImageH)*4, 8)
+	r.em = make([]*trace.Emitter, cfg.P)
+	for pe := range r.em {
+		r.em[pe] = trace.NewEmitter(pe, sink)
+	}
+	return r, nil
+}
+
+// Image returns the last rendered frame, row-major intensities in [0,1].
+func (r *Renderer) Image() []float64 { return r.img }
+
+func (r *Renderer) voxAddr(x, y, z int) uint64 {
+	return r.voxBase + uint64(r.vol.idx(x, y, z))*2
+}
+
+func (r *Renderer) octAddr(level, idx int) uint64 {
+	return r.octBase + uint64(r.oct.nodeAddrOffset(level, idx))
+}
+
+func (r *Renderer) imgAddr(i, j int) uint64 {
+	return r.imgBase + uint64(j*r.cfg.ImageW+i)*4
+}
+
+// blockOf returns the processor owning pixel (i,j): the image is split
+// into a near-square grid of contiguous blocks.
+func (r *Renderer) blocks() (pr, pc int) {
+	pc = int(math.Sqrt(float64(r.cfg.P)))
+	for r.cfg.P%pc != 0 {
+		pc--
+	}
+	return r.cfg.P / pc, pc
+}
+
+// ray holds one pixel's ray task.
+type ray struct{ i, j int }
+
+// RenderFrame renders with the viewing direction rotated angle radians
+// about the volume's vertical axis (successive frames with slowly varying
+// angles reproduce the paper's cross-frame reuse, lev3WS). It returns the
+// frame statistics.
+func (r *Renderer) RenderFrame(angle float64) FrameStats {
+	if ec, ok := r.sink.(trace.EpochConsumer); ok {
+		ec.BeginEpoch(r.frame)
+	}
+	r.frame++
+	for i := range r.img {
+		r.img[i] = 0
+	}
+
+	// Build per-PE ray queues from the block partition.
+	pr, pc := r.blocks()
+	w, h := r.cfg.ImageW, r.cfg.ImageH
+	queues := make([][]ray, r.cfg.P)
+	for pe := 0; pe < r.cfg.P; pe++ {
+		bi, bj := pe%pc, pe/pc
+		i0, i1 := bi*w/pc, (bi+1)*w/pc
+		j0, j1 := bj*h/pr, (bj+1)*h/pr
+		for j := j0; j < j1; j++ {
+			for i := i0; i < i1; i++ {
+				queues[pe] = append(queues[pe], ray{i, j})
+			}
+		}
+	}
+
+	stats := FrameStats{RaysByPE: make([]int, r.cfg.P)}
+	view := newView(r.vol, angle, w, h)
+
+	// Round-robin scheduling with stealing: each processor casts from its
+	// own queue; once empty it steals from the currently longest queue.
+	next := make([]int, r.cfg.P)
+	for {
+		idle := 0
+		for pe := 0; pe < r.cfg.P; pe++ {
+			var task ray
+			if next[pe] < len(queues[pe]) {
+				task = queues[pe][next[pe]]
+				next[pe]++
+			} else {
+				// Steal from the victim with the most remaining rays.
+				victim, best := -1, 0
+				for v := 0; v < r.cfg.P; v++ {
+					if rem := len(queues[v]) - next[v]; rem > best {
+						victim, best = v, rem
+					}
+				}
+				if victim < 0 {
+					idle++
+					continue
+				}
+				last := len(queues[victim]) - 1
+				task = queues[victim][last]
+				queues[victim] = queues[victim][:last]
+				stats.StolenRays++
+			}
+			r.castRay(task, view, r.em[pe], &stats)
+			stats.RaysByPE[pe]++
+			stats.Rays++
+		}
+		if idle == r.cfg.P {
+			break
+		}
+	}
+	return stats
+}
+
+// view precomputes the orthographic camera for a frame.
+type view struct {
+	origin     Vec3 // center of the image plane
+	dir        Vec3 // ray direction
+	u, v       Vec3 // image-plane basis, scaled per pixel
+	w, h       int
+	tMax       float64
+	nx, ny, nz float64
+}
+
+// Vec3 is a small local vector type (volrend needs no shared linear
+// algebra beyond this).
+type Vec3 struct{ X, Y, Z float64 }
+
+func (a Vec3) add(b Vec3) Vec3      { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+func (a Vec3) scale(s float64) Vec3 { return Vec3{a.X * s, a.Y * s, a.Z * s} }
+
+func newView(vol *Volume, angle float64, w, h int) view {
+	nx, ny, nz := float64(vol.NX), float64(vol.NY), float64(vol.NZ)
+	center := Vec3{nx / 2, ny / 2, nz / 2}
+	diag := math.Sqrt(nx*nx + ny*ny + nz*nz)
+	dir := Vec3{math.Sin(angle), 0, math.Cos(angle)}
+	u := Vec3{math.Cos(angle), 0, -math.Sin(angle)}
+	v := Vec3{0, 1, 0}
+	// The image plane spans the bounding sphere (the paper's 3n^2 rays).
+	su, sv := diag/float64(w), diag/float64(h)
+	origin := center.add(dir.scale(-diag/2 - 2))
+	return view{
+		origin: origin, dir: dir,
+		u: u.scale(su), v: v.scale(sv),
+		w: w, h: h, tMax: diag + 4,
+		nx: nx, ny: ny, nz: nz,
+	}
+}
+
+// entryExit clips the ray starting at p along d to the volume box,
+// returning the [t0,t1) parameter range (empty if it misses).
+func (vw view) entryExit(p Vec3, d Vec3) (float64, float64) {
+	t0, t1 := 0.0, vw.tMax
+	clip := func(p0, dd, lo, hi float64) bool {
+		if dd == 0 {
+			return p0 >= lo && p0 < hi
+		}
+		ta, tb := (lo-p0)/dd, (hi-p0)/dd
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		if ta > t0 {
+			t0 = ta
+		}
+		if tb < t1 {
+			t1 = tb
+		}
+		return t0 < t1
+	}
+	if !clip(p.X, d.X, 0, vw.nx-1) || !clip(p.Y, d.Y, 0, vw.ny-1) || !clip(p.Z, d.Z, 0, vw.nz-1) {
+		return 0, -1
+	}
+	return t0, t1
+}
+
+// castRay marches one ray, compositing into the image and emitting the
+// processor's references.
+func (r *Renderer) castRay(task ray, vw view, e *trace.Emitter, stats *FrameStats) {
+	p0 := vw.origin.
+		add(vw.u.scale(float64(task.i - vw.w/2))).
+		add(vw.v.scale(float64(task.j - vw.h/2)))
+	t0, t1 := vw.entryExit(p0, vw.dir)
+	transmit := 1.0
+	color := 0.0
+	// Samples sit on the integer-t lattice so that octree skipping (which
+	// jumps to the next lattice point past a transparent block) composites
+	// exactly the same samples as a full march.
+	for t := math.Ceil(t0); t0 >= 0 && t < t1; {
+		pos := p0.add(vw.dir.scale(t))
+		x, y, z := int(pos.X), int(pos.Y), int(pos.Z)
+		if !r.cfg.DisableOctree {
+			// Octree query: how much transparent space surrounds this
+			// sample?
+			span, visited := r.oct.transparentSpan(x, y, z)
+			for l := 0; l < visited; l++ {
+				idx, _ := r.oct.nodeIndex(l, x, y, z)
+				e.Load(r.octAddr(l, idx), 1)
+			}
+			stats.OctreeReads += visited
+			if span > 0 {
+				// Jump to the first lattice point past the block exit.
+				exit := r.blockExit(pos, vw.dir, x, y, z, span, t)
+				nt := math.Floor(exit) + 1
+				if nt <= t {
+					nt = t + 1
+				}
+				t = nt
+				continue
+			}
+		}
+		// Interesting neighborhood: trilinear resample (8 voxel reads).
+		sampleO, sampleD := r.trilinear(pos, e, stats)
+		stats.Samples++
+		alpha := sampleO / 255
+		if alpha > 0 {
+			shade := 1.0
+			if r.cfg.Shading {
+				shade = r.shadeAt(x, y, z, vw.dir, e, stats)
+			}
+			color += transmit * alpha * (sampleD / 255) * shade
+			transmit *= 1 - alpha
+			if 1-transmit >= r.cfg.TermOpacity {
+				stats.EarlyTerminated++
+				break
+			}
+		}
+		t++
+	}
+	r.img[task.j*r.cfg.ImageW+task.i] = color
+	e.Store(r.imgAddr(task.i, task.j), 4)
+}
+
+// blockExit returns the ray parameter at which the ray leaves the
+// transparent block of the given span containing voxel (x,y,z).
+func (r *Renderer) blockExit(pos, dir Vec3, x, y, z, span int, t float64) float64 {
+	bx, by, bz := (x/span)*span, (y/span)*span, (z/span)*span
+	exit := math.Inf(1)
+	axis := func(p, d float64, lo, hi float64) float64 {
+		switch {
+		case d > 0:
+			return (hi - p) / d
+		case d < 0:
+			return (lo - p) / d
+		default:
+			return math.Inf(1)
+		}
+	}
+	exit = math.Min(exit, axis(pos.X, dir.X, float64(bx), float64(bx+span)))
+	exit = math.Min(exit, axis(pos.Y, dir.Y, float64(by), float64(by+span)))
+	exit = math.Min(exit, axis(pos.Z, dir.Z, float64(bz), float64(bz+span)))
+	if math.IsInf(exit, 1) {
+		exit = 0
+	}
+	return t + math.Max(exit, 0)
+}
+
+// trilinear reads the 8 surrounding voxels (two bytes each) and returns
+// the interpolated opacity and density.
+func (r *Renderer) trilinear(pos Vec3, e *trace.Emitter, stats *FrameStats) (opacity, density float64) {
+	x0, y0, z0 := int(pos.X), int(pos.Y), int(pos.Z)
+	fx, fy, fz := pos.X-float64(x0), pos.Y-float64(y0), pos.Z-float64(z0)
+	for dz := 0; dz < 2; dz++ {
+		for dy := 0; dy < 2; dy++ {
+			for dx := 0; dx < 2; dx++ {
+				x, y, z := x0+dx, y0+dy, z0+dz
+				if x >= r.vol.NX {
+					x = r.vol.NX - 1
+				}
+				if y >= r.vol.NY {
+					y = r.vol.NY - 1
+				}
+				if z >= r.vol.NZ {
+					z = r.vol.NZ - 1
+				}
+				e.Load(r.voxAddr(x, y, z), 2)
+				stats.VoxelReads++
+				wx := fx
+				if dx == 0 {
+					wx = 1 - fx
+				}
+				wy := fy
+				if dy == 0 {
+					wy = 1 - fy
+				}
+				wz := fz
+				if dz == 0 {
+					wz = 1 - fz
+				}
+				w := wx * wy * wz
+				opacity += w * float64(r.vol.Opacity(x, y, z))
+				density += w * float64(r.vol.Density(x, y, z))
+			}
+		}
+	}
+	return opacity, density
+}
+
+// shadeAt returns a Lambertian factor in [ambient, 1] from the density
+// gradient at the voxel, reading the six axis neighbors (two bytes each).
+func (r *Renderer) shadeAt(x, y, z int, dir Vec3, e *trace.Emitter, stats *FrameStats) float64 {
+	clamp := func(a, hi int) int {
+		if a < 0 {
+			return 0
+		}
+		if a >= hi {
+			return hi - 1
+		}
+		return a
+	}
+	read := func(xx, yy, zz int) float64 {
+		xx, yy, zz = clamp(xx, r.vol.NX), clamp(yy, r.vol.NY), clamp(zz, r.vol.NZ)
+		e.Load(r.voxAddr(xx, yy, zz), 2)
+		stats.VoxelReads++
+		return float64(r.vol.Density(xx, yy, zz))
+	}
+	g := Vec3{
+		X: read(x+1, y, z) - read(x-1, y, z),
+		Y: read(x, y+1, z) - read(x, y-1, z),
+		Z: read(x, y, z+1) - read(x, y, z-1),
+	}
+	n2 := g.X*g.X + g.Y*g.Y + g.Z*g.Z
+	const ambient = 0.3
+	if n2 == 0 {
+		return ambient
+	}
+	// Headlight: the light rides the view direction; flat regions stay
+	// ambient, surfaces facing the viewer brighten.
+	dot := g.X*dir.X + g.Y*dir.Y + g.Z*dir.Z
+	if dot < 0 {
+		dot = -dot
+	}
+	return ambient + (1-ambient)*dot/math.Sqrt(n2)
+}

@@ -1,0 +1,93 @@
+package cache
+
+// Bank runs one exact LRU simulation per candidate capacity, sharing a
+// single access stream. It is the slow-but-exact counterpart of
+// StackProfiler: under coherence invalidations LRU caches of different
+// sizes fill freed slots at different times, which breaks the single-valued
+// stack-distance property (no one-pass algorithm can be exact), so
+// experiments that need exact per-size miss counts in the presence of
+// communication use a Bank. Without invalidations the two agree bit-exactly;
+// the ablation benchmark quantifies the cost difference.
+type Bank struct {
+	caches []*LRU
+}
+
+// NewBank builds LRU caches at each capacity (in lines), which must be
+// positive and sorted ascending.
+func NewBank(capacitiesLines []int, lineSize uint32) *Bank {
+	if len(capacitiesLines) == 0 {
+		panic("cache: Bank needs at least one capacity")
+	}
+	b := &Bank{caches: make([]*LRU, len(capacitiesLines))}
+	prev := 0
+	for i, c := range capacitiesLines {
+		if c <= prev {
+			panic("cache: Bank capacities must be positive and strictly ascending")
+		}
+		prev = c
+		b.caches[i] = NewLRU(c, lineSize)
+	}
+	return b
+}
+
+// Access touches the byte range in every member cache.
+func (b *Bank) Access(addr uint64, size uint32, read bool) {
+	if size == 0 {
+		return
+	}
+	ls := b.caches[0].LineSize()
+	first := Line(addr, ls)
+	last := Line(addr+uint64(size)-1, ls)
+	for line := first; ; line++ {
+		a := line << lineShift(ls)
+		for _, c := range b.caches {
+			c.Access(a, read)
+		}
+		if line == last {
+			break
+		}
+	}
+}
+
+// Invalidate removes the line containing addr from every member cache.
+func (b *Bank) Invalidate(addr uint64) {
+	for _, c := range b.caches {
+		c.Invalidate(addr)
+	}
+}
+
+// SetMeasuring implements cold-start exclusion: turning measurement on
+// resets all counters while keeping contents.
+func (b *Bank) SetMeasuring(on bool) {
+	if on {
+		for _, c := range b.caches {
+			c.ResetStats()
+		}
+	}
+}
+
+// Curve reports the exact miss counts at every member capacity.
+func (b *Bank) Curve() []MissCount {
+	out := make([]MissCount, len(b.caches))
+	for i, c := range b.caches {
+		s := c.Stats()
+		out[i] = MissCount{
+			CapacityLines: int(c.CapacityBytes() / uint64(c.LineSize())),
+			ReadMisses:    s.ReadMisses,
+			WriteMisses:   s.WriteMisses,
+		}
+	}
+	return out
+}
+
+// Stats returns the statistics of the cache at index i.
+func (b *Bank) Stats(i int) Stats { return b.caches[i].Stats() }
+
+// Capacities reports the member capacities in lines.
+func (b *Bank) Capacities() []int {
+	out := make([]int, len(b.caches))
+	for i, c := range b.caches {
+		out[i] = int(c.CapacityBytes() / uint64(c.LineSize()))
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+// Package cache provides the cache simulators used to measure working sets.
+//
+// The paper measures working sets with fully associative LRU caches, sweeping
+// capacity and looking for knees in the miss-rate-versus-size curve. Running
+// one simulation per candidate size is wasteful: LRU obeys Mattson's
+// inclusion property, so a single pass that records the reuse (stack)
+// distance of every reference yields the exact miss count for every capacity
+// at once. StackProfiler implements that; LRU and SetAssoc provide concrete
+// per-size simulators (SetAssoc with Assoc=1 is a direct-mapped cache, used
+// for the paper's Section 6.4 comparison).
+package cache
+
+import "fmt"
+
+// Line computes the cache line index of a byte address for a given line size.
+// lineSize must be a power of two.
+func Line(addr uint64, lineSize uint32) uint64 {
+	return addr >> lineShift(lineSize)
+}
+
+func lineShift(lineSize uint32) uint {
+	if lineSize == 0 || lineSize&(lineSize-1) != 0 {
+		panic(fmt.Sprintf("cache: line size %d is not a power of two", lineSize))
+	}
+	s := uint(0)
+	for l := lineSize; l > 1; l >>= 1 {
+		s++
+	}
+	return s
+}
+
+// LinesSpanned reports how many lines the byte range [addr, addr+size)
+// touches.
+func LinesSpanned(addr uint64, size, lineSize uint32) int {
+	if size == 0 {
+		return 0
+	}
+	first := Line(addr, lineSize)
+	last := Line(addr+uint64(size)-1, lineSize)
+	return int(last - first + 1)
+}
+
+// AccessResult classifies the outcome of a single cache access.
+type AccessResult uint8
+
+const (
+	// Hit means the line was present.
+	Hit AccessResult = iota
+	// ColdMiss means the line had never been accessed before.
+	ColdMiss
+	// CapacityMiss means the line was evicted for space since its last use.
+	CapacityMiss
+	// CoherenceMiss means the line was invalidated by a remote write since
+	// its last use. These are the paper's "inherent communication" misses:
+	// no cache size removes them.
+	CoherenceMiss
+	// ConflictMiss means the line was evicted by a set conflict (only
+	// set-associative caches report it; fully associative caches fold
+	// conflicts into CapacityMiss by construction).
+	ConflictMiss
+)
+
+// Miss reports whether the result is any kind of miss.
+func (r AccessResult) Miss() bool { return r != Hit }
+
+// String names the result.
+func (r AccessResult) String() string {
+	switch r {
+	case Hit:
+		return "hit"
+	case ColdMiss:
+		return "cold"
+	case CapacityMiss:
+		return "capacity"
+	case CoherenceMiss:
+		return "coherence"
+	case ConflictMiss:
+		return "conflict"
+	}
+	return "unknown"
+}
+
+// Stats accumulates access counts split by read/write and miss class.
+type Stats struct {
+	Accesses    uint64
+	Reads       uint64
+	Writes      uint64
+	ReadMisses  uint64
+	WriteMisses uint64
+	Cold        uint64
+	Capacity    uint64
+	Coherence   uint64
+	Conflict    uint64
+	// Writebacks counts dirty lines written back to memory on eviction
+	// or invalidation — the write-traffic side of the paper's Section 1
+	// bus-pressure argument (misses are the read side).
+	Writebacks uint64
+}
+
+// Record folds one access outcome into the stats.
+func (s *Stats) Record(read bool, res AccessResult) {
+	s.Accesses++
+	if read {
+		s.Reads++
+	} else {
+		s.Writes++
+	}
+	if !res.Miss() {
+		return
+	}
+	if read {
+		s.ReadMisses++
+	} else {
+		s.WriteMisses++
+	}
+	switch res {
+	case ColdMiss:
+		s.Cold++
+	case CapacityMiss:
+		s.Capacity++
+	case CoherenceMiss:
+		s.Coherence++
+	case ConflictMiss:
+		s.Conflict++
+	}
+}
+
+// Misses reports the total miss count.
+func (s *Stats) Misses() uint64 { return s.ReadMisses + s.WriteMisses }
+
+// ReadMissRate reports read misses over read accesses (the metric the paper
+// uses for Barnes-Hut and volume rendering). Zero reads yields zero.
+func (s *Stats) ReadMissRate() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.ReadMisses) / float64(s.Reads)
+}
+
+// MissRate reports total misses over total accesses. Zero accesses yields
+// zero.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses()) / float64(s.Accesses)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.ReadMisses += other.ReadMisses
+	s.WriteMisses += other.WriteMisses
+	s.Cold += other.Cold
+	s.Capacity += other.Capacity
+	s.Coherence += other.Coherence
+	s.Conflict += other.Conflict
+	s.Writebacks += other.Writebacks
+}
+
+// Cache is the interface shared by the concrete simulators.
+type Cache interface {
+	// Access touches one line-aligned address and returns the outcome.
+	// read distinguishes loads from stores for the statistics.
+	Access(addr uint64, read bool) AccessResult
+	// Invalidate removes the line containing addr, if present, and marks
+	// it so the next access is classified as a coherence miss.
+	Invalidate(addr uint64)
+	// Stats returns the accumulated statistics.
+	Stats() Stats
+	// ResetStats clears counters but keeps cache contents, which is how
+	// cold-start exclusion works: warm up, reset, then measure.
+	ResetStats()
+}

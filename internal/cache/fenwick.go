@@ -1,0 +1,39 @@
+package cache
+
+// fenwick is a binary indexed tree over 1-based positions, used by the
+// stack-distance profiler to count, in O(log n), how many distinct lines
+// have been referenced between two points in the trace.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick {
+	return &fenwick{tree: make([]int, n+1)}
+}
+
+// size reports the number of positions.
+func (f *fenwick) size() int { return len(f.tree) - 1 }
+
+// add adds delta at position i (1-based).
+func (f *fenwick) add(i, delta int) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the sum over positions [1, i].
+func (f *fenwick) prefix(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// rangeSum returns the sum over positions [lo, hi], inclusive.
+func (f *fenwick) rangeSum(lo, hi int) int {
+	if lo > hi {
+		return 0
+	}
+	return f.prefix(hi) - f.prefix(lo-1)
+}

@@ -1,0 +1,317 @@
+package cache
+
+import "sort"
+
+// StackProfiler computes, in a single pass over a reference stream, the
+// exact miss counts a fully associative LRU cache of *every* capacity would
+// incur (Mattson's stack algorithm). The paper sweeps cache sizes to find
+// working-set knees; with the profiler, one kernel run yields the entire
+// miss-rate-versus-cache-size curve.
+//
+// For each access, the profiler computes the reuse (stack) distance: the
+// number of stack positions above and including the line's previous access.
+// An LRU cache of capacity C lines hits exactly when the distance is at most
+// C. Distances are answered in O(log n) with a Fenwick tree over trace
+// positions.
+//
+// Coherence: Invalidate turns the line's stack position into a *hole*. The
+// hole still occupies a position, and the next miss-insertion consumes the
+// shallowest hole, mirroring the freed slot being filled without an
+// eviction. The invalidated line's next access is a miss at every capacity
+// (the paper's inherent communication misses) and is recorded separately
+// from the distance histogram.
+//
+// Exactness: without invalidations the profiler matches per-size LRU
+// simulation bit-exactly (Mattson's theorem; the tests assert it). With
+// invalidations, caches of different sizes fill freed slots at different
+// times, so no single-pass stack algorithm can be exact; the hole model
+// above can overstate the stack depth of lines that sit below a hole a
+// small cache has already refilled. The error is bounded by the number of
+// invalidations and is negligible at the communication rates of the paper's
+// applications (0.1%-2%). Experiments needing exactness under heavy
+// coherence traffic use Bank, the per-size simulation.
+//
+// Cold-start exclusion: references made before StartMeasuring update the
+// LRU state but are not counted, mirroring the paper's practice of omitting
+// the first iterations of iterative applications.
+type StackProfiler struct {
+	lineSize uint32
+
+	lastPos     map[uint64]int // line -> fenwick position of latest access
+	invalidated map[uint64]struct{}
+	holes       []int // positions of invalidation holes, sorted ascending
+	fen         *fenwick
+	clock       int // last used fenwick position
+
+	measuring bool
+
+	histRead            []uint64 // histRead[d] = read accesses at stack distance d
+	histWrite           []uint64
+	coldRead, coldWrite uint64
+	cohRead, cohWrite   uint64
+	reads, writes       uint64
+}
+
+const initialFenwickSize = 1 << 16
+
+// NewStackProfiler builds a profiler for the given line size. Measurement
+// starts enabled; call SetMeasuring(false) first to warm up.
+func NewStackProfiler(lineSize uint32) *StackProfiler {
+	lineShift(lineSize)
+	return &StackProfiler{
+		lineSize:    lineSize,
+		lastPos:     make(map[uint64]int),
+		invalidated: make(map[uint64]struct{}),
+		fen:         newFenwick(initialFenwickSize),
+		measuring:   true,
+		histRead:    make([]uint64, 1),
+		histWrite:   make([]uint64, 1),
+	}
+}
+
+// LineSize reports the configured line size in bytes.
+func (p *StackProfiler) LineSize() uint32 { return p.lineSize }
+
+// SetMeasuring toggles statistics collection. State updates always happen.
+func (p *StackProfiler) SetMeasuring(on bool) { p.measuring = on }
+
+// Measuring reports whether statistics are being collected.
+func (p *StackProfiler) Measuring() bool { return p.measuring }
+
+// Access processes a reference to the byte range [addr, addr+size) and
+// updates the distance histograms. Multi-line references touch each line.
+func (p *StackProfiler) Access(addr uint64, size uint32, read bool) {
+	if size == 0 {
+		return
+	}
+	first := Line(addr, p.lineSize)
+	last := Line(addr+uint64(size)-1, p.lineSize)
+	for line := first; ; line++ {
+		p.touch(line, read)
+		if line == last {
+			break
+		}
+	}
+}
+
+func (p *StackProfiler) touch(line uint64, read bool) {
+	if p.measuring {
+		if read {
+			p.reads++
+		} else {
+			p.writes++
+		}
+	}
+	pos, resident := p.lastPos[line]
+	if resident {
+		// Distance counts every occupied position (lines and holes) from
+		// the line's slot to the top of the stack, inclusive.
+		d := p.fen.rangeSum(pos+1, p.clock) + 1
+		if p.measuring {
+			p.recordDistance(d, read)
+		}
+		p.fen.add(pos, -1)
+	} else {
+		// Miss at every capacity: classify, then fill the shallowest hole
+		// (the free slot every affected cache has).
+		if p.measuring {
+			if _, inv := p.invalidated[line]; inv {
+				if read {
+					p.cohRead++
+				} else {
+					p.cohWrite++
+				}
+			} else if read {
+				p.coldRead++
+			} else {
+				p.coldWrite++
+			}
+		}
+		delete(p.invalidated, line)
+		p.consumeHole()
+	}
+	p.advance(line)
+}
+
+// consumeHole removes the most recent (highest-position, shallowest) hole.
+func (p *StackProfiler) consumeHole() {
+	n := len(p.holes)
+	if n == 0 {
+		return
+	}
+	pos := p.holes[n-1]
+	p.holes = p.holes[:n-1]
+	p.fen.add(pos, -1)
+}
+
+// advance assigns the next fenwick position to line, compacting when full.
+func (p *StackProfiler) advance(line uint64) {
+	if p.clock >= p.fen.size() {
+		p.compact()
+	}
+	p.clock++
+	p.lastPos[line] = p.clock
+	p.fen.add(p.clock, 1)
+}
+
+// compact renumbers the surviving positions 1..k (lines and holes),
+// preserving order, and resizes the tree so position space never exhausts.
+func (p *StackProfiler) compact() {
+	type lp struct {
+		line uint64
+		pos  int
+		hole bool
+	}
+	alive := make([]lp, 0, len(p.lastPos)+len(p.holes))
+	for line, pos := range p.lastPos {
+		alive = append(alive, lp{line: line, pos: pos})
+	}
+	for _, pos := range p.holes {
+		alive = append(alive, lp{pos: pos, hole: true})
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i].pos < alive[j].pos })
+	size := initialFenwickSize
+	for size < 2*len(alive)+2 {
+		size *= 2
+	}
+	p.fen = newFenwick(size)
+	p.holes = p.holes[:0]
+	for i, e := range alive {
+		if e.hole {
+			p.holes = append(p.holes, i+1)
+		} else {
+			p.lastPos[e.line] = i + 1
+		}
+		p.fen.add(i+1, 1)
+	}
+	sort.Ints(p.holes)
+	p.clock = len(alive)
+}
+
+func (p *StackProfiler) recordDistance(d int, read bool) {
+	h := &p.histRead
+	if !read {
+		h = &p.histWrite
+	}
+	for d >= len(*h) {
+		*h = append(*h, make([]uint64, len(*h)+1)...)
+	}
+	(*h)[d]++
+}
+
+// Invalidate turns the line's stack position into a hole; its next access
+// is a coherence miss at every capacity.
+func (p *StackProfiler) Invalidate(addr uint64) {
+	line := Line(addr, p.lineSize)
+	pos, ok := p.lastPos[line]
+	if !ok {
+		return
+	}
+	delete(p.lastPos, line)
+	p.invalidated[line] = struct{}{}
+	// Record the hole, keeping the slice sorted (holes are usually few).
+	i := sort.SearchInts(p.holes, pos)
+	p.holes = append(p.holes, 0)
+	copy(p.holes[i+1:], p.holes[i:])
+	p.holes[i] = pos
+}
+
+// DistinctLines reports how many distinct lines are currently on the stack.
+func (p *StackProfiler) DistinctLines() int { return len(p.lastPos) }
+
+// Reads reports measured read accesses.
+func (p *StackProfiler) Reads() uint64 { return p.reads }
+
+// Writes reports measured write accesses.
+func (p *StackProfiler) Writes() uint64 { return p.writes }
+
+// Accesses reports measured reads plus writes.
+func (p *StackProfiler) Accesses() uint64 { return p.reads + p.writes }
+
+// ColdMisses reports measured cold misses (read, write).
+func (p *StackProfiler) ColdMisses() (read, write uint64) {
+	return p.coldRead, p.coldWrite
+}
+
+// CoherenceMisses reports measured coherence misses (read, write).
+func (p *StackProfiler) CoherenceMisses() (read, write uint64) {
+	return p.cohRead, p.cohWrite
+}
+
+// MissCount holds the misses a given capacity would incur.
+type MissCount struct {
+	CapacityLines int
+	ReadMisses    uint64
+	WriteMisses   uint64
+}
+
+// Misses reports total misses.
+func (m MissCount) Misses() uint64 { return m.ReadMisses + m.WriteMisses }
+
+// MissesAt returns the exact miss counts for a fully associative LRU cache
+// of the given capacity in lines. Capacity 0 means every access misses.
+func (p *StackProfiler) MissesAt(capacityLines int) MissCount {
+	mc := MissCount{CapacityLines: capacityLines}
+	mc.ReadMisses = p.coldRead + p.cohRead + tailSum(p.histRead, capacityLines+1)
+	mc.WriteMisses = p.coldWrite + p.cohWrite + tailSum(p.histWrite, capacityLines+1)
+	return mc
+}
+
+func tailSum(h []uint64, from int) uint64 {
+	var s uint64
+	if from < 1 {
+		from = 1
+	}
+	for d := from; d < len(h); d++ {
+		s += h[d]
+	}
+	return s
+}
+
+// Curve returns miss counts for each capacity, computed in one sweep over
+// the histograms. Capacities must be sorted ascending.
+func (p *StackProfiler) Curve(capacitiesLines []int) []MissCount {
+	out := make([]MissCount, len(capacitiesLines))
+	maxD := len(p.histRead)
+	if len(p.histWrite) > maxD {
+		maxD = len(p.histWrite)
+	}
+	// Suffix sums make each capacity O(1).
+	sufR := suffixSums(p.histRead, maxD)
+	sufW := suffixSums(p.histWrite, maxD)
+	prev := -1
+	for i, c := range capacitiesLines {
+		if c < prev {
+			panic("cache: Curve capacities must be sorted ascending")
+		}
+		prev = c
+		mc := MissCount{CapacityLines: c}
+		mc.ReadMisses = p.coldRead + p.cohRead + at(sufR, c+1)
+		mc.WriteMisses = p.coldWrite + p.cohWrite + at(sufW, c+1)
+		out[i] = mc
+	}
+	return out
+}
+
+// suffixSums returns s where s[d] = sum of h[d:], sized maxD+1.
+func suffixSums(h []uint64, maxD int) []uint64 {
+	s := make([]uint64, maxD+1)
+	for d := maxD - 1; d >= 1; d-- {
+		v := uint64(0)
+		if d < len(h) {
+			v = h[d]
+		}
+		s[d] = s[d+1] + v
+	}
+	return s
+}
+
+func at(suf []uint64, d int) uint64 {
+	if d >= len(suf) {
+		return 0
+	}
+	if d < 1 {
+		d = 1
+	}
+	return suf[d]
+}

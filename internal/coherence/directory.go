@@ -1,0 +1,201 @@
+// Package coherence implements the write-invalidate directory protocol that
+// makes the simulated machine a cache-coherent shared-address-space
+// multiprocessor (the architecture of the paper's Section 2.2).
+//
+// The directory tracks, per cache line, which processors hold a copy and
+// whether one holds it dirty. A write by one processor invalidates every
+// other copy; the invalidations are what turn true sharing in the
+// applications into the coherence (communication) misses the working-set
+// curves flatten out at.
+package coherence
+
+// PESet is a set of processor ids, implemented as a bit vector so protocol
+// state stays compact even with thousands of lines.
+type PESet struct {
+	words []uint64
+}
+
+// NewPESet returns an empty set able to hold ids in [0, n).
+func NewPESet(n int) PESet {
+	return PESet{words: make([]uint64, (n+63)/64)}
+}
+
+// Add inserts pe into the set.
+func (s *PESet) Add(pe int) { s.words[pe>>6] |= 1 << (uint(pe) & 63) }
+
+// Remove deletes pe from the set.
+func (s *PESet) Remove(pe int) { s.words[pe>>6] &^= 1 << (uint(pe) & 63) }
+
+// Contains reports whether pe is in the set.
+func (s *PESet) Contains(pe int) bool {
+	return s.words[pe>>6]&(1<<(uint(pe)&63)) != 0
+}
+
+// Clear empties the set.
+func (s *PESet) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Len counts the members.
+func (s *PESet) Len() int {
+	n := 0
+	for _, w := range s.words {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach calls f for every member in ascending order.
+func (s *PESet) ForEach(f func(pe int)) {
+	for i, w := range s.words {
+		for ; w != 0; w &= w - 1 {
+			bit := w & (-w)
+			pe := i*64 + trailingZeros(bit)
+			f(pe)
+		}
+	}
+}
+
+func trailingZeros(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}
+
+// lineState is the per-line directory entry. A line is Modified when dirty
+// holds; otherwise it is Shared by everyone in sharers (possibly nobody).
+type lineState struct {
+	sharers PESet
+	dirty   bool
+	owner   int
+}
+
+// Invalidator receives invalidation messages for a processor's cache.
+// Both cache.LRU and cache.StackProfiler satisfy it.
+type Invalidator interface {
+	Invalidate(addr uint64)
+}
+
+// Stats counts protocol events.
+type Stats struct {
+	ReadRequests       uint64
+	WriteRequests      uint64
+	Invalidations      uint64 // individual cache copies invalidated
+	InvalidatingWrites uint64 // writes that invalidated at least one copy
+	Downgrades         uint64 // dirty copies demoted to shared by remote reads
+}
+
+// Directory is a full-map, write-invalidate directory over cache lines.
+// It is deliberately protocol-level only: it tracks sharer sets and sends
+// invalidations, leaving miss classification to the per-processor caches.
+type Directory struct {
+	numPEs   int
+	lineSize uint32
+	lines    map[uint64]*lineState
+	caches   []Invalidator
+	stats    Stats
+}
+
+// NewDirectory builds a directory for numPEs processors whose caches use
+// the given line size. caches[i] receives invalidations for processor i;
+// entries may be nil (no cache attached, e.g. processors outside the
+// measured set).
+func NewDirectory(numPEs int, lineSize uint32, caches []Invalidator) *Directory {
+	if numPEs <= 0 {
+		panic("coherence: need at least one processor")
+	}
+	if len(caches) != numPEs {
+		panic("coherence: caches slice must have one entry per processor")
+	}
+	return &Directory{
+		numPEs:   numPEs,
+		lineSize: lineSize,
+		lines:    make(map[uint64]*lineState),
+		caches:   caches,
+	}
+}
+
+func (d *Directory) entry(line uint64) *lineState {
+	e, ok := d.lines[line]
+	if !ok {
+		e = &lineState{sharers: NewPESet(d.numPEs)}
+		d.lines[line] = e
+	}
+	return e
+}
+
+// Read registers a read of the line containing addr by pe. A dirty copy
+// held elsewhere is downgraded to shared (the data flows through the
+// directory; the reader's own cache classifies the miss).
+func (d *Directory) Read(pe int, addr uint64) {
+	d.stats.ReadRequests++
+	line := addr >> d.shift()
+	e := d.entry(line)
+	if e.dirty && e.owner != pe {
+		e.dirty = false
+		d.stats.Downgrades++
+	}
+	e.sharers.Add(pe)
+}
+
+// Write registers a write of the line containing addr by pe, invalidating
+// every other copy.
+func (d *Directory) Write(pe int, addr uint64) {
+	d.stats.WriteRequests++
+	line := addr >> d.shift()
+	e := d.entry(line)
+	invalidated := false
+	e.sharers.ForEach(func(other int) {
+		if other == pe {
+			return
+		}
+		d.stats.Invalidations++
+		invalidated = true
+		if c := d.caches[other]; c != nil {
+			c.Invalidate(addr)
+		}
+	})
+	if invalidated {
+		d.stats.InvalidatingWrites++
+	}
+	e.sharers.Clear()
+	e.sharers.Add(pe)
+	e.dirty = true
+	e.owner = pe
+}
+
+// Sharers reports how many processors hold the line containing addr.
+func (d *Directory) Sharers(addr uint64) int {
+	e, ok := d.lines[addr>>d.shift()]
+	if !ok {
+		return 0
+	}
+	return e.sharers.Len()
+}
+
+// IsDirty reports whether the line containing addr is held modified.
+func (d *Directory) IsDirty(addr uint64) bool {
+	e, ok := d.lines[addr>>d.shift()]
+	return ok && e.dirty
+}
+
+// Stats returns the accumulated protocol statistics.
+func (d *Directory) Stats() Stats { return d.stats }
+
+// ResetStats clears protocol counters, keeping directory state.
+func (d *Directory) ResetStats() { d.stats = Stats{} }
+
+func (d *Directory) shift() uint {
+	s := uint(0)
+	for l := d.lineSize; l > 1; l >>= 1 {
+		s++
+	}
+	return s
+}

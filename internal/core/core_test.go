@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"wsstudy/internal/workingset"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	want := []string{"fig2", "fig4", "fig5", "fig6", "fig6dm", "fig7",
+		"table1", "table2", "machines", "grain", "scalingbh", "cost",
+		"assoc", "linesize", "scalingall", "phases", "bus"}
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Errorf("registry[%d] = %q, want %q", i, reg[i].ID, id)
+		}
+		if reg[i].Title == "" || reg[i].Description == "" || reg[i].Run == nil {
+			t.Errorf("experiment %q incomplete", reg[i].ID)
+		}
+	}
+	if _, ok := Find("fig6"); !ok {
+		t.Error("Find(fig6) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) should fail")
+	}
+}
+
+// TestAllExperimentsRunQuick is the end-to-end integration test: every
+// registered experiment must run in quick mode and render non-trivially.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(Options{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(rep.Figures) == 0 && len(rep.Tables) == 0 {
+				t.Fatalf("%s: empty report", e.ID)
+			}
+			var sb strings.Builder
+			rep.Render(&sb)
+			out := sb.String()
+			if len(out) < 100 {
+				t.Fatalf("%s: suspiciously short render:\n%s", e.ID, out)
+			}
+			for _, fig := range rep.Figures {
+				for _, s := range fig.Series {
+					if len(s.Points) == 0 {
+						t.Errorf("%s: series %q empty", e.ID, s.Label)
+					}
+					c := workingset.Curve{Label: s.Label, Points: s.Points}
+					if err := c.Validate(); err != nil {
+						t.Errorf("%s: %v", e.ID, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFig6MeasuredShape checks paper-facing properties of the Figure 6
+// reproduction: a big lev1 drop and a floor under 2%.
+func TestFig6MeasuredShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	e, _ := Find("fig6")
+	rep, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Figures[0].Series[0]
+	c := workingset.Curve{Points: s.Points}
+	tiny := c.RateAt(64)
+	mid := c.RateAt(4096)
+	floor := c.RateAt(4 << 20)
+	if !(tiny > 2*mid && mid > floor) {
+		t.Errorf("fig6 shape wrong: %v, %v, %v", tiny, mid, floor)
+	}
+	if floor > 0.02 {
+		t.Errorf("fig6 floor = %v, want < 2%%", floor)
+	}
+}
+
+// TestFig6DMRatio checks the Section 6.4 reproduction: direct-mapped needs
+// a substantially larger cache than fully associative (paper: ~3x).
+func TestFig6DMRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	e, _ := Find("fig6dm")
+	rep, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "ratio") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fig6dm did not report a size ratio; notes: %v", rep.Notes)
+	}
+	// The DM curve should sit at or above the FA curve everywhere.
+	fa := rep.Figures[0].Series[0]
+	dm := rep.Figures[0].Series[1]
+	worse := 0
+	for i := range fa.Points {
+		if dm.Points[i].MissRate >= fa.Points[i].MissRate-1e-9 {
+			worse++
+		}
+	}
+	if worse < len(fa.Points)*3/4 {
+		t.Errorf("direct-mapped better than fully associative at %d/%d sizes",
+			len(fa.Points)-worse, len(fa.Points))
+	}
+}
+
+func TestTable2Values(t *testing.T) {
+	e, _ := Find("table2")
+	rep, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := rep.Tables[0]
+	if len(tab.Rows) != 5 {
+		t.Fatalf("table 2 has %d rows", len(tab.Rows))
+	}
+	// LU row: ours = 8 KB exactly (B=32 block).
+	if tab.Rows[0][3] != "8 KB" {
+		t.Errorf("LU cache(ours) = %q, want 8 KB", tab.Rows[0][3])
+	}
+	// VR row: ours = 70 KB (4000+110*600 = 70000 B).
+	if !strings.Contains(tab.Rows[4][3], "68") && !strings.Contains(tab.Rows[4][3], "70") {
+		t.Errorf("VR cache(ours) = %q, want ~70 KB", tab.Rows[4][3])
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	r := &Report{Title: "demo"}
+	r.Figures = append(r.Figures, Figure{
+		Title: "f", XLabel: "cache size", YLabel: "rate",
+		Series: []Series{{Label: "s", Points: []workingset.Point{
+			{CacheBytes: 64, MissRate: 1}, {CacheBytes: 128, MissRate: 0.1},
+		}}},
+	})
+	r.Tables = append(r.Tables, Table{Title: "t", Header: []string{"a"}, Rows: [][]string{{"1"}}})
+	r.AddNote("note %d", 7)
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	for _, frag := range []string{"demo", "64 B", "knees[s]", "note 7", "-- t --"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestScalingAllRows(t *testing.T) {
+	e, _ := Find("scalingall")
+	rep, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("want MC and TC tables, got %d", len(rep.Tables))
+	}
+	mc, tc := rep.Tables[0], rep.Tables[1]
+	if len(mc.Rows) != 10 || len(tc.Rows) != 10 {
+		t.Fatalf("want 5 apps x 2 machine sizes per model")
+	}
+	// LU MC at 16x: time 4x; LU TC at 16x: grain 0.40x.
+	if mc.Rows[0][5] != "4.0x" {
+		t.Errorf("LU MC time = %q, want 4.0x", mc.Rows[0][5])
+	}
+	if tc.Rows[0][3] != "0.40x" {
+		t.Errorf("LU TC grain = %q, want 0.40x", tc.Rows[0][3])
+	}
+	// CG time constant under both models.
+	if mc.Rows[1][5] != "1.0x" || tc.Rows[1][5] != "1.0x" {
+		t.Error("CG time should be constant under both models")
+	}
+}
+
+func TestPhasesNarrative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation step")
+	}
+	e, _ := Find("phases")
+	rep, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	work, proj := rep.Tables[0], rep.Tables[1]
+	if len(work.Rows) != 4 || len(proj.Rows) != 5 {
+		t.Fatalf("unexpected table shapes: %d, %d rows", len(work.Rows), len(proj.Rows))
+	}
+	// Force dominates the measured step.
+	if work.Rows[0][0] != "force computation" {
+		t.Fatal("first row should be the force phase")
+	}
+	// The paper's claim: tree phases small at 512 PEs, dominant at 256K.
+	parse := func(s string) float64 {
+		var v float64
+		fmt.Sscanf(s, "%f%%", &v)
+		return v
+	}
+	at512 := parse(proj.Rows[1][3])
+	at256k := parse(proj.Rows[4][3])
+	if at512 > 25 {
+		t.Errorf("tree share at 512 PEs = %v%%, should be modest", at512)
+	}
+	if at256k < 50 {
+		t.Errorf("tree share at 256K PEs = %v%%, should dominate", at256k)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	r := &Report{Title: "demo"}
+	r.Figures = append(r.Figures, Figure{
+		Title: "fig", Series: []Series{{Label: "s", Points: []workingset.Point{
+			{CacheBytes: 64, MissRate: 0.5},
+			{CacheBytes: 128, MissRate: 0.25},
+		}}},
+	})
+	var sb strings.Builder
+	if err := r.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3:\n%s", len(lines), out)
+	}
+	if lines[0] != "figure,series,cache_bytes,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "64,0.5") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestSparklinesInRender(t *testing.T) {
+	r := &Report{Title: "demo"}
+	r.Figures = append(r.Figures, Figure{
+		Title: "fig", XLabel: "cache size", YLabel: "rate",
+		Series: []Series{{Label: "s", Points: []workingset.Point{
+			{CacheBytes: 64, MissRate: 1}, {CacheBytes: 128, MissRate: 0.01},
+		}}},
+	})
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "log scale") {
+		t.Fatalf("no sparkline in render:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wsstudy/internal/apps/barneshut"
+)
+
+// expPhases quantifies Section 6.4's second caveat: the force phase
+// parallelizes essentially perfectly, but tree building and moment
+// computation "do not yield quite as good speedups due to larger amounts
+// of synchronization and contention ... [they] may become significant for
+// very fine-grained machines with very large numbers of processors".
+//
+// The phase work is measured from a real simulation step (instruction
+// estimates per work unit); the speedup projection gives the force and
+// update phases perfect scaling and models the tree phases with a
+// contention term that grows as log2(P) per unit of work — cells near the
+// root serialize insertions. The qualitative claim under test: the tree
+// phases are a small fraction of the time up to ~512 processors, and
+// dominate at extreme P.
+func expPhases() Experiment {
+	return Experiment{
+		ID:          "phases",
+		Title:       "Section 6.4: Barnes-Hut phase breakdown and fine-grain speedup limit",
+		Description: "Measured per-phase work and a projected speedup curve showing where tree building starts to bite.",
+		Run: func(o Options) (*Report, error) {
+			n := 4096
+			if o.Quick {
+				n = 1024
+			}
+			bodies := barneshut.Plummer(n, 7)
+			sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
+				Theta: 1.0, Quadrupole: true, Eps: 0.05, DT: 0.003, P: 4,
+			}, nil)
+			if err != nil {
+				return nil, err
+			}
+			var st barneshut.StepStats
+			for s := 0; s < 2; s++ {
+				if st, err = sim.Step(); err != nil {
+					return nil, err
+				}
+			}
+
+			// Instruction estimates per unit of work: the paper gives 80
+			// per interaction; tree-cell visits and moment computations are
+			// pointer-chasing plus a handful of FLOPs.
+			const (
+				instrPerInteraction = 80
+				instrPerBuildVisit  = 20
+				instrPerMomentCell  = 40
+				instrPerBodyUpdate  = 12
+			)
+			force := float64(st.Interactions) * instrPerInteraction
+			build := float64(st.BuildVisits) * instrPerBuildVisit
+			moments := float64(st.Cells) * instrPerMomentCell
+			update := float64(n) * instrPerBodyUpdate
+			total := force + build + moments + update
+
+			work := Table{
+				Title:  fmt.Sprintf("measured per-step work, n=%d theta=1.0", n),
+				Header: []string{"phase", "work units", "instr estimate", "fraction"},
+			}
+			addRow := func(name string, units int, instr float64) {
+				work.Rows = append(work.Rows, []string{
+					name, fmt.Sprint(units), fmt.Sprintf("%.3g", instr),
+					fmt.Sprintf("%.1f%%", 100*instr/total),
+				})
+			}
+			addRow("force computation", st.Interactions, force)
+			addRow("tree build", st.BuildVisits, build)
+			addRow("moments", st.Cells, moments)
+			addRow("integration", n, update)
+
+			// Speedup projection: force and update scale perfectly; the
+			// tree phases pay a contention factor (1 + logP/8) and can use
+			// at most n/8 processors effectively (an insertion path is a
+			// critical section near the root).
+			proj := Table{
+				Title:  "projected speedup (force/update perfect; tree phases contended)",
+				Header: []string{"P", "speedup", "efficiency", "tree-phase share of time"},
+			}
+			treeWork := build + moments
+			for _, p := range []float64{64, 512, 4096, 32768, 262144} {
+				fast := (force + update) / p
+				pTree := math.Min(p, float64(n)/8)
+				slow := treeWork * (1 + math.Log2(p)/8) / pTree
+				time := fast + slow
+				speedup := total / time
+				proj.Rows = append(proj.Rows, []string{
+					fmt.Sprintf("%.0f", p),
+					fmt.Sprintf("%.0f", speedup),
+					fmt.Sprintf("%.2f", speedup/p),
+					fmt.Sprintf("%.1f%%", 100*slow/time),
+				})
+			}
+
+			r := &Report{Title: "Barnes-Hut phase analysis (Section 6.4)"}
+			r.Tables = append(r.Tables, work, proj)
+			r.AddNote("paper: tree phases 'consume a small fraction of the execution time on moderately parallel machines (at least up to 512 processors for large problems), but may become significant for very fine-grained machines'")
+			r.AddNote("projection assumptions: per-unit instruction costs above; tree-phase parallelism capped at n/8 with a log2(P)/8 contention factor")
+			return r, nil
+		},
+	}
+}

@@ -1,0 +1,219 @@
+// Package core orchestrates the paper's experiments: each figure and table
+// of the evaluation maps to a registered Experiment whose Run method drives
+// the kernels, simulators and models and assembles a Report.
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"wsstudy/internal/workingset"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label  string
+	Points []workingset.Point
+}
+
+// Figure is a set of curves over cache size, plus any knees found.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Report is an experiment's full output.
+type Report struct {
+	Title   string
+	Figures []Figure
+	Tables  []Table
+	Notes   []string
+}
+
+// AddNote appends a free-text note.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the report as aligned text.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", r.Title)
+	for fi := range r.Figures {
+		renderFigure(w, &r.Figures[fi])
+	}
+	for ti := range r.Tables {
+		renderTable(w, &r.Tables[ti])
+	}
+	if len(r.Notes) > 0 {
+		fmt.Fprintln(w, "\nNotes:")
+		for _, n := range r.Notes {
+			fmt.Fprintf(w, "  - %s\n", n)
+		}
+	}
+}
+
+func renderFigure(w io.Writer, f *Figure) {
+	fmt.Fprintf(w, "\n-- %s --\n", f.Title)
+	fmt.Fprintf(w, "   (%s vs %s)\n", f.YLabel, f.XLabel)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	// Header: union of sizes comes from the first series; the sweeps all
+	// use the same grid.
+	fmt.Fprintf(tw, "%s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(tw, "\t%s", s.Label)
+	}
+	fmt.Fprintln(tw)
+	if len(f.Series) > 0 {
+		for i := range f.Series[0].Points {
+			fmt.Fprintf(tw, "%s", workingset.FormatBytes(f.Series[0].Points[i].CacheBytes))
+			for _, s := range f.Series {
+				if i < len(s.Points) {
+					fmt.Fprintf(tw, "\t%.4g", s.Points[i].MissRate)
+				} else {
+					fmt.Fprintf(tw, "\t-")
+				}
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	tw.Flush()
+	renderSparklines(w, f)
+	// Knee summary per series.
+	for _, s := range f.Series {
+		c := workingset.Curve{Label: s.Label, Points: s.Points}
+		knees := workingset.FindKnees(&c, 1.5, 0.002)
+		if len(knees) == 0 {
+			continue
+		}
+		var parts []string
+		for _, k := range knees {
+			parts = append(parts, fmt.Sprintf("%s (%.3g->%.3g)",
+				workingset.FormatBytes(k.CacheBytes), k.Before, k.After))
+		}
+		fmt.Fprintf(w, "   knees[%s]: %s\n", s.Label, strings.Join(parts, ", "))
+	}
+}
+
+// renderSparklines draws each series as a log-scale bar strip so the knee
+// structure is visible at a glance in a terminal.
+func renderSparklines(w io.Writer, f *Figure) {
+	marks := []rune(" .:-=+*#%@")
+	for _, s := range f.Series {
+		lo, hi := math.Inf(1), 0.0
+		for _, p := range s.Points {
+			if p.MissRate > 0 && p.MissRate < lo {
+				lo = p.MissRate
+			}
+			if p.MissRate > hi {
+				hi = p.MissRate
+			}
+		}
+		if hi == 0 || math.IsInf(lo, 1) || hi <= lo {
+			continue
+		}
+		var sb strings.Builder
+		for _, p := range s.Points {
+			if p.MissRate <= 0 {
+				sb.WriteRune(marks[0])
+				continue
+			}
+			frac := math.Log(p.MissRate/lo) / math.Log(hi/lo)
+			idx := int(frac * float64(len(marks)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(marks) {
+				idx = len(marks) - 1
+			}
+			sb.WriteRune(marks[idx])
+		}
+		fmt.Fprintf(w, "   [%s] %s (log scale, %s..%s)\n",
+			sb.String(), s.Label,
+			strconv.FormatFloat(lo, 'g', 3, 64), strconv.FormatFloat(hi, 'g', 3, 64))
+	}
+}
+
+// RenderCSV writes every figure series as rows of
+// (figure, series, cache_bytes, value) — machine-readable output for
+// external plotting.
+func (r *Report) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "series", "cache_bytes", "value"}); err != nil {
+		return err
+	}
+	for _, f := range r.Figures {
+		for _, s := range f.Series {
+			for _, p := range s.Points {
+				if err := cw.Write([]string{
+					f.Title, s.Label,
+					strconv.FormatUint(p.CacheBytes, 10),
+					strconv.FormatFloat(p.MissRate, 'g', -1, 64),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func renderTable(w io.Writer, t *Table) {
+	fmt.Fprintf(w, "\n-- %s --\n", t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+}
+
+// Options tunes an experiment run.
+type Options struct {
+	// Quick shrinks simulated problem sizes so the whole suite runs in
+	// seconds (used by tests); full runs use the paper-scale or
+	// largest-feasible configurations.
+	Quick bool
+}
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	ID          string // "fig2", "table1", ...
+	Title       string
+	Description string
+	Run         func(Options) (*Report, error)
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		expFig2(), expFig4(), expFig5(), expFig6(), expFig6DM(), expFig7(),
+		expTable1(), expTable2(), expMachines(), expGrain(), expScalingBH(),
+		expCost(), expAssoc(), expLineSize(), expScalingAll(), expPhases(),
+		expBus(),
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

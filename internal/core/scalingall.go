@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wsstudy/internal/scaling"
+	"wsstudy/internal/workingset"
+)
+
+// expScalingAll tabulates every application's behaviour under MC and TC
+// scaling from its prototypical 1 GB / 1024-PE configuration — the
+// "Scaling" paragraphs of Sections 3.3, 4.3, 5.3, 6.3 and 7.3 in one
+// table. The quantities per row: the scaled problem, the per-processor
+// grain relative to the prototype, the important working set, and the
+// execution-time multiple.
+func expScalingAll() Experiment {
+	return Experiment{
+		ID:          "scalingall",
+		Title:       "Scaling summary: all applications under MC and TC models",
+		Description: "Problem growth, grain, working set and run time when the machine grows 16x and 1024x.",
+		Run: func(Options) (*Report, error) {
+			r := &Report{Title: "Scaling all applications (prototypes on 1024 PEs)"}
+			for _, model := range []scaling.Model{scaling.MC, scaling.TC} {
+				t := Table{
+					Title:  model.String() + " scaling",
+					Header: []string{"application", "machine", "problem", "grain vs proto", "important WS", "time vs proto"},
+				}
+				for _, k := range []float64{16, 1024} {
+					t.Rows = append(t.Rows, scaleRows(model, k)...)
+				}
+				r.Tables = append(r.Tables, t)
+			}
+			r.AddNote("LU under MC: time grows as sqrt(k) — the paper's reason MC 'may be unacceptable' for LU; under TC the grain shrinks as k^(-1/3), the time-constraint argument for finer nodes")
+			r.AddNote("CG and volume rendering: ops scale with data, so MC and TC coincide (time constant at fixed grain)")
+			r.AddNote("FFT under MC: time grows only as log; the ratio depends only on the grain, so utilization is preserved")
+			r.AddNote("Barnes-Hut rows use the n-theta-dt co-scaling rule; see `wsstudy scalingbh` for the full trajectory")
+			return r, nil
+		},
+	}
+}
+
+func scaleRows(model scaling.Model, k float64) [][]string {
+	var rows [][]string
+	machine := fmt.Sprintf("%.0fx", k)
+
+	// LU: data n^2, ops n^3. Prototype n=10,000.
+	{
+		n0 := 10000.0
+		var n, grain, time float64
+		if model == scaling.MC {
+			n = scaling.LUScaleMC(n0, k)
+			grain = 1
+			time = math.Sqrt(k)
+		} else {
+			n = scaling.LUScaleTC(n0, k)
+			grain = scaling.LUGrainRatioTC(k)
+			time = 1
+		}
+		rows = append(rows, []string{
+			"LU", machine, fmt.Sprintf("n=%.0f", n),
+			fmt.Sprintf("%.2fx", grain), "2 KB (const, B=16)",
+			fmt.Sprintf("%.1fx", time),
+		})
+	}
+
+	// CG 2-D: data and ops both n^2 — MC and TC coincide.
+	{
+		n := scaling.CGScaleMC(4000, k)
+		ws := 7 * uint64(n/math.Sqrt(1024*k)*8)
+		rows = append(rows, []string{
+			"CG 2-D", machine, fmt.Sprintf("n=%.0f", n),
+			"1.00x", workingset.FormatBytes(ws) + " (lev1WS, const at fixed grain)",
+			"1.0x",
+		})
+	}
+
+	// FFT: data N, ops N log N. MC: N *= k; TC solves N' log N' = k N log N.
+	{
+		n0 := math.Exp2(26)
+		var n, time float64
+		if model == scaling.MC {
+			n = scaling.FFTScaleMC(n0, k)
+			time = math.Log2(n) / math.Log2(n0)
+		} else {
+			n = n0
+			target := k * n0 * math.Log2(n0)
+			for i := 0; i < 60; i++ {
+				n = target / math.Log2(n)
+			}
+			time = 1
+		}
+		grain := n / (k * n0)
+		rows = append(rows, []string{
+			"FFT", machine, fmt.Sprintf("N=2^%.1f", math.Log2(n)),
+			fmt.Sprintf("%.2fx", grain), "1 KB (const, radix 32)",
+			fmt.Sprintf("%.1fx", time),
+		})
+	}
+
+	// Barnes-Hut: the co-scaled rule, prototype 4.5M particles.
+	{
+		base := scaling.BHParams{N: 4.5e6, Theta: 1.0, DT: 1.0}
+		var p scaling.BHParams
+		var time float64
+		if model == scaling.MC {
+			p = scaling.BHScaleMC(base, k)
+			time = scaling.BHRelativeTime(base, 1, p, k)
+		} else {
+			p, _ = scaling.BHScaleTC(base, k)
+			time = 1
+		}
+		grain := p.N / (k * base.N)
+		rows = append(rows, []string{
+			"Barnes-Hut", machine,
+			fmt.Sprintf("n=%.3g theta=%.2f", p.N, p.Theta),
+			fmt.Sprintf("%.2fx", grain),
+			workingset.FormatBytes(scaling.BHWorkingSet(p.N, p.Theta)),
+			fmt.Sprintf("%.1fx", time),
+		})
+	}
+
+	// Volume rendering: data and time both n^3 — MC and TC coincide.
+	{
+		n := 600 * math.Cbrt(k)
+		ws := uint64(4000 + 110*n)
+		rows = append(rows, []string{
+			"Volume Rendering", machine, fmt.Sprintf("n=%.0f^3", n),
+			"1.00x", workingset.FormatBytes(ws) + " (lev2WS ~ DS^(1/3))",
+			"1.0x",
+		})
+	}
+	return rows
+}

@@ -1,0 +1,203 @@
+// Package cost models the paper's Section 8 economics: given hardware
+// prices for processors, cache and main memory, what node granularity
+// maximizes performance per dollar for a fixed problem? The section
+// conjectures that "designs that split the cost equally between processors
+// and memory will be the most competitive, in that they will be within a
+// small constant factor of the optimal design for any given application";
+// this package lets that be computed instead of conjectured.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"wsstudy/internal/machine"
+	"wsstudy/internal/workingset"
+)
+
+// Prices captures component economics. Defaults mirror the paper's
+// anecdote of "$50 worth of memory on a $1000 node" (early-90s DRAM at
+// roughly $40/MB, SRAM an order of magnitude dearer).
+type Prices struct {
+	ProcessorUSD   float64 // one processor + glue logic
+	MemoryUSDPerMB float64 // DRAM
+	CacheUSDPerKB  float64 // SRAM
+}
+
+// Defaults returns the 1993-flavored price point.
+func Defaults() Prices {
+	return Prices{ProcessorUSD: 1000, MemoryUSDPerMB: 40, CacheUSDPerKB: 1}
+}
+
+// Design is one machine configuration for a fixed total problem.
+type Design struct {
+	P          int
+	MemPerPE   uint64 // bytes
+	CachePerPE uint64 // bytes
+}
+
+// NodeCost is the price of one node.
+func (d Design) NodeCost(pr Prices) float64 {
+	return pr.ProcessorUSD +
+		pr.MemoryUSDPerMB*float64(d.MemPerPE)/(1<<20) +
+		pr.CacheUSDPerKB*float64(d.CachePerPE)/1024
+}
+
+// TotalCost is the machine price.
+func (d Design) TotalCost(pr Prices) float64 {
+	return float64(d.P) * d.NodeCost(pr)
+}
+
+// ProcessorCostShare is the fraction of a node's cost spent on the
+// processor (the §8 split).
+func (d Design) ProcessorCostShare(pr Prices) float64 {
+	return pr.ProcessorUSD / d.NodeCost(pr)
+}
+
+// AppModel is what the cost analysis needs from an application: the
+// miss-rate curve (misses per operation at a cache size), the
+// communication ratio and the load proxy at a processor count.
+type AppModel struct {
+	Name string
+	// MissRate returns misses per operation for a per-PE cache size.
+	MissRate func(p int, cacheBytes uint64) float64
+	// CommRatio returns FLOPs per communicated word at p processors.
+	CommRatio func(p int) float64
+	// LoadProxy returns work units per processor at p processors.
+	LoadProxy func(p int) float64
+	// DataBytes is the fixed total problem size.
+	DataBytes uint64
+}
+
+// Params tunes the utilization model.
+type Params struct {
+	MissPenaltyOps float64 // stall, in operation-times, per miss (memory latency)
+	LoadKnee       float64 // work units per PE below which utilization decays
+	Machine        machine.Machine
+}
+
+// DefaultParams uses a 50-operation miss penalty (DASH-era remote latency
+// over a multi-cycle FLOP) and the paper's ~100-unit load knee on a
+// 1024-node Paragon.
+func DefaultParams() Params {
+	return Params{MissPenaltyOps: 50, LoadKnee: 100, Machine: machine.Paragon(1024)}
+}
+
+// Utilization estimates per-processor efficiency in [0,1] as the product
+// of three penalties: memory stalls (miss rate times penalty),
+// communication (demanded ratio versus the machine's sustainable random
+// ratio) and load balance.
+func Utilization(app AppModel, d Design, par Params) float64 {
+	miss := app.MissRate(d.P, d.CachePerPE)
+	memFactor := 1 / (1 + miss*par.MissPenaltyOps)
+
+	need := par.Machine.RandomRatio()
+	have := app.CommRatio(d.P)
+	commFactor := 1.0
+	if have < need {
+		commFactor = have / need
+	}
+
+	load := app.LoadProxy(d.P)
+	loadFactor := 1.0
+	if load < par.LoadKnee {
+		loadFactor = load / par.LoadKnee
+	}
+	return memFactor * commFactor * loadFactor
+}
+
+// Evaluation scores one design.
+type Evaluation struct {
+	Design         Design
+	Utilization    float64
+	Performance    float64 // P * utilization, in processor-equivalents
+	Cost           float64
+	PerfPerKiloUSD float64
+	ProcShare      float64 // processor fraction of node cost
+}
+
+// Evaluate scores a design for an application.
+func Evaluate(app AppModel, d Design, pr Prices, par Params) Evaluation {
+	u := Utilization(app, d, par)
+	c := d.TotalCost(pr)
+	return Evaluation{
+		Design:         d,
+		Utilization:    u,
+		Performance:    float64(d.P) * u,
+		Cost:           c,
+		PerfPerKiloUSD: float64(d.P) * u / (c / 1000),
+		ProcShare:      d.ProcessorCostShare(pr),
+	}
+}
+
+// SweepGranularity evaluates the fixed problem across a range of
+// processor counts (powers of two from pMin to pMax). The per-PE memory
+// is the problem's share (grain), and the cache is sized to the
+// application's important working set at that configuration via
+// cacheFor (e.g. the model's lev2WS), clamped to [1KB, mem].
+func SweepGranularity(app AppModel, pMin, pMax int, cacheFor func(p int) uint64, pr Prices, par Params) []Evaluation {
+	var out []Evaluation
+	for p := pMin; p <= pMax; p *= 2 {
+		mem := app.DataBytes / uint64(p)
+		if mem == 0 {
+			break
+		}
+		cache := cacheFor(p)
+		if cache < 1024 {
+			cache = 1024
+		}
+		if cache > mem {
+			cache = mem
+		}
+		out = append(out, Evaluate(app, Design{P: p, MemPerPE: mem, CachePerPE: cache}, pr, par))
+	}
+	return out
+}
+
+// Best returns the evaluation with the highest performance per dollar.
+func Best(evals []Evaluation) (Evaluation, error) {
+	if len(evals) == 0 {
+		return Evaluation{}, fmt.Errorf("cost: empty sweep")
+	}
+	best := evals[0]
+	for _, e := range evals[1:] {
+		if e.PerfPerKiloUSD > best.PerfPerKiloUSD {
+			best = e
+		}
+	}
+	return best, nil
+}
+
+// WithinFactor reports how far an evaluation's perf/$ falls below the
+// sweep's best (1 = optimal; 2 = half the optimal efficiency).
+func WithinFactor(e Evaluation, evals []Evaluation) float64 {
+	best, err := Best(evals)
+	if err != nil || e.PerfPerKiloUSD == 0 {
+		return math.Inf(1)
+	}
+	return best.PerfPerKiloUSD / e.PerfPerKiloUSD
+}
+
+// EqualSplit finds the sweep point whose processor/memory cost split is
+// closest to 50/50 — the §8 conjecture's design — so callers can check
+// how close to optimal it lands.
+func EqualSplit(evals []Evaluation) (Evaluation, error) {
+	if len(evals) == 0 {
+		return Evaluation{}, fmt.Errorf("cost: empty sweep")
+	}
+	best := evals[0]
+	for _, e := range evals[1:] {
+		if math.Abs(e.ProcShare-0.5) < math.Abs(best.ProcShare-0.5) {
+			best = e
+		}
+	}
+	return best, nil
+}
+
+// Describe renders an evaluation row.
+func (e Evaluation) Describe() string {
+	return fmt.Sprintf("P=%-6d mem=%-8s cache=%-7s util=%.2f perf=%6.0f cost=$%-9.0f perf/k$=%.3f procShare=%.2f",
+		e.Design.P, workingset.FormatBytes(e.Design.MemPerPE),
+		workingset.FormatBytes(e.Design.CachePerPE),
+		e.Utilization, e.Performance, e.Cost, e.PerfPerKiloUSD, e.ProcShare)
+}

@@ -1,0 +1,125 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wsstudy/internal/apps/lu"
+)
+
+// luApp builds the AppModel for the prototypical 1 GB LU problem.
+func luApp() AppModel {
+	const n, b = 10000, 16
+	return AppModel{
+		Name: "LU",
+		MissRate: func(p int, cacheBytes uint64) float64 {
+			return lu.Model{N: n, B: b, P: p}.MissRatePerFLOP(cacheBytes)
+		},
+		CommRatio: func(p int) float64 {
+			return lu.Model{N: n, B: b, P: p}.CommToCompRatio()
+		},
+		LoadProxy: func(p int) float64 {
+			return lu.Model{N: n, B: b, P: p}.BlocksPerPE()
+		},
+		DataBytes: lu.Model{N: n, B: b, P: 1}.DataSetBytes(),
+	}
+}
+
+func TestDesignCosts(t *testing.T) {
+	pr := Defaults()
+	d := Design{P: 1024, MemPerPE: 1 << 20, CachePerPE: 64 << 10}
+	// Node: $1000 + $40 + $64 = $1104.
+	if got := d.NodeCost(pr); math.Abs(got-1104) > 1e-9 {
+		t.Fatalf("node cost = %v, want 1104", got)
+	}
+	if got := d.TotalCost(pr); math.Abs(got-1104*1024) > 1e-6 {
+		t.Fatalf("total cost = %v", got)
+	}
+	if got := d.ProcessorCostShare(pr); math.Abs(got-1000.0/1104) > 1e-9 {
+		t.Fatalf("share = %v", got)
+	}
+}
+
+func TestUtilizationFactors(t *testing.T) {
+	app := luApp()
+	par := DefaultParams()
+	big := Design{P: 1024, MemPerPE: 1 << 20, CachePerPE: 64 << 10}
+	small := Design{P: 1024, MemPerPE: 1 << 20, CachePerPE: 64}
+	uBig := Utilization(app, big, par)
+	uSmall := Utilization(app, small, par)
+	if uBig <= uSmall {
+		t.Fatalf("larger cache should raise utilization: %v vs %v", uBig, uSmall)
+	}
+	if uBig <= 0 || uBig > 1 {
+		t.Fatalf("utilization out of range: %v", uBig)
+	}
+	// At extreme P, LU's load proxy collapses and utilization with it.
+	fine := Design{P: 1 << 20, MemPerPE: 1024, CachePerPE: 1024}
+	if u := Utilization(app, fine, par); u >= uBig {
+		t.Fatalf("million-PE LU should lose utilization: %v", u)
+	}
+}
+
+func TestSweepFindsInteriorOptimum(t *testing.T) {
+	app := luApp()
+	pr := Defaults()
+	par := DefaultParams()
+	cacheFor := func(p int) uint64 { return lu.Model{N: 10000, B: 16, P: p}.Lev2WS() * 4 }
+	evals := SweepGranularity(app, 64, 65536, cacheFor, pr, par)
+	if len(evals) < 8 {
+		t.Fatalf("sweep too short: %d", len(evals))
+	}
+	best, err := Best(evals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimum is neither the coarsest nor the finest grain: few fat
+	// nodes waste money on DRAM, too many starved nodes lose utilization.
+	if best.Design.P == evals[0].Design.P {
+		t.Errorf("optimum at the coarsest grain: %s", best.Describe())
+	}
+	if best.Design.P == evals[len(evals)-1].Design.P {
+		t.Errorf("optimum at the finest grain: %s", best.Describe())
+	}
+	// Section 8's conjecture: the ~equal-split design is within a small
+	// constant factor of optimal.
+	eq, err := EqualSplit(evals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := WithinFactor(eq, evals); f > 3 {
+		t.Errorf("equal-split design %s is %vx off optimal", eq.Describe(), f)
+	}
+}
+
+func TestBestAndEqualSplitErrors(t *testing.T) {
+	if _, err := Best(nil); err == nil {
+		t.Error("Best(nil) should error")
+	}
+	if _, err := EqualSplit(nil); err == nil {
+		t.Error("EqualSplit(nil) should error")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	e := Evaluate(luApp(), Design{P: 1024, MemPerPE: 1 << 20, CachePerPE: 8192},
+		Defaults(), DefaultParams())
+	d := e.Describe()
+	for _, frag := range []string{"P=1024", "util", "procShare"} {
+		if !strings.Contains(d, frag) {
+			t.Errorf("Describe %q missing %q", d, frag)
+		}
+	}
+}
+
+func TestCacheClampedToMemory(t *testing.T) {
+	app := luApp()
+	evals := SweepGranularity(app, 1<<16, 1<<18,
+		func(int) uint64 { return 1 << 30 }, Defaults(), DefaultParams())
+	for _, e := range evals {
+		if e.Design.CachePerPE > e.Design.MemPerPE {
+			t.Fatalf("cache exceeds memory: %+v", e.Design)
+		}
+	}
+}

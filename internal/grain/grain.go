@@ -1,0 +1,231 @@
+// Package grain implements the paper's node-granularity analysis (the
+// "Grain Size" subsections of Sections 3-7 and the discussion of Section
+// 8): computation-to-communication ratios, load-balance proxies, and a
+// desirable-grain advisor that reproduces the paper's 64-PE / 1024-PE /
+// 16K-PE scenario comparisons for a fixed 1-Gbyte problem.
+package grain
+
+import (
+	"fmt"
+	"math"
+
+	"wsstudy/internal/apps/cg"
+	"wsstudy/internal/apps/fft"
+	"wsstudy/internal/apps/lu"
+	"wsstudy/internal/apps/volrend"
+	"wsstudy/internal/machine"
+	"wsstudy/internal/workingset"
+)
+
+// Scenario evaluates one (application, problem, machine) point.
+type Scenario struct {
+	App        string
+	P          int
+	GrainBytes uint64 // data per processor
+
+	// Ratio is the computation-to-communication ratio in RatioUnit.
+	Ratio     float64
+	RatioUnit string // "FLOPs/word" or "instr/word"
+
+	// LoadProxy is the per-processor work-unit count the paper uses to
+	// judge load balance (blocks, rays, particles...), with its name.
+	LoadProxy     float64
+	LoadProxyName string
+
+	Sustainability machine.Sustainability
+	Notes          string
+}
+
+// Describe renders a scenario line.
+func (s Scenario) Describe() string {
+	return fmt.Sprintf("%-16s P=%-6d grain=%-8s ratio=%6.0f %s (%s)  %s=%.0f",
+		s.App, s.P, workingset.FormatBytes(s.GrainBytes), s.Ratio, s.RatioUnit,
+		s.Sustainability, s.LoadProxyName, s.LoadProxy)
+}
+
+// loadOK is the paper's coarse threshold: below ~100 work units per
+// processor, load balance starts to bite (the paper flags 25 blocks/PE
+// for LU and 66 rays/PE for volume rendering, and accepts ~280
+// particles/PE for Barnes-Hut).
+const loadOK = 100
+
+// Healthy reports whether both communication and load balance are
+// comfortable at this point.
+func (s Scenario) Healthy() bool {
+	return s.Sustainability != machine.VeryHard && s.LoadProxy >= loadOK
+}
+
+// LU evaluates dense LU of an n x n matrix with block size b on P
+// processors.
+func LU(n, b, p int) Scenario {
+	m := lu.Model{N: n, B: b, P: p}
+	ratio := m.CommToCompRatio()
+	return Scenario{
+		App: "LU", P: p,
+		GrainBytes: m.GrainBytes(),
+		Ratio:      ratio, RatioUnit: "FLOPs/word",
+		LoadProxy: m.BlocksPerPE(), LoadProxyName: "blocks/PE",
+		Sustainability: machine.Classify(ratio),
+	}
+}
+
+// CG2D evaluates conjugate gradient on an n x n grid.
+func CG2D(n, p int) Scenario {
+	m := cg.Model2D{N: n, P: p}
+	ratio := m.CommToCompRatio()
+	side := m.Side()
+	return Scenario{
+		App: "CG 2-D", P: p,
+		GrainBytes: m.GrainBytes(),
+		Ratio:      ratio, RatioUnit: "FLOPs/word",
+		LoadProxy: side * side, LoadProxyName: "points/PE",
+		Sustainability: machine.Classify(ratio),
+	}
+}
+
+// CG3D evaluates conjugate gradient on an n^3 grid.
+func CG3D(n, p int) Scenario {
+	m := cg.Model3D{N: n, P: p}
+	ratio := m.CommToCompRatio()
+	side := m.Side()
+	return Scenario{
+		App: "CG 3-D", P: p,
+		GrainBytes: m.GrainBytes(),
+		Ratio:      ratio, RatioUnit: "FLOPs/word",
+		LoadProxy: side * side * side, LoadProxyName: "points/PE",
+		Sustainability: machine.Classify(ratio),
+	}
+}
+
+// FFT evaluates a 2^logN-point transform.
+func FFT(logN, p int) Scenario {
+	m := fft.Model{LogN: logN, P: p, InternalRadix: 8}
+	ratio := m.CommToCompRatio()
+	return Scenario{
+		App: "FFT", P: p,
+		GrainBytes: m.GrainBytes(),
+		Ratio:      ratio, RatioUnit: "FLOPs/word",
+		LoadProxy: float64(uint64(1<<logN) / uint64(p)), LoadProxyName: "points/PE",
+		Sustainability: machine.Classify(ratio),
+		Notes:          "all-to-all communication: bisection-bound, locality-free",
+	}
+}
+
+// BHRatioCalibration anchors the paper's Barnes-Hut communication fit:
+// at n=4.5M, theta=1, p=1024 the ratio is one double word per 10,000
+// busy cycles.
+const (
+	bhAnchorN     = 4.5e6
+	bhAnchorP     = 1024
+	bhAnchorRatio = 1.0 / 10000 // dw per instruction
+)
+
+// BHCommPerInstr evaluates the paper's ratio form
+// theta * (p/n)^(2/3) * log^(4/3)(p) / log(n), calibrated at the anchor.
+func BHCommPerInstr(n, theta float64, p int) float64 {
+	form := func(n, theta, p float64) float64 {
+		return theta * math.Pow(p/n, 2.0/3) * math.Pow(math.Log2(p), 4.0/3) / math.Log2(n)
+	}
+	c := bhAnchorRatio / form(bhAnchorN, 1, bhAnchorP)
+	return c * form(n, theta, float64(p))
+}
+
+// BarnesHut evaluates an n-particle simulation at accuracy theta.
+func BarnesHut(n float64, theta float64, p int) Scenario {
+	perInstr := BHCommPerInstr(n, theta, p)
+	ratio := 1 / perInstr
+	return Scenario{
+		App: "Barnes-Hut", P: p,
+		GrainBytes: uint64(230 * n / float64(p)),
+		Ratio:      ratio, RatioUnit: "instr/word",
+		LoadProxy: n / float64(p), LoadProxyName: "particles/PE",
+		// Instruction ratios here are far above any FLOP threshold;
+		// communication is never the binding constraint for BH.
+		Sustainability: machine.Classify(ratio / 4), // ~4 instructions per FLOP
+	}
+}
+
+// VolumeRendering evaluates rendering an n^3 volume.
+func VolumeRendering(n, p int) Scenario {
+	m := volrend.Model{N: n, P: p}
+	return Scenario{
+		App: "Volume Rendering", P: p,
+		GrainBytes: m.GrainBytes(),
+		Ratio:      m.CommToCompRatio(), RatioUnit: "instr/word",
+		LoadProxy: m.RaysPerPE(), LoadProxyName: "rays/PE",
+		Sustainability: machine.Classify(m.CommToCompRatio() / 4),
+	}
+}
+
+// Advice is the outcome of comparing scenarios across machine sizes.
+type Advice struct {
+	App            string
+	Scenarios      []Scenario
+	DesirableGrain string // the paper's coarse answer, e.g. "< 1M"
+	Limiting       string // what breaks first when the grain shrinks
+}
+
+// prototypical 1-Gbyte problems at three machine sizes (Section 2.3's
+// comparison points).
+var scenarioPs = []int{64, 1024, 16384}
+
+// AdviseAll reproduces the paper's per-application grain discussions for
+// the prototypical 1-Gbyte problems.
+func AdviseAll() []Advice {
+	var out []Advice
+
+	luScen := make([]Scenario, 0, 3)
+	for _, p := range scenarioPs {
+		luScen = append(luScen, LU(10000, 16, p))
+	}
+	out = append(out, Advice{
+		App: "LU", Scenarios: luScen,
+		DesirableGrain: "< 1 MB",
+		Limiting:       "load balance (blocks/PE) before communication",
+	})
+
+	cgScen := make([]Scenario, 0, 6)
+	for _, p := range scenarioPs {
+		cgScen = append(cgScen, CG2D(4000, p))
+	}
+	for _, p := range scenarioPs {
+		cgScen = append(cgScen, CG3D(225, p))
+	}
+	out = append(out, Advice{
+		App: "CG", Scenarios: cgScen,
+		DesirableGrain: "~1 MB",
+		Limiting:       "communication ratio, especially for 3-D and irregular grids",
+	})
+
+	fftScen := make([]Scenario, 0, 3)
+	for _, p := range scenarioPs {
+		fftScen = append(fftScen, FFT(26, p))
+	}
+	out = append(out, Advice{
+		App: "FFT", Scenarios: fftScen,
+		DesirableGrain: "~1 MB (larger grains cannot fix the ratio)",
+		Limiting:       "bisection-bound all-to-all; grain for ratio R grows as 2^(2R/5)",
+	})
+
+	bhScen := make([]Scenario, 0, 3)
+	for _, p := range scenarioPs {
+		bhScen = append(bhScen, BarnesHut(4.5e6, 1.0, p))
+	}
+	out = append(out, Advice{
+		App: "Barnes-Hut", Scenarios: bhScen,
+		DesirableGrain: "< 1 MB (a few hundred KB)",
+		Limiting:       "load balance at very small particles/PE; tree phases at extreme P",
+	})
+
+	vrScen := make([]Scenario, 0, 3)
+	for _, p := range scenarioPs {
+		vrScen = append(vrScen, VolumeRendering(600, p))
+	}
+	out = append(out, Advice{
+		App: "Volume Rendering", Scenarios: vrScen,
+		DesirableGrain: "< 1 MB (a few hundred KB)",
+		Limiting:       "ray stealing overhead once rays/PE gets small",
+	})
+
+	return out
+}

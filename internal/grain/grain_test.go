@@ -1,0 +1,146 @@
+package grain
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wsstudy/internal/machine"
+)
+
+func TestLUScenarios(t *testing.T) {
+	// Section 3.3: 1024 PEs comfortable (ratio ~200, 380 blocks);
+	// 16K PEs strained (ratio ~50, ~24 blocks).
+	mid := LU(10000, 16, 1024)
+	if mid.Sustainability == machine.VeryHard {
+		t.Errorf("1024-PE LU should be sustainable: %+v", mid)
+	}
+	if !mid.Healthy() {
+		t.Errorf("1024-PE LU should be healthy: %+v", mid)
+	}
+	fine := LU(10000, 16, 16384)
+	if fine.LoadProxy >= loadOK {
+		t.Errorf("16K-PE LU blocks/PE = %v, expected under %d", fine.LoadProxy, loadOK)
+	}
+	if fine.Healthy() {
+		t.Error("16K-PE LU should be flagged (load balance)")
+	}
+	coarse := LU(10000, 16, 64)
+	if !coarse.Healthy() {
+		t.Errorf("64-PE LU should be healthy: %+v", coarse)
+	}
+}
+
+func TestCGScenarios(t *testing.T) {
+	// 2-D at 1024 PEs: ratio ~312, easy; at 16K: ~78, sustainable.
+	if s := CG2D(4000, 1024); s.Sustainability != machine.Easy {
+		t.Errorf("CG 2-D 1024: %+v", s)
+	}
+	if s := CG2D(4000, 16384); s.Sustainability == machine.VeryHard {
+		t.Errorf("CG 2-D 16K should still be sustainable: %+v", s)
+	}
+	// 3-D at 16K PEs: ratio ~20, hard but not impossible; at 1024: ~52.
+	s3 := CG3D(225, 16384)
+	if s3.Ratio > 25 || s3.Ratio < 15 {
+		t.Errorf("CG 3-D 16K ratio = %v, want ~20", s3.Ratio)
+	}
+}
+
+func TestFFTScenarios(t *testing.T) {
+	// The FFT ratio is ~33 regardless of P (two exchanges).
+	for _, p := range []int{64, 1024} {
+		s := FFT(26, p)
+		if math.Abs(s.Ratio-32.5) > 1e-9 {
+			t.Errorf("FFT P=%d ratio = %v, want 32.5", p, s.Ratio)
+		}
+		if s.Sustainability != machine.Sustainable {
+			t.Errorf("FFT classification: %+v", s)
+		}
+		if s.Notes == "" {
+			t.Error("FFT scenario should carry the locality caveat")
+		}
+	}
+}
+
+func TestBHCalibration(t *testing.T) {
+	// Anchor: 1 dw / 10,000 instructions at the prototypical point.
+	if got := BHCommPerInstr(4.5e6, 1.0, 1024); math.Abs(got-1e-4) > 1e-9 {
+		t.Fatalf("anchor ratio = %v, want 1e-4", got)
+	}
+	// Paper: on 16K processors it rises to about 1 dw / 1000 instructions.
+	got := BHCommPerInstr(4.5e6, 1.0, 16384)
+	if got < 0.7e-3 || got > 1.4e-3 {
+		t.Fatalf("16K ratio = %v, want ~1e-3", got)
+	}
+}
+
+func TestBHScenario(t *testing.T) {
+	s := BarnesHut(4.5e6, 1.0, 1024)
+	// ~4500 particles per PE, grain ~1 MB.
+	if math.Abs(s.LoadProxy-4394.5) > 1 {
+		t.Errorf("particles/PE = %v, want ~4395", s.LoadProxy)
+	}
+	if s.GrainBytes < 900_000 || s.GrainBytes > 1_100_000 {
+		t.Errorf("grain = %d, want ~1 MB", s.GrainBytes)
+	}
+	if !s.Healthy() {
+		t.Errorf("prototypical BH should be healthy: %+v", s)
+	}
+	// 16K PEs: ~280 particles each, communication still cheap.
+	fine := BarnesHut(4.5e6, 1.0, 16384)
+	if math.Abs(fine.LoadProxy-274.7) > 1 {
+		t.Errorf("fine particles/PE = %v, want ~275", fine.LoadProxy)
+	}
+	if fine.Sustainability == machine.VeryHard {
+		t.Error("BH communication should never be the binding constraint")
+	}
+}
+
+func TestVRScenario(t *testing.T) {
+	s := VolumeRendering(600, 1024)
+	if s.LoadProxy < 1000 || s.LoadProxy > 1100 {
+		t.Errorf("rays/PE = %v, want ~1054", s.LoadProxy)
+	}
+	fine := VolumeRendering(600, 16384)
+	if fine.LoadProxy > loadOK {
+		t.Errorf("16K rays/PE = %v, should be near the load threshold", fine.LoadProxy)
+	}
+	if fine.Healthy() {
+		t.Error("66 rays/PE should be flagged for load balance")
+	}
+}
+
+func TestAdviseAllCoversAllApps(t *testing.T) {
+	advice := AdviseAll()
+	if len(advice) != 5 {
+		t.Fatalf("advice for %d apps, want 5", len(advice))
+	}
+	for _, a := range advice {
+		if len(a.Scenarios) < 3 {
+			t.Errorf("%s: only %d scenarios", a.App, len(a.Scenarios))
+		}
+		if a.DesirableGrain == "" || a.Limiting == "" {
+			t.Errorf("%s: incomplete advice", a.App)
+		}
+		// Every app's desirable grain is at most ~1 MB — the paper's
+		// headline conclusion.
+		if !strings.Contains(a.DesirableGrain, "1 MB") {
+			t.Errorf("%s grain %q should reference the ~1 MB scale", a.App, a.DesirableGrain)
+		}
+		for _, s := range a.Scenarios {
+			if s.Describe() == "" {
+				t.Error("empty scenario description")
+			}
+		}
+	}
+}
+
+func TestScenarioDescribeFormat(t *testing.T) {
+	s := LU(10000, 16, 1024)
+	d := s.Describe()
+	for _, frag := range []string{"LU", "1024", "blocks/PE"} {
+		if !strings.Contains(d, frag) {
+			t.Errorf("Describe %q missing %q", d, frag)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package machine models the parallel machines of the paper's Section 2.3
+// well enough to reproduce its sustainable computation-to-communication
+// arithmetic: the Intel Paragon (8 FLOPs/word nearest-neighbor, 64 random
+// at 1024 nodes) and the Thinking Machines CM-5 (about 50 and 100).
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology describes the interconnect shape, which determines bisection
+// bandwidth and hence the sustainable ratio for random communication.
+type Topology uint8
+
+const (
+	// Mesh2D is a sqrt(P) x sqrt(P) two-dimensional mesh (Paragon).
+	Mesh2D Topology = iota
+	// FatTree is a fat tree whose bisection is given directly by the
+	// machine's GeneralMBps (CM-5).
+	FatTree
+	// Hypercube has a full bisection (P/2 links): random communication
+	// sustains the same ratio as nearest-neighbor. It is the paper's one
+	// exception where FFT communication has locality — every butterfly
+	// stage is a single-hop exchange — "which is becoming less and less
+	// common in large-scale parallel machines".
+	Hypercube
+)
+
+// Machine captures the per-node compute rate and the communication
+// bandwidths of a parallel machine.
+type Machine struct {
+	Name     string
+	Nodes    int
+	Topo     Topology
+	MFLOPS   float64 // per node
+	LinkMBps float64 // node-to-router (nearest-neighbor) bandwidth, MB/s
+	// GeneralMBps is the sustainable per-node bandwidth for general
+	// (random) communication on machines that state it directly (FatTree).
+	// Ignored for Mesh2D, where bisection analysis derives it.
+	GeneralMBps float64
+}
+
+const bytesPerWord = 8 // the paper counts double words
+
+// Paragon returns the Intel Paragon model of Section 2.3: four 50-MFLOPS
+// processors per node (200 MFLOPS), a 2-D mesh with 200-MB/s channels.
+func Paragon(nodes int) Machine {
+	return Machine{
+		Name:     "Intel Paragon",
+		Nodes:    nodes,
+		Topo:     Mesh2D,
+		MFLOPS:   200,
+		LinkMBps: 200,
+	}
+}
+
+// CM5 returns the Thinking Machines CM-5 model of Section 2.3: 128-MFLOPS
+// vector nodes, 20 MB/s nearest-neighbor, 5 MB/s general bandwidth.
+func CM5(nodes int) Machine {
+	return Machine{
+		Name:        "TMC CM-5",
+		Nodes:       nodes,
+		Topo:        FatTree,
+		MFLOPS:      128,
+		LinkMBps:    20,
+		GeneralMBps: 5,
+	}
+}
+
+// NearestNeighborRatio is the minimum computation-to-communication ratio
+// (FLOPs per double word) a program must have for nearest-neighbor
+// communication not to outpace the node-to-router link.
+func (m Machine) NearestNeighborRatio() float64 {
+	return m.MFLOPS / (m.LinkMBps / bytesPerWord)
+}
+
+// RandomRatio is the minimum sustainable ratio for random (bisection-bound)
+// communication.
+//
+// For a 2-D mesh the paper's argument applies: the bisector of a
+// sqrt(P) x sqrt(P) mesh carries 2*sqrt(P) links (two channels per cut
+// connection — the paper counts 64 for a 32x32 machine); assuming half of
+// all random messages cross it, each processor may generate
+// 2*sqrt(P)/(P/2) as much traffic as one link carries.
+func (m Machine) RandomRatio() float64 {
+	switch m.Topo {
+	case Mesh2D:
+		side := math.Sqrt(float64(m.Nodes))
+		bisectionLinks := 2 * side
+		// Traffic each processor can sustain: bisectionLinks links shared
+		// by P/2 processors sending across, each message crossing with
+		// probability 1/2 => per-processor bandwidth fraction
+		// bisectionLinks / (P/2) of a link.
+		frac := bisectionLinks / (float64(m.Nodes) / 2)
+		return m.MFLOPS / (m.LinkMBps * frac / bytesPerWord)
+	case Hypercube:
+		// P/2 bisection links for P/2 crossing flows: a full link each.
+		return m.NearestNeighborRatio()
+	default: // FatTree: stated general bandwidth
+		return m.MFLOPS / (m.GeneralMBps / bytesPerWord)
+	}
+}
+
+// IPSC860 returns an Intel iPSC/860 hypercube model (40-MFLOPS i860
+// nodes, 2.8-MB/s channels), the hypercube generation preceding the
+// Paragon's mesh.
+func IPSC860(nodes int) Machine {
+	return Machine{
+		Name:     "Intel iPSC/860",
+		Nodes:    nodes,
+		Topo:     Hypercube,
+		MFLOPS:   40,
+		LinkMBps: 2.8,
+	}
+}
+
+// Sustainability is the paper's three-band classification of
+// computation-to-communication ratios.
+type Sustainability uint8
+
+const (
+	// VeryHard: 1-15 FLOPs per word is extremely difficult to sustain.
+	VeryHard Sustainability = iota
+	// Sustainable: 15-75 is sustainable but not easy.
+	Sustainable
+	// Easy: above 75 is quite easy to sustain.
+	Easy
+)
+
+// String names the band.
+func (s Sustainability) String() string {
+	switch s {
+	case VeryHard:
+		return "extremely difficult"
+	case Sustainable:
+		return "sustainable but not easy"
+	default:
+		return "quite easy"
+	}
+}
+
+// Classify places a program's computation-to-communication ratio (FLOPs
+// per double word) into the paper's bands.
+func Classify(flopsPerWord float64) Sustainability {
+	switch {
+	case flopsPerWord < 15:
+		return VeryHard
+	case flopsPerWord <= 75:
+		return Sustainable
+	default:
+		return Easy
+	}
+}
+
+// String summarizes the machine's two sustainable ratios.
+func (m Machine) String() string {
+	return fmt.Sprintf("%s (%d nodes): %.0f FLOPs/word nearest-neighbor, %.0f random",
+		m.Name, m.Nodes, m.NearestNeighborRatio(), m.RandomRatio())
+}

@@ -1,0 +1,270 @@
+// Package memsys assembles the simulated multiprocessor: one cache (or
+// working-set profiler) per processor, a write-invalidate directory tying
+// them together, and a home-node map classifying misses as local or remote.
+// It consumes a trace.Consumer stream, so any application kernel plugs in
+// unchanged.
+package memsys
+
+import (
+	"fmt"
+
+	"wsstudy/internal/cache"
+	"wsstudy/internal/coherence"
+	"wsstudy/internal/trace"
+)
+
+// Distribution says how the shared address space maps to home nodes.
+type Distribution uint8
+
+const (
+	// Interleaved assigns consecutive lines to consecutive processors
+	// round-robin, the paper's choice for volume rendering (minimizes
+	// hot-spotting when access patterns shift between frames).
+	Interleaved Distribution = iota
+	// Blocked splits the address space into one contiguous chunk per
+	// processor, modelling "each processor's partition lives in its own
+	// local memory" for the regular applications.
+	Blocked
+)
+
+// Config parameterizes a System.
+type Config struct {
+	PEs      int          // number of processors (must be positive)
+	LineSize uint32       // cache line size in bytes (power of two)
+	Dist     Distribution // home-node mapping
+	// Extent is the size in bytes of the address space for Blocked
+	// distribution (ignored for Interleaved). Zero defaults to 1 GiB.
+	Extent uint64
+	// WarmupEpochs is how many leading epochs update state without being
+	// measured (the paper's cold-start exclusion). Epoch boundaries come
+	// from the kernel via BeginEpoch.
+	WarmupEpochs int
+	// Profile selects working-set profiling (a StackProfiler per PE)
+	// instead of concrete caches. Exactly one of Profile or
+	// CacheCapacity must be set.
+	Profile bool
+	// CacheCapacity is the per-PE cache capacity in lines when Profile is
+	// false.
+	CacheCapacity int
+	// Assoc is the cache associativity when Profile is false; 0 means
+	// fully associative.
+	Assoc int
+	// ProfilePE, when >= 0 with Profile set, attaches a profiler to that
+	// single processor only (the paper measures per-processor working
+	// sets; profiling one PE of a symmetric computation is cheaper and
+	// equivalent). -1 profiles every PE.
+	ProfilePE int
+}
+
+// Stats aggregates the system-level classification of misses.
+type Stats struct {
+	LocalMisses  uint64 // misses homed at the issuing processor
+	RemoteMisses uint64 // misses homed elsewhere
+}
+
+// System is the simulated cache-coherent multiprocessor.
+type System struct {
+	cfg       Config
+	caches    []cache.Cache          // per PE when !Profile (nil entries never occur)
+	profilers []*cache.StackProfiler // per PE when Profile (nil when not profiled)
+	dir       *coherence.Directory
+	stats     Stats
+	epoch     int
+	measuring bool
+}
+
+// New builds a System from cfg.
+func New(cfg Config) (*System, error) {
+	if cfg.PEs <= 0 {
+		return nil, fmt.Errorf("memsys: PEs must be positive, got %d", cfg.PEs)
+	}
+	if cfg.LineSize == 0 {
+		cfg.LineSize = 8
+	}
+	if cfg.Extent == 0 {
+		cfg.Extent = 1 << 30
+	}
+	if cfg.Profile == (cfg.CacheCapacity > 0) {
+		return nil, fmt.Errorf("memsys: exactly one of Profile or CacheCapacity must be set")
+	}
+	s := &System{cfg: cfg, measuring: cfg.WarmupEpochs == 0}
+	invalidators := make([]coherence.Invalidator, cfg.PEs)
+	if cfg.Profile {
+		s.profilers = make([]*cache.StackProfiler, cfg.PEs)
+		for pe := 0; pe < cfg.PEs; pe++ {
+			if cfg.ProfilePE >= 0 && pe != cfg.ProfilePE {
+				continue
+			}
+			p := cache.NewStackProfiler(cfg.LineSize)
+			p.SetMeasuring(s.measuring)
+			s.profilers[pe] = p
+			invalidators[pe] = p
+		}
+	} else {
+		s.caches = make([]cache.Cache, cfg.PEs)
+		for pe := 0; pe < cfg.PEs; pe++ {
+			if cfg.Assoc > 0 {
+				s.caches[pe] = cache.NewSetAssoc(cfg.CacheCapacity, cfg.Assoc, cfg.LineSize)
+			} else {
+				s.caches[pe] = cache.NewLRU(cfg.CacheCapacity, cfg.LineSize)
+			}
+			invalidators[pe] = s.caches[pe]
+		}
+	}
+	s.dir = coherence.NewDirectory(cfg.PEs, cfg.LineSize, invalidators)
+	return s, nil
+}
+
+// MustNew is New for configurations known statically valid.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Home reports the processor whose local memory holds addr.
+func (s *System) Home(addr uint64) int {
+	line := cache.Line(addr, s.cfg.LineSize)
+	switch s.cfg.Dist {
+	case Interleaved:
+		return int(line % uint64(s.cfg.PEs))
+	default: // Blocked
+		per := s.cfg.Extent / uint64(s.cfg.PEs)
+		if per == 0 {
+			per = 1
+		}
+		pe := addr / per
+		if pe >= uint64(s.cfg.PEs) {
+			pe = uint64(s.cfg.PEs) - 1
+		}
+		return int(pe)
+	}
+}
+
+// Ref consumes one reference: the issuing PE's cache is accessed line by
+// line, the directory sees the transaction, and misses are classified
+// local or remote by home node.
+func (s *System) Ref(r trace.Ref) {
+	if r.Size == 0 {
+		return
+	}
+	read := r.Kind == trace.Read
+	first := cache.Line(r.Addr, s.cfg.LineSize)
+	last := cache.Line(r.Addr+uint64(r.Size)-1, s.cfg.LineSize)
+	shift := lineShift(s.cfg.LineSize)
+	for line := first; ; line++ {
+		addr := line << shift
+		miss := s.accessOne(r.PE, addr, read)
+		if read {
+			s.dir.Read(r.PE, addr)
+		} else {
+			s.dir.Write(r.PE, addr)
+		}
+		if miss && s.measuring {
+			if s.Home(addr) == r.PE {
+				s.stats.LocalMisses++
+			} else {
+				s.stats.RemoteMisses++
+			}
+		}
+		if line == last {
+			break
+		}
+	}
+}
+
+// accessOne touches one line in the issuing PE's cache or profiler and
+// reports whether it (certainly) missed. Profiled PEs report misses only
+// in the infinite-cache sense (cold or coherence), since per-size misses
+// are resolved after the fact.
+func (s *System) accessOne(pe int, addr uint64, read bool) bool {
+	if s.cfg.Profile {
+		p := s.profilers[pe]
+		if p == nil {
+			return false
+		}
+		coldR, coldW := p.ColdMisses()
+		cohR, cohW := p.CoherenceMisses()
+		before := coldR + coldW + cohR + cohW
+		p.Access(addr, 1, read)
+		coldR, coldW = p.ColdMisses()
+		cohR, cohW = p.CoherenceMisses()
+		return coldR+coldW+cohR+cohW > before
+	}
+	return s.caches[pe].Access(addr, read).Miss()
+}
+
+// BeginEpoch advances the epoch counter and flips measurement on once the
+// warm-up epochs have passed.
+func (s *System) BeginEpoch(n int) {
+	s.epoch = n
+	on := n >= s.cfg.WarmupEpochs
+	if on == s.measuring {
+		return
+	}
+	s.measuring = on
+	for _, p := range s.profilers {
+		if p != nil {
+			p.SetMeasuring(on)
+		}
+	}
+	if on {
+		for _, c := range s.caches {
+			c.ResetStats()
+		}
+		s.dir.ResetStats()
+		s.stats = Stats{}
+	}
+}
+
+// Measuring reports whether statistics are currently collected.
+func (s *System) Measuring() bool { return s.measuring }
+
+// Profiler returns the profiler attached to pe, or nil.
+func (s *System) Profiler(pe int) *cache.StackProfiler {
+	if s.profilers == nil {
+		return nil
+	}
+	return s.profilers[pe]
+}
+
+// Cache returns the concrete cache of pe (nil in profile mode).
+func (s *System) Cache(pe int) cache.Cache {
+	if s.caches == nil {
+		return nil
+	}
+	return s.caches[pe]
+}
+
+// CacheStats aggregates the stats of all concrete caches.
+func (s *System) CacheStats() cache.Stats {
+	var total cache.Stats
+	for _, c := range s.caches {
+		total.Add(c.Stats())
+	}
+	return total
+}
+
+// Directory exposes the coherence directory (for protocol statistics).
+func (s *System) Directory() *coherence.Directory { return s.dir }
+
+// Stats returns the local/remote miss classification.
+func (s *System) Stats() Stats { return s.stats }
+
+// PEs reports the processor count.
+func (s *System) PEs() int { return s.cfg.PEs }
+
+// LineSize reports the configured line size.
+func (s *System) LineSize() uint32 { return s.cfg.LineSize }
+
+func lineShift(lineSize uint32) uint {
+	s := uint(0)
+	for l := lineSize; l > 1; l >>= 1 {
+		s++
+	}
+	return s
+}
+
+var _ trace.EpochConsumer = (*System)(nil)

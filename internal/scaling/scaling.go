@@ -1,0 +1,203 @@
+// Package scaling implements the paper's two problem-scaling models —
+// memory-constrained (MC) and time-constrained (TC) — and the
+// per-application scaling rules of Sections 3-7, including the Barnes-Hut
+// n-theta-dt co-scaling of Section 6.2.
+package scaling
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model selects how problems grow with the machine.
+type Model uint8
+
+const (
+	// MC (memory-constrained): the problem fills the enlarged machine's
+	// memory, whatever happens to run time.
+	MC Model = iota
+	// TC (time-constrained): the problem grows only as much as keeps run
+	// time equal to the base run.
+	TC
+)
+
+// String names the model.
+func (m Model) String() string {
+	if m == MC {
+		return "memory-constrained"
+	}
+	return "time-constrained"
+}
+
+// GrowthRates is one row of the paper's Table 1 — symbolic asymptotic
+// rates in the problem parameter n and processor count P.
+type GrowthRates struct {
+	App           string
+	Data          string
+	Ops           string
+	Concurrency   string
+	Communication string
+	WorkingSet    string
+}
+
+// Table1 returns the paper's Table 1 verbatim.
+func Table1() []GrowthRates {
+	return []GrowthRates{
+		{"LU", "n^2", "n^3", "n^2", "n^2*sqrt(P)", "const"},
+		{"CG", "n^2", "n^2", "n^2", "n*sqrt(P)", "const"},
+		{"FFT", "n", "n log n", "n", "n log P", "const"},
+		{"Barnes-Hut", "n", "(1/theta^2) n log n", "n", "n^(1/3) theta^3 P^(2/3) log^(4/3) P", "(1/theta^2) log n"},
+		{"Volume Rendering", "n^3", "n^3", "n^2", "n^3", "n"},
+	}
+}
+
+// BHParams is a Barnes-Hut problem configuration.
+type BHParams struct {
+	N     float64 // particles
+	Theta float64 // accuracy parameter
+	DT    float64 // time-step resolution (relative)
+}
+
+// ThetaFloor is where the paper stops shrinking theta and switches to
+// higher-order (octopole) moments instead.
+const ThetaFloor = 0.6
+
+// BHScaleBy applies the paper's realistic co-scaling rule: scaling the
+// particle count by s scales theta by s^(-1/8) and dt by s^(-1/4)
+// (quadrupole moments), keeping the error contributions balanced. Theta
+// is floored at ThetaFloor.
+func (b BHParams) BHScaleBy(s float64) BHParams {
+	theta := b.Theta * math.Pow(s, -1.0/8)
+	if theta < ThetaFloor {
+		theta = ThetaFloor
+	}
+	return BHParams{
+		N:     b.N * s,
+		Theta: theta,
+		DT:    b.DT * math.Pow(s, -0.25),
+	}
+}
+
+// BHWorkingSet is the paper's lev2WS fit: about 6 KB per decade of n,
+// divided by theta^2 (32 KB at n=64K, theta=1).
+func BHWorkingSet(n, theta float64) uint64 {
+	if n < 10 {
+		n = 10
+	}
+	return uint64(6000 * math.Log10(n) / (theta * theta))
+}
+
+// BHDataSetBytes is the paper's ~230 bytes per particle with quadrupole
+// moments.
+func BHDataSetBytes(n float64) uint64 { return uint64(230 * n) }
+
+// BHRelativeTime is the execution-time proxy the TC solver equalizes:
+// (1/theta^2) * n log n / (P * dt), normalized by the same expression for
+// the base configuration on baseP processors.
+func BHRelativeTime(base BHParams, baseP float64, scaled BHParams, p float64) float64 {
+	t := func(b BHParams, procs float64) float64 {
+		return (1 / (b.Theta * b.Theta)) * b.N * math.Log2(b.N) / (procs * b.DT)
+	}
+	return t(scaled, p) / t(base, baseP)
+}
+
+// BHScaleMC scales under the MC model: particles grow linearly with the
+// machine (constant bytes per processor), with the co-scaling rule
+// applied to theta and dt.
+func BHScaleMC(base BHParams, k float64) BHParams { return base.BHScaleBy(k) }
+
+// BHScaleTC finds the problem scale s that keeps execution time constant
+// when the machine grows by factor k, solving the time equation by
+// bisection. It returns the scaled parameters and s.
+func BHScaleTC(base BHParams, k float64) (BHParams, float64) {
+	lo, hi := 1.0, k*4
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi)
+		t := BHRelativeTime(base, 1, base.BHScaleBy(mid), k)
+		if t > 1 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	s := math.Sqrt(lo * hi)
+	return base.BHScaleBy(s), s
+}
+
+// LU scaling (Section 3.3).
+
+// LUScaleMC keeps the grain fixed: data n^2 grows with P, so n' = n*sqrt(k).
+func LUScaleMC(n float64, k float64) float64 { return n * math.Sqrt(k) }
+
+// LUScaleTC keeps time fixed: ops n^3/P constant, so n' = n*k^(1/3); the
+// per-processor data n'^2/(kP) then *shrinks* as k^(-1/3) — the paper's
+// time-constraint argument for finer grains.
+func LUScaleTC(n float64, k float64) float64 { return n * math.Cbrt(k) }
+
+// LUGrainRatioTC is the factor by which per-PE memory changes under TC
+// scaling by k: k^(-1/3).
+func LUGrainRatioTC(k float64) float64 { return math.Pow(k, -1.0/3) }
+
+// CG scaling (Section 4.3): ops scale with data (n^2 for 2-D), so MC and
+// TC coincide up to the slowly growing global-sum term.
+
+// CGScaleMC keeps the grain fixed for a 2-D grid: n' = n*sqrt(k).
+func CGScaleMC(n float64, k float64) float64 { return n * math.Sqrt(k) }
+
+// FFT scaling (Section 5.3): ops n log n vs data n; TC growth is slightly
+// sublinear. The ratio depends only on the grain, so MC preserves it.
+
+// FFTScaleMC keeps the grain fixed: N' = N*k.
+func FFTScaleMC(n float64, k float64) float64 { return n * k }
+
+// Volume rendering (Section 7.3): time and data both scale as n^3, so TC
+// and MC coincide; holding rays per processor fixed instead requires the
+// grain to grow as the cube root of the data-set factor.
+
+// VRGrainGrowthForConstantRays is the grain multiplier needed when the
+// data set grows by factor kData: kData^(1/3).
+func VRGrainGrowthForConstantRays(kData float64) float64 {
+	return math.Cbrt(kData)
+}
+
+// ScaledProblem describes one row of a scaling trajectory.
+type ScaledProblem struct {
+	Machine float64 // processor multiple k
+	Scale   float64 // problem multiple s
+	Params  BHParams
+	WS      uint64  // lev2WS bytes
+	Data    uint64  // total data bytes
+	RelTime float64 // execution time relative to base
+}
+
+// BHTrajectory tabulates MC or TC scaling of a Barnes-Hut base problem
+// across machine sizes, for the Section 6.2 narrative.
+func BHTrajectory(base BHParams, model Model, machines []float64) []ScaledProblem {
+	out := make([]ScaledProblem, 0, len(machines))
+	for _, k := range machines {
+		var p BHParams
+		var s float64
+		switch model {
+		case MC:
+			s = k
+			p = BHScaleMC(base, k)
+		default:
+			p, s = BHScaleTC(base, k)
+		}
+		out = append(out, ScaledProblem{
+			Machine: k,
+			Scale:   s,
+			Params:  p,
+			WS:      BHWorkingSet(p.N, p.Theta),
+			Data:    BHDataSetBytes(p.N),
+			RelTime: BHRelativeTime(base, 1, p, k),
+		})
+	}
+	return out
+}
+
+// Describe renders a scaled problem compactly.
+func (sp ScaledProblem) Describe() string {
+	return fmt.Sprintf("k=%.0f: n=%.3g theta=%.2f ws=%dB time=%.2fx",
+		sp.Machine, sp.Params.N, sp.Params.Theta, sp.WS, sp.RelTime)
+}

@@ -1,0 +1,82 @@
+package trace
+
+// Arena hands out non-overlapping address ranges in the simulated shared
+// address space. Kernels allocate one range per data structure so that the
+// cache simulators see a realistic, conflict-free layout.
+//
+// The zero Arena is ready to use and starts allocating at BaseAddr.
+type Arena struct {
+	next uint64
+}
+
+// BaseAddr is the first address an Arena hands out. Starting above zero
+// keeps address 0 free as an "unallocated" sentinel in kernels.
+const BaseAddr uint64 = 0x1000
+
+// Alloc reserves size bytes aligned to align (which must be a power of two;
+// 0 means 8-byte alignment) and returns the range's base address.
+func (a *Arena) Alloc(size, align uint64) uint64 {
+	if align == 0 {
+		align = 8
+	}
+	if align&(align-1) != 0 {
+		panic("trace: Arena alignment must be a power of two")
+	}
+	if a.next == 0 {
+		a.next = BaseAddr
+	}
+	base := (a.next + align - 1) &^ (align - 1)
+	a.next = base + size
+	return base
+}
+
+// AllocDW reserves n double words (8 bytes each) and returns the base address.
+func (a *Arena) AllocDW(n uint64) uint64 { return a.Alloc(8*n, 8) }
+
+// Used reports the total extent of the address space handed out so far.
+func (a *Arena) Used() uint64 {
+	if a.next == 0 {
+		return 0
+	}
+	return a.next - BaseAddr
+}
+
+// Vec is an allocated vector of double words: a base address plus a length,
+// with index helpers. It gives kernels array-like addressing without
+// allocating real memory for trace-only structures.
+type Vec struct {
+	Base uint64
+	Len  int
+}
+
+// NewVec allocates a vector of n double words in a.
+func NewVec(a *Arena, n int) Vec {
+	return Vec{Base: a.AllocDW(uint64(n)), Len: n}
+}
+
+// Addr returns the address of element i.
+func (v Vec) Addr(i int) uint64 {
+	if i < 0 || i >= v.Len {
+		panic("trace: Vec index out of range")
+	}
+	return v.Base + uint64(i)*8
+}
+
+// Mat is an allocated row-major matrix of double words.
+type Mat struct {
+	Base       uint64
+	Rows, Cols int
+}
+
+// NewMat allocates an r-by-c double-word matrix in a.
+func NewMat(a *Arena, r, c int) Mat {
+	return Mat{Base: a.AllocDW(uint64(r) * uint64(c)), Rows: r, Cols: c}
+}
+
+// Addr returns the address of element (i,j).
+func (m Mat) Addr(i, j int) uint64 {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic("trace: Mat index out of range")
+	}
+	return m.Base + (uint64(i)*uint64(m.Cols)+uint64(j))*8
+}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace serialization. Kernel runs at paper scale produce hundreds
+// of millions of references; capturing them once and replaying into many
+// simulator configurations (different line sizes, associativities,
+// coherence settings) beats re-running the kernel each time. The format
+// is a compact delta-varint stream:
+//
+//	magic "WST1"
+//	per record:
+//	  header byte: bit0 = kind (0 read / 1 write),
+//	               bit1 = PE changed, bit2 = size changed,
+//	               bit3 = epoch marker (bits 0-2 ignored)
+//	  [epoch varint]  when bit3
+//	  [pe varint]     when bit1
+//	  [size varint]   when bit2
+//	  addr zig-zag varint delta from the same PE's previous address
+//
+// Per-PE address deltas make strided kernels almost free to encode.
+
+var binaryMagic = [4]byte{'W', 'S', 'T', '1'}
+
+// Writer streams references to an io.Writer in binary form. It implements
+// Consumer and EpochConsumer, so it can sit anywhere a simulator can —
+// including inside a Tee next to one.
+type Writer struct {
+	w        *bufio.Writer
+	lastAddr map[int]uint64
+	curPE    int
+	curSize  uint32
+	started  bool
+	err      error
+	records  uint64
+}
+
+// NewWriter starts a binary trace on w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	}
+	return &Writer{
+		w:        bw,
+		lastAddr: make(map[int]uint64),
+		curPE:    -1,
+	}, nil
+}
+
+// Records reports how many references have been written.
+func (t *Writer) Records() uint64 { return t.records }
+
+// Err reports the first write error, if any.
+func (t *Writer) Err() error { return t.err }
+
+// Ref encodes one reference.
+func (t *Writer) Ref(r Ref) {
+	if t.err != nil {
+		return
+	}
+	var hdr byte
+	if r.Kind == Write {
+		hdr |= 1
+	}
+	if r.PE != t.curPE || !t.started {
+		hdr |= 2
+	}
+	if r.Size != t.curSize || !t.started {
+		hdr |= 4
+	}
+	t.started = true
+	t.writeByte(hdr)
+	if hdr&2 != 0 {
+		t.writeUvarint(uint64(r.PE))
+		t.curPE = r.PE
+	}
+	if hdr&4 != 0 {
+		t.writeUvarint(uint64(r.Size))
+		t.curSize = r.Size
+	}
+	prev := t.lastAddr[r.PE]
+	delta := int64(r.Addr) - int64(prev)
+	t.writeUvarint(zigzag(delta))
+	t.lastAddr[r.PE] = r.Addr
+	t.records++
+}
+
+// BeginEpoch encodes an epoch boundary.
+func (t *Writer) BeginEpoch(n int) {
+	if t.err != nil {
+		return
+	}
+	t.writeByte(8)
+	t.writeUvarint(uint64(n))
+}
+
+// Flush drains buffered output. Call it (and check Err) when done.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+func (t *Writer) writeByte(b byte) {
+	if err := t.w.WriteByte(b); err != nil {
+		t.err = err
+	}
+}
+
+func (t *Writer) writeUvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	if _, err := t.w.Write(buf[:n]); err != nil {
+		t.err = err
+	}
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Replay decodes a binary trace from r and delivers it to sink (epoch
+// markers go to sink's BeginEpoch when it implements EpochConsumer).
+// It returns the number of references replayed.
+func Replay(r io.Reader, sink Consumer) (uint64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return 0, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return 0, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	ec, _ := sink.(EpochConsumer)
+	lastAddr := make(map[int]uint64)
+	curPE := -1
+	var curSize uint32
+	var count uint64
+	for {
+		hdr, err := br.ReadByte()
+		if err == io.EOF {
+			return count, nil
+		}
+		if err != nil {
+			return count, err
+		}
+		if hdr&8 != 0 {
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				return count, fmt.Errorf("trace: epoch: %w", err)
+			}
+			if ec != nil {
+				ec.BeginEpoch(int(n))
+			}
+			continue
+		}
+		if hdr&2 != 0 {
+			pe, err := binary.ReadUvarint(br)
+			if err != nil {
+				return count, fmt.Errorf("trace: pe: %w", err)
+			}
+			curPE = int(pe)
+		}
+		if hdr&4 != 0 {
+			sz, err := binary.ReadUvarint(br)
+			if err != nil {
+				return count, fmt.Errorf("trace: size: %w", err)
+			}
+			curSize = uint32(sz)
+		}
+		if curPE < 0 {
+			return count, fmt.Errorf("trace: record before any PE header")
+		}
+		du, err := binary.ReadUvarint(br)
+		if err != nil {
+			return count, fmt.Errorf("trace: addr: %w", err)
+		}
+		addr := uint64(int64(lastAddr[curPE]) + unzigzag(du))
+		lastAddr[curPE] = addr
+		kind := Read
+		if hdr&1 != 0 {
+			kind = Write
+		}
+		sink.Ref(Ref{PE: curPE, Addr: addr, Size: curSize, Kind: kind})
+		count++
+	}
+}

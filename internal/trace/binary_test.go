@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// collect gathers refs and epochs for comparison.
+type collect struct {
+	refs   []Ref
+	epochs []int
+}
+
+func (c *collect) Ref(r Ref)        { c.refs = append(c.refs, r) }
+func (c *collect) BeginEpoch(n int) { c.epochs = append(c.epochs, n) }
+
+func TestBinaryRoundTripBasic(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []Ref{
+		{PE: 0, Addr: 0x1000, Size: 8, Kind: Read},
+		{PE: 0, Addr: 0x1008, Size: 8, Kind: Write},
+		{PE: 2, Addr: 0x2000, Size: 16, Kind: Read},
+		{PE: 0, Addr: 0x0ff8, Size: 8, Kind: Read}, // negative delta
+	}
+	w.BeginEpoch(0)
+	for _, r := range in {
+		w.Ref(r)
+	}
+	w.BeginEpoch(1)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != uint64(len(in)) {
+		t.Fatalf("records = %d", w.Records())
+	}
+
+	var out collect
+	n, err := Replay(&buf, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(in)) {
+		t.Fatalf("replayed %d refs, want %d", n, len(in))
+	}
+	for i, r := range in {
+		if out.refs[i] != r {
+			t.Fatalf("ref %d: got %+v want %+v", i, out.refs[i], r)
+		}
+	}
+	if len(out.epochs) != 2 || out.epochs[0] != 0 || out.epochs[1] != 1 {
+		t.Fatalf("epochs = %v", out.epochs)
+	}
+}
+
+// TestBinaryRoundTripProperty fuzzes random traces through the codec.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	check := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%2000) + 1
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]Ref, n)
+		for i := range in {
+			kind := Read
+			if rng.Intn(2) == 0 {
+				kind = Write
+			}
+			in[i] = Ref{
+				PE:   rng.Intn(8),
+				Addr: uint64(rng.Int63n(1 << 40)),
+				Size: uint32(1 + rng.Intn(64)),
+				Kind: kind,
+			}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for i, r := range in {
+			if i%100 == 0 {
+				w.BeginEpoch(i / 100)
+			}
+			w.Ref(r)
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		var out collect
+		cnt, err := Replay(&buf, &out)
+		if err != nil || cnt != uint64(n) {
+			return false
+		}
+		for i := range in {
+			if out.refs[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	// A strided per-PE stream should encode near 2 bytes per reference
+	// (header + 1-byte delta).
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	const refs = 10000
+	for i := 0; i < refs; i++ {
+		// Bursty per-PE phases, as kernels emit them.
+		w.Ref(Ref{PE: i / 2500, Addr: uint64(i%2500) * 8, Size: 8, Kind: Read})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	perRef := float64(buf.Len()) / refs
+	if perRef > 2.1 {
+		t.Fatalf("%.2f bytes/ref, want ~2 (delta coding broken?)", perRef)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	// Bad magic.
+	if _, err := Replay(strings.NewReader("nope"), Discard); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated stream after a header byte.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Ref(Ref{PE: 1, Addr: 64, Size: 8, Kind: Read})
+	w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-1]
+	if _, err := Replay(bytes.NewReader(trunc), Discard); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Empty stream (magic only) is a valid zero-length trace.
+	var empty bytes.Buffer
+	w2, _ := NewWriter(&empty)
+	w2.Flush()
+	if n, err := Replay(&empty, Discard); err != nil || n != 0 {
+		t.Errorf("empty trace: n=%d err=%v", n, err)
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round trip of %d = %d", v, got)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package trace defines the memory-reference stream that couples the
+// application kernels to the cache and memory-system simulators.
+//
+// Kernels emit Ref events as they execute; simulators implement Consumer.
+// The stream is never materialized: a kernel run and a simulation are a
+// single pass, which is what makes paper-scale traces (hundreds of millions
+// of references) feasible.
+package trace
+
+import "fmt"
+
+// Kind distinguishes loads from stores.
+type Kind uint8
+
+const (
+	// Read is a load reference.
+	Read Kind = iota
+	// Write is a store reference.
+	Write
+)
+
+// String returns "read" or "write".
+func (k Kind) String() string {
+	if k == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Ref is a single memory reference issued by one processor.
+type Ref struct {
+	PE   int    // issuing processor
+	Addr uint64 // byte address in the shared address space
+	Size uint32 // bytes touched (a double word is 8)
+	Kind Kind
+}
+
+// String renders the reference for debugging.
+func (r Ref) String() string {
+	return fmt.Sprintf("pe%d %s [%#x,+%d)", r.PE, r.Kind, r.Addr, r.Size)
+}
+
+// Consumer receives a reference stream.
+type Consumer interface {
+	// Ref delivers one reference. Implementations must not retain r.
+	Ref(r Ref)
+}
+
+// EpochConsumer is implemented by consumers that care about epoch
+// boundaries (time-steps, iterations). The paper excludes cold-start misses
+// by discarding statistics from the first few epochs; consumers use
+// BeginEpoch to reset or freeze counters accordingly.
+type EpochConsumer interface {
+	Consumer
+	// BeginEpoch announces that epoch n (0-based) is starting.
+	BeginEpoch(n int)
+}
+
+// Func adapts a function to the Consumer interface.
+type Func func(Ref)
+
+// Ref calls f(r).
+func (f Func) Ref(r Ref) { f(r) }
+
+// Discard is a Consumer that drops every reference.
+var Discard Consumer = Func(func(Ref) {})
+
+// Emitter is a convenience wrapper kernels embed to issue references for a
+// fixed processor. A nil *Emitter is valid and drops all references, so
+// kernels can run at full numeric speed when no simulation is attached.
+type Emitter struct {
+	pe   int
+	sink Consumer
+}
+
+// NewEmitter returns an Emitter issuing references as processor pe into sink.
+// A nil sink yields a nil Emitter.
+func NewEmitter(pe int, sink Consumer) *Emitter {
+	if sink == nil {
+		return nil
+	}
+	return &Emitter{pe: pe, sink: sink}
+}
+
+// PE reports the processor this emitter issues for. A nil receiver reports -1.
+func (e *Emitter) PE() int {
+	if e == nil {
+		return -1
+	}
+	return e.pe
+}
+
+// Load issues a read of size bytes at addr.
+func (e *Emitter) Load(addr uint64, size uint32) {
+	if e == nil {
+		return
+	}
+	e.sink.Ref(Ref{PE: e.pe, Addr: addr, Size: size, Kind: Read})
+}
+
+// Store issues a write of size bytes at addr.
+func (e *Emitter) Store(addr uint64, size uint32) {
+	if e == nil {
+		return
+	}
+	e.sink.Ref(Ref{PE: e.pe, Addr: addr, Size: size, Kind: Write})
+}
+
+// LoadDW issues an 8-byte (double-word) read, the unit the paper counts.
+func (e *Emitter) LoadDW(addr uint64) { e.Load(addr, 8) }
+
+// StoreDW issues an 8-byte (double-word) write.
+func (e *Emitter) StoreDW(addr uint64) { e.Store(addr, 8) }
+
+// Tee fans a stream out to several consumers in order.
+type Tee []Consumer
+
+// Ref forwards r to every consumer.
+func (t Tee) Ref(r Ref) {
+	for _, c := range t {
+		c.Ref(r)
+	}
+}
+
+// BeginEpoch forwards the epoch boundary to consumers that understand it.
+func (t Tee) BeginEpoch(n int) {
+	for _, c := range t {
+		if ec, ok := c.(EpochConsumer); ok {
+			ec.BeginEpoch(n)
+		}
+	}
+}
+
+// PEFilter forwards only references issued by a single processor.
+// The paper measures per-processor working sets; wrapping a profiler in a
+// PEFilter focuses it on one processor's stream.
+type PEFilter struct {
+	PE   int
+	Next Consumer
+}
+
+// Ref forwards r when r.PE matches.
+func (f PEFilter) Ref(r Ref) {
+	if r.PE == f.PE {
+		f.Next.Ref(r)
+	}
+}
+
+// BeginEpoch forwards epoch boundaries unconditionally.
+func (f PEFilter) BeginEpoch(n int) {
+	if ec, ok := f.Next.(EpochConsumer); ok {
+		ec.BeginEpoch(n)
+	}
+}
+
+// Counter tallies a stream without simulating anything.
+type Counter struct {
+	Refs, Reads, Writes uint64
+	Bytes               uint64
+}
+
+// Ref accumulates r into the tallies.
+func (c *Counter) Ref(r Ref) {
+	c.Refs++
+	c.Bytes += uint64(r.Size)
+	if r.Kind == Read {
+		c.Reads++
+	} else {
+		c.Writes++
+	}
+}
+
+// Recorder buffers a bounded prefix of a stream, for tests and debugging.
+type Recorder struct {
+	Max  int // maximum references to retain; 0 means unlimited
+	Refs []Ref
+}
+
+// Ref appends r until Max is reached; later references are counted but
+// not stored.
+func (rec *Recorder) Ref(r Ref) {
+	if rec.Max == 0 || len(rec.Refs) < rec.Max {
+		rec.Refs = append(rec.Refs, r)
+	}
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatalf("Kind strings: %q %q", Read, Write)
+	}
+}
+
+func TestRefString(t *testing.T) {
+	r := Ref{PE: 3, Addr: 0x100, Size: 8, Kind: Write}
+	s := r.String()
+	for _, want := range []string{"pe3", "write", "0x100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Ref.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestEmitterNilSafety(t *testing.T) {
+	var e *Emitter
+	e.LoadDW(0x10)  // must not panic
+	e.StoreDW(0x10) // must not panic
+	if e.PE() != -1 {
+		t.Errorf("nil emitter PE = %d, want -1", e.PE())
+	}
+	if NewEmitter(0, nil) != nil {
+		t.Error("NewEmitter with nil sink should return nil")
+	}
+}
+
+func TestEmitterRouting(t *testing.T) {
+	var c Counter
+	e := NewEmitter(5, &c)
+	if e.PE() != 5 {
+		t.Fatalf("PE = %d", e.PE())
+	}
+	e.LoadDW(0x20)
+	e.Store(0x28, 16)
+	if c.Refs != 2 || c.Reads != 1 || c.Writes != 1 || c.Bytes != 24 {
+		t.Fatalf("counter = %+v", c)
+	}
+}
+
+func TestTeeAndPEFilter(t *testing.T) {
+	var a, b Counter
+	tee := Tee{&a, PEFilter{PE: 1, Next: &b}}
+	tee.Ref(Ref{PE: 0, Addr: 8, Size: 8, Kind: Read})
+	tee.Ref(Ref{PE: 1, Addr: 16, Size: 8, Kind: Read})
+	if a.Refs != 2 {
+		t.Errorf("unfiltered counter saw %d refs, want 2", a.Refs)
+	}
+	if b.Refs != 1 {
+		t.Errorf("filtered counter saw %d refs, want 1", b.Refs)
+	}
+}
+
+type epochRecorder struct {
+	Counter
+	epochs []int
+}
+
+func (e *epochRecorder) BeginEpoch(n int) { e.epochs = append(e.epochs, n) }
+
+func TestEpochPropagation(t *testing.T) {
+	var inner epochRecorder
+	tee := Tee{PEFilter{PE: 0, Next: &inner}}
+	tee.BeginEpoch(0)
+	tee.BeginEpoch(1)
+	if len(inner.epochs) != 2 || inner.epochs[1] != 1 {
+		t.Fatalf("epochs = %v", inner.epochs)
+	}
+}
+
+func TestRecorderBound(t *testing.T) {
+	rec := Recorder{Max: 2}
+	for i := 0; i < 5; i++ {
+		rec.Ref(Ref{Addr: uint64(i)})
+	}
+	if len(rec.Refs) != 2 {
+		t.Fatalf("recorder kept %d refs, want 2", len(rec.Refs))
+	}
+}
+
+func TestArenaDisjoint(t *testing.T) {
+	// Property: allocations never overlap and respect alignment.
+	check := func(sizes []uint8) bool {
+		var a Arena
+		type rng struct{ lo, hi uint64 }
+		var got []rng
+		for _, s := range sizes {
+			size := uint64(s%64) + 1
+			base := a.Alloc(size, 8)
+			if base%8 != 0 {
+				return false
+			}
+			for _, r := range got {
+				if base < r.hi && base+size > r.lo {
+					return false
+				}
+			}
+			got = append(got, rng{base, base + size})
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaAlignment(t *testing.T) {
+	var a Arena
+	a.Alloc(3, 8)
+	base := a.Alloc(8, 64)
+	if base%64 != 0 {
+		t.Fatalf("base %d not 64-aligned", base)
+	}
+	if a.Used() == 0 {
+		t.Fatal("Used should be nonzero after allocations")
+	}
+}
+
+func TestArenaBadAlignmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two alignment")
+		}
+	}()
+	var a Arena
+	a.Alloc(8, 3)
+}
+
+func TestVecAddressing(t *testing.T) {
+	var a Arena
+	v := NewVec(&a, 10)
+	if v.Addr(1)-v.Addr(0) != 8 {
+		t.Fatal("Vec stride should be 8 bytes")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	v.Addr(10)
+}
+
+func TestMatAddressing(t *testing.T) {
+	var a Arena
+	m := NewMat(&a, 4, 5)
+	if m.Addr(1, 0)-m.Addr(0, 0) != 5*8 {
+		t.Fatal("Mat row stride should be cols*8")
+	}
+	if m.Addr(2, 3)-m.Addr(2, 2) != 8 {
+		t.Fatal("Mat col stride should be 8")
+	}
+	// Two matrices from the same arena must not overlap.
+	m2 := NewMat(&a, 2, 2)
+	lastOfM := m.Addr(3, 4) + 8
+	if m2.Base < lastOfM {
+		t.Fatalf("matrices overlap: %d < %d", m2.Base, lastOfM)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	m.Addr(4, 0)
+}
+
+func TestDiscard(t *testing.T) {
+	Discard.Ref(Ref{}) // must not panic
+}

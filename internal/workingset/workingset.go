@@ -1,0 +1,238 @@
+// Package workingset turns miss-rate-versus-cache-size data into the
+// paper's working-set hierarchies: it represents the curves, finds their
+// knees, and labels the levels (lev1WS, lev2WS, ...).
+package workingset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one sample of a working-set curve.
+type Point struct {
+	CacheBytes uint64  // cache capacity in bytes
+	MissRate   float64 // misses per reference, or misses per FLOP
+}
+
+// Curve is a miss-rate curve sampled at increasing cache sizes.
+type Curve struct {
+	Label  string
+	Metric string // e.g. "read miss rate", "misses/FLOP"
+	Points []Point
+}
+
+// Validate checks that the curve is well-formed: ascending sizes and
+// non-negative rates.
+func (c *Curve) Validate() error {
+	var prev uint64
+	for i, p := range c.Points {
+		if i > 0 && p.CacheBytes <= prev {
+			return fmt.Errorf("workingset: curve %q not ascending at index %d", c.Label, i)
+		}
+		prev = p.CacheBytes
+		if p.MissRate < 0 || math.IsNaN(p.MissRate) {
+			return fmt.Errorf("workingset: curve %q has invalid rate at index %d", c.Label, i)
+		}
+	}
+	return nil
+}
+
+// RateAt interpolates the miss rate at an arbitrary cache size
+// (step interpolation: the rate of the largest sampled size <= bytes; the
+// first sample's rate below it). Returns NaN for an empty curve.
+func (c *Curve) RateAt(bytes uint64) float64 {
+	if len(c.Points) == 0 {
+		return math.NaN()
+	}
+	i := sort.Search(len(c.Points), func(i int) bool {
+		return c.Points[i].CacheBytes > bytes
+	})
+	if i == 0 {
+		return c.Points[0].MissRate
+	}
+	return c.Points[i-1].MissRate
+}
+
+// Knee is a sharp drop in a working-set curve: growing the cache past
+// CacheBytes divides the miss rate by roughly Drop.
+type Knee struct {
+	CacheBytes uint64  // size at which the drop completes
+	Before     float64 // rate just before the knee
+	After      float64 // rate at the knee
+	Drop       float64 // Before/After
+}
+
+// FindKnees locates knees: consecutive samples whose rate falls by at least
+// minDrop (a ratio, e.g. 1.5) and by at least minAbs in absolute terms
+// (suppressing "knees" in the noise floor). Adjacent qualifying samples are
+// merged into a single knee spanning the whole drop.
+func FindKnees(c *Curve, minDrop, minAbs float64) []Knee {
+	if minDrop <= 1 {
+		minDrop = 1.5
+	}
+	var knees []Knee
+	lastDropIdx := -2 // sample index that completed the previous knee
+	pts := c.Points
+	for i := 1; i < len(pts); i++ {
+		a, b := pts[i-1], pts[i]
+		drops := false
+		if b.MissRate <= 0 {
+			drops = a.MissRate > minAbs
+		} else {
+			drops = a.MissRate/b.MissRate >= minDrop && a.MissRate-b.MissRate >= minAbs
+		}
+		if !drops {
+			continue
+		}
+		if lastDropIdx == i-1 {
+			// The drop continues the previous sample's drop: same knee.
+			k := &knees[len(knees)-1]
+			k.CacheBytes = b.CacheBytes
+			k.After = b.MissRate
+			k.Drop = ratio(k.Before, k.After)
+		} else {
+			knees = append(knees, Knee{
+				CacheBytes: b.CacheBytes,
+				Before:     a.MissRate,
+				After:      b.MissRate,
+				Drop:       ratio(a.MissRate, b.MissRate),
+			})
+		}
+		lastDropIdx = i
+	}
+	return knees
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// Level is one level of a working-set hierarchy.
+type Level struct {
+	Name      string  // "lev1WS", "lev2WS", ...
+	SizeBytes uint64  // cache size needed to hold it
+	MissRate  float64 // rate once it fits
+	Note      string  // what the level physically is
+}
+
+// Hierarchy is an ordered list of working-set levels, smallest first.
+type Hierarchy struct {
+	App    string
+	Levels []Level
+}
+
+// FromKnees labels detected knees as hierarchy levels lev1WS, lev2WS, ...
+func FromKnees(app string, knees []Knee) Hierarchy {
+	h := Hierarchy{App: app}
+	for i, k := range knees {
+		h.Levels = append(h.Levels, Level{
+			Name:      fmt.Sprintf("lev%dWS", i+1),
+			SizeBytes: k.CacheBytes,
+			MissRate:  k.After,
+		})
+	}
+	return h
+}
+
+// Important returns the level the paper would call the important working
+// set: the smallest level after which the miss rate is within factor (e.g.
+// 4x) of the final level's rate. Returns the last level when none
+// qualifies earlier, and false for an empty hierarchy.
+func (h Hierarchy) Important(factor float64) (Level, bool) {
+	if len(h.Levels) == 0 {
+		return Level{}, false
+	}
+	final := h.Levels[len(h.Levels)-1].MissRate
+	for _, l := range h.Levels {
+		if final <= 0 {
+			if l.MissRate == 0 {
+				return l, true
+			}
+			continue
+		}
+		if l.MissRate <= final*factor {
+			return l, true
+		}
+	}
+	return h.Levels[len(h.Levels)-1], true
+}
+
+// String renders the hierarchy as a small table.
+func (h Hierarchy) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s working sets:\n", h.App)
+	for _, l := range h.Levels {
+		fmt.Fprintf(&b, "  %-8s %10s  rate %.4g", l.Name, FormatBytes(l.SizeBytes), l.MissRate)
+		if l.Note != "" {
+			fmt.Fprintf(&b, "  (%s)", l.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LogSizes returns cache sizes in bytes from lo to hi (inclusive),
+// pointsPerOctave samples per doubling, deduplicated and ascending. It is
+// the sampling grid for every working-set sweep.
+func LogSizes(lo, hi uint64, pointsPerOctave int) []uint64 {
+	if lo == 0 {
+		lo = 1
+	}
+	if pointsPerOctave <= 0 {
+		pointsPerOctave = 1
+	}
+	var out []uint64
+	step := math.Pow(2, 1/float64(pointsPerOctave))
+	for x := float64(lo); ; x *= step {
+		v := uint64(math.Round(x))
+		if v > hi {
+			break
+		}
+		if len(out) == 0 || v > out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] < hi {
+		out = append(out, hi)
+	}
+	return out
+}
+
+// BytesToLines converts byte sizes to line counts (rounding down, min 1).
+func BytesToLines(sizes []uint64, lineSize uint32) []int {
+	out := make([]int, 0, len(sizes))
+	for _, s := range sizes {
+		l := int(s / uint64(lineSize))
+		if l < 1 {
+			l = 1
+		}
+		if len(out) == 0 || l > out[len(out)-1] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// FormatBytes renders a byte count with binary units (2.2 KB style, as the
+// paper writes sizes).
+func FormatBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return trimZero(fmt.Sprintf("%.1f GB", float64(n)/(1<<30)))
+	case n >= 1<<20:
+		return trimZero(fmt.Sprintf("%.1f MB", float64(n)/(1<<20)))
+	case n >= 1<<10:
+		return trimZero(fmt.Sprintf("%.1f KB", float64(n)/(1<<10)))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func trimZero(s string) string {
+	return strings.Replace(s, ".0 ", " ", 1)
+}

@@ -1,0 +1,216 @@
+package workingset
+
+import (
+	"math"
+	"testing"
+)
+
+func mkCurve(pts ...Point) *Curve {
+	return &Curve{Label: "test", Metric: "miss rate", Points: pts}
+}
+
+func TestValidate(t *testing.T) {
+	good := mkCurve(Point{8, 1.0}, Point{16, 0.5})
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid curve rejected: %v", err)
+	}
+	bad := mkCurve(Point{16, 1.0}, Point{8, 0.5})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("descending sizes accepted")
+	}
+	nan := mkCurve(Point{8, math.NaN()})
+	if err := nan.Validate(); err == nil {
+		t.Fatal("NaN rate accepted")
+	}
+}
+
+func TestRateAt(t *testing.T) {
+	c := mkCurve(Point{8, 1.0}, Point{64, 0.5}, Point{512, 0.1})
+	cases := []struct {
+		bytes uint64
+		want  float64
+	}{
+		{4, 1.0},   // below first sample
+		{8, 1.0},   // exact
+		{63, 1.0},  // step interpolation
+		{64, 0.5},  // exact
+		{100, 0.5}, // between
+		{1 << 20, 0.1},
+	}
+	for _, cse := range cases {
+		if got := c.RateAt(cse.bytes); got != cse.want {
+			t.Errorf("RateAt(%d) = %v, want %v", cse.bytes, got, cse.want)
+		}
+	}
+	empty := mkCurve()
+	if !math.IsNaN(empty.RateAt(8)) {
+		t.Error("empty curve should yield NaN")
+	}
+}
+
+func TestFindKneesSimple(t *testing.T) {
+	// One clean knee at 256 bytes: 1.0 -> 0.1.
+	c := mkCurve(Point{64, 1.0}, Point{128, 1.0}, Point{256, 0.1}, Point{512, 0.1})
+	knees := FindKnees(c, 2, 0.01)
+	if len(knees) != 1 {
+		t.Fatalf("knees = %+v, want exactly 1", knees)
+	}
+	k := knees[0]
+	if k.CacheBytes != 256 || k.Before != 1.0 || k.After != 0.1 {
+		t.Fatalf("knee = %+v", k)
+	}
+	if math.Abs(k.Drop-10) > 1e-9 {
+		t.Fatalf("drop = %v, want 10", k.Drop)
+	}
+}
+
+func TestFindKneesMergesAdjacentDrops(t *testing.T) {
+	// A drop spanning two consecutive samples is one knee, not two.
+	c := mkCurve(Point{64, 1.0}, Point{128, 0.4}, Point{256, 0.1}, Point{512, 0.1})
+	knees := FindKnees(c, 2, 0.01)
+	if len(knees) != 1 {
+		t.Fatalf("knees = %+v, want 1 merged knee", knees)
+	}
+	if knees[0].CacheBytes != 256 || knees[0].Before != 1.0 || knees[0].After != 0.1 {
+		t.Fatalf("merged knee = %+v", knees[0])
+	}
+}
+
+func TestFindKneesTwoLevels(t *testing.T) {
+	c := mkCurve(
+		Point{64, 1.0}, Point{128, 0.5}, Point{256, 0.5},
+		Point{1024, 0.5}, Point{2048, 0.05}, Point{4096, 0.05},
+	)
+	knees := FindKnees(c, 1.8, 0.01)
+	if len(knees) != 2 {
+		t.Fatalf("knees = %+v, want 2", knees)
+	}
+	if knees[0].CacheBytes != 128 || knees[1].CacheBytes != 2048 {
+		t.Fatalf("knee sizes = %d, %d", knees[0].CacheBytes, knees[1].CacheBytes)
+	}
+}
+
+func TestFindKneesIgnoresNoiseFloor(t *testing.T) {
+	// A 10x relative drop at a negligible absolute level is not a knee.
+	c := mkCurve(Point{64, 0.001}, Point{128, 0.0001})
+	if knees := FindKnees(c, 2, 0.01); len(knees) != 0 {
+		t.Fatalf("noise-floor knee detected: %+v", knees)
+	}
+}
+
+func TestFindKneesDropToZero(t *testing.T) {
+	c := mkCurve(Point{64, 0.5}, Point{128, 0})
+	knees := FindKnees(c, 2, 0.01)
+	if len(knees) != 1 {
+		t.Fatalf("knees = %+v, want 1", knees)
+	}
+	if !math.IsInf(knees[0].Drop, 1) {
+		t.Fatalf("drop to zero should be +Inf, got %v", knees[0].Drop)
+	}
+}
+
+func TestHierarchyFromKneesAndImportant(t *testing.T) {
+	knees := []Knee{
+		{CacheBytes: 256, Before: 1.0, After: 0.5, Drop: 2},
+		{CacheBytes: 2048, Before: 0.5, After: 0.06, Drop: 8.3},
+		{CacheBytes: 1 << 20, Before: 0.06, After: 0.03, Drop: 2},
+	}
+	h := FromKnees("LU", knees)
+	if len(h.Levels) != 3 || h.Levels[0].Name != "lev1WS" || h.Levels[2].Name != "lev3WS" {
+		t.Fatalf("hierarchy = %+v", h)
+	}
+	// Important: first level within 4x of the final 0.03 is lev2WS (0.06).
+	imp, ok := h.Important(4)
+	if !ok || imp.Name != "lev2WS" {
+		t.Fatalf("important = %+v, ok=%v; want lev2WS", imp, ok)
+	}
+	if s := h.String(); s == "" {
+		t.Fatal("String should render something")
+	}
+}
+
+func TestImportantEdgeCases(t *testing.T) {
+	empty := Hierarchy{App: "x"}
+	if _, ok := empty.Important(4); ok {
+		t.Fatal("empty hierarchy should report no important level")
+	}
+	// Final rate zero: first zero-rate level qualifies.
+	h := FromKnees("x", []Knee{
+		{CacheBytes: 64, Before: 1, After: 0.5},
+		{CacheBytes: 128, Before: 0.5, After: 0},
+	})
+	imp, ok := h.Important(4)
+	if !ok || imp.SizeBytes != 128 {
+		t.Fatalf("important = %+v", imp)
+	}
+	// No level within factor: fall back to the last.
+	h2 := FromKnees("y", []Knee{{CacheBytes: 64, Before: 1, After: 0.5}})
+	h2.Levels[0].MissRate = 0.5
+	h2.Levels = append(h2.Levels, Level{Name: "lev2WS", SizeBytes: 128, MissRate: 0.1})
+	h2.Levels[1].MissRate = 0.0001
+	imp2, _ := h2.Important(1.0001)
+	if imp2.Name != "lev2WS" {
+		t.Fatalf("fallback important = %+v", imp2)
+	}
+}
+
+func TestLogSizes(t *testing.T) {
+	sizes := LogSizes(64, 1024, 1)
+	want := []uint64{64, 128, 256, 512, 1024}
+	if len(sizes) != len(want) {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", sizes, want)
+		}
+	}
+	// Finer grid includes intermediate points and stays ascending.
+	fine := LogSizes(64, 1024, 4)
+	if len(fine) <= len(sizes) {
+		t.Fatal("4 points/octave should produce more samples")
+	}
+	for i := 1; i < len(fine); i++ {
+		if fine[i] <= fine[i-1] {
+			t.Fatalf("not strictly ascending: %v", fine)
+		}
+	}
+	if fine[len(fine)-1] != 1024 {
+		t.Fatalf("must end at hi: %v", fine)
+	}
+	// Degenerate input.
+	z := LogSizes(0, 4, 0)
+	if z[0] != 1 || z[len(z)-1] != 4 {
+		t.Fatalf("degenerate = %v", z)
+	}
+}
+
+func TestBytesToLines(t *testing.T) {
+	lines := BytesToLines([]uint64{4, 8, 16, 20, 24}, 8)
+	want := []int{1, 2, 3}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("lines = %v, want %v", lines, want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[uint64]string{
+		100:       "100 B",
+		1024:      "1 KB",
+		2253:      "2.2 KB",
+		1 << 20:   "1 MB",
+		3 << 30:   "3 GB",
+		80 * 1024: "80 KB",
+		1536:      "1.5 KB",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package wss (working-set study) is the public face of this library: a
+// full reproduction of Rothberg, Singh & Gupta, "Working Sets, Cache
+// Sizes, and Node Granularity Issues for Large-Scale Multiprocessors"
+// (ISCA 1993).
+//
+// The package re-exports three layers:
+//
+//   - Experiments: every figure and table of the paper as a runnable
+//     artifact (Experiments, Run, RunAndRender).
+//   - The measurement toolkit: memory-reference traces, the single-pass
+//     stack-distance profiler, exact LRU / set-associative caches, the
+//     write-invalidate multiprocessor simulator, and knee detection.
+//   - The application kernels and analytic models live under
+//     internal/apps/...; examples in examples/ show how they compose.
+package wss
+
+import (
+	"fmt"
+	"io"
+
+	"wsstudy/internal/cache"
+	"wsstudy/internal/core"
+	"wsstudy/internal/machine"
+	"wsstudy/internal/memsys"
+	"wsstudy/internal/trace"
+	"wsstudy/internal/workingset"
+)
+
+// Experiment layer.
+
+type (
+	// Experiment is one reproducible artifact (figure or table).
+	Experiment = core.Experiment
+	// Options tunes a run; set Quick for second-scale problem sizes.
+	Options = core.Options
+	// Report is an experiment's structured output.
+	Report = core.Report
+	// Figure is a set of miss-rate curves.
+	Figure = core.Figure
+	// Table is a titled text grid.
+	Table = core.Table
+)
+
+// Experiments lists every artifact in paper order.
+func Experiments() []Experiment { return core.Registry() }
+
+// Run executes the experiment with the given id ("fig2", "fig4", "fig5",
+// "fig6", "fig6dm", "fig7", "table1", "table2", "machines", "grain",
+// "scalingbh", "cost").
+func Run(id string, opt Options) (*Report, error) {
+	e, ok := core.Find(id)
+	if !ok {
+		return nil, fmt.Errorf("wss: unknown experiment %q", id)
+	}
+	return e.Run(opt)
+}
+
+// RunAndRender executes an experiment and writes its text rendering to w.
+func RunAndRender(id string, opt Options, w io.Writer) error {
+	rep, err := Run(id, opt)
+	if err != nil {
+		return err
+	}
+	rep.Render(w)
+	return nil
+}
+
+// Measurement toolkit.
+
+type (
+	// Ref is one memory reference in the simulated shared address space.
+	Ref = trace.Ref
+	// Consumer receives a reference stream.
+	Consumer = trace.Consumer
+	// Emitter issues references for one processor.
+	Emitter = trace.Emitter
+	// StackProfiler yields exact LRU miss counts at every cache size in
+	// one trace pass.
+	StackProfiler = cache.StackProfiler
+	// LRU is an exact fully associative LRU cache.
+	LRU = cache.LRU
+	// SetAssoc is a set-associative (or direct-mapped) cache.
+	SetAssoc = cache.SetAssoc
+	// Bank is a per-size bank of exact LRU caches.
+	Bank = cache.Bank
+	// System is the cache-coherent multiprocessor simulator.
+	System = memsys.System
+	// SystemConfig parameterizes a System.
+	SystemConfig = memsys.Config
+	// Curve is a miss-rate-versus-cache-size curve.
+	Curve = workingset.Curve
+	// Point is one curve sample.
+	Point = workingset.Point
+	// Knee is a sharp drop in a curve.
+	Knee = workingset.Knee
+	// Hierarchy is a labelled working-set hierarchy.
+	Hierarchy = workingset.Hierarchy
+	// Machine is a §2.3-style machine model.
+	Machine = machine.Machine
+)
+
+// Trace kinds.
+const (
+	Read  = trace.Read
+	Write = trace.Write
+)
+
+// NewEmitter builds an emitter issuing as processor pe into sink.
+func NewEmitter(pe int, sink Consumer) *Emitter { return trace.NewEmitter(pe, sink) }
+
+// NewStackProfiler builds a profiler with the given line size in bytes.
+func NewStackProfiler(lineSize uint32) *StackProfiler {
+	return cache.NewStackProfiler(lineSize)
+}
+
+// NewLRU builds a fully associative LRU cache of capacityLines lines.
+func NewLRU(capacityLines int, lineSize uint32) *LRU {
+	return cache.NewLRU(capacityLines, lineSize)
+}
+
+// NewDirectMapped builds a direct-mapped cache.
+func NewDirectMapped(capacityLines int, lineSize uint32) *SetAssoc {
+	return cache.NewDirectMapped(capacityLines, lineSize)
+}
+
+// NewSystem builds the multiprocessor simulator.
+func NewSystem(cfg SystemConfig) (*System, error) { return memsys.New(cfg) }
+
+// LogSizes returns a log-spaced cache-size grid in bytes.
+func LogSizes(lo, hi uint64, pointsPerOctave int) []uint64 {
+	return workingset.LogSizes(lo, hi, pointsPerOctave)
+}
+
+// FindKnees locates the working-set knees of a curve.
+func FindKnees(c *Curve, minDrop, minAbs float64) []Knee {
+	return workingset.FindKnees(c, minDrop, minAbs)
+}
+
+// FormatBytes renders a size the way the paper writes them ("2.2 KB").
+func FormatBytes(n uint64) string { return workingset.FormatBytes(n) }
+
+// Paragon and CM5 return the Section 2.3 machine models.
+func Paragon(nodes int) Machine { return machine.Paragon(nodes) }
+
+// CM5 returns the Thinking Machines CM-5 model.
+func CM5(nodes int) Machine { return machine.CM5(nodes) }
+
+// ProfileCurve extracts a miss-rate curve from a profiler: misses at each
+// size divided by denom (e.g. FLOPs or the profiler's read count); with
+// readOnly set, only read misses are counted (the paper's metric for the
+// irregular applications).
+func ProfileCurve(label string, p *StackProfiler, sizes []uint64, denom float64, readOnly bool) *Curve {
+	caps := workingset.BytesToLines(sizes, p.LineSize())
+	counts := p.Curve(caps)
+	c := &Curve{Label: label, Metric: "misses"}
+	for _, mc := range counts {
+		v := float64(mc.Misses())
+		if readOnly {
+			v = float64(mc.ReadMisses)
+		}
+		c.Points = append(c.Points, Point{
+			CacheBytes: uint64(mc.CapacityLines) * uint64(p.LineSize()),
+			MissRate:   v / denom,
+		})
+	}
+	return c
+}

@@ -1,0 +1,105 @@
+package wss
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentsList(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 17 {
+		t.Fatalf("got %d experiments, want 17", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nonsense", Options{}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestRunAndRenderTable2(t *testing.T) {
+	var sb strings.Builder
+	if err := RunAndRender("table2", Options{Quick: true}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"LU", "Barnes-Hut", "Volume Rendering", "8 KB"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table2 render missing %q", frag)
+		}
+	}
+}
+
+func TestToolkitRoundTrip(t *testing.T) {
+	// A user-level working-set measurement through the public API only:
+	// stream a strided kernel into a profiler and find its knee.
+	p := NewStackProfiler(8)
+	e := NewEmitter(0, consumerFunc(func(r Ref) {
+		p.Access(r.Addr, r.Size, r.Kind == Read)
+	}))
+	// Repeatedly sweep 64 words: the working set is 512 bytes.
+	for pass := 0; pass < 20; pass++ {
+		for i := 0; i < 64; i++ {
+			e.LoadDW(uint64(i) * 8)
+		}
+	}
+	sizes := LogSizes(64, 4096, 1)
+	curve := ProfileCurve("sweep", p, sizes, float64(p.Reads()), true)
+	knees := FindKnees(curve, 2, 0.01)
+	if len(knees) != 1 {
+		t.Fatalf("knees = %+v, want exactly 1", knees)
+	}
+	if knees[0].CacheBytes != 512 {
+		t.Errorf("knee at %d bytes, want 512", knees[0].CacheBytes)
+	}
+	if FormatBytes(knees[0].CacheBytes) != "512 B" {
+		t.Errorf("FormatBytes = %q", FormatBytes(knees[0].CacheBytes))
+	}
+}
+
+type consumerFunc func(Ref)
+
+func (f consumerFunc) Ref(r Ref) { f(r) }
+
+func TestSystemThroughFacade(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{PEs: 2, LineSize: 8, Profile: true, ProfilePE: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Ref(Ref{PE: 0, Addr: 0, Size: 8, Kind: Read})
+	sys.Ref(Ref{PE: 1, Addr: 0, Size: 8, Kind: Write})
+	sys.Ref(Ref{PE: 0, Addr: 0, Size: 8, Kind: Read})
+	cohR, _ := sys.Profiler(0).CoherenceMisses()
+	if cohR != 1 {
+		t.Fatalf("coherence misses = %d, want 1", cohR)
+	}
+}
+
+func TestMachineFacade(t *testing.T) {
+	if Paragon(1024).NearestNeighborRatio() != 8 {
+		t.Error("Paragon ratio wrong through facade")
+	}
+	if CM5(1024).Name == "" {
+		t.Error("CM5 empty")
+	}
+}
+
+func TestCacheFacades(t *testing.T) {
+	l := NewLRU(2, 8)
+	l.Access(0, true)
+	if !l.Contains(0) {
+		t.Error("LRU facade broken")
+	}
+	d := NewDirectMapped(4, 8)
+	if d.Assoc() != 1 {
+		t.Error("direct-mapped facade broken")
+	}
+}
