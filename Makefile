@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check build vet test race fuzz
+
+# Tier-1 gate: everything must build, vet clean, and pass under -race.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Longer-running decoder fuzz (30s), as used in CI's extended job.
+fuzz:
+	$(GO) test -fuzz=FuzzReplay -fuzztime=30s ./internal/trace/

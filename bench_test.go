@@ -90,7 +90,7 @@ func BenchmarkAblationStackProfiler(b *testing.B) {
 	addrs := ablationTrace(200_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := cache.NewStackProfiler(8)
+		p := cache.MustStackProfiler(8)
 		for _, a := range addrs {
 			p.Access(a, 8, true)
 		}
@@ -103,7 +103,7 @@ func BenchmarkAblationLRUBank(b *testing.B) {
 	addrs := ablationTrace(200_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		bank := cache.NewBank(ablationSizes(), 8)
+		bank := cache.MustBank(ablationSizes(), 8)
 		for _, a := range addrs {
 			bank.Access(a, 8, true)
 		}
@@ -204,7 +204,7 @@ func BenchmarkVolrendFrame(b *testing.B) {
 	b.ResetTimer()
 	var samples int
 	for i := 0; i < b.N; i++ {
-		st := ren.RenderFrame(0.03 * float64(i))
+		st, _ := ren.RenderFrame(0.03 * float64(i))
 		samples = st.Samples
 	}
 	b.ReportMetric(float64(samples), "samples/frame")

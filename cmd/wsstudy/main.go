@@ -17,9 +17,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -37,8 +39,11 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("wsstudy", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shrink simulated problem sizes")
 	csvPath := fs.String("csv", "", "also write figure series as CSV to this file")
+	timeout := fs.Duration("timeout", 0, "per-experiment deadline (0 = none)")
+	workers := fs.Int("workers", 2, "concurrent experiments for 'all'")
+	retries := fs.Int("retries", 0, "retries for transiently failing experiments in 'all'")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: wsstudy [list|all|<experiment-id>] [-quick] [-csv out.csv]")
+		fmt.Fprintln(fs.Output(), "usage: wsstudy [list|all|<experiment-id>] [-quick] [-csv out.csv] [-timeout 2m]")
 		fs.PrintDefaults()
 	}
 
@@ -49,7 +54,7 @@ func run(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	opt := core.Options{Quick: *quick}
+	opt := core.Options{Quick: *quick, Timeout: *timeout}
 
 	switch cmd {
 	case "list", "help", "-h", "--help":
@@ -57,28 +62,65 @@ func run(args []string) error {
 	case "verify":
 		return verifyCheckpoints()
 	case "all":
-		for _, e := range core.Registry() {
-			if err := runOne(e, opt, *csvPath); err != nil {
-				return err
-			}
-		}
-		return nil
+		return runAll(core.SuiteOptions{
+			Options: opt, Workers: *workers, Retries: *retries,
+		}, *csvPath)
 	default:
 		e, ok := core.Find(cmd)
 		if !ok {
-			list()
-			return fmt.Errorf("unknown experiment %q", cmd)
+			return fmt.Errorf("unknown experiment %q (valid ids: %s)", cmd, strings.Join(validIDs(), ", "))
 		}
 		return runOne(e, opt, *csvPath)
 	}
 }
 
+// validIDs lists every registered experiment id.
+func validIDs() []string {
+	var ids []string
+	for _, e := range core.Registry() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// runAll executes the whole registry through the hardened suite runner:
+// successful experiments render even when others time out, panic or fail,
+// and the failures come back as a summary plus a nonzero exit.
+func runAll(sopt core.SuiteOptions, csvPath string) error {
+	start := time.Now()
+	report := core.RunSuite(context.Background(), core.Registry(), sopt)
+	for _, res := range report.Results {
+		if res.Err != nil {
+			continue
+		}
+		if err := renderOne(res.Report, csvPath); err != nil {
+			return err
+		}
+		fmt.Printf("\n[%s completed in %v]\n\n", res.ID, res.Elapsed.Round(time.Millisecond))
+	}
+	if summary := report.FailureSummary(); summary != "" {
+		return fmt.Errorf("%s(suite ran %v)", summary, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Printf("[suite completed in %v]\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
 func runOne(e core.Experiment, opt core.Options, csvPath string) error {
 	start := time.Now()
-	rep, err := e.Run(opt)
+	rep, err := core.Execute(context.Background(), e, opt)
 	if err != nil {
 		return fmt.Errorf("%s: %w", e.ID, err)
 	}
+	if err := renderOne(rep, csvPath); err != nil {
+		return err
+	}
+	fmt.Printf("\n[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// renderOne writes a report to stdout and appends its series to csvPath if
+// one was requested.
+func renderOne(rep *core.Report, csvPath string) error {
 	rep.Render(os.Stdout)
 	if csvPath != "" && len(rep.Figures) > 0 {
 		f, err := os.OpenFile(csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
@@ -94,7 +136,6 @@ func runOne(e core.Experiment, opt core.Options, csvPath string) error {
 		}
 		fmt.Printf("(series appended to %s)\n", csvPath)
 	}
-	fmt.Printf("\n[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

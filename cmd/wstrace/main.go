@@ -72,15 +72,23 @@ func capture(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w, err := trace.NewWriter(f)
 	if err != nil {
+		f.Close()
 		return err
 	}
 	if err := runApp(*app, *scale, w); err != nil {
+		f.Close()
+		return err
+	}
+	// A sink write failure (full disk, closed pipe) surfaces on Err before
+	// the capture is declared good.
+	if err := w.Err(); err != nil {
+		f.Close()
 		return err
 	}
 	if err := w.Flush(); err != nil {
+		f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -128,8 +136,7 @@ func runApp(app string, scale int, sink trace.Consumer) error {
 			x[i] = complex(float64(i%13)-6, float64(i%7)-3)
 		}
 		f.SetInput(x)
-		f.Run()
-		return nil
+		return f.Run()
 	case "barneshut":
 		bodies := barneshut.Plummer(256*scale, 42)
 		sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
@@ -154,7 +161,9 @@ func runApp(app string, scale int, sink trace.Consumer) error {
 			return err
 		}
 		for f := 0; f < 3; f++ {
-			ren.RenderFrame(0.04 * float64(f))
+			if _, err := ren.RenderFrame(0.04 * float64(f)); err != nil {
+				return err
+			}
 		}
 		return nil
 	default:
@@ -233,7 +242,10 @@ func analyze(args []string) error {
 	}
 	defer f.Close()
 
-	prof := cache.NewStackProfiler(uint32(*line))
+	prof, err := cache.NewStackProfiler(uint32(*line))
+	if err != nil {
+		return err
+	}
 	sink := trace.PEFilter{PE: *pe, Next: trace.Func(func(r trace.Ref) {
 		prof.Access(r.Addr, r.Size, r.Kind == trace.Read)
 	})}

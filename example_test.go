@@ -14,7 +14,10 @@ func (s sink) Ref(r wss.Ref) { s.p.Access(r.Addr, r.Size, r.Kind == wss.Read) }
 // fixed 64-word region repeatedly: one pass yields the whole curve, and
 // knee detection finds the 512-byte working set.
 func ExampleProfileCurve() {
-	prof := wss.NewStackProfiler(8)
+	prof, err := wss.NewStackProfiler(8)
+	if err != nil {
+		panic(err)
+	}
 	emit := wss.NewEmitter(0, sink{prof})
 	for pass := 0; pass < 10; pass++ {
 		for i := 0; i < 64; i++ {

@@ -96,7 +96,7 @@ func main() {
 }
 
 func measure(name string, run func(trace.Consumer) error) {
-	prof := cache.NewStackProfiler(8)
+	prof := cache.MustStackProfiler(8)
 	sink := trace.PEFilter{PE: 3, Next: trace.Func(func(r trace.Ref) {
 		prof.Access(r.Addr, r.Size, r.Kind == trace.Read)
 	})}

@@ -23,7 +23,11 @@ func main() {
 	// four times before moving on. Its working set is one tile:
 	// 32*32*8 = 8 KB — a cache that holds a tile turns three of every
 	// four sweeps into hits.
-	prof := wss.NewStackProfiler(8)
+	prof, err := wss.NewStackProfiler(8)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	emit := wss.NewEmitter(0, consumer(func(r wss.Ref) {
 		prof.Access(r.Addr, r.Size, r.Kind == wss.Read)
 	}))

@@ -44,7 +44,9 @@ func main() {
 	var st volrend.FrameStats
 	const frames = 4
 	for f := 0; f < frames; f++ {
-		st = ren.RenderFrame(0.05 * float64(f))
+		if st, err = ren.RenderFrame(0.05 * float64(f)); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("last frame: %d rays, %d samples, %d voxel reads, %d early-terminated, %d stolen\n",
 		st.Rays, st.Samples, st.VoxelReads, st.EarlyTerminated, st.StolenRays)

@@ -92,6 +92,9 @@ func (s *Simulation) Bodies() []Body { return s.bodies }
 // sink receives BeginEpoch(step) so cold-start exclusion can skip the
 // first steps, exactly as the paper does.
 func (s *Simulation) Step() (StepStats, error) {
+	if err := trace.Canceled(s.sink); err != nil {
+		return StepStats{}, fmt.Errorf("barneshut: step %d: %w", s.step, err)
+	}
 	if ec, ok := s.sink.(trace.EpochConsumer); ok {
 		ec.BeginEpoch(s.step)
 	}
@@ -137,6 +140,9 @@ func (s *Simulation) Step() (StepStats, error) {
 	// shows. Processors sweep their curve-ordered bodies.
 	stats := StepStats{Cells: len(s.tr.cells), Depth: s.tr.maxDepth(s.tr.root), BuildVisits: s.tr.buildVisits}
 	for pe := 0; pe < s.cfg.P; pe++ {
+		if err := trace.Canceled(s.sink); err != nil {
+			return stats, fmt.Errorf("barneshut: step %d force phase pe %d: %w", s.step-1, pe, err)
+		}
 		for _, bi := range s.byPE[pe] {
 			r := s.forceOn(bi, pe, s.em[pe])
 			s.bodies[bi].Cost = r.interactions

@@ -23,7 +23,7 @@ func (s profSink) Ref(r trace.Ref) {
 // returns the profiler.
 func matvecMissCurve(t *testing.T, n, tile int) *cache.StackProfiler {
 	t.Helper()
-	prof := cache.NewStackProfiler(8)
+	prof := cache.MustStackProfiler(8)
 	part, err := NewPartition2D(n, 2, 2, nil)
 	if err != nil {
 		t.Fatal(err)

@@ -144,6 +144,9 @@ func (s *Solver2D) Solve(cfg Config) (Result, error) {
 	res.FLOPs += 2 * float64(n*n)
 
 	for iter := 0; iter < cfg.MaxIters; iter++ {
+		if err := trace.Canceled(s.sink); err != nil {
+			return res, fmt.Errorf("cg: iteration %d: %w", iter, err)
+		}
 		if ec != nil {
 			ec.BeginEpoch(iter)
 		}

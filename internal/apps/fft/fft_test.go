@@ -215,7 +215,7 @@ func TestSimulationMatchesModel(t *testing.T) {
 	}
 	cfg := Config{LogN: 14, P: 4, InternalRadix: 8}
 	model := Model{LogN: cfg.LogN, P: cfg.P, InternalRadix: cfg.InternalRadix}
-	prof := cache.NewStackProfiler(8)
+	prof := cache.MustStackProfiler(8)
 	const pe = 1
 	f, err := New(cfg, trace.PEFilter{PE: pe, Next: profConsumer{prof}})
 	if err != nil {

@@ -139,8 +139,10 @@ func (f *FFT) loadRoot(e *trace.Emitter, j int) complex128 {
 
 // Run executes the transform, emitting every processor's references.
 // Epoch 0 spans the whole run (the FFT is a one-shot computation; the
-// paper does not exclude its cold misses).
-func (f *FFT) Run() {
+// paper does not exclude its cold misses). It stops early, returning the
+// sink's stop reason, when the sink reports cancellation between per-PE
+// phases (the output is then incomplete).
+func (f *FFT) Run() error {
 	if ec, ok := f.sink.(trace.EpochConsumer); ok {
 		ec.BeginEpoch(0)
 	}
@@ -151,6 +153,9 @@ func (f *FFT) Run() {
 	// Step 1: local D-point FFTs (log D stages, radix-blocked), then the
 	// step-2 twiddle scaling w_N^(p*k2).
 	for pe := 0; pe < p; pe++ {
+		if err := trace.Canceled(f.sink); err != nil {
+			return fmt.Errorf("fft: step 1 pe %d: %w", pe, err)
+		}
 		f.localFFT(f.local[pe], f.localBase[pe], f.em[pe], n/d)
 		for k2 := 0; k2 < d; k2++ {
 			f.loadPoint(f.em[pe], f.localBase[pe], k2)
@@ -164,6 +169,9 @@ func (f *FFT) Run() {
 	// Exchange 1: receiver pulls. PE pe collects sequence j (global
 	// k2 = pe*dp + j) from every other processor.
 	for pe := 0; pe < p; pe++ {
+		if err := trace.Canceled(f.sink); err != nil {
+			return fmt.Errorf("fft: exchange 1 pe %d: %w", pe, err)
+		}
 		e := f.em[pe]
 		for j := 0; j < dp; j++ {
 			k2 := pe*dp + j
@@ -177,6 +185,9 @@ func (f *FFT) Run() {
 
 	// Step 3: P-point FFTs on each received sequence.
 	for pe := 0; pe < p; pe++ {
+		if err := trace.Canceled(f.sink); err != nil {
+			return fmt.Errorf("fft: step 3 pe %d: %w", pe, err)
+		}
 		for j := 0; j < dp; j++ {
 			f.localFFT(f.recv[pe][j*p:(j+1)*p],
 				pointAddr(f.recvBase[pe], j*p), f.em[pe], n/p)
@@ -186,6 +197,9 @@ func (f *FFT) Run() {
 	// Exchange 2: blocked redistribution of the spectrum. PE pe owns
 	// X[pe*D .. (pe+1)*D); X[k2 + D*k1] sits at recv[k2/dp][(k2%dp)*p+k1].
 	for pe := 0; pe < p; pe++ {
+		if err := trace.Canceled(f.sink); err != nil {
+			return fmt.Errorf("fft: exchange 2 pe %d: %w", pe, err)
+		}
 		e := f.em[pe]
 		for t := 0; t < d; t++ {
 			k2, k1 := t, pe
@@ -196,6 +210,7 @@ func (f *FFT) Run() {
 			f.storePoint(e, f.outBase[pe], t)
 		}
 	}
+	return nil
 }
 
 // localFFT runs the shared blocked engine with this transform's twiddle

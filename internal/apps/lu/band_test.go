@@ -117,7 +117,7 @@ func TestBandCholeskyRejectsIndefinite(t *testing.T) {
 func TestBandWorkingSetScalesWithBandwidth(t *testing.T) {
 	knee := func(s int) float64 {
 		m := GridLaplacian(s, nil)
-		prof := cache.NewStackProfiler(8)
+		prof := cache.MustStackProfiler(8)
 		sink := trace.Func(func(r trace.Ref) {
 			prof.Access(r.Addr, r.Size, r.Kind == trace.Read)
 		})
@@ -136,7 +136,7 @@ func TestBandWorkingSetScalesWithBandwidth(t *testing.T) {
 	// (where the band rows are twice as long).
 	at16 := knee(16)
 	m32 := GridLaplacian(32, nil)
-	prof := cache.NewStackProfiler(8)
+	prof := cache.MustStackProfiler(8)
 	sink := trace.Func(func(r trace.Ref) {
 		prof.Access(r.Addr, r.Size, r.Kind == trace.Read)
 	})

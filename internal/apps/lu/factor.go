@@ -58,6 +58,9 @@ func factor(m *BlockMatrix, grid Grid, sink trace.Consumer) (TraceStats, error) 
 	ec, _ := sink.(trace.EpochConsumer)
 
 	for k := 0; k < m.NB; k++ {
+		if err := trace.Canceled(sink); err != nil {
+			return stats, fmt.Errorf("lu: K=%d: %w", k, err)
+		}
 		if ec != nil {
 			ec.BeginEpoch(k)
 		}

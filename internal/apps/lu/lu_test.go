@@ -245,7 +245,7 @@ func TestSimulationMatchesModel(t *testing.T) {
 	m.FillRandomDominant(5)
 
 	const pe = 3
-	prof := cache.NewStackProfiler(8)
+	prof := cache.MustStackProfiler(8)
 	sink := trace.PEFilter{PE: pe, Next: profConsumer{prof}}
 	stats, err := FactorTraced(m, Grid{pr, pc}, sink)
 	if err != nil {

@@ -130,7 +130,7 @@ func TestQRTracedWorkDistribution(t *testing.T) {
 func TestQRWorkingSetFamily(t *testing.T) {
 	const m, n = 64, 64
 	a := randomDense(m, n, 11)
-	prof := cache.NewStackProfiler(8)
+	prof := cache.MustStackProfiler(8)
 	sink := trace.PEFilter{PE: 1, Next: trace.Func(func(r trace.Ref) {
 		prof.Access(r.Addr, r.Size, r.Kind == trace.Read)
 	})}

@@ -77,9 +77,9 @@ func NewRenderer(vol *Volume, cfg Config, sink trace.Consumer) (*Renderer, error
 		img:  make([]float64, cfg.ImageW*cfg.ImageH),
 	}
 	var arena trace.Arena
-	r.voxBase = arena.Alloc(uint64(vol.Voxels())*2, 8)
-	r.octBase = arena.Alloc(uint64(r.oct.totalNodes()), 8)
-	r.imgBase = arena.Alloc(uint64(cfg.ImageW*cfg.ImageH)*4, 8)
+	r.voxBase = arena.MustAlloc(uint64(vol.Voxels())*2, 8)
+	r.octBase = arena.MustAlloc(uint64(r.oct.totalNodes()), 8)
+	r.imgBase = arena.MustAlloc(uint64(cfg.ImageW*cfg.ImageH)*4, 8)
 	r.em = make([]*trace.Emitter, cfg.P)
 	for pe := range r.em {
 		r.em[pe] = trace.NewEmitter(pe, sink)
@@ -118,8 +118,10 @@ type ray struct{ i, j int }
 // RenderFrame renders with the viewing direction rotated angle radians
 // about the volume's vertical axis (successive frames with slowly varying
 // angles reproduce the paper's cross-frame reuse, lev3WS). It returns the
-// frame statistics.
-func (r *Renderer) RenderFrame(angle float64) FrameStats {
+// frame statistics. When the sink reports cancellation the frame stops
+// between scheduling rounds, returning the partial statistics and the
+// sink's stop reason.
+func (r *Renderer) RenderFrame(angle float64) (FrameStats, error) {
 	if ec, ok := r.sink.(trace.EpochConsumer); ok {
 		ec.BeginEpoch(r.frame)
 	}
@@ -150,6 +152,9 @@ func (r *Renderer) RenderFrame(angle float64) FrameStats {
 	// own queue; once empty it steals from the currently longest queue.
 	next := make([]int, r.cfg.P)
 	for {
+		if err := trace.Canceled(r.sink); err != nil {
+			return stats, fmt.Errorf("volrend: frame %d: %w", r.frame-1, err)
+		}
 		idle := 0
 		for pe := 0; pe < r.cfg.P; pe++ {
 			var task ray
@@ -181,7 +186,7 @@ func (r *Renderer) RenderFrame(angle float64) FrameStats {
 			break
 		}
 	}
-	return stats
+	return stats, nil
 }
 
 // view precomputes the orthographic camera for a frame.

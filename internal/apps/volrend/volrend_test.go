@@ -164,8 +164,8 @@ func TestOctreeSkippingExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sWith := with.RenderFrame(0.3)
-	sWithout := without.RenderFrame(0.3)
+	sWith, _ := with.RenderFrame(0.3)
+	sWithout, _ := without.RenderFrame(0.3)
 	for i := range with.Image() {
 		if d := math.Abs(with.Image()[i] - without.Image()[i]); d > 1e-12 {
 			t.Fatalf("pixel %d differs by %g with octree skipping", i, d)
@@ -186,7 +186,7 @@ func TestRenderedImageLooksLikeAHead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := r.RenderFrame(0)
+	st, _ := r.RenderFrame(0)
 	img := r.Image()
 	center := img[32*64+32]
 	corner := img[2*64+2]
@@ -226,7 +226,7 @@ func TestRayStealingBalancesLoad(t *testing.T) {
 	// and must steal; every PE ends up with a similar ray count.
 	v := SyntheticHead(32, 32, 28)
 	r, _ := NewRenderer(v, Config{ImageW: 64, ImageH: 64, P: 4}, nil)
-	st := r.RenderFrame(0.2)
+	st, _ := r.RenderFrame(0.2)
 	min, max := st.RaysByPE[0], st.RaysByPE[0]
 	for _, c := range st.RaysByPE[1:] {
 		if c < min {
@@ -255,7 +255,7 @@ func TestTracedRenderEmits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := r.RenderFrame(0.1)
+	st, _ := r.RenderFrame(0.1)
 	if counter.Refs == 0 || st.VoxelReads == 0 {
 		t.Fatal("traced render emitted nothing")
 	}
@@ -355,8 +355,8 @@ func TestShadingChangesImageDeterministically(t *testing.T) {
 	v := SyntheticHead(24, 24, 20)
 	flat, _ := NewRenderer(v, Config{ImageW: 32, ImageH: 32, P: 1}, nil)
 	lit, _ := NewRenderer(v, Config{ImageW: 32, ImageH: 32, P: 1, Shading: true}, nil)
-	sFlat := flat.RenderFrame(0.2)
-	sLit := lit.RenderFrame(0.2)
+	sFlat, _ := flat.RenderFrame(0.2)
+	sLit, _ := lit.RenderFrame(0.2)
 	diff := 0.0
 	for i := range flat.Image() {
 		diff += math.Abs(flat.Image()[i] - lit.Image()[i])

@@ -1,5 +1,7 @@
 package cache
 
+import "fmt"
+
 // Bank runs one exact LRU simulation per candidate capacity, sharing a
 // single access stream. It is the slow-but-exact counterpart of
 // StackProfiler: under coherence invalidations LRU caches of different
@@ -13,19 +15,34 @@ type Bank struct {
 }
 
 // NewBank builds LRU caches at each capacity (in lines), which must be
-// positive and sorted ascending.
-func NewBank(capacitiesLines []int, lineSize uint32) *Bank {
+// positive and sorted strictly ascending. Violations return an error
+// wrapping ErrInvalidConfig.
+func NewBank(capacitiesLines []int, lineSize uint32) (*Bank, error) {
 	if len(capacitiesLines) == 0 {
-		panic("cache: Bank needs at least one capacity")
+		return nil, fmt.Errorf("%w: Bank needs at least one capacity", ErrInvalidConfig)
+	}
+	if err := validateLineSize(lineSize); err != nil {
+		return nil, err
 	}
 	b := &Bank{caches: make([]*LRU, len(capacitiesLines))}
 	prev := 0
 	for i, c := range capacitiesLines {
 		if c <= prev {
-			panic("cache: Bank capacities must be positive and strictly ascending")
+			return nil, fmt.Errorf("%w: Bank capacities must be positive and strictly ascending (got %v)",
+				ErrInvalidConfig, capacitiesLines)
 		}
 		prev = c
-		b.caches[i] = NewLRU(c, lineSize)
+		b.caches[i] = MustLRU(c, lineSize)
+	}
+	return b, nil
+}
+
+// MustBank is NewBank for statically-valid configurations; it panics on
+// error.
+func MustBank(capacitiesLines []int, lineSize uint32) *Bank {
+	b, err := NewBank(capacitiesLines, lineSize)
+	if err != nil {
+		panic(err)
 	}
 	return b
 }

@@ -10,7 +10,25 @@
 // for the paper's Section 6.4 comparison).
 package cache
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidConfig is wrapped by every input-validation error this package
+// returns, so callers can classify bad-configuration failures with
+// errors.Is regardless of which constructor rejected the input.
+var ErrInvalidConfig = errors.New("cache: invalid configuration")
+
+// validateLineSize rejects line sizes that are zero or not a power of two.
+// Constructors call it so that the internal lineShift panic stays an
+// invariant rather than a reachable input-validation failure.
+func validateLineSize(lineSize uint32) error {
+	if lineSize == 0 || lineSize&(lineSize-1) != 0 {
+		return fmt.Errorf("%w: line size %d is not a power of two", ErrInvalidConfig, lineSize)
+	}
+	return nil
+}
 
 // Line computes the cache line index of a byte address for a given line size.
 // lineSize must be a power of two.
@@ -18,6 +36,9 @@ func Line(addr uint64, lineSize uint32) uint64 {
 	return addr >> lineShift(lineSize)
 }
 
+// lineShift panics on an invalid line size; constructors validate with
+// validateLineSize first, so reaching the panic means an internal invariant
+// broke, not bad user input.
 func lineShift(lineSize uint32) uint {
 	if lineSize == 0 || lineSize&(lineSize-1) != 0 {
 		panic(fmt.Sprintf("cache: line size %d is not a power of two", lineSize))

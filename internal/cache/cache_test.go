@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -72,7 +73,7 @@ func TestAccessResultString(t *testing.T) {
 }
 
 func TestLRUBasicHitMiss(t *testing.T) {
-	c := NewLRU(2, 8)
+	c := MustLRU(2, 8)
 	if res := c.Access(0, true); res != ColdMiss {
 		t.Fatalf("first access: got %v, want cold", res)
 	}
@@ -94,7 +95,7 @@ func TestLRUBasicHitMiss(t *testing.T) {
 }
 
 func TestLRUEvictionOrder(t *testing.T) {
-	c := NewLRU(3, 8)
+	c := MustLRU(3, 8)
 	for _, a := range []uint64{0, 8, 16} {
 		c.Access(a, true)
 	}
@@ -114,7 +115,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 }
 
 func TestLRUInvalidate(t *testing.T) {
-	c := NewLRU(4, 8)
+	c := MustLRU(4, 8)
 	c.Access(0, true)
 	c.Invalidate(0)
 	if c.Contains(0) {
@@ -131,7 +132,7 @@ func TestLRUInvalidate(t *testing.T) {
 }
 
 func TestLRUStatsAndReset(t *testing.T) {
-	c := NewLRU(2, 8)
+	c := MustLRU(2, 8)
 	c.Access(0, true)
 	c.Access(0, false)
 	c.Access(8, true)
@@ -176,7 +177,7 @@ func TestStatsRates(t *testing.T) {
 func TestSetAssocDirectMappedConflicts(t *testing.T) {
 	// Direct-mapped, 4 lines: addresses 0 and 4*8=32 map to set 0 with
 	// line size 8 (lines 0 and 4; 4 mod 4 = 0).
-	c := NewDirectMapped(4, 8)
+	c := MustDirectMapped(4, 8)
 	c.Access(0, true)
 	if res := c.Access(32, true); res != ColdMiss {
 		t.Fatalf("got %v, want cold", res)
@@ -188,7 +189,7 @@ func TestSetAssocDirectMappedConflicts(t *testing.T) {
 
 func TestSetAssocAssociativityAvoidsConflict(t *testing.T) {
 	// 2-way, 4 lines total (2 sets): lines 0 and 2 share set 0 but fit.
-	c := NewSetAssoc(4, 2, 8)
+	c := MustSetAssoc(4, 2, 8)
 	c.Access(0, true)
 	c.Access(16, true) // line 2, same set
 	if res := c.Access(0, true); res != Hit {
@@ -202,7 +203,7 @@ func TestSetAssocAssociativityAvoidsConflict(t *testing.T) {
 }
 
 func TestSetAssocInvalidate(t *testing.T) {
-	c := NewSetAssoc(4, 2, 8)
+	c := MustSetAssoc(4, 2, 8)
 	c.Access(0, true)
 	c.Invalidate(0)
 	if res := c.Access(0, true); res != CoherenceMiss {
@@ -214,8 +215,8 @@ func TestSetAssocFullyAssociativeMatchesLRU(t *testing.T) {
 	// A SetAssoc with one set IS a fully associative LRU cache; their miss
 	// counts must agree on a random trace.
 	const capLines = 16
-	sa := NewSetAssoc(capLines, capLines, 8)
-	lru := NewLRU(capLines, 8)
+	sa := MustSetAssoc(capLines, capLines, 8)
+	lru := MustLRU(capLines, 8)
 	rng := rand.New(rand.NewSource(42))
 	for i := 0; i < 20000; i++ {
 		addr := uint64(rng.Intn(64)) * 8
@@ -278,10 +279,10 @@ func TestFenwick(t *testing.T) {
 // every capacity, on an adversarially random trace.
 func TestStackProfilerMatchesLRU(t *testing.T) {
 	capacities := []int{1, 2, 3, 5, 8, 13, 21, 34, 55}
-	p := NewStackProfiler(8)
+	p := MustStackProfiler(8)
 	lrus := make([]*LRU, len(capacities))
 	for i, c := range capacities {
-		lrus[i] = NewLRU(c, 8)
+		lrus[i] = MustLRU(c, 8)
 	}
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 50000; i++ {
@@ -313,8 +314,8 @@ func TestStackProfilerMatchesLRU(t *testing.T) {
 // simulation, and never undercounts coherence effects away entirely.
 func TestStackProfilerInvalidationBound(t *testing.T) {
 	capacities := []int{1, 2, 3, 5, 8, 13, 21, 34, 55}
-	p := NewStackProfiler(8)
-	bank := NewBank(capacities, 8)
+	p := MustStackProfiler(8)
+	bank := MustBank(capacities, 8)
 	rng := rand.New(rand.NewSource(7))
 	invals := 0
 	for i := 0; i < 50000; i++ {
@@ -345,8 +346,8 @@ func TestStackProfilerInvalidationBound(t *testing.T) {
 
 func TestBankMatchesProfilerWithoutInvalidations(t *testing.T) {
 	capacities := []int{1, 4, 16, 64}
-	p := NewStackProfiler(8)
-	bank := NewBank(capacities, 8)
+	p := MustStackProfiler(8)
+	bank := MustBank(capacities, 8)
 	rng := rand.New(rand.NewSource(11))
 	for i := 0; i < 20000; i++ {
 		addr := uint64(rng.Intn(200)) * 8
@@ -365,19 +366,67 @@ func TestBankMatchesProfilerWithoutInvalidations(t *testing.T) {
 
 func TestBankValidation(t *testing.T) {
 	for _, caps := range [][]int{{}, {0}, {4, 4}, {8, 4}} {
+		if _, err := NewBank(caps, 8); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("NewBank(%v) err = %v, want ErrInvalidConfig", caps, err)
+		}
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("NewBank(%v) should panic", caps)
+					t.Errorf("MustBank(%v) should panic", caps)
 				}
 			}()
-			NewBank(caps, 8)
+			MustBank(caps, 8)
 		}()
 	}
 }
 
+// TestConstructorValidation exercises every constructor's input checks:
+// invalid configurations return ErrInvalidConfig instead of panicking.
+func TestConstructorValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		make func() error
+	}{
+		{"LRU zero capacity", func() error { _, err := NewLRU(0, 8); return err }},
+		{"LRU negative capacity", func() error { _, err := NewLRU(-4, 8); return err }},
+		{"LRU zero line", func() error { _, err := NewLRU(4, 0); return err }},
+		{"LRU non-pow2 line", func() error { _, err := NewLRU(4, 24); return err }},
+		{"SetAssoc zero capacity", func() error { _, err := NewSetAssoc(0, 2, 8); return err }},
+		{"SetAssoc zero assoc", func() error { _, err := NewSetAssoc(8, 0, 8); return err }},
+		{"SetAssoc capacity not multiple", func() error { _, err := NewSetAssoc(7, 2, 8); return err }},
+		{"SetAssoc non-pow2 sets", func() error { _, err := NewSetAssoc(6, 2, 8); return err }},
+		{"SetAssoc bad line", func() error { _, err := NewSetAssoc(8, 2, 3); return err }},
+		{"DirectMapped zero capacity", func() error { _, err := NewDirectMapped(0, 8); return err }},
+		{"DirectMapped bad line", func() error { _, err := NewDirectMapped(4, 7); return err }},
+		{"Bank empty", func() error { _, err := NewBank(nil, 8); return err }},
+		{"Bank not ascending", func() error { _, err := NewBank([]int{8, 4}, 8); return err }},
+		{"Bank bad line", func() error { _, err := NewBank([]int{4, 8}, 0); return err }},
+		{"StackProfiler zero line", func() error { _, err := NewStackProfiler(0); return err }},
+		{"StackProfiler non-pow2 line", func() error { _, err := NewStackProfiler(12); return err }},
+	}
+	for _, c := range cases {
+		if err := c.make(); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("%s: err = %v, want ErrInvalidConfig", c.name, err)
+		}
+	}
+
+	// Sanity: valid configurations construct cleanly through every path.
+	valid := []func() error{
+		func() error { _, err := NewLRU(4, 8); return err },
+		func() error { _, err := NewSetAssoc(8, 2, 8); return err },
+		func() error { _, err := NewDirectMapped(4, 8); return err },
+		func() error { _, err := NewBank([]int{2, 4, 8}, 8); return err },
+		func() error { _, err := NewStackProfiler(64); return err },
+	}
+	for i, f := range valid {
+		if err := f(); err != nil {
+			t.Errorf("valid constructor %d rejected: %v", i, err)
+		}
+	}
+}
+
 func TestBankColdStartExclusion(t *testing.T) {
-	bank := NewBank([]int{2, 8}, 8)
+	bank := MustBank([]int{2, 8}, 8)
 	bank.Access(0, 8, true)
 	bank.Access(8, 8, true)
 	bank.SetMeasuring(true) // resets counters, keeps contents
@@ -393,8 +442,8 @@ func TestStackProfilerCompaction(t *testing.T) {
 	if testing.Short() {
 		t.Skip("compaction test needs >64k references")
 	}
-	p := NewStackProfiler(8)
-	lru := NewLRU(10, 8)
+	p := MustStackProfiler(8)
+	lru := MustLRU(10, 8)
 	rng := rand.New(rand.NewSource(99))
 	for i := 0; i < 300000; i++ {
 		addr := uint64(rng.Intn(40)) * 8
@@ -409,7 +458,7 @@ func TestStackProfilerCompaction(t *testing.T) {
 }
 
 func TestStackProfilerColdStartExclusion(t *testing.T) {
-	p := NewStackProfiler(8)
+	p := MustStackProfiler(8)
 	p.SetMeasuring(false)
 	for i := 0; i < 10; i++ {
 		p.Access(uint64(i)*8, 8, true)
@@ -440,7 +489,7 @@ func TestStackProfilerSequentialScan(t *testing.T) {
 	// A cyclic scan over N lines: caches smaller than N always miss; a
 	// cache of N lines never misses after warm-up.
 	const n = 100
-	p := NewStackProfiler(8)
+	p := MustStackProfiler(8)
 	p.SetMeasuring(false)
 	for i := 0; i < n; i++ {
 		p.Access(uint64(i)*8, 8, true)
@@ -461,7 +510,7 @@ func TestStackProfilerSequentialScan(t *testing.T) {
 }
 
 func TestStackProfilerInvalidation(t *testing.T) {
-	p := NewStackProfiler(8)
+	p := MustStackProfiler(8)
 	p.Access(0, 8, true) // cold
 	p.Invalidate(0)
 	p.Access(0, 8, true) // coherence at every size
@@ -475,7 +524,7 @@ func TestStackProfilerInvalidation(t *testing.T) {
 }
 
 func TestStackProfilerMultiLineAccess(t *testing.T) {
-	p := NewStackProfiler(8)
+	p := MustStackProfiler(8)
 	p.Access(0, 24, true) // touches lines 0,1,2
 	if p.DistinctLines() != 3 {
 		t.Fatalf("DistinctLines = %d, want 3", p.DistinctLines())
@@ -487,7 +536,7 @@ func TestStackProfilerMultiLineAccess(t *testing.T) {
 
 func TestCurveMonotone(t *testing.T) {
 	// Miss counts must be non-increasing in capacity (stack inclusion).
-	p := NewStackProfiler(8)
+	p := MustStackProfiler(8)
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 30000; i++ {
 		p.Access(uint64(rng.Intn(500))*8, 8, rng.Intn(2) == 0)
@@ -502,7 +551,7 @@ func TestCurveMonotone(t *testing.T) {
 }
 
 func TestWritebackAccounting(t *testing.T) {
-	c := NewLRU(2, 8)
+	c := MustLRU(2, 8)
 	c.Access(0, false) // dirty line 0
 	c.Access(8, true)  // clean line 1
 	c.Access(16, true) // evicts line 0 (dirty): writeback
@@ -517,7 +566,7 @@ func TestWritebackAccounting(t *testing.T) {
 		t.Fatalf("writebacks after invalidate = %d, want 2", got)
 	}
 	// A read hit must not dirty the line.
-	d := NewLRU(1, 8)
+	d := MustLRU(1, 8)
 	d.Access(0, true)
 	d.Access(8, true) // evict clean
 	if d.Stats().Writebacks != 0 {
@@ -526,7 +575,7 @@ func TestWritebackAccounting(t *testing.T) {
 }
 
 func TestWritebackDirtyPropagatesOnHit(t *testing.T) {
-	c := NewLRU(1, 8)
+	c := MustLRU(1, 8)
 	c.Access(0, true)  // clean load
 	c.Access(0, false) // write hit dirties it
 	c.Access(8, true)  // eviction must write back

@@ -1,5 +1,7 @@
 package cache
 
+import "fmt"
+
 // LRU is an exact fully associative cache with least-recently-used
 // replacement, the measurement instrument of the paper's Section 2.2.
 // Capacity is expressed in lines; byte capacity is capacityLines*lineSize.
@@ -29,19 +31,31 @@ type lruNode struct {
 }
 
 // NewLRU builds a fully associative LRU cache holding capacityLines lines of
-// lineSize bytes each. capacityLines must be positive.
-func NewLRU(capacityLines int, lineSize uint32) *LRU {
+// lineSize bytes each. capacityLines must be positive and lineSize a power
+// of two; violations return an error wrapping ErrInvalidConfig.
+func NewLRU(capacityLines int, lineSize uint32) (*LRU, error) {
 	if capacityLines <= 0 {
-		panic("cache: LRU capacity must be positive")
+		return nil, fmt.Errorf("%w: LRU capacity %d must be positive", ErrInvalidConfig, capacityLines)
 	}
-	lineShift(lineSize) // validate
+	if err := validateLineSize(lineSize); err != nil {
+		return nil, err
+	}
 	return &LRU{
 		lineSize:    lineSize,
 		capacity:    capacityLines,
 		table:       make(map[uint64]*lruNode, capacityLines+1),
 		invalidated: make(map[uint64]struct{}),
 		seen:        make(map[uint64]struct{}),
+	}, nil
+}
+
+// MustLRU is NewLRU for statically-valid configurations; it panics on error.
+func MustLRU(capacityLines int, lineSize uint32) *LRU {
+	c, err := NewLRU(capacityLines, lineSize)
+	if err != nil {
+		panic(err)
 	}
+	return c
 }
 
 // LineSize reports the configured line size in bytes.

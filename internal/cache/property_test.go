@@ -63,7 +63,7 @@ func (r *refLRU) invalidate(line uint64) {
 func TestLRUMatchesReference(t *testing.T) {
 	check := func(seed int64, capRaw uint8) bool {
 		capacity := int(capRaw%16) + 1
-		lru := NewLRU(capacity, 8)
+		lru := MustLRU(capacity, 8)
 		ref := newRefLRU(capacity)
 		rng := rand.New(rand.NewSource(seed))
 		for op := 0; op < 500; op++ {
@@ -94,7 +94,7 @@ func TestLRUMatchesReference(t *testing.T) {
 func TestProfilerInclusionProperty(t *testing.T) {
 	check := func(seed int64, spanRaw uint8) bool {
 		span := int(spanRaw%100) + 2
-		p := NewStackProfiler(8)
+		p := MustStackProfiler(8)
 		rng := rand.New(rand.NewSource(seed))
 		const refs = 2000
 		for i := 0; i < refs; i++ {
@@ -132,8 +132,8 @@ func TestProfilerInclusionProperty(t *testing.T) {
 func TestSingleSetEqualsLRUProperty(t *testing.T) {
 	check := func(seed int64, capRaw uint8) bool {
 		capacity := int(capRaw%16) + 1
-		sa := NewSetAssoc(capacity, capacity, 8)
-		fa := NewLRU(capacity, 8)
+		sa := MustSetAssoc(capacity, capacity, 8)
+		fa := MustLRU(capacity, 8)
 		rng := rand.New(rand.NewSource(seed))
 		for i := 0; i < 1000; i++ {
 			addr := uint64(rng.Intn(48)) * 8
@@ -160,8 +160,8 @@ func TestSingleSetEqualsLRUProperty(t *testing.T) {
 func TestBankAgreesWithProfilerProperty(t *testing.T) {
 	check := func(seed int64) bool {
 		caps := []int{1, 3, 7, 20}
-		prof := NewStackProfiler(8)
-		bank := NewBank(caps, 8)
+		prof := MustStackProfiler(8)
+		bank := MustBank(caps, 8)
 		rng := rand.New(rand.NewSource(seed))
 		for i := 0; i < 3000; i++ {
 			addr := uint64(rng.Intn(50)) * 8

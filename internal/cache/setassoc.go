@@ -1,5 +1,7 @@
 package cache
 
+import "fmt"
+
 // SetAssoc is a set-associative cache with LRU replacement within each set.
 // Assoc=1 gives a direct-mapped cache, which Section 6.4 of the paper uses
 // to show the Barnes-Hut working set needs roughly 3x the fully associative
@@ -29,15 +31,19 @@ type setWay struct {
 // NewSetAssoc builds a cache with the given total capacity in lines,
 // associativity and line size. capacityLines must be a positive multiple of
 // assoc; the set count is capacityLines/assoc and must be a power of two.
-func NewSetAssoc(capacityLines, assoc int, lineSize uint32) *SetAssoc {
+// Violations return an error wrapping ErrInvalidConfig.
+func NewSetAssoc(capacityLines, assoc int, lineSize uint32) (*SetAssoc, error) {
 	if capacityLines <= 0 || assoc <= 0 || capacityLines%assoc != 0 {
-		panic("cache: SetAssoc capacity must be a positive multiple of associativity")
+		return nil, fmt.Errorf("%w: SetAssoc capacity %d must be a positive multiple of associativity %d",
+			ErrInvalidConfig, capacityLines, assoc)
 	}
 	sets := capacityLines / assoc
 	if sets&(sets-1) != 0 {
-		panic("cache: SetAssoc set count must be a power of two")
+		return nil, fmt.Errorf("%w: SetAssoc set count %d must be a power of two", ErrInvalidConfig, sets)
 	}
-	lineShift(lineSize)
+	if err := validateLineSize(lineSize); err != nil {
+		return nil, err
+	}
 	ways := make([][]setWay, sets)
 	for i := range ways {
 		ways[i] = make([]setWay, 0, assoc)
@@ -49,12 +55,28 @@ func NewSetAssoc(capacityLines, assoc int, lineSize uint32) *SetAssoc {
 		ways:        ways,
 		seen:        make(map[uint64]struct{}),
 		invalidated: make(map[uint64]struct{}),
+	}, nil
+}
+
+// MustSetAssoc is NewSetAssoc for statically-valid configurations; it
+// panics on error.
+func MustSetAssoc(capacityLines, assoc int, lineSize uint32) *SetAssoc {
+	c, err := NewSetAssoc(capacityLines, assoc, lineSize)
+	if err != nil {
+		panic(err)
 	}
+	return c
 }
 
 // NewDirectMapped builds a direct-mapped cache (associativity 1).
-func NewDirectMapped(capacityLines int, lineSize uint32) *SetAssoc {
+func NewDirectMapped(capacityLines int, lineSize uint32) (*SetAssoc, error) {
 	return NewSetAssoc(capacityLines, 1, lineSize)
+}
+
+// MustDirectMapped is NewDirectMapped for statically-valid configurations;
+// it panics on error.
+func MustDirectMapped(capacityLines int, lineSize uint32) *SetAssoc {
+	return MustSetAssoc(capacityLines, 1, lineSize)
 }
 
 // CapacityBytes reports the capacity in bytes.

@@ -54,10 +54,13 @@ type StackProfiler struct {
 
 const initialFenwickSize = 1 << 16
 
-// NewStackProfiler builds a profiler for the given line size. Measurement
-// starts enabled; call SetMeasuring(false) first to warm up.
-func NewStackProfiler(lineSize uint32) *StackProfiler {
-	lineShift(lineSize)
+// NewStackProfiler builds a profiler for the given line size (which must be
+// a power of two; violations return an error wrapping ErrInvalidConfig).
+// Measurement starts enabled; call SetMeasuring(false) first to warm up.
+func NewStackProfiler(lineSize uint32) (*StackProfiler, error) {
+	if err := validateLineSize(lineSize); err != nil {
+		return nil, err
+	}
 	return &StackProfiler{
 		lineSize:    lineSize,
 		lastPos:     make(map[uint64]int),
@@ -66,7 +69,17 @@ func NewStackProfiler(lineSize uint32) *StackProfiler {
 		measuring:   true,
 		histRead:    make([]uint64, 1),
 		histWrite:   make([]uint64, 1),
+	}, nil
+}
+
+// MustStackProfiler is NewStackProfiler for statically-valid line sizes; it
+// panics on error.
+func MustStackProfiler(lineSize uint32) *StackProfiler {
+	p, err := NewStackProfiler(lineSize)
+	if err != nil {
+		panic(err)
 	}
+	return p
 }
 
 // LineSize reports the configured line size in bytes.
@@ -269,8 +282,15 @@ func tailSum(h []uint64, from int) uint64 {
 }
 
 // Curve returns miss counts for each capacity, computed in one sweep over
-// the histograms. Capacities must be sorted ascending.
+// the histograms. Unsorted capacities are sorted into a copy first, so the
+// result is always ascending by capacity.
 func (p *StackProfiler) Curve(capacitiesLines []int) []MissCount {
+	if !sort.IntsAreSorted(capacitiesLines) {
+		sorted := make([]int, len(capacitiesLines))
+		copy(sorted, capacitiesLines)
+		sort.Ints(sorted)
+		capacitiesLines = sorted
+	}
 	out := make([]MissCount, len(capacitiesLines))
 	maxD := len(p.histRead)
 	if len(p.histWrite) > maxD {
@@ -279,12 +299,7 @@ func (p *StackProfiler) Curve(capacitiesLines []int) []MissCount {
 	// Suffix sums make each capacity O(1).
 	sufR := suffixSums(p.histRead, maxD)
 	sufW := suffixSums(p.histWrite, maxD)
-	prev := -1
 	for i, c := range capacitiesLines {
-		if c < prev {
-			panic("cache: Curve capacities must be sorted ascending")
-		}
-		prev = c
 		mc := MissCount{CapacityLines: c}
 		mc.ReadMisses = p.coldRead + p.cohRead + at(sufR, c+1)
 		mc.WriteMisses = p.coldWrite + p.cohWrite + at(sufW, c+1)

@@ -9,6 +9,16 @@
 // curves flatten out at.
 package coherence
 
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidConfig is wrapped by every input-validation error this package
+// returns, so callers can classify bad-configuration failures with
+// errors.Is.
+var ErrInvalidConfig = errors.New("coherence: invalid configuration")
+
 // PESet is a set of processor ids, implemented as a bit vector so protocol
 // state stays compact even with thousands of lines.
 type PESet struct {
@@ -104,22 +114,37 @@ type Directory struct {
 }
 
 // NewDirectory builds a directory for numPEs processors whose caches use
-// the given line size. caches[i] receives invalidations for processor i;
-// entries may be nil (no cache attached, e.g. processors outside the
-// measured set).
-func NewDirectory(numPEs int, lineSize uint32, caches []Invalidator) *Directory {
+// the given line size (a power of two). caches[i] receives invalidations
+// for processor i; entries may be nil (no cache attached, e.g. processors
+// outside the measured set). Invalid configurations return an error
+// wrapping ErrInvalidConfig.
+func NewDirectory(numPEs int, lineSize uint32, caches []Invalidator) (*Directory, error) {
 	if numPEs <= 0 {
-		panic("coherence: need at least one processor")
+		return nil, fmt.Errorf("%w: need at least one processor (got %d)", ErrInvalidConfig, numPEs)
 	}
 	if len(caches) != numPEs {
-		panic("coherence: caches slice must have one entry per processor")
+		return nil, fmt.Errorf("%w: caches slice has %d entries for %d processors",
+			ErrInvalidConfig, len(caches), numPEs)
+	}
+	if lineSize == 0 || lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("%w: line size %d is not a power of two", ErrInvalidConfig, lineSize)
 	}
 	return &Directory{
 		numPEs:   numPEs,
 		lineSize: lineSize,
 		lines:    make(map[uint64]*lineState),
 		caches:   caches,
+	}, nil
+}
+
+// MustDirectory is NewDirectory for statically-valid configurations; it
+// panics on error.
+func MustDirectory(numPEs int, lineSize uint32, caches []Invalidator) *Directory {
+	d, err := NewDirectory(numPEs, lineSize, caches)
+	if err != nil {
+		panic(err)
 	}
+	return d
 }
 
 func (d *Directory) entry(line uint64) *lineState {

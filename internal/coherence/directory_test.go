@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -71,9 +72,9 @@ func TestPESetMatchesMap(t *testing.T) {
 }
 
 func TestDirectoryInvalidatesOtherCopies(t *testing.T) {
-	c0 := cache.NewLRU(16, 8)
-	c1 := cache.NewLRU(16, 8)
-	d := NewDirectory(2, 8, []Invalidator{c0, c1})
+	c0 := cache.MustLRU(16, 8)
+	c1 := cache.MustLRU(16, 8)
+	d := MustDirectory(2, 8, []Invalidator{c0, c1})
 
 	// Both processors read line 0.
 	c0.Access(0, true)
@@ -104,7 +105,7 @@ func TestDirectoryInvalidatesOtherCopies(t *testing.T) {
 }
 
 func TestDirectoryDowngrade(t *testing.T) {
-	d := NewDirectory(2, 8, []Invalidator{nil, nil})
+	d := MustDirectory(2, 8, []Invalidator{nil, nil})
 	d.Write(0, 0)
 	if !d.IsDirty(0) {
 		t.Fatal("expected dirty")
@@ -119,8 +120,8 @@ func TestDirectoryDowngrade(t *testing.T) {
 }
 
 func TestDirectoryWriterKeepsOwnCopy(t *testing.T) {
-	c0 := cache.NewLRU(16, 8)
-	d := NewDirectory(2, 8, []Invalidator{c0, nil})
+	c0 := cache.MustLRU(16, 8)
+	d := MustDirectory(2, 8, []Invalidator{c0, nil})
 	c0.Access(0, true)
 	d.Read(0, 0)
 	c0.Access(0, false)
@@ -136,8 +137,8 @@ func TestDirectoryWriterKeepsOwnCopy(t *testing.T) {
 func TestDirectoryLineGranularity(t *testing.T) {
 	// With 64-byte lines, addresses 0 and 32 share a line: false sharing
 	// must invalidate.
-	c0 := cache.NewLRU(16, 64)
-	d := NewDirectory(2, 64, []Invalidator{c0, nil})
+	c0 := cache.MustLRU(16, 64)
+	d := MustDirectory(2, 64, []Invalidator{c0, nil})
 	c0.Access(0, true)
 	d.Read(0, 0)
 	d.Write(1, 32)
@@ -147,23 +148,36 @@ func TestDirectoryLineGranularity(t *testing.T) {
 }
 
 func TestDirectoryValidation(t *testing.T) {
-	for _, f := range []func(){
-		func() { NewDirectory(0, 8, nil) },
-		func() { NewDirectory(2, 8, []Invalidator{nil}) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			f()
-		}()
+	cases := []struct {
+		name   string
+		pes    int
+		line   uint32
+		caches []Invalidator
+	}{
+		{"zero PEs", 0, 8, nil},
+		{"negative PEs", -1, 8, nil},
+		{"cache count mismatch", 2, 8, []Invalidator{nil}},
+		{"zero line", 2, 0, []Invalidator{nil, nil}},
+		{"non-pow2 line", 2, 24, []Invalidator{nil, nil}},
 	}
+	for _, c := range cases {
+		if _, err := NewDirectory(c.pes, c.line, c.caches); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("%s: err = %v, want ErrInvalidConfig", c.name, err)
+		}
+	}
+	// Must variant panics on the same inputs.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustDirectory should panic on invalid input")
+			}
+		}()
+		MustDirectory(0, 8, nil)
+	}()
 }
 
 func TestDirectoryResetStats(t *testing.T) {
-	d := NewDirectory(2, 8, []Invalidator{nil, nil})
+	d := MustDirectory(2, 8, []Invalidator{nil, nil})
 	d.Read(0, 0)
 	d.Write(1, 0)
 	d.ResetStats()
@@ -182,8 +196,8 @@ func TestDirectoryResetStats(t *testing.T) {
 // a coherence miss, at any cache size.
 func TestProducerConsumerCommunication(t *testing.T) {
 	const boundary = 32 // double words
-	prof := cache.NewStackProfiler(8)
-	d := NewDirectory(2, 8, []Invalidator{nil, prof})
+	prof := cache.MustStackProfiler(8)
+	d := MustDirectory(2, 8, []Invalidator{nil, prof})
 
 	for iter := 0; iter < 10; iter++ {
 		if iter == 2 {
@@ -217,10 +231,10 @@ func TestDirectoryManyPEsRandomized(t *testing.T) {
 	caches := make([]Invalidator, pes)
 	lrus := make([]*cache.LRU, pes)
 	for i := range caches {
-		lrus[i] = cache.NewLRU(64, 8)
+		lrus[i] = cache.MustLRU(64, 8)
 		caches[i] = lrus[i]
 	}
-	d := NewDirectory(pes, 8, caches)
+	d := MustDirectory(pes, 8, caches)
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < 50000; i++ {
 		pe := rng.Intn(pes)

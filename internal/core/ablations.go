@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"wsstudy/internal/apps/barneshut"
 	"wsstudy/internal/apps/volrend"
 	"wsstudy/internal/memsys"
+	"wsstudy/internal/trace"
 	"wsstudy/internal/workingset"
 )
 
@@ -15,9 +17,9 @@ import (
 // must pick a line size, and spatial locality differs sharply between the
 // 2-byte-voxel renderer and the record-structured N-body code).
 
-// runBHConcrete runs a Barnes-Hut configuration against concrete per-PE
-// caches and returns PE 1's read miss rate.
-func runBHConcrete(n, steps, warm, capacityLines, assoc int, lineSize uint32) (float64, error) {
+// runBHConcrete runs a Barnes-Hut configuration under ctx against concrete
+// per-PE caches and returns PE 1's read miss rate.
+func runBHConcrete(ctx context.Context, n, steps, warm, capacityLines, assoc int, lineSize uint32) (float64, error) {
 	bodies := barneshut.Plummer(n, 42)
 	sys := memsys.MustNew(memsys.Config{
 		PEs: 4, LineSize: lineSize, CacheCapacity: capacityLines, Assoc: assoc,
@@ -25,7 +27,7 @@ func runBHConcrete(n, steps, warm, capacityLines, assoc int, lineSize uint32) (f
 	})
 	sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
 		Theta: 1.0, Quadrupole: true, Eps: 0.05, DT: 0.003, P: 4,
-	}, sys)
+	}, trace.WithContext(ctx, sys))
 	if err != nil {
 		return 0, err
 	}
@@ -65,7 +67,7 @@ func expAssoc() Experiment {
 			for _, a := range assocs {
 				series := Series{Label: a.label}
 				for _, bytes := range sizes {
-					rate, err := runBHConcrete(n, steps, warm, int(bytes/8), a.ways, 8)
+					rate, err := runBHConcrete(o.Context(), n, steps, warm, int(bytes/8), a.ways, 8)
 					if err != nil {
 						return nil, err
 					}
@@ -113,7 +115,7 @@ func expLineSize() Experiment {
 
 			bh := Series{Label: "Barnes-Hut"}
 			for _, ls := range lineSizes {
-				rate, err := runBHConcrete(bhN, frames, 1, int(cacheBytes/int(ls)), 0, ls)
+				rate, err := runBHConcrete(o.Context(), bhN, frames, 1, int(cacheBytes/int(ls)), 0, ls)
 				if err != nil {
 					return nil, err
 				}
@@ -132,12 +134,14 @@ func expLineSize() Experiment {
 				})
 				ren, err := volrend.NewRenderer(vol, volrend.Config{
 					ImageW: img, ImageH: img, P: 4,
-				}, sys)
+				}, trace.WithContext(o.Context(), sys))
 				if err != nil {
 					return nil, err
 				}
 				for f := 0; f < 3; f++ {
-					ren.RenderFrame(0.04 * float64(f))
+					if _, err := ren.RenderFrame(0.04 * float64(f)); err != nil {
+						return nil, err
+					}
 				}
 				st := sys.Cache(0).Stats()
 				vr.Points = append(vr.Points, workingset.Point{

@@ -5,6 +5,7 @@ import (
 
 	"wsstudy/internal/apps/barneshut"
 	"wsstudy/internal/memsys"
+	"wsstudy/internal/trace"
 	"wsstudy/internal/workingset"
 )
 
@@ -39,7 +40,7 @@ func expBus() Experiment {
 				})
 				sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
 					Theta: 1.0, Quadrupole: true, Eps: 0.05, DT: 0.003, P: 4,
-				}, sys)
+				}, trace.WithContext(o.Context(), sys))
 				if err != nil {
 					return nil, err
 				}

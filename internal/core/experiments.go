@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -15,6 +16,7 @@ import (
 	"wsstudy/internal/machine"
 	"wsstudy/internal/memsys"
 	"wsstudy/internal/scaling"
+	"wsstudy/internal/trace"
 	"wsstudy/internal/workingset"
 )
 
@@ -92,9 +94,12 @@ func expFig2() Experiment {
 			sys := memsys.MustNew(memsys.Config{
 				PEs: pr * pc, LineSize: 8, Profile: true, ProfilePE: pr*pc - 1,
 			})
-			stats, err := lu.FactorTraced(m, lu.Grid{PR: pr, PC: pc}, sys)
+			stats, err := lu.FactorTraced(m, lu.Grid{PR: pr, PC: pc},
+				trace.WithContext(o.Context(), sys))
 			if err != nil {
-				return nil, err
+				// The model figure and hierarchy table are already in r;
+				// return them as partial data alongside the error.
+				return r, err
 			}
 			prof := sys.Profiler(pr*pc - 1)
 			simSizes := workingset.LogSizes(64, 1<<21, 2)
@@ -146,14 +151,14 @@ func expFig4() Experiment {
 			if err != nil {
 				return nil, err
 			}
-			solver := cg.NewSolver2D(part, sys)
+			solver := cg.NewSolver2D(part, trace.WithContext(o.Context(), sys))
 			b := make([]float64, n*n)
 			for i := range b {
 				b[i] = 1
 			}
 			solver.SetB(b)
 			if _, err := solver.Solve(cg.Config{MaxIters: iters}); err != nil {
-				return nil, err
+				return r, err
 			}
 			prof := sys.Profiler(p - 1)
 			flops := float64(iters-warm) * 20 * float64(n*n) / float64(p)
@@ -207,7 +212,8 @@ func expFig5() Experiment {
 				sys := memsys.MustNew(memsys.Config{
 					PEs: p, LineSize: 8, Profile: true, ProfilePE: pe,
 				})
-				f, err := fft.New(fft.Config{LogN: logN, P: p, InternalRadix: radix}, sys)
+				f, err := fft.New(fft.Config{LogN: logN, P: p, InternalRadix: radix},
+					trace.WithContext(o.Context(), sys))
 				if err != nil {
 					return nil, err
 				}
@@ -216,7 +222,9 @@ func expFig5() Experiment {
 					x[i] = complex(float64(i%17)-8, float64(i%13)-6)
 				}
 				f.SetInput(x)
-				f.Run()
+				if err := f.Run(); err != nil {
+					return r, err
+				}
 				sim.Series = append(sim.Series, profCurve(
 					fmt.Sprintf("radix %d", radix),
 					sys.Profiler(pe), simSizes, f.FLOPs()/float64(p), false))
@@ -230,16 +238,16 @@ func expFig5() Experiment {
 
 // ---------------------------------------------------------------- fig6
 
-// runBH runs a traced Barnes-Hut configuration and returns the profiler
-// and the aggregate read count.
-func runBH(n, p, profPE, warm, steps int, theta float64) (*cache.StackProfiler, error) {
+// runBH runs a traced Barnes-Hut configuration under ctx and returns the
+// profiler and the aggregate read count.
+func runBH(ctx context.Context, n, p, profPE, warm, steps int, theta float64) (*cache.StackProfiler, error) {
 	bodies := barneshut.Plummer(n, 42)
 	sys := memsys.MustNew(memsys.Config{
 		PEs: p, LineSize: 8, Profile: true, ProfilePE: profPE, WarmupEpochs: warm,
 	})
 	sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
 		Theta: theta, Quadrupole: true, Eps: 0.05, DT: 0.003, P: p,
-	}, sys)
+	}, trace.WithContext(ctx, sys))
 	if err != nil {
 		return nil, err
 	}
@@ -263,7 +271,7 @@ func expFig6() Experiment {
 			if o.Quick {
 				n, steps = 256, 4
 			}
-			prof, err := runBH(n, 4, 1, 2, steps, 1.0)
+			prof, err := runBH(o.Context(), n, 4, 1, 2, steps, 1.0)
 			if err != nil {
 				return nil, err
 			}
@@ -306,7 +314,7 @@ func expFig6DM() Experiment {
 			const p, pe, warm, theta = 4, 1, 1, 1.0
 
 			// Fully associative reference curve.
-			prof, err := runBH(n, p, pe, warm, steps, theta)
+			prof, err := runBH(o.Context(), n, p, pe, warm, steps, theta)
 			if err != nil {
 				return nil, err
 			}
@@ -324,7 +332,7 @@ func expFig6DM() Experiment {
 				})
 				sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
 					Theta: theta, Quadrupole: true, Eps: 0.05, DT: 0.003, P: p,
-				}, sys)
+				}, trace.WithContext(o.Context(), sys))
 				if err != nil {
 					return nil, err
 				}
@@ -396,12 +404,14 @@ func expFig7() Experiment {
 			})
 			ren, err := volrend.NewRenderer(vol, volrend.Config{
 				ImageW: img, ImageH: img, P: 4,
-			}, sys)
+			}, trace.WithContext(o.Context(), sys))
 			if err != nil {
 				return nil, err
 			}
 			for f := 0; f < frames; f++ {
-				ren.RenderFrame(0.04 * float64(f))
+				if _, err := ren.RenderFrame(0.04 * float64(f)); err != nil {
+					return nil, err
+				}
 			}
 			prof := sys.Profiler(0)
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"wsstudy/internal/apps/barneshut"
+	"wsstudy/internal/trace"
 )
 
 // expPhases quantifies Section 6.4's second caveat: the force phase
@@ -33,7 +34,7 @@ func expPhases() Experiment {
 			bodies := barneshut.Plummer(n, 7)
 			sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
 				Theta: 1.0, Quadrupole: true, Eps: 0.05, DT: 0.003, P: 4,
-			}, nil)
+			}, trace.WithContext(o.Context(), nil))
 			if err != nil {
 				return nil, err
 			}

@@ -4,6 +4,7 @@
 package core
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"wsstudy/internal/workingset"
 )
@@ -188,7 +190,26 @@ type Options struct {
 	// seconds (used by tests); full runs use the paper-scale or
 	// largest-feasible configurations.
 	Quick bool
+	// Ctx, when non-nil, cancels the run cooperatively: kernels poll it at
+	// their outer-loop boundaries, so a cancelled or expired context stops
+	// an experiment within one loop body. Nil means context.Background.
+	Ctx context.Context
+	// Timeout, when positive, bounds the experiment's run time. Execute
+	// derives a deadline-carrying context from Ctx and maps expiry to
+	// ErrDeadline.
+	Timeout time.Duration
 }
+
+// Context returns the run's context, never nil.
+func (o Options) Context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// Err reports the run context's cancellation state.
+func (o Options) Err() error { return o.Context().Err() }
 
 // Experiment is one reproducible artifact of the paper.
 type Experiment struct {

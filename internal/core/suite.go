@@ -1,0 +1,284 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// ErrDeadline is wrapped by every *DeadlineError, so callers can classify
+// timed-out experiments with errors.Is(err, ErrDeadline).
+var ErrDeadline = errors.New("core: experiment deadline exceeded")
+
+// DeadlineError reports that an experiment exceeded its per-run timeout.
+type DeadlineError struct {
+	// ID names the experiment that timed out.
+	ID string
+	// Timeout is the per-experiment deadline that expired (zero when the
+	// expiry came from the caller's context rather than Options.Timeout).
+	Timeout time.Duration
+	// Partial holds whatever Report data the experiment had assembled when
+	// the deadline hit, or nil if nothing was salvageable.
+	Partial *Report
+}
+
+// Error renders the failure.
+func (e *DeadlineError) Error() string {
+	if e.Timeout > 0 {
+		return fmt.Sprintf("core: experiment %q exceeded its %v deadline", e.ID, e.Timeout)
+	}
+	return fmt.Sprintf("core: experiment %q deadline exceeded", e.ID)
+}
+
+// Unwrap ties the error to both ErrDeadline and context.DeadlineExceeded.
+func (e *DeadlineError) Unwrap() []error {
+	return []error{ErrDeadline, context.DeadlineExceeded}
+}
+
+// PanicError reports a panic recovered from an experiment's Run, with the
+// goroutine stack captured at the panic site.
+type PanicError struct {
+	// ID names the experiment that panicked.
+	ID string
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the formatted goroutine stack captured during recovery.
+	Stack string
+}
+
+// Error renders the panic value; the stack is available via the Stack field.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: experiment %q panicked: %v", e.ID, e.Value)
+}
+
+// transientError marks an error as transiently classified, asking the suite
+// runner to retry the experiment.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so IsTransient reports true: the failure is believed
+// temporary (resource pressure, a flaky backend) and the suite runner may
+// retry the experiment. A nil err returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked with
+// Transient. Deadline expiry, cancellation and panics are never transient.
+func IsTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// Execute runs one experiment under ctx with the hardening the suite relies
+// on: Options.Timeout (when positive) bounds the run, a panic inside Run
+// comes back as a *PanicError with the captured stack, and deadline expiry
+// comes back as a *DeadlineError carrying whatever partial Report the
+// experiment managed to assemble.
+func Execute(ctx context.Context, e Experiment, opt Options) (rep *Report, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Ctx != nil {
+		// Respect both the caller's ctx and the one already in the options;
+		// the options context usually is the caller's, but don't assume.
+		ctx = mergedContext(ctx, opt.Ctx)
+	}
+	cancel := context.CancelFunc(func() {})
+	if opt.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+	}
+	defer cancel()
+	opt.Ctx = ctx
+
+	defer func() {
+		if v := recover(); v != nil {
+			rep = nil
+			err = &PanicError{ID: e.ID, Value: v, Stack: string(debug.Stack())}
+			return
+		}
+		if err != nil && errors.Is(err, context.DeadlineExceeded) {
+			err = &DeadlineError{ID: e.ID, Timeout: opt.Timeout, Partial: rep}
+			rep = nil
+		}
+	}()
+	return e.Run(opt)
+}
+
+// mergedContext returns a context cancelled when either parent is. When one
+// is the other's ancestor (the common case) the child is returned directly.
+func mergedContext(a, b context.Context) context.Context {
+	if a == b || b.Done() == nil {
+		return a
+	}
+	if a.Done() == nil {
+		return b
+	}
+	ctx, cancel := context.WithCancel(a)
+	go func() {
+		select {
+		case <-b.Done():
+		case <-ctx.Done():
+		}
+		cancel()
+	}()
+	return ctx
+}
+
+// SuiteOptions tunes a RunSuite call.
+type SuiteOptions struct {
+	// Options is the base per-experiment configuration (Quick, Timeout).
+	// Its Ctx field is ignored; pass the suite context to RunSuite.
+	Options Options
+	// Workers bounds the number of experiments running concurrently.
+	// Zero or negative means 2.
+	Workers int
+	// Retries is how many additional attempts a transiently classified
+	// failure gets. Zero means no retries.
+	Retries int
+	// Backoff is the initial retry delay, doubling per attempt. Zero means
+	// 100ms.
+	Backoff time.Duration
+}
+
+// SuiteResult is one experiment's outcome within a suite run.
+type SuiteResult struct {
+	ID       string
+	Title    string
+	Report   *Report // non-nil on success
+	Err      error   // non-nil on failure (typed: *DeadlineError, *PanicError, ...)
+	Attempts int     // run attempts made (>1 means retries happened)
+	Elapsed  time.Duration
+}
+
+// SuiteReport aggregates a suite run: every experiment's result in input
+// order, plus the success/failure split.
+type SuiteReport struct {
+	Results []SuiteResult
+}
+
+// Reports returns the successful reports in input order.
+func (s *SuiteReport) Reports() []*Report {
+	var out []*Report
+	for _, r := range s.Results {
+		if r.Err == nil && r.Report != nil {
+			out = append(out, r.Report)
+		}
+	}
+	return out
+}
+
+// Failures returns the failed results in input order.
+func (s *SuiteReport) Failures() []SuiteResult {
+	var out []SuiteResult
+	for _, r := range s.Results {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FailureSummary renders the failures one per line, or "" when the suite
+// was clean.
+func (s *SuiteReport) FailureSummary() string {
+	fails := s.Failures()
+	if len(fails) == 0 {
+		return ""
+	}
+	out := fmt.Sprintf("%d of %d experiments failed:\n", len(fails), len(s.Results))
+	for _, f := range fails {
+		out += fmt.Sprintf("  %s: %v (attempts: %d)\n", f.ID, f.Err, f.Attempts)
+	}
+	return out
+}
+
+// RunSuite executes the experiments in a bounded worker pool, degrading
+// gracefully: one experiment panicking, timing out, or failing does not
+// stop the others, and the returned SuiteReport carries every successful
+// Report plus a typed error per failure. Cancelling ctx stops the suite
+// promptly — queued experiments are marked with the context error without
+// running, and in-flight ones stop at their kernels' next cancellation
+// poll. RunSuite itself never returns an error; per-experiment outcomes
+// live in the report.
+func RunSuite(ctx context.Context, experiments []Experiment, opt SuiteOptions) *SuiteReport {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	if workers > len(experiments) {
+		workers = len(experiments)
+	}
+	backoff := opt.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+
+	report := &SuiteReport{Results: make([]SuiteResult, len(experiments))}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				report.Results[i] = runOne(ctx, experiments[i], opt, backoff)
+			}
+		}()
+	}
+feed:
+	for i := range experiments {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Mark this and every unfed experiment as cancelled-before-run.
+			for j := i; j < len(experiments); j++ {
+				report.Results[j] = SuiteResult{
+					ID:    experiments[j].ID,
+					Title: experiments[j].Title,
+					Err:   ctx.Err(),
+				}
+			}
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return report
+}
+
+// runOne executes a single experiment with retry-with-backoff for
+// transiently classified failures.
+func runOne(ctx context.Context, e Experiment, opt SuiteOptions, backoff time.Duration) SuiteResult {
+	res := SuiteResult{ID: e.ID, Title: e.Title}
+	start := time.Now()
+	defer func() { res.Elapsed = time.Since(start) }()
+	for attempt := 0; ; attempt++ {
+		res.Attempts = attempt + 1
+		rep, err := Execute(ctx, e, opt.Options)
+		res.Report, res.Err = rep, err
+		if err == nil || !IsTransient(err) || attempt >= opt.Retries {
+			return res
+		}
+		// Context-aware backoff sleep; a cancelled suite stops retrying.
+		t := time.NewTimer(backoff << attempt)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			res.Err = ctx.Err()
+			return res
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// okExp returns a trivially succeeding experiment.
+func okExp(id string) Experiment {
+	return Experiment{
+		ID: id, Title: id,
+		Run: func(o Options) (*Report, error) {
+			return &Report{Title: id}, nil
+		},
+	}
+}
+
+// panicExp panics mid-run.
+func panicExp(id string) Experiment {
+	return Experiment{
+		ID: id, Title: id,
+		Run: func(o Options) (*Report, error) {
+			panic("kaboom: " + id)
+		},
+	}
+}
+
+// deadlineExp assembles a partial report, then blocks until its context
+// expires — the shape of a kernel whose cancellation poll fires.
+func deadlineExp(id string) Experiment {
+	return Experiment{
+		ID: id, Title: id,
+		Run: func(o Options) (*Report, error) {
+			r := &Report{Title: "partial " + id}
+			r.AddNote("model figure computed before the simulation timed out")
+			<-o.Context().Done()
+			return r, o.Context().Err()
+		},
+	}
+}
+
+func TestExecutePanicIsolation(t *testing.T) {
+	rep, err := Execute(context.Background(), panicExp("boom"), Options{})
+	if rep != nil {
+		t.Fatal("panicking experiment returned a report")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.ID != "boom" || pe.Value != "kaboom: boom" {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	if pe.Stack == "" || !strings.Contains(pe.Stack, "goroutine") {
+		t.Fatalf("PanicError.Stack not captured: %q", pe.Stack)
+	}
+}
+
+func TestExecuteDeadlinePartialReport(t *testing.T) {
+	rep, err := Execute(context.Background(), deadlineExp("slow"),
+		Options{Timeout: 20 * time.Millisecond})
+	if rep != nil {
+		t.Fatal("timed-out experiment returned a non-error report")
+	}
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("deadline error must also match context.DeadlineExceeded")
+	}
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlineError", err)
+	}
+	if de.Partial == nil || de.Partial.Title != "partial slow" {
+		t.Fatalf("DeadlineError.Partial = %+v, want the partial report", de.Partial)
+	}
+	if de.Timeout != 20*time.Millisecond {
+		t.Fatalf("DeadlineError.Timeout = %v", de.Timeout)
+	}
+}
+
+// TestSuiteGracefulDegradation is the issue's acceptance scenario: a suite
+// holding one panicking and one deadline-exceeding experiment still returns
+// every other experiment's Report, with typed errors for the failures.
+func TestSuiteGracefulDegradation(t *testing.T) {
+	exps := []Experiment{
+		okExp("a"),
+		panicExp("p"),
+		deadlineExp("d"),
+		okExp("b"),
+	}
+	report := RunSuite(context.Background(), exps, SuiteOptions{
+		Options: Options{Timeout: 30 * time.Millisecond},
+		Workers: 4,
+	})
+	if got := len(report.Reports()); got != 2 {
+		t.Fatalf("successful reports = %d, want 2", got)
+	}
+	if report.Results[0].Report == nil || report.Results[3].Report == nil {
+		t.Fatal("healthy experiments lost their reports")
+	}
+	var pe *PanicError
+	if !errors.As(report.Results[1].Err, &pe) || pe.Stack == "" {
+		t.Fatalf("panic result = %v, want *PanicError with stack", report.Results[1].Err)
+	}
+	var de *DeadlineError
+	if !errors.As(report.Results[2].Err, &de) || de.Partial == nil {
+		t.Fatalf("deadline result = %v, want *DeadlineError with partial", report.Results[2].Err)
+	}
+	summary := report.FailureSummary()
+	if !strings.Contains(summary, "2 of 4") ||
+		!strings.Contains(summary, "p:") || !strings.Contains(summary, "d:") {
+		t.Fatalf("FailureSummary = %q", summary)
+	}
+}
+
+func TestSuiteCancellationStopsSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 16)
+	blocker := Experiment{
+		ID: "block", Title: "block",
+		Run: func(o Options) (*Report, error) {
+			started <- struct{}{}
+			<-o.Context().Done()
+			return nil, o.Context().Err()
+		},
+	}
+	exps := make([]Experiment, 8)
+	for i := range exps {
+		exps[i] = blocker
+	}
+	done := make(chan *SuiteReport)
+	go func() {
+		done <- RunSuite(ctx, exps, SuiteOptions{Workers: 2})
+	}()
+	<-started // at least one experiment is in flight
+	cancel()
+	select {
+	case report := <-done:
+		for i, r := range report.Results {
+			if r.Err == nil {
+				t.Errorf("result %d: cancelled suite produced a success", i)
+			} else if !errors.Is(r.Err, context.Canceled) {
+				t.Errorf("result %d: err = %v, want context.Canceled", i, r.Err)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled suite did not return promptly")
+	}
+}
+
+func TestSuiteTransientRetry(t *testing.T) {
+	var calls int
+	flaky := Experiment{
+		ID: "flaky", Title: "flaky",
+		Run: func(o Options) (*Report, error) {
+			calls++
+			if calls < 3 {
+				return nil, Transient(errors.New("resource pressure"))
+			}
+			return &Report{Title: "flaky"}, nil
+		},
+	}
+	report := RunSuite(context.Background(), []Experiment{flaky}, SuiteOptions{
+		Retries: 3, Backoff: time.Millisecond,
+	})
+	res := report.Results[0]
+	if res.Err != nil {
+		t.Fatalf("flaky experiment failed after retries: %v", res.Err)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", res.Attempts)
+	}
+	if report.FailureSummary() != "" {
+		t.Fatalf("clean suite has failure summary %q", report.FailureSummary())
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	if IsTransient(nil) || Transient(nil) != nil {
+		t.Fatal("nil handling broken")
+	}
+	base := errors.New("x")
+	if !IsTransient(Transient(base)) {
+		t.Fatal("Transient not detected")
+	}
+	if IsTransient(base) {
+		t.Fatal("unwrapped error classified transient")
+	}
+	if !errors.Is(Transient(base), base) {
+		t.Fatal("Transient must preserve errors.Is to the cause")
+	}
+	if IsTransient(&DeadlineError{ID: "x"}) || IsTransient(&PanicError{ID: "x"}) {
+		t.Fatal("deadline/panic errors must never be transient")
+	}
+}
+
+// TestRunContextCancelledSweep verifies a cancelled context stops a real
+// experiment sweep (fig2's LU factorization polls inside its K loop) and
+// the cancellation surfaces as context.Canceled.
+func TestRunContextCancelledSweep(t *testing.T) {
+	e, ok := Find("fig2")
+	if !ok {
+		t.Fatal("fig2 missing from registry")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the first kernel poll must abort
+	start := time.Now()
+	rep, err := Execute(ctx, e, Options{Quick: true})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (rep=%v)", err, rep != nil)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled experiment still ran %v", elapsed)
+	}
+}

@@ -6,12 +6,17 @@
 package memsys
 
 import (
+	"errors"
 	"fmt"
 
 	"wsstudy/internal/cache"
 	"wsstudy/internal/coherence"
 	"wsstudy/internal/trace"
 )
+
+// ErrInvalidConfig is wrapped by every configuration error New returns, so
+// callers can classify bad-configuration failures with errors.Is.
+var ErrInvalidConfig = errors.New("memsys: invalid configuration")
 
 // Distribution says how the shared address space maps to home nodes.
 type Distribution uint8
@@ -73,19 +78,33 @@ type System struct {
 	measuring bool
 }
 
-// New builds a System from cfg.
+// New builds a System from cfg. All configuration errors wrap
+// ErrInvalidConfig (and, where a subsystem rejected the input, that
+// subsystem's own invalid-configuration sentinel).
 func New(cfg Config) (*System, error) {
 	if cfg.PEs <= 0 {
-		return nil, fmt.Errorf("memsys: PEs must be positive, got %d", cfg.PEs)
+		return nil, fmt.Errorf("%w: PEs must be positive, got %d", ErrInvalidConfig, cfg.PEs)
 	}
 	if cfg.LineSize == 0 {
 		cfg.LineSize = 8
+	}
+	if cfg.LineSize&(cfg.LineSize-1) != 0 {
+		return nil, fmt.Errorf("%w: line size %d is not a power of two", ErrInvalidConfig, cfg.LineSize)
 	}
 	if cfg.Extent == 0 {
 		cfg.Extent = 1 << 30
 	}
 	if cfg.Profile == (cfg.CacheCapacity > 0) {
-		return nil, fmt.Errorf("memsys: exactly one of Profile or CacheCapacity must be set")
+		return nil, fmt.Errorf("%w: exactly one of Profile or CacheCapacity must be set", ErrInvalidConfig)
+	}
+	if cfg.CacheCapacity < 0 {
+		return nil, fmt.Errorf("%w: CacheCapacity must not be negative, got %d", ErrInvalidConfig, cfg.CacheCapacity)
+	}
+	if cfg.Assoc < 0 {
+		return nil, fmt.Errorf("%w: Assoc must not be negative, got %d", ErrInvalidConfig, cfg.Assoc)
+	}
+	if cfg.Profile && (cfg.ProfilePE < -1 || cfg.ProfilePE >= cfg.PEs) {
+		return nil, fmt.Errorf("%w: ProfilePE %d out of range [-1, %d)", ErrInvalidConfig, cfg.ProfilePE, cfg.PEs)
 	}
 	s := &System{cfg: cfg, measuring: cfg.WarmupEpochs == 0}
 	invalidators := make([]coherence.Invalidator, cfg.PEs)
@@ -95,7 +114,10 @@ func New(cfg Config) (*System, error) {
 			if cfg.ProfilePE >= 0 && pe != cfg.ProfilePE {
 				continue
 			}
-			p := cache.NewStackProfiler(cfg.LineSize)
+			p, err := cache.NewStackProfiler(cfg.LineSize)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+			}
 			p.SetMeasuring(s.measuring)
 			s.profilers[pe] = p
 			invalidators[pe] = p
@@ -103,15 +125,25 @@ func New(cfg Config) (*System, error) {
 	} else {
 		s.caches = make([]cache.Cache, cfg.PEs)
 		for pe := 0; pe < cfg.PEs; pe++ {
+			var c cache.Cache
+			var err error
 			if cfg.Assoc > 0 {
-				s.caches[pe] = cache.NewSetAssoc(cfg.CacheCapacity, cfg.Assoc, cfg.LineSize)
+				c, err = cache.NewSetAssoc(cfg.CacheCapacity, cfg.Assoc, cfg.LineSize)
 			} else {
-				s.caches[pe] = cache.NewLRU(cfg.CacheCapacity, cfg.LineSize)
+				c, err = cache.NewLRU(cfg.CacheCapacity, cfg.LineSize)
 			}
-			invalidators[pe] = s.caches[pe]
+			if err != nil {
+				return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+			}
+			s.caches[pe] = c
+			invalidators[pe] = c
 		}
 	}
-	s.dir = coherence.NewDirectory(cfg.PEs, cfg.LineSize, invalidators)
+	dir, err := coherence.NewDirectory(cfg.PEs, cfg.LineSize, invalidators)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+	}
+	s.dir = dir
 	return s, nil
 }
 

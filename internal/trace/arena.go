@@ -1,5 +1,7 @@
 package trace
 
+import "fmt"
+
 // Arena hands out non-overlapping address ranges in the simulated shared
 // address space. Kernels allocate one range per data structure so that the
 // cache simulators see a realistic, conflict-free layout.
@@ -14,24 +16,34 @@ type Arena struct {
 const BaseAddr uint64 = 0x1000
 
 // Alloc reserves size bytes aligned to align (which must be a power of two;
-// 0 means 8-byte alignment) and returns the range's base address.
-func (a *Arena) Alloc(size, align uint64) uint64 {
+// 0 means 8-byte alignment) and returns the range's base address. A
+// non-power-of-two alignment is an invalid configuration error.
+func (a *Arena) Alloc(size, align uint64) (uint64, error) {
 	if align == 0 {
 		align = 8
 	}
 	if align&(align-1) != 0 {
-		panic("trace: Arena alignment must be a power of two")
+		return 0, fmt.Errorf("%w: Arena alignment %d is not a power of two", ErrInvalidConfig, align)
 	}
 	if a.next == 0 {
 		a.next = BaseAddr
 	}
 	base := (a.next + align - 1) &^ (align - 1)
 	a.next = base + size
+	return base, nil
+}
+
+// MustAlloc is Alloc for statically-valid alignments; it panics on error.
+func (a *Arena) MustAlloc(size, align uint64) uint64 {
+	base, err := a.Alloc(size, align)
+	if err != nil {
+		panic(err)
+	}
 	return base
 }
 
 // AllocDW reserves n double words (8 bytes each) and returns the base address.
-func (a *Arena) AllocDW(n uint64) uint64 { return a.Alloc(8*n, 8) }
+func (a *Arena) AllocDW(n uint64) uint64 { return a.MustAlloc(8*n, 8) }
 
 // Used reports the total extent of the address space handed out so far.
 func (a *Arena) Used() uint64 {

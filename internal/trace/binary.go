@@ -2,18 +2,22 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
 // Binary trace serialization. Kernel runs at paper scale produce hundreds
 // of millions of references; capturing them once and replaying into many
 // simulator configurations (different line sizes, associativities,
-// coherence settings) beats re-running the kernel each time. The format
-// is a compact delta-varint stream:
+// coherence settings) beats re-running the kernel each time.
 //
-//	magic "WST1"
+// Records use a compact delta-varint encoding shared by both format
+// versions:
+//
 //	per record:
 //	  header byte: bit0 = kind (0 read / 1 write),
 //	               bit1 = PE changed, bit2 = size changed,
@@ -24,30 +28,108 @@ import (
 //	  addr zig-zag varint delta from the same PE's previous address
 //
 // Per-PE address deltas make strided kernels almost free to encode.
+//
+// WST1 (legacy) is magic "WST1" followed by a bare record stream; end of
+// file is the only terminator, so a trace truncated at a record boundary is
+// indistinguishable from a complete one, and corruption inside a varint can
+// silently misdecode into garbage references.
+//
+// WST2 fixes both: magic "WST2" followed by CRC-framed chunks,
+//
+//	[4] payload length (uint32 LE); 0 = end-of-trace marker
+//	[4] reference count in this chunk (uint32 LE; epoch markers excluded)
+//	[4] CRC-32C (Castagnoli) of the payload (uint32 LE)
+//	[payload] record stream as above
+//
+// and a mandatory zero-length end marker. A chunk's records reach the
+// consumer only after its checksum verifies, so a flipped bit or a
+// truncated tail yields a typed *CorruptError — carrying the byte offset of
+// the failure and the count of references already delivered — never a
+// silent misdecode. Replay reads both versions; Writer emits WST2 (use
+// NewWriterV1 only to produce legacy streams for compatibility testing).
 
-var binaryMagic = [4]byte{'W', 'S', 'T', '1'}
+var (
+	magicV1 = [4]byte{'W', 'S', 'T', '1'}
+	magicV2 = [4]byte{'W', 'S', 'T', '2'}
+)
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms this runs on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	// chunkTarget is the payload size at which the writer seals a chunk.
+	chunkTarget = 32 << 10
+	// maxChunkPayload bounds the length field Replay will believe, so a
+	// corrupted length cannot drive a gigantic allocation.
+	maxChunkPayload = 1 << 20
+)
+
+// ErrCorrupt is wrapped by every *CorruptError, so callers can classify
+// trace integrity failures with errors.Is(err, ErrCorrupt).
+var ErrCorrupt = errors.New("trace: corrupt trace")
+
+// CorruptError reports a deterministic integrity failure while decoding a
+// binary trace: truncation, a checksum mismatch, or a malformed frame.
+type CorruptError struct {
+	// Offset is the byte offset (from the start of the stream, including
+	// the magic) at which the corruption was detected.
+	Offset int64
+	// Records is how many references were successfully decoded and
+	// delivered to the consumer before the failure.
+	Records uint64
+	// Reason describes the specific failure.
+	Reason string
+}
+
+// Error renders the failure with its location and the salvaged prefix.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("trace: corrupt trace at byte %d (%d records decoded): %s",
+		e.Offset, e.Records, e.Reason)
+}
+
+// Unwrap ties the error to the ErrCorrupt sentinel.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
 
 // Writer streams references to an io.Writer in binary form. It implements
 // Consumer and EpochConsumer, so it can sit anywhere a simulator can —
-// including inside a Tee next to one.
+// including inside a Tee next to one. Call Flush when done and check its
+// error (or Err at any point): a full disk or closed pipe otherwise
+// truncates the trace silently.
 type Writer struct {
 	w        *bufio.Writer
+	v1       bool
+	chunk    []byte // pending WST2 chunk payload
+	chunkRec uint32 // references (not epochs) in the pending chunk
 	lastAddr map[int]uint64
 	curPE    int
 	curSize  uint32
 	started  bool
+	finished bool
 	err      error
 	records  uint64
 }
 
-// NewWriter starts a binary trace on w.
-func NewWriter(w io.Writer) (*Writer, error) {
+// NewWriter starts a WST2 binary trace on w.
+func NewWriter(w io.Writer) (*Writer, error) { return newWriter(w, false) }
+
+// NewWriterV1 starts a legacy WST1 trace on w. The legacy format has no
+// integrity framing; it exists so compatibility with old traces stays
+// testable. New captures should use NewWriter.
+func NewWriterV1(w io.Writer) (*Writer, error) { return newWriter(w, true) }
+
+func newWriter(w io.Writer, v1 bool) (*Writer, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.Write(binaryMagic[:]); err != nil {
+	magic := magicV2
+	if v1 {
+		magic = magicV1
+	}
+	if _, err := bw.Write(magic[:]); err != nil {
 		return nil, fmt.Errorf("trace: writing magic: %w", err)
 	}
 	return &Writer{
 		w:        bw,
+		v1:       v1,
 		lastAddr: make(map[int]uint64),
 		curPE:    -1,
 	}, nil
@@ -56,12 +138,18 @@ func NewWriter(w io.Writer) (*Writer, error) {
 // Records reports how many references have been written.
 func (t *Writer) Records() uint64 { return t.records }
 
-// Err reports the first write error, if any.
+// Err reports the first write error, if any. Writer implements Stopper, so
+// kernels polling Canceled on a sink chain that ends in a Writer stop as
+// soon as the underlying file goes bad.
 func (t *Writer) Err() error { return t.err }
 
 // Ref encodes one reference.
 func (t *Writer) Ref(r Ref) {
 	if t.err != nil {
+		return
+	}
+	if t.finished {
+		t.err = errors.New("trace: write after Flush")
 		return
 	}
 	var hdr byte
@@ -75,20 +163,22 @@ func (t *Writer) Ref(r Ref) {
 		hdr |= 4
 	}
 	t.started = true
-	t.writeByte(hdr)
+	t.appendByte(hdr)
 	if hdr&2 != 0 {
-		t.writeUvarint(uint64(r.PE))
+		t.appendUvarint(uint64(r.PE))
 		t.curPE = r.PE
 	}
 	if hdr&4 != 0 {
-		t.writeUvarint(uint64(r.Size))
+		t.appendUvarint(uint64(r.Size))
 		t.curSize = r.Size
 	}
 	prev := t.lastAddr[r.PE]
 	delta := int64(r.Addr) - int64(prev)
-	t.writeUvarint(zigzag(delta))
+	t.appendUvarint(zigzag(delta))
 	t.lastAddr[r.PE] = r.Addr
 	t.records++
+	t.chunkRec++
+	t.maybeSealChunk()
 }
 
 // BeginEpoch encodes an epoch boundary.
@@ -96,54 +186,165 @@ func (t *Writer) BeginEpoch(n int) {
 	if t.err != nil {
 		return
 	}
-	t.writeByte(8)
-	t.writeUvarint(uint64(n))
+	if t.finished {
+		t.err = errors.New("trace: write after Flush")
+		return
+	}
+	t.appendByte(8)
+	t.appendUvarint(uint64(n))
+	t.maybeSealChunk()
 }
 
-// Flush drains buffered output. Call it (and check Err) when done.
+// Flush finalizes the trace — the pending chunk and the end-of-trace
+// marker are written — and drains buffered output. Call it exactly once
+// when done and check its error; a WST2 stream without its end marker
+// replays as truncated, which is the point.
 func (t *Writer) Flush() error {
 	if t.err != nil {
 		return t.err
 	}
-	return t.w.Flush()
+	if !t.v1 && !t.finished {
+		t.sealChunk()
+		var zero [4]byte
+		if _, err := t.w.Write(zero[:]); err != nil {
+			t.err = err
+			return t.err
+		}
+	}
+	t.finished = true
+	if err := t.w.Flush(); err != nil {
+		t.err = err
+	}
+	return t.err
 }
 
-func (t *Writer) writeByte(b byte) {
-	if err := t.w.WriteByte(b); err != nil {
-		t.err = err
+// appendByte and appendUvarint buffer into the pending chunk (WST2) or
+// write through (WST1).
+func (t *Writer) appendByte(b byte) {
+	if t.v1 {
+		if err := t.w.WriteByte(b); err != nil {
+			t.err = err
+		}
+		return
+	}
+	t.chunk = append(t.chunk, b)
+}
+
+func (t *Writer) appendUvarint(v uint64) {
+	if t.v1 {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], v)
+		if _, err := t.w.Write(buf[:n]); err != nil {
+			t.err = err
+		}
+		return
+	}
+	t.chunk = binary.AppendUvarint(t.chunk, v)
+}
+
+func (t *Writer) maybeSealChunk() {
+	if !t.v1 && len(t.chunk) >= chunkTarget {
+		t.sealChunk()
 	}
 }
 
-func (t *Writer) writeUvarint(v uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	if _, err := t.w.Write(buf[:n]); err != nil {
-		t.err = err
+// sealChunk frames and writes the pending payload: length, record count,
+// CRC-32C, payload.
+func (t *Writer) sealChunk() {
+	if t.err != nil || len(t.chunk) == 0 {
+		return
 	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(t.chunk)))
+	binary.LittleEndian.PutUint32(hdr[4:8], t.chunkRec)
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(t.chunk, crcTable))
+	if _, err := t.w.Write(hdr[:]); err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(t.chunk); err != nil {
+		t.err = err
+		return
+	}
+	t.chunk = t.chunk[:0]
+	t.chunkRec = 0
 }
 
 func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
+// decodeState carries the cross-record decoder context; it persists across
+// WST2 chunk boundaries because the writer's delta state does too.
+type decodeState struct {
+	lastAddr map[int]uint64
+	curPE    int
+	curSize  uint32
+}
+
+func newDecodeState() *decodeState {
+	return &decodeState{lastAddr: make(map[int]uint64), curPE: -1}
+}
+
+// byteCounter is an io.ByteReader that tracks its offset, so legacy WST1
+// decode errors can still report where they happened.
+type byteCounter struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (b *byteCounter) ReadByte() (byte, error) {
+	c, err := b.br.ReadByte()
+	if err == nil {
+		b.off++
+	}
+	return c, err
+}
+
 // Replay decodes a binary trace from r and delivers it to sink (epoch
-// markers go to sink's BeginEpoch when it implements EpochConsumer).
-// It returns the number of references replayed.
+// markers go to sink's BeginEpoch when it implements EpochConsumer). It
+// returns the number of references replayed.
+//
+// WST2 streams are integrity-checked chunk by chunk: truncation, checksum
+// mismatches and malformed frames return a *CorruptError (matching
+// errors.Is(err, ErrCorrupt)) carrying the byte offset of the failure and
+// the number of references already delivered. A corrupt chunk delivers
+// nothing — references reach sink only after their chunk's CRC verifies.
+// Legacy WST1 streams replay with their historical best-effort semantics
+// (EOF at a record boundary ends the trace); mid-record truncation is
+// reported as a *CorruptError there too.
 func Replay(r io.Reader, sink Consumer) (uint64, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
+	if n, err := io.ReadFull(br, magic[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, &CorruptError{Offset: int64(n), Reason: "truncated magic"}
+		}
 		return 0, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if magic != binaryMagic {
-		return 0, fmt.Errorf("trace: bad magic %q", magic[:])
+	switch magic {
+	case magicV1:
+		return replayV1(br, sink)
+	case magicV2:
+		return replayV2(br, sink)
+	default:
+		return 0, &CorruptError{Offset: 0, Reason: fmt.Sprintf("bad magic %q", magic[:])}
 	}
+}
+
+// replayV1 decodes the legacy unframed stream.
+func replayV1(br *bufio.Reader, sink Consumer) (uint64, error) {
 	ec, _ := sink.(EpochConsumer)
-	lastAddr := make(map[int]uint64)
-	curPE := -1
-	var curSize uint32
+	st := newDecodeState()
+	in := &byteCounter{br: br, off: 4}
 	var count uint64
+	corrupt := func(reason string, err error) (uint64, error) {
+		if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+			return count, fmt.Errorf("trace: %s: %w", reason, err)
+		}
+		return count, &CorruptError{Offset: in.off, Records: count, Reason: "truncated " + reason}
+	}
 	for {
-		hdr, err := br.ReadByte()
+		hdr, err := in.ReadByte()
 		if err == io.EOF {
 			return count, nil
 		}
@@ -151,43 +352,136 @@ func Replay(r io.Reader, sink Consumer) (uint64, error) {
 			return count, err
 		}
 		if hdr&8 != 0 {
-			n, err := binary.ReadUvarint(br)
+			n, err := binary.ReadUvarint(in)
 			if err != nil {
-				return count, fmt.Errorf("trace: epoch: %w", err)
+				return corrupt("epoch", err)
 			}
 			if ec != nil {
 				ec.BeginEpoch(int(n))
 			}
 			continue
 		}
-		if hdr&2 != 0 {
-			pe, err := binary.ReadUvarint(br)
-			if err != nil {
-				return count, fmt.Errorf("trace: pe: %w", err)
-			}
-			curPE = int(pe)
+		r, cerr, err := decodeRef(in, hdr, st)
+		if cerr != "" || err != nil {
+			return corrupt(cerr, err)
 		}
-		if hdr&4 != 0 {
-			sz, err := binary.ReadUvarint(br)
-			if err != nil {
-				return count, fmt.Errorf("trace: size: %w", err)
-			}
-			curSize = uint32(sz)
-		}
-		if curPE < 0 {
-			return count, fmt.Errorf("trace: record before any PE header")
-		}
-		du, err := binary.ReadUvarint(br)
-		if err != nil {
-			return count, fmt.Errorf("trace: addr: %w", err)
-		}
-		addr := uint64(int64(lastAddr[curPE]) + unzigzag(du))
-		lastAddr[curPE] = addr
-		kind := Read
-		if hdr&1 != 0 {
-			kind = Write
-		}
-		sink.Ref(Ref{PE: curPE, Addr: addr, Size: curSize, Kind: kind})
+		sink.Ref(r)
 		count++
+	}
+}
+
+// decodeRef reads one non-epoch record body following hdr. It returns a
+// short field name when the input ended inside the record.
+func decodeRef(in io.ByteReader, hdr byte, st *decodeState) (Ref, string, error) {
+	if hdr&2 != 0 {
+		pe, err := binary.ReadUvarint(in)
+		if err != nil {
+			return Ref{}, "pe", err
+		}
+		st.curPE = int(pe)
+	}
+	if hdr&4 != 0 {
+		sz, err := binary.ReadUvarint(in)
+		if err != nil {
+			return Ref{}, "size", err
+		}
+		st.curSize = uint32(sz)
+	}
+	if st.curPE < 0 {
+		return Ref{}, "record before any PE header", nil
+	}
+	du, err := binary.ReadUvarint(in)
+	if err != nil {
+		return Ref{}, "addr", err
+	}
+	addr := uint64(int64(st.lastAddr[st.curPE]) + unzigzag(du))
+	st.lastAddr[st.curPE] = addr
+	kind := Read
+	if hdr&1 != 0 {
+		kind = Write
+	}
+	return Ref{PE: st.curPE, Addr: addr, Size: st.curSize, Kind: kind}, "", nil
+}
+
+// replayV2 decodes the CRC-framed chunk stream.
+func replayV2(br *bufio.Reader, sink Consumer) (uint64, error) {
+	ec, _ := sink.(EpochConsumer)
+	st := newDecodeState()
+	offset := int64(4)
+	var count uint64
+	var payload []byte
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(br, hdr[:4]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return count, &CorruptError{Offset: offset, Records: count,
+					Reason: "truncated before end-of-trace marker"}
+			}
+			return count, err
+		}
+		plen := binary.LittleEndian.Uint32(hdr[:4])
+		if plen == 0 {
+			return count, nil // end-of-trace marker
+		}
+		if plen > maxChunkPayload {
+			return count, &CorruptError{Offset: offset, Records: count,
+				Reason: fmt.Sprintf("implausible chunk length %d", plen)}
+		}
+		if _, err := io.ReadFull(br, hdr[4:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return count, &CorruptError{Offset: offset, Records: count,
+					Reason: "truncated chunk header"}
+			}
+			return count, err
+		}
+		wantRecs := binary.LittleEndian.Uint32(hdr[4:8])
+		wantCRC := binary.LittleEndian.Uint32(hdr[8:12])
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return count, &CorruptError{Offset: offset, Records: count,
+					Reason: "truncated chunk payload"}
+			}
+			return count, err
+		}
+		if got := crc32.Checksum(payload, crcTable); got != wantCRC {
+			return count, &CorruptError{Offset: offset, Records: count,
+				Reason: fmt.Sprintf("checksum mismatch (have %08x, frame says %08x)", got, wantCRC)}
+		}
+		// The checksum verified, so decode-and-deliver in one pass; any
+		// inconsistency past this point is a malformed frame, not payload
+		// damage, and still reports deterministically.
+		in := bytes.NewReader(payload)
+		var chunkRecs uint32
+		for in.Len() > 0 {
+			hb, _ := in.ReadByte()
+			if hb&8 != 0 {
+				n, err := binary.ReadUvarint(in)
+				if err != nil {
+					return count, &CorruptError{Offset: offset, Records: count,
+						Reason: "malformed epoch record in verified chunk"}
+				}
+				if ec != nil {
+					ec.BeginEpoch(int(n))
+				}
+				continue
+			}
+			r, cerr, err := decodeRef(in, hb, st)
+			if cerr != "" || err != nil {
+				return count, &CorruptError{Offset: offset, Records: count,
+					Reason: "malformed record in verified chunk"}
+			}
+			sink.Ref(r)
+			count++
+			chunkRecs++
+		}
+		if chunkRecs != wantRecs {
+			return count, &CorruptError{Offset: offset, Records: count,
+				Reason: fmt.Sprintf("chunk decoded %d records, frame says %d", chunkRecs, wantRecs)}
+		}
+		offset += 12 + int64(plen)
 	}
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -148,6 +149,260 @@ func TestReplayErrors(t *testing.T) {
 	if n, err := Replay(&empty, Discard); err != nil || n != 0 {
 		t.Errorf("empty trace: n=%d err=%v", n, err)
 	}
+}
+
+// buildV2 encodes refs (an epoch every 100) and returns the bytes.
+func buildV2(t *testing.T, refs []Ref) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range refs {
+		if i%100 == 0 {
+			w.BeginEpoch(i / 100)
+		}
+		w.Ref(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// genRefs makes a deterministic stream of refs large enough to span
+// multiple 32 KB chunks when n is big.
+func genRefs(n int) []Ref {
+	rng := rand.New(rand.NewSource(7))
+	refs := make([]Ref, n)
+	for i := range refs {
+		kind := Read
+		if rng.Intn(3) == 0 {
+			kind = Write
+		}
+		refs[i] = Ref{
+			PE:   rng.Intn(16),
+			Addr: uint64(rng.Int63n(1 << 44)),
+			Size: uint32(1 + rng.Intn(128)),
+			Kind: kind,
+		}
+	}
+	return refs
+}
+
+// TestBinaryMultiChunk verifies that decoder delta state survives chunk
+// boundaries: a stream far larger than one chunk round-trips exactly.
+func TestBinaryMultiChunk(t *testing.T) {
+	in := genRefs(60000) // ~8 bytes/ref >> 32 KB chunk target
+	enc := buildV2(t, in)
+	if len(enc) < 2*chunkTarget {
+		t.Fatalf("trace only %d bytes; does not exercise multiple chunks", len(enc))
+	}
+	var out collect
+	n, err := Replay(bytes.NewReader(enc), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(in)) {
+		t.Fatalf("replayed %d refs, want %d", n, len(in))
+	}
+	for i := range in {
+		if out.refs[i] != in[i] {
+			t.Fatalf("ref %d: got %+v want %+v", i, out.refs[i], in[i])
+		}
+	}
+}
+
+func TestReplayTruncatedV2(t *testing.T) {
+	in := genRefs(60000)
+	enc := buildV2(t, in)
+	for _, cut := range []int{
+		len(enc) - 4,  // end-of-trace marker gone
+		len(enc) / 2,  // mid-chunk
+		len(enc) - 20, // inside the final chunk's frame
+		5,             // inside the very first chunk header
+	} {
+		var out collect
+		_, err := Replay(bytes.NewReader(enc[:cut]), &out)
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("cut at %d: err = %v, want *CorruptError", cut, err)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut at %d: err does not match ErrCorrupt", cut)
+		}
+		if ce.Offset < 0 || ce.Offset > int64(cut) {
+			t.Fatalf("cut at %d: implausible offset %d", cut, ce.Offset)
+		}
+		// Whatever was delivered before the error must be a correct prefix.
+		if ce.Records != uint64(len(out.refs)) {
+			t.Fatalf("cut at %d: error says %d records, sink saw %d",
+				cut, ce.Records, len(out.refs))
+		}
+		for i, r := range out.refs {
+			if r != in[i] {
+				t.Fatalf("cut at %d: delivered ref %d corrupted", cut, i)
+			}
+		}
+	}
+}
+
+func TestReplayBitFlipV2(t *testing.T) {
+	in := genRefs(60000)
+	enc := buildV2(t, in)
+	// Flip one bit inside each of a few chunk payloads. Offsets beyond the
+	// first chunk land mid-stream; all must be caught by the CRC before any
+	// ref from the damaged chunk is delivered.
+	for _, pos := range []int{4 + 12 + 10, len(enc) / 3, 2 * len(enc) / 3} {
+		bad := append([]byte(nil), enc...)
+		bad[pos] ^= 0x10
+		var out collect
+		_, err := Replay(bytes.NewReader(bad), &out)
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			// A flip can also land in a frame header; still must error.
+			if err == nil {
+				t.Fatalf("flip at %d: corruption not detected", pos)
+			}
+			continue
+		}
+		if ce.Records != uint64(len(out.refs)) {
+			t.Fatalf("flip at %d: error says %d records, sink saw %d",
+				pos, ce.Records, len(out.refs))
+		}
+		for i, r := range out.refs {
+			if r != in[i] {
+				t.Fatalf("flip at %d: delivered ref %d corrupted", pos, i)
+			}
+		}
+	}
+}
+
+func TestReplayV1Compat(t *testing.T) {
+	in := genRefs(3000)
+	var buf bytes.Buffer
+	w, err := NewWriterV1(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.BeginEpoch(0)
+	for _, r := range in {
+		w.Ref(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	if !bytes.HasPrefix(enc, []byte("WST1")) {
+		t.Fatalf("legacy writer produced magic %q", enc[:4])
+	}
+
+	var out collect
+	n, err := Replay(bytes.NewReader(enc), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(in)) {
+		t.Fatalf("replayed %d refs, want %d", n, len(in))
+	}
+	for i := range in {
+		if out.refs[i] != in[i] {
+			t.Fatalf("ref %d mismatch", i)
+		}
+	}
+
+	// Mid-record truncation of a legacy stream is still a typed error with
+	// the decoded count.
+	var out2 collect
+	_, err = Replay(bytes.NewReader(enc[:len(enc)-3]), &out2)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("truncated V1 err = %v, want *CorruptError", err)
+	}
+	if ce.Records != uint64(len(out2.refs)) {
+		t.Fatalf("V1 truncation: error says %d records, sink saw %d",
+			ce.Records, len(out2.refs))
+	}
+}
+
+func TestWriterAfterFlush(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Ref(Ref{PE: 0, Addr: 8, Size: 8, Kind: Read})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	w.Ref(Ref{PE: 0, Addr: 16, Size: 8, Kind: Read})
+	if w.Err() == nil {
+		t.Fatal("Ref after Flush should set the writer error")
+	}
+}
+
+func TestCorruptErrorRendering(t *testing.T) {
+	err := &CorruptError{Offset: 42, Records: 7, Reason: "checksum mismatch"}
+	msg := err.Error()
+	for _, want := range []string{"42", "7", "checksum mismatch"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("CorruptError message %q missing %q", msg, want)
+		}
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Error("CorruptError must unwrap to ErrCorrupt")
+	}
+}
+
+// FuzzReplay throws arbitrary bytes at the decoder: it must never panic,
+// and on WST2 input must never deliver a ref that CRC framing did not
+// cover (checked implicitly by not crashing; integrity is covered by the
+// directed tests above).
+func FuzzReplay(f *testing.F) {
+	// Valid WST2.
+	var v2 bytes.Buffer
+	w, _ := NewWriter(&v2)
+	w.BeginEpoch(0)
+	for i := 0; i < 300; i++ {
+		w.Ref(Ref{PE: i % 4, Addr: uint64(i) * 8, Size: 8, Kind: Kind(i % 2)})
+	}
+	w.Flush()
+	f.Add(v2.Bytes())
+	// Truncated WST2.
+	f.Add(v2.Bytes()[:v2.Len()/2])
+	// Bit-flipped WST2.
+	flipped := append([]byte(nil), v2.Bytes()...)
+	flipped[v2.Len()/2] ^= 0x40
+	f.Add(flipped)
+	// Valid WST1.
+	var v1 bytes.Buffer
+	w1, _ := NewWriterV1(&v1)
+	for i := 0; i < 300; i++ {
+		w1.Ref(Ref{PE: i % 4, Addr: uint64(i) * 16, Size: 8, Kind: Kind(i % 2)})
+	}
+	w1.Flush()
+	f.Add(v1.Bytes())
+	// Truncated and bit-flipped WST1.
+	f.Add(v1.Bytes()[:v1.Len()-2])
+	flipped1 := append([]byte(nil), v1.Bytes()...)
+	flipped1[v1.Len()/3] ^= 0x04
+	f.Add(flipped1)
+	// Degenerate inputs.
+	f.Add([]byte{})
+	f.Add([]byte("WST2"))
+	f.Add([]byte("WST1"))
+	f.Add([]byte("nope"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out collect
+		n, err := Replay(bytes.NewReader(data), &out)
+		if err == nil && n != uint64(len(out.refs)) {
+			t.Fatalf("returned count %d but delivered %d refs", n, len(out.refs))
+		}
+		var ce *CorruptError
+		if errors.As(err, &ce) && ce.Records != uint64(len(out.refs)) {
+			t.Fatalf("CorruptError says %d records, sink saw %d",
+				ce.Records, len(out.refs))
+		}
+	})
 }
 
 func TestZigzag(t *testing.T) {

@@ -1,0 +1,74 @@
+package trace
+
+import "context"
+
+// Stopper is implemented by consumers that can ask the kernel driving them
+// to stop early: a context guard whose deadline passed, or a trace writer
+// whose underlying file went bad. Kernels poll Canceled at the top of their
+// long emission loops (per K iteration, per CG iteration, per FFT stage,
+// per time step, per ray-scheduling round) so a stuck or abandoned run
+// terminates within one loop body instead of running to completion.
+type Stopper interface {
+	// Err reports why the stream should stop, or nil to keep going.
+	Err() error
+}
+
+// Canceled polls sink for a reason to stop emitting. It returns nil for
+// sinks that never cancel (profilers, plain consumers, nil emitter chains).
+// The error is the sink's verbatim (context.DeadlineExceeded,
+// context.Canceled, or an I/O error from a trace writer), so callers can
+// classify it with errors.Is.
+func Canceled(sink Consumer) error {
+	if s, ok := sink.(Stopper); ok {
+		return s.Err()
+	}
+	return nil
+}
+
+// Guard binds a consumer to a context, giving every kernel cooperative
+// cancellation without changing its signature: wrap the sink, and the
+// kernel's Canceled polls observe the context's deadline or cancellation.
+type Guard struct {
+	ctx  context.Context
+	next Consumer
+}
+
+// WithContext wraps next so kernels polling Canceled observe ctx. A nil or
+// never-cancelable context (context.Background, context.TODO) returns next
+// unchanged — the guard costs nothing when there is nothing to guard. A nil
+// next guards Discard, which lets untraced kernel runs still be cancelled.
+func WithContext(ctx context.Context, next Consumer) Consumer {
+	if ctx == nil || ctx.Done() == nil {
+		if next == nil {
+			return Discard
+		}
+		return next
+	}
+	if next == nil {
+		next = Discard
+	}
+	return &Guard{ctx: ctx, next: next}
+}
+
+// Ref forwards r.
+func (g *Guard) Ref(r Ref) { g.next.Ref(r) }
+
+// BeginEpoch forwards the epoch boundary when the wrapped consumer cares.
+func (g *Guard) BeginEpoch(n int) {
+	if ec, ok := g.next.(EpochConsumer); ok {
+		ec.BeginEpoch(n)
+	}
+}
+
+// Err reports the context's cancellation state, and after that the wrapped
+// consumer's own stop reason (so a Guard around a Writer still surfaces
+// write errors).
+func (g *Guard) Err() error {
+	if err := g.ctx.Err(); err != nil {
+		return err
+	}
+	return Canceled(g.next)
+}
+
+var _ EpochConsumer = (*Guard)(nil)
+var _ Stopper = (*Guard)(nil)

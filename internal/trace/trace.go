@@ -7,7 +7,15 @@
 // of references) feasible.
 package trace
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidConfig is wrapped by every input-validation error this package
+// returns, so callers can classify bad-configuration failures with
+// errors.Is regardless of which constructor rejected the input.
+var ErrInvalidConfig = errors.New("trace: invalid configuration")
 
 // Kind distinguishes loads from stores.
 type Kind uint8
@@ -131,6 +139,17 @@ func (t Tee) BeginEpoch(n int) {
 	}
 }
 
+// Err reports the first member's stop reason, so cancellation and write
+// errors propagate through a fan-out.
+func (t Tee) Err() error {
+	for _, c := range t {
+		if err := Canceled(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // PEFilter forwards only references issued by a single processor.
 // The paper measures per-processor working sets; wrapping a profiler in a
 // PEFilter focuses it on one processor's stream.
@@ -152,6 +171,9 @@ func (f PEFilter) BeginEpoch(n int) {
 		ec.BeginEpoch(n)
 	}
 }
+
+// Err reports the wrapped consumer's stop reason.
+func (f PEFilter) Err() error { return Canceled(f.Next) }
 
 // Counter tallies a stream without simulating anything.
 type Counter struct {

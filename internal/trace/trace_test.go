@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -95,7 +96,7 @@ func TestArenaDisjoint(t *testing.T) {
 		var got []rng
 		for _, s := range sizes {
 			size := uint64(s%64) + 1
-			base := a.Alloc(size, 8)
+			base := a.MustAlloc(size, 8)
 			if base%8 != 0 {
 				return false
 			}
@@ -115,8 +116,13 @@ func TestArenaDisjoint(t *testing.T) {
 
 func TestArenaAlignment(t *testing.T) {
 	var a Arena
-	a.Alloc(3, 8)
-	base := a.Alloc(8, 64)
+	if _, err := a.Alloc(3, 8); err != nil {
+		t.Fatal(err)
+	}
+	base, err := a.Alloc(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if base%64 != 0 {
 		t.Fatalf("base %d not 64-aligned", base)
 	}
@@ -125,14 +131,17 @@ func TestArenaAlignment(t *testing.T) {
 	}
 }
 
-func TestArenaBadAlignmentPanics(t *testing.T) {
+func TestArenaBadAlignment(t *testing.T) {
+	var a Arena
+	if _, err := a.Alloc(8, 3); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("Alloc(8, 3) err = %v, want ErrInvalidConfig", err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic for non-power-of-two alignment")
+			t.Fatal("expected MustAlloc panic for non-power-of-two alignment")
 		}
 	}()
-	var a Arena
-	a.Alloc(8, 3)
+	a.MustAlloc(8, 3)
 }
 
 func TestVecAddressing(t *testing.T) {

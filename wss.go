@@ -15,6 +15,7 @@
 package wss
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -31,7 +32,8 @@ import (
 type (
 	// Experiment is one reproducible artifact (figure or table).
 	Experiment = core.Experiment
-	// Options tunes a run; set Quick for second-scale problem sizes.
+	// Options tunes a run; set Quick for second-scale problem sizes, Ctx
+	// for cooperative cancellation, Timeout for a per-run deadline.
 	Options = core.Options
 	// Report is an experiment's structured output.
 	Report = core.Report
@@ -39,6 +41,30 @@ type (
 	Figure = core.Figure
 	// Table is a titled text grid.
 	Table = core.Table
+
+	// SuiteOptions tunes RunSuite (workers, retries, per-run options).
+	SuiteOptions = core.SuiteOptions
+	// SuiteResult is one experiment's outcome within a suite run.
+	SuiteResult = core.SuiteResult
+	// SuiteReport aggregates a suite run: successes plus typed failures.
+	SuiteReport = core.SuiteReport
+	// DeadlineError reports a timed-out experiment; its Partial field
+	// carries any Report data assembled before the deadline.
+	DeadlineError = core.DeadlineError
+	// PanicError reports a panic recovered from an experiment, with the
+	// captured stack.
+	PanicError = core.PanicError
+	// CorruptError reports a deterministic binary-trace integrity failure
+	// with its byte offset and the records decoded before it.
+	CorruptError = trace.CorruptError
+)
+
+// Typed failure sentinels, for errors.Is classification.
+var (
+	// ErrDeadline matches experiments that exceeded their deadline.
+	ErrDeadline = core.ErrDeadline
+	// ErrCorrupt matches corrupt or truncated binary traces.
+	ErrCorrupt = trace.ErrCorrupt
 )
 
 // Experiments lists every artifact in paper order.
@@ -48,11 +74,26 @@ func Experiments() []Experiment { return core.Registry() }
 // "fig6", "fig6dm", "fig7", "table1", "table2", "machines", "grain",
 // "scalingbh", "cost").
 func Run(id string, opt Options) (*Report, error) {
+	return RunContext(context.Background(), id, opt)
+}
+
+// RunContext is Run under a context: the run is hardened (panic recovery,
+// Options.Timeout mapped to ErrDeadline) and stops cooperatively when ctx
+// is cancelled.
+func RunContext(ctx context.Context, id string, opt Options) (*Report, error) {
 	e, ok := core.Find(id)
 	if !ok {
 		return nil, fmt.Errorf("wss: unknown experiment %q", id)
 	}
-	return e.Run(opt)
+	return core.Execute(ctx, e, opt)
+}
+
+// RunSuite executes experiments in a bounded worker pool with panic
+// isolation, per-experiment deadlines, and retry-with-backoff for failures
+// marked transient — degrading gracefully: every successful Report is
+// returned alongside typed errors for the failures.
+func RunSuite(ctx context.Context, experiments []Experiment, opt SuiteOptions) *SuiteReport {
+	return core.RunSuite(ctx, experiments, opt)
 }
 
 // RunAndRender executes an experiment and writes its text rendering to w.
@@ -108,18 +149,21 @@ const (
 // NewEmitter builds an emitter issuing as processor pe into sink.
 func NewEmitter(pe int, sink Consumer) *Emitter { return trace.NewEmitter(pe, sink) }
 
-// NewStackProfiler builds a profiler with the given line size in bytes.
-func NewStackProfiler(lineSize uint32) *StackProfiler {
+// NewStackProfiler builds a profiler with the given line size in bytes
+// (a power of two; invalid sizes return an error).
+func NewStackProfiler(lineSize uint32) (*StackProfiler, error) {
 	return cache.NewStackProfiler(lineSize)
 }
 
 // NewLRU builds a fully associative LRU cache of capacityLines lines.
-func NewLRU(capacityLines int, lineSize uint32) *LRU {
+// Invalid configurations return an error.
+func NewLRU(capacityLines int, lineSize uint32) (*LRU, error) {
 	return cache.NewLRU(capacityLines, lineSize)
 }
 
-// NewDirectMapped builds a direct-mapped cache.
-func NewDirectMapped(capacityLines int, lineSize uint32) *SetAssoc {
+// NewDirectMapped builds a direct-mapped cache. Invalid configurations
+// return an error.
+func NewDirectMapped(capacityLines int, lineSize uint32) (*SetAssoc, error) {
 	return cache.NewDirectMapped(capacityLines, lineSize)
 }
 

@@ -41,7 +41,10 @@ func TestRunAndRenderTable2(t *testing.T) {
 func TestToolkitRoundTrip(t *testing.T) {
 	// A user-level working-set measurement through the public API only:
 	// stream a strided kernel into a profiler and find its knee.
-	p := NewStackProfiler(8)
+	p, err := NewStackProfiler(8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e := NewEmitter(0, consumerFunc(func(r Ref) {
 		p.Access(r.Addr, r.Size, r.Kind == Read)
 	}))
@@ -93,13 +96,25 @@ func TestMachineFacade(t *testing.T) {
 }
 
 func TestCacheFacades(t *testing.T) {
-	l := NewLRU(2, 8)
+	l, err := NewLRU(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	l.Access(0, true)
 	if !l.Contains(0) {
 		t.Error("LRU facade broken")
 	}
-	d := NewDirectMapped(4, 8)
+	d, err := NewDirectMapped(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d.Assoc() != 1 {
 		t.Error("direct-mapped facade broken")
+	}
+	if _, err := NewLRU(0, 8); err == nil {
+		t.Error("NewLRU(0, 8) should reject zero capacity")
+	}
+	if _, err := NewDirectMapped(4, 7); err == nil {
+		t.Error("NewDirectMapped with non-power-of-two line should error")
 	}
 }
