@@ -1,15 +1,26 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz
+.PHONY: check build vet fmt-check equivalence test race fuzz bench
 
-# Tier-1 gate: everything must build, vet clean, and pass under -race.
-check: build vet race
+# Tier-1 gate: everything must build, vet clean, be gofmt-formatted, pass
+# under -race, and the batched pipeline must remain bit-identical to the
+# legacy per-Ref path (short-mode equivalence run).
+check: build vet fmt-check race equivalence
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Block/fan-out delivery must produce the same statistics as per-Ref
+# delivery for every kernel (see internal/core/equivalence_test.go).
+equivalence:
+	$(GO) test -short -run 'TestBlockEquivalence|TestFanoutMatchesTee' ./internal/core/
 
 test:
 	$(GO) test ./...
@@ -20,3 +31,10 @@ race:
 # Longer-running decoder fuzz (30s), as used in CI's extended job.
 fuzz:
 	$(GO) test -fuzz=FuzzReplay -fuzztime=30s ./internal/trace/
+
+# Reference-delivery benchmarks for this refactor; results are archived in
+# BENCH_PR2.json for comparison against the numbers quoted in DESIGN.md.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkRefDelivery|BenchmarkFanout' \
+		-benchmem -count 1 -json . > BENCH_PR2.json
+	@grep -o '"Output":"[^"]*ns/op[^"]*"' BENCH_PR2.json | head -20

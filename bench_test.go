@@ -6,8 +6,10 @@ package wss
 // reproduction sweep, and `wsstudy all` prints the full-scale renderings.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"wsstudy/internal/apps/barneshut"
@@ -110,6 +112,128 @@ func BenchmarkAblationLRUBank(b *testing.B) {
 		bank.Curve()
 	}
 	b.ReportMetric(float64(len(addrs)), "refs/op")
+}
+
+// Reference-delivery benchmarks: the cost of moving the stream from the
+// kernel to the simulator, isolated from both. The captured LU trace is
+// recorded once and replayed through each delivery mechanism.
+
+var luTraceCache struct {
+	once sync.Once
+	refs []trace.Ref
+	err  error
+}
+
+// luTrace records one LU factorization's reference stream.
+func luTrace(b *testing.B) []trace.Ref {
+	b.Helper()
+	luTraceCache.once.Do(func() {
+		rec := &trace.Recorder{}
+		m := lu.NewBlockMatrix(64, 8, nil)
+		m.FillRandomDominant(1)
+		_, luTraceCache.err = lu.FactorTraced(m, lu.Grid{PR: 2, PC: 2}, rec)
+		luTraceCache.refs = rec.Refs
+	})
+	if luTraceCache.err != nil {
+		b.Fatal(luTraceCache.err)
+	}
+	return luTraceCache.refs
+}
+
+// BenchmarkRefDelivery measures the delivery chain `wstrace analyze`
+// runs — context guard → PEFilter → counting consumer — over the captured
+// LU trace. perRef is the legacy pipeline: every reference crosses the
+// chain as a cascade of virtual calls. block is the refactored pipeline:
+// one dispatch per DefaultBlockSize block, with the filter slicing out
+// contiguous same-PE runs instead of re-dispatching each reference.
+// batched pushes every reference through the kernel-boundary Batcher
+// (buffer append plus one block delivery per 512), so the three rows
+// separate buffering cost from delivery cost under an identical producer
+// loop. The refactor's headline requirement is block ≥ 2× perRef
+// throughput.
+func BenchmarkRefDelivery(b *testing.B) {
+	refs := luTrace(b)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b.Run("perRef", func(b *testing.B) {
+		var c trace.Counter
+		sink := trace.WithContext(ctx, trace.PEFilter{PE: 1, Next: &c})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range refs {
+				sink.Ref(refs[j])
+			}
+		}
+		b.ReportMetric(float64(len(refs)), "refs/op")
+	})
+	b.Run("block", func(b *testing.B) {
+		var c trace.BlockCounter
+		sink := trace.WithContext(ctx, trace.PEFilter{PE: 1, Next: &c})
+		blocks := trace.Blocks(refs, trace.DefaultBlockSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, blk := range blocks {
+				trace.Deliver(sink, blk)
+			}
+		}
+		b.ReportMetric(float64(len(refs)), "refs/op")
+	})
+	b.Run("batched", func(b *testing.B) {
+		var c trace.BlockCounter
+		batch := trace.NewBatcher(trace.WithContext(ctx, trace.PEFilter{PE: 1, Next: &c}))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range refs {
+				batch.Ref(refs[j])
+			}
+			batch.Flush()
+		}
+		b.ReportMetric(float64(len(refs)), "refs/op")
+	})
+}
+
+// benchProfilers builds four independent stack-distance profilers — the
+// fig6dm shape: one kernel run fanned out to simulators whose
+// per-reference work (Fenwick updates, hash lookups) dwarfs delivery
+// cost, which is exactly when concurrent fan-out pays.
+func benchProfilers(b *testing.B) []trace.Consumer {
+	b.Helper()
+	cs := make([]trace.Consumer, 4)
+	for i := range cs {
+		cs[i] = cache.MustStackProfiler(8)
+	}
+	return cs
+}
+
+// BenchmarkFanout compares serial Tee delivery against concurrent Fanout
+// delivery of the captured LU trace into four independent profilers.
+func BenchmarkFanout(b *testing.B) {
+	refs := luTrace(b)
+	blocks := trace.Blocks(refs, trace.DefaultBlockSize)
+	b.Run("tee", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tee := trace.Tee(benchProfilers(b))
+			for _, blk := range blocks {
+				tee.Refs(blk)
+			}
+		}
+		b.ReportMetric(float64(len(refs)), "refs/op")
+	})
+	b.Run("fanout", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fan, err := trace.NewFanout(benchProfilers(b)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, blk := range blocks {
+				fan.Refs(blk)
+			}
+			if err := fan.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(refs)), "refs/op")
+	})
 }
 
 // Kernel micro-benchmarks: raw application throughput, untraced and

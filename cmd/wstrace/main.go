@@ -215,13 +215,21 @@ func info(args []string) error {
 	return tw.Flush()
 }
 
-// epochCounter counts epoch markers while forwarding refs.
+// epochCounter counts epoch markers while forwarding refs. It accepts the
+// replayer's blocks natively so the tally loop pays one dispatch per block.
 type epochCounter struct {
 	fn     trace.Func
 	epochs *int
 }
 
-func (e epochCounter) Ref(r trace.Ref)  { e.fn(r) }
+func (e epochCounter) Ref(r trace.Ref) { e.fn(r) }
+
+func (e epochCounter) Refs(block []trace.Ref) {
+	for _, r := range block {
+		e.fn(r)
+	}
+}
+
 func (e epochCounter) BeginEpoch(_ int) { *e.epochs++ }
 
 // analyze replays a trace into a working-set profiler for one processor.
@@ -246,9 +254,10 @@ func analyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	sink := trace.PEFilter{PE: *pe, Next: trace.Func(func(r trace.Ref) {
-		prof.Access(r.Addr, r.Size, r.Kind == trace.Read)
-	})}
+	// The profiler is a trace.BlockConsumer, so the filtered stream flows
+	// from the replayer's blocks straight into it — no per-reference
+	// closure between the file and the simulator.
+	sink := trace.PEFilter{PE: *pe, Next: prof}
 	if _, err := trace.Replay(f, sink); err != nil {
 		return err
 	}

@@ -56,7 +56,7 @@ type Simulation struct {
 	lay    *layout
 	octs   []Octopole
 	em     []*trace.Emitter
-	sink   trace.Consumer
+	batch  *trace.Batcher
 	assign []int
 	byPE   [][]int
 	step   int
@@ -72,14 +72,14 @@ func NewSimulation(bodies []Body, cfg Config, sink trace.Consumer) (*Simulation,
 	s := &Simulation{
 		cfg:    cfg,
 		bodies: append([]Body(nil), bodies...),
-		sink:   sink,
+		batch:  trace.NewBatcher(sink),
 	}
 	// The cell pool never exceeds a small multiple of n in practice; the
 	// layout reserves a generous fixed region so addresses stay stable.
 	s.lay = newLayout(n, cfg.P, 4*n+64, nil)
 	s.em = make([]*trace.Emitter, cfg.P)
 	for pe := range s.em {
-		s.em[pe] = trace.NewEmitter(pe, sink)
+		s.em[pe] = s.batch.Emitter(pe)
 	}
 	return s, nil
 }
@@ -92,12 +92,11 @@ func (s *Simulation) Bodies() []Body { return s.bodies }
 // sink receives BeginEpoch(step) so cold-start exclusion can skip the
 // first steps, exactly as the paper does.
 func (s *Simulation) Step() (StepStats, error) {
-	if err := trace.Canceled(s.sink); err != nil {
+	if err := s.batch.Err(); err != nil {
 		return StepStats{}, fmt.Errorf("barneshut: step %d: %w", s.step, err)
 	}
-	if ec, ok := s.sink.(trace.EpochConsumer); ok {
-		ec.BeginEpoch(s.step)
-	}
+	defer s.batch.Flush()
+	s.batch.BeginEpoch(s.step)
 	s.step++
 	n := len(s.bodies)
 
@@ -140,7 +139,7 @@ func (s *Simulation) Step() (StepStats, error) {
 	// shows. Processors sweep their curve-ordered bodies.
 	stats := StepStats{Cells: len(s.tr.cells), Depth: s.tr.maxDepth(s.tr.root), BuildVisits: s.tr.buildVisits}
 	for pe := 0; pe < s.cfg.P; pe++ {
-		if err := trace.Canceled(s.sink); err != nil {
+		if err := s.batch.Err(); err != nil {
 			return stats, fmt.Errorf("barneshut: step %d force phase pe %d: %w", s.step-1, pe, err)
 		}
 		for _, bi := range s.byPE[pe] {
@@ -173,6 +172,7 @@ func (s *Simulation) Step() (StepStats, error) {
 // ComputeForcesOnly builds the tree and computes accelerations without
 // integrating — used by accuracy tests.
 func (s *Simulation) ComputeForcesOnly() (StepStats, error) {
+	defer s.batch.Flush()
 	s.assign, s.byPE = Partition(s.bodies, s.cfg.P)
 	s.tr.build(s.bodies)
 	s.tr.computeMoments(s.tr.root, s.bodies)

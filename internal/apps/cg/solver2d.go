@@ -30,7 +30,7 @@ type Solver2D struct {
 	x, b    []float64
 	r, p, q []float64
 	em      []*trace.Emitter
-	sink    trace.Consumer
+	batch   *trace.Batcher
 	tile    int // matvec sweep tile edge; 0 = plain row sweep
 }
 
@@ -47,11 +47,11 @@ func NewSolver2D(part *Partition2D, sink trace.Consumer) *Solver2D {
 		r:      make([]float64, n*n),
 		p:      make([]float64, n*n),
 		q:      make([]float64, n*n),
-		sink:   sink,
+		batch:  trace.NewBatcher(sink),
 	}
 	s.em = make([]*trace.Emitter, part.P())
 	for pe := range s.em {
-		s.em[pe] = trace.NewEmitter(pe, sink)
+		s.em[pe] = s.batch.Emitter(pe)
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -133,7 +133,7 @@ func (s *Solver2D) Solve(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("cg: MaxIters must be positive")
 	}
 	res := Result{}
-	ec, _ := s.sink.(trace.EpochConsumer)
+	defer s.batch.Flush()
 	n := s.part.N
 
 	// x = 0, r = b, p = r. Setup phase; counted as epoch -1 is avoided by
@@ -144,12 +144,10 @@ func (s *Solver2D) Solve(cfg Config) (Result, error) {
 	res.FLOPs += 2 * float64(n*n)
 
 	for iter := 0; iter < cfg.MaxIters; iter++ {
-		if err := trace.Canceled(s.sink); err != nil {
+		if err := s.batch.Err(); err != nil {
 			return res, fmt.Errorf("cg: iteration %d: %w", iter, err)
 		}
-		if ec != nil {
-			ec.BeginEpoch(iter)
-		}
+		s.batch.BeginEpoch(iter)
 		if rr == 0 {
 			// Exact solution already reached (e.g. the RHS was an
 			// eigenvector); a zero search direction is convergence, not

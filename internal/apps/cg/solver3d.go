@@ -16,7 +16,7 @@ type Solver3D struct {
 	x, b    []float64
 	r, p, q []float64
 	em      []*trace.Emitter
-	sink    trace.Consumer
+	batch   *trace.Batcher
 }
 
 // NewSolver3D builds the 3-D solver (diagonal 6, off-diagonals -1,
@@ -32,11 +32,11 @@ func NewSolver3D(part *Partition3D, sink trace.Consumer) *Solver3D {
 		r:      make([]float64, pts),
 		p:      make([]float64, pts),
 		q:      make([]float64, pts),
-		sink:   sink,
+		batch:  trace.NewBatcher(sink),
 	}
 	s.em = make([]*trace.Emitter, part.P())
 	for pe := range s.em {
-		s.em[pe] = trace.NewEmitter(pe, sink)
+		s.em[pe] = s.batch.Emitter(pe)
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -122,7 +122,7 @@ func (s *Solver3D) Solve(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("cg: MaxIters must be positive")
 	}
 	res := Result{}
-	ec, _ := s.sink.(trace.EpochConsumer)
+	defer s.batch.Flush()
 	pts := float64(len(s.x))
 
 	copy(s.r, s.b)
@@ -131,9 +131,10 @@ func (s *Solver3D) Solve(cfg Config) (Result, error) {
 	res.FLOPs += 2 * pts
 
 	for iter := 0; iter < cfg.MaxIters; iter++ {
-		if ec != nil {
-			ec.BeginEpoch(iter)
+		if err := s.batch.Err(); err != nil {
+			return res, fmt.Errorf("cg: iteration %d: %w", iter, err)
 		}
+		s.batch.BeginEpoch(iter)
 		if rr == 0 {
 			// Exact solution already reached (e.g. the RHS was an
 			// eigenvector); a zero search direction is convergence, not

@@ -239,7 +239,7 @@ type SolverU struct {
 	x, b    []float64
 	r, p, q []float64
 	em      []*trace.Emitter
-	sink    trace.Consumer
+	batch   *trace.Batcher
 }
 
 // NewSolverU builds the unstructured solver over mesh with the given
@@ -252,7 +252,7 @@ func NewSolverU(mesh *Mesh, assign []int, byPE [][]int, sink trace.Consumer) *So
 		x:    make([]float64, n), b: make([]float64, n),
 		r: make([]float64, n), p: make([]float64, n), q: make([]float64, n),
 		maxDeg: mesh.MaxDegree(),
-		sink:   sink,
+		batch:  trace.NewBatcher(sink),
 	}
 	var arena trace.Arena
 	s.bases = make([]uint64, len(byPE))
@@ -260,7 +260,7 @@ func NewSolverU(mesh *Mesh, assign []int, byPE [][]int, sink trace.Consumer) *So
 	for pe, list := range byPE {
 		// Per node: padded coefficient row (maxDeg+1) plus 5 vector slots.
 		s.bases[pe] = arena.AllocDW(uint64(len(list) * (s.maxDeg + 1 + numVecs)))
-		s.em[pe] = trace.NewEmitter(pe, sink)
+		s.em[pe] = s.batch.Emitter(pe)
 		for slot, v := range list {
 			s.slot[v] = slot
 		}
@@ -310,7 +310,7 @@ func (s *SolverU) Solve(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("cg: MaxIters must be positive")
 	}
 	res := Result{}
-	ec, _ := s.sink.(trace.EpochConsumer)
+	defer s.batch.Flush()
 	n := float64(s.mesh.N())
 
 	copy(s.r, s.b)
@@ -319,9 +319,10 @@ func (s *SolverU) Solve(cfg Config) (Result, error) {
 	res.FLOPs += 2 * n
 
 	for iter := 0; iter < cfg.MaxIters; iter++ {
-		if ec != nil {
-			ec.BeginEpoch(iter)
+		if err := s.batch.Err(); err != nil {
+			return res, fmt.Errorf("cg: iteration %d: %w", iter, err)
 		}
+		s.batch.BeginEpoch(iter)
 		if rr == 0 {
 			// Exact solution already reached (e.g. the RHS was an
 			// eigenvector); a zero search direction is convergence, not

@@ -52,7 +52,7 @@ type FFT2D struct {
 	twBase   uint64
 
 	em    []*trace.Emitter
-	sink  trace.Consumer
+	batch *trace.Batcher
 	flops float64
 }
 
@@ -62,7 +62,7 @@ func New2D(cfg Config2D, sink trace.Consumer) (*FFT2D, error) {
 		return nil, err
 	}
 	n := cfg.N()
-	f := &FFT2D{cfg: cfg, tw: newTwiddleTable(n), sink: sink}
+	f := &FFT2D{cfg: cfg, tw: newTwiddleTable(n), batch: trace.NewBatcher(sink)}
 	var arena trace.Arena
 	f.twBase = arena.AllocDW(uint64(n))
 	alloc := func() ([][]complex128, []uint64) {
@@ -78,7 +78,7 @@ func New2D(cfg Config2D, sink trace.Consumer) (*FFT2D, error) {
 	f.rowsT, f.rowTBase = alloc()
 	f.em = make([]*trace.Emitter, cfg.P)
 	for pe := range f.em {
-		f.em[pe] = trace.NewEmitter(pe, sink)
+		f.em[pe] = f.batch.Emitter(pe)
 	}
 	return f, nil
 }
@@ -113,9 +113,8 @@ func (f *FFT2D) owner(row int) int { return row / (f.cfg.N() / f.cfg.P) }
 // Run executes the transform: row FFTs, transpose, row FFTs (i.e. column
 // transforms), transpose back.
 func (f *FFT2D) Run() {
-	if ec, ok := f.sink.(trace.EpochConsumer); ok {
-		ec.BeginEpoch(0)
-	}
+	defer f.batch.Flush()
+	f.batch.BeginEpoch(0)
 	f.flops = 0
 	n := f.cfg.N()
 

@@ -50,7 +50,7 @@ type FFT3D struct {
 
 	twBase uint64
 	em     []*trace.Emitter
-	sink   trace.Consumer
+	batch  *trace.Batcher
 	flops  float64
 }
 
@@ -60,7 +60,7 @@ func New3D(cfg Config3D, sink trace.Consumer) (*FFT3D, error) {
 		return nil, err
 	}
 	n := cfg.N()
-	f := &FFT3D{cfg: cfg, tw: newTwiddleTable(n), sink: sink}
+	f := &FFT3D{cfg: cfg, tw: newTwiddleTable(n), batch: trace.NewBatcher(sink)}
 	var arena trace.Arena
 	f.twBase = arena.AllocDW(uint64(n))
 	alloc := func() ([][]complex128, []uint64) {
@@ -76,7 +76,7 @@ func New3D(cfg Config3D, sink trace.Consumer) (*FFT3D, error) {
 	f.tmp, f.tmpB = alloc()
 	f.em = make([]*trace.Emitter, cfg.P)
 	for pe := range f.em {
-		f.em[pe] = trace.NewEmitter(pe, sink)
+		f.em[pe] = f.batch.Emitter(pe)
 	}
 	return f, nil
 }
@@ -116,9 +116,8 @@ func (f *FFT3D) owner(i int) int { return i / (f.cfg.N() / f.cfg.P) }
 // axis, FFT, redistribute so i is the pencil axis, FFT, and restore the
 // original layout.
 func (f *FFT3D) Run() {
-	if ec, ok := f.sink.(trace.EpochConsumer); ok {
-		ec.BeginEpoch(0)
-	}
+	defer f.batch.Flush()
+	f.batch.BeginEpoch(0)
 	f.flops = 0
 	n := f.cfg.N()
 

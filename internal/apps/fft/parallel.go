@@ -58,7 +58,7 @@ type FFT struct {
 	twBase                       uint64
 
 	em    []*trace.Emitter
-	sink  trace.Consumer
+	batch *trace.Batcher
 	flops float64
 }
 
@@ -69,9 +69,9 @@ func New(cfg Config, sink trace.Consumer) (*FFT, error) {
 	}
 	n, p, d := cfg.N(), cfg.P, cfg.D()
 	f := &FFT{
-		cfg:  cfg,
-		tw:   newTwiddleTable(n),
-		sink: sink,
+		cfg:   cfg,
+		tw:    newTwiddleTable(n),
+		batch: trace.NewBatcher(sink),
 	}
 	var arena trace.Arena
 	f.twBase = arena.AllocDW(uint64(n)) // n/2 complex roots = n double words
@@ -89,7 +89,7 @@ func New(cfg Config, sink trace.Consumer) (*FFT, error) {
 	f.out, f.outBase = alloc()
 	f.em = make([]*trace.Emitter, p)
 	for pe := range f.em {
-		f.em[pe] = trace.NewEmitter(pe, sink)
+		f.em[pe] = f.batch.Emitter(pe)
 	}
 	return f, nil
 }
@@ -143,9 +143,8 @@ func (f *FFT) loadRoot(e *trace.Emitter, j int) complex128 {
 // sink's stop reason, when the sink reports cancellation between per-PE
 // phases (the output is then incomplete).
 func (f *FFT) Run() error {
-	if ec, ok := f.sink.(trace.EpochConsumer); ok {
-		ec.BeginEpoch(0)
-	}
+	defer f.batch.Flush()
+	f.batch.BeginEpoch(0)
 	f.flops = 0
 	p, d, n := f.cfg.P, f.cfg.D(), f.cfg.N()
 	dp := d / p
@@ -153,7 +152,7 @@ func (f *FFT) Run() error {
 	// Step 1: local D-point FFTs (log D stages, radix-blocked), then the
 	// step-2 twiddle scaling w_N^(p*k2).
 	for pe := 0; pe < p; pe++ {
-		if err := trace.Canceled(f.sink); err != nil {
+		if err := f.batch.Err(); err != nil {
 			return fmt.Errorf("fft: step 1 pe %d: %w", pe, err)
 		}
 		f.localFFT(f.local[pe], f.localBase[pe], f.em[pe], n/d)
@@ -169,7 +168,7 @@ func (f *FFT) Run() error {
 	// Exchange 1: receiver pulls. PE pe collects sequence j (global
 	// k2 = pe*dp + j) from every other processor.
 	for pe := 0; pe < p; pe++ {
-		if err := trace.Canceled(f.sink); err != nil {
+		if err := f.batch.Err(); err != nil {
 			return fmt.Errorf("fft: exchange 1 pe %d: %w", pe, err)
 		}
 		e := f.em[pe]
@@ -185,7 +184,7 @@ func (f *FFT) Run() error {
 
 	// Step 3: P-point FFTs on each received sequence.
 	for pe := 0; pe < p; pe++ {
-		if err := trace.Canceled(f.sink); err != nil {
+		if err := f.batch.Err(); err != nil {
 			return fmt.Errorf("fft: step 3 pe %d: %w", pe, err)
 		}
 		for j := 0; j < dp; j++ {
@@ -197,7 +196,7 @@ func (f *FFT) Run() error {
 	// Exchange 2: blocked redistribution of the spectrum. PE pe owns
 	// X[pe*D .. (pe+1)*D); X[k2 + D*k1] sits at recv[k2/dp][(k2%dp)*p+k1].
 	for pe := 0; pe < p; pe++ {
-		if err := trace.Canceled(f.sink); err != nil {
+		if err := f.batch.Err(); err != nil {
 			return fmt.Errorf("fft: exchange 2 pe %d: %w", pe, err)
 		}
 		e := f.em[pe]

@@ -96,16 +96,17 @@ func BandCholesky(m *BandMatrix, grid Grid, sink trace.Consumer) (TraceStats, er
 		return TraceStats{}, fmt.Errorf("lu: invalid grid %+v", grid)
 	}
 	p := grid.P()
+	batch := trace.NewBatcher(sink)
+	defer batch.Flush()
 	em := make([]*trace.Emitter, p)
 	for pe := range em {
-		em[pe] = trace.NewEmitter(pe, sink)
+		em[pe] = batch.Emitter(pe)
 	}
-	ec, _ := sink.(trace.EpochConsumer)
 	stats := TraceStats{FLOPsByPE: make([]float64, p), FLOPsByK: make([]float64, m.N)}
 
 	for i := 0; i < m.N; i++ {
-		if ec != nil && i%m.W == 0 {
-			ec.BeginEpoch(i / m.W)
+		if i%m.W == 0 {
+			batch.BeginEpoch(i / m.W)
 		}
 		owner := i % p
 		e := em[owner]

@@ -39,16 +39,15 @@ func cholesky(m *BlockMatrix, grid Grid, sink trace.Consumer) (TraceStats, error
 		FLOPsByPE: make([]float64, grid.P()),
 		FLOPsByK:  make([]float64, m.NB),
 	}
+	batch := trace.NewBatcher(sink)
+	defer batch.Flush()
 	emitters := make([]*trace.Emitter, grid.P())
 	for pe := range emitters {
-		emitters[pe] = trace.NewEmitter(pe, sink)
+		emitters[pe] = batch.Emitter(pe)
 	}
-	ec, _ := sink.(trace.EpochConsumer)
 
 	for k := 0; k < m.NB; k++ {
-		if ec != nil {
-			ec.BeginEpoch(k)
-		}
+		batch.BeginEpoch(k)
 		flops := 0.0
 		// Factor the diagonal block: A_kk = L_kk L_kk^T.
 		pe := grid.Owner(k, k)

@@ -51,19 +51,18 @@ func factor(m *BlockMatrix, grid Grid, sink trace.Consumer) (TraceStats, error) 
 		FLOPsByPE: make([]float64, grid.P()),
 		FLOPsByK:  make([]float64, m.NB),
 	}
+	batch := trace.NewBatcher(sink)
+	defer batch.Flush()
 	emitters := make([]*trace.Emitter, grid.P())
 	for pe := range emitters {
-		emitters[pe] = trace.NewEmitter(pe, sink)
+		emitters[pe] = batch.Emitter(pe)
 	}
-	ec, _ := sink.(trace.EpochConsumer)
 
 	for k := 0; k < m.NB; k++ {
-		if err := trace.Canceled(sink); err != nil {
+		if err := batch.Err(); err != nil {
 			return stats, fmt.Errorf("lu: K=%d: %w", k, err)
 		}
-		if ec != nil {
-			ec.BeginEpoch(k)
-		}
+		batch.BeginEpoch(k)
 		flops := 0.0
 		// Step 1: factor the diagonal block.
 		pe := grid.Owner(k, k)

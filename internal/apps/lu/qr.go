@@ -67,20 +67,19 @@ func QRFactor(a *Dense, grid Grid, sink trace.Consumer) (*QRResult, error) {
 		return nil, fmt.Errorf("lu: QR requires m >= n (got %dx%d)", a.M, a.N)
 	}
 	p := grid.P()
+	batch := trace.NewBatcher(sink)
+	defer batch.Flush()
 	em := make([]*trace.Emitter, p)
 	for pe := range em {
-		em[pe] = trace.NewEmitter(pe, sink)
+		em[pe] = batch.Emitter(pe)
 	}
-	ec, _ := sink.(trace.EpochConsumer)
 	v := NewDense(a.M, a.N, nil)
 	res := &QRResult{A: a, V: v}
 	res.Stats.FLOPsByPE = make([]float64, p)
 	res.Stats.FLOPsByK = make([]float64, a.N)
 
 	for j := 0; j < a.N; j++ {
-		if ec != nil {
-			ec.BeginEpoch(j)
-		}
+		batch.BeginEpoch(j)
 		owner := j % p
 		e := em[owner]
 		flops := 0.0

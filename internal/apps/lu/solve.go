@@ -23,9 +23,11 @@ func Solve(f *BlockMatrix, grid Grid, b []float64, sink trace.Consumer) ([]float
 	if grid.PR <= 0 || grid.PC <= 0 {
 		return nil, fmt.Errorf("lu: invalid grid %+v", grid)
 	}
+	batch := trace.NewBatcher(sink)
+	defer batch.Flush()
 	em := make([]*trace.Emitter, grid.P())
 	for pe := range em {
-		em[pe] = trace.NewEmitter(pe, sink)
+		em[pe] = batch.Emitter(pe)
 	}
 	// The solution vector lives in one contiguous region; which PE holds
 	// an element is irrelevant to the working-set story (the vector is

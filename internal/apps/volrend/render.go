@@ -49,11 +49,11 @@ type FrameStats struct {
 // gives each processor a contiguous pixel block, and idle processors
 // steal rays (the paper's load-balancing scheme).
 type Renderer struct {
-	vol  *Volume
-	oct  *mmOctree
-	cfg  Config
-	sink trace.Consumer
-	em   []*trace.Emitter
+	vol   *Volume
+	oct   *mmOctree
+	cfg   Config
+	batch *trace.Batcher
+	em    []*trace.Emitter
 
 	voxBase, octBase, imgBase uint64
 
@@ -70,11 +70,11 @@ func NewRenderer(vol *Volume, cfg Config, sink trace.Consumer) (*Renderer, error
 		cfg.TermOpacity = 0.95
 	}
 	r := &Renderer{
-		vol:  vol,
-		oct:  buildOctree(vol),
-		cfg:  cfg,
-		sink: sink,
-		img:  make([]float64, cfg.ImageW*cfg.ImageH),
+		vol:   vol,
+		oct:   buildOctree(vol),
+		cfg:   cfg,
+		batch: trace.NewBatcher(sink),
+		img:   make([]float64, cfg.ImageW*cfg.ImageH),
 	}
 	var arena trace.Arena
 	r.voxBase = arena.MustAlloc(uint64(vol.Voxels())*2, 8)
@@ -82,7 +82,7 @@ func NewRenderer(vol *Volume, cfg Config, sink trace.Consumer) (*Renderer, error
 	r.imgBase = arena.MustAlloc(uint64(cfg.ImageW*cfg.ImageH)*4, 8)
 	r.em = make([]*trace.Emitter, cfg.P)
 	for pe := range r.em {
-		r.em[pe] = trace.NewEmitter(pe, sink)
+		r.em[pe] = r.batch.Emitter(pe)
 	}
 	return r, nil
 }
@@ -122,9 +122,8 @@ type ray struct{ i, j int }
 // between scheduling rounds, returning the partial statistics and the
 // sink's stop reason.
 func (r *Renderer) RenderFrame(angle float64) (FrameStats, error) {
-	if ec, ok := r.sink.(trace.EpochConsumer); ok {
-		ec.BeginEpoch(r.frame)
-	}
+	defer r.batch.Flush()
+	r.batch.BeginEpoch(r.frame)
 	r.frame++
 	for i := range r.img {
 		r.img[i] = 0
@@ -152,7 +151,7 @@ func (r *Renderer) RenderFrame(angle float64) (FrameStats, error) {
 	// own queue; once empty it steals from the currently longest queue.
 	next := make([]int, r.cfg.P)
 	for {
-		if err := trace.Canceled(r.sink); err != nil {
+		if err := r.batch.Err(); err != nil {
 			return stats, fmt.Errorf("volrend: frame %d: %w", r.frame-1, err)
 		}
 		idle := 0

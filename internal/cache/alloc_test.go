@@ -1,0 +1,45 @@
+package cache
+
+import "testing"
+
+// cycleProfiler drives n references over a fixed working set of lines,
+// enough to trigger Fenwick-position compactions when n exceeds the tree
+// size.
+func cycleProfiler(p *StackProfiler, n, lines int) {
+	for i := 0; i < n; i++ {
+		p.Access(uint64(i%lines)*8, 8, true)
+	}
+}
+
+// TestCompactReusesAllocations pins down the steady-state allocation
+// behavior of the profiler: after warm-up (histograms grown, workspace and
+// tree sized), a window of references that includes a full compaction must
+// allocate nothing. Before the reuse of the compaction workspace and the
+// Fenwick tree, every compaction reallocated both — a half-megabyte of
+// garbage per ~64K references.
+func TestCompactReusesAllocations(t *testing.T) {
+	p := MustStackProfiler(8)
+	const lines = 1024
+	// Warm up past several compactions so every buffer reaches its
+	// steady-state size.
+	cycleProfiler(p, 3*initialFenwickSize, lines)
+	avg := testing.AllocsPerRun(5, func() {
+		cycleProfiler(p, initialFenwickSize, lines)
+	})
+	if avg > 2 {
+		t.Fatalf("steady-state window (with compaction) allocated %.1f times, want <= 2", avg)
+	}
+}
+
+// BenchmarkStackProfilerSteadyState reports the per-reference cost and
+// allocation count of the profiler at steady state, compactions included.
+func BenchmarkStackProfilerSteadyState(b *testing.B) {
+	p := MustStackProfiler(8)
+	const lines = 1024
+	cycleProfiler(p, 3*initialFenwickSize, lines)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Access(uint64(i%lines)*8, 8, true)
+	}
+}

@@ -87,6 +87,9 @@ func (c *SetAssoc) CapacityBytes() uint64 {
 // Assoc reports the associativity.
 func (c *SetAssoc) Assoc() int { return c.assoc }
 
+// LineSize reports the configured line size in bytes.
+func (c *SetAssoc) LineSize() uint32 { return c.lineSize }
+
 func (c *SetAssoc) setIndex(line uint64) int {
 	return int(line & uint64(c.sets-1))
 }

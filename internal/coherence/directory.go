@@ -108,6 +108,7 @@ type Stats struct {
 type Directory struct {
 	numPEs   int
 	lineSize uint32
+	shift    uint // log2(lineSize), precomputed once
 	lines    map[uint64]*lineState
 	caches   []Invalidator
 	stats    Stats
@@ -129,9 +130,14 @@ func NewDirectory(numPEs int, lineSize uint32, caches []Invalidator) (*Directory
 	if lineSize == 0 || lineSize&(lineSize-1) != 0 {
 		return nil, fmt.Errorf("%w: line size %d is not a power of two", ErrInvalidConfig, lineSize)
 	}
+	shift := uint(0)
+	for l := lineSize; l > 1; l >>= 1 {
+		shift++
+	}
 	return &Directory{
 		numPEs:   numPEs,
 		lineSize: lineSize,
+		shift:    shift,
 		lines:    make(map[uint64]*lineState),
 		caches:   caches,
 	}, nil
@@ -160,8 +166,14 @@ func (d *Directory) entry(line uint64) *lineState {
 // held elsewhere is downgraded to shared (the data flows through the
 // directory; the reader's own cache classifies the miss).
 func (d *Directory) Read(pe int, addr uint64) {
+	d.ReadLine(pe, addr>>d.shift)
+}
+
+// ReadLine is Read addressed by line index instead of byte address, for
+// callers (memsys block delivery) that have already split references into
+// lines and want to skip the shift.
+func (d *Directory) ReadLine(pe int, line uint64) {
 	d.stats.ReadRequests++
-	line := addr >> d.shift()
 	e := d.entry(line)
 	if e.dirty && e.owner != pe {
 		e.dirty = false
@@ -173,9 +185,17 @@ func (d *Directory) Read(pe int, addr uint64) {
 // Write registers a write of the line containing addr by pe, invalidating
 // every other copy.
 func (d *Directory) Write(pe int, addr uint64) {
+	d.WriteLine(pe, addr>>d.shift)
+}
+
+// WriteLine is Write addressed by line index. Invalidations are delivered
+// with the line's base address, which lands in the same line of every
+// attached cache (caches and directory share one line size by
+// construction).
+func (d *Directory) WriteLine(pe int, line uint64) {
 	d.stats.WriteRequests++
-	line := addr >> d.shift()
 	e := d.entry(line)
+	addr := line << d.shift
 	invalidated := false
 	e.sharers.ForEach(func(other int) {
 		if other == pe {
@@ -198,7 +218,7 @@ func (d *Directory) Write(pe int, addr uint64) {
 
 // Sharers reports how many processors hold the line containing addr.
 func (d *Directory) Sharers(addr uint64) int {
-	e, ok := d.lines[addr>>d.shift()]
+	e, ok := d.lines[addr>>d.shift]
 	if !ok {
 		return 0
 	}
@@ -207,7 +227,7 @@ func (d *Directory) Sharers(addr uint64) int {
 
 // IsDirty reports whether the line containing addr is held modified.
 func (d *Directory) IsDirty(addr uint64) bool {
-	e, ok := d.lines[addr>>d.shift()]
+	e, ok := d.lines[addr>>d.shift]
 	return ok && e.dirty
 }
 
@@ -216,11 +236,3 @@ func (d *Directory) Stats() Stats { return d.stats }
 
 // ResetStats clears protocol counters, keeping directory state.
 func (d *Directory) ResetStats() { d.stats = Stats{} }
-
-func (d *Directory) shift() uint {
-	s := uint(0)
-	for l := d.lineSize; l > 1; l >>= 1 {
-		s++
-	}
-	return s
-}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"wsstudy/internal/apps/barneshut"
+	"wsstudy/internal/apps/cg"
+	"wsstudy/internal/apps/fft"
+	"wsstudy/internal/apps/lu"
+	"wsstudy/internal/apps/volrend"
+	"wsstudy/internal/cache"
+	"wsstudy/internal/coherence"
+	"wsstudy/internal/memsys"
+	"wsstudy/internal/trace"
+)
+
+// The block-delivery refactor promises bit-identical simulation results:
+// batching changes only the granularity of delivery, never the order, so
+// every kernel must produce the same miss curves, knees and directory
+// statistics whether its references arrive one at a time (the legacy
+// per-Ref path), in blocks (the native path), or through a concurrent
+// Fanout. This suite runs all five kernels at small sizes through all
+// three paths and compares every statistic the experiments read.
+
+// refOnly hides a memory system's block and stopper methods so the Batcher
+// falls back to ref-by-ref delivery — reproducing the pre-block legacy
+// path exactly, including where epoch boundaries land in the stream.
+type refOnly struct{ sys *memsys.System }
+
+func (r refOnly) Ref(t trace.Ref)  { r.sys.Ref(t) }
+func (r refOnly) BeginEpoch(n int) { r.sys.BeginEpoch(n) }
+
+// kernelCase runs one application kernel deterministically into sink.
+// Every case uses 4 processors so one memsys.Config fits all.
+type kernelCase struct {
+	name string
+	warm int // warmup epochs, to exercise mid-stream BeginEpoch placement
+	run  func(t *testing.T, sink trace.Consumer)
+}
+
+func equivalenceKernels() []kernelCase {
+	return []kernelCase{
+		{name: "lu", warm: 0, run: func(t *testing.T, sink trace.Consumer) {
+			m := lu.NewBlockMatrix(32, 8, nil)
+			m.FillRandomDominant(1)
+			if _, err := lu.FactorTraced(m, lu.Grid{PR: 2, PC: 2}, sink); err != nil {
+				t.Fatalf("lu: %v", err)
+			}
+		}},
+		{name: "cg", warm: 1, run: func(t *testing.T, sink trace.Consumer) {
+			part, err := cg.NewPartition2D(16, 2, 2, nil)
+			if err != nil {
+				t.Fatalf("cg: %v", err)
+			}
+			solver := cg.NewSolver2D(part, sink)
+			b := make([]float64, 16*16)
+			for i := range b {
+				b[i] = 1
+			}
+			solver.SetB(b)
+			if _, err := solver.Solve(cg.Config{MaxIters: 4}); err != nil {
+				t.Fatalf("cg: %v", err)
+			}
+		}},
+		{name: "fft", warm: 0, run: func(t *testing.T, sink trace.Consumer) {
+			f, err := fft.New(fft.Config{LogN: 8, P: 4, InternalRadix: 4}, sink)
+			if err != nil {
+				t.Fatalf("fft: %v", err)
+			}
+			x := make([]complex128, 1<<8)
+			for i := range x {
+				x[i] = complex(float64(i%17)-8, float64(i%13)-6)
+			}
+			f.SetInput(x)
+			if err := f.Run(); err != nil {
+				t.Fatalf("fft: %v", err)
+			}
+		}},
+		{name: "barneshut", warm: 1, run: func(t *testing.T, sink trace.Consumer) {
+			bodies := barneshut.Plummer(64, 42)
+			sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
+				Theta: 1.0, Quadrupole: true, Eps: 0.05, DT: 0.003, P: 4,
+			}, sink)
+			if err != nil {
+				t.Fatalf("barneshut: %v", err)
+			}
+			for s := 0; s < 3; s++ {
+				if _, err := sim.Step(); err != nil {
+					t.Fatalf("barneshut: %v", err)
+				}
+			}
+		}},
+		{name: "volrend", warm: 1, run: func(t *testing.T, sink trace.Consumer) {
+			vol := volrend.SyntheticHead(16, 16, 14)
+			ren, err := volrend.NewRenderer(vol, volrend.Config{
+				ImageW: 24, ImageH: 24, P: 4,
+			}, sink)
+			if err != nil {
+				t.Fatalf("volrend: %v", err)
+			}
+			for f := 0; f < 2; f++ {
+				if _, err := ren.RenderFrame(0.04 * float64(f)); err != nil {
+					t.Fatalf("volrend: %v", err)
+				}
+			}
+		}},
+	}
+}
+
+// profSnapshot captures everything the experiments read from a profiling
+// memory system. All fields are comparable with reflect.DeepEqual.
+type profSnapshot struct {
+	Curve        []cache.MissCount
+	ColdR, ColdW uint64
+	CohR, CohW   uint64
+	Reads        uint64
+	Writes       uint64
+	Dir          coherence.Stats
+	Sys          memsys.Stats
+}
+
+func profSnap(sys *memsys.System, pe int, caps []int) profSnapshot {
+	p := sys.Profiler(pe)
+	return profSnapshot{
+		Curve: p.Curve(caps),
+		ColdR: func() uint64 { r, _ := p.ColdMisses(); return r }(),
+		ColdW: func() uint64 { _, w := p.ColdMisses(); return w }(),
+		CohR:  func() uint64 { r, _ := p.CoherenceMisses(); return r }(),
+		CohW:  func() uint64 { _, w := p.CoherenceMisses(); return w }(),
+		Reads: p.Reads(), Writes: p.Writes(),
+		Dir: sys.Directory().Stats(),
+		Sys: sys.Stats(),
+	}
+}
+
+// cacheSnapshot captures the per-PE stats of a concrete-cache system.
+type cacheSnapshot struct {
+	Caches []cache.Stats
+	Dir    coherence.Stats
+	Sys    memsys.Stats
+}
+
+func cacheSnap(sys *memsys.System) cacheSnapshot {
+	s := cacheSnapshot{Dir: sys.Directory().Stats(), Sys: sys.Stats()}
+	for pe := 0; pe < sys.PEs(); pe++ {
+		s.Caches = append(s.Caches, sys.Cache(pe).Stats())
+	}
+	return s
+}
+
+// runPath runs a kernel into a fresh system wrapped by mk, closing any
+// Fanout before snapshots are taken.
+func runPath(t *testing.T, k kernelCase, cfg memsys.Config, mk func(*memsys.System) trace.Consumer) *memsys.System {
+	t.Helper()
+	sys := memsys.MustNew(cfg)
+	sink := mk(sys)
+	k.run(t, sink)
+	if fan, ok := sink.(*trace.Fanout); ok {
+		if err := fan.Close(); err != nil {
+			t.Fatalf("fanout close: %v", err)
+		}
+	}
+	return sys
+}
+
+func mkNative(s *memsys.System) trace.Consumer { return s }
+func mkLegacy(s *memsys.System) trace.Consumer { return refOnly{s} }
+func mkFanout(t *testing.T) func(*memsys.System) trace.Consumer {
+	return func(s *memsys.System) trace.Consumer {
+		fan, err := trace.NewFanout(s)
+		if err != nil {
+			t.Fatalf("fanout: %v", err)
+		}
+		return fan
+	}
+}
+
+// TestBlockEquivalence proves the tentpole invariant: for every kernel,
+// the native block path and the concurrent Fanout path produce statistics
+// bit-identical to the legacy per-Ref path, under both a fully associative
+// stack profiler and a concrete direct-mapped cache.
+func TestBlockEquivalence(t *testing.T) {
+	caps := []int{8, 64, 512, 4096} // lines; spans the kernels' knees
+	for _, k := range equivalenceKernels() {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			t.Parallel()
+			profCfg := memsys.Config{
+				PEs: 4, LineSize: 8, Profile: true, ProfilePE: 1, WarmupEpochs: k.warm,
+			}
+			legacy := profSnap(runPath(t, k, profCfg, mkLegacy), 1, caps)
+			native := profSnap(runPath(t, k, profCfg, mkNative), 1, caps)
+			fanned := profSnap(runPath(t, k, profCfg, mkFanout(t)), 1, caps)
+			if !reflect.DeepEqual(native, legacy) {
+				t.Errorf("profiler: block path diverged from per-Ref path\nblock:  %+v\nlegacy: %+v", native, legacy)
+			}
+			if !reflect.DeepEqual(fanned, legacy) {
+				t.Errorf("profiler: fanout path diverged from per-Ref path\nfanout: %+v\nlegacy: %+v", fanned, legacy)
+			}
+
+			dmCfg := memsys.Config{
+				PEs: 4, LineSize: 8, CacheCapacity: 256, Assoc: 1, WarmupEpochs: k.warm,
+			}
+			legacyDM := cacheSnap(runPath(t, k, dmCfg, mkLegacy))
+			nativeDM := cacheSnap(runPath(t, k, dmCfg, mkNative))
+			fannedDM := cacheSnap(runPath(t, k, dmCfg, mkFanout(t)))
+			if !reflect.DeepEqual(nativeDM, legacyDM) {
+				t.Errorf("direct-mapped: block path diverged from per-Ref path\nblock:  %+v\nlegacy: %+v", nativeDM, legacyDM)
+			}
+			if !reflect.DeepEqual(fannedDM, legacyDM) {
+				t.Errorf("direct-mapped: fanout path diverged from per-Ref path\nfanout: %+v\nlegacy: %+v", fannedDM, legacyDM)
+			}
+		})
+	}
+}
+
+// TestFanoutMatchesTee runs one kernel into a profiler system and a
+// direct-mapped system attached first via the serial Tee and then via the
+// concurrent Fanout, and demands identical results from both — the
+// guarantee that lets fig6dm replace its per-size reruns with one fanned
+// run.
+func TestFanoutMatchesTee(t *testing.T) {
+	k := equivalenceKernels()[3] // barneshut: multi-epoch, order-sensitive
+	build := func() (*memsys.System, *memsys.System) {
+		prof := memsys.MustNew(memsys.Config{
+			PEs: 4, LineSize: 8, Profile: true, ProfilePE: 1, WarmupEpochs: k.warm,
+		})
+		dm := memsys.MustNew(memsys.Config{
+			PEs: 4, LineSize: 8, CacheCapacity: 128, Assoc: 1, WarmupEpochs: k.warm,
+		})
+		return prof, dm
+	}
+	caps := []int{16, 128, 1024}
+
+	profT, dmT := build()
+	k.run(t, trace.Tee{profT, dmT})
+
+	profF, dmF := build()
+	fan, err := trace.NewFanout(profF, dmF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.run(t, fan)
+	if err := fan.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := profSnap(profF, 1, caps), profSnap(profT, 1, caps); !reflect.DeepEqual(got, want) {
+		t.Errorf("fanout profiler diverged from tee\nfanout: %+v\ntee:    %+v", got, want)
+	}
+	if got, want := cacheSnap(dmF), cacheSnap(dmT); !reflect.DeepEqual(got, want) {
+		t.Errorf("fanout direct-mapped stats diverged from tee\nfanout: %+v\ntee:    %+v", got, want)
+	}
+}

@@ -303,9 +303,10 @@ func expFig6DM() Experiment {
 	return Experiment{
 		ID:    "fig6dm",
 		Title: "Section 6.4: direct-mapped vs fully associative caches for Barnes-Hut",
-		Description: "Runs the same trace through direct-mapped caches of " +
-			"increasing size and reports the size needed to match the fully " +
-			"associative lev2WS miss rate (the paper finds about 3x).",
+		Description: "Runs one trace through a fully associative profiler and " +
+			"direct-mapped caches of every size concurrently (trace.Fanout) and " +
+			"reports the size needed to match the fully associative lev2WS miss " +
+			"rate (the paper finds about 3x).",
 		Run: func(o Options) (*Report, error) {
 			n, steps := 256, 3
 			if !o.Quick {
@@ -313,35 +314,53 @@ func expFig6DM() Experiment {
 			}
 			const p, pe, warm, theta = 4, 1, 1, 1.0
 
-			// Fully associative reference curve.
-			prof, err := runBH(o.Context(), n, p, pe, warm, steps, theta)
-			if err != nil {
-				return nil, err
-			}
-			reads := float64(prof.Reads())
+			// One simulation feeds every memory system at once: the fully
+			// associative profiler plus one direct-mapped system per size.
+			// The systems share no state, so each gets its own Fanout worker
+			// instead of rerunning the N-body code per cache size.
+			faSys := memsys.MustNew(memsys.Config{
+				PEs: p, LineSize: 8, Profile: true, ProfilePE: pe, WarmupEpochs: warm,
+			})
 			sizes := workingset.LogSizes(1024, 1<<20, 1)
-			faSeries := profCurve("fully associative", prof, sizes, reads, true)
-
-			// Direct-mapped runs, one per size (the trace is deterministic).
-			dmSeries := Series{Label: "direct-mapped"}
-			for _, bytes := range sizes {
-				bodies := barneshut.Plummer(n, 42)
-				sys := memsys.MustNew(memsys.Config{
+			dmSys := make([]*memsys.System, len(sizes))
+			consumers := []trace.Consumer{faSys}
+			for i, bytes := range sizes {
+				dmSys[i] = memsys.MustNew(memsys.Config{
 					PEs: p, LineSize: 8, CacheCapacity: int(bytes / 8), Assoc: 1,
 					ProfilePE: -1, WarmupEpochs: warm,
 				})
-				sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
-					Theta: theta, Quadrupole: true, Eps: 0.05, DT: 0.003, P: p,
-				}, trace.WithContext(o.Context(), sys))
-				if err != nil {
+				consumers = append(consumers, dmSys[i])
+			}
+			fan, err := trace.NewFanout(consumers...)
+			if err != nil {
+				return nil, err
+			}
+			defer fan.Close()
+
+			bodies := barneshut.Plummer(n, 42)
+			sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
+				Theta: theta, Quadrupole: true, Eps: 0.05, DT: 0.003, P: p,
+			}, trace.WithContext(o.Context(), fan))
+			if err != nil {
+				return nil, err
+			}
+			for s := 0; s < steps; s++ {
+				if _, err := sim.Step(); err != nil {
 					return nil, err
 				}
-				for s := 0; s < steps; s++ {
-					if _, err := sim.Step(); err != nil {
-						return nil, err
-					}
-				}
-				st := sys.Cache(pe).Stats()
+			}
+			// Close is the barrier: it flushes, waits for every worker, and
+			// surfaces any consumer failure. Only then are stats safe to read.
+			if err := fan.Close(); err != nil {
+				return nil, err
+			}
+
+			prof := faSys.Profiler(pe)
+			reads := float64(prof.Reads())
+			faSeries := profCurve("fully associative", prof, sizes, reads, true)
+			dmSeries := Series{Label: "direct-mapped"}
+			for i, bytes := range sizes {
+				st := dmSys[i].Cache(pe).Stats()
 				dmSeries.Points = append(dmSeries.Points, workingset.Point{
 					CacheBytes: bytes, MissRate: st.ReadMissRate(),
 				})
@@ -356,7 +375,6 @@ func expFig6DM() Experiment {
 
 			// Size ratio to reach the FA lev2WS plateau rate.
 			faCurve := workingset.Curve{Points: faSeries.Points}
-			dmCurve := workingset.Curve{Points: dmSeries.Points}
 			target := faCurve.RateAt(64*1024) * 1.25
 			faAt := firstSizeBelow(faSeries, target)
 			dmAt := firstSizeBelow(dmSeries, target)
@@ -365,7 +383,6 @@ func expFig6DM() Experiment {
 					target, workingset.FormatBytes(faAt), workingset.FormatBytes(dmAt),
 					float64(dmAt)/float64(faAt))
 			}
-			_ = dmCurve
 			return r, nil
 		},
 	}

@@ -70,6 +70,7 @@ type Stats struct {
 // System is the simulated cache-coherent multiprocessor.
 type System struct {
 	cfg       Config
+	shift     uint                   // log2(LineSize), precomputed once
 	caches    []cache.Cache          // per PE when !Profile (nil entries never occur)
 	profilers []*cache.StackProfiler // per PE when Profile (nil when not profiled)
 	dir       *coherence.Directory
@@ -106,7 +107,7 @@ func New(cfg Config) (*System, error) {
 	if cfg.Profile && (cfg.ProfilePE < -1 || cfg.ProfilePE >= cfg.PEs) {
 		return nil, fmt.Errorf("%w: ProfilePE %d out of range [-1, %d)", ErrInvalidConfig, cfg.ProfilePE, cfg.PEs)
 	}
-	s := &System{cfg: cfg, measuring: cfg.WarmupEpochs == 0}
+	s := &System{cfg: cfg, shift: lineShift(cfg.LineSize), measuring: cfg.WarmupEpochs == 0}
 	invalidators := make([]coherence.Invalidator, cfg.PEs)
 	if cfg.Profile {
 		s.profilers = make([]*cache.StackProfiler, cfg.PEs)
@@ -158,7 +159,7 @@ func MustNew(cfg Config) *System {
 
 // Home reports the processor whose local memory holds addr.
 func (s *System) Home(addr uint64) int {
-	line := cache.Line(addr, s.cfg.LineSize)
+	line := addr >> s.shift
 	switch s.cfg.Dist {
 	case Interleaved:
 		return int(line % uint64(s.cfg.PEs))
@@ -182,17 +183,35 @@ func (s *System) Ref(r trace.Ref) {
 	if r.Size == 0 {
 		return
 	}
+	s.refOne(r)
+}
+
+// Refs consumes a block of references in emission order. Each reference is
+// still processed to completion — cache access, directory transaction,
+// invalidation delivery — before the next begins: deferring directory work
+// to the end of a block would reorder invalidations relative to accesses
+// and change every coherence statistic. The win is the hoisted dispatch
+// and per-call prologue, not a changed algorithm.
+func (s *System) Refs(block []trace.Ref) {
+	for i := range block {
+		if block[i].Size == 0 {
+			continue
+		}
+		s.refOne(block[i])
+	}
+}
+
+func (s *System) refOne(r trace.Ref) {
 	read := r.Kind == trace.Read
-	first := cache.Line(r.Addr, s.cfg.LineSize)
-	last := cache.Line(r.Addr+uint64(r.Size)-1, s.cfg.LineSize)
-	shift := lineShift(s.cfg.LineSize)
+	first := r.Addr >> s.shift
+	last := (r.Addr + uint64(r.Size) - 1) >> s.shift
 	for line := first; ; line++ {
-		addr := line << shift
+		addr := line << s.shift
 		miss := s.accessOne(r.PE, addr, read)
 		if read {
-			s.dir.Read(r.PE, addr)
+			s.dir.ReadLine(r.PE, line)
 		} else {
-			s.dir.Write(r.PE, addr)
+			s.dir.WriteLine(r.PE, line)
 		}
 		if miss && s.measuring {
 			if s.Home(addr) == r.PE {
@@ -300,3 +319,4 @@ func lineShift(lineSize uint32) uint {
 }
 
 var _ trace.EpochConsumer = (*System)(nil)
+var _ trace.BlockConsumer = (*System)(nil)

@@ -152,6 +152,31 @@ func (t *Writer) Ref(r Ref) {
 		t.err = errors.New("trace: write after Flush")
 		return
 	}
+	t.encode(r)
+}
+
+// Refs encodes a block of references with the error and lifecycle checks
+// hoisted out of the per-record loop. The byte stream is identical to
+// per-Ref encoding; only chunk boundaries may differ, and frames are
+// transparent to Replay.
+func (t *Writer) Refs(block []Ref) {
+	if t.err != nil {
+		return
+	}
+	if t.finished {
+		t.err = errors.New("trace: write after Flush")
+		return
+	}
+	for i := range block {
+		if t.err != nil {
+			return
+		}
+		t.encode(block[i])
+	}
+}
+
+// encode writes one record; callers have already checked err and finished.
+func (t *Writer) encode(r Ref) {
 	var hdr byte
 	if r.Kind == Write {
 		hdr |= 1
@@ -331,13 +356,23 @@ func Replay(r io.Reader, sink Consumer) (uint64, error) {
 	}
 }
 
-// replayV1 decodes the legacy unframed stream.
+// replayV1 decodes the legacy unframed stream. Decoded references are
+// delivered in blocks; the pending block is flushed before any return
+// (epoch boundary, end of stream, or error), so delivery order relative
+// to BeginEpoch and CorruptError.Records — references delivered before
+// the failure — both match the historical per-Ref behavior.
 func replayV1(br *bufio.Reader, sink Consumer) (uint64, error) {
 	ec, _ := sink.(EpochConsumer)
 	st := newDecodeState()
 	in := &byteCounter{br: br, off: 4}
 	var count uint64
+	block := make([]Ref, 0, DefaultBlockSize)
+	flush := func() {
+		Deliver(sink, block)
+		block = block[:0]
+	}
 	corrupt := func(reason string, err error) (uint64, error) {
+		flush()
 		if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
 			return count, fmt.Errorf("trace: %s: %w", reason, err)
 		}
@@ -346,9 +381,11 @@ func replayV1(br *bufio.Reader, sink Consumer) (uint64, error) {
 	for {
 		hdr, err := in.ReadByte()
 		if err == io.EOF {
+			flush()
 			return count, nil
 		}
 		if err != nil {
+			flush()
 			return count, err
 		}
 		if hdr&8 != 0 {
@@ -356,6 +393,7 @@ func replayV1(br *bufio.Reader, sink Consumer) (uint64, error) {
 			if err != nil {
 				return corrupt("epoch", err)
 			}
+			flush()
 			if ec != nil {
 				ec.BeginEpoch(int(n))
 			}
@@ -365,8 +403,11 @@ func replayV1(br *bufio.Reader, sink Consumer) (uint64, error) {
 		if cerr != "" || err != nil {
 			return corrupt(cerr, err)
 		}
-		sink.Ref(r)
+		block = append(block, r)
 		count++
+		if len(block) == cap(block) {
+			flush()
+		}
 	}
 }
 
@@ -403,16 +444,25 @@ func decodeRef(in io.ByteReader, hdr byte, st *decodeState) (Ref, string, error)
 	return Ref{PE: st.curPE, Addr: addr, Size: st.curSize, Kind: kind}, "", nil
 }
 
-// replayV2 decodes the CRC-framed chunk stream.
+// replayV2 decodes the CRC-framed chunk stream. Like replayV1 it buffers
+// decoded references into blocks, flushing before epoch boundaries and
+// before every return so Records still counts exactly the references
+// delivered to the consumer.
 func replayV2(br *bufio.Reader, sink Consumer) (uint64, error) {
 	ec, _ := sink.(EpochConsumer)
 	st := newDecodeState()
 	offset := int64(4)
 	var count uint64
 	var payload []byte
+	block := make([]Ref, 0, DefaultBlockSize)
+	flush := func() {
+		Deliver(sink, block)
+		block = block[:0]
+	}
 	for {
 		var hdr [12]byte
 		if _, err := io.ReadFull(br, hdr[:4]); err != nil {
+			flush()
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
 				return count, &CorruptError{Offset: offset, Records: count,
 					Reason: "truncated before end-of-trace marker"}
@@ -421,13 +471,16 @@ func replayV2(br *bufio.Reader, sink Consumer) (uint64, error) {
 		}
 		plen := binary.LittleEndian.Uint32(hdr[:4])
 		if plen == 0 {
+			flush()
 			return count, nil // end-of-trace marker
 		}
 		if plen > maxChunkPayload {
+			flush()
 			return count, &CorruptError{Offset: offset, Records: count,
 				Reason: fmt.Sprintf("implausible chunk length %d", plen)}
 		}
 		if _, err := io.ReadFull(br, hdr[4:]); err != nil {
+			flush()
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
 				return count, &CorruptError{Offset: offset, Records: count,
 					Reason: "truncated chunk header"}
@@ -441,6 +494,7 @@ func replayV2(br *bufio.Reader, sink Consumer) (uint64, error) {
 		}
 		payload = payload[:plen]
 		if _, err := io.ReadFull(br, payload); err != nil {
+			flush()
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
 				return count, &CorruptError{Offset: offset, Records: count,
 					Reason: "truncated chunk payload"}
@@ -448,6 +502,7 @@ func replayV2(br *bufio.Reader, sink Consumer) (uint64, error) {
 			return count, err
 		}
 		if got := crc32.Checksum(payload, crcTable); got != wantCRC {
+			flush()
 			return count, &CorruptError{Offset: offset, Records: count,
 				Reason: fmt.Sprintf("checksum mismatch (have %08x, frame says %08x)", got, wantCRC)}
 		}
@@ -461,9 +516,11 @@ func replayV2(br *bufio.Reader, sink Consumer) (uint64, error) {
 			if hb&8 != 0 {
 				n, err := binary.ReadUvarint(in)
 				if err != nil {
+					flush()
 					return count, &CorruptError{Offset: offset, Records: count,
 						Reason: "malformed epoch record in verified chunk"}
 				}
+				flush()
 				if ec != nil {
 					ec.BeginEpoch(int(n))
 				}
@@ -471,14 +528,19 @@ func replayV2(br *bufio.Reader, sink Consumer) (uint64, error) {
 			}
 			r, cerr, err := decodeRef(in, hb, st)
 			if cerr != "" || err != nil {
+				flush()
 				return count, &CorruptError{Offset: offset, Records: count,
 					Reason: "malformed record in verified chunk"}
 			}
-			sink.Ref(r)
+			block = append(block, r)
 			count++
 			chunkRecs++
+			if len(block) == cap(block) {
+				flush()
+			}
 		}
 		if chunkRecs != wantRecs {
+			flush()
 			return count, &CorruptError{Offset: offset, Records: count,
 				Reason: fmt.Sprintf("chunk decoded %d records, frame says %d", chunkRecs, wantRecs)}
 		}

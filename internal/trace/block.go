@@ -1,0 +1,182 @@
+package trace
+
+import "fmt"
+
+// Block delivery. Paper-scale runs push hundreds of millions of references
+// through the kernel→simulator pipeline; delivering them one interface call
+// at a time makes virtual dispatch the dominant cost of every sweep. The
+// batched path amortizes that dispatch: emitters append into a shared
+// fixed-capacity buffer and hand the pipeline whole blocks, and every
+// consumer that implements BlockConsumer processes a block in one call
+// with its per-stream state hoisted out of the loop.
+//
+// Ordering is the load-bearing invariant. All emitters attached to one
+// Batcher share a single buffer, so the global emission order — the order
+// the legacy per-Ref path delivered — is preserved exactly; only the
+// delivery granularity changes. Epoch boundaries flush the buffer first,
+// so BeginEpoch still lands between precisely the same two references.
+// That is what lets the equivalence suite demand bit-identical miss
+// curves and directory statistics from both paths.
+
+// DefaultBlockSize is the reference count per block. Big enough that
+// per-block costs vanish (one dispatch per 512 references), small enough
+// that a block stays inside an L1 data cache (512 x 24 B = 12 KB).
+const DefaultBlockSize = 512
+
+// BlockConsumer is implemented by consumers that accept references a block
+// at a time. Refs(block) must be equivalent to calling Ref for each element
+// in order; the slice is owned by the caller and only valid during the
+// call, so implementations must not retain it (Fanout, which hands blocks
+// to other goroutines, copies for exactly this reason).
+type BlockConsumer interface {
+	Consumer
+	// Refs delivers a block of references in emission order.
+	Refs(block []Ref)
+}
+
+// Deliver hands block to c natively when c implements BlockConsumer and
+// falls back to ref-by-ref delivery otherwise. The fallback is the
+// compatibility adapter: any existing per-Ref consumer works unchanged
+// behind a batched producer, it just keeps paying per-reference dispatch.
+func Deliver(c Consumer, block []Ref) {
+	if len(block) == 0 {
+		return
+	}
+	if bc, ok := c.(BlockConsumer); ok {
+		bc.Refs(block)
+		return
+	}
+	for _, r := range block {
+		c.Ref(r)
+	}
+}
+
+// Batcher buffers the reference stream of any number of emitters into
+// fixed-capacity blocks and flushes them to the next consumer. All
+// emitters created from one Batcher share its buffer, preserving the
+// global emission order. A Batcher is itself a Consumer, EpochConsumer
+// and Stopper, so kernels treat it exactly like the sink it wraps.
+//
+// A Batcher is not safe for concurrent use; one kernel run owns it.
+type Batcher struct {
+	next Consumer
+	bc   BlockConsumer // non-nil when next consumes blocks natively
+	ec   EpochConsumer // non-nil when next observes epoch boundaries
+	buf  []Ref
+}
+
+// NewBatcher wraps next with a DefaultBlockSize buffer. A nil next yields
+// a nil Batcher, which is valid: all methods no-op and Emitter returns a
+// nil *Emitter, so untraced kernel runs stay free.
+func NewBatcher(next Consumer) *Batcher {
+	b, err := NewBatcherSize(next, DefaultBlockSize)
+	if err != nil {
+		panic(err) // unreachable: DefaultBlockSize is statically valid
+	}
+	return b
+}
+
+// NewBatcherSize is NewBatcher with an explicit block capacity. A
+// non-positive size is an invalid configuration error.
+func NewBatcherSize(next Consumer, size int) (*Batcher, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("%w: block size %d must be positive", ErrInvalidConfig, size)
+	}
+	if next == nil {
+		return nil, nil
+	}
+	b := &Batcher{next: next, buf: make([]Ref, 0, size)}
+	b.bc, _ = next.(BlockConsumer)
+	b.ec, _ = next.(EpochConsumer)
+	return b, nil
+}
+
+// Emitter returns an emitter issuing as processor pe into the shared
+// buffer. A nil Batcher yields a nil (reference-dropping) Emitter.
+func (b *Batcher) Emitter(pe int) *Emitter {
+	if b == nil {
+		return nil
+	}
+	return &Emitter{pe: pe, batch: b}
+}
+
+// Sink returns the Batcher as a Consumer, or a clean nil interface for a
+// nil Batcher (so callers can store it in a Consumer field and still
+// compare against nil).
+func (b *Batcher) Sink() Consumer {
+	if b == nil {
+		return nil
+	}
+	return b
+}
+
+// add appends one reference, flushing when the block fills.
+func (b *Batcher) add(r Ref) {
+	b.buf = append(b.buf, r)
+	if len(b.buf) == cap(b.buf) {
+		b.Flush()
+	}
+}
+
+// Ref buffers one reference.
+func (b *Batcher) Ref(r Ref) {
+	if b == nil {
+		return
+	}
+	b.add(r)
+}
+
+// Refs forwards an already-formed block, flushing buffered references
+// first so order is preserved.
+func (b *Batcher) Refs(block []Ref) {
+	if b == nil {
+		return
+	}
+	b.Flush()
+	Deliver(b.next, block)
+}
+
+// BeginEpoch flushes the pending block and forwards the boundary, so the
+// epoch marker lands between the same two references as on the per-Ref
+// path.
+func (b *Batcher) BeginEpoch(n int) {
+	if b == nil {
+		return
+	}
+	b.Flush()
+	if b.ec != nil {
+		b.ec.BeginEpoch(n)
+	}
+}
+
+// Flush delivers the pending partial block. Kernels call it when a run
+// (or a step that callers may inspect) completes.
+func (b *Batcher) Flush() {
+	if b == nil || len(b.buf) == 0 {
+		return
+	}
+	if b.bc != nil {
+		b.bc.Refs(b.buf)
+	} else {
+		for _, r := range b.buf {
+			b.next.Ref(r)
+		}
+	}
+	b.buf = b.buf[:0]
+}
+
+// Err polls the wrapped consumer's stop reason, so kernel cancellation
+// checks work unchanged through the batcher. Buffered references are not
+// flushed here; a poll must stay cheap.
+func (b *Batcher) Err() error {
+	if b == nil {
+		return nil
+	}
+	return Canceled(b.next)
+}
+
+var (
+	_ BlockConsumer = (*Batcher)(nil)
+	_ EpochConsumer = (*Batcher)(nil)
+	_ Stopper       = (*Batcher)(nil)
+)

@@ -1,0 +1,317 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// event is one observation: a delivered reference or an epoch boundary.
+// Recording both in one sequence is what lets the tests pin down exactly
+// where a boundary lands relative to the references around it.
+type event struct {
+	r     Ref
+	epoch int
+	isEp  bool
+}
+
+func refEvent(r Ref) event   { return event{r: r} }
+func epochEvent(n int) event { return event{epoch: n, isEp: true} }
+func (e event) String() string {
+	if e.isEp {
+		return fmt.Sprintf("epoch(%d)", e.epoch)
+	}
+	return e.r.String()
+}
+
+// eventRec records the full delivery sequence. It consumes blocks natively
+// and counts how many arrived, so tests can also assert that the native
+// path was actually taken.
+type eventRec struct {
+	events     []event
+	blockCalls int
+	refCalls   int
+}
+
+func (e *eventRec) Ref(r Ref) {
+	e.refCalls++
+	e.events = append(e.events, refEvent(r))
+}
+
+func (e *eventRec) Refs(block []Ref) {
+	e.blockCalls++
+	for _, r := range block {
+		e.events = append(e.events, refEvent(r))
+	}
+}
+
+func (e *eventRec) BeginEpoch(n int) {
+	e.events = append(e.events, epochEvent(n))
+}
+
+// refRec is a per-Ref-only recorder (no Refs method), standing in for a
+// legacy consumer behind the compatibility adapter.
+type refRec struct {
+	events []event
+}
+
+func (e *refRec) Ref(r Ref)        { e.events = append(e.events, refEvent(r)) }
+func (e *refRec) BeginEpoch(n int) { e.events = append(e.events, epochEvent(n)) }
+
+// emitScript drives two emitters in an interleaved pattern with an epoch
+// boundary mid-stream — the shape every kernel produces.
+func emitScript(b *Batcher) {
+	e0, e1 := b.Emitter(0), b.Emitter(1)
+	b.BeginEpoch(0)
+	for i := 0; i < 10; i++ {
+		e0.Load(uint64(i)*8, 8)
+		e1.Store(uint64(i)*8+4096, 8)
+	}
+	b.BeginEpoch(1)
+	for i := 0; i < 7; i++ {
+		e1.LoadDW(uint64(i) * 16)
+		e0.StoreDW(uint64(i)*16 + 8192)
+	}
+	b.Flush()
+}
+
+// legacyScript is emitScript on the immediate per-Ref path, the ordering
+// ground truth.
+func legacyScript(sink Consumer) {
+	e0, e1 := NewEmitter(0, sink), NewEmitter(1, sink)
+	ec, _ := sink.(EpochConsumer)
+	ec.BeginEpoch(0)
+	for i := 0; i < 10; i++ {
+		e0.Load(uint64(i)*8, 8)
+		e1.Store(uint64(i)*8+4096, 8)
+	}
+	ec.BeginEpoch(1)
+	for i := 0; i < 7; i++ {
+		e1.LoadDW(uint64(i) * 16)
+		e0.StoreDW(uint64(i)*16 + 8192)
+	}
+}
+
+// TestBatcherPreservesOrder: the batched stream, at any block size, is the
+// legacy stream — same references, same order, epoch markers between the
+// same two references.
+func TestBatcherPreservesOrder(t *testing.T) {
+	want := &refRec{}
+	legacyScript(want)
+
+	for _, size := range []int{1, 3, 8, DefaultBlockSize} {
+		got := &eventRec{}
+		b, err := NewBatcherSize(got, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emitScript(b)
+		if !reflect.DeepEqual(got.events, want.events) {
+			t.Errorf("size %d: batched stream diverged\ngot:  %v\nwant: %v", size, got.events, want.events)
+		}
+		if got.refCalls != 0 {
+			t.Errorf("size %d: %d per-Ref deliveries to a block consumer", size, got.refCalls)
+		}
+	}
+}
+
+// TestBatcherAdapterFallback: a per-Ref-only consumer behind a Batcher
+// receives the identical stream via the Deliver fallback loop.
+func TestBatcherAdapterFallback(t *testing.T) {
+	want := &refRec{}
+	legacyScript(want)
+
+	got := &refRec{}
+	b, err := NewBatcherSize(got, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitScript(b)
+	if !reflect.DeepEqual(got.events, want.events) {
+		t.Errorf("adapter stream diverged\ngot:  %v\nwant: %v", got.events, want.events)
+	}
+}
+
+// TestBatcherRefsForwarding: feeding a Batcher pre-formed blocks flushes
+// buffered references first, preserving order.
+func TestBatcherRefsForwarding(t *testing.T) {
+	got := &eventRec{}
+	b, err := NewBatcherSize(got, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Ref(Ref{PE: 0, Addr: 1, Size: 8})
+	b.Refs([]Ref{{PE: 1, Addr: 2, Size: 8}, {PE: 1, Addr: 3, Size: 8}})
+	b.Flush()
+	want := []event{
+		refEvent(Ref{PE: 0, Addr: 1, Size: 8}),
+		refEvent(Ref{PE: 1, Addr: 2, Size: 8}),
+		refEvent(Ref{PE: 1, Addr: 3, Size: 8}),
+	}
+	if !reflect.DeepEqual(got.events, want) {
+		t.Errorf("got %v, want %v", got.events, want)
+	}
+}
+
+// TestBatcherNil: a nil Batcher (nil sink) is fully inert — methods no-op,
+// emitters drop, Sink compares equal to nil.
+func TestBatcherNil(t *testing.T) {
+	b := NewBatcher(nil)
+	if b != nil {
+		t.Fatalf("NewBatcher(nil) = %v, want nil", b)
+	}
+	if s := b.Sink(); s != nil {
+		t.Errorf("nil Batcher Sink() = %v, want clean nil interface", s)
+	}
+	e := b.Emitter(3)
+	e.Load(0, 8) // must not panic
+	b.Ref(Ref{})
+	b.Refs([]Ref{{}})
+	b.BeginEpoch(1)
+	b.Flush()
+	if err := b.Err(); err != nil {
+		t.Errorf("nil Batcher Err() = %v", err)
+	}
+}
+
+// TestBatcherInvalidSize: non-positive block sizes are configuration
+// errors, classified under ErrInvalidConfig.
+func TestBatcherInvalidSize(t *testing.T) {
+	for _, size := range []int{0, -1} {
+		if _, err := NewBatcherSize(Discard, size); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("size %d: err = %v, want ErrInvalidConfig", size, err)
+		}
+	}
+}
+
+// TestBatcherErr: cancellation polls pass through to the wrapped sink.
+func TestBatcherErr(t *testing.T) {
+	stop := &failAfter{n: 0, err: errors.New("stopped")}
+	b := NewBatcher(stop)
+	if err := b.Err(); err == nil {
+		t.Error("Err() = nil, want sink's stop reason")
+	}
+}
+
+// TestDeliver: the fallback loop fires only for consumers without a native
+// block path, and empty blocks are dropped before dispatch.
+func TestDeliver(t *testing.T) {
+	native := &eventRec{}
+	Deliver(native, []Ref{{Addr: 1}, {Addr: 2}})
+	if native.blockCalls != 1 || native.refCalls != 0 {
+		t.Errorf("native: %d block / %d ref calls, want 1/0", native.blockCalls, native.refCalls)
+	}
+	Deliver(native, nil)
+	if native.blockCalls != 1 {
+		t.Error("empty block dispatched")
+	}
+	legacy := &refRec{}
+	Deliver(legacy, []Ref{{Addr: 1}, {Addr: 2}})
+	if len(legacy.events) != 2 {
+		t.Errorf("fallback delivered %d refs, want 2", len(legacy.events))
+	}
+}
+
+// TestPEFilterNilNext is the regression test for the half-configured
+// filter: with no Next attached, references, blocks, epochs and polls are
+// all inert instead of a nil-dereference panic.
+func TestPEFilterNilNext(t *testing.T) {
+	f := PEFilter{PE: 1}
+	f.Ref(Ref{PE: 1})
+	f.Refs([]Ref{{PE: 1}, {PE: 2}})
+	f.BeginEpoch(0)
+	if err := f.Err(); err != nil {
+		t.Errorf("Err() = %v, want nil", err)
+	}
+}
+
+// TestPEFilterBlocks: block filtering slices contiguous runs and produces
+// exactly the per-Ref filtered stream.
+func TestPEFilterBlocks(t *testing.T) {
+	block := []Ref{
+		{PE: 0, Addr: 0}, {PE: 1, Addr: 1}, {PE: 1, Addr: 2},
+		{PE: 2, Addr: 3}, {PE: 1, Addr: 4}, {PE: 0, Addr: 5}, {PE: 1, Addr: 6},
+	}
+	want := &refRec{}
+	for _, r := range block {
+		PEFilter{PE: 1, Next: want}.Ref(r)
+	}
+	got := &eventRec{}
+	PEFilter{PE: 1, Next: got}.Refs(block)
+	if !reflect.DeepEqual(got.events, want.events) {
+		t.Errorf("got %v, want %v", got.events, want.events)
+	}
+	if got.refCalls != 0 {
+		t.Errorf("filter re-dispatched %d refs instead of slicing runs", got.refCalls)
+	}
+}
+
+// TestNestedEpochPropagation: epoch boundaries reach consumers nested
+// behind a Batcher -> Tee -> PEFilter chain, landing between the same
+// references as on the flat legacy path.
+func TestNestedEpochPropagation(t *testing.T) {
+	inner := &eventRec{}
+	all := &eventRec{}
+	sink := Tee{PEFilter{PE: 0, Next: inner}, all}
+	b, err := NewBatcherSize(sink, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitScript(b)
+
+	wantInner := &refRec{}
+	wantAll := &refRec{}
+	legacyScript(Tee{PEFilter{PE: 0, Next: wantInner}, wantAll})
+	// The flat reference: filter per-Ref, epochs forwarded unconditionally.
+	if !reflect.DeepEqual(inner.events, wantInner.events) {
+		t.Errorf("filtered stream diverged\ngot:  %v\nwant: %v", inner.events, wantInner.events)
+	}
+	if !reflect.DeepEqual(all.events, wantAll.events) {
+		t.Errorf("tee stream diverged\ngot:  %v\nwant: %v", all.events, wantAll.events)
+	}
+}
+
+// TestCounterAddBlock: the register-hoisted block tally matches per-Ref
+// accumulation.
+func TestCounterAddBlock(t *testing.T) {
+	refs := []Ref{
+		{Kind: Read, Size: 8}, {Kind: Write, Size: 4}, {Kind: Read, Size: 16},
+		{Kind: Write, Size: 8}, {Kind: Read, Size: 2},
+	}
+	var perRef, block Counter
+	for _, r := range refs {
+		perRef.Ref(r)
+	}
+	block.AddBlock(refs[:2])
+	block.AddBlock(refs[2:])
+	if perRef != block {
+		t.Errorf("AddBlock tally %+v, want %+v", block, perRef)
+	}
+}
+
+// TestBlocks: the slicing helper covers every reference exactly once with
+// size-capped chunks.
+func TestBlocks(t *testing.T) {
+	refs := make([]Ref, 10)
+	for i := range refs {
+		refs[i].Addr = uint64(i)
+	}
+	blocks := Blocks(refs, 4)
+	if len(blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(blocks))
+	}
+	var flat []Ref
+	for _, b := range blocks {
+		if len(b) > 4 {
+			t.Errorf("block of %d exceeds cap 4", len(b))
+		}
+		flat = append(flat, b...)
+	}
+	if !reflect.DeepEqual(flat, refs) {
+		t.Error("blocks do not reassemble the input")
+	}
+	if got := Blocks(nil, 4); got != nil {
+		t.Errorf("Blocks(nil) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Fanout runs each attached consumer in its own goroutine, fed by a
+// bounded channel of blocks, so one kernel execution drives several
+// simulators concurrently. Tee delivers serially — consumer i+1 waits for
+// consumer i on every block — which makes a sweep over N configurations N
+// times slower than its slowest member; Fanout makes it as slow as the
+// slowest member alone, with the channels' backpressure keeping the
+// producer from racing ahead of the simulators.
+//
+// Each consumer observes exactly the stream Tee would have given it:
+// blocks in emission order with epoch boundaries between the same
+// references (boundaries travel in-band through each worker's channel).
+// Only the interleaving BETWEEN consumers changes, which is safe precisely
+// because the attached consumers are independent — they share no state, so
+// nothing observes cross-consumer timing. Consumers that share state must
+// stay on Tee.
+//
+// Blocks handed to workers are copies in refcounted pooled buffers: the
+// producer's buffer is only valid during a Refs call (see BlockConsumer),
+// and the copy is released back to the pool by whichever worker finishes
+// with it last.
+//
+// The producer side (Ref, Refs, BeginEpoch, Flush, Close) must be called
+// from a single goroutine — the kernel's — matching every other Consumer
+// in this package. Close flushes, joins the workers, and reports the first
+// failure; it is idempotent, and results must not be read from the
+// attached consumers until it returns.
+type Fanout struct {
+	consumers []Consumer
+	chans     []chan fanMsg
+	wg        sync.WaitGroup
+	buf       []Ref // producer-side buffer for per-Ref input
+	closed    bool
+
+	mu  sync.Mutex
+	err error // first worker failure (cancellation, write error, panic)
+}
+
+// fanMsg is one in-band message to a worker: a shared block or an epoch
+// boundary.
+type fanMsg struct {
+	block   *fanBlock
+	epoch   int
+	isEpoch bool
+}
+
+// fanBlock is a pooled copy of a block shared by all workers; the last
+// worker to finish releases it.
+type fanBlock struct {
+	refs []Ref
+	rc   atomic.Int32
+}
+
+var fanBlockPool = sync.Pool{
+	New: func() any { return &fanBlock{refs: make([]Ref, 0, DefaultBlockSize)} },
+}
+
+// DefaultFanoutDepth is the per-consumer channel capacity: deep enough to
+// absorb bursts and keep workers busy, shallow enough that backpressure
+// bounds in-flight memory to a few blocks per consumer.
+const DefaultFanoutDepth = 8
+
+// NewFanout starts one worker goroutine per consumer with
+// DefaultFanoutDepth channels. At least one non-nil consumer is required.
+func NewFanout(consumers ...Consumer) (*Fanout, error) {
+	return NewFanoutDepth(DefaultFanoutDepth, consumers...)
+}
+
+// NewFanoutDepth is NewFanout with an explicit channel capacity.
+func NewFanoutDepth(depth int, consumers ...Consumer) (*Fanout, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("%w: fanout depth %d must be positive", ErrInvalidConfig, depth)
+	}
+	if len(consumers) == 0 {
+		return nil, fmt.Errorf("%w: fanout needs at least one consumer", ErrInvalidConfig)
+	}
+	for i, c := range consumers {
+		if c == nil {
+			return nil, fmt.Errorf("%w: fanout consumer %d is nil", ErrInvalidConfig, i)
+		}
+	}
+	f := &Fanout{
+		consumers: consumers,
+		chans:     make([]chan fanMsg, len(consumers)),
+		buf:       make([]Ref, 0, DefaultBlockSize),
+	}
+	for i := range consumers {
+		f.chans[i] = make(chan fanMsg, depth)
+		f.wg.Add(1)
+		go f.worker(i)
+	}
+	return f, nil
+}
+
+// worker drains one consumer's channel. After a failure (stop request,
+// panic) it keeps draining without delivering, so the producer and the
+// other workers never block on this channel; the first failure is reported
+// by Close and surfaces early through Err.
+func (f *Fanout) worker(i int) {
+	defer f.wg.Done()
+	c := f.consumers[i]
+	ec, _ := c.(EpochConsumer)
+	failed := false
+	for msg := range f.chans[i] {
+		if !failed {
+			if err := f.deliver(c, ec, i, msg); err != nil {
+				f.fail(err)
+				failed = true
+			}
+		}
+		if msg.block != nil {
+			msg.block.release()
+		}
+	}
+}
+
+// deliver hands one message to the consumer, converting a panic into an
+// error so a broken simulator cannot crash the process from a goroutine no
+// caller can recover around.
+func (f *Fanout) deliver(c Consumer, ec EpochConsumer, i int, msg fanMsg) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("trace: fanout consumer %d panicked: %v", i, p)
+		}
+	}()
+	if msg.isEpoch {
+		if ec != nil {
+			ec.BeginEpoch(msg.epoch)
+		}
+	} else {
+		Deliver(c, msg.block.refs)
+	}
+	return Canceled(c)
+}
+
+// release returns the block to the pool once every worker is done with it.
+func (b *fanBlock) release() {
+	if b.rc.Add(-1) == 0 {
+		b.refs = b.refs[:0]
+		fanBlockPool.Put(b)
+	}
+}
+
+// fail records the first worker failure.
+func (f *Fanout) fail(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// send fans one message out to every worker channel.
+func (f *Fanout) send(msg fanMsg) {
+	for _, ch := range f.chans {
+		ch <- msg
+	}
+}
+
+// Ref buffers one reference, fanning a block out when the buffer fills.
+func (f *Fanout) Ref(r Ref) {
+	f.buf = append(f.buf, r)
+	if len(f.buf) == cap(f.buf) {
+		f.Flush()
+	}
+}
+
+// Refs fans a block out to every worker. Pending per-Ref input is flushed
+// first so order is preserved.
+func (f *Fanout) Refs(block []Ref) {
+	f.Flush()
+	f.sendBlock(block)
+}
+
+func (f *Fanout) sendBlock(block []Ref) {
+	if len(block) == 0 || f.closed {
+		return
+	}
+	fb := fanBlockPool.Get().(*fanBlock)
+	fb.refs = append(fb.refs[:0], block...)
+	fb.rc.Store(int32(len(f.chans)))
+	f.send(fanMsg{block: fb})
+}
+
+// BeginEpoch flushes pending references and sends the boundary in-band, so
+// every consumer sees it between the same two references.
+func (f *Fanout) BeginEpoch(n int) {
+	f.Flush()
+	if f.closed {
+		return
+	}
+	f.send(fanMsg{epoch: n, isEpoch: true})
+}
+
+// Flush fans out the pending partial block.
+func (f *Fanout) Flush() {
+	if len(f.buf) > 0 {
+		block := f.buf
+		f.buf = f.buf[:0]
+		f.sendBlock(block)
+	}
+}
+
+// Err reports the first worker failure so far, so kernels polling Canceled
+// stop emitting soon after any attached consumer stops or breaks.
+func (f *Fanout) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// Close flushes pending references, stops the workers, waits for them to
+// finish, and returns the first failure. It is idempotent, and it is the
+// barrier: only after Close returns may results be read from the attached
+// consumers.
+func (f *Fanout) Close() error {
+	if !f.closed {
+		f.Flush()
+		f.closed = true
+		for _, ch := range f.chans {
+			close(ch)
+		}
+		f.wg.Wait()
+	}
+	return f.Err()
+}
+
+var (
+	_ BlockConsumer = (*Fanout)(nil)
+	_ EpochConsumer = (*Fanout)(nil)
+	_ Stopper       = (*Fanout)(nil)
+)

@@ -53,6 +53,10 @@ func WithContext(ctx context.Context, next Consumer) Consumer {
 // Ref forwards r.
 func (g *Guard) Ref(r Ref) { g.next.Ref(r) }
 
+// Refs forwards a block, natively when the wrapped consumer supports it,
+// so a context guard does not break up block delivery.
+func (g *Guard) Refs(block []Ref) { Deliver(g.next, block) }
+
 // BeginEpoch forwards the epoch boundary when the wrapped consumer cares.
 func (g *Guard) BeginEpoch(n int) {
 	if ec, ok := g.next.(EpochConsumer); ok {
@@ -71,4 +75,5 @@ func (g *Guard) Err() error {
 }
 
 var _ EpochConsumer = (*Guard)(nil)
+var _ BlockConsumer = (*Guard)(nil)
 var _ Stopper = (*Guard)(nil)

@@ -70,15 +70,27 @@ type Func func(Ref)
 // Ref calls f(r).
 func (f Func) Ref(r Ref) { f(r) }
 
-// Discard is a Consumer that drops every reference.
-var Discard Consumer = Func(func(Ref) {})
+// discard drops references at any granularity.
+type discard struct{}
+
+func (discard) Ref(Ref)    {}
+func (discard) Refs([]Ref) {}
+
+// Discard is a Consumer that drops every reference (blocks included).
+var Discard Consumer = discard{}
 
 // Emitter is a convenience wrapper kernels embed to issue references for a
 // fixed processor. A nil *Emitter is valid and drops all references, so
 // kernels can run at full numeric speed when no simulation is attached.
+//
+// Emitters come in two flavors: NewEmitter delivers each reference to the
+// sink immediately (the legacy per-Ref path), while Batcher.Emitter
+// appends into the batcher's shared block buffer and delivers nothing
+// until the block fills or is flushed.
 type Emitter struct {
-	pe   int
-	sink Consumer
+	pe    int
+	sink  Consumer // immediate delivery when batch is nil
+	batch *Batcher // shared block buffer; takes precedence over sink
 }
 
 // NewEmitter returns an Emitter issuing references as processor pe into sink.
@@ -103,12 +115,20 @@ func (e *Emitter) Load(addr uint64, size uint32) {
 	if e == nil {
 		return
 	}
+	if e.batch != nil {
+		e.batch.add(Ref{PE: e.pe, Addr: addr, Size: size, Kind: Read})
+		return
+	}
 	e.sink.Ref(Ref{PE: e.pe, Addr: addr, Size: size, Kind: Read})
 }
 
 // Store issues a write of size bytes at addr.
 func (e *Emitter) Store(addr uint64, size uint32) {
 	if e == nil {
+		return
+	}
+	if e.batch != nil {
+		e.batch.add(Ref{PE: e.pe, Addr: addr, Size: size, Kind: Write})
 		return
 	}
 	e.sink.Ref(Ref{PE: e.pe, Addr: addr, Size: size, Kind: Write})
@@ -120,13 +140,22 @@ func (e *Emitter) LoadDW(addr uint64) { e.Load(addr, 8) }
 // StoreDW issues an 8-byte (double-word) write.
 func (e *Emitter) StoreDW(addr uint64) { e.Store(addr, 8) }
 
-// Tee fans a stream out to several consumers in order.
+// Tee fans a stream out to several consumers in order, serially: consumer
+// i+1 sees a reference only after consumer i returned. Fanout is the
+// concurrent alternative when the consumers are independent.
 type Tee []Consumer
 
 // Ref forwards r to every consumer.
 func (t Tee) Ref(r Ref) {
 	for _, c := range t {
 		c.Ref(r)
+	}
+}
+
+// Refs forwards a block to every consumer, natively where supported.
+func (t Tee) Refs(block []Ref) {
+	for _, c := range t {
+		Deliver(c, block)
 	}
 }
 
@@ -152,7 +181,9 @@ func (t Tee) Err() error {
 
 // PEFilter forwards only references issued by a single processor.
 // The paper measures per-processor working sets; wrapping a profiler in a
-// PEFilter focuses it on one processor's stream.
+// PEFilter focuses it on one processor's stream. A nil Next drops the
+// filtered stream (references and epochs both), so a half-configured
+// filter is inert rather than a panic on delivery.
 type PEFilter struct {
 	PE   int
 	Next Consumer
@@ -160,8 +191,30 @@ type PEFilter struct {
 
 // Ref forwards r when r.PE matches.
 func (f PEFilter) Ref(r Ref) {
-	if r.PE == f.PE {
+	if r.PE == f.PE && f.Next != nil {
 		f.Next.Ref(r)
+	}
+}
+
+// Refs forwards the matching run(s) of a block. Blocks are usually long
+// single-PE runs (kernels emit phase by phase), so the filter slices out
+// contiguous matching spans and forwards each natively instead of
+// re-dispatching per reference.
+func (f PEFilter) Refs(block []Ref) {
+	if f.Next == nil {
+		return
+	}
+	for i := 0; i < len(block); {
+		if block[i].PE != f.PE {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(block) && block[j].PE == f.PE {
+			j++
+		}
+		Deliver(f.Next, block[i:j])
+		i = j
 	}
 }
 
@@ -173,7 +226,12 @@ func (f PEFilter) BeginEpoch(n int) {
 }
 
 // Err reports the wrapped consumer's stop reason.
-func (f PEFilter) Err() error { return Canceled(f.Next) }
+func (f PEFilter) Err() error {
+	if f.Next == nil {
+		return nil
+	}
+	return Canceled(f.Next)
+}
 
 // Counter tallies a stream without simulating anything.
 type Counter struct {
@@ -192,6 +250,42 @@ func (c *Counter) Ref(r Ref) {
 	}
 }
 
+// AddBlock accumulates a whole block with the tallies held in registers
+// and the read/write split computed branch-free, so the loop is not at the
+// mercy of the trace's load/store pattern (the name avoids colliding with
+// the Refs counter field).
+func (c *Counter) AddBlock(block []Ref) {
+	var reads, bytes uint64
+	for i := range block {
+		bytes += uint64(block[i].Size)
+		reads += b2u(block[i].Kind == Read)
+	}
+	n := uint64(len(block))
+	c.Refs += n
+	c.Reads += reads
+	c.Writes += n - reads
+	c.Bytes += bytes
+}
+
+// b2u converts a bool to 0/1; the compiler lowers this to a flag set, not
+// a branch.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// BlockCounter is a Counter that consumes blocks natively. (Counter itself
+// cannot: its Refs tally field occupies the method name, hence AddBlock;
+// the wrapper's Refs method shadows the promoted field.)
+type BlockCounter struct{ Counter }
+
+// Refs tallies a whole block.
+func (c *BlockCounter) Refs(block []Ref) { c.AddBlock(block) }
+
+var _ BlockConsumer = (*BlockCounter)(nil)
+
 // Recorder buffers a bounded prefix of a stream, for tests and debugging.
 type Recorder struct {
 	Max  int // maximum references to retain; 0 means unlimited
@@ -204,4 +298,21 @@ func (rec *Recorder) Ref(r Ref) {
 	if rec.Max == 0 || len(rec.Refs) < rec.Max {
 		rec.Refs = append(rec.Refs, r)
 	}
+}
+
+// Blocks cuts refs into size-capped blocks, for tests and benchmarks that
+// want to replay a recorded stream through the block path.
+func Blocks(refs []Ref, size int) [][]Ref {
+	if size <= 0 {
+		size = DefaultBlockSize
+	}
+	var out [][]Ref
+	for len(refs) > size {
+		out = append(out, refs[:size])
+		refs = refs[size:]
+	}
+	if len(refs) > 0 {
+		out = append(out, refs)
+	}
+	return out
 }

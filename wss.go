@@ -7,9 +7,11 @@
 //
 //   - Experiments: every figure and table of the paper as a runnable
 //     artifact (Experiments, Run, RunAndRender).
-//   - The measurement toolkit: memory-reference traces, the single-pass
-//     stack-distance profiler, exact LRU / set-associative caches, the
-//     write-invalidate multiprocessor simulator, and knee detection.
+//   - The measurement toolkit: memory-reference traces (delivered in
+//     blocks, with optional parallel fan-out to independent simulators),
+//     the single-pass stack-distance profiler, exact LRU / set-associative
+//     caches, the write-invalidate multiprocessor simulator, and knee
+//     detection.
 //   - The application kernels and analytic models live under
 //     internal/apps/...; examples in examples/ show how they compose.
 package wss
@@ -113,8 +115,20 @@ type (
 	Ref = trace.Ref
 	// Consumer receives a reference stream.
 	Consumer = trace.Consumer
+	// BlockConsumer receives the stream a block at a time; consumers that
+	// implement it skip per-reference dispatch. Any plain Consumer still
+	// works behind a batched producer via the fallback in trace.Deliver.
+	BlockConsumer = trace.BlockConsumer
 	// Emitter issues references for one processor.
 	Emitter = trace.Emitter
+	// Batcher buffers any number of emitters into fixed-capacity blocks
+	// while preserving the global emission order and epoch placement.
+	Batcher = trace.Batcher
+	// Fanout drives several independent consumers concurrently, one
+	// goroutine each; Close is the barrier before reading their results.
+	Fanout = trace.Fanout
+	// Tee drives several consumers serially; required when they share state.
+	Tee = trace.Tee
 	// StackProfiler yields exact LRU miss counts at every cache size in
 	// one trace pass.
 	StackProfiler = cache.StackProfiler
@@ -148,6 +162,16 @@ const (
 
 // NewEmitter builds an emitter issuing as processor pe into sink.
 func NewEmitter(pe int, sink Consumer) *Emitter { return trace.NewEmitter(pe, sink) }
+
+// NewBatcher wraps sink with a block buffer; emitters created from the
+// Batcher deliver in DefaultBlockSize blocks. A nil sink yields a nil
+// Batcher whose emitters drop every reference.
+func NewBatcher(sink Consumer) *Batcher { return trace.NewBatcher(sink) }
+
+// NewFanout runs each consumer on its own goroutine fed by a bounded
+// channel. The consumers must be independent (no shared state); use Tee
+// otherwise. Call Close before reading results from the consumers.
+func NewFanout(consumers ...Consumer) (*Fanout, error) { return trace.NewFanout(consumers...) }
 
 // NewStackProfiler builds a profiler with the given line size in bytes
 // (a power of two; invalid sizes return an error).
