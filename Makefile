@@ -17,10 +17,11 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Block/fan-out delivery must produce the same statistics as per-Ref
+# Block/fan-out delivery must produce the same statistics — and, with a
+# Recorder attached, the same per-stage metric counters — as per-Ref
 # delivery for every kernel (see internal/core/equivalence_test.go).
 equivalence:
-	$(GO) test -short -run 'TestBlockEquivalence|TestFanoutMatchesTee' ./internal/core/
+	$(GO) test -short -run 'TestBlockEquivalence|TestFanoutMatchesTee|TestMetricsEquivalence' ./internal/core/
 
 test:
 	$(GO) test ./...

@@ -29,7 +29,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	for i := 0; i < b.N; i++ {
-		rep, err := e.Run(core.Options{Quick: true})
+		rep, err := e.Run(context.Background(), core.Options{Scale: core.ScaleQuick})
 		if err != nil {
 			b.Fatal(err)
 		}

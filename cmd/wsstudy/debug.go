@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"wsstudy/internal/obs"
+)
+
+// publishRecorder registers the recorder's live snapshot under the expvar
+// name "wsstudy". expvar.Publish panics on duplicate names, so the
+// registration happens once per process even when tests start several
+// debug servers.
+var publishRecorder = sync.OnceFunc(func() {
+	expvar.Publish("wsstudy", expvar.Func(func() any {
+		rec := currentRecorder.Load()
+		if rec == nil {
+			return nil
+		}
+		m := rec.Snapshot()
+		// Round-trip through the snapshot's own JSON form so expvar
+		// renders durations and labels the same way -metrics does.
+		b, err := json.Marshal(m)
+		if err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		var out any
+		if err := json.Unmarshal(b, &out); err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		return out
+	}))
+})
+
+// currentRecorder is the recorder the expvar endpoint snapshots; an atomic
+// pointer because the expvar func may run on a request goroutine while a
+// later startDebugServer call swaps recorders.
+var currentRecorder atomicRecorder
+
+type atomicRecorder struct {
+	mu  sync.RWMutex
+	rec *obs.Recorder
+}
+
+func (a *atomicRecorder) Load() *obs.Recorder {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.rec
+}
+
+func (a *atomicRecorder) Store(rec *obs.Recorder) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rec = rec
+}
+
+// startDebugServer serves net/http/pprof and expvar on addr (host:port;
+// port 0 picks a free one) and returns the bound address. The server uses
+// its own mux rather than http.DefaultServeMux so importing this package
+// never mutates global handler state beyond the expvar publication.
+func startDebugServer(addr string, rec *obs.Recorder) (string, error) {
+	currentRecorder.Store(rec)
+	publishRecorder()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		// The server lives for the process; errors after Close are noise.
+		_ = http.Serve(ln, mux)
+	}()
+	return ln.Addr().String(), nil
+}

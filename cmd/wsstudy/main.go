@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"wsstudy/internal/core"
+	"wsstudy/internal/obs"
 )
 
 func main() {
@@ -42,8 +43,11 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-experiment deadline (0 = none)")
 	workers := fs.Int("workers", 2, "concurrent experiments for 'all'")
 	retries := fs.Int("retries", 0, "retries for transiently failing experiments in 'all'")
+	metricsPath := fs.String("metrics", "", "write the run's metrics snapshot as JSON to this file")
+	progress := fs.Bool("progress", false, "render live progress to stderr while experiments run")
+	listen := fs.String("listen", "", "serve /debug/pprof/ and /debug/vars on this address while running")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: wsstudy [list|all|<experiment-id>] [-quick] [-csv out.csv] [-timeout 2m]")
+		fmt.Fprintln(fs.Output(), "usage: wsstudy [list|all|<experiment-id>] [-quick] [-csv out.csv] [-timeout 2m] [-metrics out.json] [-progress] [-listen 127.0.0.1:6060]")
 		fs.PrintDefaults()
 	}
 
@@ -54,15 +58,46 @@ func run(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	opt := core.Options{Quick: *quick, Timeout: *timeout}
+	scale := core.ScaleFull
+	if *quick {
+		scale = core.ScaleQuick
+	}
+	opt := core.Options{Scale: scale, Timeout: *timeout}
 
 	switch cmd {
 	case "list", "help", "-h", "--help":
 		return list()
 	case "verify":
 		return verifyCheckpoints()
+	}
+
+	// The remaining subcommands run experiments: give them a recorder, and
+	// wire up the opt-in surfaces (live progress, a debug HTTP listener,
+	// and a JSON metrics dump on exit).
+	rec := obs.New()
+	ctx := obs.With(context.Background(), rec)
+	if *listen != "" {
+		addr, err := startDebugServer(*listen, rec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ and /debug/vars\n", addr)
+	}
+	if *progress {
+		p := obs.StartProgress(rec, os.Stderr, time.Second)
+		defer p.Stop()
+	}
+	if *metricsPath != "" {
+		defer func() {
+			if err := writeMetrics(*metricsPath, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "wsstudy: writing metrics:", err)
+			}
+		}()
+	}
+
+	switch cmd {
 	case "all":
-		return runAll(core.SuiteOptions{
+		return runAll(ctx, core.SuiteOptions{
 			Options: opt, Workers: *workers, Retries: *retries,
 		}, *csvPath)
 	default:
@@ -70,8 +105,22 @@ func run(args []string) error {
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (valid ids: %s)", cmd, strings.Join(validIDs(), ", "))
 		}
-		return runOne(e, opt, *csvPath)
+		return runOne(ctx, e, opt, *csvPath)
 	}
+}
+
+// writeMetrics dumps the recorder's final snapshot as indented JSON.
+func writeMetrics(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	m := rec.Snapshot()
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // validIDs lists every registered experiment id.
@@ -86,9 +135,9 @@ func validIDs() []string {
 // runAll executes the whole registry through the hardened suite runner:
 // successful experiments render even when others time out, panic or fail,
 // and the failures come back as a summary plus a nonzero exit.
-func runAll(sopt core.SuiteOptions, csvPath string) error {
+func runAll(ctx context.Context, sopt core.SuiteOptions, csvPath string) error {
 	start := time.Now()
-	report := core.RunSuite(context.Background(), core.Registry(), sopt)
+	report := core.RunSuite(ctx, core.Registry(), sopt)
 	for _, res := range report.Results {
 		if res.Err != nil {
 			continue
@@ -105,9 +154,9 @@ func runAll(sopt core.SuiteOptions, csvPath string) error {
 	return nil
 }
 
-func runOne(e core.Experiment, opt core.Options, csvPath string) error {
+func runOne(ctx context.Context, e core.Experiment, opt core.Options, csvPath string) error {
 	start := time.Now()
-	rep, err := core.Execute(context.Background(), e, opt)
+	rep, err := core.Execute(ctx, e, opt)
 	if err != nil {
 		return fmt.Errorf("%s: %w", e.ID, err)
 	}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wsstudy/internal/obs"
+)
+
+// get fetches url and returns the body, failing the test on a non-200.
+func get(t *testing.T, url string) string {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return string(body)
+}
+
+// TestDebugServerEndpoints is the -listen acceptance check: the debug
+// server must serve the pprof index and expvar, and the expvar payload
+// must include the live recorder snapshot under "wsstudy".
+func TestDebugServerEndpoints(t *testing.T) {
+	rec := obs.New()
+	rec.Counter("trace.refs").Add(42)
+	addr, err := startDebugServer("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if body := get(t, fmt.Sprintf("http://%s/debug/pprof/", addr)); !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index missing profile listing:\n%.300s", body)
+	}
+
+	body := get(t, fmt.Sprintf("http://%s/debug/vars", addr))
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("expvar payload not JSON: %v\n%.300s", err, body)
+	}
+	ws, ok := vars["wsstudy"].(map[string]any)
+	if !ok {
+		t.Fatalf("expvar missing wsstudy snapshot: %v", vars["wsstudy"])
+	}
+	counters, ok := ws["counters"].(map[string]any)
+	if !ok || counters["trace.refs"] != float64(42) {
+		t.Errorf("wsstudy counters = %v, want trace.refs 42", ws["counters"])
+	}
+
+	// The counter keeps moving between polls: the endpoint serves live
+	// state, not a boot-time copy.
+	rec.Counter("trace.refs").Add(8)
+	body = get(t, fmt.Sprintf("http://%s/debug/vars", addr))
+	if !strings.Contains(body, "50") {
+		t.Errorf("expvar did not reflect a live counter update:\n%.300s", body)
+	}
+}
+
+// TestRunWritesMetricsFile runs a model-only experiment through the CLI
+// entry point with -metrics and checks the JSON dump.
+func TestRunWritesMetricsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := run([]string{"scalingall", "-quick", "-metrics", path}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Metrics
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("metrics file not valid JSON: %v\n%.300s", err, raw)
+	}
+	if m.Durations[obs.ExperimentWall].Count != 1 {
+		t.Errorf("metrics dump %s count = %d, want 1", obs.ExperimentWall, m.Durations[obs.ExperimentWall].Count)
+	}
+	if m.Labels[obs.LabelExperiment] != "scalingall" {
+		t.Errorf("metrics dump label = %q, want scalingall", m.Labels[obs.LabelExperiment])
+	}
+}

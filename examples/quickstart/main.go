@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -61,7 +62,7 @@ func main() {
 
 	// 3. Regenerate a paper artifact through the same API.
 	fmt.Println()
-	if err := wss.RunAndRender("table2", wss.Options{Quick: true}, os.Stdout); err != nil {
+	if err := wss.RunAndRender(context.Background(), "table2", wss.Options{Scale: wss.ScaleQuick}, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -1,0 +1,58 @@
+package cache
+
+import "wsstudy/internal/obs"
+
+// Metric names recorded by instrumented caches and profilers.
+const (
+	// MetricProfilerAccesses counts references processed by stack-distance
+	// profilers (one per Access call).
+	MetricProfilerAccesses = "cache.profiler.accesses"
+	// MetricProfilerQueries counts curve/point queries answered from the
+	// profiler's histograms (Curve and MissesAt).
+	MetricProfilerQueries = "cache.profiler.queries"
+	// MetricEvictions counts capacity-driven line replacements in the
+	// concrete simulators (LRU and SetAssoc); coherence removals are
+	// counted by the directory, not here.
+	MetricEvictions = "cache.evictions"
+)
+
+// Instrument attaches run-scope counters from rec: accesses processed and
+// histogram queries answered. A nil rec leaves the profiler uninstrumented
+// (the default, zero-cost mode; the handles are nil-safe).
+func (p *StackProfiler) Instrument(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	p.mAccesses = rec.Counter(MetricProfilerAccesses)
+	p.mQueries = rec.Counter(MetricProfilerQueries)
+}
+
+// Instrument attaches a run-scope eviction counter from rec.
+func (c *LRU) Instrument(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	c.mEvictions = rec.Counter(MetricEvictions)
+}
+
+// Instrument attaches a run-scope eviction counter from rec.
+func (c *SetAssoc) Instrument(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	c.mEvictions = rec.Counter(MetricEvictions)
+}
+
+// instrumentable is satisfied by every simulator with an Instrument
+// method; memsys uses it to wire whatever Cache implementation it holds.
+type instrumentable interface {
+	Instrument(rec *obs.Recorder)
+}
+
+// InstrumentCache attaches run-scope counters to c when its concrete type
+// supports them; unknown implementations are left untouched.
+func InstrumentCache(c Cache, rec *obs.Recorder) {
+	if i, ok := c.(instrumentable); ok {
+		i.Instrument(rec)
+	}
+}

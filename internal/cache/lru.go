@@ -1,6 +1,10 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"wsstudy/internal/obs"
+)
 
 // LRU is an exact fully associative cache with least-recently-used
 // replacement, the measurement instrument of the paper's Section 2.2.
@@ -22,6 +26,9 @@ type LRU struct {
 	seen map[uint64]struct{}
 
 	stats Stats
+
+	// Run-scope capacity-eviction counter, live only after Instrument.
+	mEvictions *obs.Counter
 }
 
 type lruNode struct {
@@ -116,6 +123,7 @@ func (c *LRU) insert(line uint64, dirty bool) {
 	c.pushFront(n)
 	if len(c.table) > c.capacity {
 		c.evict(c.tail)
+		c.mEvictions.Inc()
 	}
 }
 

@@ -1,6 +1,10 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"wsstudy/internal/obs"
+)
 
 // SetAssoc is a set-associative cache with LRU replacement within each set.
 // Assoc=1 gives a direct-mapped cache, which Section 6.4 of the paper uses
@@ -21,6 +25,10 @@ type SetAssoc struct {
 	invalidated map[uint64]struct{}
 
 	stats Stats
+
+	// Run-scope capacity/conflict-eviction counter, live only after
+	// Instrument.
+	mEvictions *obs.Counter
 }
 
 type setWay struct {
@@ -135,6 +143,8 @@ func (c *SetAssoc) touch(line uint64) AccessResult {
 	if len(set) < c.assoc {
 		set = append(set, setWay{})
 		c.occupied++
+	} else {
+		c.mEvictions.Inc()
 	}
 	copy(set[1:], set[:len(set)-1])
 	set[0] = setWay{line: line, valid: true}

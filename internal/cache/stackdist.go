@@ -3,6 +3,8 @@ package cache
 import (
 	"slices"
 	"sort"
+
+	"wsstudy/internal/obs"
 )
 
 // StackProfiler computes, in a single pass over a reference stream, the
@@ -54,6 +56,10 @@ type StackProfiler struct {
 	coldRead, coldWrite uint64
 	cohRead, cohWrite   uint64
 	reads, writes       uint64
+
+	// Run-scope counters, live only after Instrument (see instrument.go).
+	mAccesses *obs.Counter
+	mQueries  *obs.Counter
 }
 
 const initialFenwickSize = 1 << 16
@@ -101,6 +107,7 @@ func (p *StackProfiler) Access(addr uint64, size uint32, read bool) {
 	if size == 0 {
 		return
 	}
+	p.mAccesses.Inc()
 	first := Line(addr, p.lineSize)
 	last := Line(addr+uint64(size)-1, p.lineSize)
 	for line := first; ; line++ {
@@ -276,6 +283,7 @@ func (m MissCount) Misses() uint64 { return m.ReadMisses + m.WriteMisses }
 // MissesAt returns the exact miss counts for a fully associative LRU cache
 // of the given capacity in lines. Capacity 0 means every access misses.
 func (p *StackProfiler) MissesAt(capacityLines int) MissCount {
+	p.mQueries.Inc()
 	mc := MissCount{CapacityLines: capacityLines}
 	mc.ReadMisses = p.coldRead + p.cohRead + tailSum(p.histRead, capacityLines+1)
 	mc.WriteMisses = p.coldWrite + p.cohWrite + tailSum(p.histWrite, capacityLines+1)
@@ -297,6 +305,7 @@ func tailSum(h []uint64, from int) uint64 {
 // the histograms. Unsorted capacities are sorted into a copy first, so the
 // result is always ascending by capacity.
 func (p *StackProfiler) Curve(capacitiesLines []int) []MissCount {
+	p.mQueries.Add(uint64(len(capacitiesLines)))
 	if !sort.IntsAreSorted(capacitiesLines) {
 		sorted := make([]int, len(capacitiesLines))
 		copy(sorted, capacitiesLines)

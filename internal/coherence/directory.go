@@ -12,6 +12,8 @@ package coherence
 import (
 	"errors"
 	"fmt"
+
+	"wsstudy/internal/obs"
 )
 
 // ErrInvalidConfig is wrapped by every input-validation error this package
@@ -112,6 +114,47 @@ type Directory struct {
 	lines    map[uint64]*lineState
 	caches   []Invalidator
 	stats    Stats
+
+	// Run-scope transaction counters keyed by MSI state change, live only
+	// after Instrument; nil handles drop updates in one branch each.
+	mReads       *obs.Counter
+	mWrites      *obs.Counter
+	mInvals      *obs.Counter
+	mInvalWrites *obs.Counter
+	mDowngrades  *obs.Counter
+}
+
+// Metric names recorded by an instrumented Directory, one per MSI state
+// change the protocol performs.
+const (
+	// MetricReads counts read transactions (requester joins the sharer
+	// set: I->S, or S->S for additional sharers).
+	MetricReads = "coherence.reads"
+	// MetricWrites counts write transactions (requester takes the line
+	// modified: I/S->M).
+	MetricWrites = "coherence.writes"
+	// MetricInvalidations counts individual remote copies invalidated
+	// (S->I per copy).
+	MetricInvalidations = "coherence.invalidations"
+	// MetricInvalidatingWrites counts writes that invalidated at least
+	// one remote copy.
+	MetricInvalidatingWrites = "coherence.invalidating_writes"
+	// MetricDowngrades counts dirty copies demoted by remote reads
+	// (M->S).
+	MetricDowngrades = "coherence.downgrades"
+)
+
+// Instrument attaches run-scope transaction counters from rec. A nil rec
+// leaves the directory uninstrumented (the default, zero-cost mode).
+func (d *Directory) Instrument(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	d.mReads = rec.Counter(MetricReads)
+	d.mWrites = rec.Counter(MetricWrites)
+	d.mInvals = rec.Counter(MetricInvalidations)
+	d.mInvalWrites = rec.Counter(MetricInvalidatingWrites)
+	d.mDowngrades = rec.Counter(MetricDowngrades)
 }
 
 // NewDirectory builds a directory for numPEs processors whose caches use
@@ -174,10 +217,12 @@ func (d *Directory) Read(pe int, addr uint64) {
 // lines and want to skip the shift.
 func (d *Directory) ReadLine(pe int, line uint64) {
 	d.stats.ReadRequests++
+	d.mReads.Inc()
 	e := d.entry(line)
 	if e.dirty && e.owner != pe {
 		e.dirty = false
 		d.stats.Downgrades++
+		d.mDowngrades.Inc()
 	}
 	e.sharers.Add(pe)
 }
@@ -194,6 +239,7 @@ func (d *Directory) Write(pe int, addr uint64) {
 // construction).
 func (d *Directory) WriteLine(pe int, line uint64) {
 	d.stats.WriteRequests++
+	d.mWrites.Inc()
 	e := d.entry(line)
 	addr := line << d.shift
 	invalidated := false
@@ -202,6 +248,7 @@ func (d *Directory) WriteLine(pe int, line uint64) {
 			return
 		}
 		d.stats.Invalidations++
+		d.mInvals.Inc()
 		invalidated = true
 		if c := d.caches[other]; c != nil {
 			c.Invalidate(addr)
@@ -209,6 +256,7 @@ func (d *Directory) WriteLine(pe int, line uint64) {
 	})
 	if invalidated {
 		d.stats.InvalidatingWrites++
+		d.mInvalWrites.Inc()
 	}
 	e.sharers.Clear()
 	e.sharers.Add(pe)

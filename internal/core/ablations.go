@@ -7,6 +7,7 @@ import (
 	"wsstudy/internal/apps/barneshut"
 	"wsstudy/internal/apps/volrend"
 	"wsstudy/internal/memsys"
+	"wsstudy/internal/obs"
 	"wsstudy/internal/trace"
 	"wsstudy/internal/workingset"
 )
@@ -25,6 +26,7 @@ func runBHConcrete(ctx context.Context, n, steps, warm, capacityLines, assoc int
 		PEs: 4, LineSize: lineSize, CacheCapacity: capacityLines, Assoc: assoc,
 		ProfilePE: -1, WarmupEpochs: warm,
 	})
+	sys.Instrument(obs.From(ctx))
 	sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
 		Theta: 1.0, Quadrupole: true, Eps: 0.05, DT: 0.003, P: 4,
 	}, trace.WithContext(ctx, sys))
@@ -47,9 +49,9 @@ func expAssoc() Experiment {
 		Description: "Read miss rate vs cache size at associativity 1, 2, 4 " +
 			"and full: how much associativity recovers of the direct-mapped " +
 			"size penalty.",
-		Run: func(o Options) (*Report, error) {
+		Run: func(ctx context.Context, o Options) (*Report, error) {
 			n, steps := 256, 3
-			if !o.Quick {
+			if o.Scale != ScaleQuick {
 				n, steps = 512, 4
 			}
 			const warm = 1
@@ -67,7 +69,7 @@ func expAssoc() Experiment {
 			for _, a := range assocs {
 				series := Series{Label: a.label}
 				for _, bytes := range sizes {
-					rate, err := runBHConcrete(o.Context(), n, steps, warm, int(bytes/8), a.ways, 8)
+					rate, err := runBHConcrete(ctx, n, steps, warm, int(bytes/8), a.ways, 8)
 					if err != nil {
 						return nil, err
 					}
@@ -104,10 +106,10 @@ func expLineSize() Experiment {
 		Description: "Read miss rate at a fixed 16 KB cache as the line grows " +
 			"from the paper's 8-byte double words to 64 bytes: spatial " +
 			"locality (renderer voxels) versus record structure (N-body).",
-		Run: func(o Options) (*Report, error) {
+		Run: func(ctx context.Context, o Options) (*Report, error) {
 			bhN, frames := 256, 3
 			volEdge, img := 48, 80
-			if !o.Quick {
+			if o.Scale != ScaleQuick {
 				bhN, volEdge, img = 512, 64, 112
 			}
 			lineSizes := []uint32{8, 16, 32, 64}
@@ -115,7 +117,7 @@ func expLineSize() Experiment {
 
 			bh := Series{Label: "Barnes-Hut"}
 			for _, ls := range lineSizes {
-				rate, err := runBHConcrete(o.Context(), bhN, frames, 1, int(cacheBytes/int(ls)), 0, ls)
+				rate, err := runBHConcrete(ctx, bhN, frames, 1, int(cacheBytes/int(ls)), 0, ls)
 				if err != nil {
 					return nil, err
 				}
@@ -132,9 +134,10 @@ func expLineSize() Experiment {
 					CacheCapacity: int(cacheBytes / int(ls)), ProfilePE: -1,
 					WarmupEpochs: 1,
 				})
+				sys.Instrument(obs.From(ctx))
 				ren, err := volrend.NewRenderer(vol, volrend.Config{
 					ImageW: img, ImageH: img, P: 4,
-				}, trace.WithContext(o.Context(), sys))
+				}, trace.WithContext(ctx, sys))
 				if err != nil {
 					return nil, err
 				}

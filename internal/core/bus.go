@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"wsstudy/internal/apps/barneshut"
 	"wsstudy/internal/memsys"
+	"wsstudy/internal/obs"
 	"wsstudy/internal/trace"
 	"wsstudy/internal/workingset"
 )
@@ -22,9 +24,9 @@ func expBus() Experiment {
 		ID:          "bus",
 		Title:       "Section 1: bus traffic vs cache size (why bus machines buy big caches)",
 		Description: "Per-processor bus bytes (miss fills + writebacks) per 1000 references across cache sizes.",
-		Run: func(o Options) (*Report, error) {
+		Run: func(ctx context.Context, o Options) (*Report, error) {
 			n, steps := 256, 3
-			if !o.Quick {
+			if o.Scale != ScaleQuick {
 				n, steps = 512, 4
 			}
 			const lineSize = 32 // bus machines use wide lines
@@ -38,9 +40,10 @@ func expBus() Experiment {
 					CacheCapacity: int(bytes / lineSize), ProfilePE: -1,
 					WarmupEpochs: 1,
 				})
+				sys.Instrument(obs.From(ctx))
 				sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
 					Theta: 1.0, Quadrupole: true, Eps: 0.05, DT: 0.003, P: 4,
-				}, trace.WithContext(o.Context(), sys))
+				}, trace.WithContext(ctx, sys))
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -41,7 +42,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			rep, err := e.Run(Options{Quick: true})
+			rep, err := e.Run(context.Background(), Options{Scale: ScaleQuick})
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
@@ -76,7 +77,7 @@ func TestFig6MeasuredShape(t *testing.T) {
 		t.Skip("simulation")
 	}
 	e, _ := Find("fig6")
-	rep, err := e.Run(Options{Quick: true})
+	rep, err := e.Run(context.Background(), Options{Scale: ScaleQuick})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestFig6DMRatio(t *testing.T) {
 		t.Skip("simulation")
 	}
 	e, _ := Find("fig6dm")
-	rep, err := e.Run(Options{Quick: true})
+	rep, err := e.Run(context.Background(), Options{Scale: ScaleQuick})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestFig6DMRatio(t *testing.T) {
 
 func TestTable2Values(t *testing.T) {
 	e, _ := Find("table2")
-	rep, err := e.Run(Options{Quick: true})
+	rep, err := e.Run(context.Background(), Options{Scale: ScaleQuick})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestRenderFormats(t *testing.T) {
 
 func TestScalingAllRows(t *testing.T) {
 	e, _ := Find("scalingall")
-	rep, err := e.Run(Options{Quick: true})
+	rep, err := e.Run(context.Background(), Options{Scale: ScaleQuick})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestPhasesNarrative(t *testing.T) {
 		t.Skip("runs a simulation step")
 	}
 	e, _ := Find("phases")
-	rep, err := e.Run(Options{Quick: true})
+	rep, err := e.Run(context.Background(), Options{Scale: ScaleQuick})
 	if err != nil {
 		t.Fatal(err)
 	}

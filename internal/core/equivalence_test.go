@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -12,6 +13,7 @@ import (
 	"wsstudy/internal/cache"
 	"wsstudy/internal/coherence"
 	"wsstudy/internal/memsys"
+	"wsstudy/internal/obs"
 	"wsstudy/internal/trace"
 )
 
@@ -251,5 +253,67 @@ func TestFanoutMatchesTee(t *testing.T) {
 	}
 	if got, want := cacheSnap(dmF), cacheSnap(dmT); !reflect.DeepEqual(got, want) {
 		t.Errorf("fanout direct-mapped stats diverged from tee\nfanout: %+v\ntee:    %+v", got, want)
+	}
+}
+
+// runPathMetrics is runPath with a fresh obs.Recorder attached: the system
+// is instrumented and the kernel's sink is a metrics-counting context
+// guard, so the snapshot holds the full per-stage counter set (trace
+// delivery, batcher, directory, profiler/caches, miss classification).
+func runPathMetrics(t *testing.T, k kernelCase, cfg memsys.Config, mk func(*memsys.System) trace.Consumer) obs.Metrics {
+	t.Helper()
+	rec := obs.New()
+	sys := memsys.MustNew(cfg)
+	sys.Instrument(rec)
+	inner := mk(sys)
+	k.run(t, trace.WithContext(obs.With(context.Background(), rec), inner))
+	if fan, ok := inner.(*trace.Fanout); ok {
+		if err := fan.Close(); err != nil {
+			t.Fatalf("fanout close: %v", err)
+		}
+	}
+	return rec.Snapshot()
+}
+
+// TestMetricsEquivalence is the observability face of the block-delivery
+// invariant: with a Recorder attached, every per-stage counter — references
+// and blocks through the guard, batcher deliveries, directory transactions
+// by MSI state change, profiler accesses and queries, local/remote miss
+// classification — must be bit-identical whether the stream reaches the
+// system per-Ref (legacy), in blocks (native), or through a Fanout. The
+// counting point for delivery metrics is the guard, upstream of where the
+// three paths diverge; everything else is deterministic simulation state.
+func TestMetricsEquivalence(t *testing.T) {
+	for _, k := range equivalenceKernels() {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := memsys.Config{
+				PEs: 4, LineSize: 8, Profile: true, ProfilePE: 1, WarmupEpochs: k.warm,
+			}
+			legacy := runPathMetrics(t, k, cfg, mkLegacy)
+			native := runPathMetrics(t, k, cfg, mkNative)
+			fanned := runPathMetrics(t, k, cfg, mkFanout(t))
+			if len(legacy.Counters) == 0 {
+				t.Fatal("legacy path recorded no counters; instrumentation is dead")
+			}
+			for _, name := range []string{
+				obs.RefsDelivered, obs.BlocksDelivered,
+				coherence.MetricReads, coherence.MetricWrites,
+				cache.MetricProfilerAccesses,
+			} {
+				if legacy.Counters[name] == 0 {
+					t.Errorf("counter %q is zero on the legacy path", name)
+				}
+			}
+			if !reflect.DeepEqual(native.Counters, legacy.Counters) {
+				t.Errorf("block path counters diverged from per-Ref path\nblock:  %v\nlegacy: %v",
+					native.Counters, legacy.Counters)
+			}
+			if !reflect.DeepEqual(fanned.Counters, legacy.Counters) {
+				t.Errorf("fanout path counters diverged from per-Ref path\nfanout: %v\nlegacy: %v",
+					fanned.Counters, legacy.Counters)
+			}
+		})
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"wsstudy/internal/grain"
 	"wsstudy/internal/machine"
 	"wsstudy/internal/memsys"
+	"wsstudy/internal/obs"
 	"wsstudy/internal/scaling"
 	"wsstudy/internal/trace"
 	"wsstudy/internal/workingset"
@@ -70,7 +71,7 @@ func expFig2() Experiment {
 		Title: "Figure 2: miss rates for LU factorization, n=10,000, PE=1024",
 		Description: "Analytic misses/FLOP vs cache size for B=4,16,64 at paper " +
 			"scale, cross-checked by simulating a scaled-down factorization.",
-		Run: func(o Options) (*Report, error) {
+		Run: func(ctx context.Context, o Options) (*Report, error) {
 			r := &Report{Title: "Figure 2 (LU working sets)"}
 			sizes := sizesGrid()
 			fig := Figure{Title: "LU model, n=10000 P=1024", XLabel: "cache size", YLabel: "misses/FLOP"}
@@ -86,7 +87,7 @@ func expFig2() Experiment {
 
 			// Simulation cross-check at reduced scale.
 			n, b, pr, pc := 128, 8, 2, 2
-			if !o.Quick {
+			if o.Scale != ScaleQuick {
 				n, b, pr, pc = 256, 16, 2, 2
 			}
 			m := lu.NewBlockMatrix(n, b, nil)
@@ -94,8 +95,9 @@ func expFig2() Experiment {
 			sys := memsys.MustNew(memsys.Config{
 				PEs: pr * pc, LineSize: 8, Profile: true, ProfilePE: pr*pc - 1,
 			})
+			sys.Instrument(obs.From(ctx))
 			stats, err := lu.FactorTraced(m, lu.Grid{PR: pr, PC: pc},
-				trace.WithContext(o.Context(), sys))
+				trace.WithContext(ctx, sys))
 			if err != nil {
 				// The model figure and hierarchy table are already in r;
 				// return them as partial data alongside the error.
@@ -125,7 +127,7 @@ func expFig4() Experiment {
 		Title: "Figure 4: miss rates for CG, 4000x4000 grid, P=1024",
 		Description: "Analytic misses/FLOP for the 2-D (4000^2) and 3-D (225^3) " +
 			"prototypical problems, cross-checked by a simulated 2-D solve.",
-		Run: func(o Options) (*Report, error) {
+		Run: func(ctx context.Context, o Options) (*Report, error) {
 			r := &Report{Title: "Figure 4 (CG working sets)"}
 			sizes := sizesGrid()
 			m2 := cg.Model2D{N: 4000, P: 1024}
@@ -140,18 +142,19 @@ func expFig4() Experiment {
 				hierarchyTable("CG 3-D hierarchy", m3.WorkingSets()))
 
 			n, p, iters, warm := 64, 4, 6, 2
-			if !o.Quick {
+			if o.Scale != ScaleQuick {
 				n, p, iters, warm = 128, 4, 8, 2
 			}
 			px := int(math.Sqrt(float64(p)))
 			sys := memsys.MustNew(memsys.Config{
 				PEs: p, LineSize: 8, Profile: true, ProfilePE: p - 1, WarmupEpochs: warm,
 			})
+			sys.Instrument(obs.From(ctx))
 			part, err := cg.NewPartition2D(n, px, p/px, nil)
 			if err != nil {
 				return nil, err
 			}
-			solver := cg.NewSolver2D(part, trace.WithContext(o.Context(), sys))
+			solver := cg.NewSolver2D(part, trace.WithContext(ctx, sys))
 			b := make([]float64, n*n)
 			for i := range b {
 				b[i] = 1
@@ -184,7 +187,7 @@ func expFig5() Experiment {
 		Title: "Figure 5: miss rates for 1D FFT, n=64M, PE=1024",
 		Description: "Analytic misses/op for internal radices 2, 8 and 32 at " +
 			"paper scale, cross-checked by simulated transforms.",
-		Run: func(o Options) (*Report, error) {
+		Run: func(ctx context.Context, o Options) (*Report, error) {
 			r := &Report{Title: "Figure 5 (FFT working sets)"}
 			sizes := sizesGrid()
 			fig := Figure{Title: "FFT model, n=2^26 P=1024", XLabel: "cache size", YLabel: "misses/op"}
@@ -199,7 +202,7 @@ func expFig5() Experiment {
 				fft.Model{LogN: 26, P: 1024, InternalRadix: 8}.WorkingSets()))
 
 			logN := 12
-			if !o.Quick {
+			if o.Scale != ScaleQuick {
 				logN = 16
 			}
 			const p, pe = 4, 1
@@ -212,8 +215,9 @@ func expFig5() Experiment {
 				sys := memsys.MustNew(memsys.Config{
 					PEs: p, LineSize: 8, Profile: true, ProfilePE: pe,
 				})
+				sys.Instrument(obs.From(ctx))
 				f, err := fft.New(fft.Config{LogN: logN, P: p, InternalRadix: radix},
-					trace.WithContext(o.Context(), sys))
+					trace.WithContext(ctx, sys))
 				if err != nil {
 					return nil, err
 				}
@@ -245,6 +249,7 @@ func runBH(ctx context.Context, n, p, profPE, warm, steps int, theta float64) (*
 	sys := memsys.MustNew(memsys.Config{
 		PEs: p, LineSize: 8, Profile: true, ProfilePE: profPE, WarmupEpochs: warm,
 	})
+	sys.Instrument(obs.From(ctx))
 	sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
 		Theta: theta, Quadrupole: true, Eps: 0.05, DT: 0.003, P: p,
 	}, trace.WithContext(ctx, sys))
@@ -265,13 +270,13 @@ func expFig6() Experiment {
 		Title: "Figure 6: working sets for Barnes-Hut, n=1024, theta=1.0, p=4, quadrupole",
 		Description: "Simulated per-processor read miss rate vs cache size for " +
 			"the paper's exact configuration (Quick mode shrinks n).",
-		Run: func(o Options) (*Report, error) {
+		Run: func(ctx context.Context, o Options) (*Report, error) {
 			n := 1024
 			steps := 5
-			if o.Quick {
+			if o.Scale == ScaleQuick {
 				n, steps = 256, 4
 			}
-			prof, err := runBH(o.Context(), n, 4, 1, 2, steps, 1.0)
+			prof, err := runBH(ctx, n, 4, 1, 2, steps, 1.0)
 			if err != nil {
 				return nil, err
 			}
@@ -307,9 +312,9 @@ func expFig6DM() Experiment {
 			"direct-mapped caches of every size concurrently (trace.Fanout) and " +
 			"reports the size needed to match the fully associative lev2WS miss " +
 			"rate (the paper finds about 3x).",
-		Run: func(o Options) (*Report, error) {
+		Run: func(ctx context.Context, o Options) (*Report, error) {
 			n, steps := 256, 3
-			if !o.Quick {
+			if o.Scale != ScaleQuick {
 				n, steps = 512, 4
 			}
 			const p, pe, warm, theta = 4, 1, 1, 1.0
@@ -321,6 +326,7 @@ func expFig6DM() Experiment {
 			faSys := memsys.MustNew(memsys.Config{
 				PEs: p, LineSize: 8, Profile: true, ProfilePE: pe, WarmupEpochs: warm,
 			})
+			faSys.Instrument(obs.From(ctx))
 			sizes := workingset.LogSizes(1024, 1<<20, 1)
 			dmSys := make([]*memsys.System, len(sizes))
 			consumers := []trace.Consumer{faSys}
@@ -329,18 +335,20 @@ func expFig6DM() Experiment {
 					PEs: p, LineSize: 8, CacheCapacity: int(bytes / 8), Assoc: 1,
 					ProfilePE: -1, WarmupEpochs: warm,
 				})
+				dmSys[i].Instrument(obs.From(ctx))
 				consumers = append(consumers, dmSys[i])
 			}
 			fan, err := trace.NewFanout(consumers...)
 			if err != nil {
 				return nil, err
 			}
+			fan.Instrument(obs.From(ctx))
 			defer fan.Close()
 
 			bodies := barneshut.Plummer(n, 42)
 			sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
 				Theta: theta, Quadrupole: true, Eps: 0.05, DT: 0.003, P: p,
-			}, trace.WithContext(o.Context(), fan))
+			}, trace.WithContext(ctx, fan))
 			if err != nil {
 				return nil, err
 			}
@@ -405,13 +413,13 @@ func expFig7() Experiment {
 		Title: "Figure 7: working sets for volume rendering, 256x256x113 head, p=4",
 		Description: "Simulated per-processor read miss rate vs cache size " +
 			"rendering the synthetic head phantom across slowly rotating frames.",
-		Run: func(o Options) (*Report, error) {
+		Run: func(ctx context.Context, o Options) (*Report, error) {
 			// The image must resolve the volume (ray spacing ~1 voxel,
 			// as in the paper's renderer) or successive rays share no
 			// voxels and the lev2WS reuse disappears: the image edge
 			// tracks the volume diagonal.
 			nx, ny, nz, img, frames := 64, 64, 56, 112, 3
-			if !o.Quick {
+			if o.Scale != ScaleQuick {
 				nx, ny, nz, img, frames = 256, 256, 113, 384, 3
 			}
 			vol := volrend.SyntheticHead(nx, ny, nz)
@@ -419,9 +427,10 @@ func expFig7() Experiment {
 				PEs: 4, LineSize: 8, Dist: memsys.Interleaved,
 				Profile: true, ProfilePE: 0, WarmupEpochs: 1,
 			})
+			sys.Instrument(obs.From(ctx))
 			ren, err := volrend.NewRenderer(vol, volrend.Config{
 				ImageW: img, ImageH: img, P: 4,
-			}, trace.WithContext(o.Context(), sys))
+			}, trace.WithContext(ctx, sys))
 			if err != nil {
 				return nil, err
 			}
@@ -460,7 +469,7 @@ func expTable1() Experiment {
 		ID:          "table1",
 		Title:       "Table 1: important application growth rates",
 		Description: "The paper's symbolic growth-rate table with model-derived spot checks.",
-		Run: func(Options) (*Report, error) {
+		Run: func(context.Context, Options) (*Report, error) {
 			r := &Report{Title: "Table 1 (growth rates)"}
 			t := Table{
 				Title:  "growth rates (n = problem parameter, P = processors)",
@@ -510,7 +519,7 @@ func expTable2() Experiment {
 		ID:          "table2",
 		Title:       "Table 2: summary of important application parameters",
 		Description: "Cache sizes for the 1 GB / 1024-PE prototypes, growth rates, desirable grains.",
-		Run: func(Options) (*Report, error) {
+		Run: func(context.Context, Options) (*Report, error) {
 			r := &Report{Title: "Table 2 (summary)"}
 			t := Table{
 				Title: "prototypical 1 GB problem on 1024 processors",
@@ -553,7 +562,7 @@ func expMachines() Experiment {
 		ID:          "machines",
 		Title:       "Section 2.3: sustainable computation-to-communication ratios",
 		Description: "The Paragon and CM-5 arithmetic behind the paper's 1-15/15-75/>75 bands.",
-		Run: func(Options) (*Report, error) {
+		Run: func(context.Context, Options) (*Report, error) {
 			r := &Report{Title: "Sustainable ratios (Section 2.3)"}
 			t := Table{
 				Title:  "machine models",
@@ -589,7 +598,7 @@ func expGrain() Experiment {
 		ID:          "grain",
 		Title:       "Grain-size scenarios: 1 GB problems on 64 / 1024 / 16K processors",
 		Description: "The per-application grain discussions of Sections 3.3-7.3.",
-		Run: func(Options) (*Report, error) {
+		Run: func(context.Context, Options) (*Report, error) {
 			r := &Report{Title: "Grain-size advisor"}
 			for _, a := range grain.AdviseAll() {
 				t := Table{
@@ -622,7 +631,7 @@ func expScalingBH() Experiment {
 		ID:          "scalingbh",
 		Title:       "Section 6.2: Barnes-Hut working sets under MC and TC scaling",
 		Description: "The 64K-particle / 64-PE base scaled to 1K and 1M processors.",
-		Run: func(Options) (*Report, error) {
+		Run: func(context.Context, Options) (*Report, error) {
 			r := &Report{Title: "Barnes-Hut scaling (Section 6.2)"}
 			base := scaling.BHParams{N: 65536, Theta: 1.0, DT: 1.0}
 			machines := []float64{1, 16, 16384}
@@ -656,7 +665,7 @@ func expCost() Experiment {
 		ID:          "cost",
 		Title:       "Section 8: performance per dollar vs node granularity",
 		Description: "Evaluates the fixed 1 GB LU problem across grain sizes under 1993 component prices and tests the equal-cost-split conjecture.",
-		Run: func(Options) (*Report, error) {
+		Run: func(context.Context, Options) (*Report, error) {
 			const n, b = 10000, 16
 			app := cost.AppModel{
 				Name: "LU",

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,15 +27,15 @@ func expPhases() Experiment {
 		ID:          "phases",
 		Title:       "Section 6.4: Barnes-Hut phase breakdown and fine-grain speedup limit",
 		Description: "Measured per-phase work and a projected speedup curve showing where tree building starts to bite.",
-		Run: func(o Options) (*Report, error) {
+		Run: func(ctx context.Context, o Options) (*Report, error) {
 			n := 4096
-			if o.Quick {
+			if o.Scale == ScaleQuick {
 				n = 1024
 			}
 			bodies := barneshut.Plummer(n, 7)
 			sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
 				Theta: 1.0, Quadrupole: true, Eps: 0.05, DT: 0.003, P: 4,
-			}, trace.WithContext(o.Context(), nil))
+			}, trace.WithContext(ctx, nil))
 			if err != nil {
 				return nil, err
 			}

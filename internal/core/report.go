@@ -9,11 +9,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
+	"wsstudy/internal/obs"
 	"wsstudy/internal/workingset"
 )
 
@@ -44,6 +47,10 @@ type Report struct {
 	Figures []Figure
 	Tables  []Table
 	Notes   []string
+	// Metrics is the run's observability snapshot — per-stage counters,
+	// timings and labels — populated by Execute when the run's context
+	// carries an obs.Recorder, nil otherwise.
+	Metrics *obs.Metrics
 }
 
 // AddNote appends a free-text note.
@@ -65,6 +72,10 @@ func (r *Report) Render(w io.Writer) {
 		for _, n := range r.Notes {
 			fmt.Fprintf(w, "  - %s\n", n)
 		}
+	}
+	if r.Metrics != nil && !r.Metrics.Empty() {
+		fmt.Fprintln(w, "\n-- metrics --")
+		r.Metrics.Render(w)
 	}
 }
 
@@ -151,7 +162,8 @@ func renderSparklines(w io.Writer, f *Figure) {
 
 // RenderCSV writes every figure series as rows of
 // (figure, series, cache_bytes, value) — machine-readable output for
-// external plotting.
+// external plotting. When the report carries Metrics, they follow as rows
+// under the pseudo-figure "metrics" with an empty cache_bytes column.
 func (r *Report) RenderCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"figure", "series", "cache_bytes", "value"}); err != nil {
@@ -170,8 +182,56 @@ func (r *Report) RenderCSV(w io.Writer) error {
 			}
 		}
 	}
+	if r.Metrics != nil {
+		if err := renderMetricsCSV(cw, r.Metrics); err != nil {
+			return err
+		}
+	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// renderMetricsCSV emits a report's metrics snapshot as CSV rows: one per
+// counter and gauge, and count/sum rows per duration histogram.
+func renderMetricsCSV(cw *csv.Writer, m *obs.Metrics) error {
+	row := func(name, value string) error {
+		return cw.Write([]string{"metrics", name, "", value})
+	}
+	names := make([]string, 0, len(m.Counters))
+	for name := range m.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := row(name, strconv.FormatUint(m.Counters[name], 10)); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range m.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := row(name+".max", strconv.FormatInt(m.Gauges[name].Max, 10)); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range m.Durations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ds := m.Durations[name]
+		if err := row(name+".count", strconv.FormatUint(ds.Count, 10)); err != nil {
+			return err
+		}
+		if err := row(name+".sum_ns", strconv.FormatInt(int64(ds.Sum), 10)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func renderTable(w io.Writer, t *Table) {
@@ -184,57 +244,88 @@ func renderTable(w io.Writer, t *Table) {
 	tw.Flush()
 }
 
-// Options tunes an experiment run.
+// Scale selects the simulated problem sizes of a run. The zero value is
+// the full, paper-scale configuration, so a zero Options keeps meaning
+// "run it for real"; intermediate scales can be added without another
+// signature change.
+type Scale uint8
+
+const (
+	// ScaleFull runs the paper-scale or largest-feasible configurations.
+	ScaleFull Scale = iota
+	// ScaleQuick shrinks simulated problem sizes so the whole suite runs
+	// in seconds (used by tests and smoke runs).
+	ScaleQuick
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == ScaleQuick {
+		return "quick"
+	}
+	return "full"
+}
+
+// Options tunes an experiment run. Cancellation and observability do not
+// live here: the run's context.Context — the first argument of every Run —
+// carries both (deadline/cancel natively, the obs.Recorder via obs.With).
 type Options struct {
-	// Quick shrinks simulated problem sizes so the whole suite runs in
-	// seconds (used by tests); full runs use the paper-scale or
-	// largest-feasible configurations.
-	Quick bool
-	// Ctx, when non-nil, cancels the run cooperatively: kernels poll it at
-	// their outer-loop boundaries, so a cancelled or expired context stops
-	// an experiment within one loop body. Nil means context.Background.
-	Ctx context.Context
+	// Scale selects the simulated problem sizes (ScaleFull by default).
+	Scale Scale
 	// Timeout, when positive, bounds the experiment's run time. Execute
-	// derives a deadline-carrying context from Ctx and maps expiry to
-	// ErrDeadline.
+	// derives a deadline-carrying context and maps expiry to ErrDeadline.
 	Timeout time.Duration
 }
 
-// Context returns the run's context, never nil.
-func (o Options) Context() context.Context {
-	if o.Ctx != nil {
-		return o.Ctx
-	}
-	return context.Background()
-}
-
-// Err reports the run context's cancellation state.
-func (o Options) Err() error { return o.Context().Err() }
+// Quick reports whether the run is at quick scale.
+//
+// Deprecated: Quick was the bool field this accessor replaces; compare
+// Options.Scale against ScaleQuick directly. Kept one release as a shim.
+func (o Options) Quick() bool { return o.Scale == ScaleQuick }
 
 // Experiment is one reproducible artifact of the paper.
 type Experiment struct {
 	ID          string // "fig2", "table1", ...
 	Title       string
 	Description string
-	Run         func(Options) (*Report, error)
+	Run         func(ctx context.Context, opt Options) (*Report, error)
 }
 
-// Registry lists every experiment in paper order.
-func Registry() []Experiment {
-	return []Experiment{
-		expFig2(), expFig4(), expFig5(), expFig6(), expFig6DM(), expFig7(),
-		expTable1(), expTable2(), expMachines(), expGrain(), expScalingBH(),
-		expCost(), expAssoc(), expLineSize(), expScalingAll(), expPhases(),
-		expBus(),
+// registry builds the experiment list and its id index exactly once; the
+// constructors are pure, so there is no reason to re-run all seventeen on
+// every Find.
+var registry = sync.OnceValue(func() *registryData {
+	d := &registryData{
+		list: []Experiment{
+			expFig2(), expFig4(), expFig5(), expFig6(), expFig6DM(), expFig7(),
+			expTable1(), expTable2(), expMachines(), expGrain(), expScalingBH(),
+			expCost(), expAssoc(), expLineSize(), expScalingAll(), expPhases(),
+			expBus(),
+		},
 	}
+	d.byID = make(map[string]Experiment, len(d.list))
+	for _, e := range d.list {
+		d.byID[e.ID] = e
+	}
+	return d
+})
+
+type registryData struct {
+	list []Experiment
+	byID map[string]Experiment
+}
+
+// Registry lists every experiment in paper order. The returned slice is
+// the caller's to reorder or filter.
+func Registry() []Experiment {
+	d := registry()
+	out := make([]Experiment, len(d.list))
+	copy(out, d.list)
+	return out
 }
 
 // Find returns the experiment with the given id.
 func Find(id string) (Experiment, bool) {
-	for _, e := range Registry() {
-		if e.ID == id {
-			return e, true
-		}
-	}
-	return Experiment{}, false
+	e, ok := registry().byID[id]
+	return e, ok
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,7 +20,7 @@ func expScalingAll() Experiment {
 		ID:          "scalingall",
 		Title:       "Scaling summary: all applications under MC and TC models",
 		Description: "Problem growth, grain, working set and run time when the machine grows 16x and 1024x.",
-		Run: func(Options) (*Report, error) {
+		Run: func(context.Context, Options) (*Report, error) {
 			r := &Report{Title: "Scaling all applications (prototypes on 1024 PEs)"}
 			for _, model := range []scaling.Model{scaling.MC, scaling.TC} {
 				t := Table{

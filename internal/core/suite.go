@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"wsstudy/internal/obs"
 )
 
 // ErrDeadline is wrapped by every *DeadlineError, so callers can classify
@@ -83,60 +85,61 @@ func IsTransient(err error) bool {
 // comes back as a *PanicError with the captured stack, and deadline expiry
 // comes back as a *DeadlineError carrying whatever partial Report the
 // experiment managed to assemble.
+//
+// Observability: when ctx carries an obs.Recorder, the experiment runs
+// against a child Recorder (so concurrent suite workers never interleave
+// counts), its wall time lands in the parent's ExperimentWall histogram,
+// and the child's final snapshot is folded back into the parent and
+// attached to the Report (or to a DeadlineError's partial report) as
+// Report.Metrics. With no Recorder attached none of this machinery is
+// created.
 func Execute(ctx context.Context, e Experiment, opt Options) (rep *Report, err error) {
 	if ctx == nil {
 		ctx = context.Background()
-	}
-	if opt.Ctx != nil {
-		// Respect both the caller's ctx and the one already in the options;
-		// the options context usually is the caller's, but don't assume.
-		ctx = mergedContext(ctx, opt.Ctx)
 	}
 	cancel := context.CancelFunc(func() {})
 	if opt.Timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
 	}
 	defer cancel()
-	opt.Ctx = ctx
+
+	parent := obs.From(ctx)
+	var run *obs.Recorder
+	if parent != nil {
+		parent.SetLabel(obs.LabelExperiment, e.ID)
+		run = parent.NewChild()
+		ctx = obs.With(ctx, run)
+	}
+	start := time.Now()
 
 	defer func() {
 		if v := recover(); v != nil {
 			rep = nil
 			err = &PanicError{ID: e.ID, Value: v, Stack: string(debug.Stack())}
-			return
-		}
-		if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		} else if err != nil && errors.Is(err, context.DeadlineExceeded) {
 			err = &DeadlineError{ID: e.ID, Timeout: opt.Timeout, Partial: rep}
 			rep = nil
 		}
-	}()
-	return e.Run(opt)
-}
-
-// mergedContext returns a context cancelled when either parent is. When one
-// is the other's ancestor (the common case) the child is returned directly.
-func mergedContext(a, b context.Context) context.Context {
-	if a == b || b.Done() == nil {
-		return a
-	}
-	if a.Done() == nil {
-		return b
-	}
-	ctx, cancel := context.WithCancel(a)
-	go func() {
-		select {
-		case <-b.Done():
-		case <-ctx.Done():
+		if parent != nil {
+			parent.Observe(obs.ExperimentWall, time.Since(start))
+			m := parent.Fold(run)
+			if rep != nil {
+				rep.Metrics = &m
+			} else {
+				var de *DeadlineError
+				if errors.As(err, &de) && de.Partial != nil {
+					de.Partial.Metrics = &m
+				}
+			}
 		}
-		cancel()
 	}()
-	return ctx
+	return e.Run(ctx, opt)
 }
 
 // SuiteOptions tunes a RunSuite call.
 type SuiteOptions struct {
-	// Options is the base per-experiment configuration (Quick, Timeout).
-	// Its Ctx field is ignored; pass the suite context to RunSuite.
+	// Options is the base per-experiment configuration (Scale, Timeout).
+	// Cancellation and observability ride the context passed to RunSuite.
 	Options Options
 	// Workers bounds the number of experiments running concurrently.
 	// Zero or negative means 2.
@@ -224,6 +227,7 @@ func RunSuite(ctx context.Context, experiments []Experiment, opt SuiteOptions) *
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
+	obs.From(ctx).Counter(obs.SuiteTotal).Add(uint64(len(experiments)))
 
 	report := &SuiteReport{Results: make([]SuiteResult, len(experiments))}
 	jobs := make(chan int)
@@ -261,9 +265,19 @@ feed:
 // runOne executes a single experiment with retry-with-backoff for
 // transiently classified failures.
 func runOne(ctx context.Context, e Experiment, opt SuiteOptions, backoff time.Duration) SuiteResult {
+	rec := obs.From(ctx)
+	busy := rec.Gauge(obs.WorkersBusy)
+	busy.Add(1)
 	res := SuiteResult{ID: e.ID, Title: e.Title}
 	start := time.Now()
-	defer func() { res.Elapsed = time.Since(start) }()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		busy.Add(-1)
+		rec.Counter(obs.SuiteDone).Inc()
+		if res.Err != nil {
+			rec.Counter(obs.SuiteFailed).Inc()
+		}
+	}()
 	for attempt := 0; ; attempt++ {
 		res.Attempts = attempt + 1
 		rep, err := Execute(ctx, e, opt.Options)
@@ -271,6 +285,7 @@ func runOne(ctx context.Context, e Experiment, opt SuiteOptions, backoff time.Du
 		if err == nil || !IsTransient(err) || attempt >= opt.Retries {
 			return res
 		}
+		rec.Counter(obs.SuiteRetries).Inc()
 		// Context-aware backoff sleep; a cancelled suite stops retrying.
 		t := time.NewTimer(backoff << attempt)
 		select {

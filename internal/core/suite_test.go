@@ -6,13 +6,15 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"wsstudy/internal/obs"
 )
 
 // okExp returns a trivially succeeding experiment.
 func okExp(id string) Experiment {
 	return Experiment{
 		ID: id, Title: id,
-		Run: func(o Options) (*Report, error) {
+		Run: func(ctx context.Context, o Options) (*Report, error) {
 			return &Report{Title: id}, nil
 		},
 	}
@@ -22,7 +24,7 @@ func okExp(id string) Experiment {
 func panicExp(id string) Experiment {
 	return Experiment{
 		ID: id, Title: id,
-		Run: func(o Options) (*Report, error) {
+		Run: func(ctx context.Context, o Options) (*Report, error) {
 			panic("kaboom: " + id)
 		},
 	}
@@ -33,11 +35,11 @@ func panicExp(id string) Experiment {
 func deadlineExp(id string) Experiment {
 	return Experiment{
 		ID: id, Title: id,
-		Run: func(o Options) (*Report, error) {
+		Run: func(ctx context.Context, o Options) (*Report, error) {
 			r := &Report{Title: "partial " + id}
 			r.AddNote("model figure computed before the simulation timed out")
-			<-o.Context().Done()
-			return r, o.Context().Err()
+			<-ctx.Done()
+			return r, ctx.Err()
 		},
 	}
 }
@@ -123,10 +125,10 @@ func TestSuiteCancellationStopsSweep(t *testing.T) {
 	started := make(chan struct{}, 16)
 	blocker := Experiment{
 		ID: "block", Title: "block",
-		Run: func(o Options) (*Report, error) {
+		Run: func(ctx context.Context, o Options) (*Report, error) {
 			started <- struct{}{}
-			<-o.Context().Done()
-			return nil, o.Context().Err()
+			<-ctx.Done()
+			return nil, ctx.Err()
 		},
 	}
 	exps := make([]Experiment, 8)
@@ -157,7 +159,7 @@ func TestSuiteTransientRetry(t *testing.T) {
 	var calls int
 	flaky := Experiment{
 		ID: "flaky", Title: "flaky",
-		Run: func(o Options) (*Report, error) {
+		Run: func(ctx context.Context, o Options) (*Report, error) {
 			calls++
 			if calls < 3 {
 				return nil, Transient(errors.New("resource pressure"))
@@ -210,11 +212,153 @@ func TestRunContextCancelledSweep(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // already cancelled: the first kernel poll must abort
 	start := time.Now()
-	rep, err := Execute(ctx, e, Options{Quick: true})
+	rep, err := Execute(ctx, e, Options{Scale: ScaleQuick})
 	if err == nil || !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled (rep=%v)", err, rep != nil)
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("cancelled experiment still ran %v", elapsed)
+	}
+}
+
+// TestExecuteAttachesMetrics verifies the Recorder plumbing through
+// Execute: the run happens under a child recorder, the child folds back
+// into the parent, the Report carries the snapshot, and the parent records
+// wall time and the current-experiment label.
+func TestExecuteAttachesMetrics(t *testing.T) {
+	rec := obs.New()
+	ctx := obs.With(context.Background(), rec)
+	counting := Experiment{
+		ID: "counting", Title: "counting",
+		Run: func(ctx context.Context, o Options) (*Report, error) {
+			obs.From(ctx).Counter("test.widgets").Add(7)
+			return &Report{Title: "counting"}, nil
+		},
+	}
+	rep, err := Execute(ctx, counting, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics == nil {
+		t.Fatal("Execute under a Recorder left Report.Metrics nil")
+	}
+	if got := rep.Metrics.Counters["test.widgets"]; got != 7 {
+		t.Errorf("report counter = %d, want 7", got)
+	}
+	parent := rec.Snapshot()
+	if got := parent.Counters["test.widgets"]; got != 7 {
+		t.Errorf("folded parent counter = %d, want 7", got)
+	}
+	if ws := parent.Durations[obs.ExperimentWall]; ws.Count != 1 {
+		t.Errorf("%s count = %d, want 1", obs.ExperimentWall, ws.Count)
+	}
+	if got := parent.Labels[obs.LabelExperiment]; got != "counting" {
+		t.Errorf("experiment label = %q, want counting", got)
+	}
+
+	// Without a Recorder the report must stay metric-free.
+	rep, err = Execute(context.Background(), counting, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics != nil {
+		t.Error("Execute without a Recorder attached metrics")
+	}
+}
+
+// TestExecuteMetricsOnDeadlinePartial verifies a timed-out run still folds
+// its child recorder into the partial report.
+func TestExecuteMetricsOnDeadlinePartial(t *testing.T) {
+	rec := obs.New()
+	ctx := obs.With(context.Background(), rec)
+	slow := Experiment{
+		ID: "slow", Title: "slow",
+		Run: func(ctx context.Context, o Options) (*Report, error) {
+			obs.From(ctx).Counter("test.before.deadline").Inc()
+			r := &Report{Title: "partial slow"}
+			<-ctx.Done()
+			return r, ctx.Err()
+		},
+	}
+	_, err := Execute(ctx, slow, Options{Timeout: 20 * time.Millisecond})
+	var de *DeadlineError
+	if !errors.As(err, &de) || de.Partial == nil {
+		t.Fatalf("err = %v, want *DeadlineError with partial", err)
+	}
+	if de.Partial.Metrics == nil || de.Partial.Metrics.Counters["test.before.deadline"] != 1 {
+		t.Fatalf("partial report metrics = %+v, want the pre-deadline counter", de.Partial.Metrics)
+	}
+}
+
+// TestSuiteRecordsSchedulingMetrics verifies the suite-level counters:
+// total/done/failed, retries, and peak worker occupancy.
+func TestSuiteRecordsSchedulingMetrics(t *testing.T) {
+	rec := obs.New()
+	ctx := obs.With(context.Background(), rec)
+	var calls int
+	flaky := Experiment{
+		ID: "flaky", Title: "flaky",
+		Run: func(ctx context.Context, o Options) (*Report, error) {
+			calls++
+			if calls < 2 {
+				return nil, Transient(errors.New("pressure"))
+			}
+			return &Report{Title: "flaky"}, nil
+		},
+	}
+	exps := []Experiment{okExp("a"), panicExp("p"), flaky}
+	report := RunSuite(ctx, exps, SuiteOptions{
+		Workers: 1, Retries: 2, Backoff: time.Millisecond,
+	})
+	if got := len(report.Reports()); got != 2 {
+		t.Fatalf("successful reports = %d, want 2", got)
+	}
+	m := rec.Snapshot()
+	checks := []struct {
+		name string
+		want uint64
+	}{
+		{obs.SuiteTotal, 3},
+		{obs.SuiteDone, 3},
+		{obs.SuiteFailed, 1},
+		{obs.SuiteRetries, 1},
+	}
+	for _, c := range checks {
+		if got := m.Counters[c.name]; got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+	if g := m.Gauges[obs.WorkersBusy]; g.Max != 1 || g.Value != 0 {
+		t.Errorf("%s = %+v, want max 1 and settled 0", obs.WorkersBusy, g)
+	}
+	if ws := m.Durations[obs.ExperimentWall]; ws.Count < 3 {
+		t.Errorf("%s count = %d, want >= 3 (one per attempt)", obs.ExperimentWall, ws.Count)
+	}
+}
+
+// TestRenderIncludesMetrics verifies the text and CSV renderings surface a
+// report's metrics section.
+func TestRenderIncludesMetrics(t *testing.T) {
+	m := obs.Metrics{
+		Counters: map[string]uint64{"trace.refs": 1234},
+		Labels:   map[string]string{"experiment.current": "demo"},
+	}
+	r := &Report{Title: "demo", Metrics: &m}
+	r.Tables = append(r.Tables, Table{Title: "t", Header: []string{"a"}, Rows: [][]string{{"1"}}})
+
+	var text strings.Builder
+	r.Render(&text)
+	if !strings.Contains(text.String(), "-- metrics --") ||
+		!strings.Contains(text.String(), "trace.refs") {
+		t.Errorf("text render missing metrics section:\n%s", text.String())
+	}
+
+	var csv strings.Builder
+	r.Figures = append(r.Figures, Figure{})
+	if err := r.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "metrics,trace.refs,,1234") {
+		t.Errorf("csv render missing metrics rows:\n%s", csv.String())
 	}
 }

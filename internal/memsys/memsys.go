@@ -11,7 +11,18 @@ import (
 
 	"wsstudy/internal/cache"
 	"wsstudy/internal/coherence"
+	"wsstudy/internal/obs"
 	"wsstudy/internal/trace"
+)
+
+// Metric names recorded by an instrumented System.
+const (
+	// MetricLocalMisses counts measured misses homed at the issuing
+	// processor.
+	MetricLocalMisses = "memsys.local_misses"
+	// MetricRemoteMisses counts measured misses homed elsewhere — the
+	// communication the paper's node-granularity analysis prices.
+	MetricRemoteMisses = "memsys.remote_misses"
 )
 
 // ErrInvalidConfig is wrapped by every configuration error New returns, so
@@ -77,6 +88,32 @@ type System struct {
 	stats     Stats
 	epoch     int
 	measuring bool
+
+	// Run-scope miss-classification counters, live only after Instrument.
+	mLocal  *obs.Counter
+	mRemote *obs.Counter
+}
+
+// Instrument attaches run-scope counters from rec to the system and every
+// component it owns: local/remote miss classification here, transaction
+// counters on the directory, access/query counters on the profilers, and
+// eviction counters on the concrete caches. A nil rec leaves everything
+// uninstrumented; experiments call it unconditionally with obs.From(ctx).
+func (s *System) Instrument(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	s.mLocal = rec.Counter(MetricLocalMisses)
+	s.mRemote = rec.Counter(MetricRemoteMisses)
+	s.dir.Instrument(rec)
+	for _, p := range s.profilers {
+		if p != nil {
+			p.Instrument(rec)
+		}
+	}
+	for _, c := range s.caches {
+		cache.InstrumentCache(c, rec)
+	}
 }
 
 // New builds a System from cfg. All configuration errors wrap
@@ -216,8 +253,10 @@ func (s *System) refOne(r trace.Ref) {
 		if miss && s.measuring {
 			if s.Home(addr) == r.PE {
 				s.stats.LocalMisses++
+				s.mLocal.Inc()
 			} else {
 				s.stats.RemoteMisses++
+				s.mRemote.Inc()
 			}
 		}
 		if line == last {

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress periodically renders a one-line status from a Recorder: how
+// many references the run has pushed and at what rate, which experiment is
+// in flight, suite completion, and — once at least one experiment has
+// finished — a crude ETA extrapolated from the mean completion time. It is
+// the opt-in live view behind the CLI's -progress flag.
+type Progress struct {
+	rec      *Recorder
+	w        io.Writer
+	interval time.Duration
+
+	stop chan struct{}
+	done sync.WaitGroup
+
+	start    time.Time
+	lastRefs uint64
+	lastTick time.Time
+}
+
+// StartProgress begins emitting a status line to w every interval (default
+// one second when interval <= 0). Lines are terminated with a carriage
+// return so a terminal shows a single updating line; call Stop to emit the
+// final state with a newline. Returns nil when rec or w is nil — Stop on a
+// nil *Progress is a no-op, so callers can defer it unconditionally.
+func StartProgress(rec *Recorder, w io.Writer, interval time.Duration) *Progress {
+	if rec == nil || w == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	now := time.Now()
+	p := &Progress{
+		rec:      rec,
+		w:        w,
+		interval: interval,
+		stop:     make(chan struct{}),
+		start:    now,
+		lastTick: now,
+	}
+	p.done.Add(1)
+	go p.loop()
+	return p
+}
+
+func (p *Progress) loop() {
+	defer p.done.Done()
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case now := <-t.C:
+			fmt.Fprintf(p.w, "\r%s", p.line(now))
+		}
+	}
+}
+
+// line formats one status line from the current snapshot.
+func (p *Progress) line(now time.Time) string {
+	m := p.rec.Snapshot()
+	refs := m.Counter(RefsDelivered)
+	elapsed := now.Sub(p.start)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s]", elapsed.Round(time.Second))
+	if cur := m.Labels[LabelExperiment]; cur != "" {
+		fmt.Fprintf(&b, " %s", cur)
+	}
+	fmt.Fprintf(&b, " refs=%d", refs)
+	if dt := now.Sub(p.lastTick); dt > 0 && refs >= p.lastRefs {
+		fmt.Fprintf(&b, " (%s refs/s)", rate(refs-p.lastRefs, dt))
+	}
+	p.lastRefs, p.lastTick = refs, now
+
+	if total := m.Counter(SuiteTotal); total > 0 {
+		done := m.Counter(SuiteDone)
+		fmt.Fprintf(&b, " experiments=%d/%d", done, total)
+		if eta, ok := estimateETA(m, elapsed); ok {
+			fmt.Fprintf(&b, " eta=%s", eta.Round(time.Second))
+		}
+	}
+	return b.String()
+}
+
+// estimateETA extrapolates remaining suite time from mean experiment wall
+// time and worker occupancy. It reports ok=false until one experiment has
+// completed.
+func estimateETA(m Metrics, elapsed time.Duration) (time.Duration, bool) {
+	total, done := m.Counter(SuiteTotal), m.Counter(SuiteDone)
+	if done == 0 || done >= total {
+		return 0, done >= total && total > 0
+	}
+	workers := m.Gauges[WorkersBusy].Max
+	if workers < 1 {
+		workers = 1
+	}
+	mean := m.Durations[ExperimentWall].Mean()
+	if mean == 0 {
+		mean = elapsed / time.Duration(done)
+	}
+	remaining := time.Duration(total-done) * mean / time.Duration(workers)
+	return remaining, true
+}
+
+// rate renders events per second with a compact SI suffix.
+func rate(n uint64, dt time.Duration) string {
+	perSec := float64(n) / dt.Seconds()
+	switch {
+	case perSec >= 1e9:
+		return fmt.Sprintf("%.1fG", perSec/1e9)
+	case perSec >= 1e6:
+		return fmt.Sprintf("%.1fM", perSec/1e6)
+	case perSec >= 1e3:
+		return fmt.Sprintf("%.1fk", perSec/1e3)
+	default:
+		return fmt.Sprintf("%.0f", perSec)
+	}
+}
+
+// Stop halts the ticker and writes the final status followed by a newline.
+// Safe on a nil receiver and idempotent is not required — call once.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	close(p.stop)
+	p.done.Wait()
+	fmt.Fprintf(p.w, "\r%s\n", p.line(time.Now()))
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Shared metric names. Stages that are wired together across packages
+// (the trace guard feeding the progress reporter, the suite feeding the
+// ETA estimate) agree on these; stage-local metrics use their own
+// package-prefixed names ("coherence.invalidations", "trace.fanout.stalls")
+// declared where they are incremented.
+const (
+	// RefsDelivered counts references through the context trace guard —
+	// the run's primary rate signal.
+	RefsDelivered = "trace.refs"
+	// BlocksDelivered counts blocks through the context trace guard.
+	BlocksDelivered = "trace.blocks"
+	// EpochsDelivered counts epoch boundaries through the guard.
+	EpochsDelivered = "trace.epochs"
+
+	// SuiteTotal / SuiteDone / SuiteFailed count experiments scheduled,
+	// finished, and failed; SuiteRetries counts transient-failure retries.
+	SuiteTotal   = "suite.experiments.total"
+	SuiteDone    = "suite.experiments.done"
+	SuiteFailed  = "suite.experiments.failed"
+	SuiteRetries = "suite.retries"
+	// WorkersBusy gauges instantaneous suite-worker occupancy (its Max is
+	// the high-water mark).
+	WorkersBusy = "suite.workers.busy"
+	// ExperimentWall is the per-experiment wall-time histogram.
+	ExperimentWall = "experiment.wall"
+	// LabelExperiment labels the most recently started experiment id.
+	LabelExperiment = "experiment.current"
+)
+
+// GaugeValue is a gauge's level and high-water mark at snapshot time.
+type GaugeValue struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// DurationStats summarizes a duration histogram. Durations encode as
+// integer nanoseconds in JSON. Buckets[0] counts sub-microsecond
+// observations and Buckets[i] counts [2^(i-1), 2^i) microseconds; the
+// slice is trimmed after the last non-empty bucket.
+type DurationStats struct {
+	Count   uint64        `json:"count"`
+	Sum     time.Duration `json:"sum_ns"`
+	Min     time.Duration `json:"min_ns"`
+	Max     time.Duration `json:"max_ns"`
+	Buckets []uint64      `json:"buckets,omitempty"`
+}
+
+// Mean is the average observed duration (0 when empty).
+func (d DurationStats) Mean() time.Duration {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / time.Duration(d.Count)
+}
+
+// Metrics is an immutable snapshot of a Recorder, the form metrics travel
+// in: embedded in a core.Report, rendered by the text and CSV formatters,
+// or dumped as JSON next to suite output.
+type Metrics struct {
+	Counters  map[string]uint64        `json:"counters,omitempty"`
+	Gauges    map[string]GaugeValue    `json:"gauges,omitempty"`
+	Durations map[string]DurationStats `json:"durations,omitempty"`
+	Labels    map[string]string        `json:"labels,omitempty"`
+}
+
+// Empty reports whether the snapshot recorded nothing.
+func (m Metrics) Empty() bool {
+	return len(m.Counters) == 0 && len(m.Gauges) == 0 &&
+		len(m.Durations) == 0 && len(m.Labels) == 0
+}
+
+// Counter reads a counter by name (0 when absent).
+func (m Metrics) Counter(name string) uint64 { return m.Counters[name] }
+
+// merge folds o into m in place, allocating maps as needed: counters add,
+// gauge levels add with the high-water marks maxed, histograms combine,
+// and o's labels win.
+func (m *Metrics) merge(o Metrics) {
+	for name, v := range o.Counters {
+		if m.Counters == nil {
+			m.Counters = make(map[string]uint64)
+		}
+		m.Counters[name] += v
+	}
+	for name, gv := range o.Gauges {
+		if m.Gauges == nil {
+			m.Gauges = make(map[string]GaugeValue)
+		}
+		cur := m.Gauges[name]
+		cur.Value += gv.Value
+		if gv.Max > cur.Max {
+			cur.Max = gv.Max
+		}
+		m.Gauges[name] = cur
+	}
+	for name, ds := range o.Durations {
+		if m.Durations == nil {
+			m.Durations = make(map[string]DurationStats)
+		}
+		cur, ok := m.Durations[name]
+		if !ok {
+			cur = DurationStats{Min: ds.Min}
+		}
+		if ds.Count > 0 && (cur.Count == 0 || ds.Min < cur.Min) {
+			cur.Min = ds.Min
+		}
+		if ds.Max > cur.Max {
+			cur.Max = ds.Max
+		}
+		cur.Count += ds.Count
+		cur.Sum += ds.Sum
+		for i, n := range ds.Buckets {
+			for len(cur.Buckets) <= i {
+				cur.Buckets = append(cur.Buckets, 0)
+			}
+			cur.Buckets[i] += n
+		}
+		m.Durations[name] = cur
+	}
+	for k, v := range o.Labels {
+		if m.Labels == nil {
+			m.Labels = make(map[string]string)
+		}
+		m.Labels[k] = v
+	}
+}
+
+// Render writes the snapshot as sorted, aligned text — the form the report
+// formatter embeds under a "metrics" heading.
+func (m Metrics) Render(w io.Writer) {
+	for _, name := range sortedKeys(m.Counters) {
+		fmt.Fprintf(w, "  %-36s %d\n", name, m.Counters[name])
+	}
+	for _, name := range sortedKeys(m.Gauges) {
+		gv := m.Gauges[name]
+		fmt.Fprintf(w, "  %-36s %d (max %d)\n", name, gv.Value, gv.Max)
+	}
+	for _, name := range sortedKeys(m.Durations) {
+		ds := m.Durations[name]
+		fmt.Fprintf(w, "  %-36s n=%d mean=%s min=%s max=%s\n",
+			name, ds.Count, ds.Mean().Round(time.Microsecond),
+			ds.Min.Round(time.Microsecond), ds.Max.Round(time.Microsecond))
+	}
+	for _, k := range sortedKeys(m.Labels) {
+		fmt.Fprintf(w, "  %-36s %s\n", k, m.Labels[k])
+	}
+}
+
+// WriteJSON writes the snapshot as indented JSON, the machine-readable
+// dump emitted next to suite output.
+func (m Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

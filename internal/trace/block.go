@@ -1,6 +1,10 @@
 package trace
 
-import "fmt"
+import (
+	"fmt"
+
+	"wsstudy/internal/obs"
+)
 
 // Block delivery. Paper-scale runs push hundreds of millions of references
 // through the kernel→simulator pipeline; delivering them one interface call
@@ -24,20 +28,88 @@ import "fmt"
 const DefaultBlockSize = 512
 
 // BlockConsumer is implemented by consumers that accept references a block
-// at a time. Refs(block) must be equivalent to calling Ref for each element
-// in order; the slice is owned by the caller and only valid during the
-// call, so implementations must not retain it (Fanout, which hands blocks
-// to other goroutines, copies for exactly this reason).
+// at a time.
+//
+// The contract, shared with Consumer:
+//
+//   - Equivalence: Refs(block) must be observably equivalent to calling
+//     Ref for each element in order. A consumer may be driven through
+//     either method — or both, interleaved — and must accumulate the same
+//     state either way.
+//   - Ordering: blocks arrive in emission order and references within a
+//     block are in emission order; a correct producer never reorders
+//     across a block boundary.
+//   - Epoch placement: when the consumer also implements EpochConsumer,
+//     BeginEpoch(n) is called between the same two references as on the
+//     per-Ref path — producers flush pending partial blocks before
+//     forwarding a boundary, never split a boundary into a block's
+//     interior.
+//   - Ownership: the block slice is owned by the caller and only valid
+//     during the call; implementations must not retain it (Fanout, which
+//     hands blocks to other goroutines, copies for exactly this reason).
+//   - Nil next: pipeline stages with a configurable downstream (PEFilter,
+//     Batcher, Guard) treat a nil Next as "drop the stream" — references
+//     and epoch boundaries both — so a half-configured stage is inert
+//     rather than a panic on delivery.
 type BlockConsumer interface {
 	Consumer
 	// Refs delivers a block of references in emission order.
 	Refs(block []Ref)
 }
 
+// AdaptConsumer returns c as a BlockConsumer: c itself when it already
+// consumes blocks natively, otherwise a wrapper whose Refs delivers
+// ref-by-ref and which forwards epoch boundaries and stop polls to c. It
+// is the reusable form of the compatibility adaptation Deliver performs
+// per block — external stages that hold a Consumer convert once at setup
+// and then speak only the block interface. A nil c yields nil.
+func AdaptConsumer(c Consumer) BlockConsumer {
+	if c == nil {
+		return nil
+	}
+	if bc, ok := c.(BlockConsumer); ok {
+		return bc
+	}
+	a := &adaptedConsumer{c: c}
+	a.ec, _ = c.(EpochConsumer)
+	return a
+}
+
+// adaptedConsumer delivers blocks to a per-Ref consumer, preserving epoch
+// placement and cancellation polling.
+type adaptedConsumer struct {
+	c  Consumer
+	ec EpochConsumer
+}
+
+func (a *adaptedConsumer) Ref(r Ref) { a.c.Ref(r) }
+
+func (a *adaptedConsumer) Refs(block []Ref) {
+	for _, r := range block {
+		a.c.Ref(r)
+	}
+}
+
+func (a *adaptedConsumer) BeginEpoch(n int) {
+	if a.ec != nil {
+		a.ec.BeginEpoch(n)
+	}
+}
+
+func (a *adaptedConsumer) Err() error { return Canceled(a.c) }
+
+var (
+	_ BlockConsumer = (*adaptedConsumer)(nil)
+	_ EpochConsumer = (*adaptedConsumer)(nil)
+	_ Stopper       = (*adaptedConsumer)(nil)
+)
+
 // Deliver hands block to c natively when c implements BlockConsumer and
 // falls back to ref-by-ref delivery otherwise. The fallback is the
 // compatibility adapter: any existing per-Ref consumer works unchanged
 // behind a batched producer, it just keeps paying per-reference dispatch.
+// Stages that deliver repeatedly to the same consumer can hoist the type
+// test out of the loop with AdaptConsumer.
 func Deliver(c Consumer, block []Ref) {
 	if len(block) == 0 {
 		return
@@ -63,6 +135,28 @@ type Batcher struct {
 	bc   BlockConsumer // non-nil when next consumes blocks natively
 	ec   EpochConsumer // non-nil when next observes epoch boundaries
 	buf  []Ref
+
+	// Stage counters, live only when next (transitively) carries an
+	// obs.Recorder — see NewBatcherSize. Nil-safe: disabled mode pays one
+	// branch per flushed block, nothing per reference.
+	mBlocks *obs.Counter
+	mRefs   *obs.Counter
+}
+
+// Metric names recorded by an instrumented Batcher.
+const (
+	// MetricBatcherBlocks counts blocks the batcher delivered downstream
+	// (full blocks, partial flushes, and pass-through blocks alike).
+	MetricBatcherBlocks = "trace.batcher.blocks"
+	// MetricBatcherRefs counts references the batcher delivered.
+	MetricBatcherRefs = "trace.batcher.refs"
+)
+
+// recorderCarrier is implemented by sinks that expose the run's Recorder
+// (Guard does); it is how a Batcher built deep inside a kernel finds the
+// observability layer without a kernel API change.
+type recorderCarrier interface {
+	Recorder() *obs.Recorder
 }
 
 // NewBatcher wraps next with a DefaultBlockSize buffer. A nil next yields
@@ -88,6 +182,12 @@ func NewBatcherSize(next Consumer, size int) (*Batcher, error) {
 	b := &Batcher{next: next, buf: make([]Ref, 0, size)}
 	b.bc, _ = next.(BlockConsumer)
 	b.ec, _ = next.(EpochConsumer)
+	if rc, ok := next.(recorderCarrier); ok {
+		if rec := rc.Recorder(); rec != nil {
+			b.mBlocks = rec.Counter(MetricBatcherBlocks)
+			b.mRefs = rec.Counter(MetricBatcherRefs)
+		}
+	}
 	return b, nil
 }
 
@@ -134,6 +234,8 @@ func (b *Batcher) Refs(block []Ref) {
 	}
 	b.Flush()
 	Deliver(b.next, block)
+	b.mBlocks.Inc()
+	b.mRefs.Add(uint64(len(block)))
 }
 
 // BeginEpoch flushes the pending block and forwards the boundary, so the
@@ -162,6 +264,8 @@ func (b *Batcher) Flush() {
 			b.next.Ref(r)
 		}
 	}
+	b.mBlocks.Inc()
+	b.mRefs.Add(uint64(len(b.buf)))
 	b.buf = b.buf[:0]
 }
 

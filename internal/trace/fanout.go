@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"wsstudy/internal/obs"
 )
 
 // Fanout runs each attached consumer in its own goroutine, fed by a
@@ -41,6 +43,38 @@ type Fanout struct {
 
 	mu  sync.Mutex
 	err error // first worker failure (cancellation, write error, panic)
+
+	// Stage counters, live only after Instrument. mStalls doubles as the
+	// flag that turns on stall detection in send.
+	mBlocks *obs.Counter
+	mEpochs *obs.Counter
+	mStalls *obs.Counter
+}
+
+// Metric names recorded by an instrumented Fanout.
+const (
+	// MetricFanoutBlocks counts blocks fanned out (one per block, however
+	// many consumers receive it).
+	MetricFanoutBlocks = "trace.fanout.blocks"
+	// MetricFanoutEpochs counts epoch boundaries fanned out.
+	MetricFanoutEpochs = "trace.fanout.epochs"
+	// MetricFanoutStalls counts sends that found a worker channel full —
+	// the producer blocked on simulator backpressure.
+	MetricFanoutStalls = "trace.fanout.stalls"
+)
+
+// Instrument attaches stage counters from rec: blocks and epochs fanned
+// out, and backpressure stalls (sends that found a worker channel full).
+// Call it before producing, from the producer goroutine; a nil rec leaves
+// the fanout uninstrumented. Without instrumentation, sends skip stall
+// detection entirely, so the disabled mode is the PR 2 code path.
+func (f *Fanout) Instrument(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	f.mBlocks = rec.Counter(MetricFanoutBlocks)
+	f.mEpochs = rec.Counter(MetricFanoutEpochs)
+	f.mStalls = rec.Counter(MetricFanoutStalls)
 }
 
 // fanMsg is one in-band message to a worker: a shared block or an epoch
@@ -157,9 +191,19 @@ func (f *Fanout) fail(err error) {
 	f.mu.Unlock()
 }
 
-// send fans one message out to every worker channel.
+// send fans one message out to every worker channel. When a stall counter
+// is attached, a full channel is counted before blocking; otherwise the
+// send blocks directly with no extra work.
 func (f *Fanout) send(msg fanMsg) {
 	for _, ch := range f.chans {
+		if f.mStalls != nil {
+			select {
+			case ch <- msg:
+				continue
+			default:
+				f.mStalls.Inc()
+			}
+		}
 		ch <- msg
 	}
 }
@@ -187,6 +231,7 @@ func (f *Fanout) sendBlock(block []Ref) {
 	fb.refs = append(fb.refs[:0], block...)
 	fb.rc.Store(int32(len(f.chans)))
 	f.send(fanMsg{block: fb})
+	f.mBlocks.Inc()
 }
 
 // BeginEpoch flushes pending references and sends the boundary in-band, so
@@ -197,6 +242,7 @@ func (f *Fanout) BeginEpoch(n int) {
 		return
 	}
 	f.send(fanMsg{epoch: n, isEpoch: true})
+	f.mEpochs.Inc()
 }
 
 // Flush fans out the pending partial block.

@@ -1,6 +1,10 @@
 package trace
 
-import "context"
+import (
+	"context"
+
+	"wsstudy/internal/obs"
+)
 
 // Stopper is implemented by consumers that can ask the kernel driving them
 // to stop early: a context guard whose deadline passed, or a trace writer
@@ -28,17 +32,38 @@ func Canceled(sink Consumer) error {
 // Guard binds a consumer to a context, giving every kernel cooperative
 // cancellation without changing its signature: wrap the sink, and the
 // kernel's Canceled polls observe the context's deadline or cancellation.
+//
+// The guard is also where run-scope observability attaches to the stream:
+// when the context carries an obs.Recorder (obs.With), the guard counts
+// references, blocks and epoch boundaries as they pass. With no Recorder
+// the counter handles are nil and each update is a single predictable
+// branch, so the disabled mode costs nothing measurable (the
+// BenchmarkRefDelivery guard).
 type Guard struct {
 	ctx  context.Context
 	next Consumer
+
+	rec    *obs.Recorder
+	refs   *obs.Counter
+	blocks *obs.Counter
+	epochs *obs.Counter
 }
 
-// WithContext wraps next so kernels polling Canceled observe ctx. A nil or
-// never-cancelable context (context.Background, context.TODO) returns next
-// unchanged — the guard costs nothing when there is nothing to guard. A nil
-// next guards Discard, which lets untraced kernel runs still be cancelled.
+// WithContext wraps next so kernels polling Canceled observe ctx, and so
+// a Recorder carried by ctx observes the stream. A nil context — or one
+// that is both never-cancelable (context.Background, context.TODO) and
+// carries no Recorder — returns next unchanged: the guard costs nothing
+// when there is nothing to guard or count. A nil next guards Discard,
+// which lets untraced kernel runs still be cancelled.
 func WithContext(ctx context.Context, next Consumer) Consumer {
-	if ctx == nil || ctx.Done() == nil {
+	if ctx == nil {
+		if next == nil {
+			return Discard
+		}
+		return next
+	}
+	rec := obs.From(ctx)
+	if ctx.Done() == nil && rec == nil {
 		if next == nil {
 			return Discard
 		}
@@ -47,21 +72,41 @@ func WithContext(ctx context.Context, next Consumer) Consumer {
 	if next == nil {
 		next = Discard
 	}
-	return &Guard{ctx: ctx, next: next}
+	g := &Guard{ctx: ctx, next: next, rec: rec}
+	if rec != nil {
+		g.refs = rec.Counter(obs.RefsDelivered)
+		g.blocks = rec.Counter(obs.BlocksDelivered)
+		g.epochs = rec.Counter(obs.EpochsDelivered)
+	}
+	return g
 }
 
+// Recorder exposes the run Recorder the guard carries, or nil. Downstream
+// stages built on top of a guarded sink (NewBatcher, most usefully — the
+// kernels construct their own Batchers) use it to self-instrument without
+// any change to the kernel API.
+func (g *Guard) Recorder() *obs.Recorder { return g.rec }
+
 // Ref forwards r.
-func (g *Guard) Ref(r Ref) { g.next.Ref(r) }
+func (g *Guard) Ref(r Ref) {
+	g.next.Ref(r)
+	g.refs.Inc()
+}
 
 // Refs forwards a block, natively when the wrapped consumer supports it,
 // so a context guard does not break up block delivery.
-func (g *Guard) Refs(block []Ref) { Deliver(g.next, block) }
+func (g *Guard) Refs(block []Ref) {
+	Deliver(g.next, block)
+	g.blocks.Inc()
+	g.refs.Add(uint64(len(block)))
+}
 
 // BeginEpoch forwards the epoch boundary when the wrapped consumer cares.
 func (g *Guard) BeginEpoch(n int) {
 	if ec, ok := g.next.(EpochConsumer); ok {
 		ec.BeginEpoch(n)
 	}
+	g.epochs.Inc()
 }
 
 // Err reports the context's cancellation state, and after that the wrapped

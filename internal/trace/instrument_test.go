@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"wsstudy/internal/obs"
+)
+
+// adaptProbe extends the test Recorder with epoch capture, to verify
+// AdaptConsumer forwards BeginEpoch.
+type adaptProbe struct {
+	Recorder
+	epochs []int
+	stop   error
+}
+
+func (r *adaptProbe) BeginEpoch(n int) { r.epochs = append(r.epochs, n) }
+func (r *adaptProbe) Err() error       { return r.stop }
+
+func TestAdaptConsumerDelivery(t *testing.T) {
+	var rec adaptProbe
+	bc := AdaptConsumer(&rec)
+	bc.Ref(Ref{PE: 0, Addr: 8, Size: 8, Kind: Read})
+	bc.Refs([]Ref{
+		{PE: 1, Addr: 16, Size: 8, Kind: Write},
+		{PE: 2, Addr: 24, Size: 8, Kind: Read},
+	})
+	if len(rec.Refs) != 3 || rec.Refs[1].Addr != 16 || rec.Refs[2].Addr != 24 {
+		t.Fatalf("adapted delivery wrong: %+v", rec.Refs)
+	}
+	if ec, ok := bc.(EpochConsumer); !ok {
+		t.Fatal("adapted consumer dropped the EpochConsumer face")
+	} else {
+		ec.BeginEpoch(3)
+	}
+	if len(rec.epochs) != 1 || rec.epochs[0] != 3 {
+		t.Fatalf("epochs = %v, want [3]", rec.epochs)
+	}
+	// The adapter forwards the wrapped consumer's stop reason.
+	rec.stop = errors.New("stop")
+	if err := Canceled(bc); !errors.Is(err, rec.stop) {
+		t.Fatalf("Canceled(adapted) = %v, want the consumer's error", err)
+	}
+}
+
+func TestAdaptConsumerPassthrough(t *testing.T) {
+	var bc BlockCounter
+	if got := AdaptConsumer(&bc); got != BlockConsumer(&bc) {
+		t.Fatal("AdaptConsumer must return a native BlockConsumer unchanged")
+	}
+}
+
+// TestGuardCountsStream verifies the context guard counts refs, blocks and
+// epochs into a Recorder carried by its context, and that the counts agree
+// between per-Ref and block delivery.
+func TestGuardCountsStream(t *testing.T) {
+	rec := obs.New()
+	ctx := obs.With(context.Background(), rec)
+	var sink BlockCounter
+	g := WithContext(ctx, &sink)
+	gb, ok := g.(*Guard)
+	if !ok {
+		t.Fatalf("WithContext with a Recorder must return a *Guard, got %T", g)
+	}
+	if gb.Recorder() != rec {
+		t.Fatal("Guard.Recorder() must expose the context's Recorder")
+	}
+
+	g.Ref(Ref{PE: 0, Addr: 0, Size: 8, Kind: Read})
+	gb.Refs([]Ref{{PE: 0, Addr: 8, Size: 8, Kind: Read}, {PE: 0, Addr: 16, Size: 8, Kind: Write}})
+	gb.BeginEpoch(1)
+
+	m := rec.Snapshot()
+	if got := m.Counters[obs.RefsDelivered]; got != 3 {
+		t.Errorf("%s = %d, want 3", obs.RefsDelivered, got)
+	}
+	if got := m.Counters[obs.BlocksDelivered]; got != 1 {
+		t.Errorf("%s = %d, want 1", obs.BlocksDelivered, got)
+	}
+	if got := m.Counters[obs.EpochsDelivered]; got != 1 {
+		t.Errorf("%s = %d, want 1", obs.EpochsDelivered, got)
+	}
+	if sink.Counter.Refs != 3 {
+		t.Errorf("sink saw %d refs, want 3", sink.Counter.Refs)
+	}
+}
+
+// TestGuardElidedWithoutRecorder pins the zero-cost-when-disabled contract:
+// a never-cancelable context with no Recorder must not interpose a Guard.
+func TestGuardElidedWithoutRecorder(t *testing.T) {
+	var sink Counter
+	if got := WithContext(context.Background(), &sink); got != Consumer(&sink) {
+		t.Fatalf("background context without Recorder should return the sink unchanged, got %T", got)
+	}
+	if got := WithContext(obs.With(context.Background(), nil), &sink); got != Consumer(&sink) {
+		t.Fatalf("nil Recorder should still elide the guard, got %T", got)
+	}
+}
+
+// TestBatcherSelfInstruments verifies a Batcher built over a guarded sink
+// picks the Recorder up through the sink (the kernels build their own
+// Batchers, so there is no constructor argument to pass one through).
+func TestBatcherSelfInstruments(t *testing.T) {
+	rec := obs.New()
+	ctx := obs.With(context.Background(), rec)
+	var sink BlockCounter
+	b, err := NewBatcherSize(WithContext(ctx, &sink), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b.Ref(Ref{PE: 0, Addr: uint64(i) * 8, Size: 8, Kind: Read})
+	}
+	b.Flush()
+
+	m := rec.Snapshot()
+	if got := m.Counters[MetricBatcherRefs]; got != 10 {
+		t.Errorf("%s = %d, want 10", MetricBatcherRefs, got)
+	}
+	// 10 refs in blocks of 4: two full blocks plus the flushed remainder.
+	if got := m.Counters[MetricBatcherBlocks]; got != 3 {
+		t.Errorf("%s = %d, want 3", MetricBatcherBlocks, got)
+	}
+	// The guard downstream saw the same stream.
+	if got := m.Counters[obs.RefsDelivered]; got != 10 {
+		t.Errorf("%s = %d, want 10", obs.RefsDelivered, got)
+	}
+	if got := m.Counters[obs.BlocksDelivered]; got != 3 {
+		t.Errorf("%s = %d, want 3", obs.BlocksDelivered, got)
+	}
+}
+
+// TestFanoutInstrumented verifies per-stage Fanout counters: blocks and
+// epochs delivered to workers, with stall counting wired (its value is
+// load-dependent, so only its presence key is asserted via the block count
+// path staying correct).
+func TestFanoutInstrumented(t *testing.T) {
+	rec := obs.New()
+	var a, b BlockCounter
+	fan, err := NewFanout(&a, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan.Instrument(rec)
+	fan.BeginEpoch(0)
+	for i := 0; i < 5; i++ {
+		fan.Refs([]Ref{{PE: 0, Addr: uint64(i) * 8, Size: 8, Kind: Read}})
+	}
+	if err := fan.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := rec.Snapshot()
+	if got := m.Counters[MetricFanoutBlocks]; got != 5 {
+		t.Errorf("%s = %d, want 5", MetricFanoutBlocks, got)
+	}
+	if got := m.Counters[MetricFanoutEpochs]; got != 1 {
+		t.Errorf("%s = %d, want 1", MetricFanoutEpochs, got)
+	}
+	if a.Counter.Refs != 5 || b.Counter.Refs != 5 {
+		t.Errorf("consumers saw %d/%d refs, want 5/5", a.Counter.Refs, b.Counter.Refs)
+	}
+}

@@ -48,7 +48,14 @@ func (r Ref) String() string {
 	return fmt.Sprintf("pe%d %s [%#x,+%d)", r.PE, r.Kind, r.Addr, r.Size)
 }
 
-// Consumer receives a reference stream.
+// Consumer receives a reference stream, one reference per call, in
+// emission order. Producers may instead deliver the same stream in blocks
+// when the consumer also implements BlockConsumer (see AdaptConsumer and
+// Deliver for the conversion rules); either way the consumer observes the
+// same references in the same order, with epoch boundaries — delivered
+// via EpochConsumer — between the same two references. See BlockConsumer
+// for the full contract, including slice ownership and the nil-Next
+// convention for pipeline stages.
 type Consumer interface {
 	// Ref delivers one reference. Implementations must not retain r.
 	Ref(r Ref)

@@ -20,11 +20,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"wsstudy/internal/cache"
 	"wsstudy/internal/core"
 	"wsstudy/internal/machine"
 	"wsstudy/internal/memsys"
+	"wsstudy/internal/obs"
 	"wsstudy/internal/trace"
 	"wsstudy/internal/workingset"
 )
@@ -34,9 +36,13 @@ import (
 type (
 	// Experiment is one reproducible artifact (figure or table).
 	Experiment = core.Experiment
-	// Options tunes a run; set Quick for second-scale problem sizes, Ctx
-	// for cooperative cancellation, Timeout for a per-run deadline.
+	// Options tunes a run; set Scale to ScaleQuick for second-scale
+	// problem sizes and Timeout for a per-run deadline. Cancellation and
+	// observability ride the context passed to Run.
 	Options = core.Options
+	// Scale selects the simulated problem sizes of a run; the zero value
+	// is the full, paper-scale configuration.
+	Scale = core.Scale
 	// Report is an experiment's structured output.
 	Report = core.Report
 	// Figure is a set of miss-rate curves.
@@ -59,6 +65,27 @@ type (
 	// CorruptError reports a deterministic binary-trace integrity failure
 	// with its byte offset and the records decoded before it.
 	CorruptError = trace.CorruptError
+
+	// Recorder collects run-scope metrics: attach one to a run's context
+	// with WithRecorder and every instrumented pipeline stage (trace
+	// delivery, caches, directory, memory system, suite scheduling) counts
+	// into it. Safe for concurrent use; a nil Recorder disables all
+	// instrumentation at negligible cost.
+	Recorder = obs.Recorder
+	// Metrics is an immutable snapshot of a Recorder: counters, gauges,
+	// duration histograms and labels. Reports carry one per run.
+	Metrics = obs.Metrics
+	// Progress periodically renders a one-line live status (refs
+	// processed, throughput, experiments done, ETA) from a Recorder.
+	Progress = obs.Progress
+)
+
+// Scales.
+const (
+	// ScaleFull runs paper-scale or largest-feasible configurations.
+	ScaleFull = core.ScaleFull
+	// ScaleQuick shrinks simulated problems so a suite runs in seconds.
+	ScaleQuick = core.ScaleQuick
 )
 
 // Typed failure sentinels, for errors.Is classification.
@@ -74,15 +101,11 @@ func Experiments() []Experiment { return core.Registry() }
 
 // Run executes the experiment with the given id ("fig2", "fig4", "fig5",
 // "fig6", "fig6dm", "fig7", "table1", "table2", "machines", "grain",
-// "scalingbh", "cost").
-func Run(id string, opt Options) (*Report, error) {
-	return RunContext(context.Background(), id, opt)
-}
-
-// RunContext is Run under a context: the run is hardened (panic recovery,
-// Options.Timeout mapped to ErrDeadline) and stops cooperatively when ctx
-// is cancelled.
-func RunContext(ctx context.Context, id string, opt Options) (*Report, error) {
+// "scalingbh", "cost"). The run is hardened — panics are recovered,
+// Options.Timeout maps to ErrDeadline — and stops cooperatively when ctx
+// is cancelled. When ctx carries a Recorder (WithRecorder), the returned
+// Report includes a Metrics snapshot of the run.
+func Run(ctx context.Context, id string, opt Options) (*Report, error) {
 	e, ok := core.Find(id)
 	if !ok {
 		return nil, fmt.Errorf("wss: unknown experiment %q", id)
@@ -99,13 +122,34 @@ func RunSuite(ctx context.Context, experiments []Experiment, opt SuiteOptions) *
 }
 
 // RunAndRender executes an experiment and writes its text rendering to w.
-func RunAndRender(id string, opt Options, w io.Writer) error {
-	rep, err := Run(id, opt)
+func RunAndRender(ctx context.Context, id string, opt Options, w io.Writer) error {
+	rep, err := Run(ctx, id, opt)
 	if err != nil {
 		return err
 	}
 	rep.Render(w)
 	return nil
+}
+
+// Observability.
+
+// NewRecorder builds an empty metrics Recorder.
+func NewRecorder() *Recorder { return obs.New() }
+
+// WithRecorder attaches rec to ctx; every instrumented stage of a run
+// under the returned context records into it.
+func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	return obs.With(ctx, rec)
+}
+
+// RecorderFrom returns the Recorder attached to ctx, or nil.
+func RecorderFrom(ctx context.Context) *Recorder { return obs.From(ctx) }
+
+// StartProgress begins rendering one-line live status updates from rec to
+// w every interval (1s when zero) until Stop is called on the returned
+// Progress. A nil rec returns a no-op Progress.
+func StartProgress(rec *Recorder, w io.Writer, interval time.Duration) *Progress {
+	return obs.StartProgress(rec, w, interval)
 }
 
 // Measurement toolkit.

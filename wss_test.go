@@ -1,6 +1,7 @@
 package wss
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -20,14 +21,14 @@ func TestExperimentsList(t *testing.T) {
 }
 
 func TestRunUnknown(t *testing.T) {
-	if _, err := Run("nonsense", Options{}); err == nil {
+	if _, err := Run(context.Background(), "nonsense", Options{}); err == nil {
 		t.Fatal("unknown experiment should error")
 	}
 }
 
 func TestRunAndRenderTable2(t *testing.T) {
 	var sb strings.Builder
-	if err := RunAndRender("table2", Options{Quick: true}, &sb); err != nil {
+	if err := RunAndRender(context.Background(), "table2", Options{Scale: ScaleQuick}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
