@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet fmt-check equivalence test race fuzz bench
+.PHONY: check build vet fmt-check equivalence serve-smoke test race fuzz bench
 
-# Tier-1 gate: everything must build, vet clean, be gofmt-formatted, pass
-# under -race, and the batched pipeline must remain bit-identical to the
-# legacy per-Ref path (short-mode equivalence run).
-check: build vet fmt-check race equivalence
+# Tier-1 gate: everything must build, `go vet ./...` clean, be
+# gofmt-formatted, pass under -race, the batched pipeline must remain
+# bit-identical to the legacy per-Ref path (short-mode equivalence run),
+# and the v1 HTTP server must boot, answer /v1/experiments with valid
+# JSON, and drain (serve-smoke).
+check: build vet fmt-check race equivalence serve-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +24,12 @@ fmt-check:
 # delivery for every kernel (see internal/core/equivalence_test.go).
 equivalence:
 	$(GO) test -short -run 'TestBlockEquivalence|TestFanoutMatchesTee|TestMetricsEquivalence' ./internal/core/
+
+# Boot the real serving path (store + v1 API exactly as `wsstudy serve`
+# wires it), GET /v1/experiments and a report, assert 200 + valid JSON,
+# then drain gracefully.
+serve-smoke:
+	$(GO) test -race -count 1 -run TestServeSmoke ./cmd/wsstudy/
 
 test:
 	$(GO) test ./...

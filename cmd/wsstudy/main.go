@@ -6,6 +6,7 @@
 //	wsstudy list                 # show available experiments
 //	wsstudy verify               # audit every closed-form paper checkpoint
 //	wsstudy all [-quick]         # run everything
+//	wsstudy serve -addr :8080    # serve results over the v1 HTTP API
 //	wsstudy <id> [-quick]        # run one (fig2, fig4, fig5, fig6,
 //	                             # fig6dm, fig7, table1, table2,
 //	                             # machines, grain, scalingbh)
@@ -14,6 +15,13 @@
 // seconds; without it the simulations run at the largest feasible scale
 // (Figure 6 at the paper's exact n=1024 configuration, Figure 7 on the
 // full 256x256x113 phantom).
+//
+// serve puts the content-addressed result store behind
+// GET /v1/experiments, GET /v1/experiments/{id}/report?scale=quick|full
+// and GET /v1/suite: identical requests never recompute (singleflight +
+// LRU cache, optional -store-dir persistence), saturation answers 429,
+// and SIGTERM drains in-flight runs. Combine with -listen for pprof and
+// the live store/serve counters under /debug/vars.
 package main
 
 import (
@@ -46,8 +54,17 @@ func run(args []string) error {
 	metricsPath := fs.String("metrics", "", "write the run's metrics snapshot as JSON to this file")
 	progress := fs.Bool("progress", false, "render live progress to stderr while experiments run")
 	listen := fs.String("listen", "", "serve /debug/pprof/ and /debug/vars on this address while running")
+	addr := fs.String("addr", "127.0.0.1:8080", "serve: v1 API listen address")
+	slots := fs.Int("slots", 2, "serve: concurrent experiment computations")
+	storeEntries := fs.Int("store-entries", 0, "serve: result-store LRU entry cap (0 = default 128)")
+	storeBytes := fs.Int64("store-bytes", 0, "serve: result-store byte budget (0 = default 64 MiB)")
+	storeDir := fs.String("store-dir", "", "serve: persist rendered reports in this directory")
+	defaultScale := fs.String("default-scale", "quick", "serve: scale when a request has no ?scale= (quick|full)")
+	reqTimeout := fs.Duration("request-timeout", 0, "serve: per-request deadline (0 = none)")
+	computeLimit := fs.Duration("compute-timeout", 0, "serve: per-computation deadline (0 = none)")
+	drain := fs.Duration("drain", 30*time.Second, "serve: graceful-shutdown budget for in-flight runs")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: wsstudy [list|all|<experiment-id>] [-quick] [-csv out.csv] [-timeout 2m] [-metrics out.json] [-progress] [-listen 127.0.0.1:6060]")
+		fmt.Fprintln(fs.Output(), "usage: wsstudy [list|all|serve|<experiment-id>] [-quick] [-csv out.csv] [-timeout 2m] [-metrics out.json] [-progress] [-listen 127.0.0.1:6060] [-addr 127.0.0.1:8080]")
 		fs.PrintDefaults()
 	}
 
@@ -100,6 +117,22 @@ func run(args []string) error {
 		return runAll(ctx, core.SuiteOptions{
 			Options: opt, Workers: *workers, Retries: *retries,
 		}, *csvPath)
+	case "serve":
+		scale, err := core.ParseScale(*defaultScale)
+		if err != nil {
+			return err
+		}
+		return serveFromFlags(ctx, rec, serveParams{
+			addr:         *addr,
+			slots:        *slots,
+			entries:      *storeEntries,
+			maxBytes:     *storeBytes,
+			dir:          *storeDir,
+			defaultScale: scale,
+			reqTimeout:   *reqTimeout,
+			computeLimit: *computeLimit,
+			drain:        *drain,
+		})
 	default:
 		e, ok := core.Find(cmd)
 		if !ok {
@@ -170,13 +203,15 @@ func runOne(ctx context.Context, e core.Experiment, opt core.Options, csvPath st
 // renderOne writes a report to stdout and appends its series to csvPath if
 // one was requested.
 func renderOne(rep *core.Report, csvPath string) error {
-	rep.Render(os.Stdout)
+	if err := rep.Render(os.Stdout, core.FormatText); err != nil {
+		return err
+	}
 	if csvPath != "" && len(rep.Figures) > 0 {
 		f, err := os.OpenFile(csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
 			return err
 		}
-		if err := rep.RenderCSV(f); err != nil {
+		if err := rep.Render(f, core.FormatCSV); err != nil {
 			f.Close()
 			return err
 		}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wsstudy/internal/core"
+	"wsstudy/internal/obs"
+	"wsstudy/internal/serve"
+	"wsstudy/internal/store"
+)
+
+// serveParams are the `wsstudy serve` knobs, split from flag parsing so
+// tests can drive the full serving path in-process.
+type serveParams struct {
+	addr         string
+	slots        int
+	entries      int
+	maxBytes     int64
+	dir          string
+	defaultScale core.Scale
+	reqTimeout   time.Duration
+	computeLimit time.Duration
+	drain        time.Duration
+}
+
+// runServe builds the result store and the v1 HTTP server, serves until
+// ctx is cancelled (SIGINT/SIGTERM in the CLI), then drains gracefully:
+// the listener closes, in-flight requests and their computations get
+// the drain budget to finish, and stragglers are cancelled through
+// their kernels' cancellation polls. ready (when non-nil) receives the
+// bound address once the server is accepting.
+func runServe(ctx context.Context, rec *obs.Recorder, p serveParams, ready func(addr string)) error {
+	st, err := store.New(store.Config{
+		MaxEntries: p.entries,
+		MaxBytes:   p.maxBytes,
+		Slots:      p.slots,
+		Dir:        p.dir,
+		Recorder:   rec,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Config{
+		Store:          st,
+		Recorder:       rec,
+		DefaultScale:   p.defaultScale,
+		RequestTimeout: p.reqTimeout,
+		ComputeTimeout: p.computeLimit,
+	})
+	if err != nil {
+		st.Close(context.Background())
+		return err
+	}
+	addr, err := srv.Start(p.addr)
+	if err != nil {
+		st.Close(context.Background())
+		return err
+	}
+	if ready != nil {
+		ready(addr)
+	}
+
+	<-ctx.Done()
+	drainCtx, cancel := context.WithTimeout(context.Background(), p.drain)
+	defer cancel()
+	return srv.Shutdown(drainCtx)
+}
+
+// serveFromFlags wires runServe to the process: signal-driven shutdown
+// and a startup line on stderr.
+func serveFromFlags(ctx context.Context, rec *obs.Recorder, p serveParams) error {
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runServe(ctx, rec, p, func(addr string) {
+		fmt.Fprintf(os.Stderr, "wsstudy: serving v1 API on http://%s/v1/experiments (default scale %s; SIGTERM drains)\n",
+			addr, p.defaultScale)
+	})
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// canonVersion tags the canonical Options encoding; bump it whenever a
+// field is added to (or its default changes in) the encoding, so stale
+// fingerprints can never alias new configurations.
+const canonVersion = 1
+
+// Canonical returns the stable textual encoding of the Options used to
+// key experiment results: `optv1;key=value;...` with keys sorted,
+// defaults written out explicitly, and zero values normalized, so any
+// two Options that would produce the same Report encode identically.
+//
+// Only result-affecting fields participate. Timeout is deliberately
+// excluded: a deadline bounds how long a run may take, but experiments
+// are deterministic, so it cannot change the content of a report that
+// completes — and excluding it lets a request with a 30s budget reuse a
+// result computed under a 5m one.
+func (o Options) Canonical() string {
+	fields := map[string]string{
+		"scale": o.Scale.String(),
+	}
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "optv%d", canonVersion)
+	for _, k := range keys {
+		sb.WriteByte(';')
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(fields[k])
+	}
+	return sb.String()
+}
+
+// Fingerprint returns the hex SHA-256 of the canonical encoding — the
+// stable identity the CLI, the result store, and tests all use to key a
+// configuration. Equal Options always fingerprint equally; Options that
+// differ only in non-semantic fields (Timeout) do too.
+func (o Options) Fingerprint() string {
+	sum := sha256.Sum256([]byte(o.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// ParseScale parses a scale name as used by the CLI and the HTTP API:
+// "full" (or "") and "quick", case-insensitively.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "", "full":
+		return ScaleFull, nil
+	case "quick":
+		return ScaleQuick, nil
+	}
+	return 0, fmt.Errorf("core: unknown scale %q (valid: full, quick)", s)
+}

@@ -50,7 +50,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 				t.Fatalf("%s: empty report", e.ID)
 			}
 			var sb strings.Builder
-			rep.Render(&sb)
+			rep.Render(&sb, FormatText)
 			out := sb.String()
 			if len(out) < 100 {
 				t.Fatalf("%s: suspiciously short render:\n%s", e.ID, out)
@@ -160,7 +160,7 @@ func TestRenderFormats(t *testing.T) {
 	r.Tables = append(r.Tables, Table{Title: "t", Header: []string{"a"}, Rows: [][]string{{"1"}}})
 	r.AddNote("note %d", 7)
 	var sb strings.Builder
-	r.Render(&sb)
+	r.Render(&sb, FormatText)
 	out := sb.String()
 	for _, frag := range []string{"demo", "64 B", "knees[s]", "note 7", "-- t --"} {
 		if !strings.Contains(out, frag) {
@@ -237,7 +237,7 @@ func TestRenderCSV(t *testing.T) {
 		}}},
 	})
 	var sb strings.Builder
-	if err := r.RenderCSV(&sb); err != nil {
+	if err := r.Render(&sb, FormatCSV); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -262,7 +262,7 @@ func TestSparklinesInRender(t *testing.T) {
 		}}},
 	})
 	var sb strings.Builder
-	r.Render(&sb)
+	r.Render(&sb, FormatText)
 	if !strings.Contains(sb.String(), "log scale") {
 		t.Fatalf("no sparkline in render:\n%s", sb.String())
 	}

@@ -6,6 +6,7 @@ package core
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -58,8 +59,76 @@ func (r *Report) AddNote(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
 }
 
-// Render writes the report as aligned text.
-func (r *Report) Render(w io.Writer) {
+// Format selects a Report rendering. The zero value is the aligned-text
+// form the CLI prints.
+type Format uint8
+
+const (
+	// FormatText renders aligned tables, sparklines and knee summaries.
+	FormatText Format = iota
+	// FormatCSV renders (figure, series, cache_bytes, value) rows plus
+	// metrics pseudo-rows — the machine-readable plotting output.
+	FormatCSV
+	// FormatJSON renders the frozen ReportV1 schema.
+	FormatJSON
+)
+
+// String names the format ("text", "csv", "json").
+func (f Format) String() string {
+	switch f {
+	case FormatCSV:
+		return "csv"
+	case FormatJSON:
+		return "json"
+	}
+	return "text"
+}
+
+// ContentType is the MIME type of the rendering, as the HTTP layer
+// serves it.
+func (f Format) ContentType() string {
+	switch f {
+	case FormatCSV:
+		return "text/csv; charset=utf-8"
+	case FormatJSON:
+		return "application/json"
+	}
+	return "text/plain; charset=utf-8"
+}
+
+// ParseFormat parses a format name ("text", "csv", "json"),
+// case-insensitively; "" means FormatText.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "", "text":
+		return FormatText, nil
+	case "csv":
+		return FormatCSV, nil
+	case "json":
+		return FormatJSON, nil
+	}
+	return 0, fmt.Errorf("core: unknown report format %q (valid: text, csv, json)", s)
+}
+
+// Render writes the report in the given format. Every consumer — the
+// CLI, the HTTP API, and the result store's persistence — goes through
+// this one method, so the three renderings can never drift apart.
+func (r *Report) Render(w io.Writer, f Format) error {
+	switch f {
+	case FormatCSV:
+		return r.renderCSV(w)
+	case FormatJSON:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(r.V1())
+	default:
+		r.renderText(w)
+		return nil
+	}
+}
+
+// renderText writes the report as aligned text.
+func (r *Report) renderText(w io.Writer) {
 	fmt.Fprintf(w, "== %s ==\n", r.Title)
 	for fi := range r.Figures {
 		renderFigure(w, &r.Figures[fi])
@@ -160,11 +229,11 @@ func renderSparklines(w io.Writer, f *Figure) {
 	}
 }
 
-// RenderCSV writes every figure series as rows of
-// (figure, series, cache_bytes, value) — machine-readable output for
-// external plotting. When the report carries Metrics, they follow as rows
-// under the pseudo-figure "metrics" with an empty cache_bytes column.
-func (r *Report) RenderCSV(w io.Writer) error {
+// renderCSV writes every figure series as rows of
+// (figure, series, cache_bytes, value). When the report carries Metrics,
+// they follow as rows under the pseudo-figure "metrics" with an empty
+// cache_bytes column.
+func (r *Report) renderCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"figure", "series", "cache_bytes", "value"}); err != nil {
 		return err
@@ -276,12 +345,6 @@ type Options struct {
 	// derives a deadline-carrying context and maps expiry to ErrDeadline.
 	Timeout time.Duration
 }
-
-// Quick reports whether the run is at quick scale.
-//
-// Deprecated: Quick was the bool field this accessor replaces; compare
-// Options.Scale against ScaleQuick directly. Kept one release as a shim.
-func (o Options) Quick() bool { return o.Scale == ScaleQuick }
 
 // Experiment is one reproducible artifact of the paper.
 type Experiment struct {

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"wsstudy/internal/obs"
+	"wsstudy/internal/workingset"
+)
+
+// ReportSchemaVersion is the frozen wire-schema version of ReportV1.
+// It participates in result-store key derivation, so bumping it
+// invalidates every cached and persisted rendering at once.
+const ReportSchemaVersion = 1
+
+// ReportV1 is the frozen v1 JSON form of a Report: explicit snake_case
+// field names with a self-describing schema_version, shared by the HTTP
+// API, the CLI's JSON rendering, and the result store's on-disk format.
+// New fields may be added (JSON readers must ignore unknown keys);
+// existing fields never change meaning within v1.
+type ReportV1 struct {
+	SchemaVersion int          `json:"schema_version"`
+	Title         string       `json:"title"`
+	Figures       []FigureV1   `json:"figures,omitempty"`
+	Tables        []TableV1    `json:"tables,omitempty"`
+	Notes         []string     `json:"notes,omitempty"`
+	Metrics       *obs.Metrics `json:"metrics,omitempty"`
+}
+
+// FigureV1 is the v1 form of a Figure.
+type FigureV1 struct {
+	Title  string     `json:"title"`
+	XLabel string     `json:"x_label"`
+	YLabel string     `json:"y_label"`
+	Series []SeriesV1 `json:"series,omitempty"`
+}
+
+// SeriesV1 is the v1 form of one labelled curve.
+type SeriesV1 struct {
+	Label  string    `json:"label"`
+	Points []PointV1 `json:"points,omitempty"`
+}
+
+// PointV1 is one curve sample: cache capacity in bytes and the miss
+// metric there (misses per reference or per FLOP, as the figure labels).
+type PointV1 struct {
+	CacheBytes uint64  `json:"cache_bytes"`
+	MissRate   float64 `json:"miss_rate"`
+}
+
+// TableV1 is the v1 form of a Table.
+type TableV1 struct {
+	Title  string     `json:"title"`
+	Header []string   `json:"header,omitempty"`
+	Rows   [][]string `json:"rows,omitempty"`
+}
+
+// V1 converts the report to its frozen wire form.
+func (r *Report) V1() *ReportV1 {
+	v := &ReportV1{
+		SchemaVersion: ReportSchemaVersion,
+		Title:         r.Title,
+		Notes:         r.Notes,
+		Metrics:       r.Metrics,
+	}
+	for _, f := range r.Figures {
+		fv := FigureV1{Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel}
+		for _, s := range f.Series {
+			sv := SeriesV1{Label: s.Label}
+			for _, p := range s.Points {
+				sv.Points = append(sv.Points, PointV1{CacheBytes: p.CacheBytes, MissRate: p.MissRate})
+			}
+			fv.Series = append(fv.Series, sv)
+		}
+		v.Figures = append(v.Figures, fv)
+	}
+	for _, t := range r.Tables {
+		v.Tables = append(v.Tables, TableV1{Title: t.Title, Header: t.Header, Rows: t.Rows})
+	}
+	return v
+}
+
+// Report converts the wire form back to the in-memory Report — the
+// inverse of V1, used when the result store revives a persisted
+// rendering so text and CSV can still be derived from it.
+func (v *ReportV1) Report() *Report {
+	r := &Report{Title: v.Title, Notes: v.Notes, Metrics: v.Metrics}
+	for _, fv := range v.Figures {
+		f := Figure{Title: fv.Title, XLabel: fv.XLabel, YLabel: fv.YLabel}
+		for _, sv := range fv.Series {
+			s := Series{Label: sv.Label}
+			for _, pv := range sv.Points {
+				s.Points = append(s.Points, workingset.Point{CacheBytes: pv.CacheBytes, MissRate: pv.MissRate})
+			}
+			f.Series = append(f.Series, s)
+		}
+		r.Figures = append(r.Figures, f)
+	}
+	for _, tv := range v.Tables {
+		r.Tables = append(r.Tables, Table{Title: tv.Title, Header: tv.Header, Rows: tv.Rows})
+	}
+	return r
+}

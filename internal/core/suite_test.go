@@ -347,7 +347,7 @@ func TestRenderIncludesMetrics(t *testing.T) {
 	r.Tables = append(r.Tables, Table{Title: "t", Header: []string{"a"}, Rows: [][]string{{"1"}}})
 
 	var text strings.Builder
-	r.Render(&text)
+	r.Render(&text, FormatText)
 	if !strings.Contains(text.String(), "-- metrics --") ||
 		!strings.Contains(text.String(), "trace.refs") {
 		t.Errorf("text render missing metrics section:\n%s", text.String())
@@ -355,7 +355,7 @@ func TestRenderIncludesMetrics(t *testing.T) {
 
 	var csv strings.Builder
 	r.Figures = append(r.Figures, Figure{})
-	if err := r.RenderCSV(&csv); err != nil {
+	if err := r.Render(&csv, FormatCSV); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(csv.String(), "metrics,trace.refs,,1234") {

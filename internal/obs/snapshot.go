@@ -35,6 +35,37 @@ const (
 	ExperimentWall = "experiment.wall"
 	// LabelExperiment labels the most recently started experiment id.
 	LabelExperiment = "experiment.current"
+
+	// StoreHits / StoreMisses count result-store lookups served from
+	// memory vs. lookups that had to compute (or read from disk).
+	StoreHits   = "store.hits"
+	StoreMisses = "store.misses"
+	// StoreCoalesced counts lookups that joined an in-flight computation
+	// of the same key instead of starting their own (singleflight).
+	StoreCoalesced = "store.singleflight.coalesced"
+	// StoreEvictions counts entries dropped by the LRU / max-bytes policy.
+	StoreEvictions = "store.evictions"
+	// StoreDiskHits counts misses satisfied by the persisted rendering
+	// on disk, skipping the compute entirely.
+	StoreDiskHits = "store.disk.hits"
+	// StoreQueueDepth gauges computations waiting for a compute slot
+	// (its Max is the backlog high-water mark).
+	StoreQueueDepth = "store.queue.depth"
+	// StoreBytes gauges the store's resident rendered-report bytes.
+	StoreBytes = "store.bytes"
+	// StoreComputeWall is the per-computation wall-time histogram
+	// (slot wait excluded).
+	StoreComputeWall = "store.compute.wall"
+
+	// ServeRequests counts v1 API requests; ServeBusy counts the subset
+	// rejected with 429 under compute-slot saturation, ServeNotModified
+	// the conditional requests answered 304, and ServeErrors the 5xx
+	// responses. ServeRequestWall is the request-latency histogram.
+	ServeRequests    = "serve.requests"
+	ServeBusy        = "serve.busy"
+	ServeNotModified = "serve.not_modified"
+	ServeErrors      = "serve.errors"
+	ServeRequestWall = "serve.request.wall"
 )
 
 // GaugeValue is a gauge's level and high-water mark at snapshot time.

@@ -1,0 +1,407 @@
+// Package serve exposes the working-set study over a stable v1 HTTP
+// API, backed by the content-addressed result store:
+//
+//	GET /v1/experiments              list every experiment (id, title, ...)
+//	GET /v1/experiments/{id}/report  one experiment's Report
+//	GET /v1/suite                    every experiment, one summary document
+//	GET /healthz                     liveness probe
+//
+// The report endpoint takes ?scale=quick|full (default from Config) and
+// renders JSON, CSV or text chosen by ?format= or the Accept header.
+// Because results are content-addressed, the ETag is derived from the
+// store key — it is known before any computation happens, so a matching
+// If-None-Match answers 304 without touching the store at all.
+// Saturated compute slots surface as 429 with Retry-After; per-request
+// deadlines ride the request context; Shutdown drains in-flight runs.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"wsstudy/internal/core"
+	"wsstudy/internal/obs"
+	"wsstudy/internal/store"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Store computes and caches results. Required.
+	Store *store.Store
+	// Registry is the experiment list to serve (nil = core.Registry()).
+	Registry []core.Experiment
+	// Recorder receives request instrumentation (latency histogram,
+	// request/429/304/5xx counters). Nil disables it.
+	Recorder *obs.Recorder
+	// DefaultScale applies when a request has no ?scale= parameter.
+	// The server defaults to ScaleQuick — interactive latency first;
+	// clients opt into paper-scale runs with ?scale=full.
+	DefaultScale core.Scale
+	// RequestTimeout, when positive, bounds each request's context; an
+	// expired request answers 504 while the underlying computation
+	// (bounded separately by ComputeTimeout) keeps warming the store.
+	RequestTimeout time.Duration
+	// ComputeTimeout, when positive, becomes Options.Timeout for every
+	// computation, so runaway experiments end in DeadlineError instead
+	// of holding a compute slot forever.
+	ComputeTimeout time.Duration
+	// RetryAfter is the hint sent with 429 responses (0 = 1s).
+	RetryAfter time.Duration
+}
+
+// Server is the v1 HTTP front of the result store.
+type Server struct {
+	cfg     Config
+	byID    map[string]core.Experiment
+	list    []core.Experiment
+	handler http.Handler
+
+	mu   sync.Mutex
+	http *http.Server
+	ln   net.Listener
+
+	requests, busy, notModified, errs *obs.Counter
+	latency                           *obs.Histogram
+}
+
+// New builds a Server around cfg.Store.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("serve: Config.Store is required")
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = core.Registry()
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	rec := cfg.Recorder
+	s := &Server{
+		cfg:         cfg,
+		list:        cfg.Registry,
+		byID:        make(map[string]core.Experiment, len(cfg.Registry)),
+		requests:    rec.Counter(obs.ServeRequests),
+		busy:        rec.Counter(obs.ServeBusy),
+		notModified: rec.Counter(obs.ServeNotModified),
+		errs:        rec.Counter(obs.ServeErrors),
+		latency:     rec.Histogram(obs.ServeRequestWall),
+	}
+	for _, e := range cfg.Registry {
+		s.byID[e.ID] = e
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/experiments", s.handleList)
+	mux.HandleFunc("GET /v1/experiments/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/suite", s.handleSuite)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.handler = s.instrument(mux)
+	return s, nil
+}
+
+// Handler returns the instrumented v1 API handler, for embedding or
+// httptest.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Start listens on addr (host:port; port 0 picks a free one), serves in
+// a background goroutine, and returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	hs := &http.Server{Handler: s.handler}
+	s.mu.Lock()
+	s.http, s.ln = hs, ln
+	s.mu.Unlock()
+	go func() {
+		// ErrServerClosed is the normal Shutdown result; anything else
+		// would already have surfaced to clients as connection errors.
+		_ = hs.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains gracefully: the listener stops accepting, in-flight
+// requests (and the computations they wait on) get until ctx expires to
+// finish, then the store cancels any stragglers through their kernels'
+// cancellation polls. The store is closed as part of shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	hs := s.http
+	s.mu.Unlock()
+	var err error
+	if hs != nil {
+		err = hs.Shutdown(ctx)
+	}
+	if cerr := s.cfg.Store.Close(ctx); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux with request metrics and the per-request
+// deadline.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.requests.Inc()
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		s.latency.Observe(time.Since(start))
+		switch {
+		case sw.status == http.StatusTooManyRequests:
+			s.busy.Inc()
+		case sw.status == http.StatusNotModified:
+			s.notModified.Inc()
+		case sw.status >= 500:
+			s.errs.Inc()
+		}
+	})
+}
+
+// apiError is the v1 error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// experimentInfo is one row of GET /v1/experiments.
+type experimentInfo struct {
+	ID          string `json:"id"`
+	Title       string `json:"title"`
+	Description string `json:"description,omitempty"`
+	ReportPath  string `json:"report_path"`
+}
+
+// listResponse is the GET /v1/experiments document.
+type listResponse struct {
+	SchemaVersion int              `json:"schema_version"`
+	Experiments   []experimentInfo `json:"experiments"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	resp := listResponse{SchemaVersion: core.ReportSchemaVersion}
+	for _, e := range s.list {
+		resp.Experiments = append(resp.Experiments, experimentInfo{
+			ID:          e.ID,
+			Title:       e.Title,
+			Description: e.Description,
+			ReportPath:  "/v1/experiments/" + e.ID + "/report",
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// requestOptions resolves ?scale= against the configured default.
+func (s *Server) requestOptions(r *http.Request) (core.Options, error) {
+	opt := core.Options{Scale: s.cfg.DefaultScale, Timeout: s.cfg.ComputeTimeout}
+	if raw := r.URL.Query().Get("scale"); raw != "" {
+		scale, err := core.ParseScale(raw)
+		if err != nil {
+			return opt, err
+		}
+		opt.Scale = scale
+	}
+	return opt, nil
+}
+
+// negotiateFormat picks the rendering: an explicit ?format= wins, then
+// the Accept header (text/csv, text/plain, application/json), then JSON.
+func negotiateFormat(r *http.Request) (core.Format, error) {
+	if raw := r.URL.Query().Get("format"); raw != "" {
+		return core.ParseFormat(raw)
+	}
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, "text/csv"):
+		return core.FormatCSV, nil
+	case strings.Contains(accept, "text/plain"):
+		return core.FormatText, nil
+	default:
+		return core.FormatJSON, nil
+	}
+}
+
+// etagFor derives the strong ETag of a response: the content address of
+// the configuration plus the negotiated format (the same key rendered
+// as CSV and JSON are different representations, so they must not share
+// a validator).
+func etagFor(key store.Key, f core.Format) string {
+	return `"` + key.String() + "-" + f.String() + `"`
+}
+
+// etagMatches implements the If-None-Match comparison for strong ETags.
+func etagMatches(header, etag string) bool {
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		if candidate == etag || candidate == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.byID[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown experiment %q", id)
+		return
+	}
+	opt, err := s.requestOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	format, err := negotiateFormat(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	key := store.KeyFor(e.ID, opt)
+	etag := etagFor(key, format)
+	w.Header().Set("Etag", etag)
+	// The key is the content address of the request configuration, so a
+	// revalidation needs no lookup at all: same key, same statistics
+	// (experiments are deterministic — the equivalence gate's guarantee).
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	res, err := s.cfg.Store.Get(r.Context(), e, opt)
+	if err != nil {
+		s.writeStoreError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", format.ContentType())
+	w.Header().Set("X-Wsstudy-Key", key.String())
+	if format == core.FormatJSON {
+		_, _ = w.Write(res.JSON)
+		return
+	}
+	_ = res.Report.Render(w, format)
+}
+
+// writeStoreError maps store/compute failures to v1 status codes.
+func (s *Server) writeStoreError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, store.ErrBusy):
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, "compute slots saturated, retry shortly")
+	case errors.Is(err, store.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	case errors.Is(err, core.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "experiment exceeded its deadline: %v", err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "computation cancelled: %v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// suiteResult is one experiment's row in GET /v1/suite.
+type suiteResult struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	OK    bool   `json:"ok"`
+	ETag  string `json:"etag,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// suiteResponse is the GET /v1/suite document.
+type suiteResponse struct {
+	SchemaVersion int           `json:"schema_version"`
+	Scale         string        `json:"scale"`
+	Results       []suiteResult `json:"results"`
+}
+
+// handleSuite computes (or re-serves) every experiment at the requested
+// scale and returns one summary document. Fan-out concurrency is sized
+// to the store's compute slots so one suite request fills the pool but
+// never trips its own backpressure queue; singleflight makes the whole
+// request cheap when the per-experiment endpoints already warmed the
+// cache.
+func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
+	opt, err := s.requestOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	results := make([]suiteResult, len(s.list))
+	sem := make(chan struct{}, s.cfg.Store.Slots())
+	var wg sync.WaitGroup
+	for i, e := range s.list {
+		wg.Add(1)
+		go func(i int, e core.Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sr := suiteResult{ID: e.ID, Title: e.Title}
+			if res, err := s.cfg.Store.Get(r.Context(), e, opt); err != nil {
+				sr.Error = err.Error()
+			} else {
+				sr.OK = true
+				sr.ETag = etagFor(res.Key, core.FormatJSON)
+			}
+			results[i] = sr
+		}(i, e)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, suiteResponse{
+		SchemaVersion: core.ReportSchemaVersion,
+		Scale:         opt.Scale.String(),
+		Results:       results,
+	})
+}

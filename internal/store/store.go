@@ -1,0 +1,455 @@
+// Package store is the content-addressed experiment-result store that
+// turns the deterministic simulator into a servable function: a result
+// is identified by the SHA-256 of (experiment id, report schema
+// version, canonical Options encoding), identical requests never
+// recompute — concurrent ones coalesce onto a single in-flight run
+// (singleflight), repeated ones hit the in-memory LRU or the optional
+// on-disk rendering — and computation is bounded by a fixed number of
+// compute slots with a bounded wait queue, so overload surfaces as
+// ErrBusy instead of unbounded goroutine pile-up.
+//
+// The store leans on two properties proved elsewhere in this repo:
+// experiments are pure functions of their configuration (the PR 2
+// equivalence gate shows bit-identical statistics across delivery
+// paths), and core.Options has a canonical, fingerprintable encoding.
+// Together they make the key a true content address: equal key, equal
+// statistics.
+package store
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"wsstudy/internal/core"
+	"wsstudy/internal/obs"
+)
+
+// Key is a result's content address: SHA-256 over the experiment id,
+// the frozen report schema version, and the canonical Options encoding.
+type Key [sha256.Size]byte
+
+// KeyFor derives the content address of (experiment id, options).
+// Options that canonicalize identically — regardless of Timeout or
+// field order — always map to the same Key; bumping
+// core.ReportSchemaVersion changes every Key at once, invalidating
+// stale persisted renderings.
+func KeyFor(id string, opt core.Options) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "wsstudy.result;schema=%d;experiment=%s;%s",
+		core.ReportSchemaVersion, id, opt.Canonical())
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// String is the lower-case hex form of the key (64 chars).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Result is one stored experiment outcome: the report itself plus its
+// rendered v1 JSON, which is the byte-accounted, persisted form and
+// exactly what the HTTP layer serves for JSON requests.
+type Result struct {
+	Key    Key
+	ID     string // experiment id
+	Report *core.Report
+	JSON   []byte // Report rendered as FormatJSON (ReportV1)
+}
+
+// ErrBusy reports that every compute slot is occupied and the wait
+// queue is full; the caller should shed load (the HTTP layer maps it to
+// 429 with Retry-After) and retry.
+var ErrBusy = errors.New("store: compute slots saturated")
+
+// ErrClosed reports a lookup against a store that has been Closed.
+var ErrClosed = errors.New("store: closed")
+
+// Config tunes a Store. The zero value is usable: 128 entries, 64 MiB,
+// 2 compute slots (mirroring the suite runner's default worker count),
+// a 4x slot wait queue, no disk persistence, no recorder.
+type Config struct {
+	// MaxEntries bounds the in-memory LRU entry count (0 = 128).
+	MaxEntries int
+	// MaxBytes bounds resident rendered-JSON bytes (0 = 64 MiB). The
+	// most recently inserted entry is always retained, so one oversized
+	// report does not wedge the store.
+	MaxBytes int64
+	// Slots bounds concurrent experiment computations, the same role
+	// SuiteOptions.Workers plays for the batch runner (0 = 2).
+	Slots int
+	// MaxQueue bounds computations waiting for a free slot before new
+	// ones are rejected with ErrBusy. 0 means 4x Slots; negative means
+	// no waiting at all (saturated slots reject immediately).
+	MaxQueue int
+	// Dir, when non-empty, persists each result's rendered JSON as
+	// <Dir>/<key>.json and revives it on a memory miss, so a restarted
+	// server never recomputes what a previous process already ran.
+	Dir string
+	// Recorder receives the store's instrumentation (hit/miss/
+	// coalesced/eviction counters, queue-depth and resident-bytes
+	// gauges, compute-wall histogram) and is attached to every
+	// computation's context, so experiment-level metrics fold into it
+	// too. Nil disables instrumentation at the usual nil-handle cost.
+	Recorder *obs.Recorder
+}
+
+// Store is a content-addressed cache in front of core.Execute. Safe for
+// concurrent use.
+type Store struct {
+	cfg   Config
+	slots chan struct{}
+
+	// base is the computations' root context: detached from any single
+	// request (so a coalesced computation survives its leader's client
+	// disconnecting) and cancelled by Close to stop stragglers.
+	base   context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	closed   bool
+	entries  map[Key]*lruEntry
+	head     *lruEntry // most recently used
+	tail     *lruEntry // least recently used
+	count    int
+	bytes    int64
+	flights  map[Key]*flight
+	waiters  int
+	inflight sync.WaitGroup
+
+	hits, misses, coalesced, evictions, diskHits *obs.Counter
+	queueDepth, bytesGauge                       *obs.Gauge
+	computeWall                                  *obs.Histogram
+}
+
+// lruEntry is a node of the intrusive LRU list.
+type lruEntry struct {
+	key        Key
+	res        *Result
+	size       int64
+	prev, next *lruEntry
+}
+
+// flight is one in-progress computation that concurrent identical
+// requests wait on.
+type flight struct {
+	done chan struct{} // closed when res/err are final
+	res  *Result
+	err  error
+}
+
+// New builds a Store. A non-empty Config.Dir is created if missing.
+func New(cfg Config) (*Store, error) {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 128
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 64 << 20
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 2
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 4 * cfg.Slots
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: creating persistence dir: %w", err)
+		}
+	}
+	base, cancel := context.WithCancel(context.Background())
+	rec := cfg.Recorder
+	return &Store{
+		cfg:         cfg,
+		slots:       make(chan struct{}, cfg.Slots),
+		base:        obs.With(base, rec),
+		cancel:      cancel,
+		entries:     make(map[Key]*lruEntry),
+		flights:     make(map[Key]*flight),
+		hits:        rec.Counter(obs.StoreHits),
+		misses:      rec.Counter(obs.StoreMisses),
+		coalesced:   rec.Counter(obs.StoreCoalesced),
+		evictions:   rec.Counter(obs.StoreEvictions),
+		diskHits:    rec.Counter(obs.StoreDiskHits),
+		queueDepth:  rec.Gauge(obs.StoreQueueDepth),
+		bytesGauge:  rec.Gauge(obs.StoreBytes),
+		computeWall: rec.Histogram(obs.StoreComputeWall),
+	}, nil
+}
+
+// Get returns the result for (e, opt), computing it at most once no
+// matter how many goroutines ask concurrently. The fast path is a
+// mutex-guarded map lookup; a miss either joins the key's in-flight
+// computation or becomes its leader — acquiring a compute slot (waiting
+// in a bounded queue, ErrBusy beyond it), consulting the persisted
+// rendering if Dir is set, and finally running core.Execute.
+//
+// ctx bounds this caller's wait only: a follower whose ctx expires
+// leaves the flight (ctx.Err()) while the computation itself keeps
+// running under the store's root context, bounded by opt.Timeout — so
+// one impatient client can never kill a result that others (or a
+// retry) are about to reuse. Errors are not cached; the flight's
+// followers share the leader's error and the next request retries.
+func (s *Store) Get(ctx context.Context, e core.Experiment, opt core.Options) (*Result, error) {
+	key := KeyFor(e.ID, opt)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if ent, ok := s.entries[key]; ok {
+		s.moveToFrontLocked(ent)
+		res := ent.res
+		s.mu.Unlock()
+		s.hits.Inc()
+		return res, nil
+	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		s.coalesced.Inc()
+		select {
+		case <-f.done:
+			return f.res, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	s.misses.Inc()
+
+	f.res, f.err = s.compute(ctx, key, e, opt)
+
+	s.mu.Lock()
+	delete(s.flights, key)
+	if f.err == nil {
+		s.insertLocked(key, f.res)
+	}
+	s.mu.Unlock()
+	close(f.done)
+	s.inflight.Done()
+	return f.res, f.err
+}
+
+// Slots reports the store's compute-slot count, so front ends can size
+// their fan-out to what the store will actually run in parallel.
+func (s *Store) Slots() int { return s.cfg.Slots }
+
+// Cached reports whether key is resident in memory without touching
+// LRU order, flights, or counters.
+func (s *Store) Cached(key Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// Len and Bytes report the resident entry count and rendered-byte total.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Bytes reports resident rendered-JSON bytes.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// compute is the flight leader's path: slot acquisition with bounded
+// queueing, the disk probe, and the experiment run itself.
+func (s *Store) compute(ctx context.Context, key Key, e core.Experiment, opt core.Options) (*Result, error) {
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		// All slots busy: join the bounded wait queue or shed.
+		s.mu.Lock()
+		if s.cfg.MaxQueue < 0 || s.waiters >= s.cfg.MaxQueue {
+			s.mu.Unlock()
+			return nil, ErrBusy
+		}
+		s.waiters++
+		s.mu.Unlock()
+		s.queueDepth.Add(1)
+		defer func() {
+			s.mu.Lock()
+			s.waiters--
+			s.mu.Unlock()
+			s.queueDepth.Add(-1)
+		}()
+		select {
+		case s.slots <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-s.base.Done():
+			return nil, ErrClosed
+		}
+	}
+	defer func() { <-s.slots }()
+
+	if res, ok := s.loadDisk(key, e.ID); ok {
+		s.diskHits.Inc()
+		return res, nil
+	}
+
+	start := time.Now()
+	rep, err := core.Execute(s.base, e, opt)
+	s.computeWall.Observe(time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf, core.FormatJSON); err != nil {
+		return nil, fmt.Errorf("store: rendering %s: %w", e.ID, err)
+	}
+	res := &Result{Key: key, ID: e.ID, Report: rep, JSON: buf.Bytes()}
+	s.saveDisk(res)
+	return res, nil
+}
+
+// insertLocked adds a result at the LRU front and evicts from the tail
+// until the entry and byte budgets hold again (never evicting the entry
+// just inserted). s.mu must be held.
+func (s *Store) insertLocked(key Key, res *Result) {
+	if s.closed || s.entries[key] != nil {
+		return
+	}
+	ent := &lruEntry{key: key, res: res, size: int64(len(res.JSON))}
+	s.entries[key] = ent
+	s.pushFrontLocked(ent)
+	s.count++
+	s.bytes += ent.size
+	for (s.count > s.cfg.MaxEntries || s.bytes > s.cfg.MaxBytes) && s.count > 1 {
+		victim := s.tail
+		s.unlinkLocked(victim)
+		delete(s.entries, victim.key)
+		s.count--
+		s.bytes -= victim.size
+		s.evictions.Inc()
+	}
+	s.bytesGauge.Set(s.bytes)
+}
+
+func (s *Store) pushFrontLocked(ent *lruEntry) {
+	ent.prev, ent.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = ent
+	}
+	s.head = ent
+	if s.tail == nil {
+		s.tail = ent
+	}
+}
+
+func (s *Store) unlinkLocked(ent *lruEntry) {
+	if ent.prev != nil {
+		ent.prev.next = ent.next
+	} else {
+		s.head = ent.next
+	}
+	if ent.next != nil {
+		ent.next.prev = ent.prev
+	} else {
+		s.tail = ent.prev
+	}
+	ent.prev, ent.next = nil, nil
+}
+
+func (s *Store) moveToFrontLocked(ent *lruEntry) {
+	if s.head == ent {
+		return
+	}
+	s.unlinkLocked(ent)
+	s.pushFrontLocked(ent)
+}
+
+// diskPath is where a key's rendered JSON persists.
+func (s *Store) diskPath(key Key) string {
+	return filepath.Join(s.cfg.Dir, key.String()+".json")
+}
+
+// loadDisk revives a persisted rendering: the JSON bytes are served
+// verbatim and the Report is rebuilt from the v1 schema so text and CSV
+// renderings still work. A wrong or corrupt file is ignored (the
+// experiment recomputes) rather than trusted.
+func (s *Store) loadDisk(key Key, id string) (*Result, bool) {
+	if s.cfg.Dir == "" {
+		return nil, false
+	}
+	raw, err := os.ReadFile(s.diskPath(key))
+	if err != nil {
+		return nil, false
+	}
+	var v core.ReportV1
+	if err := json.Unmarshal(raw, &v); err != nil || v.SchemaVersion != core.ReportSchemaVersion {
+		return nil, false
+	}
+	return &Result{Key: key, ID: id, Report: v.Report(), JSON: raw}, true
+}
+
+// saveDisk persists a result's rendering atomically (tmp + rename);
+// persistence is an optimization, so failures are swallowed.
+func (s *Store) saveDisk(res *Result) {
+	if s.cfg.Dir == "" {
+		return
+	}
+	tmp, err := os.CreateTemp(s.cfg.Dir, "tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(res.JSON)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.diskPath(res.Key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// Close drains the store: new Gets fail with ErrClosed, in-flight
+// computations get until ctx expires to finish (graceful drain), and
+// any still running after that are cancelled through the store's root
+// context, stopping at their kernels' next cancellation poll. Close
+// returns nil when the drain completed, otherwise ctx's error.
+func (s *Store) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.cancel() // stop stragglers (and free the base context) either way
+	if err != nil {
+		// Give cancelled computations a moment to unwind so no goroutine
+		// outlives Close even on a timed-out drain.
+		<-done
+	}
+	return err
+}

@@ -3,10 +3,13 @@
 // Sizes, and Node Granularity Issues for Large-Scale Multiprocessors"
 // (ISCA 1993).
 //
-// The package re-exports three layers:
+// The package re-exports four layers:
 //
 //   - Experiments: every figure and table of the paper as a runnable
 //     artifact (Experiments, Run, RunAndRender).
+//   - Serving: the content-addressed result store (NewStore) and the
+//     stable v1 HTTP API over it (NewServer) — identical requests never
+//     recompute, concurrent ones coalesce, overload answers 429.
 //   - The measurement toolkit: memory-reference traces (delivered in
 //     blocks, with optional parallel fan-out to independent simulators),
 //     the single-pass stack-distance profiler, exact LRU / set-associative
@@ -27,6 +30,8 @@ import (
 	"wsstudy/internal/machine"
 	"wsstudy/internal/memsys"
 	"wsstudy/internal/obs"
+	"wsstudy/internal/serve"
+	"wsstudy/internal/store"
 	"wsstudy/internal/trace"
 	"wsstudy/internal/workingset"
 )
@@ -122,14 +127,69 @@ func RunSuite(ctx context.Context, experiments []Experiment, opt SuiteOptions) *
 }
 
 // RunAndRender executes an experiment and writes its text rendering to w.
+// Use Report.Render with FormatCSV or FormatJSON for the other forms.
 func RunAndRender(ctx context.Context, id string, opt Options, w io.Writer) error {
 	rep, err := Run(ctx, id, opt)
 	if err != nil {
 		return err
 	}
-	rep.Render(w)
-	return nil
+	return rep.Render(w, core.FormatText)
 }
+
+// Serving results.
+
+type (
+	// Format selects a Report rendering: FormatText, FormatCSV, or
+	// FormatJSON (the frozen ReportV1 schema).
+	Format = core.Format
+	// ReportV1 is the frozen v1 JSON wire form of a Report
+	// (schema_version, explicit field names), shared by the HTTP API,
+	// the CLI and the result store's persistence.
+	ReportV1 = core.ReportV1
+	// ResultStore is the content-addressed experiment-result store:
+	// singleflight computation dedup, bounded compute slots, LRU +
+	// max-bytes eviction, optional disk persistence.
+	ResultStore = store.Store
+	// StoreConfig tunes a ResultStore.
+	StoreConfig = store.Config
+	// StoreKey is a result's content address: SHA-256 of the experiment
+	// id, the report schema version and the canonical Options encoding.
+	StoreKey = store.Key
+	// StoreResult is one stored outcome: the Report plus its rendered
+	// v1 JSON.
+	StoreResult = store.Result
+	// Server is the stable v1 HTTP API over a ResultStore
+	// (/v1/experiments, /v1/experiments/{id}/report, /v1/suite), with
+	// ETag revalidation, 429 backpressure and graceful shutdown.
+	Server = serve.Server
+	// ServerConfig tunes a Server.
+	ServerConfig = serve.Config
+)
+
+// Report format selectors.
+const (
+	FormatText = core.FormatText
+	FormatCSV  = core.FormatCSV
+	FormatJSON = core.FormatJSON
+)
+
+// Backpressure and lifecycle sentinels of the result store.
+var (
+	// ErrBusy reports saturated compute slots; shed load and retry.
+	ErrBusy = store.ErrBusy
+	// ErrStoreClosed reports a lookup against a closed store.
+	ErrStoreClosed = store.ErrClosed
+)
+
+// NewStore builds a content-addressed result store.
+func NewStore(cfg StoreConfig) (*ResultStore, error) { return store.New(cfg) }
+
+// NewServer builds the v1 HTTP server over cfg.Store.
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
+
+// ResultKey derives the content address the store, CLI and tests share
+// for (experiment id, options).
+func ResultKey(id string, opt Options) StoreKey { return store.KeyFor(id, opt) }
 
 // Observability.
 

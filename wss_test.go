@@ -69,6 +69,56 @@ func TestToolkitRoundTrip(t *testing.T) {
 	}
 }
 
+// TestServingFacade drives the result store and v1 server end to end
+// through the public API only: compute once, hit the cache, serve over
+// HTTP with an ETag, shut down.
+func TestServingFacade(t *testing.T) {
+	st, err := NewStore(StoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := findExperiment(t, "table2")
+	opt := Options{Scale: ScaleQuick}
+	res, err := st.Get(context.Background(), e, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Key != ResultKey("table2", opt) {
+		t.Errorf("store key disagrees with ResultKey")
+	}
+	if len(res.JSON) == 0 || !strings.Contains(string(res.JSON), `"schema_version": 1`) {
+		t.Errorf("result JSON missing schema_version:\n%.200s", res.JSON)
+	}
+	var sb strings.Builder
+	if err := res.Report.Render(&sb, FormatCSV); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Handler() == nil {
+		t.Fatal("no handler")
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(context.Background(), e, opt); err == nil {
+		t.Error("closed store accepted a Get")
+	}
+}
+
+func findExperiment(t *testing.T, id string) (Experiment, bool) {
+	t.Helper()
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	t.Fatalf("experiment %q not registered", id)
+	return Experiment{}, false
+}
+
 type consumerFunc func(Ref)
 
 func (f consumerFunc) Ref(r Ref) { f(r) }
