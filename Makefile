@@ -1,13 +1,15 @@
 GO ?= go
+BENCH_OUT ?= BENCH_PR5.json
 
-.PHONY: check build vet fmt-check equivalence serve-smoke test race fuzz bench
+.PHONY: check build vet fmt-check equivalence serve-smoke test race fuzz bench bench-smoke
 
 # Tier-1 gate: everything must build, `go vet ./...` clean, be
 # gofmt-formatted, pass under -race, the batched pipeline must remain
 # bit-identical to the legacy per-Ref path (short-mode equivalence run),
-# and the v1 HTTP server must boot, answer /v1/experiments with valid
-# JSON, and drain (serve-smoke).
-check: build vet fmt-check race equivalence serve-smoke
+# the v1 HTTP server must boot, answer /v1/experiments with valid
+# JSON, and drain (serve-smoke), and every benchmark must still run for
+# one iteration (bench-smoke).
+check: build vet fmt-check race equivalence serve-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -22,8 +24,10 @@ fmt-check:
 # Block/fan-out delivery must produce the same statistics — and, with a
 # Recorder attached, the same per-stage metric counters — as per-Ref
 # delivery for every kernel (see internal/core/equivalence_test.go).
+# The sharded fanout is held to Tee on every kernel (including under
+# GOMAXPROCS=1), and the parallel cache bank to the serial Bank.
 equivalence:
-	$(GO) test -short -run 'TestBlockEquivalence|TestFanoutMatchesTee|TestMetricsEquivalence' ./internal/core/
+	$(GO) test -short -run 'TestBlockEquivalence|TestFanoutMatchesTee|TestMetricsEquivalence|TestParallelBankMatchesSerialKernels' ./internal/core/
 
 # Boot the real serving path (store + v1 API exactly as `wsstudy serve`
 # wires it), GET /v1/experiments and a report, assert 200 + valid JSON,
@@ -41,9 +45,20 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzReplay -fuzztime=30s ./internal/trace/
 
-# Reference-delivery benchmarks for this refactor; results are archived in
-# BENCH_PR2.json for comparison against the numbers quoted in DESIGN.md.
+# Delivery + sweep-engine benchmarks; results are archived in
+# $(BENCH_OUT) for comparison against the numbers quoted in DESIGN.md
+# (BENCH_PR2.json holds the pre-sharding baseline). Three counted runs
+# per benchmark so the archived file shows the spread — shared hosts
+# swing several percent run to run; compare medians, not single samples.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkRefDelivery|BenchmarkFanout' \
-		-benchmem -count 1 -json . > BENCH_PR2.json
-	@grep -o '"Output":"[^"]*ns/op[^"]*"' BENCH_PR2.json | head -20
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkRefDelivery|BenchmarkFanout|BenchmarkFanoutScaling|BenchmarkSuiteTraceReuse|BenchmarkAblationLRUBank' \
+		-benchmem -benchtime 10x -count 3 -json . > $(BENCH_OUT)
+	@grep -o '"Output":"[^"]*ns/op[^"]*"' $(BENCH_OUT) | head -40
+
+# One iteration of every benchmark: proves the benchmark set still
+# compiles and runs end to end without paying for stable timings.
+bench-smoke:
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkRefDelivery|BenchmarkFanout|BenchmarkFanoutScaling|BenchmarkSuiteTraceReuse|BenchmarkAblationLRUBank' \
+		-benchtime 1x -count 1 . > /dev/null

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"wsstudy/internal/apps/lu"
 	"wsstudy/internal/apps/volrend"
 	"wsstudy/internal/cache"
+	"wsstudy/internal/capture"
 	"wsstudy/internal/core"
 	"wsstudy/internal/trace"
 )
@@ -114,6 +116,26 @@ func BenchmarkAblationLRUBank(b *testing.B) {
 	b.ReportMetric(float64(len(addrs)), "refs/op")
 }
 
+// BenchmarkAblationLRUBankParallel is the same sweep through the sharded
+// ParallelBank (bit-identical counts, proven in the equivalence suite),
+// at one shard and at NumCPU shards.
+func BenchmarkAblationLRUBankParallel(b *testing.B) {
+	addrs := ablationTrace(200_000)
+	for _, w := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bank := cache.MustParallelBank(ablationSizes(), 8, w)
+				for _, a := range addrs {
+					bank.Access(a, 8, true)
+				}
+				bank.Curve()
+				bank.Close()
+			}
+			b.ReportMetric(float64(len(addrs)), "refs/op")
+		})
+	}
+}
+
 // Reference-delivery benchmarks: the cost of moving the stream from the
 // kernel to the simulator, isolated from both. The captured LU trace is
 // recorded once and replayed through each delivery mechanism.
@@ -192,27 +214,34 @@ func BenchmarkRefDelivery(b *testing.B) {
 	})
 }
 
-// benchProfilers builds four independent stack-distance profilers — the
+// benchProfilers builds independent stack-distance profilers — the
 // fig6dm shape: one kernel run fanned out to simulators whose
 // per-reference work (Fenwick updates, hash lookups) dwarfs delivery
 // cost, which is exactly when concurrent fan-out pays.
-func benchProfilers(b *testing.B) []trace.Consumer {
+func benchProfilers(b *testing.B, n int) []trace.Consumer {
 	b.Helper()
-	cs := make([]trace.Consumer, 4)
+	cs := make([]trace.Consumer, n)
 	for i := range cs {
 		cs[i] = cache.MustStackProfiler(8)
 	}
 	return cs
 }
 
-// BenchmarkFanout compares serial Tee delivery against concurrent Fanout
-// delivery of the captured LU trace into four independent profilers.
+// BenchmarkFanout compares serial Tee delivery against the sharded
+// Fanout delivery of the captured LU trace into four independent
+// profilers. Simulator construction happens with the timer stopped, so
+// ns/op and B/op measure delivery plus simulation only (the PR2 numbers
+// mixed in per-iteration profiler allocation; the steady-state alloc
+// guarantee itself is pinned by AllocsPerRun guards in internal/trace).
 func BenchmarkFanout(b *testing.B) {
 	refs := luTrace(b)
 	blocks := trace.Blocks(refs, trace.DefaultBlockSize)
 	b.Run("tee", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			tee := trace.Tee(benchProfilers(b))
+			b.StopTimer()
+			tee := trace.Tee(benchProfilers(b, 4))
+			b.StartTimer()
 			for _, blk := range blocks {
 				tee.Refs(blk)
 			}
@@ -220,8 +249,12 @@ func BenchmarkFanout(b *testing.B) {
 		b.ReportMetric(float64(len(refs)), "refs/op")
 	})
 	b.Run("fanout", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			fan, err := trace.NewFanout(benchProfilers(b)...)
+			b.StopTimer()
+			cs := benchProfilers(b, 4)
+			b.StartTimer()
+			fan, err := trace.NewFanout(cs...)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -233,6 +266,96 @@ func BenchmarkFanout(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(len(refs)), "refs/op")
+	})
+}
+
+// BenchmarkFanoutScaling sweeps the shard-worker count over the
+// replayed LU stream fanned out to an 11-consumer sweep (the fig6dm
+// width): 1 up through NumCPU, plus an oversubscribed point on
+// single-core hosts so the curve always has two entries. On a
+// single-core host the workers=1 row against the tee row measures the
+// full cost of the engine's machinery (copies, ring handoff, chunked
+// member-major delivery) against inline serial delivery — the shard
+// concurrency itself needs cores to pay.
+func BenchmarkFanoutScaling(b *testing.B) {
+	refs := luTrace(b)
+	blocks := trace.Blocks(refs, trace.DefaultBlockSize)
+	nrefs := len(refs)
+	workers := []int{1}
+	for w := 2; w < runtime.NumCPU(); w *= 2 {
+		workers = append(workers, w)
+	}
+	if n := runtime.NumCPU(); n > 1 {
+		workers = append(workers, n)
+	} else {
+		workers = append(workers, 2) // oversubscription cost, measured honestly
+	}
+	b.Run("tee", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			tee := trace.Tee(benchProfilers(b, 11))
+			b.StartTimer()
+			for _, blk := range blocks {
+				tee.Refs(blk)
+			}
+		}
+		b.ReportMetric(float64(nrefs), "refs/op")
+	})
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cs := benchProfilers(b, 11)
+				b.StartTimer()
+				fan, err := trace.NewFanoutConfig(trace.FanoutConfig{Workers: w}, cs...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, blk := range blocks {
+					fan.Refs(blk)
+				}
+				if err := fan.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nrefs), "refs/op")
+		})
+	}
+}
+
+// BenchmarkSuiteTraceReuse measures end-to-end RunSuite wall-clock over
+// the two experiments sharing a Barnes-Hut configuration, with the
+// kernel-trace capture disabled vs enabled (fresh store per iteration, so
+// each op pays one record and one replay). Workers=1 keeps the
+// comparison a pure capture effect.
+func BenchmarkSuiteTraceReuse(b *testing.B) {
+	var exps []core.Experiment
+	for _, id := range []string{"fig6", "fig6dm"} {
+		e, ok := core.Find(id)
+		if !ok {
+			b.Fatalf("unknown experiment %q", id)
+		}
+		exps = append(exps, e)
+	}
+	run := func(b *testing.B, ctx context.Context) {
+		rep := core.RunSuite(ctx, exps, core.SuiteOptions{
+			Options: core.Options{Scale: core.ScaleQuick}, Workers: 1,
+		})
+		if s := rep.FailureSummary(); s != "" {
+			b.Fatal(s)
+		}
+	}
+	b.Run("capture=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, capture.With(context.Background(), nil))
+		}
+	})
+	b.Run("capture=on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, capture.With(context.Background(), capture.New(0)))
+		}
 	})
 }
 

@@ -1,0 +1,292 @@
+package cache
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wsstudy/internal/spsc"
+)
+
+// ParallelBank is a Bank whose member LRUs are driven by a sharded worker
+// pool instead of being walked serially inside every Access. The members
+// are fully independent — a sweep of K capacities is embarrassingly
+// parallel — so the producer records each touch once into a pooled op
+// block and publishes it to every shard's spsc.Ring; each shard replays
+// the block into the member caches it owns, member-major for locality.
+//
+// Every member observes exactly the op sequence the serial Bank would
+// have applied to it, in the same order, so the statistics are
+// bit-identical to Bank's (the equivalence suite proves this across all
+// five kernels). Reads of results (Curve, Stats) drain the pipeline
+// first; Close is the final barrier and must be called before the bank is
+// discarded so the shard goroutines exit.
+//
+// The producer side (Access, Invalidate, SetMeasuring, Curve, Stats,
+// Close) must be called from a single goroutine.
+type ParallelBank struct {
+	caches []*LRU
+	shards []*bankShard
+	wg     sync.WaitGroup
+	cur    *bankOps
+	closed bool
+}
+
+// bankShard is one worker: a ring plus the member caches it owns.
+type bankShard struct {
+	ring    *spsc.Ring[*bankOps]
+	members []*LRU
+}
+
+// bankOp is one recorded operation, already expanded to a line address.
+type bankOp struct {
+	addr uint64
+	kind uint8
+}
+
+const (
+	bankRead uint8 = iota
+	bankWrite
+	bankInvalidate
+	bankReset
+)
+
+// bankOps is a pooled block of operations shared by all shards; the last
+// shard to finish releases it and closes the attached barrier, if any.
+type bankOps struct {
+	ops  []bankOp
+	rc   atomic.Int32
+	done chan struct{} // non-nil on a drain barrier block
+}
+
+const (
+	// bankOpsCap is the op-block size: 16 bytes per op makes a block
+	// 32 KB, enough that one ring publish per block amortizes to noise
+	// against replaying the block into several exact LRUs.
+	bankOpsCap = 2048
+	// bankRingCap bounds in-flight blocks per shard.
+	bankRingCap = 16
+)
+
+var bankOpsPool = sync.Pool{
+	New: func() any { return &bankOps{ops: make([]bankOp, 0, bankOpsCap)} },
+}
+
+func (b *bankOps) release() {
+	if b.rc.Add(-1) == 0 {
+		done := b.done
+		b.done = nil
+		b.ops = b.ops[:0]
+		bankOpsPool.Put(b)
+		if done != nil {
+			close(done)
+		}
+	}
+}
+
+// NewParallelBank builds LRU caches at each capacity (in lines, positive
+// and strictly ascending) and starts the shard workers. workers bounds
+// the shard count; zero or negative means min(GOMAXPROCS, number of
+// capacities). Member i is pinned to shard i mod W, so the shards'
+// aggregate capacities stay balanced even though larger members cost
+// more per access.
+func NewParallelBank(capacitiesLines []int, lineSize uint32, workers int) (*ParallelBank, error) {
+	serial, err := NewBank(capacitiesLines, lineSize)
+	if err != nil {
+		return nil, err
+	}
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(serial.caches) {
+		w = len(serial.caches)
+	}
+	pb := &ParallelBank{
+		caches: serial.caches,
+		shards: make([]*bankShard, w),
+	}
+	for i := range pb.shards {
+		r, err := spsc.New[*bankOps](bankRingCap)
+		if err != nil {
+			return nil, fmt.Errorf("%w: parallel bank ring: %v", ErrInvalidConfig, err)
+		}
+		pb.shards[i] = &bankShard{ring: r}
+	}
+	for i, c := range pb.caches {
+		sh := pb.shards[i%w]
+		sh.members = append(sh.members, c)
+	}
+	for _, sh := range pb.shards {
+		pb.wg.Add(1)
+		go pb.run(sh)
+	}
+	return pb, nil
+}
+
+// MustParallelBank is NewParallelBank for statically-valid configurations;
+// it panics on error.
+func MustParallelBank(capacitiesLines []int, lineSize uint32, workers int) *ParallelBank {
+	pb, err := NewParallelBank(capacitiesLines, lineSize, workers)
+	if err != nil {
+		panic(err)
+	}
+	return pb
+}
+
+// run replays published op blocks into this shard's members, member-major
+// within each drained batch so each LRU's intrusive list stays cache-hot
+// across a full block of operations.
+func (pb *ParallelBank) run(sh *bankShard) {
+	defer pb.wg.Done()
+	batch := make([]*bankOps, sh.ring.Cap())
+	for {
+		n, open := sh.ring.Recv(batch)
+		for _, c := range sh.members {
+			for _, blk := range batch[:n] {
+				for _, op := range blk.ops {
+					switch op.kind {
+					case bankRead:
+						c.Access(op.addr, true)
+					case bankWrite:
+						c.Access(op.addr, false)
+					case bankInvalidate:
+						c.Invalidate(op.addr)
+					case bankReset:
+						c.ResetStats()
+					}
+				}
+			}
+		}
+		for _, blk := range batch[:n] {
+			blk.release()
+		}
+		if !open {
+			return
+		}
+	}
+}
+
+// record appends one op, publishing the block when it fills.
+func (pb *ParallelBank) record(op bankOp) {
+	if pb.closed {
+		return
+	}
+	if pb.cur == nil {
+		pb.cur = bankOpsPool.Get().(*bankOps)
+	}
+	pb.cur.ops = append(pb.cur.ops, op)
+	if len(pb.cur.ops) == cap(pb.cur.ops) {
+		pb.publish(nil)
+	}
+}
+
+// publish hands the current block (plus an optional barrier) to every
+// shard.
+func (pb *ParallelBank) publish(done chan struct{}) {
+	blk := pb.cur
+	pb.cur = nil
+	if blk == nil {
+		if done == nil {
+			return
+		}
+		blk = bankOpsPool.Get().(*bankOps)
+	}
+	blk.done = done
+	blk.rc.Store(int32(len(pb.shards)))
+	one := [1]*bankOps{blk}
+	for _, sh := range pb.shards {
+		sh.ring.Send(one[:])
+	}
+}
+
+// drain publishes everything pending plus a barrier block and waits until
+// every shard has fully processed it, making member stats safe to read.
+func (pb *ParallelBank) drain() {
+	if pb.closed {
+		return
+	}
+	done := make(chan struct{})
+	pb.publish(done)
+	<-done
+}
+
+// Access records a touch of the byte range for every member cache.
+func (pb *ParallelBank) Access(addr uint64, size uint32, read bool) {
+	if size == 0 {
+		return
+	}
+	kind := bankWrite
+	if read {
+		kind = bankRead
+	}
+	ls := pb.caches[0].LineSize()
+	first := Line(addr, ls)
+	last := Line(addr+uint64(size)-1, ls)
+	for line := first; ; line++ {
+		pb.record(bankOp{addr: line << lineShift(ls), kind: kind})
+		if line == last {
+			break
+		}
+	}
+}
+
+// Invalidate removes the line containing addr from every member cache.
+func (pb *ParallelBank) Invalidate(addr uint64) {
+	pb.record(bankOp{addr: addr, kind: bankInvalidate})
+}
+
+// SetMeasuring implements cold-start exclusion: turning measurement on
+// resets all counters (in stream order) while keeping contents.
+func (pb *ParallelBank) SetMeasuring(on bool) {
+	if on {
+		pb.record(bankOp{kind: bankReset})
+	}
+}
+
+// Curve drains the pipeline and reports the exact miss counts at every
+// member capacity.
+func (pb *ParallelBank) Curve() []MissCount {
+	pb.drain()
+	out := make([]MissCount, len(pb.caches))
+	for i, c := range pb.caches {
+		s := c.Stats()
+		out[i] = MissCount{
+			CapacityLines: int(c.CapacityBytes() / uint64(c.LineSize())),
+			ReadMisses:    s.ReadMisses,
+			WriteMisses:   s.WriteMisses,
+		}
+	}
+	return out
+}
+
+// Stats drains the pipeline and returns the statistics of the cache at
+// index i.
+func (pb *ParallelBank) Stats(i int) Stats {
+	pb.drain()
+	return pb.caches[i].Stats()
+}
+
+// Capacities reports the member capacities in lines.
+func (pb *ParallelBank) Capacities() []int {
+	out := make([]int, len(pb.caches))
+	for i, c := range pb.caches {
+		out[i] = int(c.CapacityBytes() / uint64(c.LineSize()))
+	}
+	return out
+}
+
+// Close drains the pipeline and stops the shard workers. It is
+// idempotent; ops recorded after Close are dropped.
+func (pb *ParallelBank) Close() {
+	if pb.closed {
+		return
+	}
+	pb.drain()
+	pb.closed = true
+	for _, sh := range pb.shards {
+		sh.ring.Close()
+	}
+	pb.wg.Wait()
+}

@@ -1,0 +1,74 @@
+package cache
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestParallelBankMatchesSerial replays identical randomized op streams —
+// mixed-size accesses, invalidations, a mid-stream measurement reset —
+// into a serial Bank and ParallelBanks at several shard counts, and
+// demands bit-identical per-member statistics. Invalidations are the
+// hard case: they are exactly what breaks the one-pass stack-distance
+// property, so getting them bit-right through the sharded pipeline is
+// the whole point of the Bank.
+func TestParallelBankMatchesSerial(t *testing.T) {
+	caps := []int{4, 16, 64, 256, 1024}
+	for _, workers := range []int{1, 2, 3, 5} {
+		serial := MustBank(caps, 8)
+		par := MustParallelBank(caps, 8, workers)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 50000; i++ {
+			switch {
+			case i == 20000:
+				serial.SetMeasuring(true)
+				par.SetMeasuring(true)
+			case rng.Intn(10) == 0:
+				addr := uint64(rng.Intn(1 << 14))
+				serial.Invalidate(addr)
+				par.Invalidate(addr)
+			default:
+				addr := uint64(rng.Intn(1 << 14))
+				size := uint32(1 + rng.Intn(24))
+				read := rng.Intn(3) != 0
+				serial.Access(addr, size, read)
+				par.Access(addr, size, read)
+			}
+		}
+		if got, want := par.Curve(), serial.Curve(); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: parallel curve diverged\nparallel: %+v\nserial:   %+v", workers, got, want)
+		}
+		for i := range caps {
+			if got, want := par.Stats(i), serial.Stats(i); got != want {
+				t.Errorf("workers=%d member %d: stats diverged\nparallel: %+v\nserial:   %+v", workers, i, got, want)
+			}
+		}
+		if got, want := par.Capacities(), serial.Capacities(); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: capacities %v, want %v", workers, got, want)
+		}
+		par.Close()
+	}
+}
+
+func TestParallelBankCloseIdempotentAndDrops(t *testing.T) {
+	par := MustParallelBank([]int{8, 32}, 8, 2)
+	par.Access(0, 8, true)
+	par.Close()
+	par.Close()
+	before := par.Stats(0)
+	par.Access(64, 8, true) // dropped after Close
+	par.SetMeasuring(true)  // dropped after Close
+	if got := par.Stats(0); got != before {
+		t.Errorf("ops after Close mutated stats: %+v -> %+v", before, got)
+	}
+}
+
+func TestParallelBankInvalidConfig(t *testing.T) {
+	if _, err := NewParallelBank(nil, 8, 0); err == nil {
+		t.Error("empty capacities should fail")
+	}
+	if _, err := NewParallelBank([]int{8, 8}, 8, 0); err == nil {
+		t.Error("non-ascending capacities should fail")
+	}
+}

@@ -1,0 +1,206 @@
+package capture
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"wsstudy/internal/obs"
+	"wsstudy/internal/trace"
+)
+
+// script emits a deterministic multi-epoch stream: `epochs` boundaries,
+// each followed by a burst of references.
+func script(epochs, perEpoch int) func(trace.Consumer) error {
+	return func(sink trace.Consumer) error {
+		ec, _ := sink.(trace.EpochConsumer)
+		bc := trace.AdaptConsumer(sink)
+		for e := 0; e < epochs; e++ {
+			if ec != nil {
+				ec.BeginEpoch(e)
+			}
+			block := make([]trace.Ref, perEpoch)
+			for i := range block {
+				block[i] = trace.Ref{
+					PE: i % 4, Addr: uint64(e*perEpoch+i) * 8, Size: 8,
+					Kind: trace.Read,
+				}
+			}
+			bc.Refs(block)
+		}
+		return nil
+	}
+}
+
+// eventLog records everything a sink sees, for stream comparison.
+type eventLog struct {
+	refs   []trace.Ref
+	epochs []int
+}
+
+func (l *eventLog) Ref(r trace.Ref)  { l.refs = append(l.refs, r) }
+func (l *eventLog) BeginEpoch(n int) { l.epochs = append(l.epochs, n) }
+func (l *eventLog) equal(o *eventLog) bool {
+	return reflect.DeepEqual(l.refs, o.refs) && reflect.DeepEqual(l.epochs, o.epochs)
+}
+
+func TestRunRecordsThenReplays(t *testing.T) {
+	s := New(0)
+	rec := obs.New()
+	ctx := obs.With(context.Background(), rec)
+
+	var live, replayed eventLog
+	if err := s.Run(ctx, "k/a", 3, &live, script(3, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.Bytes() == 0 {
+		t.Fatalf("after record: Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
+	if err := s.Run(ctx, "k/a", 3, &replayed, func(trace.Consumer) error {
+		t.Fatal("replay path ran the producer")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !replayed.equal(&live) {
+		t.Errorf("replayed stream diverged: %d/%d refs, epochs %v vs %v",
+			len(replayed.refs), len(live.refs), replayed.epochs, live.epochs)
+	}
+	m := rec.Snapshot()
+	if m.Counters[obs.CaptureHits] != 1 || m.Counters[obs.CaptureMisses] != 1 {
+		t.Errorf("hit/miss = %d/%d, want 1/1",
+			m.Counters[obs.CaptureHits], m.Counters[obs.CaptureMisses])
+	}
+	if got := m.Counters[obs.CaptureReplayedRefs]; got != uint64(len(live.refs)) {
+		t.Errorf("replayed refs counter = %d, want %d", got, len(live.refs))
+	}
+}
+
+// TestEpochPrefixReplay proves the prefix property end to end: a 4-epoch
+// recording replayed at 3 epochs matches a live 3-epoch run exactly.
+func TestEpochPrefixReplay(t *testing.T) {
+	s := New(0)
+	ctx := context.Background()
+
+	var full eventLog
+	if err := s.Run(ctx, "k/p", 4, &full, script(4, 500)); err != nil {
+		t.Fatal(err)
+	}
+	var short, prefix eventLog
+	if err := script(3, 500)(&short); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(ctx, "k/p", 3, &prefix, func(trace.Consumer) error {
+		t.Fatal("prefix request should replay, not record")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !prefix.equal(&short) {
+		t.Errorf("prefix replay diverged from live short run: %d refs vs %d, epochs %v vs %v",
+			len(prefix.refs), len(short.refs), prefix.epochs, short.epochs)
+	}
+
+	// The other direction — asking for MORE epochs than recorded — must
+	// re-record, never serve a truncated stream.
+	ran := false
+	if err := s.Run(ctx, "k/p", 5, &eventLog{}, func(sink trace.Consumer) error {
+		ran = true
+		return script(5, 500)(sink)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("request beyond the recorded epochs did not re-run the kernel")
+	}
+}
+
+func TestProducerErrorNotCommitted(t *testing.T) {
+	s := New(0)
+	boom := errors.New("boom")
+	if err := s.Run(context.Background(), "k/e", 2, &eventLog{}, func(sink trace.Consumer) error {
+		_ = script(1, 10)(sink) // partial stream, then failure
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("producer error not propagated: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Error("failed producer left a committed entry")
+	}
+	// The key must not stay poisoned: a later Run records normally.
+	if err := s.Run(context.Background(), "k/e", 2, &eventLog{}, script(2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Error("recovery run did not commit")
+	}
+}
+
+func TestNilAndDisabledStores(t *testing.T) {
+	var s *Store
+	var log eventLog
+	if err := s.Run(context.Background(), "k", 1, &log, script(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.refs) != 10 {
+		t.Errorf("nil store delivered %d refs, want 10", len(log.refs))
+	}
+
+	ctx := With(context.Background(), nil)
+	if From(ctx) != nil {
+		t.Error("From should return nil for an explicitly disabled context")
+	}
+	if !Attached(ctx) {
+		t.Error("Attached should report the explicit disable")
+	}
+	if Attached(context.Background()) {
+		t.Error("Attached on a bare context")
+	}
+}
+
+func TestBudgetRejectsOversizedRecording(t *testing.T) {
+	s := New(1) // one byte: nothing fits
+	if err := s.Run(context.Background(), "k/big", 1, &eventLog{}, script(1, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Errorf("over-budget recording committed: Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
+}
+
+// TestSingleflight races many Runs of one key and demands exactly one
+// producer execution, with every caller receiving the full stream.
+func TestSingleflight(t *testing.T) {
+	s := New(0)
+	var wg sync.WaitGroup
+	const callers = 8
+	logs := make([]eventLog, callers)
+	var runs int32
+	var mu sync.Mutex
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := s.Run(context.Background(), "k/sf", 2, &logs[i], func(sink trace.Consumer) error {
+				mu.Lock()
+				runs++
+				mu.Unlock()
+				return script(2, 2000)(sink)
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if runs != 1 {
+		t.Errorf("producer ran %d times, want 1 (singleflight)", runs)
+	}
+	for i := 1; i < callers; i++ {
+		if !logs[i].equal(&logs[0]) {
+			t.Errorf("caller %d saw a different stream", i)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"wsstudy/internal/capture"
+	"wsstudy/internal/obs"
+)
+
+// stripMetrics clears the Metrics field of every report so the remaining
+// comparison covers exactly what the study reads: figures, tables, notes.
+// Delivery-granularity counters (trace.blocks, batcher flushes) may
+// legitimately differ between a live kernel run and a capture replay; the
+// statistics must not.
+func stripMetrics(reps []*Report) []*Report {
+	out := make([]*Report, len(reps))
+	for i, r := range reps {
+		cp := *r
+		cp.Metrics = nil
+		out[i] = &cp
+	}
+	return out
+}
+
+// TestSuiteTraceReuse runs the two experiments that share a Barnes-Hut
+// configuration as a suite, with capture disabled and enabled, and
+// demands (a) the capture run replayed at least one kernel stream, and
+// (b) every figure, table and note is bit-identical either way.
+func TestSuiteTraceReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full quick-scale experiments")
+	}
+	var exps []Experiment
+	for _, id := range []string{"fig6", "fig6dm"} {
+		e, ok := Find(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	run := func(ctx context.Context) *SuiteReport {
+		rep := RunSuite(ctx, exps, SuiteOptions{
+			Options: Options{Scale: ScaleQuick}, Workers: 1,
+		})
+		if s := rep.FailureSummary(); s != "" {
+			t.Fatal(s)
+		}
+		return rep
+	}
+
+	recOff := obs.New()
+	off := run(capture.With(obs.With(context.Background(), recOff), nil))
+	recOn := obs.New()
+	on := run(obs.With(context.Background(), recOn))
+
+	mOff, mOn := recOff.Snapshot(), recOn.Snapshot()
+	if got := mOff.Counters[obs.CaptureHits] + mOff.Counters[obs.CaptureMisses]; got != 0 {
+		t.Errorf("disabled capture recorded %d lookups", got)
+	}
+	if mOn.Counters[obs.CaptureMisses] == 0 {
+		t.Error("capture suite recorded no kernel stream")
+	}
+	if mOn.Counters[obs.CaptureHits] == 0 {
+		t.Error("capture suite replayed nothing: fig6dm should reuse fig6's stream")
+	}
+	if mOn.Counters[obs.CaptureReplayedRefs] == 0 {
+		t.Error("capture hit delivered no references")
+	}
+
+	if got, want := stripMetrics(on.Reports()), stripMetrics(off.Reports()); !reflect.DeepEqual(got, want) {
+		t.Errorf("capture replay changed experiment results\nwith:    %+v\nwithout: %+v", got, want)
+	}
+}

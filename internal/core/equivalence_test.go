@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"wsstudy/internal/apps/barneshut"
@@ -217,13 +218,12 @@ func TestBlockEquivalence(t *testing.T) {
 	}
 }
 
-// TestFanoutMatchesTee runs one kernel into a profiler system and a
-// direct-mapped system attached first via the serial Tee and then via the
-// concurrent Fanout, and demands identical results from both — the
-// guarantee that lets fig6dm replace its per-size reruns with one fanned
-// run.
-func TestFanoutMatchesTee(t *testing.T) {
-	k := equivalenceKernels()[3] // barneshut: multi-epoch, order-sensitive
+// fanoutVsTee runs one kernel into a profiler system and a direct-mapped
+// system attached first via the serial Tee and then via a sharded Fanout
+// built by mk, and demands identical results from both — the guarantee
+// that lets fig6dm replace its per-size reruns with one fanned run.
+func fanoutVsTee(t *testing.T, k kernelCase, mk func(...trace.Consumer) (*trace.Fanout, error)) {
+	t.Helper()
 	build := func() (*memsys.System, *memsys.System) {
 		prof := memsys.MustNew(memsys.Config{
 			PEs: 4, LineSize: 8, Profile: true, ProfilePE: 1, WarmupEpochs: k.warm,
@@ -239,7 +239,7 @@ func TestFanoutMatchesTee(t *testing.T) {
 	k.run(t, trace.Tee{profT, dmT})
 
 	profF, dmF := build()
-	fan, err := trace.NewFanout(profF, dmF)
+	fan, err := mk(profF, dmF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,6 +253,83 @@ func TestFanoutMatchesTee(t *testing.T) {
 	}
 	if got, want := cacheSnap(dmF), cacheSnap(dmT); !reflect.DeepEqual(got, want) {
 		t.Errorf("fanout direct-mapped stats diverged from tee\nfanout: %+v\ntee:    %+v", got, want)
+	}
+}
+
+// TestFanoutMatchesTee proves the sharded engine equivalent to the serial
+// Tee for every kernel, under the default configuration, under a forced
+// multi-shard configuration with awkward ring/batch sizes (so shard
+// boundaries are exercised even when GOMAXPROCS would pick one worker),
+// and — because the rings must block rather than spin — under
+// GOMAXPROCS=1 explicitly.
+func TestFanoutMatchesTee(t *testing.T) {
+	sharded := func(consumers ...trace.Consumer) (*trace.Fanout, error) {
+		return trace.NewFanoutConfig(trace.FanoutConfig{Workers: 2, Ring: 8, Batch: 3}, consumers...)
+	}
+	// Sequential subtest first: it pins GOMAXPROCS, and parallel subtests
+	// only start after the sequential ones (and the restore) finish.
+	t.Run("gomaxprocs=1", func(t *testing.T) {
+		old := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(old)
+		k := equivalenceKernels()[3] // barneshut: multi-epoch, order-sensitive
+		fanoutVsTee(t, k, trace.NewFanout)
+		fanoutVsTee(t, k, sharded)
+	})
+	for _, k := range equivalenceKernels() {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			t.Parallel()
+			fanoutVsTee(t, k, trace.NewFanout)
+			fanoutVsTee(t, k, sharded)
+		})
+	}
+}
+
+// bankDriver feeds a kernel's reference stream into a Bank-shaped sweep,
+// with the warmup boundary mapped to the measurement reset so the
+// mid-stream SetMeasuring path is part of the equivalence claim.
+type bankDriver struct {
+	access func(addr uint64, size uint32, read bool)
+	reset  func(on bool)
+	warm   int
+}
+
+func (d bankDriver) Ref(r trace.Ref) {
+	d.access(r.Addr, r.Size, r.Kind == trace.Read)
+}
+
+func (d bankDriver) BeginEpoch(n int) {
+	if n == d.warm && n > 0 {
+		d.reset(true)
+	}
+}
+
+// TestParallelBankMatchesSerialKernels replays every kernel's stream into
+// a serial Bank and a sharded ParallelBank and demands bit-identical
+// per-capacity miss counts — the exact-LRU face of the parallel-sweep
+// guarantee.
+func TestParallelBankMatchesSerialKernels(t *testing.T) {
+	caps := []int{8, 64, 512, 4096}
+	for _, k := range equivalenceKernels() {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			t.Parallel()
+			serial := cache.MustBank(caps, 8)
+			k.run(t, bankDriver{access: serial.Access, reset: serial.SetMeasuring, warm: k.warm})
+
+			par := cache.MustParallelBank(caps, 8, 3)
+			defer par.Close()
+			k.run(t, bankDriver{access: par.Access, reset: par.SetMeasuring, warm: k.warm})
+
+			if got, want := par.Curve(), serial.Curve(); !reflect.DeepEqual(got, want) {
+				t.Errorf("parallel bank curve diverged\nparallel: %+v\nserial:   %+v", got, want)
+			}
+			for i := range caps {
+				if got, want := par.Stats(i), serial.Stats(i); got != want {
+					t.Errorf("member %d stats diverged\nparallel: %+v\nserial:   %+v", i, got, want)
+				}
+			}
+		})
 	}
 }
 

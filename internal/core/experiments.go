@@ -11,6 +11,7 @@ import (
 	"wsstudy/internal/apps/lu"
 	"wsstudy/internal/apps/volrend"
 	"wsstudy/internal/cache"
+	"wsstudy/internal/capture"
 	"wsstudy/internal/cost"
 	"wsstudy/internal/grain"
 	"wsstudy/internal/machine"
@@ -242,24 +243,40 @@ func expFig5() Experiment {
 
 // ---------------------------------------------------------------- fig6
 
+// runBHTraced drives the experiments' shared Barnes-Hut configuration
+// (Plummer seed 42, quadrupole, Eps 0.05, DT 0.003) into sink — through
+// the context capture store when one is attached, so a suite runs each
+// (n, p, theta) at most once and later requests replay the recorded
+// stream, cut at their step count (fig6dm's quick run is an epoch prefix
+// of fig6's).
+func runBHTraced(ctx context.Context, n, p, steps int, theta float64, sink trace.Consumer) error {
+	key := capture.Keyf("barneshut", "n=%d p=%d theta=%g eps=0.05 dt=0.003 quad seed=42", n, p, theta)
+	return capture.From(ctx).Run(ctx, key, steps, sink, func(out trace.Consumer) error {
+		bodies := barneshut.Plummer(n, 42)
+		sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
+			Theta: theta, Quadrupole: true, Eps: 0.05, DT: 0.003, P: p,
+		}, out)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < steps; s++ {
+			if _, err := sim.Step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 // runBH runs a traced Barnes-Hut configuration under ctx and returns the
 // profiler and the aggregate read count.
 func runBH(ctx context.Context, n, p, profPE, warm, steps int, theta float64) (*cache.StackProfiler, error) {
-	bodies := barneshut.Plummer(n, 42)
 	sys := memsys.MustNew(memsys.Config{
 		PEs: p, LineSize: 8, Profile: true, ProfilePE: profPE, WarmupEpochs: warm,
 	})
 	sys.Instrument(obs.From(ctx))
-	sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
-		Theta: theta, Quadrupole: true, Eps: 0.05, DT: 0.003, P: p,
-	}, trace.WithContext(ctx, sys))
-	if err != nil {
+	if err := runBHTraced(ctx, n, p, steps, theta, trace.WithContext(ctx, sys)); err != nil {
 		return nil, err
-	}
-	for s := 0; s < steps; s++ {
-		if _, err := sim.Step(); err != nil {
-			return nil, err
-		}
 	}
 	return sys.Profiler(profPE), nil
 }
@@ -345,17 +362,8 @@ func expFig6DM() Experiment {
 			fan.Instrument(obs.From(ctx))
 			defer fan.Close()
 
-			bodies := barneshut.Plummer(n, 42)
-			sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
-				Theta: theta, Quadrupole: true, Eps: 0.05, DT: 0.003, P: p,
-			}, trace.WithContext(ctx, fan))
-			if err != nil {
+			if err := runBHTraced(ctx, n, p, steps, theta, trace.WithContext(ctx, fan)); err != nil {
 				return nil, err
-			}
-			for s := 0; s < steps; s++ {
-				if _, err := sim.Step(); err != nil {
-					return nil, err
-				}
 			}
 			// Close is the barrier: it flushes, waits for every worker, and
 			// surfaces any consumer failure. Only then are stats safe to read.

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"wsstudy/internal/capture"
 	"wsstudy/internal/obs"
 )
 
@@ -215,6 +216,13 @@ func (s *SuiteReport) FailureSummary() string {
 func RunSuite(ctx context.Context, experiments []Experiment, opt SuiteOptions) *SuiteReport {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	// Suite-scope kernel-trace capture: experiments sharing a kernel
+	// configuration replay one recorded stream instead of re-running the
+	// kernel. Callers override by attaching their own store (or an
+	// explicit nil, to disable) before calling RunSuite.
+	if !capture.Attached(ctx) {
+		ctx = capture.With(ctx, capture.New(0))
 	}
 	workers := opt.Workers
 	if workers <= 0 {

@@ -57,6 +57,16 @@ const (
 	// (slot wait excluded).
 	StoreComputeWall = "store.compute.wall"
 
+	// CaptureHits / CaptureMisses count kernel-trace capture lookups
+	// answered by replaying a recorded stream vs. lookups that had to run
+	// the kernel (and record it). CaptureReplayedRefs counts references
+	// delivered from recordings — kernel work the suite did not repeat —
+	// and CaptureBytes counts encoded snapshot bytes committed.
+	CaptureHits         = "capture.hits"
+	CaptureMisses       = "capture.misses"
+	CaptureReplayedRefs = "capture.refs.replayed"
+	CaptureBytes        = "capture.bytes"
+
 	// ServeRequests counts v1 API requests; ServeBusy counts the subset
 	// rejected with 429 under compute-slot saturation, ServeNotModified
 	// the conditional requests answered 304, and ServeErrors the 5xx

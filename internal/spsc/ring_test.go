@@ -1,0 +1,157 @@
+package spsc
+
+import (
+	"testing"
+)
+
+func TestRingOrderAndClose(t *testing.T) {
+	r, err := New[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 10000
+	done := make(chan []int)
+	go func() {
+		var got []int
+		buf := make([]int, r.Cap())
+		for {
+			n, open := r.Recv(buf)
+			got = append(got, buf[:n]...)
+			if !open {
+				done <- got
+				return
+			}
+		}
+	}()
+	batch := make([]int, 0, 7)
+	for i := 0; i < total; i++ {
+		batch = append(batch, i)
+		if len(batch) == cap(batch) {
+			r.Send(batch)
+			batch = batch[:0]
+		}
+	}
+	r.Send(batch)
+	r.Close()
+	got := <-done
+	if len(got) != total {
+		t.Fatalf("received %d items, want %d", len(got), total)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("item %d = %d, out of order", i, v)
+		}
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {8, 8}, {9, 16}, {100, 128},
+	} {
+		r, err := New[byte](tc.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cap() != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.in, r.Cap(), tc.want)
+		}
+	}
+	if _, err := New[byte](0); err == nil {
+		t.Error("New(0) should fail")
+	}
+	if _, err := New[byte](-1); err == nil {
+		t.Error("New(-1) should fail")
+	}
+}
+
+func TestRingBackpressureStalls(t *testing.T) {
+	r, err := New[int](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	drained := make(chan int)
+	go func() {
+		<-release
+		buf := make([]int, 4)
+		total := 0
+		for {
+			n, open := r.Recv(buf)
+			total += n
+			if !open {
+				drained <- total
+				return
+			}
+		}
+	}()
+	// Fill the ring, then send more: the producer must park at least once.
+	stalls := r.Send([]int{1, 2})
+	if stalls != 0 {
+		t.Fatalf("filling an empty ring stalled %d times", stalls)
+	}
+	go func() { release <- struct{}{} }()
+	stalls = r.Send([]int{3, 4, 5, 6, 7})
+	if stalls == 0 {
+		t.Error("overfilling a blocked ring should report stalls")
+	}
+	r.Close()
+	if got := <-drained; got != 7 {
+		t.Fatalf("drained %d items, want 7", got)
+	}
+}
+
+func TestRingZeroesDrainedSlots(t *testing.T) {
+	r, err := New[*int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := new(int)
+	r.Send([]*int{v, v, v, v})
+	buf := make([]*int, 4)
+	n, open := r.Recv(buf)
+	if n != 4 || !open {
+		t.Fatalf("Recv = (%d, %v), want (4, true)", n, open)
+	}
+	for i := range r.buf {
+		if r.buf[i] != nil {
+			t.Fatalf("slot %d still holds a pointer after drain", i)
+		}
+	}
+}
+
+func TestRingCloseIdempotentAndWakes(t *testing.T) {
+	r, err := New[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		buf := make([]int, 4)
+		for {
+			if _, open := r.Recv(buf); !open {
+				close(done)
+				return
+			}
+		}
+	}()
+	r.Close()
+	r.Close()
+	<-done
+	if n, open := r.Recv(make([]int, 1)); n != 0 || open {
+		t.Fatalf("Recv after close = (%d, %v), want (0, false)", n, open)
+	}
+}
+
+func TestRingSendAfterClosePanics(t *testing.T) {
+	r, err := New[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Send after Close should panic")
+		}
+	}()
+	r.Send([]int{1})
+}

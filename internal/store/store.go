@@ -29,6 +29,8 @@ import (
 	"sync"
 	"time"
 
+	"wsstudy/internal/capture"
+
 	"wsstudy/internal/core"
 	"wsstudy/internal/obs"
 )
@@ -99,6 +101,12 @@ type Config struct {
 	// computation's context, so experiment-level metrics fold into it
 	// too. Nil disables instrumentation at the usual nil-handle cost.
 	Recorder *obs.Recorder
+	// CaptureBytes bounds the process-lifetime kernel-trace capture
+	// attached to every computation (0 = capture.DefaultMaxBytes,
+	// negative = no capture). Distinct requests whose experiments share
+	// a kernel configuration replay one recorded reference stream
+	// instead of re-running the kernel.
+	CaptureBytes int64
 }
 
 // Store is a content-addressed cache in front of core.Execute. Safe for
@@ -166,10 +174,14 @@ func New(cfg Config) (*Store, error) {
 	}
 	base, cancel := context.WithCancel(context.Background())
 	rec := cfg.Recorder
+	var capStore *capture.Store
+	if cfg.CaptureBytes >= 0 {
+		capStore = capture.New(cfg.CaptureBytes)
+	}
 	return &Store{
 		cfg:         cfg,
 		slots:       make(chan struct{}, cfg.Slots),
-		base:        obs.With(base, rec),
+		base:        capture.With(obs.With(base, rec), capStore),
 		cancel:      cancel,
 		entries:     make(map[Key]*lruEntry),
 		flights:     make(map[Key]*flight),

@@ -2,25 +2,37 @@ package trace
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"wsstudy/internal/obs"
+	"wsstudy/internal/spsc"
 )
 
-// Fanout runs each attached consumer in its own goroutine, fed by a
-// bounded channel of blocks, so one kernel execution drives several
-// simulators concurrently. Tee delivers serially — consumer i+1 waits for
-// consumer i on every block — which makes a sweep over N configurations N
-// times slower than its slowest member; Fanout makes it as slow as the
-// slowest member alone, with the channels' backpressure keeping the
-// producer from racing ahead of the simulators.
+// Fanout drives several independent consumers from one kernel execution
+// through a sharded worker pool. Consumers are pinned to workers by
+// affinity (consumer i on worker i mod W), each worker is fed by its own
+// single-producer single-consumer ring (spsc.Ring), and the producer
+// publishes batches of pooled blocks — one atomic store and at most one
+// wakeup per batch — instead of a channel send per block per consumer.
 //
-// Each consumer observes exactly the stream Tee would have given it:
-// blocks in emission order with epoch boundaries between the same
-// references (boundaries travel in-band through each worker's channel).
-// Only the interleaving BETWEEN consumers changes, which is safe precisely
-// because the attached consumers are independent — they share no state, so
+// The sharded shape wins twice over the per-consumer-goroutine design it
+// replaces. On many cores, W workers drain their rings concurrently and
+// the sweep scales to the slowest shard. On few cores — including
+// GOMAXPROCS=1 — the win is locality: a worker drains its ring and
+// delivers it member-major in small chunks (a few blocks to consumer 0,
+// the same blocks to consumer 1, ..., then the next chunk), so each
+// simulator's working state stays hot for thousands of references
+// instead of being evicted every block by the next consumer's state,
+// the chunk's reference data stays cache-resident for the re-reads, and
+// the synchronization cost amortizes over the publish batch.
+//
+// Each consumer still observes exactly the stream Tee would have given
+// it: blocks in emission order with epoch boundaries between the same
+// references (boundaries travel in-band through the rings). Only the
+// interleaving BETWEEN consumers changes, which is safe precisely because
+// the attached consumers are independent — they share no state, so
 // nothing observes cross-consumer timing. Consumers that share state must
 // stay on Tee.
 //
@@ -31,24 +43,43 @@ import (
 //
 // The producer side (Ref, Refs, BeginEpoch, Flush, Close) must be called
 // from a single goroutine — the kernel's — matching every other Consumer
-// in this package. Close flushes, joins the workers, and reports the first
-// failure; it is idempotent, and results must not be read from the
-// attached consumers until it returns.
+// in this package. Close publishes everything pending, joins the workers,
+// and reports the first failure; it is idempotent, and results must not
+// be read from the attached consumers until it returns.
 type Fanout struct {
-	consumers []Consumer
-	chans     []chan fanMsg
-	wg        sync.WaitGroup
-	buf       []Ref // producer-side buffer for per-Ref input
-	closed    bool
+	workers []*fanWorker
+	wg      sync.WaitGroup
+	buf     []Ref    // producer-side buffer for per-Ref input
+	pending []fanMsg // producer-side batch awaiting publish
+	batch   int      // messages per publish
+	closed  bool
 
 	mu  sync.Mutex
 	err error // first worker failure (cancellation, write error, panic)
 
-	// Stage counters, live only after Instrument. mStalls doubles as the
-	// flag that turns on stall detection in send.
-	mBlocks *obs.Counter
-	mEpochs *obs.Counter
-	mStalls *obs.Counter
+	// Stage counters and gauges, live only after Instrument.
+	mBlocks    *obs.Counter
+	mEpochs    *obs.Counter
+	mStalls    *obs.Counter
+	mPublishes *obs.Counter
+	gQueue     *obs.Gauge
+}
+
+// fanWorker is one shard: a ring plus the consumers pinned to it. The
+// members slice is owned by the worker goroutine after start.
+type fanWorker struct {
+	ring    *spsc.Ring[fanMsg]
+	members []fanMember
+}
+
+// fanMember is one consumer as seen by its worker, with the interface
+// assertions hoisted out of the delivery loop.
+type fanMember struct {
+	idx    int // position in the original consumer list, for error text
+	bc     BlockConsumer
+	ec     EpochConsumer
+	stop   Stopper
+	failed bool
 }
 
 // Metric names recorded by an instrumented Fanout.
@@ -58,16 +89,23 @@ const (
 	MetricFanoutBlocks = "trace.fanout.blocks"
 	// MetricFanoutEpochs counts epoch boundaries fanned out.
 	MetricFanoutEpochs = "trace.fanout.epochs"
-	// MetricFanoutStalls counts sends that found a worker channel full —
+	// MetricFanoutStalls counts producer parks on a full worker ring —
 	// the producer blocked on simulator backpressure.
 	MetricFanoutStalls = "trace.fanout.stalls"
+	// MetricFanoutPublishes counts batch handoffs: synchronization points
+	// at which the producer made pending messages visible to the shards.
+	// blocks+epochs divided by publishes is the realized batch size.
+	MetricFanoutPublishes = "trace.fanout.publishes"
+	// MetricFanoutQueueDepth gauges the deepest shard ring observed at
+	// each publish (its Max is the high-water mark across the run).
+	MetricFanoutQueueDepth = "trace.fanout.queue.depth"
 )
 
-// Instrument attaches stage counters from rec: blocks and epochs fanned
-// out, and backpressure stalls (sends that found a worker channel full).
-// Call it before producing, from the producer goroutine; a nil rec leaves
-// the fanout uninstrumented. Without instrumentation, sends skip stall
-// detection entirely, so the disabled mode is the PR 2 code path.
+// Instrument attaches stage counters from rec: blocks, epochs and batch
+// handoffs fanned out, backpressure stalls, and the shard queue-depth
+// gauge. Call it before producing, from the producer goroutine; a nil rec
+// leaves the fanout uninstrumented, which skips all metric work in the
+// hot path.
 func (f *Fanout) Instrument(rec *obs.Recorder) {
 	if rec == nil {
 		return
@@ -75,9 +113,11 @@ func (f *Fanout) Instrument(rec *obs.Recorder) {
 	f.mBlocks = rec.Counter(MetricFanoutBlocks)
 	f.mEpochs = rec.Counter(MetricFanoutEpochs)
 	f.mStalls = rec.Counter(MetricFanoutStalls)
+	f.mPublishes = rec.Counter(MetricFanoutPublishes)
+	f.gQueue = rec.Gauge(MetricFanoutQueueDepth)
 }
 
-// fanMsg is one in-band message to a worker: a shared block or an epoch
+// fanMsg is one in-band message to a shard: a shared block or an epoch
 // boundary.
 type fanMsg struct {
 	block   *fanBlock
@@ -96,22 +136,57 @@ var fanBlockPool = sync.Pool{
 	New: func() any { return &fanBlock{refs: make([]Ref, 0, DefaultBlockSize)} },
 }
 
-// DefaultFanoutDepth is the per-consumer channel capacity: deep enough to
-// absorb bursts and keep workers busy, shallow enough that backpressure
-// bounds in-flight memory to a few blocks per consumer.
-const DefaultFanoutDepth = 8
+const (
+	// DefaultFanoutDepth is the default per-worker ring capacity in
+	// messages: deep enough to decouple the producer from the slowest
+	// shard across several batches, shallow enough that backpressure
+	// bounds in-flight pooled blocks to a few hundred KB per shard.
+	DefaultFanoutDepth = 64
+	// DefaultFanoutBatch is how many messages the producer accumulates
+	// per publish. At 512-ref blocks one publish hands over ~8K
+	// references, so the two atomic ring operations and one wakeup
+	// amortize to noise against the simulation cost of the batch.
+	DefaultFanoutBatch = 16
+	// deliverChunk is how many drained messages a worker hands each
+	// member before moving to the next member. At 512-ref blocks a chunk
+	// is ~50KB of reference data — small enough to stay cache-resident
+	// while every member on the shard re-reads it, large enough to cut
+	// member state switches several-fold relative to per-block delivery.
+	deliverChunk = 4
+)
 
-// NewFanout starts one worker goroutine per consumer with
-// DefaultFanoutDepth channels. At least one non-nil consumer is required.
-func NewFanout(consumers ...Consumer) (*Fanout, error) {
-	return NewFanoutDepth(DefaultFanoutDepth, consumers...)
+// FanoutConfig tunes a sharded fanout. The zero value selects defaults.
+type FanoutConfig struct {
+	// Workers is the number of shard goroutines. Zero or negative means
+	// min(GOMAXPROCS, number of consumers); values above the consumer
+	// count are clamped to it.
+	Workers int
+	// Ring is each worker's ring capacity in messages (rounded up to a
+	// power of two). Zero means DefaultFanoutDepth; negative is invalid.
+	Ring int
+	// Batch is how many messages the producer buffers per publish,
+	// clamped to Ring. Zero means min(DefaultFanoutBatch, Ring);
+	// negative is invalid.
+	Batch int
 }
 
-// NewFanoutDepth is NewFanout with an explicit channel capacity.
+// NewFanout starts a sharded fanout with default configuration. At least
+// one non-nil consumer is required.
+func NewFanout(consumers ...Consumer) (*Fanout, error) {
+	return NewFanoutConfig(FanoutConfig{}, consumers...)
+}
+
+// NewFanoutDepth is NewFanout with an explicit per-worker ring capacity.
 func NewFanoutDepth(depth int, consumers ...Consumer) (*Fanout, error) {
 	if depth <= 0 {
 		return nil, fmt.Errorf("%w: fanout depth %d must be positive", ErrInvalidConfig, depth)
 	}
+	return NewFanoutConfig(FanoutConfig{Ring: depth}, consumers...)
+}
+
+// NewFanoutConfig starts a sharded fanout: cfg.Workers shard goroutines,
+// each with its own ring, with consumer i pinned to worker i mod Workers.
+func NewFanoutConfig(cfg FanoutConfig, consumers ...Consumer) (*Fanout, error) {
 	if len(consumers) == 0 {
 		return nil, fmt.Errorf("%w: fanout needs at least one consumer", ErrInvalidConfig)
 	}
@@ -120,58 +195,129 @@ func NewFanoutDepth(depth int, consumers ...Consumer) (*Fanout, error) {
 			return nil, fmt.Errorf("%w: fanout consumer %d is nil", ErrInvalidConfig, i)
 		}
 	}
-	f := &Fanout{
-		consumers: consumers,
-		chans:     make([]chan fanMsg, len(consumers)),
-		buf:       make([]Ref, 0, DefaultBlockSize),
+	if cfg.Ring < 0 {
+		return nil, fmt.Errorf("%w: fanout ring %d must not be negative", ErrInvalidConfig, cfg.Ring)
 	}
-	for i := range consumers {
-		f.chans[i] = make(chan fanMsg, depth)
+	if cfg.Batch < 0 {
+		return nil, fmt.Errorf("%w: fanout batch %d must not be negative", ErrInvalidConfig, cfg.Batch)
+	}
+	ring := cfg.Ring
+	if ring == 0 {
+		ring = DefaultFanoutDepth
+	}
+	batch := cfg.Batch
+	if batch == 0 {
+		batch = DefaultFanoutBatch
+	}
+	if batch > ring {
+		batch = ring
+	}
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(consumers) {
+		w = len(consumers)
+	}
+
+	f := &Fanout{
+		workers: make([]*fanWorker, w),
+		buf:     make([]Ref, 0, DefaultBlockSize),
+		pending: make([]fanMsg, 0, batch),
+		batch:   batch,
+	}
+	for i := range f.workers {
+		r, err := spsc.New[fanMsg](ring)
+		if err != nil {
+			return nil, fmt.Errorf("%w: fanout ring: %v", ErrInvalidConfig, err)
+		}
+		f.workers[i] = &fanWorker{ring: r}
+	}
+	for i, c := range consumers {
+		ec, _ := c.(EpochConsumer)
+		stop, _ := c.(Stopper)
+		w := f.workers[i%len(f.workers)]
+		w.members = append(w.members, fanMember{
+			idx: i, bc: AdaptConsumer(c), ec: ec, stop: stop,
+		})
+	}
+	for _, w := range f.workers {
 		f.wg.Add(1)
-		go f.worker(i)
+		go f.run(w)
 	}
 	return f, nil
 }
 
-// worker drains one consumer's channel. After a failure (stop request,
-// panic) it keeps draining without delivering, so the producer and the
-// other workers never block on this channel; the first failure is reported
-// by Close and surfaces early through Err.
-func (f *Fanout) worker(i int) {
+// run drains one shard's ring. Each drained batch is delivered
+// member-major in chunks of deliverChunk messages — a few blocks to one
+// member, the same blocks to the next, then the following chunk — so a
+// member's simulator state stays hot across several blocks while the
+// chunk's reference data (a few tens of KB) stays resident for the
+// members' re-reads. Delivering the entire drain member-major instead
+// measures slower: a full ring of blocks re-streamed per member evicts
+// more than the amortized state switches save. After a member fails
+// (stop request, panic) that member stops receiving but the shard keeps
+// draining, so the producer and the healthy members never block on the
+// failure; the first failure is reported by Close and surfaces early
+// through Err.
+func (f *Fanout) run(w *fanWorker) {
 	defer f.wg.Done()
-	c := f.consumers[i]
-	ec, _ := c.(EpochConsumer)
-	failed := false
-	for msg := range f.chans[i] {
-		if !failed {
-			if err := f.deliver(c, ec, i, msg); err != nil {
-				f.fail(err)
-				failed = true
+	batch := make([]fanMsg, w.ring.Cap())
+	for {
+		n, open := w.ring.Recv(batch)
+		msgs := batch[:n]
+		for lo := 0; lo < n; lo += deliverChunk {
+			hi := lo + deliverChunk
+			if hi > n {
+				hi = n
+			}
+			chunk := msgs[lo:hi]
+			for mi := range w.members {
+				m := &w.members[mi]
+				if m.failed {
+					continue
+				}
+				if err := f.deliver(m, chunk); err != nil {
+					f.fail(err)
+					m.failed = true
+				}
 			}
 		}
-		if msg.block != nil {
-			msg.block.release()
+		for _, msg := range msgs {
+			if msg.block != nil {
+				msg.block.release()
+			}
+		}
+		if !open {
+			return
 		}
 	}
 }
 
-// deliver hands one message to the consumer, converting a panic into an
-// error so a broken simulator cannot crash the process from a goroutine no
-// caller can recover around.
-func (f *Fanout) deliver(c Consumer, ec EpochConsumer, i int, msg fanMsg) (err error) {
+// deliver hands a drained batch to one member in order, converting a
+// panic into an error so a broken simulator cannot crash the process from
+// a goroutine no caller can recover around.
+func (f *Fanout) deliver(m *fanMember, msgs []fanMsg) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("trace: fanout consumer %d panicked: %v", i, p)
+			err = fmt.Errorf("trace: fanout consumer %d panicked: %v", m.idx, p)
 		}
 	}()
-	if msg.isEpoch {
-		if ec != nil {
-			ec.BeginEpoch(msg.epoch)
+	for _, msg := range msgs {
+		if msg.isEpoch {
+			if m.ec != nil {
+				m.ec.BeginEpoch(msg.epoch)
+			}
+		} else {
+			m.bc.Refs(msg.block.refs)
 		}
-	} else {
-		Deliver(c, msg.block.refs)
+		if m.stop != nil {
+			if err := m.stop.Err(); err != nil {
+				return err
+			}
+		}
 	}
-	return Canceled(c)
+	return nil
 }
 
 // release returns the block to the pool once every worker is done with it.
@@ -191,35 +337,51 @@ func (f *Fanout) fail(err error) {
 	f.mu.Unlock()
 }
 
-// send fans one message out to every worker channel. When a stall counter
-// is attached, a full channel is counted before blocking; otherwise the
-// send blocks directly with no extra work.
-func (f *Fanout) send(msg fanMsg) {
-	for _, ch := range f.chans {
-		if f.mStalls != nil {
-			select {
-			case ch <- msg:
-				continue
-			default:
-				f.mStalls.Inc()
-			}
-		}
-		ch <- msg
+// enqueue appends one message to the pending batch, publishing at the
+// batch boundary.
+func (f *Fanout) enqueue(msg fanMsg) {
+	f.pending = append(f.pending, msg)
+	if len(f.pending) >= f.batch {
+		f.publish()
 	}
 }
 
-// Ref buffers one reference, fanning a block out when the buffer fills.
+// publish makes the pending batch visible to every shard: one ring send
+// per worker, however many messages accumulated.
+func (f *Fanout) publish() {
+	if len(f.pending) == 0 {
+		return
+	}
+	for _, w := range f.workers {
+		if stalls := w.ring.Send(f.pending); stalls > 0 && f.mStalls != nil {
+			f.mStalls.Add(uint64(stalls))
+		}
+	}
+	f.mPublishes.Inc()
+	if f.gQueue != nil {
+		depth := 0
+		for _, w := range f.workers {
+			if d := w.ring.Len(); d > depth {
+				depth = d
+			}
+		}
+		f.gQueue.Set(int64(depth))
+	}
+	f.pending = f.pending[:0]
+}
+
+// Ref buffers one reference, forming a block when the buffer fills.
 func (f *Fanout) Ref(r Ref) {
 	f.buf = append(f.buf, r)
 	if len(f.buf) == cap(f.buf) {
-		f.Flush()
+		f.flushBuf()
 	}
 }
 
-// Refs fans a block out to every worker. Pending per-Ref input is flushed
+// Refs fans a block out to every shard. Pending per-Ref input is flushed
 // first so order is preserved.
 func (f *Fanout) Refs(block []Ref) {
-	f.Flush()
+	f.flushBuf()
 	f.sendBlock(block)
 }
 
@@ -229,28 +391,38 @@ func (f *Fanout) sendBlock(block []Ref) {
 	}
 	fb := fanBlockPool.Get().(*fanBlock)
 	fb.refs = append(fb.refs[:0], block...)
-	fb.rc.Store(int32(len(f.chans)))
-	f.send(fanMsg{block: fb})
+	fb.rc.Store(int32(len(f.workers)))
+	f.enqueue(fanMsg{block: fb})
 	f.mBlocks.Inc()
 }
 
-// BeginEpoch flushes pending references and sends the boundary in-band, so
-// every consumer sees it between the same two references.
+// BeginEpoch flushes pending references and places the boundary in-band,
+// so every consumer sees it between the same two references.
 func (f *Fanout) BeginEpoch(n int) {
-	f.Flush()
+	f.flushBuf()
 	if f.closed {
 		return
 	}
-	f.send(fanMsg{epoch: n, isEpoch: true})
+	f.enqueue(fanMsg{epoch: n, isEpoch: true})
 	f.mEpochs.Inc()
 }
 
-// Flush fans out the pending partial block.
-func (f *Fanout) Flush() {
+// flushBuf forms the pending per-Ref input into a block (without forcing
+// a publish — the block rides the current batch).
+func (f *Fanout) flushBuf() {
 	if len(f.buf) > 0 {
 		block := f.buf
 		f.buf = f.buf[:0]
 		f.sendBlock(block)
+	}
+}
+
+// Flush forms the pending per-Ref input into a block and publishes the
+// current batch, making everything emitted so far visible to the shards.
+func (f *Fanout) Flush() {
+	f.flushBuf()
+	if !f.closed {
+		f.publish()
 	}
 }
 
@@ -262,16 +434,17 @@ func (f *Fanout) Err() error {
 	return f.err
 }
 
-// Close flushes pending references, stops the workers, waits for them to
+// Close publishes everything pending, stops the shards, waits for them to
 // finish, and returns the first failure. It is idempotent, and it is the
 // barrier: only after Close returns may results be read from the attached
 // consumers.
 func (f *Fanout) Close() error {
 	if !f.closed {
-		f.Flush()
+		f.flushBuf()
+		f.publish()
 		f.closed = true
-		for _, ch := range f.chans {
-			close(ch)
+		for _, w := range f.workers {
+			w.ring.Close()
 		}
 		f.wg.Wait()
 	}

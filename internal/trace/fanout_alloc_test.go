@@ -1,0 +1,70 @@
+package trace
+
+import "testing"
+
+// Steady-state delivery must not allocate: the PR2 bench numbers showed
+// multiple MB/op attributed to the fan-out paths, which turned out to be
+// per-iteration simulator construction inside the timed region plus pool
+// churn. These guards pin the fixed behavior — block buffers come from
+// the pool and go back, per-block delivery allocates nothing — so a
+// regression shows up as a test failure, not a mystery in a benchmark
+// JSON a PR later.
+
+func benchBlock() []Ref {
+	block := make([]Ref, DefaultBlockSize)
+	for i := range block {
+		block[i] = Ref{PE: i % 4, Addr: uint64(i) * 8, Size: 8, Kind: Read}
+	}
+	return block
+}
+
+func TestTeeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime drops sync.Pool puts; alloc counts are meaningless")
+	}
+	sinks := make(Tee, 4)
+	for i := range sinks {
+		sinks[i] = &BlockCounter{}
+	}
+	block := benchBlock()
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 16; i++ {
+			sinks.Refs(block)
+		}
+	})
+	if avg > 0.5 {
+		t.Errorf("Tee delivery of 16 blocks allocated %.1f times, want 0", avg)
+	}
+}
+
+func TestFanoutSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime drops sync.Pool puts; alloc counts are meaningless")
+	}
+	consumers := make([]Consumer, 4)
+	for i := range consumers {
+		consumers[i] = &BlockCounter{}
+	}
+	fan, err := NewFanout(consumers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := benchBlock()
+	// Warm the block pool to steady state before measuring.
+	for i := 0; i < 256; i++ {
+		fan.Refs(block)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 16; i++ {
+			fan.Refs(block)
+		}
+	})
+	if err := fan.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A small tolerance absorbs a GC emptying the pool mid-run; a pooling
+	// regression allocates a block plus its refs slice per send (32+).
+	if avg > 4 {
+		t.Errorf("fanout delivery of 16 blocks allocated %.1f times, want ~0 (pool reuse broken)", avg)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package trace
+
+// raceEnabled reports whether the race detector is active: the race
+// runtime deliberately drops sync.Pool puts, so allocation-count guards
+// are meaningless under it.
+const raceEnabled = true
