@@ -51,11 +51,18 @@ type Store struct {
 }
 
 // entry is one committed recording. The buffer is immutable after
-// commit, so replays read it without holding the store lock.
+// commit, so replays read it without holding the store lock; what the
+// lock does guard is the entry's lifetime: pins counts in-progress
+// replays, and the buffer's pooled chunks return to the pool only when
+// an entry that has left the map (dead) reaches zero pins. Without the
+// pin, a commit displacing this entry could recycle its chunks into a
+// concurrent recording while a replay is still reading them.
 type entry struct {
 	buf    *buffer
 	epochs int
 	refs   uint64
+	pins   int  // active replays, guarded by Store.mu
+	dead   bool // removed from the map; free buf at pins == 0
 }
 
 // New builds a Store bounded to maxBytes of encoded trace (zero means
@@ -114,6 +121,11 @@ func Keyf(kernel, format string, args ...any) string {
 // epochs is the number of epoch boundaries the caller's run emits
 // (its step count); replays of longer recordings stop at that boundary.
 // On a nil or disabled store Run is exactly produce(sink).
+//
+// A replay that fails mid-stream (a corrupt snapshot) fails the Run:
+// the sink has by then consumed a verified prefix, so re-delivering the
+// stream into it would double-count references. The broken entry is
+// dropped, so a retry with a fresh sink records and succeeds.
 func (s *Store) Run(ctx context.Context, key string, epochs int, sink trace.Consumer, produce func(trace.Consumer) error) error {
 	if s == nil {
 		return produce(sink)
@@ -124,12 +136,18 @@ func (s *Store) Run(ctx context.Context, key string, epochs int, sink trace.Cons
 		if e != nil {
 			err := s.replay(rec, e, epochs, sink)
 			if err == nil {
+				s.unpin(e)
 				return nil
 			}
-			// A corrupt snapshot is a bug, but never one worth failing an
-			// experiment over: drop the entry and record a fresh stream.
+			// Replay verifies each frame's CRC as it streams, so by the
+			// time a corrupt frame surfaces the sink has already consumed
+			// a verified prefix. Re-running the producer into the same
+			// sink would deliver that prefix twice and silently skew the
+			// caller's statistics, so the only safe outcome is to fail
+			// this Run. The entry is dropped; later Runs record afresh.
 			s.drop(key, e)
-			continue
+			s.unpin(e)
+			return fmt.Errorf("capture: replaying snapshot %q: %w", key, err)
 		}
 		if !leader {
 			select {
@@ -165,11 +183,13 @@ func (s *Store) Run(ctx context.Context, key string, epochs int, sink trace.Cons
 
 // lookup returns a committed entry covering the requested epochs, or the
 // in-flight recording to wait for, or (nil, nil, true) when the caller
-// becomes the leader and must record (and later call land).
+// becomes the leader and must record (and later call land). A returned
+// entry is pinned; the caller must unpin it when its replay finishes.
 func (s *Store) lookup(key string, epochs int) (*entry, chan struct{}, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e := s.entries[key]; e != nil && e.epochs >= epochs {
+		e.pins++
 		return e, nil, false
 	}
 	if fl := s.flights[key]; fl != nil {
@@ -190,14 +210,33 @@ func (s *Store) land(key string) {
 	}
 }
 
-// drop removes e (and only e) from the store.
+// unpin releases a lookup's pin, freeing the buffer of an entry that
+// has since been dropped or displaced once no replay reads it.
+func (s *Store) unpin(e *entry) {
+	s.mu.Lock()
+	e.pins--
+	free := e.dead && e.pins == 0
+	s.mu.Unlock()
+	if free {
+		e.buf.free()
+	}
+}
+
+// drop removes e (and only e) from the store. The buffer is freed here
+// only when no replay is pinning it; otherwise the last unpin frees it.
 func (s *Store) drop(key string, e *entry) {
 	s.mu.Lock()
+	var free bool
 	if s.entries[key] == e {
 		delete(s.entries, key)
 		s.bytes -= e.buf.size()
+		e.dead = true
+		free = e.pins == 0
 	}
 	s.mu.Unlock()
+	if free {
+		e.buf.free()
+	}
 }
 
 // commit installs a recording unless the byte budget forbids it or a
@@ -222,8 +261,13 @@ func (s *Store) commit(rec *obs.Recorder, key string, e *entry) {
 	}
 	s.entries[key] = e
 	s.bytes += size - freed
-	s.mu.Unlock()
+	var freeOld bool
 	if old != nil {
+		old.dead = true
+		freeOld = old.pins == 0
+	}
+	s.mu.Unlock()
+	if freeOld {
 		old.buf.free()
 	}
 	rec.Counter(obs.CaptureBytes).Add(uint64(size))

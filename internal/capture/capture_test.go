@@ -170,6 +170,149 @@ func TestBudgetRejectsOversizedRecording(t *testing.T) {
 	}
 }
 
+// corruptMid flips a byte halfway through the recording for key, so a
+// replay delivers the CRC-verified leading frames and then fails on a
+// later one — the mid-stream failure mode Run must not paper over. The
+// stream must span several 32 KB frames for the midpoint to sit behind
+// at least one verified frame.
+func corruptMid(t *testing.T, s *Store, key string) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[key]
+	if e == nil || len(e.buf.chunks) == 0 {
+		t.Fatal("no committed recording to corrupt")
+	}
+	off := e.buf.size() / 2
+	e.buf.chunks[off/chunkSize][off%chunkSize] ^= 0xFF
+}
+
+// TestCorruptReplayFailsRun locks in the recovery contract: a replay
+// that fails after delivering a verified prefix must fail the Run —
+// re-producing into the same sink would double-count the prefix — and
+// must drop the broken entry so a retry with a fresh sink re-records.
+func TestCorruptReplayFailsRun(t *testing.T) {
+	s := New(0)
+	ctx := context.Background()
+
+	// Big enough for several 32 KB WST2 frames, so the corrupt tail
+	// frame sits behind verified ones.
+	var live eventLog
+	if err := s.Run(ctx, "k/c", 3, &live, script(3, 20000)); err != nil {
+		t.Fatal(err)
+	}
+	corruptMid(t, s, "k/c")
+
+	var partial eventLog
+	produced := false
+	err := s.Run(ctx, "k/c", 3, &partial, func(trace.Consumer) error {
+		produced = true
+		return nil
+	})
+	if !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("corrupt replay: err = %v, want ErrCorrupt", err)
+	}
+	if produced {
+		t.Error("Run re-ran the producer into a sink that already consumed a replay prefix")
+	}
+	if len(partial.refs) == 0 || len(partial.refs) >= len(live.refs) {
+		t.Errorf("sink saw %d refs, want a proper prefix of %d (several frames should verify before the corrupt tail)",
+			len(partial.refs), len(live.refs))
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Errorf("corrupt entry not dropped: Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
+
+	// The key is not poisoned: a retry with a fresh sink re-records and
+	// delivers the full stream exactly once.
+	var retry eventLog
+	if err := s.Run(ctx, "k/c", 3, &retry, script(3, 20000)); err != nil {
+		t.Fatal(err)
+	}
+	if !retry.equal(&live) {
+		t.Errorf("retry stream diverged: %d refs vs %d", len(retry.refs), len(live.refs))
+	}
+	if s.Len() != 1 {
+		t.Error("retry did not commit a fresh recording")
+	}
+}
+
+// TestDisplacedEntryPinnedDuringReplay proves a commit displacing an
+// entry does not recycle its chunks while a replay still reads them:
+// the buffer survives until the pin is released, then frees.
+func TestDisplacedEntryPinnedDuringReplay(t *testing.T) {
+	s := New(0)
+	ctx := context.Background()
+	if err := s.Run(ctx, "k/pin", 2, &eventLog{}, script(2, 1000)); err != nil {
+		t.Fatal(err)
+	}
+
+	e, _, leader := s.lookup("k/pin", 2) // pin, as a replaying Run would
+	if e == nil || leader {
+		t.Fatal("lookup did not return the committed entry")
+	}
+
+	// A longer run displaces the pinned entry.
+	if err := s.Run(ctx, "k/pin", 3, &eventLog{}, script(3, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.buf.chunks) == 0 {
+		t.Fatal("displaced entry freed while a replay still holds a pin")
+	}
+
+	// The pinned snapshot still replays intact.
+	var fromOld, want eventLog
+	if err := script(2, 1000)(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.replay(obs.New(), e, 2, &fromOld); err != nil {
+		t.Fatalf("replay of pinned displaced entry: %v", err)
+	}
+	if !fromOld.equal(&want) {
+		t.Error("pinned displaced entry replayed a different stream")
+	}
+
+	s.unpin(e)
+	if len(e.buf.chunks) != 0 {
+		t.Error("last unpin of a displaced entry did not free its buffer")
+	}
+}
+
+// TestConcurrentReplayAndDisplacement hammers one key with replays
+// racing displacing commits; under -race this catches any recycling of
+// pooled chunks out from under a live replay.
+func TestConcurrentReplayAndDisplacement(t *testing.T) {
+	s := New(0)
+	ctx := context.Background()
+	var want eventLog
+	if err := script(2, 2000)(&want); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for ep := 2; ep <= 6; ep++ {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var log eventLog
+				if err := s.Run(ctx, "k/race", 2, &log, script(2, 2000)); err != nil {
+					t.Error(err)
+				} else if !log.equal(&want) {
+					t.Error("racing replay delivered a different stream")
+				}
+			}()
+		}
+		wg.Add(1)
+		go func(ep int) {
+			defer wg.Done()
+			if err := s.Run(ctx, "k/race", ep, &eventLog{}, script(ep, 2000)); err != nil {
+				t.Error(err)
+			}
+		}(ep)
+	}
+	wg.Wait()
+}
+
 // TestSingleflight races many Runs of one key and demands exactly one
 // producer execution, with every caller receiving the full stream.
 func TestSingleflight(t *testing.T) {
