@@ -1,15 +1,16 @@
 GO ?= go
 BENCH_OUT ?= BENCH_PR5.json
 
-.PHONY: check build vet fmt-check equivalence serve-smoke test race fuzz bench bench-smoke
+.PHONY: check build vet fmt-check equivalence serve-smoke chaos-smoke test race fuzz bench bench-smoke
 
 # Tier-1 gate: everything must build, `go vet ./...` clean, be
 # gofmt-formatted, pass under -race, the batched pipeline must remain
 # bit-identical to the legacy per-Ref path (short-mode equivalence run),
 # the v1 HTTP server must boot, answer /v1/experiments with valid
-# JSON, and drain (serve-smoke), and every benchmark must still run for
-# one iteration (bench-smoke).
-check: build vet fmt-check race equivalence serve-smoke bench-smoke
+# JSON, and drain (serve-smoke), the seeded chaos schedules must hold
+# their invariants with every failpoint test-covered (chaos-smoke), and
+# every benchmark must still run for one iteration (bench-smoke).
+check: build vet fmt-check race equivalence serve-smoke chaos-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -34,6 +35,14 @@ equivalence:
 # then drain gracefully.
 serve-smoke:
 	$(GO) test -race -count 1 -run TestServeSmoke ./cmd/wsstudy/
+
+# Seeded chaos schedules under -race (termination, no faulted result
+# cached, post-disarm recovery to the byte-exact fault-free baseline),
+# the SIGKILL crash-resume drill, and the failpoint lint (every
+# registered failpoint referenced by at least one test).
+chaos-smoke:
+	$(GO) test -race -count 1 -run 'TestChaos|TestEveryFailpointExercised' .
+	$(GO) test -race -count 1 -run 'TestCrashResumeSIGKILL|TestSuiteResumesFromJournal' ./internal/core/
 
 test:
 	$(GO) test ./...

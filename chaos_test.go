@@ -1,0 +1,268 @@
+package wss
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"wsstudy/internal/capture"
+	"wsstudy/internal/core"
+	"wsstudy/internal/fault"
+	"wsstudy/internal/trace"
+)
+
+// The chaos suite: randomized, seeded fault schedules over the full
+// stack (store persistence, compute retry, kernel-trace capture, WST2
+// framing, experiment execution), checked against three invariants:
+//
+//  1. Termination — every Get returns, fault or not.
+//  2. Integrity — a Get that claims success returns bytes identical to
+//     the fault-free baseline; no faulted result is ever cached.
+//  3. Recovery — after the faults are disarmed, every key computes
+//     cleanly and matches the baseline (degraded subsystems healed,
+//     nothing poisoned).
+//
+// Schedules are deterministic per seed (math/rand with a fixed source,
+// fault.Trigger.Seed for probabilistic firing), so a failing seed
+// replays exactly.
+
+// chaosSeeds is the schedule count; each seed arms a different subset of
+// failpoints with different modes and probabilities.
+var chaosSeeds = []int64{1, 2, 3, 4, 5}
+
+// chaosExperiments builds deterministic synthetic experiments that
+// between them traverse every chaos seam: pure model computation, and a
+// kernel whose multi-frame reference stream rides trace encoding and
+// the capture store.
+func chaosExperiments() []Experiment {
+	model := func(id string) Experiment {
+		return Experiment{
+			ID:    id,
+			Title: "chaos model " + id,
+			Run: func(ctx context.Context, opt Options) (*Report, error) {
+				r := &Report{Title: "chaos model " + id}
+				t := Table{Title: id, Header: []string{"cell", "value"}}
+				for i := 0; i < 8; i++ {
+					t.Rows = append(t.Rows, []string{
+						fmt.Sprintf("r%d", i),
+						fmt.Sprintf("%d", (i+len(id))*7),
+					})
+				}
+				r.Tables = append(r.Tables, t)
+				return r, nil
+			},
+		}
+	}
+	kernel := Experiment{
+		ID:    "chaos-kernel",
+		Title: "chaos kernel",
+		Run: func(ctx context.Context, opt Options) (*Report, error) {
+			var refs uint64
+			sink := chaosSink{refs: &refs}
+			err := capture.From(ctx).Run(ctx, "chaos/kernel", 2, sink, func(out trace.Consumer) error {
+				ec, _ := out.(trace.EpochConsumer)
+				bc := trace.AdaptConsumer(out)
+				block := make([]trace.Ref, 1024)
+				for epoch := 0; epoch < 2; epoch++ {
+					if ec != nil {
+						ec.BeginEpoch(epoch)
+					}
+					for i := 0; i < 16; i++ {
+						for j := range block {
+							// Scattered addresses defeat delta encoding so the
+							// recording spans several WST2 frames — a corrupt
+							// frame fault has room to land.
+							block[j] = trace.Ref{PE: j % 4, Addr: uint64((epoch*16+i)*1024+j) * 2654435761, Size: 8}
+						}
+						bc.Refs(block)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			r := &Report{Title: "chaos kernel"}
+			r.AddNote("refs=%d", refs)
+			return r, nil
+		},
+	}
+	return []Experiment{model("chaos-a"), model("chaos-b"), kernel}
+}
+
+type chaosSink struct{ refs *uint64 }
+
+func (s chaosSink) Ref(trace.Ref)      { *s.refs++ }
+func (s chaosSink) Refs(b []trace.Ref) { *s.refs += uint64(len(b)) }
+func (s chaosSink) BeginEpoch(int)     {}
+
+// chaosPlan arms a seeded random subset of the registered failpoints.
+// Panic injection is confined to core.execute, the one seam whose
+// caller (Execute) recovers panics by contract; everywhere else the
+// modes are error, corrupt and short delay.
+func chaosPlan(t *testing.T, rng *rand.Rand) []string {
+	t.Helper()
+	type site struct {
+		name  string
+		modes []fault.Mode
+	}
+	sites := []site{
+		{"store.disk.load", []fault.Mode{fault.ModeError, fault.ModeCorrupt}},
+		{"store.disk.save", []fault.Mode{fault.ModeError}},
+		{"store.compute", []fault.Mode{fault.ModeError}},
+		{"capture.commit", []fault.Mode{fault.ModeError}},
+		{"capture.replay", []fault.Mode{fault.ModeError}},
+		{"trace.write.chunk", []fault.Mode{fault.ModeCorrupt}},
+		{"trace.replay.chunk", []fault.Mode{fault.ModeCorrupt, fault.ModeDelay}},
+		{"core.execute", []fault.Mode{fault.ModeError, fault.ModePanic, fault.ModeDelay}},
+	}
+	var armed []string
+	for _, s := range sites {
+		if rng.Float64() < 0.4 {
+			continue
+		}
+		tr := fault.Trigger{
+			Mode: s.modes[rng.Intn(len(s.modes))],
+			Prob: 0.25 + rng.Float64()*0.5,
+			Seed: rng.Int63(),
+		}
+		switch tr.Mode {
+		case fault.ModeDelay:
+			tr.Delay = time.Millisecond
+		case fault.ModeError:
+			// Half the injected errors are transient, so the retry
+			// policy's classification sees both branches.
+			if rng.Intn(2) == 0 {
+				tr.Err = core.Transient(errors.New("chaos transient"))
+			}
+		}
+		if err := fault.Arm(s.name, tr); err != nil {
+			t.Fatal(err)
+		}
+		armed = append(armed, fmt.Sprintf("%s=%s p=%.2f", s.name, tr.Mode, tr.Prob))
+	}
+	return armed
+}
+
+func TestChaosSchedules(t *testing.T) {
+	exps := chaosExperiments()
+	opt := Options{Scale: ScaleQuick}
+
+	// Fault-free baseline: the byte-exact JSON every successful chaos
+	// Get must reproduce. No Recorder anywhere, so reports carry no
+	// process-varying metrics.
+	baseline := map[string][]byte{}
+	base, err := NewStore(StoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exps {
+		res, err := base.Get(context.Background(), e, opt)
+		if err != nil {
+			t.Fatalf("baseline %s: %v", e.ID, err)
+		}
+		baseline[e.ID] = res.JSON
+	}
+	if err := base.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Cleanup(fault.DisarmAll)
+			rng := rand.New(rand.NewSource(seed))
+			st, err := NewStore(StoreConfig{
+				Dir:            t.TempDir(),
+				Slots:          4,
+				ComputeRetries: 2,
+				ProbeInterval:  time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close(context.Background())
+
+			armed := chaosPlan(t, rng)
+			t.Logf("schedule: %v", armed)
+
+			// Storm phase: concurrent repeated Gets while the faults
+			// fire. Every error is acceptable; every success must be
+			// byte-identical to the baseline.
+			var wg sync.WaitGroup
+			for round := 0; round < 4; round++ {
+				for _, e := range exps {
+					wg.Add(1)
+					go func(e Experiment) {
+						defer wg.Done()
+						res, err := st.Get(context.Background(), e, opt)
+						if err != nil {
+							return // a surfaced fault, not a correctness failure
+						}
+						if !bytes.Equal(res.JSON, baseline[e.ID]) {
+							t.Errorf("%s: faulted run served corrupted bytes", e.ID)
+						}
+					}(e)
+				}
+				wg.Wait()
+			}
+
+			// Recovery phase: disarm everything and demand clean,
+			// baseline-identical results — proving no faulted result was
+			// cached in memory or on disk and the degraded subsystems
+			// heal (the millisecond probe interval has long expired).
+			fault.DisarmAll()
+			time.Sleep(2 * time.Millisecond)
+			for _, e := range exps {
+				res, err := st.Get(context.Background(), e, opt)
+				if err != nil {
+					t.Fatalf("%s after disarm: %v", e.ID, err)
+				}
+				if !bytes.Equal(res.JSON, baseline[e.ID]) {
+					t.Errorf("%s: post-recovery bytes diverge from the fault-free baseline", e.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosNeverCachesFaultedResult pins invariant 2 in its sharpest
+// form: with a persistent compute fault, nothing lands in memory or on
+// disk, and the first clean run computes from scratch.
+func TestChaosNeverCachesFaultedResult(t *testing.T) {
+	t.Cleanup(fault.DisarmAll)
+	exps := chaosExperiments()
+	opt := Options{Scale: ScaleQuick}
+	dir := t.TempDir()
+	st, err := NewStore(StoreConfig{Dir: dir, ComputeRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close(context.Background())
+
+	if err := fault.Arm("store.compute", fault.Trigger{Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exps {
+		if _, err := st.Get(context.Background(), e, opt); !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("%s under a persistent compute fault: err = %v, want the injected fault", e.ID, err)
+		}
+		if st.Cached(ResultKey(e.ID, opt)) {
+			t.Errorf("%s: faulted result found in the memory cache", e.ID)
+		}
+	}
+	if n := st.Len(); n != 0 {
+		t.Fatalf("store holds %d entries after all-faulted runs, want 0", n)
+	}
+
+	fault.DisarmAll()
+	for _, e := range exps {
+		if _, err := st.Get(context.Background(), e, opt); err != nil {
+			t.Fatalf("%s after disarm: %v", e.ID, err)
+		}
+	}
+}

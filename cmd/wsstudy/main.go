@@ -5,7 +5,7 @@
 //
 //	wsstudy list                 # show available experiments
 //	wsstudy verify               # audit every closed-form paper checkpoint
-//	wsstudy all [-quick]         # run everything
+//	wsstudy all [-quick]         # run everything (-resume journal: checkpointed, crash-resumable)
 //	wsstudy serve -addr :8080    # serve results over the v1 HTTP API
 //	wsstudy <id> [-quick]        # run one (fig2, fig4, fig5, fig6,
 //	                             # fig6dm, fig7, table1, table2,
@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"wsstudy/internal/core"
+	"wsstudy/internal/fault"
 	"wsstudy/internal/obs"
 )
 
@@ -51,6 +52,7 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-experiment deadline (0 = none)")
 	workers := fs.Int("workers", 2, "concurrent experiments for 'all'")
 	retries := fs.Int("retries", 0, "retries for transiently failing experiments in 'all'")
+	resume := fs.String("resume", "", "all: checkpoint journal path; completed cells revive, new ones append")
 	metricsPath := fs.String("metrics", "", "write the run's metrics snapshot as JSON to this file")
 	progress := fs.Bool("progress", false, "render live progress to stderr while experiments run")
 	listen := fs.String("listen", "", "serve /debug/pprof/ and /debug/vars on this address while running")
@@ -64,7 +66,7 @@ func run(args []string) error {
 	computeLimit := fs.Duration("compute-timeout", 0, "serve: per-computation deadline (0 = none)")
 	drain := fs.Duration("drain", 30*time.Second, "serve: graceful-shutdown budget for in-flight runs")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: wsstudy [list|all|serve|<experiment-id>] [-quick] [-csv out.csv] [-timeout 2m] [-metrics out.json] [-progress] [-listen 127.0.0.1:6060] [-addr 127.0.0.1:8080]")
+		fmt.Fprintln(fs.Output(), "usage: wsstudy [list|all|serve|<experiment-id>] [-quick] [-csv out.csv] [-timeout 2m] [-resume suite.journal] [-metrics out.json] [-progress] [-listen 127.0.0.1:6060] [-addr 127.0.0.1:8080]")
 		fs.PrintDefaults()
 	}
 
@@ -93,6 +95,13 @@ func run(args []string) error {
 	// and a JSON metrics dump on exit).
 	rec := obs.New()
 	ctx := obs.With(context.Background(), rec)
+	// Fault injection: WSS_FAILPOINTS arms named failpoints for chaos
+	// and recovery drills (see DESIGN.md §9); fired injections count on
+	// the run recorder as fault.triggered.<name>.
+	fault.SetRecorder(rec)
+	if err := fault.ArmFromEnv(os.Getenv); err != nil {
+		return err
+	}
 	if *listen != "" {
 		addr, err := startDebugServer(*listen, rec)
 		if err != nil {
@@ -114,9 +123,19 @@ func run(args []string) error {
 
 	switch cmd {
 	case "all":
-		return runAll(ctx, core.SuiteOptions{
-			Options: opt, Workers: *workers, Retries: *retries,
-		}, *csvPath)
+		sopt := core.SuiteOptions{Options: opt, Workers: *workers, Retries: *retries}
+		if *resume != "" {
+			j, err := core.OpenJournal(*resume)
+			if err != nil {
+				return err
+			}
+			defer j.Close()
+			if n := j.Len(); n > 0 {
+				fmt.Fprintf(os.Stderr, "resuming: %d completed cells in %s\n", n, *resume)
+			}
+			sopt.Journal = j
+		}
+		return runAll(ctx, sopt, *csvPath)
 	case "serve":
 		scale, err := core.ParseScale(*defaultScale)
 		if err != nil {
@@ -178,7 +197,11 @@ func runAll(ctx context.Context, sopt core.SuiteOptions, csvPath string) error {
 		if err := renderOne(res.Report, csvPath); err != nil {
 			return err
 		}
-		fmt.Printf("\n[%s completed in %v]\n\n", res.ID, res.Elapsed.Round(time.Millisecond))
+		if res.Revived {
+			fmt.Printf("\n[%s revived from checkpoint]\n\n", res.ID)
+		} else {
+			fmt.Printf("\n[%s completed in %v]\n\n", res.ID, res.Elapsed.Round(time.Millisecond))
+		}
 	}
 	if summary := report.FailureSummary(); summary != "" {
 		return fmt.Errorf("%s(suite ran %v)", summary, time.Since(start).Round(time.Millisecond))

@@ -1,0 +1,62 @@
+package wss
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wsstudy/internal/fault"
+)
+
+// TestEveryFailpointExercised is the failpoint lint: a failpoint nobody
+// arms in a test is dead chaos surface — it rots silently until the day
+// an operator arms it in production and discovers the seam was never
+// wired. Every registered name must appear in at least one _test.go
+// file somewhere in the repo.
+//
+// Importing the packages that declare failpoints is enough to register
+// them (package-level fault.New); this test package already pulls in
+// the whole stack via the chaos suite.
+func TestEveryFailpointExercised(t *testing.T) {
+	names := fault.Names()
+	if len(names) < 10 {
+		t.Fatalf("only %d failpoints registered — did a package stop importing fault?", len(names))
+	}
+
+	referenced := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			if !referenced[n] && strings.Contains(string(src), `"`+n+`"`) {
+				referenced[n] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range names {
+		if !referenced[n] {
+			t.Errorf("failpoint %q is registered but no _test.go references it — add a fault-injection test or remove the seam", n)
+		}
+	}
+}

@@ -25,12 +25,53 @@ package capture
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 
+	"wsstudy/internal/fault"
 	"wsstudy/internal/obs"
 	"wsstudy/internal/trace"
+)
+
+// ErrReplay is wrapped by every *ReplayError, so callers (the result
+// store's degradation logic, the suite's retry classifier) can identify
+// capture-replay failures with errors.Is(err, ErrReplay).
+var ErrReplay = errors.New("capture: snapshot replay failed")
+
+// ReplayError reports that replaying a committed recording failed after
+// the sink had already consumed part of the stream, so the Run could
+// not fall back to re-recording (re-delivering the consumed prefix
+// would double-count references). The broken entry has been dropped; a
+// retry with a fresh sink records afresh.
+type ReplayError struct {
+	// Key identifies the recording that failed to replay.
+	Key string
+	// Delivered is how many references and epoch boundaries the sink
+	// consumed before the failure.
+	Delivered uint64
+	// Err is the underlying failure (a *trace.CorruptError, usually).
+	Err error
+}
+
+// Error renders the failure.
+func (e *ReplayError) Error() string {
+	return fmt.Sprintf("capture: replaying snapshot %q (%d records delivered): %v",
+		e.Key, e.Delivered, e.Err)
+}
+
+// Unwrap ties the error to ErrReplay and the underlying cause.
+func (e *ReplayError) Unwrap() []error { return []error{ErrReplay, e.Err} }
+
+// Failpoints at the capture seams. capture.commit discards a recording
+// at commit time (the live run already succeeded, so the only cost is
+// re-recording later — the same graceful handling a failed Flush gets);
+// capture.replay fails a replay before it delivers anything, which
+// exercises the safe re-record fallthrough below.
+var (
+	fpCommit = fault.New("capture.commit")
+	fpReplay = fault.New("capture.replay")
 )
 
 // DefaultMaxBytes bounds a Store's resident encoded-trace bytes. WST2's
@@ -122,32 +163,43 @@ func Keyf(kernel, format string, args ...any) string {
 // (its step count); replays of longer recordings stop at that boundary.
 // On a nil or disabled store Run is exactly produce(sink).
 //
-// A replay that fails mid-stream (a corrupt snapshot) fails the Run:
-// the sink has by then consumed a verified prefix, so re-delivering the
-// stream into it would double-count references. The broken entry is
-// dropped, so a retry with a fresh sink records and succeeds.
+// A replay that fails mid-stream (a corrupt snapshot) fails the Run
+// with a *ReplayError: the sink has by then consumed a verified prefix,
+// so re-delivering the stream into it would double-count references.
+// The broken entry is dropped, so a retry with a fresh sink records and
+// succeeds. A replay that fails before delivering anything — the first
+// frame was already bad — leaves the sink untouched, so Run drops the
+// entry and falls through to re-recording instead of failing (bounded,
+// so a persistent fault still terminates).
 func (s *Store) Run(ctx context.Context, key string, epochs int, sink trace.Consumer, produce func(trace.Consumer) error) error {
 	if s == nil {
 		return produce(sink)
 	}
 	rec := obs.From(ctx)
+	rerecords := 0
 	for {
 		e, flight, leader := s.lookup(key, epochs)
 		if e != nil {
-			err := s.replay(rec, e, epochs, sink)
+			delivered, err := s.replay(ctx, rec, e, epochs, sink)
 			if err == nil {
 				s.unpin(e)
 				return nil
 			}
 			// Replay verifies each frame's CRC as it streams, so by the
-			// time a corrupt frame surfaces the sink has already consumed
+			// time a corrupt frame surfaces the sink has usually consumed
 			// a verified prefix. Re-running the producer into the same
 			// sink would deliver that prefix twice and silently skew the
-			// caller's statistics, so the only safe outcome is to fail
-			// this Run. The entry is dropped; later Runs record afresh.
+			// caller's statistics, so with anything delivered the only
+			// safe outcome is to fail this Run. The entry is dropped
+			// either way; later Runs record afresh.
 			s.drop(key, e)
 			s.unpin(e)
-			return fmt.Errorf("capture: replaying snapshot %q: %w", key, err)
+			if delivered == 0 && rerecords < maxRerecords {
+				rerecords++
+				rec.Counter(obs.CaptureRerecords).Inc()
+				continue
+			}
+			return &ReplayError{Key: key, Delivered: delivered, Err: err}
 		}
 		if !leader {
 			select {
@@ -177,9 +229,18 @@ func (s *Store) Run(ctx context.Context, key string, epochs int, sink trace.Cons
 		buf.free()
 		return nil // the live run succeeded; only the recording is lost
 	}
+	if err := fpCommit.Inject(ctx); err != nil {
+		buf.free() // injected commit fault: same shape as a failed Flush
+		return nil
+	}
 	s.commit(rec, key, &entry{buf: buf, epochs: r.epochs, refs: r.refs})
 	return nil
 }
+
+// maxRerecords bounds how many times one Run may fall through from a
+// nothing-delivered replay failure to re-recording, so a persistently
+// faulted store cannot spin a caller forever.
+const maxRerecords = 3
 
 // lookup returns a committed entry covering the requested epochs, or the
 // in-flight recording to wait for, or (nil, nil, true) when the caller
@@ -274,15 +335,21 @@ func (s *Store) commit(rec *obs.Recorder, key string, e *entry) {
 }
 
 // replay decodes e into sink, stopping at the requested epoch boundary.
-func (s *Store) replay(rec *obs.Recorder, e *entry, epochs int, sink trace.Consumer) error {
+// It reports how much the sink consumed (references plus epoch
+// boundaries) so Run can tell a clean-sink failure from a mid-stream
+// one.
+func (s *Store) replay(ctx context.Context, rec *obs.Recorder, e *entry, epochs int, sink trace.Consumer) (uint64, error) {
+	if err := fpReplay.Inject(ctx); err != nil {
+		return 0, err
+	}
 	lim := &epochLimit{bc: trace.AdaptConsumer(sink), limit: epochs}
 	lim.ec, _ = sink.(trace.EpochConsumer)
 	if _, err := trace.Replay(e.buf.reader(), lim); err != nil {
-		return err
+		return lim.refs + uint64(lim.delivered), err
 	}
 	rec.Counter(obs.CaptureHits).Inc()
 	rec.Counter(obs.CaptureReplayedRefs).Add(lim.refs)
-	return nil
+	return lim.refs + uint64(lim.delivered), nil
 }
 
 // Len reports committed recordings, and Bytes their encoded size.
@@ -334,12 +401,13 @@ func (r *recorder) Err() error { return r.w.Err() }
 // boundary, then drops the tail — cutting a long recording down to the
 // prefix a shorter run would have produced.
 type epochLimit struct {
-	bc    trace.BlockConsumer
-	ec    trace.EpochConsumer
-	limit int
-	seen  int
-	done  bool
-	refs  uint64
+	bc        trace.BlockConsumer
+	ec        trace.EpochConsumer
+	limit     int
+	seen      int
+	done      bool
+	refs      uint64
+	delivered int // epoch boundaries actually forwarded to the sink
 }
 
 func (l *epochLimit) Ref(t trace.Ref) { l.Refs([]trace.Ref{t}) }
@@ -363,6 +431,7 @@ func (l *epochLimit) BeginEpoch(n int) {
 	l.seen++
 	if l.ec != nil {
 		l.ec.BeginEpoch(n)
+		l.delivered++
 	}
 }
 

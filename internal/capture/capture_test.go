@@ -265,7 +265,7 @@ func TestDisplacedEntryPinnedDuringReplay(t *testing.T) {
 	if err := script(2, 1000)(&want); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.replay(obs.New(), e, 2, &fromOld); err != nil {
+	if _, err := s.replay(ctx, obs.New(), e, 2, &fromOld); err != nil {
 		t.Fatalf("replay of pinned displaced entry: %v", err)
 	}
 	if !fromOld.equal(&want) {

@@ -1,0 +1,109 @@
+package capture
+
+import (
+	"context"
+	"testing"
+
+	"wsstudy/internal/fault"
+	"wsstudy/internal/obs"
+	"wsstudy/internal/trace"
+)
+
+// Failpoint coverage for the capture layer: a commit fault loses only
+// the recording (never the live run), and a replay fault that delivers
+// nothing falls through to a bounded re-record.
+
+// TestCommitFaultLosesOnlyTheRecording: the producer ran and its sink
+// saw the full stream, so an injected commit failure must not fail Run —
+// the store just ends up without the entry, and the next Run re-records.
+func TestCommitFaultLosesOnlyTheRecording(t *testing.T) {
+	t.Cleanup(fault.DisarmAll)
+	if err := fault.Arm("capture.commit", fault.Trigger{Mode: fault.ModeError, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(0)
+	var live eventLog
+	if err := s.Run(context.Background(), "k/commit", 2, &live, script(2, 500)); err != nil {
+		t.Fatalf("a commit fault failed the live run: %v", err)
+	}
+	if len(live.refs) != 1000 {
+		t.Errorf("live sink saw %d refs, want 1000", len(live.refs))
+	}
+	if s.Len() != 0 {
+		t.Error("faulted commit still stored an entry")
+	}
+	// The key is not poisoned: the next Run records normally.
+	if err := s.Run(context.Background(), "k/commit", 2, &eventLog{}, script(2, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Error("recovery run did not commit")
+	}
+}
+
+// TestReplayFaultFallsThroughToRerecord: a replay that fails before
+// delivering anything (the capture.replay failpoint fires at the top of
+// the replay) is safe to retry into the same sink, so Run re-records
+// instead of surfacing the error, and counts the fallthrough.
+func TestReplayFaultFallsThroughToRerecord(t *testing.T) {
+	t.Cleanup(fault.DisarmAll)
+	s := New(0)
+	rec := obs.New()
+	ctx := obs.With(context.Background(), rec)
+	if err := s.Run(ctx, "k/rr", 2, &eventLog{}, script(2, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm("capture.replay", fault.Trigger{Mode: fault.ModeError, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var want, got eventLog
+	if err := script(2, 500)(&want); err != nil {
+		t.Fatal(err)
+	}
+	produced := false
+	if err := s.Run(ctx, "k/rr", 2, &got, func(sink trace.Consumer) error {
+		produced = true
+		return script(2, 500)(sink)
+	}); err != nil {
+		t.Fatalf("zero-delivered replay fault not re-recorded: %v", err)
+	}
+	if !produced {
+		t.Error("fallthrough did not re-run the producer")
+	}
+	if !got.equal(&want) {
+		t.Error("re-recorded stream diverged")
+	}
+	m := rec.Snapshot()
+	if m.Counter(obs.CaptureRerecords) != 1 {
+		t.Errorf("capture.rerecords = %d, want 1", m.Counter(obs.CaptureRerecords))
+	}
+}
+
+// TestPersistentReplayFaultTerminates: an unlimited replay fault cannot
+// spin a Run — each fallthrough drops the broken entry, becomes the
+// leader, and re-records, so every Run still terminates successfully
+// (degraded to a permanent miss, one re-record per call).
+func TestPersistentReplayFaultTerminates(t *testing.T) {
+	t.Cleanup(fault.DisarmAll)
+	s := New(0)
+	rec := obs.New()
+	ctx := obs.With(context.Background(), rec)
+	if err := s.Run(ctx, "k/loop", 2, &eventLog{}, script(2, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm("capture.replay", fault.Trigger{Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Run(ctx, "k/loop", 2, &eventLog{}, script(2, 500)); err != nil {
+			t.Fatalf("run %d under a persistent replay fault: %v", i, err)
+		}
+	}
+	m := rec.Snapshot()
+	if got := m.Counter(obs.CaptureRerecords); got != 3 {
+		t.Errorf("capture.rerecords = %d, want 3 (one per faulted run)", got)
+	}
+	if m.Counter(obs.CaptureHits) != 0 {
+		t.Errorf("capture.hits = %d, want 0 while the fault is armed", m.Counter(obs.CaptureHits))
+	}
+}

@@ -52,6 +52,24 @@ func (o Options) Fingerprint() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// ResultKey derives the content address of one (experiment id, Options)
+// result: SHA-256 over the experiment id, the frozen report schema
+// version, and the canonical Options encoding. Options that canonicalize
+// identically — regardless of Timeout or field order — always map to the
+// same key; bumping ReportSchemaVersion changes every key at once,
+// invalidating stale persisted renderings. The result store and the
+// suite checkpoint journal both key by this, so a journaled cell and a
+// cached report for the same configuration can never disagree about
+// identity.
+func ResultKey(id string, o Options) [sha256.Size]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "wsstudy.result;schema=%d;experiment=%s;%s",
+		ReportSchemaVersion, id, o.Canonical())
+	var k [sha256.Size]byte
+	h.Sum(k[:0])
+	return k
+}
+
 // ParseScale parses a scale name as used by the CLI and the HTTP API:
 // "full" (or "") and "quick", case-insensitively.
 func ParseScale(s string) (Scale, error) {

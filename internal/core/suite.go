@@ -9,8 +9,17 @@ import (
 	"time"
 
 	"wsstudy/internal/capture"
+	"wsstudy/internal/fault"
 	"wsstudy/internal/obs"
 )
+
+// fpExecute sits at the head of every experiment run — the one seam that
+// covers the whole sweep. Error mode fails an attempt before the kernel
+// starts (arming a Transient-marked Err exercises the retry path), panic
+// mode exercises the recover-to-PanicError path, and delay mode stalls a
+// cell deterministically, which is how the crash-resume test parks a
+// worker mid-suite before the SIGKILL.
+var fpExecute = fault.New("core.execute")
 
 // ErrDeadline is wrapped by every *DeadlineError, so callers can classify
 // timed-out experiments with errors.Is(err, ErrDeadline).
@@ -134,6 +143,9 @@ func Execute(ctx context.Context, e Experiment, opt Options) (rep *Report, err e
 			}
 		}
 	}()
+	if err := fpExecute.Inject(ctx); err != nil {
+		return nil, err
+	}
 	return e.Run(ctx, opt)
 }
 
@@ -151,6 +163,12 @@ type SuiteOptions struct {
 	// Backoff is the initial retry delay, doubling per attempt. Zero means
 	// 100ms.
 	Backoff time.Duration
+	// Journal, when non-nil, checkpoints each completed cell and revives
+	// cells the journal already holds instead of recomputing them — the
+	// resume path for a suite killed mid-sweep. A checkpoint-append
+	// failure never fails the cell; it is counted (suite.journal.errors)
+	// and the run continues with that cell unresumable.
+	Journal *Journal
 }
 
 // SuiteResult is one experiment's outcome within a suite run.
@@ -159,8 +177,12 @@ type SuiteResult struct {
 	Title    string
 	Report   *Report // non-nil on success
 	Err      error   // non-nil on failure (typed: *DeadlineError, *PanicError, ...)
-	Attempts int     // run attempts made (>1 means retries happened)
+	Attempts int     // run attempts made (>1 means retries happened; 0 means revived)
 	Elapsed  time.Duration
+	// Revived marks a cell served from the checkpoint journal: the
+	// report was computed by an earlier (crashed or killed) run of the
+	// same suite, not by this one.
+	Revived bool
 }
 
 // SuiteReport aggregates a suite run: every experiment's result in input
@@ -244,8 +266,24 @@ func RunSuite(ctx context.Context, experiments []Experiment, opt SuiteOptions) *
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			rec := obs.From(ctx)
 			for i := range jobs {
-				report.Results[i] = runOne(ctx, experiments[i], opt, backoff)
+				e := experiments[i]
+				if rep, ok := opt.Journal.Lookup(e.ID, opt.Options); ok {
+					report.Results[i] = SuiteResult{
+						ID: e.ID, Title: e.Title, Report: rep, Revived: true,
+					}
+					rec.Counter(obs.SuiteRevived).Inc()
+					rec.Counter(obs.SuiteDone).Inc()
+					continue
+				}
+				res := runOne(ctx, e, opt, backoff)
+				if res.Err == nil {
+					if err := opt.Journal.Record(e.ID, opt.Options, res.Report); err != nil {
+						rec.Counter(obs.SuiteJournalErrors).Inc()
+					}
+				}
+				report.Results[i] = res
 			}
 		}()
 	}
@@ -270,8 +308,10 @@ feed:
 	return report
 }
 
-// runOne executes a single experiment with retry-with-backoff for
-// transiently classified failures.
+// runOne executes a single experiment under the shared RetryPolicy:
+// transiently classified failures (and retryable typed errors — trace
+// corruption, capture replay loss) back off and re-attempt up to
+// opt.Retries extra times.
 func runOne(ctx context.Context, e Experiment, opt SuiteOptions, backoff time.Duration) SuiteResult {
 	rec := obs.From(ctx)
 	busy := rec.Gauge(obs.WorkersBusy)
@@ -286,22 +326,14 @@ func runOne(ctx context.Context, e Experiment, opt SuiteOptions, backoff time.Du
 			rec.Counter(obs.SuiteFailed).Inc()
 		}
 	}()
-	for attempt := 0; ; attempt++ {
-		res.Attempts = attempt + 1
+	policy := RetryPolicy{MaxAttempts: opt.Retries + 1, Backoff: backoff}
+	res.Attempts, res.Err = policy.Do(ctx, func(int) error {
 		rep, err := Execute(ctx, e, opt.Options)
-		res.Report, res.Err = rep, err
-		if err == nil || !IsTransient(err) || attempt >= opt.Retries {
-			return res
-		}
-		rec.Counter(obs.SuiteRetries).Inc()
-		// Context-aware backoff sleep; a cancelled suite stops retrying.
-		t := time.NewTimer(backoff << attempt)
-		select {
-		case <-ctx.Done():
-			t.Stop()
-			res.Err = ctx.Err()
-			return res
-		case <-t.C:
-		}
+		res.Report = rep
+		return err
+	})
+	if res.Attempts > 1 {
+		rec.Counter(obs.SuiteRetries).Add(uint64(res.Attempts - 1))
 	}
+	return res
 }

@@ -1,0 +1,517 @@
+// Package fault is the repo-wide fault-injection framework: a registry
+// of named failpoints compiled into the load-bearing seams (trace
+// framing, capture commit/replay, store persistence, suite execution,
+// request handling) that cost one atomic pointer load while disarmed
+// and, when armed, inject the failures the robustness suite needs to
+// prove recovery: error returns, panics, delays, byte corruption, and
+// partial writes.
+//
+// A failpoint is declared once, at package level, next to the code it
+// can break:
+//
+//	var fpSave = fault.New("store.disk.save")
+//
+// and evaluated inline where the failure would naturally surface:
+//
+//	if err := fpSave.Inject(ctx); err != nil { return err }
+//
+// Disarmed (the production state) the evaluation is a single atomic
+// load and a predictable branch — the same discipline obs uses for its
+// nil-safe handles — so failpoints stay compiled into release binaries
+// and chaos tests exercise exactly the code users run.
+//
+// Arming happens through the test API (Failpoint.Arm / fault.Arm) or
+// the WSS_FAILPOINTS environment variable:
+//
+//	WSS_FAILPOINTS='store.disk.save=error(disk full);trace.replay.chunk=1*corrupt'
+//
+// See ParseTrigger for the spec grammar.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsstudy/internal/obs"
+)
+
+// ErrInjected is the default error returned by an error-mode failpoint,
+// and is wrapped by every injected failure, so tests and chaos
+// harnesses can classify injected errors with errors.Is.
+var ErrInjected = errors.New("fault: injected failure")
+
+// InjectedError is an injected failure carrying its failpoint's name.
+type InjectedError struct {
+	// Name is the failpoint that fired.
+	Name string
+	// Err is the configured error (ErrInjected unless the trigger set
+	// one).
+	Err error
+}
+
+// Error renders the failure with its origin failpoint.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: failpoint %s: %v", e.Name, e.Err)
+}
+
+// Unwrap ties the error to both ErrInjected and the configured error.
+func (e *InjectedError) Unwrap() []error { return []error{ErrInjected, e.Err} }
+
+// Mode selects what an armed failpoint does when it fires.
+type Mode uint8
+
+const (
+	// ModeOff disarms the failpoint (the spec form "off").
+	ModeOff Mode = iota
+	// ModeError returns the trigger's Err (an *InjectedError wrapping
+	// ErrInjected by default).
+	ModeError
+	// ModePanic panics with the trigger's message.
+	ModePanic
+	// ModeDelay sleeps for the trigger's Delay (bounded by the ctx given
+	// to the evaluation), then lets execution continue.
+	ModeDelay
+	// ModeCorrupt flips one byte of the buffer at an InjectBytes site
+	// (at Arg, or mid-buffer when Arg is negative). At a plain Inject
+	// site it is a no-op.
+	ModeCorrupt
+	// ModePartial truncates the buffer at an InjectBytes site to Arg
+	// bytes (half when Arg is negative), simulating a torn write. At a
+	// plain Inject site it is a no-op.
+	ModePartial
+)
+
+// String names the mode as the spec grammar spells it.
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeDelay:
+		return "delay"
+	case ModeCorrupt:
+		return "corrupt"
+	case ModePartial:
+		return "partial"
+	}
+	return "off"
+}
+
+// Trigger configures an armed failpoint: what to inject and when.
+// The zero value of the gating fields means "every evaluation, forever".
+type Trigger struct {
+	// Mode selects the injected failure.
+	Mode Mode
+	// Err is returned by ModeError evaluations (nil = ErrInjected). Arm
+	// it with core.Transient(...) to simulate a retryable failure.
+	Err error
+	// Message is the ModePanic value ("fault: injected panic" when "").
+	Message string
+	// Delay is how long ModeDelay stalls the evaluation site.
+	Delay time.Duration
+	// Arg parameterizes ModeCorrupt (byte offset to flip) and
+	// ModePartial (bytes to keep). Negative means mid-buffer / half.
+	Arg int
+	// Count fires the trigger at most Count times, then disarms the
+	// failpoint. Zero means unlimited.
+	Count int
+	// After skips the first After matching evaluations before the
+	// trigger may fire.
+	After int
+	// Prob fires each eligible evaluation with this probability
+	// (0 or 1 = always). Draws come from a deterministic rng seeded
+	// with Seed, so chaos schedules replay exactly.
+	Prob float64
+	// Seed seeds the probability rng (only used when Prob is in (0,1)).
+	Seed int64
+}
+
+// armed is a Trigger in place on a Failpoint, plus the mutable firing
+// state. The slow path (an armed failpoint) takes its mutex; the fast
+// path never sees this struct at all.
+type armed struct {
+	t     Trigger
+	mu    sync.Mutex
+	evals int
+	fired int
+	rng   *rand.Rand
+}
+
+// Failpoint is one named injection site. The zero value is not useful;
+// declare failpoints with New at package level so they register.
+type Failpoint struct {
+	name  string
+	state atomic.Pointer[armed]
+	hits  atomic.Uint64
+}
+
+// Name returns the failpoint's registered name.
+func (f *Failpoint) Name() string { return f.name }
+
+// Hits reports how many times the failpoint has fired since process
+// start (across all arm cycles).
+func (f *Failpoint) Hits() uint64 { return f.hits.Load() }
+
+// Arm installs t on the failpoint, replacing any previous trigger.
+// ModeOff (or a zero Trigger) disarms.
+func (f *Failpoint) Arm(t Trigger) {
+	if t.Mode == ModeOff {
+		f.state.Store(nil)
+		return
+	}
+	a := &armed{t: t}
+	if t.Prob > 0 && t.Prob < 1 {
+		a.rng = rand.New(rand.NewSource(t.Seed))
+	}
+	f.state.Store(a)
+}
+
+// Disarm removes any trigger; evaluations return to the one-load fast
+// path.
+func (f *Failpoint) Disarm() { f.state.Store(nil) }
+
+// Armed reports whether a trigger is currently installed.
+func (f *Failpoint) Armed() bool { return f.state.Load() != nil }
+
+// fire decides whether this evaluation fires, honoring After, Prob and
+// Count, and records the hit when it does.
+func (f *Failpoint) fire(ctx context.Context, a *armed) bool {
+	a.mu.Lock()
+	a.evals++
+	if a.evals <= a.t.After {
+		a.mu.Unlock()
+		return false
+	}
+	if a.rng != nil && a.rng.Float64() >= a.t.Prob {
+		a.mu.Unlock()
+		return false
+	}
+	a.fired++
+	exhausted := a.t.Count > 0 && a.fired >= a.t.Count
+	a.mu.Unlock()
+	if exhausted {
+		f.state.CompareAndSwap(a, nil)
+	}
+	f.hits.Add(1)
+	// The fire lands on the run's Recorder when the site has one (so it
+	// folds into Report.Metrics), otherwise on the process recorder
+	// (expvar via the debug listener).
+	rec := obs.From(ctx)
+	if rec == nil {
+		rec = recorder.Load()
+	}
+	rec.Counter(obs.FaultTriggeredPrefix + f.name).Inc()
+	return true
+}
+
+// Inject evaluates the failpoint at an error-return site: it returns
+// the injected error (ModeError), panics (ModePanic), stalls and
+// returns nil (ModeDelay), or returns nil (disarmed, gated out, or a
+// byte-oriented mode that has no meaning here). ctx bounds a delay and
+// routes the fire counter; nil is accepted.
+func (f *Failpoint) Inject(ctx context.Context) error {
+	a := f.state.Load()
+	if a == nil {
+		return nil
+	}
+	return f.inject(ctx, a)
+}
+
+// inject is the armed slow path shared by Inject and InjectBytes.
+func (f *Failpoint) inject(ctx context.Context, a *armed) error {
+	if !f.fire(ctx, a) {
+		return nil
+	}
+	switch a.t.Mode {
+	case ModeError:
+		err := a.t.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		return &InjectedError{Name: f.name, Err: err}
+	case ModePanic:
+		msg := a.t.Message
+		if msg == "" {
+			msg = "fault: injected panic at " + f.name
+		}
+		panic(msg)
+	case ModeDelay:
+		f.sleep(ctx, a.t.Delay)
+	}
+	return nil
+}
+
+// InjectBytes evaluates the failpoint at a byte-buffer site — a frame
+// about to be written, a payload just read. ModeCorrupt flips one byte
+// of b in place; ModePartial returns a truncated prefix; the scalar
+// modes behave exactly as Inject. The (possibly shortened) buffer is
+// returned alongside any injected error.
+func (f *Failpoint) InjectBytes(ctx context.Context, b []byte) ([]byte, error) {
+	a := f.state.Load()
+	if a == nil {
+		return b, nil
+	}
+	switch a.t.Mode {
+	case ModeCorrupt:
+		if f.fire(ctx, a) && len(b) > 0 {
+			i := a.t.Arg
+			if i < 0 || i >= len(b) {
+				i = len(b) / 2
+			}
+			b[i] ^= 0x40
+		}
+		return b, nil
+	case ModePartial:
+		if f.fire(ctx, a) {
+			n := a.t.Arg
+			if n < 0 || n > len(b) {
+				n = len(b) / 2
+			}
+			return b[:n], nil
+		}
+		return b, nil
+	default:
+		return b, f.inject(ctx, a)
+	}
+}
+
+// sleep stalls for d or until ctx is done, whichever comes first.
+func (f *Failpoint) sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}
+
+// ---------------------------------------------------------------------
+// Registry
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]*Failpoint)
+	recorder atomic.Pointer[obs.Recorder]
+)
+
+// New registers a failpoint under name and returns it. Names are
+// dot-separated ("store.disk.save") and must be unique — a duplicate
+// registration panics, because two sites sharing a name would make
+// WSS_FAILPOINTS specs ambiguous. Call it from package-level var
+// declarations so every linked failpoint exists before main runs.
+func New(name string) *Failpoint {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("fault: duplicate failpoint " + name)
+	}
+	f := &Failpoint{name: name}
+	registry[name] = f
+	return f
+}
+
+// Lookup returns the registered failpoint, or nil.
+func Lookup(name string) *Failpoint {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return registry[name]
+}
+
+// Names lists every registered failpoint, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DisarmAll removes every installed trigger — the chaos suite's
+// between-schedules reset.
+func DisarmAll() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, f := range registry {
+		f.state.Store(nil)
+	}
+}
+
+// Arm installs a trigger on the named failpoint.
+func Arm(name string, t Trigger) error {
+	f := Lookup(name)
+	if f == nil {
+		return fmt.Errorf("fault: unknown failpoint %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	f.Arm(t)
+	return nil
+}
+
+// SetRecorder routes fires that happen at sites without a context
+// Recorder (the trace writer, for instance) to rec, so
+// fault.triggered.* counters still reach expvar and metrics dumps.
+func SetRecorder(rec *obs.Recorder) { recorder.Store(rec) }
+
+// ---------------------------------------------------------------------
+// Spec parsing
+
+// EnvVar is the environment variable ArmFromEnv reads.
+const EnvVar = "WSS_FAILPOINTS"
+
+// ArmSpec arms failpoints from a spec string: semicolon-separated
+// name=trigger pairs, e.g.
+//
+//	store.disk.save=error(disk full);trace.replay.chunk=1*corrupt
+//
+// Every named failpoint must be registered; the whole spec is validated
+// before any trigger is installed, so a typo arms nothing.
+func ArmSpec(spec string) error {
+	type pair struct {
+		fp *Failpoint
+		t  Trigger
+	}
+	var pairs []pair
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, raw, ok := strings.Cut(item, "=")
+		if !ok {
+			return fmt.Errorf("fault: spec item %q: want name=trigger", item)
+		}
+		name = strings.TrimSpace(name)
+		f := Lookup(name)
+		if f == nil {
+			return fmt.Errorf("fault: unknown failpoint %q (registered: %s)",
+				name, strings.Join(Names(), ", "))
+		}
+		t, err := ParseTrigger(strings.TrimSpace(raw))
+		if err != nil {
+			return fmt.Errorf("fault: failpoint %s: %w", name, err)
+		}
+		pairs = append(pairs, pair{f, t})
+	}
+	for _, p := range pairs {
+		p.fp.Arm(p.t)
+	}
+	return nil
+}
+
+// ArmFromEnv arms failpoints from the WSS_FAILPOINTS environment
+// variable via ArmSpec; an unset or empty variable arms nothing.
+// Binaries that want env-armed failpoints call it once at startup.
+func ArmFromEnv(getenv func(string) string) error {
+	if spec := getenv(EnvVar); spec != "" {
+		return ArmSpec(spec)
+	}
+	return nil
+}
+
+// ParseTrigger parses one trigger spec:
+//
+//	trigger  = [count "*"] [prob "%"] mode [ "(" arg ")" ] [ "@" after ]
+//	mode     = "off" | "error" | "panic" | "delay" | "corrupt" | "partial"
+//
+// count bounds how many times the trigger fires before self-disarming;
+// prob (an integer percentage) fires each evaluation with that chance;
+// @after skips the first after evaluations. The parenthesized arg is
+// the error message (error), panic value (panic), sleep duration
+// (delay, Go syntax: "50ms"), byte offset (corrupt) or kept-byte count
+// (partial). Examples:
+//
+//	error                  fail every evaluation with ErrInjected
+//	1*error(disk full)     fail once, with the given message
+//	25%delay(10ms)         stall 10ms with probability 0.25
+//	corrupt@2              flip a mid-buffer byte from the 3rd evaluation on
+//	2*partial(16)          twice, truncate the buffer to 16 bytes
+func ParseTrigger(spec string) (Trigger, error) {
+	t := Trigger{Arg: -1}
+	rest := spec
+	if i := strings.Index(rest, "*"); i >= 0 {
+		n, err := strconv.Atoi(rest[:i])
+		if err != nil || n <= 0 {
+			return t, fmt.Errorf("bad count in trigger %q", spec)
+		}
+		t.Count = n
+		rest = rest[i+1:]
+	}
+	if i := strings.Index(rest, "%"); i >= 0 {
+		p, err := strconv.Atoi(rest[:i])
+		if err != nil || p <= 0 || p > 100 {
+			return t, fmt.Errorf("bad probability in trigger %q", spec)
+		}
+		t.Prob = float64(p) / 100
+		rest = rest[i+1:]
+	}
+	if i := strings.LastIndex(rest, "@"); i >= 0 {
+		n, err := strconv.Atoi(rest[i+1:])
+		if err != nil || n < 0 {
+			return t, fmt.Errorf("bad @after in trigger %q", spec)
+		}
+		t.After = n
+		rest = rest[:i]
+	}
+	mode := rest
+	arg := ""
+	if i := strings.Index(rest, "("); i >= 0 {
+		if !strings.HasSuffix(rest, ")") {
+			return t, fmt.Errorf("unclosed argument in trigger %q", spec)
+		}
+		mode, arg = rest[:i], rest[i+1:len(rest)-1]
+	}
+	switch mode {
+	case "off":
+		t.Mode = ModeOff
+	case "error":
+		t.Mode = ModeError
+		if arg != "" {
+			t.Err = errors.New(arg)
+		}
+	case "panic":
+		t.Mode = ModePanic
+		t.Message = arg
+	case "delay":
+		t.Mode = ModeDelay
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return t, fmt.Errorf("bad delay duration %q in trigger %q", arg, spec)
+		}
+		t.Delay = d
+	case "corrupt", "partial":
+		if mode == "corrupt" {
+			t.Mode = ModeCorrupt
+		} else {
+			t.Mode = ModePartial
+		}
+		if arg != "" {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 0 {
+				return t, fmt.Errorf("bad byte argument %q in trigger %q", arg, spec)
+			}
+			t.Arg = n
+		}
+	default:
+		return t, fmt.Errorf("unknown mode %q in trigger %q (valid: off, error, panic, delay, corrupt, partial)", mode, spec)
+	}
+	return t, nil
+}

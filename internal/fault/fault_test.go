@@ -1,0 +1,334 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"wsstudy/internal/obs"
+)
+
+// fp declares the test failpoints once; New panics on duplicates, so
+// tests share these and re-arm per case.
+var (
+	fpErr   = New("test.error")
+	fpBytes = New("test.bytes")
+	fpGate  = New("test.gate")
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	fpErr.Disarm()
+	if err := fpErr.Inject(context.Background()); err != nil {
+		t.Fatalf("disarmed Inject = %v, want nil", err)
+	}
+	b := []byte{1, 2, 3}
+	got, err := fpBytes.InjectBytes(nil, b)
+	if err != nil || len(got) != 3 || got[1] != 2 {
+		t.Fatalf("disarmed InjectBytes = %v, %v", got, err)
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	defer fpErr.Disarm()
+	fpErr.Arm(Trigger{Mode: ModeError})
+	err := fpErr.Inject(nil)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Inject = %v, want ErrInjected", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Name != "test.error" {
+		t.Fatalf("error %v does not carry the failpoint name", err)
+	}
+
+	custom := errors.New("disk full")
+	fpErr.Arm(Trigger{Mode: ModeError, Err: custom})
+	if err := fpErr.Inject(nil); !errors.Is(err, custom) {
+		t.Fatalf("Inject = %v, want wrapped custom error", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	defer fpErr.Disarm()
+	fpErr.Arm(Trigger{Mode: ModePanic, Message: "boom"})
+	defer func() {
+		if v := recover(); v != "boom" {
+			t.Fatalf("recovered %v, want boom", v)
+		}
+	}()
+	fpErr.Inject(nil)
+	t.Fatal("Inject did not panic")
+}
+
+func TestDelayMode(t *testing.T) {
+	defer fpErr.Disarm()
+	fpErr.Arm(Trigger{Mode: ModeDelay, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := fpErr.Inject(context.Background()); err != nil {
+		t.Fatalf("delay Inject = %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay only stalled %v", d)
+	}
+	// A cancelled context cuts the stall short.
+	fpErr.Arm(Trigger{Mode: ModeDelay, Delay: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	fpErr.Inject(ctx)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled delay still stalled %v", d)
+	}
+}
+
+func TestCorruptAndPartial(t *testing.T) {
+	defer fpBytes.Disarm()
+	fpBytes.Arm(Trigger{Mode: ModeCorrupt, Arg: 1})
+	b := []byte{10, 20, 30}
+	got, err := fpBytes.InjectBytes(nil, b)
+	if err != nil {
+		t.Fatalf("corrupt InjectBytes err = %v", err)
+	}
+	if got[1] == 20 {
+		t.Fatal("corrupt mode did not flip the byte")
+	}
+	if got[0] != 10 || got[2] != 30 {
+		t.Fatal("corrupt mode touched other bytes")
+	}
+
+	fpBytes.Arm(Trigger{Mode: ModePartial, Arg: 2})
+	got, err = fpBytes.InjectBytes(nil, []byte{1, 2, 3, 4})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("partial InjectBytes = %v, %v, want 2 bytes", got, err)
+	}
+
+	// Negative Arg: mid-buffer flip / half truncation.
+	fpBytes.Arm(Trigger{Mode: ModePartial, Arg: -1})
+	got, _ = fpBytes.InjectBytes(nil, make([]byte, 8))
+	if len(got) != 4 {
+		t.Fatalf("partial(-1) kept %d of 8 bytes, want 4", len(got))
+	}
+}
+
+func TestCountDisarmsAfterFires(t *testing.T) {
+	defer fpGate.Disarm()
+	fpGate.Arm(Trigger{Mode: ModeError, Count: 2})
+	fails := 0
+	for i := 0; i < 5; i++ {
+		if fpGate.Inject(nil) != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("count=2 trigger fired %d times", fails)
+	}
+	if fpGate.Armed() {
+		t.Fatal("exhausted trigger did not disarm")
+	}
+}
+
+func TestAfterSkipsEvaluations(t *testing.T) {
+	defer fpGate.Disarm()
+	fpGate.Arm(Trigger{Mode: ModeError, After: 3, Count: 1})
+	var errAt = -1
+	for i := 0; i < 6; i++ {
+		if fpGate.Inject(nil) != nil {
+			errAt = i
+			break
+		}
+	}
+	if errAt != 3 {
+		t.Fatalf("after=3 trigger fired at evaluation %d, want 3", errAt)
+	}
+}
+
+func TestProbabilityIsSeededAndBounded(t *testing.T) {
+	defer fpGate.Disarm()
+	run := func(seed int64) int {
+		fpGate.Arm(Trigger{Mode: ModeError, Prob: 0.3, Seed: seed})
+		fails := 0
+		for i := 0; i < 1000; i++ {
+			if fpGate.Inject(nil) != nil {
+				fails++
+			}
+		}
+		return fails
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed fired %d then %d times; schedule not deterministic", a, b)
+	}
+	if a < 200 || a > 400 {
+		t.Fatalf("p=0.3 fired %d of 1000", a)
+	}
+}
+
+func TestHitsCountAndRecorder(t *testing.T) {
+	defer fpGate.Disarm()
+	rec := obs.New()
+	ctx := obs.With(context.Background(), rec)
+	before := fpGate.Hits()
+	fpGate.Arm(Trigger{Mode: ModeError, Count: 3})
+	for i := 0; i < 5; i++ {
+		fpGate.Inject(ctx)
+	}
+	if got := fpGate.Hits() - before; got != 3 {
+		t.Fatalf("Hits grew by %d, want 3", got)
+	}
+	if got := rec.Snapshot().Counter(obs.FaultTriggeredPrefix + "test.gate"); got != 3 {
+		t.Fatalf("fault.triggered.test.gate = %d, want 3", got)
+	}
+}
+
+func TestFallbackRecorder(t *testing.T) {
+	defer fpGate.Disarm()
+	defer SetRecorder(nil)
+	rec := obs.New()
+	SetRecorder(rec)
+	fpGate.Arm(Trigger{Mode: ModeError, Count: 1})
+	fpGate.Inject(nil) // no context recorder: falls back to the global one
+	if got := rec.Snapshot().Counter(obs.FaultTriggeredPrefix + "test.gate"); got != 1 {
+		t.Fatalf("fallback recorder saw %d fires, want 1", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if Lookup("test.error") != fpErr {
+		t.Fatal("Lookup did not find the registered failpoint")
+	}
+	if Lookup("no.such.point") != nil {
+		t.Fatal("Lookup invented a failpoint")
+	}
+	names := Names()
+	found := 0
+	for _, n := range names {
+		if n == "test.error" || n == "test.bytes" || n == "test.gate" {
+			found++
+		}
+	}
+	if found != 3 {
+		t.Fatalf("Names() = %v missing test failpoints", names)
+	}
+	if err := Arm("no.such.point", Trigger{Mode: ModeError}); err == nil {
+		t.Fatal("Arm of unknown failpoint succeeded")
+	}
+}
+
+func TestDisarmAll(t *testing.T) {
+	fpErr.Arm(Trigger{Mode: ModeError})
+	fpGate.Arm(Trigger{Mode: ModeError})
+	DisarmAll()
+	if fpErr.Armed() || fpGate.Armed() {
+		t.Fatal("DisarmAll left a trigger armed")
+	}
+}
+
+func TestParseTrigger(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Trigger
+	}{
+		{"off", Trigger{Mode: ModeOff, Arg: -1}},
+		{"error", Trigger{Mode: ModeError, Arg: -1}},
+		{"panic(boom)", Trigger{Mode: ModePanic, Message: "boom", Arg: -1}},
+		{"delay(50ms)", Trigger{Mode: ModeDelay, Delay: 50 * time.Millisecond, Arg: -1}},
+		{"corrupt", Trigger{Mode: ModeCorrupt, Arg: -1}},
+		{"corrupt(7)", Trigger{Mode: ModeCorrupt, Arg: 7}},
+		{"2*partial(16)", Trigger{Mode: ModePartial, Arg: 16, Count: 2}},
+		{"25%delay(10ms)", Trigger{Mode: ModeDelay, Delay: 10 * time.Millisecond, Prob: 0.25, Arg: -1}},
+		{"1*error(disk full)@2", Trigger{Mode: ModeError, Count: 1, After: 2, Arg: -1}},
+	}
+	for _, c := range cases {
+		got, err := ParseTrigger(c.spec)
+		if err != nil {
+			t.Fatalf("ParseTrigger(%q) = %v", c.spec, err)
+		}
+		gotErr := got.Err
+		got.Err = nil
+		if got != c.want {
+			t.Fatalf("ParseTrigger(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+		if c.spec == "1*error(disk full)@2" && (gotErr == nil || gotErr.Error() != "disk full") {
+			t.Fatalf("ParseTrigger(%q) lost the error message: %v", c.spec, gotErr)
+		}
+	}
+	for _, bad := range []string{
+		"", "=x", "explode", "delay", "delay(later)", "0*error", "200%error",
+		"corrupt(", "corrupt(-3)", "error@x",
+	} {
+		if _, err := ParseTrigger(bad); err == nil {
+			t.Fatalf("ParseTrigger(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	defer DisarmAll()
+	if err := ArmSpec("test.error=1*error(no space); test.bytes=corrupt(0)"); err != nil {
+		t.Fatalf("ArmSpec: %v", err)
+	}
+	if !fpErr.Armed() || !fpBytes.Armed() {
+		t.Fatal("ArmSpec did not arm both failpoints")
+	}
+	if err := fpErr.Inject(nil); err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed-from-spec Inject = %v", err)
+	}
+	// A bad name rejects the whole spec without arming anything.
+	DisarmAll()
+	if err := ArmSpec("test.error=error;bogus.name=error"); err == nil {
+		t.Fatal("ArmSpec accepted an unknown failpoint")
+	}
+	if fpErr.Armed() {
+		t.Fatal("failed ArmSpec still armed a failpoint")
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	defer DisarmAll()
+	env := map[string]string{EnvVar: "test.gate=error"}
+	if err := ArmFromEnv(func(k string) string { return env[k] }); err != nil {
+		t.Fatalf("ArmFromEnv: %v", err)
+	}
+	if !fpGate.Armed() {
+		t.Fatal("ArmFromEnv did not arm")
+	}
+	DisarmAll()
+	if err := ArmFromEnv(func(string) string { return "" }); err != nil {
+		t.Fatalf("empty env errored: %v", err)
+	}
+	if fpGate.Armed() {
+		t.Fatal("empty env armed something")
+	}
+}
+
+// TestDisarmedAllocs proves the production fast path allocates nothing.
+func TestDisarmedAllocs(t *testing.T) {
+	fpErr.Disarm()
+	ctx := context.Background()
+	b := make([]byte, 16)
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = fpErr.Inject(ctx)
+		b, _ = fpErr.InjectBytes(ctx, b)
+	}); n != 0 {
+		t.Fatalf("disarmed evaluation allocates %v times per run", n)
+	}
+}
+
+// BenchmarkDisarmed measures the disarmed fast path (one atomic load).
+func BenchmarkDisarmed(b *testing.B) {
+	fpErr.Disarm()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := fpErr.Inject(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleParseTrigger() {
+	t, _ := ParseTrigger("2*error(disk full)")
+	fmt.Println(t.Mode, t.Count, t.Err)
+	// Output: error 2 disk full
+}

@@ -62,10 +62,36 @@ const (
 	// the kernel (and record it). CaptureReplayedRefs counts references
 	// delivered from recordings — kernel work the suite did not repeat —
 	// and CaptureBytes counts encoded snapshot bytes committed.
+	// CaptureRerecords counts replays that failed before delivering
+	// anything and safely fell through to re-recording.
 	CaptureHits         = "capture.hits"
 	CaptureMisses       = "capture.misses"
 	CaptureReplayedRefs = "capture.refs.replayed"
 	CaptureBytes        = "capture.bytes"
+	CaptureRerecords    = "capture.rerecords"
+
+	// FaultTriggeredPrefix prefixes per-failpoint fire counters:
+	// "fault.triggered.<failpoint>" counts how often that injection site
+	// actually fired (internal/fault increments it on the run's Recorder
+	// when the site has one, else on the process recorder).
+	FaultTriggeredPrefix = "fault.triggered."
+	// CoreRetryAttempts counts re-attempts made by core.RetryPolicy
+	// across every caller (suite runner, store compute).
+	CoreRetryAttempts = "core.retry.attempts"
+	// SuiteRevived counts suite cells revived from a checkpoint journal
+	// instead of recomputed on a resumed run.
+	SuiteRevived = "suite.cells.revived"
+	// SuiteJournalErrors counts checkpoint-journal append failures the
+	// suite survived (the cell still completes; only its checkpoint is
+	// lost).
+	SuiteJournalErrors = "suite.journal.errors"
+	// StoreDegraded counts subsystem degradations in the result store
+	// (disk persistence or kernel-trace capture flipping to
+	// compute-without-cache).
+	StoreDegraded = "store.degraded"
+	// StoreQuarantined counts corrupt or schema-invalid persisted
+	// reports renamed to <name>.quarantine during disk revival.
+	StoreQuarantined = "store.quarantined"
 
 	// ServeRequests counts v1 API requests; ServeBusy counts the subset
 	// rejected with 429 under compute-slot saturation, ServeNotModified

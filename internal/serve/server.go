@@ -28,9 +28,15 @@ import (
 	"time"
 
 	"wsstudy/internal/core"
+	"wsstudy/internal/fault"
 	"wsstudy/internal/obs"
 	"wsstudy/internal/store"
 )
+
+// fpReport sits at the head of the report endpoint's store lookup —
+// the seam for exercising the 5xx mapping and error instrumentation
+// without faulting the store itself.
+var fpReport = fault.New("serve.report")
 
 // Config tunes a Server.
 type Config struct {
@@ -174,6 +180,13 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.requests.Inc()
+		if s.cfg.Recorder != nil {
+			// Request contexts carry the server recorder so seams that
+			// count on the context — the handler failpoints, most
+			// notably — land on the same recorder as the rest of the
+			// serve metrics.
+			r = r.WithContext(obs.With(r.Context(), s.cfg.Recorder))
+		}
 		if s.cfg.RequestTimeout > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 			defer cancel()
@@ -237,8 +250,28 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// healthResponse is the GET /healthz document: an overall verdict plus
+// the store's per-subsystem detail. "degraded" still answers 200 — the
+// server is serving, just without one of its caches — so liveness
+// probes don't restart a self-healing process; "down" (store closed)
+// answers 503.
+type healthResponse struct {
+	Status string       `json:"status"` // "ok" | "degraded" | "down"
+	Store  store.Health `json:"store"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	h := s.cfg.Store.Health()
+	resp := healthResponse{Status: "ok", Store: h}
+	status := http.StatusOK
+	if h.Disk.State == store.StateDegraded || h.Capture.State == store.StateDegraded {
+		resp.Status = "degraded"
+	}
+	if h.Closed {
+		resp.Status = "down"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }
 
 // requestOptions resolves ?scale= against the configured default.
@@ -319,6 +352,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if err := fpReport.Inject(r.Context()); err != nil {
+		s.writeStoreError(w, err)
+		return
+	}
 	res, err := s.cfg.Store.Get(r.Context(), e, opt)
 	if err != nil {
 		s.writeStoreError(w, err)

@@ -30,9 +30,21 @@ import (
 	"time"
 
 	"wsstudy/internal/capture"
-
 	"wsstudy/internal/core"
+	"wsstudy/internal/fault"
 	"wsstudy/internal/obs"
+	"wsstudy/internal/trace"
+)
+
+// The store's failpoints sit at its three failure seams: reading a
+// persisted rendering (error mode = an unreadable disk, corrupt mode =
+// a damaged file that must quarantine), writing one (error mode = a
+// full or read-only disk), and the computation itself (error mode fails
+// the flight; arm a Transient err to exercise the compute retry).
+var (
+	fpDiskLoad = fault.New("store.disk.load")
+	fpDiskSave = fault.New("store.disk.save")
+	fpCompute  = fault.New("store.compute")
 )
 
 // Key is a result's content address: SHA-256 over the experiment id,
@@ -40,17 +52,10 @@ import (
 type Key [sha256.Size]byte
 
 // KeyFor derives the content address of (experiment id, options).
-// Options that canonicalize identically — regardless of Timeout or
-// field order — always map to the same Key; bumping
-// core.ReportSchemaVersion changes every Key at once, invalidating
-// stale persisted renderings.
+// The derivation itself lives in core.ResultKey so the suite checkpoint
+// journal keys cells identically; see its doc for the invariants.
 func KeyFor(id string, opt core.Options) Key {
-	h := sha256.New()
-	fmt.Fprintf(h, "wsstudy.result;schema=%d;experiment=%s;%s",
-		core.ReportSchemaVersion, id, opt.Canonical())
-	var k Key
-	h.Sum(k[:0])
-	return k
+	return Key(core.ResultKey(id, opt))
 }
 
 // String is the lower-case hex form of the key (64 chars).
@@ -107,6 +112,14 @@ type Config struct {
 	// a kernel configuration replay one recorded reference stream
 	// instead of re-running the kernel.
 	CaptureBytes int64
+	// ComputeRetries is how many extra attempts a retryably classified
+	// compute failure gets under core.RetryPolicy before the flight
+	// fails (0 = 1 extra attempt; negative = none).
+	ComputeRetries int
+	// ProbeInterval is how long a degraded subsystem (disk persistence,
+	// kernel-trace capture) is bypassed before the next operation
+	// probes it again (0 = 30s).
+	ProbeInterval time.Duration
 }
 
 // Store is a content-addressed cache in front of core.Execute. Safe for
@@ -131,6 +144,10 @@ type Store struct {
 	flights  map[Key]*flight
 	waiters  int
 	inflight sync.WaitGroup
+
+	// disk and capt are the degradation state machines for the two
+	// optional caches; see health.go.
+	disk, capt *subsystem
 
 	hits, misses, coalesced, evictions, diskHits *obs.Counter
 	queueDepth, bytesGauge                       *obs.Gauge
@@ -172,12 +189,16 @@ func New(cfg Config) (*Store, error) {
 			return nil, fmt.Errorf("store: creating persistence dir: %w", err)
 		}
 	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 30 * time.Second
+	}
 	base, cancel := context.WithCancel(context.Background())
 	rec := cfg.Recorder
 	var capStore *capture.Store
 	if cfg.CaptureBytes >= 0 {
 		capStore = capture.New(cfg.CaptureBytes)
 	}
+	degraded := rec.Counter(obs.StoreDegraded)
 	return &Store{
 		cfg:         cfg,
 		slots:       make(chan struct{}, cfg.Slots),
@@ -185,6 +206,8 @@ func New(cfg Config) (*Store, error) {
 		cancel:      cancel,
 		entries:     make(map[Key]*lruEntry),
 		flights:     make(map[Key]*flight),
+		disk:        &subsystem{name: "disk", enabled: cfg.Dir != "", cooldown: cfg.ProbeInterval, counter: degraded},
+		capt:        &subsystem{name: "capture", enabled: capStore != nil, cooldown: cfg.ProbeInterval, counter: degraded},
 		hits:        rec.Counter(obs.StoreHits),
 		misses:      rec.Counter(obs.StoreMisses),
 		coalesced:   rec.Counter(obs.StoreCoalesced),
@@ -316,8 +339,45 @@ func (s *Store) compute(ctx context.Context, key Key, e core.Experiment, opt cor
 		return res, nil
 	}
 
+	// The run itself, under the shared RetryPolicy. Attempts execute on
+	// the store's root context (a flight outlives its leader's client),
+	// each bounded by opt.Timeout. A capture-replay failure degrades the
+	// capture subsystem so the retry — and every computation until a
+	// probe heals it — runs the kernel live instead of replaying.
+	attempts := s.cfg.ComputeRetries
+	switch {
+	case attempts == 0:
+		attempts = 2
+	case attempts < 0:
+		attempts = 1
+	default:
+		attempts++
+	}
 	start := time.Now()
-	rep, err := core.Execute(s.base, e, opt)
+	var rep *core.Report
+	_, err := core.RetryPolicy{MaxAttempts: attempts, Backoff: 50 * time.Millisecond}.Do(
+		s.base, func(int) error {
+			if err := fpCompute.Inject(s.base); err != nil {
+				return err
+			}
+			runCtx := s.base
+			captured := s.capt.available()
+			if !captured {
+				runCtx = capture.With(runCtx, nil)
+			}
+			r, err := core.Execute(runCtx, e, opt)
+			if err != nil {
+				if errors.Is(err, capture.ErrReplay) || errors.Is(err, trace.ErrCorrupt) {
+					s.capt.degrade(err.Error())
+				}
+				return err
+			}
+			if captured {
+				s.capt.heal()
+			}
+			rep = r
+			return nil
+		})
 	s.computeWall.Observe(time.Since(start))
 	if err != nil {
 		return nil, err
@@ -394,42 +454,81 @@ func (s *Store) diskPath(key Key) string {
 
 // loadDisk revives a persisted rendering: the JSON bytes are served
 // verbatim and the Report is rebuilt from the v1 schema so text and CSV
-// renderings still work. A wrong or corrupt file is ignored (the
-// experiment recomputes) rather than trusted.
+// renderings still work. The failure handling distinguishes three
+// cases: a missing file is a normal miss (and proof the disk answers —
+// it heals a degraded subsystem), a read error degrades the disk
+// subsystem (persistence is bypassed until a probe succeeds), and a
+// file that reads fine but does not parse as the current schema is
+// quarantined — renamed to <name>.quarantine so it stops shadowing the
+// key but stays on disk for inspection — and the experiment recomputes.
 func (s *Store) loadDisk(key Key, id string) (*Result, bool) {
-	if s.cfg.Dir == "" {
+	if !s.disk.available() {
 		return nil, false
 	}
 	raw, err := os.ReadFile(s.diskPath(key))
+	if err == nil {
+		raw, err = fpDiskLoad.InjectBytes(s.base, raw)
+	}
 	if err != nil {
+		if os.IsNotExist(err) {
+			s.disk.heal()
+			return nil, false
+		}
+		s.disk.degrade("load: " + err.Error())
 		return nil, false
 	}
 	var v core.ReportV1
-	if err := json.Unmarshal(raw, &v); err != nil || v.SchemaVersion != core.ReportSchemaVersion {
+	if jerr := json.Unmarshal(raw, &v); jerr != nil || v.SchemaVersion != core.ReportSchemaVersion {
+		s.quarantine(key)
 		return nil, false
 	}
+	s.disk.heal()
 	return &Result{Key: key, ID: id, Report: v.Report(), JSON: raw}, true
 }
 
-// saveDisk persists a result's rendering atomically (tmp + rename);
-// persistence is an optimization, so failures are swallowed.
+// quarantine moves a corrupt or schema-stale persisted report aside so
+// it stops shadowing its key. The rename is atomic on the same
+// filesystem; a rename failure degrades the disk subsystem instead,
+// which equally stops the file from being consulted.
+func (s *Store) quarantine(key Key) {
+	path := s.diskPath(key)
+	if err := os.Rename(path, path+".quarantine"); err != nil {
+		s.disk.degrade("quarantine: " + err.Error())
+		return
+	}
+	s.cfg.Recorder.Counter(obs.StoreQuarantined).Inc()
+}
+
+// saveDisk persists a result's rendering atomically (tmp + rename).
+// Persistence is an optimization: a failure degrades the disk subsystem
+// (skipping further writes until a probe heals it) but never fails the
+// computation that produced res.
 func (s *Store) saveDisk(res *Result) {
-	if s.cfg.Dir == "" {
+	if !s.disk.available() {
+		return
+	}
+	if err := fpDiskSave.Inject(s.base); err != nil {
+		s.disk.degrade("save: " + err.Error())
 		return
 	}
 	tmp, err := os.CreateTemp(s.cfg.Dir, "tmp-*")
 	if err != nil {
+		s.disk.degrade("save: " + err.Error())
 		return
 	}
 	_, werr := tmp.Write(res.JSON)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
+		s.disk.degrade(fmt.Sprintf("save: write %v, close %v", werr, cerr))
 		return
 	}
 	if err := os.Rename(tmp.Name(), s.diskPath(res.Key)); err != nil {
 		os.Remove(tmp.Name())
+		s.disk.degrade("save: " + err.Error())
+		return
 	}
+	s.disk.heal()
 }
 
 // Close drains the store: new Gets fail with ErrClosed, in-flight

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"wsstudy/internal/fault"
 )
 
 // Binary trace serialization. Kernel runs at paper scale produce hundreds
@@ -68,6 +70,17 @@ const (
 // ErrCorrupt is wrapped by every *CorruptError, so callers can classify
 // trace integrity failures with errors.Is(err, ErrCorrupt).
 var ErrCorrupt = errors.New("trace: corrupt trace")
+
+// Failpoints at the WST2 framing seams, evaluated once per ~32 KiB
+// chunk (never per reference, so the disarmed cost stays off the hot
+// path). fpWriteChunk fires after the CRC is computed, so corrupt and
+// partial modes produce exactly what bad storage would: a frame whose
+// checksum no longer matches, or a torn tail. fpReplayChunk damages the
+// freshly read payload before verification, proving the CRC catches it.
+var (
+	fpWriteChunk  = fault.New("trace.write.chunk")
+	fpReplayChunk = fault.New("trace.replay.chunk")
+)
 
 // CorruptError reports a deterministic integrity failure while decoding a
 // binary trace: truncation, a checksum mismatch, or a malformed frame.
@@ -283,11 +296,19 @@ func (t *Writer) sealChunk() {
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(t.chunk)))
 	binary.LittleEndian.PutUint32(hdr[4:8], t.chunkRec)
 	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(t.chunk, crcTable))
+	// Injected write faults: the header (with its already-computed CRC)
+	// still goes out, then the payload is corrupted, truncated, or the
+	// write errors — the storage failures WST2's framing exists to catch.
+	payload, ferr := fpWriteChunk.InjectBytes(nil, t.chunk)
+	if ferr != nil {
+		t.err = ferr
+		return
+	}
 	if _, err := t.w.Write(hdr[:]); err != nil {
 		t.err = err
 		return
 	}
-	if _, err := t.w.Write(t.chunk); err != nil {
+	if _, err := t.w.Write(payload); err != nil {
 		t.err = err
 		return
 	}
@@ -500,6 +521,16 @@ func replayV2(br *bufio.Reader, sink Consumer) (uint64, error) {
 					Reason: "truncated chunk payload"}
 			}
 			return count, err
+		}
+		// Injected read faults damage the payload after it left the
+		// source, exactly like a bad sector or a DMA bit-flip: corrupt
+		// mode is then caught by the CRC below, and error mode surfaces
+		// as the CorruptError a failed read would produce.
+		payload, ferr := fpReplayChunk.InjectBytes(nil, payload)
+		if ferr != nil {
+			flush()
+			return count, &CorruptError{Offset: offset, Records: count,
+				Reason: ferr.Error()}
 		}
 		if got := crc32.Checksum(payload, crcTable); got != wantCRC {
 			flush()

@@ -3,8 +3,17 @@ package trace
 import (
 	"context"
 
+	"wsstudy/internal/fault"
 	"wsstudy/internal/obs"
 )
+
+// fpPoll sits in the guard's cancellation poll — the seam every kernel
+// checks at the top of its long emission loops. Error mode makes a run
+// stop exactly as an expired deadline would (the kernel sees the
+// injected error from its next Canceled poll); delay mode stretches a
+// kernel's wall-clock without touching its statistics, which is how the
+// chaos suite manufactures slow runs for drain and timeout tests.
+var fpPoll = fault.New("trace.poll")
 
 // Stopper is implemented by consumers that can ask the kernel driving them
 // to stop early: a context guard whose deadline passed, or a trace writer
@@ -111,8 +120,13 @@ func (g *Guard) BeginEpoch(n int) {
 
 // Err reports the context's cancellation state, and after that the wrapped
 // consumer's own stop reason (so a Guard around a Writer still surfaces
-// write errors).
+// write errors). The fault framework hooks this poll: an armed
+// trace.poll failpoint can stall the kernel here or feed it an injected
+// stop reason.
 func (g *Guard) Err() error {
+	if err := fpPoll.Inject(g.ctx); err != nil {
+		return err
+	}
 	if err := g.ctx.Err(); err != nil {
 		return err
 	}
