@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR7.json
 
 .PHONY: check build vet fmt-check equivalence serve-smoke chaos-smoke test race fuzz bench bench-smoke
 
@@ -26,9 +26,11 @@ fmt-check:
 # Recorder attached, the same per-stage metric counters — as per-Ref
 # delivery for every kernel (see internal/core/equivalence_test.go).
 # The sharded fanout is held to Tee on every kernel (including under
-# GOMAXPROCS=1), and the parallel cache bank to the serial Bank.
+# GOMAXPROCS=1), the parallel cache bank to the serial Bank, and the
+# region-sharded machine engine to the serial memory system (bit-identical
+# statistics and run-to-run determinism, including under GOMAXPROCS=1).
 equivalence:
-	$(GO) test -short -run 'TestBlockEquivalence|TestFanoutMatchesTee|TestMetricsEquivalence|TestParallelBankMatchesSerialKernels' ./internal/core/
+	$(GO) test -short -run 'TestBlockEquivalence|TestFanoutMatchesTee|TestMetricsEquivalence|TestParallelBankMatchesSerialKernels|TestShardedMachineMatchesSerial|TestShardedDeterminism' ./internal/core/
 
 # Boot the real serving path (store + v1 API exactly as `wsstudy serve`
 # wires it), GET /v1/experiments and a report, assert 200 + valid JSON,
@@ -61,7 +63,7 @@ fuzz:
 # swing several percent run to run; compare medians, not single samples.
 bench:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkRefDelivery|BenchmarkFanout|BenchmarkFanoutScaling|BenchmarkSuiteTraceReuse|BenchmarkAblationLRUBank' \
+		-bench 'BenchmarkRefDelivery|BenchmarkFanout|BenchmarkFanoutScaling|BenchmarkSuiteTraceReuse|BenchmarkAblationLRUBank|BenchmarkDirectoryShardScaling|BenchmarkMemsysSharded' \
 		-benchmem -benchtime 10x -count 3 -json . > $(BENCH_OUT)
 	@grep -o '"Output":"[^"]*ns/op[^"]*"' $(BENCH_OUT) | head -40
 
@@ -69,5 +71,5 @@ bench:
 # compiles and runs end to end without paying for stable timings.
 bench-smoke:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkRefDelivery|BenchmarkFanout|BenchmarkFanoutScaling|BenchmarkSuiteTraceReuse|BenchmarkAblationLRUBank' \
+		-bench 'BenchmarkRefDelivery|BenchmarkFanout|BenchmarkFanoutScaling|BenchmarkSuiteTraceReuse|BenchmarkAblationLRUBank|BenchmarkDirectoryShardScaling|BenchmarkMemsysSharded' \
 		-benchtime 1x -count 1 . > /dev/null

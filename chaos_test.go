@@ -13,6 +13,7 @@ import (
 	"wsstudy/internal/capture"
 	"wsstudy/internal/core"
 	"wsstudy/internal/fault"
+	"wsstudy/internal/memsys"
 	"wsstudy/internal/trace"
 )
 
@@ -92,7 +93,61 @@ func chaosExperiments() []Experiment {
 			return r, nil
 		},
 	}
-	return []Experiment{model("chaos-a"), model("chaos-b"), kernel}
+	// machine drives a deterministic reference stream through the
+	// region-sharded memsys engine, so the shard-apply, shard-publish and
+	// barrier failpoints have a live pipeline to land in. Injected errors
+	// surface through Close and fail the run (nothing cached); injected
+	// delays must leave the statistics bit-identical to the fault-free
+	// baseline — the sharded engine's exactness guarantee under chaos.
+	machine := Experiment{
+		ID:    "chaos-machine",
+		Title: "chaos sharded machine",
+		Run: func(ctx context.Context, opt Options) (*Report, error) {
+			m, err := memsys.Open(memsys.Config{
+				PEs: 8, LineSize: 8, CacheCapacity: 64, Assoc: 1,
+				WarmupEpochs: 1, Shards: 3,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(7))
+			block := make([]trace.Ref, 256)
+			for epoch := 0; epoch < 3; epoch++ {
+				m.BeginEpoch(epoch)
+				for i := 0; i < 8; i++ {
+					for j := range block {
+						kind := trace.Read
+						if rng.Intn(4) == 0 {
+							kind = trace.Write
+						}
+						block[j] = trace.Ref{
+							PE:   rng.Intn(8),
+							Addr: uint64(rng.Intn(2048)) * 8,
+							Size: 8, Kind: kind,
+						}
+					}
+					m.Refs(block)
+				}
+			}
+			if err := m.Close(); err != nil {
+				return nil, err
+			}
+			st, ds := m.Stats(), m.DirectoryStats()
+			r := &Report{Title: "chaos sharded machine"}
+			r.Tables = append(r.Tables, Table{
+				Title:  "machine",
+				Header: []string{"stat", "value"},
+				Rows: [][]string{
+					{"local", fmt.Sprint(st.LocalMisses)},
+					{"remote", fmt.Sprint(st.RemoteMisses)},
+					{"invalidations", fmt.Sprint(ds.Invalidations)},
+					{"downgrades", fmt.Sprint(ds.Downgrades)},
+				},
+			})
+			return r, nil
+		},
+	}
+	return []Experiment{model("chaos-a"), model("chaos-b"), kernel, machine}
 }
 
 type chaosSink struct{ refs *uint64 }
@@ -120,6 +175,9 @@ func chaosPlan(t *testing.T, rng *rand.Rand) []string {
 		{"trace.write.chunk", []fault.Mode{fault.ModeCorrupt}},
 		{"trace.replay.chunk", []fault.Mode{fault.ModeCorrupt, fault.ModeDelay}},
 		{"core.execute", []fault.Mode{fault.ModeError, fault.ModePanic, fault.ModeDelay}},
+		{"coherence.shard.apply", []fault.Mode{fault.ModeError, fault.ModeDelay}},
+		{"memsys.shard.publish", []fault.Mode{fault.ModeError, fault.ModeDelay}},
+		{"memsys.barrier", []fault.Mode{fault.ModeError, fault.ModeDelay}},
 	}
 	var armed []string
 	for _, s := range sites {

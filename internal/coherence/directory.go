@@ -12,6 +12,7 @@ package coherence
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"wsstudy/internal/obs"
 )
@@ -21,64 +22,133 @@ import (
 // errors.Is.
 var ErrInvalidConfig = errors.New("coherence: invalid configuration")
 
-// PESet is a set of processor ids, implemented as a bit vector so protocol
-// state stays compact even with thousands of lines.
+// PESet is a set of processor ids. Most directory lines have one or two
+// sharers at any instant (a producer and a consumer), so the set starts in
+// an inline two-slot representation that allocates nothing; the third
+// distinct member spills to a bit vector sized for the full processor
+// count. At P=1024 the old eager bit vector cost 128 B per line before a
+// single sharer existed — the inline form is what keeps a paper-scale
+// directory resident.
 type PESet struct {
+	// s0 and s1 are the inline slots, storing pe+1 so zero means empty.
+	s0, s1 uint32
+	// n is the id bound [0, n) the spill vector must cover.
+	n int32
+	// words is the spilled bit vector; nil while the set is inline.
 	words []uint64
 }
 
 // NewPESet returns an empty set able to hold ids in [0, n).
 func NewPESet(n int) PESet {
-	return PESet{words: make([]uint64, (n+63)/64)}
+	return PESet{n: int32(n)}
+}
+
+// spill converts the inline representation to the bit vector, preserving
+// the current members.
+func (s *PESet) spill() {
+	s.words = make([]uint64, (int(s.n)+63)/64)
+	for _, v := range [2]uint32{s.s0, s.s1} {
+		if v != 0 {
+			pe := int(v - 1)
+			s.words[pe>>6] |= 1 << (uint(pe) & 63)
+		}
+	}
+	s.s0, s.s1 = 0, 0
 }
 
 // Add inserts pe into the set.
-func (s *PESet) Add(pe int) { s.words[pe>>6] |= 1 << (uint(pe) & 63) }
+func (s *PESet) Add(pe int) {
+	if s.words != nil {
+		s.words[pe>>6] |= 1 << (uint(pe) & 63)
+		return
+	}
+	v := uint32(pe) + 1
+	if s.s0 == v || s.s1 == v {
+		return
+	}
+	if s.s0 == 0 {
+		s.s0 = v
+		return
+	}
+	if s.s1 == 0 {
+		s.s1 = v
+		return
+	}
+	s.spill()
+	s.words[pe>>6] |= 1 << (uint(pe) & 63)
+}
 
 // Remove deletes pe from the set.
-func (s *PESet) Remove(pe int) { s.words[pe>>6] &^= 1 << (uint(pe) & 63) }
+func (s *PESet) Remove(pe int) {
+	if s.words != nil {
+		s.words[pe>>6] &^= 1 << (uint(pe) & 63)
+		return
+	}
+	v := uint32(pe) + 1
+	if s.s0 == v {
+		s.s0 = 0
+	}
+	if s.s1 == v {
+		s.s1 = 0
+	}
+}
 
 // Contains reports whether pe is in the set.
 func (s *PESet) Contains(pe int) bool {
-	return s.words[pe>>6]&(1<<(uint(pe)&63)) != 0
+	if s.words != nil {
+		return s.words[pe>>6]&(1<<(uint(pe)&63)) != 0
+	}
+	v := uint32(pe) + 1
+	return s.s0 == v || s.s1 == v
 }
 
-// Clear empties the set.
+// Clear empties the set and returns it to the allocation-free inline form
+// (a write retakes every line's sharer set, so clearing is the common path
+// back to the one-sharer state).
 func (s *PESet) Clear() {
-	for i := range s.words {
-		s.words[i] = 0
-	}
+	s.s0, s.s1 = 0, 0
+	s.words = nil
 }
 
 // Len counts the members.
 func (s *PESet) Len() int {
-	n := 0
-	for _, w := range s.words {
-		for ; w != 0; w &= w - 1 {
-			n++
+	if s.words != nil {
+		n := 0
+		for _, w := range s.words {
+			n += bits.OnesCount64(w)
 		}
+		return n
+	}
+	n := 0
+	if s.s0 != 0 {
+		n++
+	}
+	if s.s1 != 0 {
+		n++
 	}
 	return n
 }
 
 // ForEach calls f for every member in ascending order.
 func (s *PESet) ForEach(f func(pe int)) {
+	if s.words == nil {
+		a, b := s.s0, s.s1
+		if a != 0 && b != 0 && b < a {
+			a, b = b, a
+		}
+		if a != 0 {
+			f(int(a - 1))
+		}
+		if b != 0 {
+			f(int(b - 1))
+		}
+		return
+	}
 	for i, w := range s.words {
 		for ; w != 0; w &= w - 1 {
-			bit := w & (-w)
-			pe := i*64 + trailingZeros(bit)
-			f(pe)
+			f(i*64 + bits.TrailingZeros64(w))
 		}
 	}
-}
-
-func trailingZeros(w uint64) int {
-	n := 0
-	for w&1 == 0 {
-		w >>= 1
-		n++
-	}
-	return n
 }
 
 // lineState is the per-line directory entry. A line is Modified when dirty

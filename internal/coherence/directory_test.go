@@ -71,6 +71,105 @@ func TestPESetMatchesMap(t *testing.T) {
 	}
 }
 
+// TestPESetInlineAllocation pins the memory fix for large P: the old
+// representation allocated (P+63)/64 words the moment a set was created, so
+// at P=1024 every directory line cost 128 B before a single sharer existed.
+// The inline form must stay allocation-free through the common one- and
+// two-sharer states, spill exactly once at the third distinct member, and
+// return to the allocation-free form on Clear.
+func TestPESetInlineAllocation(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	const p = 1024
+
+	oneOrTwo := testing.AllocsPerRun(100, func() {
+		s := NewPESet(p)
+		s.Add(7)
+		s.Add(901)
+		if s.Len() != 2 {
+			t.Fatal("wrong Len")
+		}
+	})
+	if oneOrTwo != 0 {
+		t.Fatalf("one/two-sharer path allocates %.0f objects per set, want 0", oneOrTwo)
+	}
+
+	spilled := testing.AllocsPerRun(100, func() {
+		s := NewPESet(p)
+		s.Add(7)
+		s.Add(901)
+		s.Add(333) // third distinct member: spill to the bit vector
+		s.Add(12)
+		if s.Len() != 4 {
+			t.Fatal("wrong Len after spill")
+		}
+	})
+	if spilled != 1 {
+		t.Fatalf("spilled path allocates %.0f objects per set, want exactly 1 (the bit vector)", spilled)
+	}
+
+	// Clear returns to inline: a retaken line allocates nothing again.
+	retaken := testing.AllocsPerRun(100, func() {
+		s := NewPESet(p)
+		s.Add(1)
+		s.Add(2)
+		s.Add(3)
+		s.Clear()
+		s.Add(4)
+		if s.Len() != 1 {
+			t.Fatal("wrong Len after clear")
+		}
+	})
+	if retaken != 1 {
+		t.Fatalf("clear+retake allocates %.0f objects per set, want 1 (only the pre-clear spill)", retaken)
+	}
+}
+
+// TestPESetSpilledMatchesMap drives the set past the inline capacity so the
+// map-equivalence property also covers the spilled representation and the
+// inline->spill->Clear->inline round trip.
+func TestPESetSpilledMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const p = 257 // odd, >4 words, exercises the last partial word
+	s := NewPESet(p)
+	ref := map[int]bool{}
+	for i := 0; i < 20000; i++ {
+		pe := rng.Intn(p)
+		switch rng.Intn(8) {
+		case 0:
+			s.Remove(pe)
+			delete(ref, pe)
+		case 1:
+			if rng.Intn(50) == 0 {
+				s.Clear()
+				ref = map[int]bool{}
+			}
+		default:
+			s.Add(pe)
+			ref[pe] = true
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", i, s.Len(), len(ref))
+		}
+	}
+	prev := -1
+	s.ForEach(func(pe int) {
+		if !ref[pe] {
+			t.Fatalf("ForEach yielded %d, not in reference", pe)
+		}
+		if pe <= prev {
+			t.Fatalf("ForEach not ascending: %d after %d", pe, prev)
+		}
+		prev = pe
+	})
+	for pe := 0; pe < p; pe++ {
+		if s.Contains(pe) != ref[pe] {
+			t.Fatalf("Contains(%d) = %v, want %v", pe, s.Contains(pe), ref[pe])
+		}
+	}
+}
+
 func TestDirectoryInvalidatesOtherCopies(t *testing.T) {
 	c0 := cache.MustLRU(16, 8)
 	c1 := cache.MustLRU(16, 8)

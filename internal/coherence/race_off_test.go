@@ -1,0 +1,7 @@
+//go:build !race
+
+package coherence
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// assertions are skipped under it (instrumentation perturbs alloc counts).
+const raceEnabled = false

@@ -1,0 +1,154 @@
+package coherence
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"wsstudy/internal/cache"
+	"wsstudy/internal/fault"
+)
+
+// TestShardedDirectoryMatchesSerial routes one random transaction stream
+// through a serial Directory and through ShardedDirectory instances at
+// several widths; protocol stats, sharer counts, and dirty bits must agree
+// exactly at every width (a line's transactions all land on one shard in
+// stream order, so the partition cannot change any per-line outcome).
+func TestShardedDirectoryMatchesSerial(t *testing.T) {
+	const pes = 16
+	const lines = 512
+	type op struct {
+		pe    int
+		line  uint64
+		write bool
+	}
+	rng := rand.New(rand.NewSource(23))
+	ops := make([]op, 40000)
+	for i := range ops {
+		ops[i] = op{
+			pe:    rng.Intn(pes),
+			line:  uint64(rng.Intn(lines)),
+			write: rng.Intn(4) == 0,
+		}
+	}
+
+	newCaches := func() ([]Invalidator, []*cache.LRU) {
+		inv := make([]Invalidator, pes)
+		lrus := make([]*cache.LRU, pes)
+		for i := range inv {
+			lrus[i] = cache.MustLRU(32, 8)
+			inv[i] = lrus[i]
+		}
+		return inv, lrus
+	}
+
+	serialInv, serialLRUs := newCaches()
+	serial := MustDirectory(pes, 8, serialInv)
+	for _, o := range ops {
+		serialLRUs[o.pe].Access(o.line*8, !o.write)
+		if o.write {
+			serial.WriteLine(o.pe, o.line)
+		} else {
+			serial.ReadLine(o.pe, o.line)
+		}
+	}
+	want := serial.Stats()
+
+	for _, w := range []int{1, 2, 3, 7, 16} {
+		inv, lrus := newCaches()
+		sd, err := NewShardedDirectory(pes, 8, w, func(int) []Invalidator { return inv })
+		if err != nil {
+			t.Fatalf("W=%d: %v", w, err)
+		}
+		for _, o := range ops {
+			lrus[o.pe].Access(o.line*8, !o.write)
+			if o.write {
+				sd.WriteLine(o.pe, o.line)
+			} else {
+				sd.ReadLine(o.pe, o.line)
+			}
+		}
+		if got := sd.Stats(); got != want {
+			t.Fatalf("W=%d: stats = %+v, want %+v", w, got, want)
+		}
+		for line := uint64(0); line < lines; line++ {
+			addr := line * 8
+			if sd.Sharers(addr) != serial.Sharers(addr) || sd.IsDirty(addr) != serial.IsDirty(addr) {
+				t.Fatalf("W=%d line %d: sharers/dirty diverge from serial", w, line)
+			}
+		}
+		for pe := range lrus {
+			if lrus[pe].Stats() != serialLRUs[pe].Stats() {
+				t.Fatalf("W=%d pe %d: cache stats diverge", w, pe)
+			}
+		}
+		sd.ResetStats()
+		if got := sd.Stats(); got != (Stats{}) {
+			t.Fatalf("W=%d: stats after reset = %+v", w, got)
+		}
+		if sd.Sharers(0) != serial.Sharers(0) {
+			t.Fatalf("W=%d: ResetStats lost directory state", w)
+		}
+	}
+}
+
+// TestShardOfPartition checks the routing invariants the engine depends on:
+// the hash is a pure function of the line, always in range, and spreads a
+// dense line sequence across every shard rather than serializing on one.
+func TestShardOfPartition(t *testing.T) {
+	sd, err := NewShardedDirectory(4, 8, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, sd.Shards())
+	for line := uint64(0); line < 10000; line++ {
+		s := sd.ShardOf(line)
+		if s < 0 || s >= sd.Shards() {
+			t.Fatalf("ShardOf(%d) = %d out of range", line, s)
+		}
+		if s != sd.ShardOf(line) {
+			t.Fatalf("ShardOf(%d) not stable", line)
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d received no lines from a dense sequence", s)
+		}
+		if n > 2*10000/sd.Shards() {
+			t.Fatalf("shard %d received %d of 10000 lines — hash is clumping", s, n)
+		}
+	}
+}
+
+func TestShardedDirectoryValidation(t *testing.T) {
+	for _, w := range []int{0, -3} {
+		if _, err := NewShardedDirectory(4, 8, w, nil); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("shards=%d: err = %v, want ErrInvalidConfig", w, err)
+		}
+	}
+	if _, err := NewShardedDirectory(0, 8, 2, nil); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("zero PEs: err = %v, want ErrInvalidConfig", err)
+	}
+}
+
+// TestShardApplyFailpoint exercises the coherence.shard.apply seam: disarmed
+// it is silent, armed in error mode it surfaces fault.ErrInjected.
+func TestShardApplyFailpoint(t *testing.T) {
+	defer fault.DisarmAll()
+	sd, err := NewShardedDirectory(2, 8, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := sd.CheckApply(ctx); err != nil {
+		t.Fatalf("disarmed CheckApply = %v, want nil", err)
+	}
+	if err := fault.Arm("coherence.shard.apply", fault.Trigger{Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.CheckApply(ctx); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("armed CheckApply = %v, want ErrInjected", err)
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"wsstudy/internal/apps/barneshut"
 	"wsstudy/internal/apps/volrend"
 	"wsstudy/internal/memsys"
-	"wsstudy/internal/obs"
 	"wsstudy/internal/trace"
 	"wsstudy/internal/workingset"
 )
@@ -20,13 +19,13 @@ import (
 
 // runBHConcrete runs a Barnes-Hut configuration under ctx against concrete
 // per-PE caches and returns PE 1's read miss rate.
-func runBHConcrete(ctx context.Context, n, steps, warm, capacityLines, assoc int, lineSize uint32) (float64, error) {
+func runBHConcrete(ctx context.Context, o Options, n, steps, warm, capacityLines, assoc int, lineSize uint32) (float64, error) {
 	bodies := barneshut.Plummer(n, 42)
-	sys := memsys.MustNew(memsys.Config{
+	sys := openMachine(ctx, o, memsys.Config{
 		PEs: 4, LineSize: lineSize, CacheCapacity: capacityLines, Assoc: assoc,
 		ProfilePE: -1, WarmupEpochs: warm,
 	})
-	sys.Instrument(obs.From(ctx))
+	defer sys.Close()
 	sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
 		Theta: 1.0, Quadrupole: true, Eps: 0.05, DT: 0.003, P: 4,
 	}, trace.WithContext(ctx, sys))
@@ -37,6 +36,9 @@ func runBHConcrete(ctx context.Context, n, steps, warm, capacityLines, assoc int
 		if _, err := sim.Step(); err != nil {
 			return 0, err
 		}
+	}
+	if err := sys.Close(); err != nil {
+		return 0, err
 	}
 	st := sys.Cache(1).Stats()
 	return st.ReadMissRate(), nil
@@ -69,7 +71,7 @@ func expAssoc() Experiment {
 			for _, a := range assocs {
 				series := Series{Label: a.label}
 				for _, bytes := range sizes {
-					rate, err := runBHConcrete(ctx, n, steps, warm, int(bytes/8), a.ways, 8)
+					rate, err := runBHConcrete(ctx, o, n, steps, warm, int(bytes/8), a.ways, 8)
 					if err != nil {
 						return nil, err
 					}
@@ -117,7 +119,7 @@ func expLineSize() Experiment {
 
 			bh := Series{Label: "Barnes-Hut"}
 			for _, ls := range lineSizes {
-				rate, err := runBHConcrete(ctx, bhN, frames, 1, int(cacheBytes/int(ls)), 0, ls)
+				rate, err := runBHConcrete(ctx, o, bhN, frames, 1, int(cacheBytes/int(ls)), 0, ls)
 				if err != nil {
 					return nil, err
 				}
@@ -129,22 +131,26 @@ func expLineSize() Experiment {
 			vr := Series{Label: "volume rendering"}
 			for _, ls := range lineSizes {
 				vol := volrend.SyntheticHead(volEdge, volEdge, volEdge*7/8)
-				sys := memsys.MustNew(memsys.Config{
+				sys := openMachine(ctx, o, memsys.Config{
 					PEs: 4, LineSize: ls, Dist: memsys.Interleaved,
 					CacheCapacity: int(cacheBytes / int(ls)), ProfilePE: -1,
 					WarmupEpochs: 1,
 				})
-				sys.Instrument(obs.From(ctx))
 				ren, err := volrend.NewRenderer(vol, volrend.Config{
 					ImageW: img, ImageH: img, P: 4,
 				}, trace.WithContext(ctx, sys))
 				if err != nil {
+					sys.Close()
 					return nil, err
 				}
 				for f := 0; f < 3; f++ {
 					if _, err := ren.RenderFrame(0.04 * float64(f)); err != nil {
+						sys.Close()
 						return nil, err
 					}
+				}
+				if err := sys.Close(); err != nil {
+					return nil, err
 				}
 				st := sys.Cache(0).Stats()
 				vr.Points = append(vr.Points, workingset.Point{

@@ -6,7 +6,6 @@ import (
 
 	"wsstudy/internal/apps/barneshut"
 	"wsstudy/internal/memsys"
-	"wsstudy/internal/obs"
 	"wsstudy/internal/trace"
 	"wsstudy/internal/workingset"
 )
@@ -35,22 +34,26 @@ func expBus() Experiment {
 			var rows [][]string
 			for _, bytes := range sizes {
 				bodies := barneshut.Plummer(n, 42)
-				sys := memsys.MustNew(memsys.Config{
+				sys := openMachine(ctx, o, memsys.Config{
 					PEs: 4, LineSize: lineSize,
 					CacheCapacity: int(bytes / lineSize), ProfilePE: -1,
 					WarmupEpochs: 1,
 				})
-				sys.Instrument(obs.From(ctx))
 				sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
 					Theta: 1.0, Quadrupole: true, Eps: 0.05, DT: 0.003, P: 4,
 				}, trace.WithContext(ctx, sys))
 				if err != nil {
+					sys.Close()
 					return nil, err
 				}
 				for s := 0; s < steps; s++ {
 					if _, err := sim.Step(); err != nil {
+						sys.Close()
 						return nil, err
 					}
+				}
+				if err := sys.Close(); err != nil {
+					return nil, err
 				}
 				st := sys.Cache(1).Stats()
 				traffic := float64(st.Misses()+st.Writebacks) * lineSize

@@ -22,7 +22,11 @@ const canonVersion = 1
 // excluded: a deadline bounds how long a run may take, but experiments
 // are deterministic, so it cannot change the content of a report that
 // completes — and excluding it lets a request with a 30s budget reuse a
-// result computed under a 5m one.
+// result computed under a 5m one. MachineShards is excluded for the same
+// reason: the sharded engine is bit-identical to the serial one (the
+// equivalence suite enforces it), so the shard count can only change
+// wall-clock behaviour, never a report — a result computed serially is
+// valid for a sharded request and vice versa.
 func (o Options) Canonical() string {
 	fields := map[string]string{
 		"scale": o.Scale.String(),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"reflect"
 	"runtime"
@@ -123,7 +124,7 @@ type profSnapshot struct {
 	Sys          memsys.Stats
 }
 
-func profSnap(sys *memsys.System, pe int, caps []int) profSnapshot {
+func profSnap(sys memsys.Machine, pe int, caps []int) profSnapshot {
 	p := sys.Profiler(pe)
 	return profSnapshot{
 		Curve: p.Curve(caps),
@@ -132,7 +133,7 @@ func profSnap(sys *memsys.System, pe int, caps []int) profSnapshot {
 		CohR:  func() uint64 { r, _ := p.CoherenceMisses(); return r }(),
 		CohW:  func() uint64 { _, w := p.CoherenceMisses(); return w }(),
 		Reads: p.Reads(), Writes: p.Writes(),
-		Dir: sys.Directory().Stats(),
+		Dir: sys.DirectoryStats(),
 		Sys: sys.Stats(),
 	}
 }
@@ -144,8 +145,8 @@ type cacheSnapshot struct {
 	Sys    memsys.Stats
 }
 
-func cacheSnap(sys *memsys.System) cacheSnapshot {
-	s := cacheSnapshot{Dir: sys.Directory().Stats(), Sys: sys.Stats()}
+func cacheSnap(sys memsys.Machine) cacheSnapshot {
+	s := cacheSnapshot{Dir: sys.DirectoryStats(), Sys: sys.Stats()}
 	for pe := 0; pe < sys.PEs(); pe++ {
 		s.Caches = append(s.Caches, sys.Cache(pe).Stats())
 	}
@@ -283,6 +284,116 @@ func TestFanoutMatchesTee(t *testing.T) {
 			fanoutVsTee(t, k, sharded)
 		})
 	}
+}
+
+// runSharded runs a kernel into a machine opened with the given shard
+// count and closes it — draining the shard pipeline — before snapshots.
+func runSharded(t *testing.T, k kernelCase, cfg memsys.Config, shards int) memsys.Machine {
+	t.Helper()
+	cfg.Shards = shards
+	m, err := memsys.Open(cfg)
+	if err != nil {
+		t.Fatalf("open (shards=%d): %v", shards, err)
+	}
+	k.run(t, m)
+	if err := m.Close(); err != nil {
+		t.Fatalf("close (shards=%d): %v", shards, err)
+	}
+	return m
+}
+
+// shardedVsSerial runs one kernel through the serial engine and through the
+// region-sharded engine at the given shard count, under both the stack
+// profiler and concrete direct-mapped caches, and demands bit-identical
+// statistics — the machine-level face of the sharding invariant.
+func shardedVsSerial(t *testing.T, k kernelCase, shards int) {
+	t.Helper()
+	caps := []int{8, 64, 512, 4096}
+	profCfg := memsys.Config{
+		PEs: 4, LineSize: 8, Profile: true, ProfilePE: 1, WarmupEpochs: k.warm,
+	}
+	serial := profSnap(runPath(t, k, profCfg, mkNative), 1, caps)
+	shard := profSnap(runSharded(t, k, profCfg, shards), 1, caps)
+	if !reflect.DeepEqual(shard, serial) {
+		t.Errorf("profiler: sharded machine (W=%d) diverged from serial\nsharded: %+v\nserial:  %+v", shards, shard, serial)
+	}
+
+	dmCfg := memsys.Config{
+		PEs: 4, LineSize: 8, CacheCapacity: 256, Assoc: 1, WarmupEpochs: k.warm,
+	}
+	serialDM := cacheSnap(runPath(t, k, dmCfg, mkNative))
+	shardDM := cacheSnap(runSharded(t, k, dmCfg, shards))
+	if !reflect.DeepEqual(shardDM, serialDM) {
+		t.Errorf("direct-mapped: sharded machine (W=%d) diverged from serial\nsharded: %+v\nserial:  %+v", shards, shardDM, serialDM)
+	}
+}
+
+// TestShardedMachineMatchesSerial proves the region-sharded memsys engine
+// bit-identical to the serial System for every kernel, at one shard (the
+// degenerate pipeline) and at three (so cross-shard invalidation mailboxes
+// and the merge order are exercised), and — because the shard rings must
+// block rather than spin — under GOMAXPROCS=1 explicitly.
+func TestShardedMachineMatchesSerial(t *testing.T) {
+	// Sequential subtest first: it pins GOMAXPROCS, and parallel subtests
+	// only start after the sequential ones (and the restore) finish.
+	t.Run("gomaxprocs=1", func(t *testing.T) {
+		old := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(old)
+		k := equivalenceKernels()[3] // barneshut: multi-epoch, order-sensitive
+		shardedVsSerial(t, k, 3)
+	})
+	for _, k := range equivalenceKernels() {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			t.Parallel()
+			shardedVsSerial(t, k, 1)
+			shardedVsSerial(t, k, 3)
+		})
+	}
+}
+
+// TestShardedDeterminism runs the same kernel through the sharded engine
+// twice and demands identical snapshots — scheduling of the shard workers
+// must never leak into results — and then runs the sharing1024 experiment
+// (which defaults to the sharded engine at P=1024) twice end to end and
+// demands byte-identical JSON reports.
+func TestShardedDeterminism(t *testing.T) {
+	t.Run("kernel", func(t *testing.T) {
+		t.Parallel()
+		k := equivalenceKernels()[3] // barneshut
+		cfg := memsys.Config{
+			PEs: 4, LineSize: 8, CacheCapacity: 256, Assoc: 1, WarmupEpochs: k.warm,
+		}
+		a := cacheSnap(runSharded(t, k, cfg, 3))
+		b := cacheSnap(runSharded(t, k, cfg, 3))
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("sharded machine is nondeterministic\nfirst:  %+v\nsecond: %+v", a, b)
+		}
+	})
+	t.Run("sharing1024", func(t *testing.T) {
+		t.Parallel()
+		e, ok := Find("sharing1024")
+		if !ok {
+			t.Fatal("sharing1024 not registered")
+		}
+		opt := Options{Scale: ScaleQuick, MachineShards: 3}
+		render := func() []byte {
+			rep, err := Execute(context.Background(), e, opt)
+			if err != nil {
+				t.Fatalf("sharing1024: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := rep.Render(&buf, FormatJSON); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			return buf.Bytes()
+		}
+		first := render()
+		second := render()
+		if !bytes.Equal(first, second) {
+			t.Errorf("sharing1024 reports differ between runs\nfirst:\n%s\nsecond:\n%s", first, second)
+		}
+	})
 }
 
 // bankDriver feeds a kernel's reference stream into a Bank-shaped sweep,

@@ -26,6 +26,19 @@ import (
 // octave.
 func sizesGrid() []uint64 { return workingset.LogSizes(64, 4<<20, 2) }
 
+// openMachine builds the simulated machine an experiment runs on, honoring
+// the run's -machine-shards override (zero keeps the serial engine; the
+// sharded engine is bit-identical, so results never depend on the choice),
+// and attaches run-scope observability. Callers must Close the machine —
+// it is the sharded engine's worker shutdown and failure-propagation
+// barrier — and forward a non-nil Close error into their Report.
+func openMachine(ctx context.Context, o Options, cfg memsys.Config) memsys.Machine {
+	cfg.Shards = o.MachineShards
+	m := memsys.MustOpen(cfg)
+	m.Instrument(obs.From(ctx))
+	return m
+}
+
 // profCurve converts a profiler's miss counts at the given byte sizes into
 // a normalized curve: misses divided by denom (FLOPs, or read count when
 // readRate is set).
@@ -93,15 +106,18 @@ func expFig2() Experiment {
 			}
 			m := lu.NewBlockMatrix(n, b, nil)
 			m.FillRandomDominant(1)
-			sys := memsys.MustNew(memsys.Config{
+			sys := openMachine(ctx, o, memsys.Config{
 				PEs: pr * pc, LineSize: 8, Profile: true, ProfilePE: pr*pc - 1,
 			})
-			sys.Instrument(obs.From(ctx))
+			defer sys.Close()
 			stats, err := lu.FactorTraced(m, lu.Grid{PR: pr, PC: pc},
 				trace.WithContext(ctx, sys))
 			if err != nil {
 				// The model figure and hierarchy table are already in r;
 				// return them as partial data alongside the error.
+				return r, err
+			}
+			if err := sys.Close(); err != nil {
 				return r, err
 			}
 			prof := sys.Profiler(pr*pc - 1)
@@ -147,10 +163,10 @@ func expFig4() Experiment {
 				n, p, iters, warm = 128, 4, 8, 2
 			}
 			px := int(math.Sqrt(float64(p)))
-			sys := memsys.MustNew(memsys.Config{
+			sys := openMachine(ctx, o, memsys.Config{
 				PEs: p, LineSize: 8, Profile: true, ProfilePE: p - 1, WarmupEpochs: warm,
 			})
-			sys.Instrument(obs.From(ctx))
+			defer sys.Close()
 			part, err := cg.NewPartition2D(n, px, p/px, nil)
 			if err != nil {
 				return nil, err
@@ -162,6 +178,9 @@ func expFig4() Experiment {
 			}
 			solver.SetB(b)
 			if _, err := solver.Solve(cg.Config{MaxIters: iters}); err != nil {
+				return r, err
+			}
+			if err := sys.Close(); err != nil {
 				return r, err
 			}
 			prof := sys.Profiler(p - 1)
@@ -213,13 +232,13 @@ func expFig5() Experiment {
 			}
 			simSizes := workingset.LogSizes(64, 1<<22, 2)
 			for _, radix := range []int{2, 8, 32} {
-				sys := memsys.MustNew(memsys.Config{
+				sys := openMachine(ctx, o, memsys.Config{
 					PEs: p, LineSize: 8, Profile: true, ProfilePE: pe,
 				})
-				sys.Instrument(obs.From(ctx))
 				f, err := fft.New(fft.Config{LogN: logN, P: p, InternalRadix: radix},
 					trace.WithContext(ctx, sys))
 				if err != nil {
+					sys.Close()
 					return nil, err
 				}
 				x := make([]complex128, 1<<logN)
@@ -228,6 +247,10 @@ func expFig5() Experiment {
 				}
 				f.SetInput(x)
 				if err := f.Run(); err != nil {
+					sys.Close()
+					return r, err
+				}
+				if err := sys.Close(); err != nil {
 					return r, err
 				}
 				sim.Series = append(sim.Series, profCurve(
@@ -270,12 +293,15 @@ func runBHTraced(ctx context.Context, n, p, steps int, theta float64, sink trace
 
 // runBH runs a traced Barnes-Hut configuration under ctx and returns the
 // profiler and the aggregate read count.
-func runBH(ctx context.Context, n, p, profPE, warm, steps int, theta float64) (*cache.StackProfiler, error) {
-	sys := memsys.MustNew(memsys.Config{
+func runBH(ctx context.Context, o Options, n, p, profPE, warm, steps int, theta float64) (*cache.StackProfiler, error) {
+	sys := openMachine(ctx, o, memsys.Config{
 		PEs: p, LineSize: 8, Profile: true, ProfilePE: profPE, WarmupEpochs: warm,
 	})
-	sys.Instrument(obs.From(ctx))
 	if err := runBHTraced(ctx, n, p, steps, theta, trace.WithContext(ctx, sys)); err != nil {
+		sys.Close()
+		return nil, err
+	}
+	if err := sys.Close(); err != nil {
 		return nil, err
 	}
 	return sys.Profiler(profPE), nil
@@ -293,7 +319,7 @@ func expFig6() Experiment {
 			if o.Scale == ScaleQuick {
 				n, steps = 256, 4
 			}
-			prof, err := runBH(ctx, n, 4, 1, 2, steps, 1.0)
+			prof, err := runBH(ctx, o, n, 4, 1, 2, steps, 1.0)
 			if err != nil {
 				return nil, err
 			}
@@ -340,19 +366,25 @@ func expFig6DM() Experiment {
 			// associative profiler plus one direct-mapped system per size.
 			// The systems share no state, so each gets its own Fanout worker
 			// instead of rerunning the N-body code per cache size.
-			faSys := memsys.MustNew(memsys.Config{
+			faSys := openMachine(ctx, o, memsys.Config{
 				PEs: p, LineSize: 8, Profile: true, ProfilePE: pe, WarmupEpochs: warm,
 			})
-			faSys.Instrument(obs.From(ctx))
 			sizes := workingset.LogSizes(1024, 1<<20, 1)
-			dmSys := make([]*memsys.System, len(sizes))
+			dmSys := make([]memsys.Machine, len(sizes))
+			defer func() {
+				faSys.Close()
+				for _, s := range dmSys {
+					if s != nil {
+						s.Close()
+					}
+				}
+			}()
 			consumers := []trace.Consumer{faSys}
 			for i, bytes := range sizes {
-				dmSys[i] = memsys.MustNew(memsys.Config{
+				dmSys[i] = openMachine(ctx, o, memsys.Config{
 					PEs: p, LineSize: 8, CacheCapacity: int(bytes / 8), Assoc: 1,
 					ProfilePE: -1, WarmupEpochs: warm,
 				})
-				dmSys[i].Instrument(obs.From(ctx))
 				consumers = append(consumers, dmSys[i])
 			}
 			fan, err := trace.NewFanout(consumers...)
@@ -369,6 +401,14 @@ func expFig6DM() Experiment {
 			// surfaces any consumer failure. Only then are stats safe to read.
 			if err := fan.Close(); err != nil {
 				return nil, err
+			}
+			if err := faSys.Close(); err != nil {
+				return nil, err
+			}
+			for _, s := range dmSys {
+				if err := s.Close(); err != nil {
+					return nil, err
+				}
 			}
 
 			prof := faSys.Profiler(pe)
@@ -431,11 +471,11 @@ func expFig7() Experiment {
 				nx, ny, nz, img, frames = 256, 256, 113, 384, 3
 			}
 			vol := volrend.SyntheticHead(nx, ny, nz)
-			sys := memsys.MustNew(memsys.Config{
+			sys := openMachine(ctx, o, memsys.Config{
 				PEs: 4, LineSize: 8, Dist: memsys.Interleaved,
 				Profile: true, ProfilePE: 0, WarmupEpochs: 1,
 			})
-			sys.Instrument(obs.From(ctx))
+			defer sys.Close()
 			ren, err := volrend.NewRenderer(vol, volrend.Config{
 				ImageW: img, ImageH: img, P: 4,
 			}, trace.WithContext(ctx, sys))
@@ -446,6 +486,9 @@ func expFig7() Experiment {
 				if _, err := ren.RenderFrame(0.04 * float64(f)); err != nil {
 					return nil, err
 				}
+			}
+			if err := sys.Close(); err != nil {
+				return nil, err
 			}
 			prof := sys.Profiler(0)
 

@@ -344,6 +344,13 @@ type Options struct {
 	// Timeout, when positive, bounds the experiment's run time. Execute
 	// derives a deadline-carrying context and maps expiry to ErrDeadline.
 	Timeout time.Duration
+	// MachineShards selects the simulated machine's engine: 0 the serial
+	// memory system, a positive count the region-sharded engine with that
+	// many directory shards. The sharded engine is bit-identical to the
+	// serial one, so — like Timeout — this is a non-semantic knob and is
+	// deliberately excluded from Canonical(): the same experiment at any
+	// shard count shares one result key.
+	MachineShards int
 }
 
 // Experiment is one reproducible artifact of the paper.
@@ -355,7 +362,7 @@ type Experiment struct {
 }
 
 // registry builds the experiment list and its id index exactly once; the
-// constructors are pure, so there is no reason to re-run all seventeen on
+// constructors are pure, so there is no reason to re-run all eighteen on
 // every Find.
 var registry = sync.OnceValue(func() *registryData {
 	d := &registryData{
@@ -363,7 +370,7 @@ var registry = sync.OnceValue(func() *registryData {
 			expFig2(), expFig4(), expFig5(), expFig6(), expFig6DM(), expFig7(),
 			expTable1(), expTable2(), expMachines(), expGrain(), expScalingBH(),
 			expCost(), expAssoc(), expLineSize(), expScalingAll(), expPhases(),
-			expBus(),
+			expBus(), expSharing1024(),
 		},
 	}
 	d.byID = make(map[string]Experiment, len(d.list))

@@ -1,0 +1,151 @@
+package memsys
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"wsstudy/internal/fault"
+	"wsstudy/internal/trace"
+)
+
+// feedShardedTrace drives a short deterministic trace with an epoch flip
+// (so memsys.barrier fires) through a fresh sharded machine and returns
+// the machine un-closed.
+func feedShardedTrace(t *testing.T) Machine {
+	t.Helper()
+	m := MustOpen(Config{
+		PEs: 4, LineSize: 8, CacheCapacity: 8, ProfilePE: -1,
+		WarmupEpochs: 1, Shards: 3,
+	})
+	randTrace(rand.New(rand.NewSource(9)), 4, 3000, 800, m)
+	return m
+}
+
+// TestShardedFailpointsSurfaceErrors arms each sharded-engine failpoint in
+// error mode and checks the contract: the run's statistics are still the
+// serial engine's exactly (an injected error never skips work or forks
+// state), while the failure surfaces through the Stopper poll and Close.
+func TestShardedFailpointsSurfaceErrors(t *testing.T) {
+	serial := MustOpen(Config{
+		PEs: 4, LineSize: 8, CacheCapacity: 8, ProfilePE: -1, WarmupEpochs: 1,
+	})
+	randTrace(rand.New(rand.NewSource(9)), 4, 3000, 800, serial)
+	want := serial.Stats()
+	wantDir := serial.DirectoryStats()
+
+	for _, name := range []string{
+		"coherence.shard.apply",
+		"memsys.shard.publish",
+		"memsys.barrier",
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer fault.DisarmAll()
+			if err := fault.Arm(name, fault.Trigger{Mode: fault.ModeError}); err != nil {
+				t.Fatal(err)
+			}
+			m := feedShardedTrace(t)
+			if err := trace.Canceled(m); !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("Canceled = %v, want ErrInjected via the Stopper poll", err)
+			}
+			st, ds := m.Stats(), m.DirectoryStats()
+			if err := m.Close(); !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("Close = %v, want ErrInjected", err)
+			}
+			if st != want || ds != wantDir {
+				t.Fatalf("injected %s changed statistics: %+v/%+v, want %+v/%+v",
+					name, st, ds, want, wantDir)
+			}
+			// Idempotent: a second Close still reports the recorded error.
+			if err := m.Close(); !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("second Close = %v, want ErrInjected", err)
+			}
+		})
+	}
+}
+
+// TestShardedFailpointDelayKeepsExactness arms delay mode at each seam —
+// skewing shard progress and stalling the driver — and checks the pipeline
+// still terminates with serial-identical statistics and no error.
+func TestShardedFailpointDelayKeepsExactness(t *testing.T) {
+	serial := MustOpen(Config{
+		PEs: 4, LineSize: 8, CacheCapacity: 8, ProfilePE: -1, WarmupEpochs: 1,
+	})
+	randTrace(rand.New(rand.NewSource(9)), 4, 3000, 800, serial)
+
+	for _, name := range []string{"coherence.shard.apply", "memsys.shard.publish", "memsys.barrier"} {
+		t.Run(name, func(t *testing.T) {
+			defer fault.DisarmAll()
+			if err := fault.Arm(name, fault.Trigger{
+				Mode: fault.ModeDelay, Delay: 500 * time.Microsecond, Prob: 0.3, Seed: 1,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			m := feedShardedTrace(t)
+			if m.Stats() != serial.Stats() || m.DirectoryStats() != serial.DirectoryStats() {
+				t.Fatalf("delay at %s changed statistics", name)
+			}
+			if err := m.Close(); err != nil {
+				t.Fatalf("Close after delay-only injection = %v, want nil", err)
+			}
+		})
+	}
+}
+
+// TestShardedRecoversAfterDisarm: a machine built after the fault is
+// disarmed behaves as if nothing happened.
+func TestShardedRecoversAfterDisarm(t *testing.T) {
+	if err := fault.Arm("memsys.shard.publish", fault.Trigger{Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	broken := feedShardedTrace(t)
+	if err := broken.Close(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("armed run Close = %v, want ErrInjected", err)
+	}
+	fault.DisarmAll()
+
+	clean := feedShardedTrace(t)
+	serial := MustOpen(Config{
+		PEs: 4, LineSize: 8, CacheCapacity: 8, ProfilePE: -1, WarmupEpochs: 1,
+	})
+	randTrace(rand.New(rand.NewSource(9)), 4, 3000, 800, serial)
+	if clean.Stats() != serial.Stats() {
+		t.Fatal("post-disarm machine diverges from serial")
+	}
+	if err := clean.Close(); err != nil {
+		t.Fatalf("post-disarm Close = %v, want nil", err)
+	}
+}
+
+// TestOpenValidation pins the factory contract: negative shard counts are
+// rejected, zero selects the serial engine, positive the sharded one.
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{PEs: 2, CacheCapacity: 4, ProfilePE: -1, Shards: -1}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("Shards=-1: err = %v, want ErrInvalidConfig", err)
+	}
+	m0, err := Open(Config{PEs: 2, CacheCapacity: 4, ProfilePE: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m0.(*System); !ok {
+		t.Fatalf("Shards=0: got %T, want *System", m0)
+	}
+	m1, err := Open(Config{PEs: 2, CacheCapacity: 4, ProfilePE: -1, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, ok := m1.(*Sharded)
+	if !ok {
+		t.Fatalf("Shards=2: got %T, want *Sharded", m1)
+	}
+	if sh.Shards() != 2 {
+		t.Fatalf("Shards() = %d, want 2", sh.Shards())
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w := DefaultShards(); w < 2 || w > 8 {
+		t.Fatalf("DefaultShards() = %d out of [2, 8]", w)
+	}
+}

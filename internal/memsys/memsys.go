@@ -70,6 +70,12 @@ type Config struct {
 	// sets; profiling one PE of a symmetric computation is cheaper and
 	// equivalent). -1 profiles every PE.
 	ProfilePE int
+	// Shards selects the engine Open builds: 0 is the serial System, a
+	// positive count is the region-sharded engine with that many
+	// directory shards. The sharded engine is bit-identical to the serial
+	// one — Shards changes wall-clock behaviour only, never a statistic —
+	// which is why it is excluded from core's canonical option encoding.
+	Shards int
 }
 
 // Stats aggregates the system-level classification of misses.
@@ -116,66 +122,135 @@ func (s *System) Instrument(rec *obs.Recorder) {
 	}
 }
 
-// New builds a System from cfg. All configuration errors wrap
-// ErrInvalidConfig (and, where a subsystem rejected the input, that
-// subsystem's own invalid-configuration sentinel).
-func New(cfg Config) (*System, error) {
+// normalize validates cfg and fills defaults; New and Open share it so the
+// serial and sharded engines accept exactly the same configurations.
+func normalize(cfg Config) (Config, error) {
 	if cfg.PEs <= 0 {
-		return nil, fmt.Errorf("%w: PEs must be positive, got %d", ErrInvalidConfig, cfg.PEs)
+		return cfg, fmt.Errorf("%w: PEs must be positive, got %d", ErrInvalidConfig, cfg.PEs)
 	}
 	if cfg.LineSize == 0 {
 		cfg.LineSize = 8
 	}
 	if cfg.LineSize&(cfg.LineSize-1) != 0 {
-		return nil, fmt.Errorf("%w: line size %d is not a power of two", ErrInvalidConfig, cfg.LineSize)
+		return cfg, fmt.Errorf("%w: line size %d is not a power of two", ErrInvalidConfig, cfg.LineSize)
 	}
 	if cfg.Extent == 0 {
 		cfg.Extent = 1 << 30
 	}
 	if cfg.Profile == (cfg.CacheCapacity > 0) {
-		return nil, fmt.Errorf("%w: exactly one of Profile or CacheCapacity must be set", ErrInvalidConfig)
+		return cfg, fmt.Errorf("%w: exactly one of Profile or CacheCapacity must be set", ErrInvalidConfig)
 	}
 	if cfg.CacheCapacity < 0 {
-		return nil, fmt.Errorf("%w: CacheCapacity must not be negative, got %d", ErrInvalidConfig, cfg.CacheCapacity)
+		return cfg, fmt.Errorf("%w: CacheCapacity must not be negative, got %d", ErrInvalidConfig, cfg.CacheCapacity)
 	}
 	if cfg.Assoc < 0 {
-		return nil, fmt.Errorf("%w: Assoc must not be negative, got %d", ErrInvalidConfig, cfg.Assoc)
+		return cfg, fmt.Errorf("%w: Assoc must not be negative, got %d", ErrInvalidConfig, cfg.Assoc)
 	}
 	if cfg.Profile && (cfg.ProfilePE < -1 || cfg.ProfilePE >= cfg.PEs) {
-		return nil, fmt.Errorf("%w: ProfilePE %d out of range [-1, %d)", ErrInvalidConfig, cfg.ProfilePE, cfg.PEs)
+		return cfg, fmt.Errorf("%w: ProfilePE %d out of range [-1, %d)", ErrInvalidConfig, cfg.ProfilePE, cfg.PEs)
 	}
-	s := &System{cfg: cfg, shift: lineShift(cfg.LineSize), measuring: cfg.WarmupEpochs == 0}
-	invalidators := make([]coherence.Invalidator, cfg.PEs)
+	if cfg.Shards < 0 {
+		return cfg, fmt.Errorf("%w: Shards must not be negative, got %d", ErrInvalidConfig, cfg.Shards)
+	}
+	return cfg, nil
+}
+
+// buildPEs constructs the per-processor machinery — concrete caches or
+// working-set profilers — plus the invalidator slice that wires them to a
+// directory. The serial and sharded engines share it so both simulate the
+// identical machine; cfg must already be normalized. Slots without a unit
+// (unprofiled PEs) stay nil in every returned slice.
+func buildPEs(cfg Config, measuring bool) (caches []cache.Cache, profilers []*cache.StackProfiler, inv []coherence.Invalidator, err error) {
+	inv = make([]coherence.Invalidator, cfg.PEs)
 	if cfg.Profile {
-		s.profilers = make([]*cache.StackProfiler, cfg.PEs)
+		profilers = make([]*cache.StackProfiler, cfg.PEs)
 		for pe := 0; pe < cfg.PEs; pe++ {
 			if cfg.ProfilePE >= 0 && pe != cfg.ProfilePE {
 				continue
 			}
-			p, err := cache.NewStackProfiler(cfg.LineSize)
-			if err != nil {
-				return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+			p, perr := cache.NewStackProfiler(cfg.LineSize)
+			if perr != nil {
+				return nil, nil, nil, fmt.Errorf("%w: %w", ErrInvalidConfig, perr)
 			}
-			p.SetMeasuring(s.measuring)
-			s.profilers[pe] = p
-			invalidators[pe] = p
+			p.SetMeasuring(measuring)
+			profilers[pe] = p
+			inv[pe] = p
 		}
-	} else {
-		s.caches = make([]cache.Cache, cfg.PEs)
-		for pe := 0; pe < cfg.PEs; pe++ {
-			var c cache.Cache
-			var err error
-			if cfg.Assoc > 0 {
-				c, err = cache.NewSetAssoc(cfg.CacheCapacity, cfg.Assoc, cfg.LineSize)
-			} else {
-				c, err = cache.NewLRU(cfg.CacheCapacity, cfg.LineSize)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
-			}
-			s.caches[pe] = c
-			invalidators[pe] = c
+		return nil, profilers, inv, nil
+	}
+	caches = make([]cache.Cache, cfg.PEs)
+	for pe := 0; pe < cfg.PEs; pe++ {
+		var c cache.Cache
+		var cerr error
+		if cfg.Assoc > 0 {
+			c, cerr = cache.NewSetAssoc(cfg.CacheCapacity, cfg.Assoc, cfg.LineSize)
+		} else {
+			c, cerr = cache.NewLRU(cfg.CacheCapacity, cfg.LineSize)
 		}
+		if cerr != nil {
+			return nil, nil, nil, fmt.Errorf("%w: %w", ErrInvalidConfig, cerr)
+		}
+		caches[pe] = c
+		inv[pe] = c
+	}
+	return caches, nil, inv, nil
+}
+
+// homeOf is the home-node map shared by both engines: the processor whose
+// local memory holds addr under cfg's distribution.
+func homeOf(cfg *Config, shift uint, addr uint64) int {
+	switch cfg.Dist {
+	case Interleaved:
+		return int((addr >> shift) % uint64(cfg.PEs))
+	default: // Blocked
+		per := cfg.Extent / uint64(cfg.PEs)
+		if per == 0 {
+			per = 1
+		}
+		pe := addr / per
+		if pe >= uint64(cfg.PEs) {
+			pe = uint64(cfg.PEs) - 1
+		}
+		return int(pe)
+	}
+}
+
+// accessPE touches one line in pe's cache or profiler and reports whether
+// it (certainly) missed; both engines classify misses through it. Profiled
+// PEs report misses only in the infinite-cache sense (cold or coherence),
+// since per-size misses are resolved after the fact. A PE with no unit
+// attached never misses.
+func accessPE(caches []cache.Cache, profilers []*cache.StackProfiler, pe int, addr uint64, read bool) bool {
+	if caches != nil {
+		return caches[pe].Access(addr, read).Miss()
+	}
+	p := profilers[pe]
+	if p == nil {
+		return false
+	}
+	coldR, coldW := p.ColdMisses()
+	cohR, cohW := p.CoherenceMisses()
+	before := coldR + coldW + cohR + cohW
+	p.Access(addr, 1, read)
+	coldR, coldW = p.ColdMisses()
+	cohR, cohW = p.CoherenceMisses()
+	return coldR+coldW+cohR+cohW > before
+}
+
+// New builds a serial System from cfg. All configuration errors wrap
+// ErrInvalidConfig (and, where a subsystem rejected the input, that
+// subsystem's own invalid-configuration sentinel). Open is the
+// engine-selecting factory; New always returns the serial engine.
+func New(cfg Config) (*System, error) {
+	cfg, err := normalize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, shift: lineShift(cfg.LineSize), measuring: cfg.WarmupEpochs == 0}
+	var invalidators []coherence.Invalidator
+	s.caches, s.profilers, invalidators, err = buildPEs(cfg, s.measuring)
+	if err != nil {
+		return nil, err
 	}
 	dir, err := coherence.NewDirectory(cfg.PEs, cfg.LineSize, invalidators)
 	if err != nil {
@@ -196,21 +271,7 @@ func MustNew(cfg Config) *System {
 
 // Home reports the processor whose local memory holds addr.
 func (s *System) Home(addr uint64) int {
-	line := addr >> s.shift
-	switch s.cfg.Dist {
-	case Interleaved:
-		return int(line % uint64(s.cfg.PEs))
-	default: // Blocked
-		per := s.cfg.Extent / uint64(s.cfg.PEs)
-		if per == 0 {
-			per = 1
-		}
-		pe := addr / per
-		if pe >= uint64(s.cfg.PEs) {
-			pe = uint64(s.cfg.PEs) - 1
-		}
-		return int(pe)
-	}
+	return homeOf(&s.cfg, s.shift, addr)
 }
 
 // Ref consumes one reference: the issuing PE's cache is accessed line by
@@ -266,24 +327,9 @@ func (s *System) refOne(r trace.Ref) {
 }
 
 // accessOne touches one line in the issuing PE's cache or profiler and
-// reports whether it (certainly) missed. Profiled PEs report misses only
-// in the infinite-cache sense (cold or coherence), since per-size misses
-// are resolved after the fact.
+// reports whether it (certainly) missed; see accessPE.
 func (s *System) accessOne(pe int, addr uint64, read bool) bool {
-	if s.cfg.Profile {
-		p := s.profilers[pe]
-		if p == nil {
-			return false
-		}
-		coldR, coldW := p.ColdMisses()
-		cohR, cohW := p.CoherenceMisses()
-		before := coldR + coldW + cohR + cohW
-		p.Access(addr, 1, read)
-		coldR, coldW = p.ColdMisses()
-		cohR, cohW = p.CoherenceMisses()
-		return coldR+coldW+cohR+cohW > before
-	}
-	return s.caches[pe].Access(addr, read).Miss()
+	return accessPE(s.caches, s.profilers, pe, addr, read)
 }
 
 // BeginEpoch advances the epoch counter and flips measurement on once the
@@ -340,6 +386,10 @@ func (s *System) CacheStats() cache.Stats {
 // Directory exposes the coherence directory (for protocol statistics).
 func (s *System) Directory() *coherence.Directory { return s.dir }
 
+// DirectoryStats returns the coherence protocol statistics. It is the
+// engine-neutral accessor Machine callers use instead of Directory().
+func (s *System) DirectoryStats() coherence.Stats { return s.dir.Stats() }
+
 // Stats returns the local/remote miss classification.
 func (s *System) Stats() Stats { return s.stats }
 
@@ -348,6 +398,10 @@ func (s *System) PEs() int { return s.cfg.PEs }
 
 // LineSize reports the configured line size.
 func (s *System) LineSize() uint32 { return s.cfg.LineSize }
+
+// Close satisfies Machine; the serial engine owns no goroutines, so it is
+// a no-op that never fails.
+func (s *System) Close() error { return nil }
 
 func lineShift(lineSize uint32) uint {
 	s := uint(0)
