@@ -1,16 +1,18 @@
 GO ?= go
 BENCH_OUT ?= BENCH_PR7.json
 
-.PHONY: check build vet fmt-check equivalence serve-smoke chaos-smoke test race fuzz bench bench-smoke
+.PHONY: check build vet fmt-check equivalence serve-smoke sweep-smoke chaos-smoke test race fuzz bench bench-smoke
 
 # Tier-1 gate: everything must build, `go vet ./...` clean, be
 # gofmt-formatted, pass under -race, the batched pipeline must remain
 # bit-identical to the legacy per-Ref path (short-mode equivalence run),
 # the v1 HTTP server must boot, answer /v1/experiments with valid
-# JSON, and drain (serve-smoke), the seeded chaos schedules must hold
-# their invariants with every failpoint test-covered (chaos-smoke), and
-# every benchmark must still run for one iteration (bench-smoke).
-check: build vet fmt-check race equivalence serve-smoke chaos-smoke bench-smoke
+# JSON, and drain (serve-smoke), a parameter-lattice sweep must run
+# end to end over HTTP including its grain advice (sweep-smoke), the
+# seeded chaos schedules must hold their invariants with every
+# failpoint test-covered (chaos-smoke), and every benchmark must still
+# run for one iteration (bench-smoke).
+check: build vet fmt-check race equivalence serve-smoke sweep-smoke chaos-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -38,13 +40,21 @@ equivalence:
 serve-smoke:
 	$(GO) test -race -count 1 -run TestServeSmoke ./cmd/wsstudy/
 
+# Boot the same serving path, POST a 2x2 gridlu lattice to /v1/sweeps,
+# poll the status resource to Done, and read the §8 grain advice — the
+# sweep surface end to end over HTTP.
+sweep-smoke:
+	$(GO) test -race -count 1 -run TestSweepSmoke ./cmd/wsstudy/
+
 # Seeded chaos schedules under -race (termination, no faulted result
 # cached, post-disarm recovery to the byte-exact fault-free baseline),
-# the SIGKILL crash-resume drill, and the failpoint lint (every
-# registered failpoint referenced by at least one test).
+# the SIGKILL crash-resume drills (suite journal and sweep lattice),
+# and the failpoint lint (every registered failpoint referenced by at
+# least one test).
 chaos-smoke:
 	$(GO) test -race -count 1 -run 'TestChaos|TestEveryFailpointExercised' .
 	$(GO) test -race -count 1 -run 'TestCrashResumeSIGKILL|TestSuiteResumesFromJournal' ./internal/core/
+	$(GO) test -race -count 1 -run TestSweepCrashResumeSIGKILL ./internal/sweep/
 
 test:
 	$(GO) test ./...

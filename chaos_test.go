@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"wsstudy/internal/core"
 	"wsstudy/internal/fault"
 	"wsstudy/internal/memsys"
+	"wsstudy/internal/sweep"
 	"wsstudy/internal/trace"
 )
 
@@ -156,6 +158,35 @@ func (s chaosSink) Ref(trace.Ref)      { *s.refs++ }
 func (s chaosSink) Refs(b []trace.Ref) { *s.refs += uint64(len(b)) }
 func (s chaosSink) BeginEpoch(int)     {}
 
+// chaosSweepSpec is the lattice the chaos storm drives through the
+// sweep engine: four analytic gridlu cells, cheap enough to land (or
+// fail and retry) many times per schedule.
+func chaosSweepSpec() SweepSpec {
+	return SweepSpec{Experiment: "gridlu", Scale: "quick", Axes: []SweepAxis{
+		{Field: "cache", Values: []string{"4096", "16384"}},
+		{Field: "pes", Values: []string{"16", "64"}},
+	}}
+}
+
+// waitSweep polls a sweep until its current pass settles (Done).
+func waitSweep(t *testing.T, eng *SweepEngine, id string) SweepStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, ok := eng.Get(id)
+		if !ok {
+			t.Fatalf("sweep %s vanished", id)
+		}
+		if st.Done {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never settled: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // chaosPlan arms a seeded random subset of the registered failpoints.
 // Panic injection is confined to core.execute, the one seam whose
 // caller (Execute) recovers panics by contract; everywhere else the
@@ -178,6 +209,7 @@ func chaosPlan(t *testing.T, rng *rand.Rand) []string {
 		{"coherence.shard.apply", []fault.Mode{fault.ModeError, fault.ModeDelay}},
 		{"memsys.shard.publish", []fault.Mode{fault.ModeError, fault.ModeDelay}},
 		{"memsys.barrier", []fault.Mode{fault.ModeError, fault.ModeDelay}},
+		{"sweep.cell.compute", []fault.Mode{fault.ModeError, fault.ModeDelay}},
 	}
 	var armed []string
 	for _, s := range sites {
@@ -226,6 +258,29 @@ func TestChaosSchedules(t *testing.T) {
 		}
 		baseline[e.ID] = res.JSON
 	}
+	// Fault-free sweep baseline: the per-cell summaries every recovered
+	// chaos sweep must reproduce.
+	sweepBase := map[string]*sweep.CellSummary{}
+	{
+		beng, err := NewSweepEngine(SweepConfig{Store: base})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := beng.Submit(chaosSweepSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fin := waitSweep(t, beng, st.ID)
+		if fin.Failed != 0 {
+			t.Fatalf("fault-free baseline sweep failed cells: %+v", fin)
+		}
+		for _, c := range fin.Cells {
+			sweepBase[c.Key] = c.Summary
+		}
+		if err := beng.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
 	if err := base.Close(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -247,6 +302,18 @@ func TestChaosSchedules(t *testing.T) {
 
 			armed := chaosPlan(t, rng)
 			t.Logf("schedule: %v", armed)
+
+			// A sweep rides the storm: its cells race the same faults
+			// (sweep.cell.compute included) as the direct Gets below.
+			eng, err := NewSweepEngine(SweepConfig{Store: st, Dir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			sw, err := eng.Submit(chaosSweepSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
 
 			// Storm phase: concurrent repeated Gets while the faults
 			// fire. Every error is acceptable; every success must be
@@ -282,6 +349,26 @@ func TestChaosSchedules(t *testing.T) {
 				}
 				if !bytes.Equal(res.JSON, baseline[e.ID]) {
 					t.Errorf("%s: post-recovery bytes diverge from the fault-free baseline", e.ID)
+				}
+			}
+
+			// Sweep recovery: cells the storm failed retry on
+			// re-submission; the converged lattice must match the
+			// fault-free baseline summaries cell for cell.
+			fin := waitSweep(t, eng, sw.ID)
+			for retries := 0; fin.Failed > 0; retries++ {
+				if retries > 20 {
+					t.Fatalf("sweep still failing cells after disarm: %+v", fin)
+				}
+				if _, err := eng.Submit(chaosSweepSpec()); err != nil {
+					t.Fatal(err)
+				}
+				fin = waitSweep(t, eng, sw.ID)
+			}
+			for _, c := range fin.Cells {
+				if !reflect.DeepEqual(c.Summary, sweepBase[c.Key]) {
+					t.Errorf("sweep cell %s: post-recovery summary %+v diverges from baseline %+v",
+						c.Canonical, c.Summary, sweepBase[c.Key])
 				}
 			}
 		})

@@ -7,6 +7,9 @@
 //	wsstudy verify               # audit every closed-form paper checkpoint
 //	wsstudy all [-quick]         # run everything (-resume journal: checkpointed, crash-resumable)
 //	wsstudy serve -addr :8080    # serve results over the v1 HTTP API
+//	wsstudy sweep -experiment gridlu -axis cache=4096,16384 -axis pes=64,256
+//	                             # run a parameter-lattice sweep (-resume dir
+//	                             # revives landed cells across crashes)
 //	wsstudy <id> [-quick]        # run one (fig2, fig4, fig5, fig6,
 //	                             # fig6dm, fig7, table1, table2,
 //	                             # machines, grain, scalingbh)
@@ -62,12 +65,17 @@ func run(args []string) error {
 	storeEntries := fs.Int("store-entries", 0, "serve: result-store LRU entry cap (0 = default 128)")
 	storeBytes := fs.Int64("store-bytes", 0, "serve: result-store byte budget (0 = default 64 MiB)")
 	storeDir := fs.String("store-dir", "", "serve: persist rendered reports in this directory")
+	sweepDir := fs.String("sweep-dir", "", "serve: sweep checkpoint-journal directory (default <store-dir>/sweeps)")
 	defaultScale := fs.String("default-scale", "quick", "serve: scale when a request has no ?scale= (quick|full)")
+	sweepExp := fs.String("experiment", "gridlu", "sweep: experiment to evaluate at every lattice cell")
+	var axes axisList
+	fs.Var(&axes, "axis", "sweep: one lattice axis as field=v1,v2,... (repeatable; fields: "+strings.Join(core.AxisFields(), ", ")+")")
+	dataBytes := fs.Uint64("data-bytes", 1<<30, "sweep: total problem size for the grain (perf-per-dollar) advice")
 	reqTimeout := fs.Duration("request-timeout", 0, "serve: per-request deadline (0 = none)")
 	computeLimit := fs.Duration("compute-timeout", 0, "serve: per-computation deadline (0 = none)")
 	drain := fs.Duration("drain", 30*time.Second, "serve: graceful-shutdown budget for in-flight runs")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: wsstudy [list|all|serve|<experiment-id>] [-quick] [-csv out.csv] [-timeout 2m] [-resume suite.journal] [-metrics out.json] [-progress] [-listen 127.0.0.1:6060] [-addr 127.0.0.1:8080]")
+		fmt.Fprintln(fs.Output(), "usage: wsstudy [list|all|serve|sweep|<experiment-id>] [-quick] [-csv out.csv] [-timeout 2m] [-resume suite.journal] [-metrics out.json] [-progress] [-listen 127.0.0.1:6060] [-addr 127.0.0.1:8080] [-axis field=v1,v2]")
 		fs.PrintDefaults()
 	}
 
@@ -151,10 +159,22 @@ func run(args []string) error {
 			entries:      *storeEntries,
 			maxBytes:     *storeBytes,
 			dir:          *storeDir,
+			sweepDir:     *sweepDir,
 			defaultScale: scale,
 			reqTimeout:   *reqTimeout,
 			computeLimit: *computeLimit,
 			drain:        *drain,
+		})
+	case "sweep":
+		return runSweep(ctx, rec, sweepParams{
+			experiment: *sweepExp,
+			axes:       axes,
+			scale:      scale,
+			resumeDir:  *resume,
+			slots:      *slots,
+			timeout:    *timeout,
+			dataBytes:  *dataBytes,
+			storeDir:   *storeDir,
 		})
 	default:
 		e, ok := core.Find(cmd)

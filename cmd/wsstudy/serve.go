@@ -8,10 +8,13 @@ import (
 	"syscall"
 	"time"
 
+	"path/filepath"
+
 	"wsstudy/internal/core"
 	"wsstudy/internal/obs"
 	"wsstudy/internal/serve"
 	"wsstudy/internal/store"
+	"wsstudy/internal/sweep"
 )
 
 // serveParams are the `wsstudy serve` knobs, split from flag parsing so
@@ -22,6 +25,7 @@ type serveParams struct {
 	entries      int
 	maxBytes     int64
 	dir          string
+	sweepDir     string
 	defaultScale core.Scale
 	reqTimeout   time.Duration
 	computeLimit time.Duration
@@ -45,19 +49,40 @@ func runServe(ctx context.Context, rec *obs.Recorder, p serveParams, ready func(
 	if err != nil {
 		return err
 	}
+	// The sweep engine's journal dir defaults to a sibling of the
+	// store's persistence dir, so a persistent store gets resumable
+	// sweeps without extra flags; a memory-only store still runs sweeps,
+	// just without on-disk checkpoints.
+	sweepDir := p.sweepDir
+	if sweepDir == "" && p.dir != "" {
+		sweepDir = filepath.Join(p.dir, "sweeps")
+	}
+	eng, err := sweep.NewEngine(sweep.Config{
+		Store:       st,
+		Dir:         sweepDir,
+		Recorder:    rec,
+		CellTimeout: p.computeLimit,
+	})
+	if err != nil {
+		st.Close(context.Background())
+		return err
+	}
 	srv, err := serve.New(serve.Config{
 		Store:          st,
+		Sweeps:         eng,
 		Recorder:       rec,
 		DefaultScale:   p.defaultScale,
 		RequestTimeout: p.reqTimeout,
 		ComputeTimeout: p.computeLimit,
 	})
 	if err != nil {
+		eng.Close()
 		st.Close(context.Background())
 		return err
 	}
 	addr, err := srv.Start(p.addr)
 	if err != nil {
+		eng.Close()
 		st.Close(context.Background())
 		return err
 	}
@@ -68,7 +93,14 @@ func runServe(ctx context.Context, rec *obs.Recorder, p serveParams, ready func(
 	<-ctx.Done()
 	drainCtx, cancel := context.WithTimeout(context.Background(), p.drain)
 	defer cancel()
-	return srv.Shutdown(drainCtx)
+	// Stop sweep passes first — landed cells are already checkpointed;
+	// the HTTP drain then finishes in-flight requests before the store
+	// closes.
+	cerr := eng.Close()
+	if serr := srv.Shutdown(drainCtx); serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 // serveFromFlags wires runServe to the process: signal-driven shutdown

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"wsstudy/internal/core"
+	"wsstudy/internal/cost"
+	"wsstudy/internal/obs"
+	"wsstudy/internal/store"
+	"wsstudy/internal/sweep"
+	"wsstudy/internal/workingset"
+)
+
+// axisList parses repeatable -axis field=v1,v2 flags into sweep axes.
+type axisList []sweep.Axis
+
+func (a *axisList) String() string {
+	var parts []string
+	for _, ax := range *a {
+		parts = append(parts, ax.Field+"="+strings.Join(ax.Values, ","))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (a *axisList) Set(raw string) error {
+	field, vals, ok := strings.Cut(raw, "=")
+	if !ok || field == "" || vals == "" {
+		return fmt.Errorf("want field=v1,v2,... (fields: %s)", strings.Join(core.AxisFields(), ", "))
+	}
+	*a = append(*a, sweep.Axis{Field: field, Values: strings.Split(vals, ",")})
+	return nil
+}
+
+// sweepParams are the `wsstudy sweep` knobs.
+type sweepParams struct {
+	experiment string
+	axes       []sweep.Axis
+	scale      core.Scale
+	resumeDir  string // journal dir; "" = no on-disk checkpoints
+	slots      int
+	timeout    time.Duration
+	dataBytes  uint64
+	storeDir   string
+}
+
+// runSweep drives a lattice in-process: same engine the HTTP API uses,
+// including journal resume — `-resume dir` twice across a crash revives
+// every landed cell. Prints the cell grid as it finishes, then the §8
+// grain advice when the lattice carries pes and cache axes.
+func runSweep(ctx context.Context, rec *obs.Recorder, p sweepParams) error {
+	st, err := store.New(store.Config{
+		Slots:    p.slots,
+		Dir:      p.storeDir,
+		Recorder: rec,
+	})
+	if err != nil {
+		return err
+	}
+	defer st.Close(context.Background())
+	eng, err := sweep.NewEngine(sweep.Config{
+		Store: st, Dir: p.resumeDir, Recorder: rec, CellTimeout: p.timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	spec := sweep.Spec{Experiment: p.experiment, Scale: p.scale.String(), Axes: p.axes}
+	status, err := eng.Submit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweep %s: %d cells (%s)\n", status.ID[:12], status.Total, describeAxes(status.Axes))
+
+	start := time.Now()
+	for !status.Done {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+		status, _ = eng.Get(status.ID)
+	}
+	fmt.Printf("completed %d/%d cells (%d revived, %d failed) in %v\n\n",
+		status.Completed, status.Total, status.Revived, status.Failed,
+		time.Since(start).Round(time.Millisecond))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "CELL\tSTATE\tMISS RATE\tKEY")
+	for _, c := range status.Cells {
+		rate := ""
+		if c.Summary != nil && c.Summary.Points == 1 {
+			rate = fmt.Sprintf("%.6g", c.Summary.MissRate)
+		} else if c.Summary != nil {
+			rate = fmt.Sprintf("(%d-point curve)", c.Summary.Points)
+		}
+		state := string(c.State)
+		if c.Revived {
+			state += " (revived)"
+		}
+		if c.Error != "" {
+			state += ": " + c.Error
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", trimCanon(c.Canonical), state, rate, c.Key[:12])
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if status.Failed > 0 {
+		return fmt.Errorf("%d cells failed; re-run with the same spec and -resume to retry them", status.Failed)
+	}
+
+	adv, err := eng.Grain(status.ID, p.dataBytes)
+	if err != nil {
+		// A lattice without pes × cache axes has no grain question to
+		// answer; the sweep itself still succeeded.
+		fmt.Printf("\n(no grain advice: %v)\n", err)
+		return nil
+	}
+	printGrain(adv)
+	return nil
+}
+
+// trimCanon drops the encoding version prefix and default-valued axes
+// from a cell's canonical string so the table shows only what varies.
+func trimCanon(canon string) string {
+	parts := strings.Split(canon, ";")
+	var kept []string
+	for _, p := range parts[1:] {
+		if strings.HasSuffix(p, "=0") || p == "scale=full" {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if len(kept) == 0 {
+		return "(defaults)"
+	}
+	return strings.Join(kept, " ")
+}
+
+func describeAxes(axes []sweep.Axis) string {
+	var parts []string
+	for _, ax := range axes {
+		parts = append(parts, fmt.Sprintf("%s×%d", ax.Field, len(ax.Values)))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " · ")
+}
+
+// printGrain renders the §8 answer: the best measured design, the
+// equal-cost-split design the paper conjectures about, and the scored
+// lattice.
+func printGrain(adv cost.GrainAdvice) {
+	fmt.Printf("\n== node granularity per dollar (%s, %s problem) ==\n",
+		adv.App, workingset.FormatBytes(adv.DataBytes))
+	fmt.Printf("best:        %s\n", adv.Best.Describe())
+	fmt.Printf("equal-split: %s\n", adv.EqualSplit.Describe())
+	fmt.Printf("the equal-cost-split design is within %.2fx of optimal perf/$\n", adv.WithinFactor)
+	fmt.Println("\nall designs:")
+	for _, e := range adv.Evals {
+		fmt.Printf("  %s\n", e.Describe())
+	}
+}

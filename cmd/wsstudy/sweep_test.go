@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"wsstudy/internal/core"
+	"wsstudy/internal/obs"
+	"wsstudy/internal/sweep"
+)
+
+// TestSweepSmoke is the `make sweep-smoke` gate: boot the real serving
+// path exactly as `wsstudy serve` wires it, POST a 2x2 gridlu lattice
+// to /v1/sweeps, poll the status resource to Done, and read the grain
+// advice — the whole sweep surface end to end over HTTP.
+func TestSweepSmoke(t *testing.T) {
+	rec := obs.New()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe(ctx, rec, serveParams{
+			addr:         "127.0.0.1:0",
+			slots:        2,
+			sweepDir:     t.TempDir(),
+			defaultScale: core.ScaleQuick,
+			drain:        10 * time.Second,
+		}, func(addr string) { ready <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	spec := `{
+		"experiment": "gridlu",
+		"scale": "quick",
+		"axes": [
+			{"field": "cache", "values": ["4096", "16384"]},
+			{"field": "pes", "values": ["16", "64"]}
+		]
+	}`
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/sweeps status = %d", resp.StatusCode)
+	}
+	loc := resp.Header.Get("Location")
+	resp.Body.Close()
+	if loc == "" {
+		t.Fatal("POST /v1/sweeps set no Location header")
+	}
+
+	var st sweep.Status
+	deadline := time.Now().Add(30 * time.Second)
+	for !st.Done {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never finished: %+v", st)
+		}
+		if err := json.Unmarshal([]byte(get(t, base+loc)), &st); err != nil {
+			t.Fatalf("sweep status not JSON: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.Completed != 4 || st.Failed != 0 {
+		t.Fatalf("sweep finished wrong: %+v", st)
+	}
+	if rec.Counter(obs.SweepCellsComputed).Value() != 4 {
+		t.Errorf("sweep.cells.computed = %d, want 4", rec.Counter(obs.SweepCellsComputed).Value())
+	}
+
+	var adv struct {
+		Best struct {
+			Design struct {
+				P int `json:"p"`
+			} `json:"design"`
+		} `json:"best"`
+	}
+	if err := json.Unmarshal([]byte(get(t, base+loc+"/grain")), &adv); err != nil {
+		t.Fatalf("grain not JSON: %v", err)
+	}
+	if adv.Best.Design.P <= 0 {
+		t.Errorf("grain advice picked no design: %+v", adv)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not drain")
+	}
+}

@@ -4,17 +4,19 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"sort"
+	"strconv"
 	"strings"
 )
 
 // canonVersion tags the canonical Options encoding; bump it whenever a
 // field is added to (or its default changes in) the encoding, so stale
-// fingerprints can never alias new configurations.
-const canonVersion = 1
+// fingerprints can never alias new configurations. Version 2 added the
+// design-space axes (cache, line, assoc, pes, problem), invalidating
+// every v1 key at once.
+const canonVersion = 2
 
 // Canonical returns the stable textual encoding of the Options used to
-// key experiment results: `optv1;key=value;...` with keys sorted,
+// key experiment results: `optv2;key=value;...` with keys sorted,
 // defaults written out explicitly, and zero values normalized, so any
 // two Options that would produce the same Report encode identically.
 //
@@ -28,23 +30,98 @@ const canonVersion = 1
 // wall-clock behaviour, never a report — a result computed serially is
 // valid for a sharded request and vice versa.
 func (o Options) Canonical() string {
-	fields := map[string]string{
-		"scale": o.Scale.String(),
-	}
-	keys := make([]string, 0, len(fields))
-	for k := range fields {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	keys := AxisFields()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "optv%d", canonVersion)
 	for _, k := range keys {
 		sb.WriteByte(';')
 		sb.WriteString(k)
 		sb.WriteByte('=')
-		sb.WriteString(fields[k])
+		sb.WriteString(o.AxisValue(k))
 	}
 	return sb.String()
+}
+
+// The axis registry: every semantic Options field, by its canonical
+// name. A sweep lattice's axes are validated against this set, and the
+// HTTP layer derives its `opt.<axis>` query parameters from it, so the
+// canonical encoding, the sweep surface and the request surface can
+// never drift apart.
+const (
+	AxisScale   = "scale"
+	AxisCache   = "cache"
+	AxisLine    = "line"
+	AxisAssoc   = "assoc"
+	AxisPEs     = "pes"
+	AxisProblem = "problem"
+)
+
+// AxisFields lists the sweepable canonical Options fields in encoding
+// order (sorted). The returned slice is the caller's to keep.
+func AxisFields() []string {
+	return []string{AxisAssoc, AxisCache, AxisLine, AxisPEs, AxisProblem, AxisScale}
+}
+
+// AxisValue reads the canonical string value of one axis field; ""
+// for an unknown field name.
+func (o Options) AxisValue(field string) string {
+	switch field {
+	case AxisScale:
+		return o.Scale.String()
+	case AxisCache:
+		return strconv.FormatUint(o.CacheBytes, 10)
+	case AxisLine:
+		return strconv.Itoa(o.LineBytes)
+	case AxisAssoc:
+		return strconv.Itoa(o.Assoc)
+	case AxisPEs:
+		return strconv.Itoa(o.PEs)
+	case AxisProblem:
+		return strconv.Itoa(o.Problem)
+	}
+	return ""
+}
+
+// SetAxis sets the named canonical field from its string form — the
+// inverse of AxisValue, used by the sweep lattice and the HTTP request
+// decoder. Numeric axes accept non-negative integers (bytes for cache
+// and line); scale accepts "quick" and "full". Unknown fields and
+// malformed values are errors.
+func (o *Options) SetAxis(field, value string) error {
+	switch field {
+	case AxisScale:
+		s, err := ParseScale(value)
+		if err != nil {
+			return err
+		}
+		o.Scale = s
+		return nil
+	case AxisCache:
+		v, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("core: axis %s: %q is not a non-negative byte count", field, value)
+		}
+		o.CacheBytes = v
+		return nil
+	case AxisLine, AxisAssoc, AxisPEs, AxisProblem:
+		v, err := strconv.Atoi(value)
+		if err != nil || v < 0 {
+			return fmt.Errorf("core: axis %s: %q is not a non-negative integer", field, value)
+		}
+		switch field {
+		case AxisLine:
+			o.LineBytes = v
+		case AxisAssoc:
+			o.Assoc = v
+		case AxisPEs:
+			o.PEs = v
+		case AxisProblem:
+			o.Problem = v
+		}
+		return nil
+	}
+	return fmt.Errorf("core: unknown options axis %q (valid: %s)",
+		field, strings.Join(AxisFields(), ", "))
 }
 
 // Fingerprint returns the hex SHA-256 of the canonical encoding — the

@@ -13,10 +13,11 @@ import (
 // TestCanonicalOptions pins the canonical encoding: defaults explicit,
 // stable across runs, and insensitive to non-semantic fields.
 func TestCanonicalOptions(t *testing.T) {
-	if got := (Options{}).Canonical(); got != "optv1;scale=full" {
-		t.Errorf("zero Options canonical = %q, want optv1;scale=full", got)
+	const zeroWant = "optv2;assoc=0;cache=0;line=0;pes=0;problem=0;scale=full"
+	if got := (Options{}).Canonical(); got != zeroWant {
+		t.Errorf("zero Options canonical = %q, want %s", got, zeroWant)
 	}
-	if got := (Options{Scale: ScaleQuick}).Canonical(); got != "optv1;scale=quick" {
+	if got := (Options{Scale: ScaleQuick}).Canonical(); !strings.HasSuffix(got, ";scale=quick") {
 		t.Errorf("quick canonical = %q", got)
 	}
 	// Timeout bounds a run; it cannot change a completed report, so it
@@ -31,6 +32,47 @@ func TestCanonicalOptions(t *testing.T) {
 	}
 	if fp := a.Fingerprint(); len(fp) != 64 {
 		t.Errorf("fingerprint %q not 64 hex chars", fp)
+	}
+}
+
+// TestAxisRoundTrip proves SetAxis is the inverse of AxisValue for
+// every registered axis, that the canonical encoding covers exactly
+// the axis registry, and that malformed values are rejected — the
+// contract the sweep lattice and the HTTP decoder both build on.
+func TestAxisRoundTrip(t *testing.T) {
+	src := Options{
+		Scale: ScaleQuick, CacheBytes: 1 << 16, LineBytes: 32,
+		Assoc: 4, PEs: 64, Problem: 500,
+	}
+	var dst Options
+	for _, f := range AxisFields() {
+		v := src.AxisValue(f)
+		if v == "" {
+			t.Fatalf("AxisValue(%q) empty", f)
+		}
+		if err := dst.SetAxis(f, v); err != nil {
+			t.Fatalf("SetAxis(%q, %q): %v", f, v, err)
+		}
+	}
+	if dst.Canonical() != src.Canonical() {
+		t.Errorf("round-trip canonical %q != %q", dst.Canonical(), src.Canonical())
+	}
+	// The canonical string mentions every axis exactly once.
+	canon := src.Canonical()
+	for _, f := range AxisFields() {
+		if !strings.Contains(canon, ";"+f+"=") {
+			t.Errorf("canonical %q missing axis %q", canon, f)
+		}
+	}
+
+	var o Options
+	for _, bad := range [][2]string{
+		{"scale", "huge"}, {"cache", "-1"}, {"cache", "x"},
+		{"pes", "-2"}, {"line", "1.5"}, {"nosuch", "1"},
+	} {
+		if err := o.SetAxis(bad[0], bad[1]); err == nil {
+			t.Errorf("SetAxis(%q, %q) accepted", bad[0], bad[1])
+		}
 	}
 }
 

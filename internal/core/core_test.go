@@ -13,7 +13,8 @@ func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
 	want := []string{"fig2", "fig4", "fig5", "fig6", "fig6dm", "fig7",
 		"table1", "table2", "machines", "grain", "scalingbh", "cost",
-		"assoc", "linesize", "scalingall", "phases", "bus", "sharing1024"}
+		"assoc", "linesize", "scalingall", "phases", "bus", "sharing1024",
+		"gridlu", "gridbh"}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
 	}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// TestGridLUCell checks the analytic cell experiment: a concrete cache
+// size yields a single-point figure, cache=0 yields the full model
+// curve, and the point agrees with the curve at the same size.
+func TestGridLUCell(t *testing.T) {
+	exp, ok := Find("gridlu")
+	if !ok {
+		t.Fatal("gridlu not registered")
+	}
+	opt := Options{Scale: ScaleQuick, CacheBytes: 1 << 14, Problem: 1000, PEs: 16}
+	point, err := Execute(context.Background(), exp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(point.Figures) != 1 || len(point.Figures[0].Series[0].Points) != 1 {
+		t.Fatalf("cell report shape: %+v", point.Figures)
+	}
+	got := point.Figures[0].Series[0].Points[0]
+	if got.CacheBytes != 1<<14 || got.MissRate <= 0 {
+		t.Fatalf("cell point = %+v", got)
+	}
+
+	opt.CacheBytes = 0
+	curve, err := Execute(context.Background(), exp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Figures[0].Series[0].Points) < 2 {
+		t.Fatalf("curve report has %d points", len(curve.Figures[0].Series[0].Points))
+	}
+	for _, p := range curve.Figures[0].Series[0].Points {
+		if p.CacheBytes == 1<<14 && p.MissRate != got.MissRate {
+			t.Errorf("curve disagrees with cell at 16KB: %v vs %v", p.MissRate, got.MissRate)
+		}
+	}
+}
+
+// TestGridBHCell runs the simulated cell at a tiny quick configuration
+// and checks both the concrete-cache and profiled shapes.
+func TestGridBHCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated cell")
+	}
+	exp, ok := Find("gridbh")
+	if !ok {
+		t.Fatal("gridbh not registered")
+	}
+	opt := Options{Scale: ScaleQuick, Problem: 64, PEs: 2, CacheBytes: 1 << 12}
+	r, err := Execute(context.Background(), exp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.Figures[0].Series[0].Points[0]
+	if p.CacheBytes != 1<<12 || p.MissRate < 0 || p.MissRate > 1 {
+		t.Fatalf("cell point = %+v", p)
+	}
+
+	opt.CacheBytes = 0
+	prof, err := Execute(context.Background(), exp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Figures[0].Series[0].Points) < 2 {
+		t.Fatalf("profiled curve has %d points", len(prof.Figures[0].Series[0].Points))
+	}
+}
+
+// TestGridCellsDeterministic pins that identical cell Options produce
+// identical reports — the property content-addressed sweep revival
+// depends on.
+func TestGridCellsDeterministic(t *testing.T) {
+	exp, ok := Find("gridlu")
+	if !ok {
+		t.Fatal("gridlu not registered")
+	}
+	opt := Options{Scale: ScaleQuick, CacheBytes: 1 << 13, Problem: 800, PEs: 8}
+	a, err := Execute(context.Background(), exp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(context.Background(), exp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Figures[0].Series[0].Points[0] != b.Figures[0].Series[0].Points[0] {
+		t.Errorf("gridlu not deterministic: %+v vs %+v",
+			a.Figures[0].Series[0].Points[0], b.Figures[0].Series[0].Points[0])
+	}
+}

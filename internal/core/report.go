@@ -338,9 +338,34 @@ func (s Scale) String() string {
 // Options tunes an experiment run. Cancellation and observability do not
 // live here: the run's context.Context — the first argument of every Run —
 // carries both (deadline/cancel natively, the obs.Recorder via obs.With).
+//
+// Beyond Scale, Options carries the design-space axes of a parameter
+// sweep: cache capacity, line size, associativity, processor count and
+// problem size. Every axis is zero-defaulted — a zero means "the
+// experiment's own default" — and every axis participates in the
+// canonical encoding, so two cells of a lattice can never alias one
+// result key. The paper-figure experiments pick their own parameters
+// and ignore the axes; the grid cell experiments (gridlu, gridbh)
+// consume all of them, which is what the sweep engine enumerates.
 type Options struct {
 	// Scale selects the simulated problem sizes (ScaleFull by default).
 	Scale Scale
+	// CacheBytes, when positive, is the per-PE cache capacity of a grid
+	// cell. Zero keeps the experiment's default (typically a profiled
+	// full curve rather than one concrete cache).
+	CacheBytes uint64
+	// LineBytes, when positive, is the cache line size in bytes of a
+	// grid cell (zero = the experiment default, 8).
+	LineBytes int
+	// Assoc, when positive, is the cache associativity of a grid cell
+	// (1 = direct-mapped); zero means fully associative.
+	Assoc int
+	// PEs, when positive, overrides the simulated (or modeled) processor
+	// count of a grid cell.
+	PEs int
+	// Problem, when positive, overrides the application problem size of
+	// a grid cell (n for LU and Barnes-Hut).
+	Problem int
 	// Timeout, when positive, bounds the experiment's run time. Execute
 	// derives a deadline-carrying context and maps expiry to ErrDeadline.
 	Timeout time.Duration
@@ -370,7 +395,7 @@ var registry = sync.OnceValue(func() *registryData {
 			expFig2(), expFig4(), expFig5(), expFig6(), expFig6DM(), expFig7(),
 			expTable1(), expTable2(), expMachines(), expGrain(), expScalingBH(),
 			expCost(), expAssoc(), expLineSize(), expScalingAll(), expPhases(),
-			expBus(), expSharing1024(),
+			expBus(), expSharing1024(), expGridLU(), expGridBH(),
 		},
 	}
 	d.byID = make(map[string]Experiment, len(d.list))

@@ -31,9 +31,9 @@ func Defaults() Prices {
 
 // Design is one machine configuration for a fixed total problem.
 type Design struct {
-	P          int
-	MemPerPE   uint64 // bytes
-	CachePerPE uint64 // bytes
+	P          int    `json:"p"`
+	MemPerPE   uint64 `json:"mem_per_pe"`   // bytes
+	CachePerPE uint64 `json:"cache_per_pe"` // bytes
 }
 
 // NodeCost is the price of one node.
@@ -108,12 +108,12 @@ func Utilization(app AppModel, d Design, par Params) float64 {
 
 // Evaluation scores one design.
 type Evaluation struct {
-	Design         Design
-	Utilization    float64
-	Performance    float64 // P * utilization, in processor-equivalents
-	Cost           float64
-	PerfPerKiloUSD float64
-	ProcShare      float64 // processor fraction of node cost
+	Design         Design  `json:"design"`
+	Utilization    float64 `json:"utilization"`
+	Performance    float64 `json:"performance"` // P * utilization, in processor-equivalents
+	Cost           float64 `json:"cost_usd"`
+	PerfPerKiloUSD float64 `json:"perf_per_kilo_usd"`
+	ProcShare      float64 `json:"proc_share"` // processor fraction of node cost
 }
 
 // Evaluate scores a design for an application.

@@ -1,0 +1,102 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CellPoint is one measured sweep cell: the miss rate observed (or
+// modeled) at a (processor count, per-PE cache size) configuration.
+// The sweep service extracts these from a finished lattice and feeds
+// them here, replacing §8's analytic AppModel.MissRate with data.
+type CellPoint struct {
+	P          int     `json:"p"`
+	CacheBytes uint64  `json:"cache_bytes"`
+	MissRate   float64 `json:"miss_rate"`
+}
+
+// GrainAdvice is the §8 answer computed from measured cells: the
+// best-perf-per-dollar design, the equal-cost-split design the paper
+// conjectures is near-optimal, how far the conjecture falls short on
+// this data, and the full scored sweep for inspection.
+type GrainAdvice struct {
+	App          string       `json:"app"`
+	DataBytes    uint64       `json:"data_bytes"`
+	Best         Evaluation   `json:"best"`
+	EqualSplit   Evaluation   `json:"equal_split"`
+	WithinFactor float64      `json:"within_factor"` // equal-split shortfall vs best (1 = it IS the best)
+	Evals        []Evaluation `json:"evals"`
+}
+
+// GrainFromCells runs the §8 cost model over measured sweep cells
+// instead of an analytic application model. Each cell becomes one
+// candidate Design: P processors, the problem's per-PE memory share
+// (never smaller than the cache), and the cell's cache. Communication
+// and load-balance factors are neutral — the miss-rate curve is the
+// measured quantity; the other two would need their own sweeps — so
+// the scoring isolates the cache-size-versus-granularity trade the
+// lattice actually explored. Cells are evaluated in (P, cache) order,
+// making the advice deterministic for a given cell set.
+func GrainFromCells(name string, dataBytes uint64, cells []CellPoint, pr Prices, par Params) (GrainAdvice, error) {
+	if len(cells) == 0 {
+		return GrainAdvice{}, fmt.Errorf("cost: no measured cells")
+	}
+	if dataBytes == 0 {
+		return GrainAdvice{}, fmt.Errorf("cost: zero problem size")
+	}
+	sorted := make([]CellPoint, len(cells))
+	copy(sorted, cells)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].P != sorted[j].P {
+			return sorted[i].P < sorted[j].P
+		}
+		return sorted[i].CacheBytes < sorted[j].CacheBytes
+	})
+
+	type ck struct {
+		p int
+		c uint64
+	}
+	rates := make(map[ck]float64, len(sorted))
+	for _, c := range sorted {
+		rates[ck{c.P, c.CacheBytes}] = c.MissRate
+	}
+	app := AppModel{
+		Name:      name,
+		MissRate:  func(p int, cacheBytes uint64) float64 { return rates[ck{p, cacheBytes}] },
+		CommRatio: func(int) float64 { return par.Machine.RandomRatio() }, // neutral
+		LoadProxy: func(int) float64 { return par.LoadKnee },              // neutral
+		DataBytes: dataBytes,
+	}
+
+	var evals []Evaluation
+	for _, c := range sorted {
+		if c.P <= 0 || c.CacheBytes == 0 {
+			continue
+		}
+		mem := dataBytes / uint64(c.P)
+		if mem < c.CacheBytes {
+			mem = c.CacheBytes // the cache is memory too; a node holds at least it
+		}
+		evals = append(evals, Evaluate(app, Design{
+			P: c.P, MemPerPE: mem, CachePerPE: c.CacheBytes,
+		}, pr, par))
+	}
+	if len(evals) == 0 {
+		return GrainAdvice{}, fmt.Errorf("cost: no usable cells (need P > 0 and cache > 0)")
+	}
+	best, err := Best(evals)
+	if err != nil {
+		return GrainAdvice{}, err
+	}
+	eq, err := EqualSplit(evals)
+	if err != nil {
+		return GrainAdvice{}, err
+	}
+	return GrainAdvice{
+		App: name, DataBytes: dataBytes,
+		Best: best, EqualSplit: eq,
+		WithinFactor: WithinFactor(eq, evals),
+		Evals:        evals,
+	}, nil
+}

@@ -1,0 +1,49 @@
+package cost
+
+import "testing"
+
+// TestGrainFromCells scores a small measured lattice: lower miss rate
+// at equal price must win, determinism must hold across cell order,
+// and degenerate inputs must be rejected.
+func TestGrainFromCells(t *testing.T) {
+	cells := []CellPoint{
+		{P: 64, CacheBytes: 1 << 18, MissRate: 0.02},
+		{P: 256, CacheBytes: 1 << 18, MissRate: 0.02},
+		{P: 256, CacheBytes: 1 << 14, MissRate: 0.30},
+		{P: 64, CacheBytes: 1 << 14, MissRate: 0.30},
+	}
+	adv, err := GrainFromCells("demo", 1<<30, cells, Defaults(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Evals) != 4 {
+		t.Fatalf("evals = %d", len(adv.Evals))
+	}
+	if adv.Best.Design.CachePerPE != 1<<18 {
+		t.Errorf("best design picked the high-miss cache: %+v", adv.Best.Design)
+	}
+	if adv.WithinFactor < 1 {
+		t.Errorf("within factor %v < 1", adv.WithinFactor)
+	}
+
+	// Cell order must not matter.
+	rev := []CellPoint{cells[3], cells[2], cells[1], cells[0]}
+	adv2, err := GrainFromCells("demo", 1<<30, rev, Defaults(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv2.Best != adv.Best || adv2.EqualSplit != adv.EqualSplit {
+		t.Errorf("cell order changed the advice")
+	}
+
+	if _, err := GrainFromCells("demo", 1<<30, nil, Defaults(), DefaultParams()); err == nil {
+		t.Error("empty cells accepted")
+	}
+	if _, err := GrainFromCells("demo", 0, cells, Defaults(), DefaultParams()); err == nil {
+		t.Error("zero problem size accepted")
+	}
+	only := []CellPoint{{P: 0, CacheBytes: 0, MissRate: 1}}
+	if _, err := GrainFromCells("demo", 1<<30, only, Defaults(), DefaultParams()); err == nil {
+		t.Error("axis-free cells accepted")
+	}
+}

@@ -93,6 +93,23 @@ const (
 	// reports renamed to <name>.quarantine during disk revival.
 	StoreQuarantined = "store.quarantined"
 
+	// SweepSubmitted counts lattice sweeps accepted by the sweep engine
+	// (idempotent re-submissions of a running or clean sweep do not
+	// count). SweepCellsTotal counts cells scheduled across all sweeps;
+	// SweepCellsRevived the cells answered from the sweep journal or a
+	// persisted store result with zero recompute, SweepCellsComputed the
+	// cells that actually ran an experiment, and SweepCellsFailed the
+	// cells whose compute failed (a re-submission retries only those).
+	SweepSubmitted     = "sweep.submitted"
+	SweepCellsTotal    = "sweep.cells.total"
+	SweepCellsRevived  = "sweep.cells.revived"
+	SweepCellsComputed = "sweep.cells.computed"
+	SweepCellsFailed   = "sweep.cells.failed"
+	// SweepJournalErrors counts sweep-checkpoint append failures the
+	// sweep survived (the cell still lands; only its checkpoint is
+	// lost, so a future resume revives it from the store instead).
+	SweepJournalErrors = "sweep.journal.errors"
+
 	// ServeRequests counts v1 API requests; ServeBusy counts the subset
 	// rejected with 429 under compute-slot saturation, ServeNotModified
 	// the conditional requests answered 304, and ServeErrors the 5xx
@@ -102,6 +119,10 @@ const (
 	ServeNotModified = "serve.not_modified"
 	ServeErrors      = "serve.errors"
 	ServeRequestWall = "serve.request.wall"
+	// ServeDeprecated counts requests that used a deprecated parameter
+	// (the bare ?scale= alias), so the alias's removal can be
+	// data-driven.
+	ServeDeprecated = "serve.deprecated"
 )
 
 // GaugeValue is a gauge's level and high-water mark at snapshot time.

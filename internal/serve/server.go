@@ -1,22 +1,36 @@
 // Package serve exposes the working-set study over a stable v1 HTTP
 // API, backed by the content-addressed result store:
 //
-//	GET /v1/experiments              list every experiment (id, title, ...)
-//	GET /v1/experiments/{id}/report  one experiment's Report
-//	GET /v1/suite                    every experiment, one summary document
-//	GET /healthz                     liveness probe
+//	GET  /v1/experiments              list every experiment (id, title, ...)
+//	GET  /v1/experiments/{id}/report  one experiment's Report
+//	GET  /v1/suite                    every experiment, one summary document
+//	POST /v1/sweeps                   submit a parameter-lattice sweep
+//	GET  /v1/sweeps                   list known sweeps
+//	GET  /v1/sweeps/{id}              one sweep's incremental aggregate
+//	GET  /v1/sweeps/{id}/grain        §8 cost advice from a finished sweep
+//	GET  /healthz                     liveness probe
 //
-// The report endpoint takes ?scale=quick|full (default from Config) and
-// renders JSON, CSV or text chosen by ?format= or the Accept header.
-// Because results are content-addressed, the ETag is derived from the
-// store key — it is known before any computation happens, so a matching
-// If-None-Match answers 304 without touching the store at all.
-// Saturated compute slots surface as 429 with Retry-After; per-request
-// deadlines ride the request context; Shutdown drains in-flight runs.
+// Query parameters flow through one typed decoder (RequestV1):
+// ?format= picks the rendering (else the Accept header), ?opt.<axis>=
+// sets any canonical Options axis (opt.scale, opt.cache, opt.line,
+// opt.assoc, opt.pes, opt.problem), unknown parameters are rejected
+// with 400, and the pre-v1.1 bare ?scale= survives as a deprecated
+// alias answered with a Deprecation header. Every error, on every
+// endpoint, is the same JSON envelope {error, status, retry_after?}.
+//
+// Because results are content-addressed, the report ETag is derived
+// from the store key — known before any computation happens, so a
+// matching If-None-Match answers 304 without touching the store at
+// all. The suite ETag is the hash of its member keys, equally
+// computable pre-compute. Saturated compute slots surface as 429 with
+// Retry-After; per-request deadlines ride the request context;
+// Shutdown drains in-flight runs.
 package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +45,7 @@ import (
 	"wsstudy/internal/fault"
 	"wsstudy/internal/obs"
 	"wsstudy/internal/store"
+	"wsstudy/internal/sweep"
 )
 
 // fpReport sits at the head of the report endpoint's store lookup —
@@ -42,6 +57,9 @@ var fpReport = fault.New("serve.report")
 type Config struct {
 	// Store computes and caches results. Required.
 	Store *store.Store
+	// Sweeps runs parameter-lattice sweeps. Nil disables the
+	// /v1/sweeps surface (503 on access).
+	Sweeps *sweep.Engine
 	// Registry is the experiment list to serve (nil = core.Registry()).
 	Registry []core.Experiment
 	// Recorder receives request instrumentation (latency histogram,
@@ -74,8 +92,8 @@ type Server struct {
 	http *http.Server
 	ln   net.Listener
 
-	requests, busy, notModified, errs *obs.Counter
-	latency                           *obs.Histogram
+	requests, busy, notModified, errs, deprecated *obs.Counter
+	latency                                       *obs.Histogram
 }
 
 // New builds a Server around cfg.Store.
@@ -98,18 +116,47 @@ func New(cfg Config) (*Server, error) {
 		busy:        rec.Counter(obs.ServeBusy),
 		notModified: rec.Counter(obs.ServeNotModified),
 		errs:        rec.Counter(obs.ServeErrors),
+		deprecated:  rec.Counter(obs.ServeDeprecated),
 		latency:     rec.Histogram(obs.ServeRequestWall),
 	}
 	for _, e := range cfg.Registry {
 		s.byID[e.ID] = e
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/experiments", s.handleList)
-	mux.HandleFunc("GET /v1/experiments/{id}/report", s.handleReport)
-	mux.HandleFunc("GET /v1/suite", s.handleSuite)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// Routes are registered without method patterns so that unknown
+	// paths AND wrong methods both produce the v1 error envelope —
+	// ServeMux's own 404/405 responses are text.
+	route(mux, "/v1/experiments", "GET", s.handleList)
+	route(mux, "/v1/experiments/{id}/report", "GET", s.handleReport)
+	route(mux, "/v1/suite", "GET", s.handleSuite)
+	mux.HandleFunc("/v1/sweeps", s.handleSweeps) // GET (list) and POST (submit)
+	route(mux, "/v1/sweeps/{id}", "GET", s.handleSweepGet)
+	route(mux, "/v1/sweeps/{id}/grain", "GET", s.handleSweepGrain)
+	route(mux, "/healthz", "GET", s.handleHealth)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
+	})
 	s.handler = s.instrument(mux)
 	return s, nil
+}
+
+// route registers a single-method handler that answers other methods
+// with an enveloped 405.
+func route(mux *http.ServeMux, pattern, method string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		// HEAD rides every GET route: net/http discards the body, the
+		// headers (ETag included) are what a HEAD caller is after.
+		if r.Method != method && !(method == http.MethodGet && r.Method == http.MethodHead) {
+			allow := method
+			if method == http.MethodGet {
+				allow = "GET, HEAD"
+			}
+			w.Header().Set("Allow", allow)
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed for %s", r.Method, pattern)
+			return
+		}
+		h(w, r)
+	})
 }
 
 // Handler returns the instrumented v1 API handler, for embedding or
@@ -206,9 +253,14 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 	})
 }
 
-// apiError is the v1 error body.
+// apiError is the one v1 error envelope: every endpoint, every
+// failure. The status echoes the HTTP code so a body that outlives
+// its response (a log line, a proxy buffer) stays self-describing;
+// retry_after (seconds) appears only on 429.
 type apiError struct {
-	Error string `json:"error"`
+	Error      string `json:"error"`
+	Status     int    `json:"status"`
+	RetryAfter int    `json:"retry_after,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -220,7 +272,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...), Status: status})
+}
+
+// writeBusy is the 429 variant: Retry-After rides both the header and
+// the envelope.
+func writeBusy(w http.ResponseWriter, retryAfter time.Duration) {
+	secs := int((retryAfter + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, apiError{
+		Error:      "compute slots saturated, retry shortly",
+		Status:     http.StatusTooManyRequests,
+		RetryAfter: secs,
+	})
 }
 
 // experimentInfo is one row of GET /v1/experiments.
@@ -274,36 +338,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
-// requestOptions resolves ?scale= against the configured default.
-func (s *Server) requestOptions(r *http.Request) (core.Options, error) {
-	opt := core.Options{Scale: s.cfg.DefaultScale, Timeout: s.cfg.ComputeTimeout}
-	if raw := r.URL.Query().Get("scale"); raw != "" {
-		scale, err := core.ParseScale(raw)
-		if err != nil {
-			return opt, err
-		}
-		opt.Scale = scale
-	}
-	return opt, nil
-}
-
-// negotiateFormat picks the rendering: an explicit ?format= wins, then
-// the Accept header (text/csv, text/plain, application/json), then JSON.
-func negotiateFormat(r *http.Request) (core.Format, error) {
-	if raw := r.URL.Query().Get("format"); raw != "" {
-		return core.ParseFormat(raw)
-	}
-	accept := r.Header.Get("Accept")
-	switch {
-	case strings.Contains(accept, "text/csv"):
-		return core.FormatCSV, nil
-	case strings.Contains(accept, "text/plain"):
-		return core.FormatText, nil
-	default:
-		return core.FormatJSON, nil
-	}
-}
-
 // etagFor derives the strong ETag of a response: the content address of
 // the configuration plus the negotiated format (the same key rendered
 // as CSV and JSON are different representations, so they must not share
@@ -330,16 +364,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown experiment %q", id)
 		return
 	}
-	opt, err := s.requestOptions(r)
+	req, err := s.decodeRequestV1(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	format, err := negotiateFormat(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
+	s.applyDeprecations(w, req)
+	opt, format := req.Options, req.Format
 
 	key := store.KeyFor(e.ID, opt)
 	etag := etagFor(key, format)
@@ -374,9 +405,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 func (s *Server) writeStoreError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, store.ErrBusy):
-		w.Header().Set("Retry-After",
-			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		writeError(w, http.StatusTooManyRequests, "compute slots saturated, retry shortly")
+		writeBusy(w, s.cfg.RetryAfter)
 	case errors.Is(err, store.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 	case errors.Is(err, core.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
@@ -404,6 +433,21 @@ type suiteResponse struct {
 	Results       []suiteResult `json:"results"`
 }
 
+// suiteEtag derives the suite document's strong ETag: the hash of its
+// member result keys (in registry order) plus the representation. Keys
+// are computable before any result exists, so — exactly like the
+// report endpoint — a matching If-None-Match answers 304 with zero
+// store access, and any change to the registry, the schema version, or
+// the canonical Options encoding changes the validator.
+func suiteEtag(list []core.Experiment, opt core.Options) string {
+	h := sha256.New()
+	for _, e := range list {
+		k := store.KeyFor(e.ID, opt)
+		h.Write(k[:])
+	}
+	return `"` + hex.EncodeToString(h.Sum(nil)) + `-suite-json"`
+}
+
 // handleSuite computes (or re-serves) every experiment at the requested
 // scale and returns one summary document. Fan-out concurrency is sized
 // to the store's compute slots so one suite request fills the pool but
@@ -411,11 +455,21 @@ type suiteResponse struct {
 // request cheap when the per-experiment endpoints already warmed the
 // cache.
 func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
-	opt, err := s.requestOptions(r)
+	req, err := s.decodeRequestV1(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.applyDeprecations(w, req)
+	opt := req.Options
+
+	etag := suiteEtag(s.list, opt)
+	w.Header().Set("Etag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
 	results := make([]suiteResult, len(s.list))
 	sem := make(chan struct{}, s.cfg.Store.Slots())
 	var wg sync.WaitGroup
@@ -436,6 +490,15 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		}(i, e)
 	}
 	wg.Wait()
+	for _, sr := range results {
+		if !sr.OK {
+			// A document with failed members must not be cached against
+			// the pre-computed validator: the next request should retry,
+			// not revalidate.
+			w.Header().Del("Etag")
+			break
+		}
+	}
 	writeJSON(w, http.StatusOK, suiteResponse{
 		SchemaVersion: core.ReportSchemaVersion,
 		Scale:         opt.Scale.String(),

@@ -1,0 +1,87 @@
+package store
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"wsstudy/internal/core"
+	"wsstudy/internal/obs"
+)
+
+// TestPeekNeverComputes pins the revival contract Peek exists for: a
+// Peek answers from memory (counting a hit) or from the persisted
+// rendering (counting a disk hit and populating memory), and a miss is
+// just a miss — the experiment must never run.
+func TestPeekNeverComputes(t *testing.T) {
+	var execs atomic.Int64
+	exp := fakeExp("peek", &execs, nil, nil)
+	opt := core.Options{Scale: core.ScaleQuick}
+	key := KeyFor(exp.ID, opt)
+	dir := t.TempDir()
+
+	rec := obs.New()
+	st, err := New(Config{Dir: dir, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold store: Peek misses and computes nothing.
+	if _, ok := st.Peek(key, exp.ID); ok {
+		t.Fatal("Peek hit on an empty store")
+	}
+	if execs.Load() != 0 {
+		t.Fatalf("Peek executed the experiment %d times", execs.Load())
+	}
+
+	// Warm the key, then Peek from memory.
+	want, err := st.Get(context.Background(), exp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := st.Peek(key, exp.ID)
+	if !ok {
+		t.Fatal("Peek missed a cached key")
+	}
+	if res != want {
+		t.Error("Peek returned a different result than Get")
+	}
+	if got := rec.Snapshot().Counter(obs.StoreHits); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.StoreHits, got)
+	}
+	if err := st.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the same dir revives from disk: one disk hit,
+	// then the entry is resident and the next Peek is a memory hit.
+	rec2 := obs.New()
+	st2, err := New(Config{Dir: dir, Recorder: rec2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close(context.Background())
+	if _, ok := st2.Peek(key, exp.ID); !ok {
+		t.Fatal("Peek missed the persisted rendering")
+	}
+	if got := rec2.Snapshot().Counter(obs.StoreDiskHits); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.StoreDiskHits, got)
+	}
+	if _, ok := st2.Peek(key, exp.ID); !ok {
+		t.Fatal("Peek missed after a disk revival populated memory")
+	}
+	if got := rec2.Snapshot().Counter(obs.StoreHits); got != 1 {
+		t.Errorf("%s after disk revival = %d, want 1", obs.StoreHits, got)
+	}
+	if execs.Load() != 1 {
+		t.Errorf("experiment ran %d times, want exactly the one Get", execs.Load())
+	}
+
+	// Closed store: Peek answers false, never panics.
+	if err := st2.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Peek(key, exp.ID); ok {
+		t.Error("Peek hit on a closed store")
+	}
+}

@@ -289,6 +289,43 @@ func (s *Store) Cached(key Key) bool {
 	return ok
 }
 
+// Peek revives a result for key without computing: from memory (bumps
+// LRU and the hit counter) or from a schema-valid persisted rendering
+// (counted as a disk hit and inserted into memory). It never takes a
+// compute slot and never runs the experiment — the sweep scheduler uses
+// it to revive content-addressed partials cheaply before deciding which
+// cells still need compute. A false return means only that revival
+// would require computing, not that the key is invalid.
+func (s *Store) Peek(key Key, id string) (*Result, bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false
+	}
+	if ent, ok := s.entries[key]; ok {
+		s.moveToFrontLocked(ent)
+		res := ent.res
+		s.mu.Unlock()
+		s.hits.Inc()
+		return res, true
+	}
+	s.mu.Unlock()
+
+	res, ok := s.loadDisk(key, id)
+	if !ok {
+		return nil, false
+	}
+	s.diskHits.Inc()
+	s.mu.Lock()
+	if !s.closed {
+		if _, dup := s.entries[key]; !dup {
+			s.insertLocked(key, res)
+		}
+	}
+	s.mu.Unlock()
+	return res, true
+}
+
 // Len and Bytes report the resident entry count and rendered-byte total.
 func (s *Store) Len() int {
 	s.mu.Lock()

@@ -1,0 +1,185 @@
+// Package sweep turns the experiment engine into a design-space
+// service. A Spec names one experiment and a lattice of Options axes
+// (cache size × processor count × problem size × ...); the Engine
+// enumerates the lattice's cells and runs each through the
+// content-addressed result store, checkpointing every landed cell in a
+// core.Journal keyed by core.ResultKey. Because cells are content
+// addressed, a re-submitted sweep — same canonical spec, same sweep id
+// — revives finished cells from the journal or the store's persisted
+// renderings instead of recomputing them, across process restarts: the
+// same resume contract core.Journal already provides for suites,
+// applied to the paper's actual product, the design space itself.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wsstudy/internal/core"
+	"wsstudy/internal/store"
+)
+
+// MaxCells bounds a single lattice: axes multiply, and a spec that
+// asks for more cells than any reasonable study is a mistake, not a
+// workload.
+const MaxCells = 4096
+
+// Axis is one swept dimension: a canonical core.Options field (see
+// core.AxisFields) and the values it takes, in canonical string form.
+type Axis struct {
+	Field  string   `json:"field"`
+	Values []string `json:"values"`
+}
+
+// Spec is a sweep request: one experiment evaluated at every cell of
+// the cartesian lattice of Axes, at a base Scale. A Spec is accepted
+// in any axis/value order; Canonicalize normalizes it so equivalent
+// requests derive the same sweep id.
+type Spec struct {
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale,omitempty"`
+	Axes       []Axis `json:"axes"`
+}
+
+// Canonicalize validates a spec against the experiment registry and
+// the Options axis registry and returns its normal form: axes sorted
+// by field, values parsed-then-reprinted through Options.SetAxis (so
+// "1024" and "01024" are the same value), deduplicated, and sorted
+// numerically where numeric. Two specs that canonicalize identically
+// describe the same lattice and will share a sweep id.
+func (s Spec) Canonicalize() (Spec, error) {
+	exp, ok := core.Find(s.Experiment)
+	if !ok {
+		return Spec{}, fmt.Errorf("sweep: unknown experiment %q", s.Experiment)
+	}
+	scale, err := core.ParseScale(s.Scale)
+	if err != nil {
+		return Spec{}, fmt.Errorf("sweep: %w", err)
+	}
+	if len(s.Axes) == 0 {
+		return Spec{}, fmt.Errorf("sweep: a lattice needs at least one axis")
+	}
+
+	out := Spec{Experiment: exp.ID, Scale: scale.String()}
+	seen := make(map[string]bool, len(s.Axes))
+	cells := 1
+	for _, ax := range s.Axes {
+		if seen[ax.Field] {
+			return Spec{}, fmt.Errorf("sweep: duplicate axis %q", ax.Field)
+		}
+		seen[ax.Field] = true
+		if len(ax.Values) == 0 {
+			return Spec{}, fmt.Errorf("sweep: axis %q has no values", ax.Field)
+		}
+		canon := make(map[string]bool, len(ax.Values))
+		var vals []string
+		for _, raw := range ax.Values {
+			var probe core.Options
+			if err := probe.SetAxis(ax.Field, raw); err != nil {
+				return Spec{}, fmt.Errorf("sweep: %w", err)
+			}
+			v := probe.AxisValue(ax.Field)
+			if !canon[v] {
+				canon[v] = true
+				vals = append(vals, v)
+			}
+		}
+		sortAxisValues(vals)
+		out.Axes = append(out.Axes, Axis{Field: ax.Field, Values: vals})
+		cells *= len(vals)
+		if cells > MaxCells {
+			return Spec{}, fmt.Errorf("sweep: lattice exceeds %d cells", MaxCells)
+		}
+	}
+	sort.Slice(out.Axes, func(i, j int) bool { return out.Axes[i].Field < out.Axes[j].Field })
+	return out, nil
+}
+
+// sortAxisValues orders values numerically when every value parses as
+// an unsigned integer (so cache sizes read 64, 128, 1024 rather than
+// lexically) and lexically otherwise (scale names).
+func sortAxisValues(vals []string) {
+	nums := make(map[string]uint64, len(vals))
+	numeric := true
+	for _, v := range vals {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			numeric = false
+			break
+		}
+		nums[v] = n
+	}
+	sort.Slice(vals, func(i, j int) bool {
+		if numeric {
+			return nums[vals[i]] < nums[vals[j]]
+		}
+		return vals[i] < vals[j]
+	})
+}
+
+// Canonical renders the canonical spec string the sweep id is derived
+// from: "sweepv1;experiment=<id>;scale=<scale>;axis=<field>:v,v;...".
+// Call it on a Canonicalize result; an un-normalized spec's string is
+// not stable.
+func (s Spec) Canonical() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sweepv1;experiment=%s;scale=%s", s.Experiment, s.Scale)
+	for _, ax := range s.Axes {
+		sb.WriteString(";axis=")
+		sb.WriteString(ax.Field)
+		sb.WriteByte(':')
+		sb.WriteString(strings.Join(ax.Values, ","))
+	}
+	return sb.String()
+}
+
+// ID derives the sweep id: the hex SHA-256 of the canonical spec
+// string. Equivalent lattices — same experiment, scale, axes and
+// values in any submission order — share an id, which is what makes
+// POST idempotent and resume automatic.
+func (s Spec) ID() string {
+	sum := sha256.Sum256([]byte(s.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Cell is one lattice point: the fully-assembled Options and its
+// content address — the same core.ResultKey the result store and the
+// checkpoint journal use, so a cell landed by any path is a cell this
+// sweep never recomputes.
+type Cell struct {
+	Options core.Options
+	Key     store.Key
+}
+
+// Cells enumerates the lattice in canonical row-major order (axes
+// sorted by field, values in sorted order), so cell indexes are stable
+// across submissions of equivalent specs. Call on a Canonicalize
+// result.
+func (s Spec) Cells() []Cell {
+	scale, _ := core.ParseScale(s.Scale)
+	base := core.Options{Scale: scale}
+	cells := []core.Options{base}
+	for _, ax := range s.Axes {
+		next := make([]core.Options, 0, len(cells)*len(ax.Values))
+		for _, o := range cells {
+			for _, v := range ax.Values {
+				c := o
+				if err := c.SetAxis(ax.Field, v); err != nil {
+					// Canonicalize already vetted every value.
+					panic(fmt.Sprintf("sweep: canonical value %q rejected: %v", v, err))
+				}
+				next = append(next, c)
+			}
+		}
+		cells = next
+	}
+	out := make([]Cell, len(cells))
+	for i, o := range cells {
+		out[i] = Cell{Options: o, Key: store.KeyFor(s.Experiment, o)}
+	}
+	return out
+}

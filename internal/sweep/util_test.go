@@ -1,0 +1,20 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"wsstudy/internal/store"
+)
+
+// testSleep is the poll interval for waitDone.
+func testSleep() { time.Sleep(2 * time.Millisecond) }
+
+// closeStore drains and closes a test store, failing the test on error.
+func closeStore(t *testing.T, s *store.Store) {
+	t.Helper()
+	if err := s.Close(context.Background()); err != nil {
+		t.Errorf("closing store: %v", err)
+	}
+}

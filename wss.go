@@ -27,11 +27,13 @@ import (
 
 	"wsstudy/internal/cache"
 	"wsstudy/internal/core"
+	"wsstudy/internal/cost"
 	"wsstudy/internal/machine"
 	"wsstudy/internal/memsys"
 	"wsstudy/internal/obs"
 	"wsstudy/internal/serve"
 	"wsstudy/internal/store"
+	"wsstudy/internal/sweep"
 	"wsstudy/internal/trace"
 	"wsstudy/internal/workingset"
 )
@@ -190,6 +192,32 @@ func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
 // ResultKey derives the content address the store, CLI and tests share
 // for (experiment id, options).
 func ResultKey(id string, opt Options) StoreKey { return store.KeyFor(id, opt) }
+
+// Parameter-lattice sweeps.
+
+type (
+	// SweepSpec is a lattice request: one experiment evaluated at the
+	// cartesian product of Options-axis values. Equivalent specs (any
+	// axis/value order) canonicalize to the same sweep id.
+	SweepSpec = sweep.Spec
+	// SweepAxis is one swept dimension: a canonical Options field
+	// ("scale", "cache", "line", "assoc", "pes", "problem") and its values.
+	SweepAxis = sweep.Axis
+	// SweepEngine enumerates a lattice's cells over a ResultStore and
+	// checkpoints each landed cell; a re-submitted sweep revives cells
+	// instead of recomputing them. Served as POST/GET /v1/sweeps.
+	SweepEngine = sweep.Engine
+	// SweepConfig tunes a SweepEngine.
+	SweepConfig = sweep.Config
+	// SweepStatus is a sweep's incremental aggregate.
+	SweepStatus = sweep.Status
+	// GrainAdvice is the §8 cost answer computed from a finished sweep:
+	// best node granularity per dollar over the measured lattice.
+	GrainAdvice = cost.GrainAdvice
+)
+
+// NewSweepEngine builds a lattice-sweep engine over an existing store.
+func NewSweepEngine(cfg SweepConfig) (*SweepEngine, error) { return sweep.NewEngine(cfg) }
 
 // Observability.
 

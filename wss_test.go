@@ -8,8 +8,8 @@ import (
 
 func TestExperimentsList(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 18 {
-		t.Fatalf("got %d experiments, want 18", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("got %d experiments, want 20", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
