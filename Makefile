@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR9.json
 
-.PHONY: check build vet fmt-check equivalence serve-smoke sweep-smoke chaos-smoke test race fuzz bench bench-smoke
+.PHONY: check build vet fmt-check equivalence serve-smoke sweep-smoke chaos-smoke sample-smoke test race fuzz bench bench-smoke
 
 # Tier-1 gate: everything must build, `go vet ./...` clean, be
 # gofmt-formatted, pass under -race, the batched pipeline must remain
@@ -10,9 +10,10 @@ BENCH_OUT ?= BENCH_PR7.json
 # JSON, and drain (serve-smoke), a parameter-lattice sweep must run
 # end to end over HTTP including its grain advice (sweep-smoke), the
 # seeded chaos schedules must hold their invariants with every
-# failpoint test-covered (chaos-smoke), and every benchmark must still
-# run for one iteration (bench-smoke).
-check: build vet fmt-check race equivalence serve-smoke sweep-smoke chaos-smoke bench-smoke
+# failpoint test-covered (chaos-smoke), one full-scale sampled kernel
+# profile must land inside the smoke wall-clock budget (sample-smoke),
+# and every benchmark must still run for one iteration (bench-smoke).
+check: build vet fmt-check race equivalence serve-smoke sweep-smoke chaos-smoke sample-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -32,7 +33,7 @@ fmt-check:
 # region-sharded machine engine to the serial memory system (bit-identical
 # statistics and run-to-run determinism, including under GOMAXPROCS=1).
 equivalence:
-	$(GO) test -short -run 'TestBlockEquivalence|TestFanoutMatchesTee|TestMetricsEquivalence|TestParallelBankMatchesSerialKernels|TestShardedMachineMatchesSerial|TestShardedDeterminism' ./internal/core/
+	$(GO) test -short -run 'TestBlockEquivalence|TestFanoutMatchesTee|TestMetricsEquivalence|TestParallelBankMatchesSerialKernels|TestShardedMachineMatchesSerial|TestShardedDeterminism|TestSamplingEquivalenceRateOne' ./internal/core/
 
 # Boot the real serving path (store + v1 API exactly as `wsstudy serve`
 # wires it), GET /v1/experiments and a report, assert 200 + valid JSON,
@@ -56,6 +57,13 @@ chaos-smoke:
 	$(GO) test -race -count 1 -run 'TestCrashResumeSIGKILL|TestSuiteResumesFromJournal' ./internal/core/
 	$(GO) test -race -count 1 -run TestSweepCrashResumeSIGKILL ./internal/sweep/
 
+# The paper-scale promise of the sampling axis: a full-scale Figure 6
+# profile at opt.sample=16 must complete inside the smoke budget (it
+# runs in seconds; the 120s ceiling only catches a sampling path that
+# silently fell back to exact-scale cost).
+sample-smoke:
+	timeout 120 $(GO) run ./cmd/wsstudy fig6 -opt sample=16 > /dev/null
+
 test:
 	$(GO) test ./...
 
@@ -73,7 +81,7 @@ fuzz:
 # swing several percent run to run; compare medians, not single samples.
 bench:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkRefDelivery|BenchmarkFanout|BenchmarkFanoutScaling|BenchmarkSuiteTraceReuse|BenchmarkAblationLRUBank|BenchmarkDirectoryShardScaling|BenchmarkMemsysSharded' \
+		-bench 'BenchmarkRefDelivery|BenchmarkFanout|BenchmarkFanoutScaling|BenchmarkSuiteTraceReuse|BenchmarkAblationLRUBank|BenchmarkDirectoryShardScaling|BenchmarkMemsysSharded|BenchmarkSampledProfiler' \
 		-benchmem -benchtime 10x -count 3 -json . > $(BENCH_OUT)
 	@grep -o '"Output":"[^"]*ns/op[^"]*"' $(BENCH_OUT) | head -40
 
@@ -81,5 +89,5 @@ bench:
 # compiles and runs end to end without paying for stable timings.
 bench-smoke:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkRefDelivery|BenchmarkFanout|BenchmarkFanoutScaling|BenchmarkSuiteTraceReuse|BenchmarkAblationLRUBank|BenchmarkDirectoryShardScaling|BenchmarkMemsysSharded' \
+		-bench 'BenchmarkRefDelivery|BenchmarkFanout|BenchmarkFanoutScaling|BenchmarkSuiteTraceReuse|BenchmarkAblationLRUBank|BenchmarkDirectoryShardScaling|BenchmarkMemsysSharded|BenchmarkSampledProfiler' \
 		-benchtime 1x -count 1 . > /dev/null

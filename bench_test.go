@@ -467,6 +467,69 @@ func BenchmarkMemsysSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkSampledProfiler is the sampling error/throughput harness:
+// the captured paper-scale CG stream (1024 PEs) pushed through the
+// stack-distance profiler at spatial sampling rates 1 through 64. Each
+// sampled row reports, besides wall-clock, the measured worst relative
+// curve error against the exact run on the octave grid (restricted to
+// capacities ≥ 32·R lines, the estimator's trusted region — see
+// DESIGN.md §12) alongside the estimator's own 1/sqrt(n) population
+// bound, so the archived BENCH file records both the speedup and the
+// fidelity price at every rate.
+func BenchmarkSampledProfiler(b *testing.B) {
+	refs := cgTrace1024(b)
+	var grid []int
+	for c := 8; c <= 1<<18; c *= 2 {
+		grid = append(grid, c)
+	}
+	feed := func(p cache.Profiler) {
+		p.SetMeasuring(true)
+		for i := range refs {
+			p.Access(refs[i].Addr, refs[i].Size, refs[i].Kind == trace.Read)
+		}
+	}
+	exact := cache.MustStackProfiler(8)
+	feed(exact)
+	exactCurve := exact.Curve(grid)
+
+	for _, rate := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("rate=%d", rate), func(b *testing.B) {
+			var p cache.Profiler
+			for i := 0; i < b.N; i++ {
+				var err error
+				p, err = cache.NewProfiler(8, rate)
+				if err != nil {
+					b.Fatal(err)
+				}
+				feed(p)
+			}
+			b.ReportMetric(float64(len(refs)), "refs/op")
+			if rate == 1 {
+				return
+			}
+			curve := p.Curve(grid)
+			worst := 0.0
+			for i, c := range grid {
+				if c < 32*rate {
+					continue
+				}
+				e := float64(exactCurve[i].Misses())
+				if e == 0 {
+					continue
+				}
+				if rel := (float64(curve[i].Misses()) - e) / e; rel > worst {
+					worst = rel
+				} else if -rel > worst {
+					worst = -rel
+				}
+			}
+			b.ReportMetric(worst, "maxrelerr")
+			b.ReportMetric(p.ErrorBound(), "errbound")
+			b.ReportMetric(float64(p.SampledLines()), "sampledlines")
+		})
+	}
+}
+
 // BenchmarkSuiteTraceReuse measures end-to-end RunSuite wall-clock over
 // the two experiments sharing a Barnes-Hut configuration, with the
 // kernel-trace capture disabled vs enabled (fresh store per iteration, so

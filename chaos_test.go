@@ -149,7 +149,49 @@ func chaosExperiments() []Experiment {
 			return r, nil
 		},
 	}
-	return []Experiment{model("chaos-a"), model("chaos-b"), kernel, machine}
+	// profiled drives a short stream through a sampled profiling machine,
+	// so the cache.sample.select construction failpoint has a live seam:
+	// an injected error surfaces from Open before any reference flows.
+	// The curve it reports is deterministic (spatial hashing, no RNG), so
+	// the byte-identical baseline invariant holds.
+	profiled := Experiment{
+		ID:    "chaos-profiled",
+		Title: "chaos sampled profiler",
+		Run: func(ctx context.Context, opt Options) (*Report, error) {
+			m, err := memsys.Open(memsys.Config{
+				PEs: 4, LineSize: 8, Profile: true, ProfilePE: 1,
+				SampleRate: 16, Shards: 2,
+			})
+			if err != nil {
+				return nil, err
+			}
+			block := make([]trace.Ref, 256)
+			for i := 0; i < 8; i++ {
+				for j := range block {
+					block[j] = trace.Ref{
+						PE:   j % 4,
+						Addr: uint64((i*256+j)%4096) * 8,
+						Size: 8, Kind: trace.Read,
+					}
+				}
+				m.Refs(block)
+			}
+			if err := m.Close(); err != nil {
+				return nil, err
+			}
+			p := m.Profiler(1)
+			r := &Report{Title: "chaos sampled profiler"}
+			tb := Table{Title: "sampled", Header: []string{"capacity", "misses"}}
+			for _, mc := range p.Curve([]int{64, 512, 4096}) {
+				tb.Rows = append(tb.Rows, []string{
+					fmt.Sprint(mc.CapacityLines), fmt.Sprint(mc.Misses()),
+				})
+			}
+			r.Tables = append(r.Tables, tb)
+			return r, nil
+		},
+	}
+	return []Experiment{model("chaos-a"), model("chaos-b"), kernel, machine, profiled}
 }
 
 type chaosSink struct{ refs *uint64 }
@@ -210,6 +252,7 @@ func chaosPlan(t *testing.T, rng *rand.Rand) []string {
 		{"memsys.shard.publish", []fault.Mode{fault.ModeError, fault.ModeDelay}},
 		{"memsys.barrier", []fault.Mode{fault.ModeError, fault.ModeDelay}},
 		{"sweep.cell.compute", []fault.Mode{fault.ModeError, fault.ModeDelay}},
+		{"cache.sample.select", []fault.Mode{fault.ModeError}},
 	}
 	var armed []string
 	for _, s := range sites {

@@ -70,6 +70,8 @@ func run(args []string) error {
 	sweepExp := fs.String("experiment", "gridlu", "sweep: experiment to evaluate at every lattice cell")
 	var axes axisList
 	fs.Var(&axes, "axis", "sweep: one lattice axis as field=v1,v2,... (repeatable; fields: "+strings.Join(core.AxisFields(), ", ")+")")
+	var opts optList
+	fs.Var(&opts, "opt", "one Options axis as field=value (repeatable; fields: "+strings.Join(core.AxisFields(), ", ")+"), e.g. -opt sample=16")
 	dataBytes := fs.Uint64("data-bytes", 1<<30, "sweep: total problem size for the grain (perf-per-dollar) advice")
 	reqTimeout := fs.Duration("request-timeout", 0, "serve: per-request deadline (0 = none)")
 	computeLimit := fs.Duration("compute-timeout", 0, "serve: per-computation deadline (0 = none)")
@@ -94,6 +96,14 @@ func run(args []string) error {
 		return fmt.Errorf("-machine-shards must be >= 0, got %d", *machineShards)
 	}
 	opt := core.Options{Scale: scale, Timeout: *timeout, MachineShards: *machineShards}
+	for _, kv := range opts {
+		if err := opt.SetAxis(kv.field, kv.value); err != nil {
+			return err
+		}
+	}
+	if *quick && opt.Scale != scale {
+		return fmt.Errorf("-quick and -opt scale=%s conflict; pick one", opt.Scale)
+	}
 
 	switch cmd {
 	case "list", "help", "-h", "--help":

@@ -37,6 +37,31 @@ func (a *axisList) Set(raw string) error {
 	return nil
 }
 
+// optList parses repeatable -opt field=value flags: single-point Options
+// axes for one-shot runs (`wsstudy fig6 -opt sample=16`). Validation
+// happens later through Options.SetAxis so the CLI and the HTTP decoder
+// reject exactly the same inputs.
+type optList []optKV
+
+type optKV struct{ field, value string }
+
+func (o *optList) String() string {
+	var parts []string
+	for _, kv := range *o {
+		parts = append(parts, kv.field+"="+kv.value)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (o *optList) Set(raw string) error {
+	field, val, ok := strings.Cut(raw, "=")
+	if !ok || field == "" || val == "" {
+		return fmt.Errorf("want field=value (fields: %s)", strings.Join(core.AxisFields(), ", "))
+	}
+	*o = append(*o, optKV{field: field, value: val})
+	return nil
+}
+
 // sweepParams are the `wsstudy sweep` knobs.
 type sweepParams struct {
 	experiment string

@@ -6,8 +6,9 @@
 // configuration — fig6 and fig6dm both run Barnes-Hut on the identical
 // Plummer system — and the kernel execution dominates their wall-clock.
 // A Store keyed by the kernel's full configuration turns the second and
-// later executions into replays of a pooled in-memory WST2 snapshot,
-// which decode at memory bandwidth instead of re-simulating physics.
+// later executions into replays of a pooled in-memory WST3 snapshot
+// (the compressed framed trace format), which decode at memory
+// bandwidth instead of re-simulating physics.
 //
 // Replays are epoch-prefix aware: a deterministic kernel traced for k
 // epochs emits a byte-for-byte prefix of the same kernel traced for
@@ -74,9 +75,10 @@ var (
 	fpReplay = fault.New("capture.replay")
 )
 
-// DefaultMaxBytes bounds a Store's resident encoded-trace bytes. WST2's
+// DefaultMaxBytes bounds a Store's resident encoded-trace bytes. The
 // delta encoding holds quick-scale kernel runs around two bytes per
-// reference, so the default comfortably fits every shareable stream in
+// reference before compression, and WST3's DEFLATE framing shrinks that
+// further, so the default comfortably fits every shareable stream in
 // the suite.
 const DefaultMaxBytes = 256 << 20
 
@@ -215,7 +217,7 @@ func (s *Store) Run(ctx context.Context, key string, epochs int, sink trace.Cons
 	rec.Counter(obs.CaptureMisses).Inc()
 
 	buf := &buffer{}
-	w, err := trace.NewWriter(buf)
+	w, err := trace.NewCompressedWriter(buf)
 	if err != nil {
 		buf.free()
 		return produce(sink)
@@ -372,8 +374,8 @@ func (s *Store) Bytes() int64 {
 	return s.bytes
 }
 
-// recorder tees the producer's stream into the WST2 writer while
-// counting what a commit needs.
+// recorder tees the producer's stream into the compressed trace writer
+// while counting what a commit needs.
 type recorder struct {
 	w      *trace.Writer
 	epochs int

@@ -21,10 +21,13 @@ import (
 // per-PE caches and returns PE 1's read miss rate.
 func runBHConcrete(ctx context.Context, o Options, n, steps, warm, capacityLines, assoc int, lineSize uint32) (float64, error) {
 	bodies := barneshut.Plummer(n, 42)
-	sys := openMachine(ctx, o, memsys.Config{
+	sys, err := openMachine(ctx, o, memsys.Config{
 		PEs: 4, LineSize: lineSize, CacheCapacity: capacityLines, Assoc: assoc,
 		ProfilePE: -1, WarmupEpochs: warm,
 	})
+	if err != nil {
+		return 0, err
+	}
 	defer sys.Close()
 	sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
 		Theta: 1.0, Quadrupole: true, Eps: 0.05, DT: 0.003, P: 4,
@@ -131,11 +134,14 @@ func expLineSize() Experiment {
 			vr := Series{Label: "volume rendering"}
 			for _, ls := range lineSizes {
 				vol := volrend.SyntheticHead(volEdge, volEdge, volEdge*7/8)
-				sys := openMachine(ctx, o, memsys.Config{
+				sys, err := openMachine(ctx, o, memsys.Config{
 					PEs: 4, LineSize: ls, Dist: memsys.Interleaved,
 					CacheCapacity: int(cacheBytes / int(ls)), ProfilePE: -1,
 					WarmupEpochs: 1,
 				})
+				if err != nil {
+					return nil, err
+				}
 				ren, err := volrend.NewRenderer(vol, volrend.Config{
 					ImageW: img, ImageH: img, P: 4,
 				}, trace.WithContext(ctx, sys))

@@ -34,11 +34,14 @@ func expBus() Experiment {
 			var rows [][]string
 			for _, bytes := range sizes {
 				bodies := barneshut.Plummer(n, 42)
-				sys := openMachine(ctx, o, memsys.Config{
+				sys, err := openMachine(ctx, o, memsys.Config{
 					PEs: 4, LineSize: lineSize,
 					CacheCapacity: int(bytes / lineSize), ProfilePE: -1,
 					WarmupEpochs: 1,
 				})
+				if err != nil {
+					return nil, err
+				}
 				sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
 					Theta: 1.0, Quadrupole: true, Eps: 0.05, DT: 0.003, P: 4,
 				}, trace.WithContext(ctx, sys))

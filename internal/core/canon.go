@@ -8,11 +8,13 @@ import (
 	"strings"
 )
 
-// canonVersion tags the canonical Options encoding; bump it whenever a
-// field is added to (or its default changes in) the encoding, so stale
-// fingerprints can never alias new configurations. Version 2 added the
-// design-space axes (cache, line, assoc, pes, problem), invalidating
-// every v1 key at once.
+// canonVersion tags the canonical Options encoding; bump it whenever an
+// existing encoding string could alias a semantically different new one,
+// so stale fingerprints can never collide with new configurations.
+// Version 2 added the design-space axes (cache, line, assoc, pes,
+// problem), invalidating every v1 key at once. Appending a brand-new key
+// (sample, PR 9) stays within v2: old strings lack the key entirely, so
+// they cannot alias any new encoding — they simply stop being produced.
 const canonVersion = 2
 
 // Canonical returns the stable textual encoding of the Options used to
@@ -54,12 +56,13 @@ const (
 	AxisAssoc   = "assoc"
 	AxisPEs     = "pes"
 	AxisProblem = "problem"
+	AxisSample  = "sample"
 )
 
 // AxisFields lists the sweepable canonical Options fields in encoding
 // order (sorted). The returned slice is the caller's to keep.
 func AxisFields() []string {
-	return []string{AxisAssoc, AxisCache, AxisLine, AxisPEs, AxisProblem, AxisScale}
+	return []string{AxisAssoc, AxisCache, AxisLine, AxisPEs, AxisProblem, AxisSample, AxisScale}
 }
 
 // AxisValue reads the canonical string value of one axis field; ""
@@ -78,6 +81,13 @@ func (o Options) AxisValue(field string) string {
 		return strconv.Itoa(o.PEs)
 	case AxisProblem:
 		return strconv.Itoa(o.Problem)
+	case AxisSample:
+		// Zero (unset) normalizes to the exact profiler's rate 1, so
+		// pre-sampling Options encode identically to an explicit exact run.
+		if o.SampleRate <= 1 {
+			return "1"
+		}
+		return strconv.Itoa(o.SampleRate)
 	}
 	return ""
 }
@@ -119,6 +129,13 @@ func (o *Options) SetAxis(field, value string) error {
 			o.Problem = v
 		}
 		return nil
+	case AxisSample:
+		v, err := strconv.Atoi(value)
+		if err != nil || v < 1 || v&(v-1) != 0 {
+			return fmt.Errorf("core: axis %s: %q is not a power-of-two sampling rate ≥ 1", field, value)
+		}
+		o.SampleRate = v
+		return nil
 	}
 	return fmt.Errorf("core: unknown options axis %q (valid: %s)",
 		field, strings.Join(AxisFields(), ", "))
@@ -133,19 +150,25 @@ func (o Options) Fingerprint() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// resultKeySchema is the schema tag frozen into ResultKey derivation.
+// It deliberately does NOT track ReportSchemaVersion: additive schema
+// evolutions (new optional fields, like ReportV1's sampling block) keep
+// old persisted reports revivable, so their content addresses must stay
+// stable too. Bump this only for a breaking schema change that really
+// must orphan every persisted rendering at once.
+const resultKeySchema = 1
+
 // ResultKey derives the content address of one (experiment id, Options)
-// result: SHA-256 over the experiment id, the frozen report schema
-// version, and the canonical Options encoding. Options that canonicalize
+// result: SHA-256 over the experiment id, the frozen result-key schema
+// tag, and the canonical Options encoding. Options that canonicalize
 // identically — regardless of Timeout or field order — always map to the
-// same key; bumping ReportSchemaVersion changes every key at once,
-// invalidating stale persisted renderings. The result store and the
-// suite checkpoint journal both key by this, so a journaled cell and a
-// cached report for the same configuration can never disagree about
-// identity.
+// same key. The result store and the suite checkpoint journal both key
+// by this, so a journaled cell and a cached report for the same
+// configuration can never disagree about identity.
 func ResultKey(id string, o Options) [sha256.Size]byte {
 	h := sha256.New()
 	fmt.Fprintf(h, "wsstudy.result;schema=%d;experiment=%s;%s",
-		ReportSchemaVersion, id, o.Canonical())
+		resultKeySchema, id, o.Canonical())
 	var k [sha256.Size]byte
 	h.Sum(k[:0])
 	return k

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -13,7 +14,7 @@ import (
 // TestCanonicalOptions pins the canonical encoding: defaults explicit,
 // stable across runs, and insensitive to non-semantic fields.
 func TestCanonicalOptions(t *testing.T) {
-	const zeroWant = "optv2;assoc=0;cache=0;line=0;pes=0;problem=0;scale=full"
+	const zeroWant = "optv2;assoc=0;cache=0;line=0;pes=0;problem=0;sample=1;scale=full"
 	if got := (Options{}).Canonical(); got != zeroWant {
 		t.Errorf("zero Options canonical = %q, want %s", got, zeroWant)
 	}
@@ -129,7 +130,7 @@ func TestReportV1RoundTrip(t *testing.T) {
 	if err := r.Render(&sb, FormatJSON); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb.String(), `"schema_version": 1`) {
+	if !strings.Contains(sb.String(), fmt.Sprintf(`"schema_version": %d`, ReportSchemaVersion)) {
 		t.Errorf("JSON render missing schema_version:\n%.300s", sb.String())
 	}
 	var v ReportV1

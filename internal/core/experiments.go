@@ -32,17 +32,35 @@ func sizesGrid() []uint64 { return workingset.LogSizes(64, 4<<20, 2) }
 // and attaches run-scope observability. Callers must Close the machine —
 // it is the sharded engine's worker shutdown and failure-propagation
 // barrier — and forward a non-nil Close error into their Report.
-func openMachine(ctx context.Context, o Options, cfg memsys.Config) memsys.Machine {
+func openMachine(ctx context.Context, o Options, cfg memsys.Config) (memsys.Machine, error) {
 	cfg.Shards = o.MachineShards
-	m := memsys.MustOpen(cfg)
+	cfg.SampleRate = o.SampleRate
+	m, err := memsys.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
 	m.Instrument(obs.From(ctx))
-	return m
+	return m, nil
+}
+
+// attachSampling records the run's profiler fidelity on the report when
+// the profiler is sampled; exact profilers (rate 1) leave Sampling nil,
+// keeping pre-sampling reports byte-identical.
+func attachSampling(r *Report, prof cache.Profiler) {
+	if prof == nil || prof.SampleRate() <= 1 {
+		return
+	}
+	r.Sampling = &Sampling{
+		Rate:         prof.SampleRate(),
+		SampledLines: prof.SampledLines(),
+		ErrorBound:   prof.ErrorBound(),
+	}
 }
 
 // profCurve converts a profiler's miss counts at the given byte sizes into
 // a normalized curve: misses divided by denom (FLOPs, or read count when
 // readRate is set).
-func profCurve(label string, prof *cache.StackProfiler, sizes []uint64, denom float64, readRate bool) Series {
+func profCurve(label string, prof cache.Profiler, sizes []uint64, denom float64, readRate bool) Series {
 	caps := workingset.BytesToLines(sizes, prof.LineSize())
 	counts := prof.Curve(caps)
 	pts := make([]workingset.Point, len(counts))
@@ -106,9 +124,12 @@ func expFig2() Experiment {
 			}
 			m := lu.NewBlockMatrix(n, b, nil)
 			m.FillRandomDominant(1)
-			sys := openMachine(ctx, o, memsys.Config{
+			sys, err := openMachine(ctx, o, memsys.Config{
 				PEs: pr * pc, LineSize: 8, Profile: true, ProfilePE: pr*pc - 1,
 			})
+			if err != nil {
+				return r, err
+			}
 			defer sys.Close()
 			stats, err := lu.FactorTraced(m, lu.Grid{PR: pr, PC: pc},
 				trace.WithContext(ctx, sys))
@@ -130,6 +151,7 @@ func expFig2() Experiment {
 				profCurve("measured", prof, simSizes, stats.FLOPsByPE[pr*pc-1], false),
 				modelSeries("model", simSizes, lu.Model{N: n, B: b, P: pr * pc}.MissRatePerFLOP))
 			r.Figures = append(r.Figures, sim)
+			attachSampling(r, prof)
 			r.AddNote("model plateaus: 1.0 before lev1WS, 0.5 to lev2WS, 1/B to lev3WS, 1/2B to lev4WS, then communication")
 			return r, nil
 		},
@@ -163,9 +185,12 @@ func expFig4() Experiment {
 				n, p, iters, warm = 128, 4, 8, 2
 			}
 			px := int(math.Sqrt(float64(p)))
-			sys := openMachine(ctx, o, memsys.Config{
+			sys, err := openMachine(ctx, o, memsys.Config{
 				PEs: p, LineSize: 8, Profile: true, ProfilePE: p - 1, WarmupEpochs: warm,
 			})
+			if err != nil {
+				return r, err
+			}
 			defer sys.Close()
 			part, err := cg.NewPartition2D(n, px, p/px, nil)
 			if err != nil {
@@ -194,6 +219,7 @@ func expFig4() Experiment {
 				profCurve("measured", prof, simSizes, flops, false),
 				modelSeries("model", simSizes, cg.Model2D{N: n, P: p}.MissRatePerFLOP))
 			r.Figures = append(r.Figures, sim)
+			attachSampling(r, prof)
 			return r, nil
 		},
 	}
@@ -232,9 +258,12 @@ func expFig5() Experiment {
 			}
 			simSizes := workingset.LogSizes(64, 1<<22, 2)
 			for _, radix := range []int{2, 8, 32} {
-				sys := openMachine(ctx, o, memsys.Config{
+				sys, err := openMachine(ctx, o, memsys.Config{
 					PEs: p, LineSize: 8, Profile: true, ProfilePE: pe,
 				})
+				if err != nil {
+					return r, err
+				}
 				f, err := fft.New(fft.Config{LogN: logN, P: p, InternalRadix: radix},
 					trace.WithContext(ctx, sys))
 				if err != nil {
@@ -256,6 +285,7 @@ func expFig5() Experiment {
 				sim.Series = append(sim.Series, profCurve(
 					fmt.Sprintf("radix %d", radix),
 					sys.Profiler(pe), simSizes, f.FLOPs()/float64(p), false))
+				attachSampling(r, sys.Profiler(pe))
 			}
 			r.Figures = append(r.Figures, sim)
 			r.AddNote("measured curves include bit-reversal, twiddle scaling and the two exchanges; the paper's plateaus count the butterfly loop only (see EXPERIMENTS.md)")
@@ -293,10 +323,13 @@ func runBHTraced(ctx context.Context, n, p, steps int, theta float64, sink trace
 
 // runBH runs a traced Barnes-Hut configuration under ctx and returns the
 // profiler and the aggregate read count.
-func runBH(ctx context.Context, o Options, n, p, profPE, warm, steps int, theta float64) (*cache.StackProfiler, error) {
-	sys := openMachine(ctx, o, memsys.Config{
+func runBH(ctx context.Context, o Options, n, p, profPE, warm, steps int, theta float64) (cache.Profiler, error) {
+	sys, err := openMachine(ctx, o, memsys.Config{
 		PEs: p, LineSize: 8, Profile: true, ProfilePE: profPE, WarmupEpochs: warm,
 	})
+	if err != nil {
+		return nil, err
+	}
 	if err := runBHTraced(ctx, n, p, steps, theta, trace.WithContext(ctx, sys)); err != nil {
 		sys.Close()
 		return nil, err
@@ -332,6 +365,7 @@ func expFig6() Experiment {
 			fig.Series = append(fig.Series,
 				profCurve("measured", prof, simSizes, float64(prof.Reads()), true))
 			r.Figures = append(r.Figures, fig)
+			attachSampling(r, prof)
 
 			// Extract the hierarchy from the measured curve.
 			c := workingset.Curve{Label: "measured", Points: fig.Series[0].Points}
@@ -366,9 +400,12 @@ func expFig6DM() Experiment {
 			// associative profiler plus one direct-mapped system per size.
 			// The systems share no state, so each gets its own Fanout worker
 			// instead of rerunning the N-body code per cache size.
-			faSys := openMachine(ctx, o, memsys.Config{
+			faSys, err := openMachine(ctx, o, memsys.Config{
 				PEs: p, LineSize: 8, Profile: true, ProfilePE: pe, WarmupEpochs: warm,
 			})
+			if err != nil {
+				return nil, err
+			}
 			sizes := workingset.LogSizes(1024, 1<<20, 1)
 			dmSys := make([]memsys.Machine, len(sizes))
 			defer func() {
@@ -381,10 +418,13 @@ func expFig6DM() Experiment {
 			}()
 			consumers := []trace.Consumer{faSys}
 			for i, bytes := range sizes {
-				dmSys[i] = openMachine(ctx, o, memsys.Config{
+				dmSys[i], err = openMachine(ctx, o, memsys.Config{
 					PEs: p, LineSize: 8, CacheCapacity: int(bytes / 8), Assoc: 1,
 					ProfilePE: -1, WarmupEpochs: warm,
 				})
+				if err != nil {
+					return nil, err
+				}
 				consumers = append(consumers, dmSys[i])
 			}
 			fan, err := trace.NewFanout(consumers...)
@@ -423,6 +463,7 @@ func expFig6DM() Experiment {
 			}
 
 			r := &Report{Title: "Direct-mapped vs fully associative (Barnes-Hut)"}
+			attachSampling(r, prof)
 			r.Figures = append(r.Figures, Figure{
 				Title:  fmt.Sprintf("n=%d theta=1.0 p=4", n),
 				XLabel: "cache size", YLabel: "read miss rate",
@@ -471,10 +512,13 @@ func expFig7() Experiment {
 				nx, ny, nz, img, frames = 256, 256, 113, 384, 3
 			}
 			vol := volrend.SyntheticHead(nx, ny, nz)
-			sys := openMachine(ctx, o, memsys.Config{
+			sys, err := openMachine(ctx, o, memsys.Config{
 				PEs: 4, LineSize: 8, Dist: memsys.Interleaved,
 				Profile: true, ProfilePE: 0, WarmupEpochs: 1,
 			})
+			if err != nil {
+				return nil, err
+			}
 			defer sys.Close()
 			ren, err := volrend.NewRenderer(vol, volrend.Config{
 				ImageW: img, ImageH: img, P: 4,
@@ -501,6 +545,7 @@ func expFig7() Experiment {
 			fig.Series = append(fig.Series,
 				profCurve("measured", prof, simSizes, float64(prof.Reads()), true))
 			r.Figures = append(r.Figures, fig)
+			attachSampling(r, prof)
 
 			c := workingset.Curve{Points: fig.Series[0].Points}
 			h := workingset.FromKnees("volrend", workingset.FindKnees(&c, 1.6, 0.005))

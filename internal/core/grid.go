@@ -131,7 +131,10 @@ func expGridBH() Experiment {
 				cfg.Profile = true
 				cfg.ProfilePE = 1 % p
 			}
-			sys := openMachine(ctx, o, cfg)
+			sys, err := openMachine(ctx, o, cfg)
+			if err != nil {
+				return nil, err
+			}
 			defer sys.Close()
 			if err := runBHTraced(ctx, n, p, steps, theta, trace.WithContext(ctx, sys)); err != nil {
 				return nil, err
@@ -156,6 +159,7 @@ func expGridBH() Experiment {
 				fig.Series = append(fig.Series, profCurve("measured", prof,
 					workingset.LogSizes(64, 4<<20, 2), float64(prof.Reads()), true))
 				r.Figures = append(r.Figures, fig)
+				attachSampling(r, prof)
 			}
 			return r, nil
 		},

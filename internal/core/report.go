@@ -42,12 +42,25 @@ type Figure struct {
 	Series []Series
 }
 
+// Sampling describes the fidelity of a report computed with a sampled
+// profiler: the spatial sampling rate, how many distinct sampled lines
+// backed the estimate, and the estimated relative error bound
+// (~1/sqrt(sampled lines)). Exact runs carry a nil Sampling.
+type Sampling struct {
+	Rate         int
+	SampledLines int
+	ErrorBound   float64
+}
+
 // Report is an experiment's full output.
 type Report struct {
 	Title   string
 	Figures []Figure
 	Tables  []Table
 	Notes   []string
+	// Sampling records the profiler fidelity when the run used spatial
+	// sampling (Options.SampleRate > 1); nil for exact runs.
+	Sampling *Sampling
 	// Metrics is the run's observability snapshot — per-stage counters,
 	// timings and labels — populated by Execute when the run's context
 	// carries an obs.Recorder, nil otherwise.
@@ -141,6 +154,10 @@ func (r *Report) renderText(w io.Writer) {
 		for _, n := range r.Notes {
 			fmt.Fprintf(w, "  - %s\n", n)
 		}
+	}
+	if r.Sampling != nil {
+		fmt.Fprintf(w, "\nsampling: rate=1/%d sampled_lines=%d est_error<=%.3g\n",
+			r.Sampling.Rate, r.Sampling.SampledLines, r.Sampling.ErrorBound)
 	}
 	if r.Metrics != nil && !r.Metrics.Empty() {
 		fmt.Fprintln(w, "\n-- metrics --")
@@ -366,6 +383,13 @@ type Options struct {
 	// Problem, when positive, overrides the application problem size of
 	// a grid cell (n for LU and Barnes-Hut).
 	Problem int
+	// SampleRate selects profiler fidelity: 0 or 1 runs the exact
+	// stack-distance profiler; a power of two ≥ 2 profiles a hashed 1/R
+	// subset of the line space with counts scaled back up (see
+	// cache.SampledStackProfiler). Sampling changes reported numbers, so
+	// unlike MachineShards it IS part of the canonical encoding and the
+	// result key.
+	SampleRate int
 	// Timeout, when positive, bounds the experiment's run time. Execute
 	// derives a deadline-carrying context and maps expiry to ErrDeadline.
 	Timeout time.Duration

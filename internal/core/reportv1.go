@@ -5,10 +5,20 @@ import (
 	"wsstudy/internal/workingset"
 )
 
-// ReportSchemaVersion is the frozen wire-schema version of ReportV1.
-// It participates in result-store key derivation, so bumping it
-// invalidates every cached and persisted rendering at once.
-const ReportSchemaVersion = 1
+// ReportSchemaVersion is the current wire-schema version of ReportV1.
+// Version 2 added the optional `sampling` object; everything a version-1
+// document carries means the same thing in version 2, so persisted v1
+// renderings stay revivable (they read back with a nil Sampling) —
+// MinReportSchemaVersion names the oldest version the store accepts.
+// Result-store keys are derived from the separately frozen
+// resultKeySchema (see canon.go), so an additive bump here does not
+// orphan persisted reports.
+const ReportSchemaVersion = 2
+
+// MinReportSchemaVersion is the oldest persisted schema version the
+// result store revives rather than quarantines. Versions 1 and 2 differ
+// only by optional additive fields.
+const MinReportSchemaVersion = 1
 
 // ReportV1 is the frozen v1 JSON form of a Report: explicit snake_case
 // field names with a self-describing schema_version, shared by the HTTP
@@ -21,7 +31,23 @@ type ReportV1 struct {
 	Figures       []FigureV1   `json:"figures,omitempty"`
 	Tables        []TableV1    `json:"tables,omitempty"`
 	Notes         []string     `json:"notes,omitempty"`
+	Sampling      *SamplingV1  `json:"sampling,omitempty"`
 	Metrics       *obs.Metrics `json:"metrics,omitempty"`
+}
+
+// SamplingV1 is the v1 form of a report's profiler-fidelity block,
+// present only when the run used spatial sampling (schema version ≥ 2;
+// version-1 documents revive with a nil Sampling).
+type SamplingV1 struct {
+	// Rate is the spatial sampling rate R: a hashed 1/R subset of the
+	// line space was profiled exactly and counts were scaled by R.
+	Rate int `json:"rate"`
+	// SampledLines is how many distinct sampled lines backed the
+	// estimate.
+	SampledLines int `json:"sampled_lines"`
+	// ErrorBound is the estimated relative error of the scaled miss
+	// counts, ~1/sqrt(sampled_lines).
+	ErrorBound float64 `json:"error_bound"`
 }
 
 // FigureV1 is the v1 form of a Figure.
@@ -60,6 +86,13 @@ func (r *Report) V1() *ReportV1 {
 		Notes:         r.Notes,
 		Metrics:       r.Metrics,
 	}
+	if r.Sampling != nil {
+		v.Sampling = &SamplingV1{
+			Rate:         r.Sampling.Rate,
+			SampledLines: r.Sampling.SampledLines,
+			ErrorBound:   r.Sampling.ErrorBound,
+		}
+	}
 	for _, f := range r.Figures {
 		fv := FigureV1{Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel}
 		for _, s := range f.Series {
@@ -82,6 +115,13 @@ func (r *Report) V1() *ReportV1 {
 // rendering so text and CSV can still be derived from it.
 func (v *ReportV1) Report() *Report {
 	r := &Report{Title: v.Title, Notes: v.Notes, Metrics: v.Metrics}
+	if v.Sampling != nil {
+		r.Sampling = &Sampling{
+			Rate:         v.Sampling.Rate,
+			SampledLines: v.Sampling.SampledLines,
+			ErrorBound:   v.Sampling.ErrorBound,
+		}
+	}
 	for _, fv := range v.Figures {
 		f := Figure{Title: fv.Title, XLabel: fv.XLabel, YLabel: fv.YLabel}
 		for _, sv := range fv.Series {

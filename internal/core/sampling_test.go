@@ -1,0 +1,284 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"wsstudy/internal/apps/barneshut"
+	"wsstudy/internal/apps/cg"
+	"wsstudy/internal/apps/fft"
+	"wsstudy/internal/apps/lu"
+	"wsstudy/internal/apps/volrend"
+	"wsstudy/internal/cache"
+	"wsstudy/internal/memsys"
+	"wsstudy/internal/trace"
+)
+
+// Sampling gates. Two claims back the opt.sample axis:
+//
+//  1. Equivalence: SampleRate=1 is the exact profiler — bit-identical
+//     statistics to a machine that never heard of sampling, for every
+//     kernel, serial and sharded, including under GOMAXPROCS=1. This is
+//     the entry the Makefile equivalence target runs.
+//  2. Accuracy: at R ≤ 64, the sampled miss-rate curve's knee lands
+//     within one grid sample of the exact curve's on every kernel.
+
+// rateOneVsDefault runs one kernel through a profiling machine built
+// with SampleRate unset (the pre-sampling default) and with SampleRate=1
+// explicitly, and demands bit-identical snapshots.
+func rateOneVsDefault(t *testing.T, k kernelCase, shards int) {
+	t.Helper()
+	caps := []int{8, 64, 512, 4096}
+	base := memsys.Config{
+		PEs: 4, LineSize: 8, Profile: true, ProfilePE: 1, WarmupEpochs: k.warm,
+		Shards: shards,
+	}
+	runCfg := func(cfg memsys.Config) profSnapshot {
+		m, err := memsys.Open(cfg)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		k.run(t, m)
+		if err := m.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		return profSnap(m, 1, caps)
+	}
+	def := runCfg(base)
+	one := base
+	one.SampleRate = 1
+	explicit := runCfg(one)
+	if !reflect.DeepEqual(explicit, def) {
+		t.Errorf("SampleRate=1 diverged from the default path (shards=%d)\nrate1:   %+v\ndefault: %+v",
+			shards, explicit, def)
+	}
+}
+
+// TestSamplingEquivalenceRateOne is the equivalence-gate entry for the
+// sampling axis: requesting rate 1 must route through the exact
+// profiler, bit-identically, on every kernel — serially, under the
+// region-sharded engine, and under GOMAXPROCS=1.
+func TestSamplingEquivalenceRateOne(t *testing.T) {
+	t.Run("gomaxprocs=1", func(t *testing.T) {
+		old := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(old)
+		k := equivalenceKernels()[3] // barneshut: multi-epoch, order-sensitive
+		rateOneVsDefault(t, k, 0)
+		rateOneVsDefault(t, k, 3)
+	})
+	for _, k := range equivalenceKernels() {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			t.Parallel()
+			rateOneVsDefault(t, k, 0)
+			rateOneVsDefault(t, k, 3)
+		})
+	}
+}
+
+// samplingKernels are the five applications at sizes large enough that a
+// 1/64 spatial sample still holds tens of lines — the regime the
+// accuracy claim is about. (The equivalence kernels are smaller; exact
+// equality needs no population.)
+func samplingKernels() []kernelCase {
+	return []kernelCase{
+		{name: "lu", warm: 0, run: func(t *testing.T, sink trace.Consumer) {
+			m := lu.NewBlockMatrix(128, 8, nil)
+			m.FillRandomDominant(1)
+			if _, err := lu.FactorTraced(m, lu.Grid{PR: 2, PC: 2}, sink); err != nil {
+				t.Fatalf("lu: %v", err)
+			}
+		}},
+		{name: "cg", warm: 1, run: func(t *testing.T, sink trace.Consumer) {
+			part, err := cg.NewPartition2D(32, 2, 2, nil)
+			if err != nil {
+				t.Fatalf("cg: %v", err)
+			}
+			solver := cg.NewSolver2D(part, sink)
+			b := make([]float64, 32*32)
+			for i := range b {
+				b[i] = 1
+			}
+			solver.SetB(b)
+			if _, err := solver.Solve(cg.Config{MaxIters: 6}); err != nil {
+				t.Fatalf("cg: %v", err)
+			}
+		}},
+		{name: "fft", warm: 0, run: func(t *testing.T, sink trace.Consumer) {
+			f, err := fft.New(fft.Config{LogN: 14, P: 4, InternalRadix: 4}, sink)
+			if err != nil {
+				t.Fatalf("fft: %v", err)
+			}
+			x := make([]complex128, 1<<14)
+			for i := range x {
+				x[i] = complex(float64(i%17)-8, float64(i%13)-6)
+			}
+			f.SetInput(x)
+			if err := f.Run(); err != nil {
+				t.Fatalf("fft: %v", err)
+			}
+		}},
+		{name: "barneshut", warm: 1, run: func(t *testing.T, sink trace.Consumer) {
+			bodies := barneshut.Plummer(512, 42)
+			sim, err := barneshut.NewSimulation(bodies, barneshut.Config{
+				Theta: 1.0, Quadrupole: true, Eps: 0.05, DT: 0.003, P: 4,
+			}, sink)
+			if err != nil {
+				t.Fatalf("barneshut: %v", err)
+			}
+			for s := 0; s < 3; s++ {
+				if _, err := sim.Step(); err != nil {
+					t.Fatalf("barneshut: %v", err)
+				}
+			}
+		}},
+		{name: "volrend", warm: 1, run: func(t *testing.T, sink trace.Consumer) {
+			vol := volrend.SyntheticHead(32, 32, 28)
+			ren, err := volrend.NewRenderer(vol, volrend.Config{
+				ImageW: 48, ImageH: 48, P: 4,
+			}, sink)
+			if err != nil {
+				t.Fatalf("volrend: %v", err)
+			}
+			for f := 0; f < 2; f++ {
+				if _, err := ren.RenderFrame(0.04 * float64(f)); err != nil {
+					t.Fatalf("volrend: %v", err)
+				}
+			}
+		}},
+	}
+}
+
+// kneeGrid is the capacity grid (in lines) the accuracy claim is stated
+// on: one point per octave, so "within one grid sample" means within a
+// factor of two in capacity.
+func kneeGrid() []int {
+	var caps []int
+	for c := 8; c <= 1<<18; c *= 2 {
+		caps = append(caps, c)
+	}
+	return caps
+}
+
+// kneeIndex locates the largest relative drop between consecutive grid
+// samples of a miss curve — the working-set knee as the paper reads it
+// off Figure 6-style plots.
+func kneeIndex(counts []cache.MissCount) int {
+	best, bi := -1.0, 0
+	for i := 0; i+1 < len(counts); i++ {
+		a, b := float64(counts[i].Misses()), float64(counts[i+1].Misses())
+		if a <= 0 {
+			continue
+		}
+		if drop := (a - b) / a; drop > best {
+			best, bi = drop, i
+		}
+	}
+	return bi
+}
+
+// profileKernel runs one kernel through a profiling machine at the given
+// sampling rate and returns its curve on the knee grid.
+func profileKernel(t *testing.T, k kernelCase, rate int) ([]cache.MissCount, cache.Profiler) {
+	t.Helper()
+	m, err := memsys.Open(memsys.Config{
+		PEs: 4, LineSize: 8, Profile: true, ProfilePE: 1,
+		WarmupEpochs: k.warm, SampleRate: rate,
+	})
+	if err != nil {
+		t.Fatalf("open (rate=%d): %v", rate, err)
+	}
+	k.run(t, m)
+	if err := m.Close(); err != nil {
+		t.Fatalf("close (rate=%d): %v", rate, err)
+	}
+	p := m.Profiler(1)
+	return p.Curve(kneeGrid()), p
+}
+
+// TestSampledKneeAccuracy is the measured-error harness: for every
+// kernel and every rate up to 64, the sampled curve's knee must land
+// within one grid sample of the exact curve's, the full-stream
+// denominators must be exact, and the reported error bound must be
+// finite and positive.
+func TestSampledKneeAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy harness runs the larger sampling kernels")
+	}
+	for _, k := range samplingKernels() {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			t.Parallel()
+			_, exact := profileKernel(t, k, 1)
+			for _, rate := range []int{4, 16, 64} {
+				_, samp := profileKernel(t, k, rate)
+				// The estimator is only meaningful where the scaled-down
+				// stack holds a few dozen sampled lines; below that the
+				// quantization of C/R dominates and the curve overshoots.
+				// State the claim on the trusted region (exact curve
+				// re-gridded so indices align). DESIGN.md §12 documents
+				// the same floor for consumers.
+				var grid []int
+				for _, c := range kneeGrid() {
+					if c >= 32*rate {
+						grid = append(grid, c)
+					}
+				}
+				ek := kneeIndex(exact.Curve(grid))
+				sk := kneeIndex(samp.Curve(grid))
+				if d := sk - ek; d < -1 || d > 1 {
+					t.Errorf("rate %d: knee at grid index %d, exact at %d (>1 sample apart)", rate, sk, ek)
+				}
+				if samp.Reads() != exact.Reads() || samp.Writes() != exact.Writes() {
+					t.Errorf("rate %d: denominators reads=%d writes=%d, exact %d/%d",
+						rate, samp.Reads(), samp.Writes(), exact.Reads(), exact.Writes())
+				}
+				if samp.SampledLines() == 0 {
+					t.Errorf("rate %d: no lines sampled; kernel too small for the claim", rate)
+				}
+				if eb := samp.ErrorBound(); eb <= 0 || eb >= 1 || math.IsNaN(eb) {
+					t.Errorf("rate %d: implausible error bound %g", rate, eb)
+				}
+			}
+		})
+	}
+}
+
+// TestFig6SampledReport: the fig6 experiment run with opt.sample > 1
+// must attach the sampling block to its report, and with the default
+// rate must not — the ReportV1 contract the HTTP API serves.
+func TestFig6SampledReport(t *testing.T) {
+	e, ok := Find("gridbh")
+	if !ok {
+		t.Fatal("gridbh not registered")
+	}
+	rep, err := e.Run(t.Context(), Options{Scale: ScaleQuick, SampleRate: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sampling == nil {
+		t.Fatal("sampled run attached no Sampling block")
+	}
+	if rep.Sampling.Rate != 16 || rep.Sampling.SampledLines <= 0 ||
+		rep.Sampling.ErrorBound <= 0 || rep.Sampling.ErrorBound >= 1 {
+		t.Errorf("sampling block = %+v", rep.Sampling)
+	}
+	v1 := rep.V1()
+	if v1.Sampling == nil || v1.Sampling.Rate != 16 {
+		t.Errorf("V1 sampling block = %+v", v1.Sampling)
+	}
+	back := v1.Report()
+	if back.Sampling == nil || *back.Sampling != *rep.Sampling {
+		t.Errorf("sampling round-trip lost: %+v vs %+v", back.Sampling, rep.Sampling)
+	}
+
+	exact, err := e.Run(t.Context(), Options{Scale: ScaleQuick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Sampling != nil {
+		t.Errorf("exact run attached a sampling block: %+v", exact.Sampling)
+	}
+}

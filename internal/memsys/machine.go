@@ -31,8 +31,9 @@ type Machine interface {
 	Home(addr uint64) int
 	// Measuring reports whether statistics are currently collected.
 	Measuring() bool
-	// Profiler returns pe's working-set profiler, or nil.
-	Profiler(pe int) *cache.StackProfiler
+	// Profiler returns pe's working-set profiler — exact or sampled per
+	// Config.SampleRate — or nil.
+	Profiler(pe int) cache.Profiler
 	// Cache returns pe's concrete cache (nil in profile mode).
 	Cache(pe int) cache.Cache
 	// CacheStats aggregates the stats of all concrete caches.

@@ -76,6 +76,13 @@ type Config struct {
 	// one — Shards changes wall-clock behaviour only, never a statistic —
 	// which is why it is excluded from core's canonical option encoding.
 	Shards int
+	// SampleRate selects profiler fidelity when Profile is set: 0 or 1
+	// attaches exact stack-distance profilers, a power of two ≥ 2
+	// attaches spatially-sampled ones (cache.SampledStackProfiler) that
+	// profile a hashed 1/R subset of the line space. Unlike Shards this
+	// changes reported statistics, so core includes it in the canonical
+	// option encoding.
+	SampleRate int
 }
 
 // Stats aggregates the system-level classification of misses.
@@ -87,9 +94,9 @@ type Stats struct {
 // System is the simulated cache-coherent multiprocessor.
 type System struct {
 	cfg       Config
-	shift     uint                   // log2(LineSize), precomputed once
-	caches    []cache.Cache          // per PE when !Profile (nil entries never occur)
-	profilers []*cache.StackProfiler // per PE when Profile (nil when not profiled)
+	shift     uint             // log2(LineSize), precomputed once
+	caches    []cache.Cache    // per PE when !Profile (nil entries never occur)
+	profilers []cache.Profiler // per PE when Profile (nil when not profiled)
 	dir       *coherence.Directory
 	stats     Stats
 	epoch     int
@@ -152,6 +159,12 @@ func normalize(cfg Config) (Config, error) {
 	if cfg.Shards < 0 {
 		return cfg, fmt.Errorf("%w: Shards must not be negative, got %d", ErrInvalidConfig, cfg.Shards)
 	}
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = 1
+	}
+	if cfg.SampleRate < 1 || cfg.SampleRate&(cfg.SampleRate-1) != 0 {
+		return cfg, fmt.Errorf("%w: SampleRate %d is not a power of two ≥ 1", ErrInvalidConfig, cfg.SampleRate)
+	}
 	return cfg, nil
 }
 
@@ -160,15 +173,15 @@ func normalize(cfg Config) (Config, error) {
 // directory. The serial and sharded engines share it so both simulate the
 // identical machine; cfg must already be normalized. Slots without a unit
 // (unprofiled PEs) stay nil in every returned slice.
-func buildPEs(cfg Config, measuring bool) (caches []cache.Cache, profilers []*cache.StackProfiler, inv []coherence.Invalidator, err error) {
+func buildPEs(cfg Config, measuring bool) (caches []cache.Cache, profilers []cache.Profiler, inv []coherence.Invalidator, err error) {
 	inv = make([]coherence.Invalidator, cfg.PEs)
 	if cfg.Profile {
-		profilers = make([]*cache.StackProfiler, cfg.PEs)
+		profilers = make([]cache.Profiler, cfg.PEs)
 		for pe := 0; pe < cfg.PEs; pe++ {
 			if cfg.ProfilePE >= 0 && pe != cfg.ProfilePE {
 				continue
 			}
-			p, perr := cache.NewStackProfiler(cfg.LineSize)
+			p, perr := cache.NewProfiler(cfg.LineSize, cfg.SampleRate)
 			if perr != nil {
 				return nil, nil, nil, fmt.Errorf("%w: %w", ErrInvalidConfig, perr)
 			}
@@ -220,7 +233,7 @@ func homeOf(cfg *Config, shift uint, addr uint64) int {
 // PEs report misses only in the infinite-cache sense (cold or coherence),
 // since per-size misses are resolved after the fact. A PE with no unit
 // attached never misses.
-func accessPE(caches []cache.Cache, profilers []*cache.StackProfiler, pe int, addr uint64, read bool) bool {
+func accessPE(caches []cache.Cache, profilers []cache.Profiler, pe int, addr uint64, read bool) bool {
 	if caches != nil {
 		return caches[pe].Access(addr, read).Miss()
 	}
@@ -359,7 +372,7 @@ func (s *System) BeginEpoch(n int) {
 func (s *System) Measuring() bool { return s.measuring }
 
 // Profiler returns the profiler attached to pe, or nil.
-func (s *System) Profiler(pe int) *cache.StackProfiler {
+func (s *System) Profiler(pe int) cache.Profiler {
 	if s.profilers == nil {
 		return nil
 	}

@@ -174,7 +174,7 @@ type Sharded struct {
 
 	dir       *coherence.ShardedDirectory
 	caches    []cache.Cache
-	profilers []*cache.StackProfiler
+	profilers []cache.Profiler
 	hasUnit   []bool
 
 	dirWorkers   []*dirWorker
@@ -585,7 +585,7 @@ func (s *Sharded) Home(addr uint64) int { return homeOf(&s.cfg, s.shift, addr) }
 func (s *Sharded) Measuring() bool { return s.measuring }
 
 // Profiler drains the pipeline and returns pe's profiler, or nil.
-func (s *Sharded) Profiler(pe int) *cache.StackProfiler {
+func (s *Sharded) Profiler(pe int) cache.Profiler {
 	if s.profilers == nil {
 		return nil
 	}

@@ -514,8 +514,13 @@ func (s *Store) loadDisk(key Key, id string) (*Result, bool) {
 		s.disk.degrade("load: " + err.Error())
 		return nil, false
 	}
+	// Any schema version in [Min, Current] revives: newer versions only
+	// add optional fields, so an older document reads back losslessly
+	// (e.g. a version-1 report revives with a nil Sampling). Outside the
+	// range — unknown future versions or pre-v1 junk — quarantine.
 	var v core.ReportV1
-	if jerr := json.Unmarshal(raw, &v); jerr != nil || v.SchemaVersion != core.ReportSchemaVersion {
+	if jerr := json.Unmarshal(raw, &v); jerr != nil ||
+		v.SchemaVersion < core.MinReportSchemaVersion || v.SchemaVersion > core.ReportSchemaVersion {
 		s.quarantine(key)
 		return nil, false
 	}

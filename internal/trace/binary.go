@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -47,12 +48,28 @@ import (
 // consumer only after its checksum verifies, so a flipped bit or a
 // truncated tail yields a typed *CorruptError — carrying the byte offset of
 // the failure and the count of references already delivered — never a
-// silent misdecode. Replay reads both versions; Writer emits WST2 (use
+// silent misdecode.
+//
+// WST3 keeps WST2's record encoding and framing discipline but DEFLATEs
+// each chunk payload, shrinking resident captures severalfold at
+// paper-scale reference counts. Its frame adds the uncompressed length
+// so replay can allocate exactly:
+//
+//	[4] compressed payload length (uint32 LE); 0 = end-of-trace marker
+//	[4] uncompressed payload length (uint32 LE)
+//	[4] reference count in this chunk (uint32 LE; epoch markers excluded)
+//	[4] CRC-32C (Castagnoli) of the UNCOMPRESSED payload (uint32 LE)
+//	[payload] DEFLATE stream of the record bytes
+//
+// The checksum covers the uncompressed bytes, so it detects both storage
+// damage and a decompressor disagreement. Replay reads all three
+// versions; NewWriter emits WST2, NewCompressedWriter emits WST3 (use
 // NewWriterV1 only to produce legacy streams for compatibility testing).
 
 var (
 	magicV1 = [4]byte{'W', 'S', 'T', '1'}
 	magicV2 = [4]byte{'W', 'S', 'T', '2'}
+	magicV3 = [4]byte{'W', 'S', 'T', '3'}
 )
 
 // crcTable is the Castagnoli polynomial, hardware-accelerated on the
@@ -112,8 +129,11 @@ func (e *CorruptError) Unwrap() error { return ErrCorrupt }
 type Writer struct {
 	w        *bufio.Writer
 	v1       bool
-	chunk    []byte // pending WST2 chunk payload
-	chunkRec uint32 // references (not epochs) in the pending chunk
+	compress bool          // WST3: DEFLATE each sealed chunk payload
+	fw       *flate.Writer // reused across chunks (compress only)
+	comp     bytes.Buffer  // compressed payload scratch (compress only)
+	chunk    []byte        // pending WST2/WST3 chunk payload
+	chunkRec uint32        // references (not epochs) in the pending chunk
 	lastAddr map[int]uint64
 	curPE    int
 	curSize  uint32
@@ -124,28 +144,41 @@ type Writer struct {
 }
 
 // NewWriter starts a WST2 binary trace on w.
-func NewWriter(w io.Writer) (*Writer, error) { return newWriter(w, false) }
+func NewWriter(w io.Writer) (*Writer, error) { return newWriter(w, magicV2) }
+
+// NewCompressedWriter starts a WST3 binary trace on w: the same framed,
+// checksummed record stream as WST2 with each chunk payload DEFLATEd.
+// Replay decodes it transparently.
+func NewCompressedWriter(w io.Writer) (*Writer, error) { return newWriter(w, magicV3) }
 
 // NewWriterV1 starts a legacy WST1 trace on w. The legacy format has no
 // integrity framing; it exists so compatibility with old traces stays
 // testable. New captures should use NewWriter.
-func NewWriterV1(w io.Writer) (*Writer, error) { return newWriter(w, true) }
+func NewWriterV1(w io.Writer) (*Writer, error) { return newWriter(w, magicV1) }
 
-func newWriter(w io.Writer, v1 bool) (*Writer, error) {
+func newWriter(w io.Writer, magic [4]byte) (*Writer, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	magic := magicV2
-	if v1 {
-		magic = magicV1
-	}
 	if _, err := bw.Write(magic[:]); err != nil {
 		return nil, fmt.Errorf("trace: writing magic: %w", err)
 	}
-	return &Writer{
+	t := &Writer{
 		w:        bw,
-		v1:       v1,
+		v1:       magic == magicV1,
+		compress: magic == magicV3,
 		lastAddr: make(map[int]uint64),
 		curPE:    -1,
-	}, nil
+	}
+	if t.compress {
+		// BestSpeed: the delta-varint records are already dense with
+		// repeated header bytes and small deltas, so the fast setting
+		// captures most of the ratio at a fraction of the CPU.
+		fw, err := flate.NewWriter(&t.comp, flate.BestSpeed)
+		if err != nil {
+			return nil, fmt.Errorf("trace: flate init: %w", err)
+		}
+		t.fw = fw
+	}
+	return t, nil
 }
 
 // Records reports how many references have been written.
@@ -287,24 +320,49 @@ func (t *Writer) maybeSealChunk() {
 }
 
 // sealChunk frames and writes the pending payload: length, record count,
-// CRC-32C, payload.
+// CRC-32C, payload (WST2), or compressed length, uncompressed length,
+// record count, CRC-32C of the uncompressed bytes, DEFLATE payload (WST3).
 func (t *Writer) sealChunk() {
 	if t.err != nil || len(t.chunk) == 0 {
 		return
 	}
-	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(t.chunk)))
-	binary.LittleEndian.PutUint32(hdr[4:8], t.chunkRec)
-	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(t.chunk, crcTable))
+	crc := crc32.Checksum(t.chunk, crcTable)
+	var hdr []byte
+	payload := t.chunk
+	if t.compress {
+		t.comp.Reset()
+		t.fw.Reset(&t.comp)
+		if _, err := t.fw.Write(t.chunk); err != nil {
+			t.err = err
+			return
+		}
+		if err := t.fw.Close(); err != nil {
+			t.err = err
+			return
+		}
+		payload = t.comp.Bytes()
+		var h [16]byte
+		binary.LittleEndian.PutUint32(h[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(h[4:8], uint32(len(t.chunk)))
+		binary.LittleEndian.PutUint32(h[8:12], t.chunkRec)
+		binary.LittleEndian.PutUint32(h[12:16], crc)
+		hdr = h[:]
+	} else {
+		var h [12]byte
+		binary.LittleEndian.PutUint32(h[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(h[4:8], t.chunkRec)
+		binary.LittleEndian.PutUint32(h[8:12], crc)
+		hdr = h[:]
+	}
 	// Injected write faults: the header (with its already-computed CRC)
 	// still goes out, then the payload is corrupted, truncated, or the
-	// write errors — the storage failures WST2's framing exists to catch.
-	payload, ferr := fpWriteChunk.InjectBytes(nil, t.chunk)
+	// write errors — the storage failures the framing exists to catch.
+	payload, ferr := fpWriteChunk.InjectBytes(nil, payload)
 	if ferr != nil {
 		t.err = ferr
 		return
 	}
-	if _, err := t.w.Write(hdr[:]); err != nil {
+	if _, err := t.w.Write(hdr); err != nil {
 		t.err = err
 		return
 	}
@@ -371,7 +429,9 @@ func Replay(r io.Reader, sink Consumer) (uint64, error) {
 	case magicV1:
 		return replayV1(br, sink)
 	case magicV2:
-		return replayV2(br, sink)
+		return replayV2(br, sink, false)
+	case magicV3:
+		return replayV2(br, sink, true)
 	default:
 		return 0, &CorruptError{Offset: 0, Reason: fmt.Sprintf("bad magic %q", magic[:])}
 	}
@@ -465,23 +525,29 @@ func decodeRef(in io.ByteReader, hdr byte, st *decodeState) (Ref, string, error)
 	return Ref{PE: st.curPE, Addr: addr, Size: st.curSize, Kind: kind}, "", nil
 }
 
-// replayV2 decodes the CRC-framed chunk stream. Like replayV1 it buffers
-// decoded references into blocks, flushing before epoch boundaries and
-// before every return so Records still counts exactly the references
-// delivered to the consumer.
-func replayV2(br *bufio.Reader, sink Consumer) (uint64, error) {
+// replayV2 decodes the CRC-framed chunk stream (WST2, and with
+// compressed set, WST3's DEFLATE-payload variant). Like replayV1 it
+// buffers decoded references into blocks, flushing before epoch
+// boundaries and before every return so Records still counts exactly
+// the references delivered to the consumer.
+func replayV2(br *bufio.Reader, sink Consumer, compressed bool) (uint64, error) {
 	ec, _ := sink.(EpochConsumer)
 	st := newDecodeState()
 	offset := int64(4)
+	hdrLen := 12
+	if compressed {
+		hdrLen = 16
+	}
 	var count uint64
-	var payload []byte
+	var payload, raw []byte
+	var inflate io.ReadCloser
+	hdr := make([]byte, hdrLen)
 	block := make([]Ref, 0, DefaultBlockSize)
 	flush := func() {
 		Deliver(sink, block)
 		block = block[:0]
 	}
 	for {
-		var hdr [12]byte
 		if _, err := io.ReadFull(br, hdr[:4]); err != nil {
 			flush()
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
@@ -508,8 +574,20 @@ func replayV2(br *bufio.Reader, sink Consumer) (uint64, error) {
 			}
 			return count, err
 		}
-		wantRecs := binary.LittleEndian.Uint32(hdr[4:8])
-		wantCRC := binary.LittleEndian.Uint32(hdr[8:12])
+		var ulen, wantRecs, wantCRC uint32
+		if compressed {
+			ulen = binary.LittleEndian.Uint32(hdr[4:8])
+			wantRecs = binary.LittleEndian.Uint32(hdr[8:12])
+			wantCRC = binary.LittleEndian.Uint32(hdr[12:16])
+			if ulen == 0 || ulen > maxChunkPayload {
+				flush()
+				return count, &CorruptError{Offset: offset, Records: count,
+					Reason: fmt.Sprintf("implausible uncompressed chunk length %d", ulen)}
+			}
+		} else {
+			wantRecs = binary.LittleEndian.Uint32(hdr[4:8])
+			wantCRC = binary.LittleEndian.Uint32(hdr[8:12])
+		}
 		if cap(payload) < int(plen) {
 			payload = make([]byte, plen)
 		}
@@ -524,13 +602,40 @@ func replayV2(br *bufio.Reader, sink Consumer) (uint64, error) {
 		}
 		// Injected read faults damage the payload after it left the
 		// source, exactly like a bad sector or a DMA bit-flip: corrupt
-		// mode is then caught by the CRC below, and error mode surfaces
-		// as the CorruptError a failed read would produce.
+		// mode is then caught below (by the decompressor or the CRC), and
+		// error mode surfaces as the CorruptError a failed read would
+		// produce.
 		payload, ferr := fpReplayChunk.InjectBytes(nil, payload)
 		if ferr != nil {
 			flush()
 			return count, &CorruptError{Offset: offset, Records: count,
 				Reason: ferr.Error()}
+		}
+		if compressed {
+			if inflate == nil {
+				inflate = flate.NewReader(bytes.NewReader(payload))
+			} else if err := inflate.(flate.Resetter).Reset(bytes.NewReader(payload), nil); err != nil {
+				flush()
+				return count, &CorruptError{Offset: offset, Records: count,
+					Reason: fmt.Sprintf("resetting decompressor: %v", err)}
+			}
+			if cap(raw) < int(ulen) {
+				raw = make([]byte, ulen)
+			}
+			raw = raw[:ulen]
+			if _, err := io.ReadFull(inflate, raw); err != nil {
+				flush()
+				return count, &CorruptError{Offset: offset, Records: count,
+					Reason: fmt.Sprintf("chunk decompression failed: %v", err)}
+			}
+			// The frame's uncompressed length must be exact: trailing
+			// bytes mean the frame lies about its content.
+			if n, _ := inflate.Read(make([]byte, 1)); n != 0 {
+				flush()
+				return count, &CorruptError{Offset: offset, Records: count,
+					Reason: "chunk decompresses past its declared length"}
+			}
+			payload = raw
 		}
 		if got := crc32.Checksum(payload, crcTable); got != wantCRC {
 			flush()
@@ -575,6 +680,6 @@ func replayV2(br *bufio.Reader, sink Consumer) (uint64, error) {
 			return count, &CorruptError{Offset: offset, Records: count,
 				Reason: fmt.Sprintf("chunk decoded %d records, frame says %d", chunkRecs, wantRecs)}
 		}
-		offset += 12 + int64(plen)
+		offset += int64(hdrLen) + int64(plen)
 	}
 }

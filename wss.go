@@ -155,7 +155,9 @@ type (
 	// StoreConfig tunes a ResultStore.
 	StoreConfig = store.Config
 	// StoreKey is a result's content address: SHA-256 of the experiment
-	// id, the report schema version and the canonical Options encoding.
+	// id, a frozen key-schema tag and the canonical Options encoding.
+	// It is deliberately decoupled from ReportSchemaVersion so additive
+	// wire-schema bumps do not orphan persisted results.
 	StoreKey = store.Key
 	// StoreResult is one stored outcome: the Report plus its rendered
 	// v1 JSON.
@@ -173,6 +175,15 @@ const (
 	FormatText = core.FormatText
 	FormatCSV  = core.FormatCSV
 	FormatJSON = core.FormatJSON
+)
+
+// ReportSchemaVersion is the current v1 wire schema version stamped
+// into rendered JSON reports; MinReportSchemaVersion is the oldest
+// persisted version the store will still revive (older versions lack
+// the optional sampling block, which revives as null).
+const (
+	ReportSchemaVersion    = core.ReportSchemaVersion
+	MinReportSchemaVersion = core.MinReportSchemaVersion
 )
 
 // Backpressure and lifecycle sentinels of the result store.
@@ -261,9 +272,17 @@ type (
 	Fanout = trace.Fanout
 	// Tee drives several consumers serially; required when they share state.
 	Tee = trace.Tee
+	// Profiler is the miss-rate-curve profiler contract satisfied by
+	// both the exact StackProfiler and the sampled variant; consumers
+	// that only read curves should accept this interface.
+	Profiler = cache.Profiler
 	// StackProfiler yields exact LRU miss counts at every cache size in
 	// one trace pass.
 	StackProfiler = cache.StackProfiler
+	// SampledStackProfiler estimates the same curves from a spatially
+	// hashed 1/R subset of line addresses, trading bounded error for a
+	// ~R-fold reduction in profiling work.
+	SampledStackProfiler = cache.SampledStackProfiler
 	// LRU is an exact fully associative LRU cache.
 	LRU = cache.LRU
 	// SetAssoc is a set-associative (or direct-mapped) cache.
@@ -311,6 +330,13 @@ func NewStackProfiler(lineSize uint32) (*StackProfiler, error) {
 	return cache.NewStackProfiler(lineSize)
 }
 
+// NewProfiler builds a stack-distance profiler at the given sampling
+// rate: rate 1 returns the exact StackProfiler, a power-of-two rate
+// R >= 2 returns a SampledStackProfiler tracking 1/R of line space.
+func NewProfiler(lineSize uint32, sampleRate int) (Profiler, error) {
+	return cache.NewProfiler(lineSize, sampleRate)
+}
+
 // NewLRU builds a fully associative LRU cache of capacityLines lines.
 // Invalid configurations return an error.
 func NewLRU(capacityLines int, lineSize uint32) (*LRU, error) {
@@ -348,8 +374,8 @@ func CM5(nodes int) Machine { return machine.CM5(nodes) }
 // ProfileCurve extracts a miss-rate curve from a profiler: misses at each
 // size divided by denom (e.g. FLOPs or the profiler's read count); with
 // readOnly set, only read misses are counted (the paper's metric for the
-// irregular applications).
-func ProfileCurve(label string, p *StackProfiler, sizes []uint64, denom float64, readOnly bool) *Curve {
+// irregular applications). Works with exact and sampled profilers alike.
+func ProfileCurve(label string, p Profiler, sizes []uint64, denom float64, readOnly bool) *Curve {
 	caps := workingset.BytesToLines(sizes, p.LineSize())
 	counts := p.Curve(caps)
 	c := &Curve{Label: label, Metric: "misses"}

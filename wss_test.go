@@ -2,6 +2,7 @@ package wss
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -90,7 +91,7 @@ func TestServingFacade(t *testing.T) {
 	if res.Key != ResultKey("table2", opt) {
 		t.Errorf("store key disagrees with ResultKey")
 	}
-	if len(res.JSON) == 0 || !strings.Contains(string(res.JSON), `"schema_version": 1`) {
+	if len(res.JSON) == 0 || !strings.Contains(string(res.JSON), fmt.Sprintf(`"schema_version": %d`, ReportSchemaVersion)) {
 		t.Errorf("result JSON missing schema_version:\n%.200s", res.JSON)
 	}
 	var sb strings.Builder
