@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 
-.PHONY: check build vet fmt-check equivalence serve-smoke sweep-smoke chaos-smoke sample-smoke test race fuzz bench bench-smoke
+.PHONY: check build vet fmt-check equivalence serve-smoke sweep-smoke chaos-smoke sample-smoke load-smoke test race fuzz bench bench-smoke
 
 # Tier-1 gate: everything must build, `go vet ./...` clean, be
 # gofmt-formatted, pass under -race, the batched pipeline must remain
@@ -12,8 +12,10 @@ BENCH_OUT ?= BENCH_PR9.json
 # seeded chaos schedules must hold their invariants with every
 # failpoint test-covered (chaos-smoke), one full-scale sampled kernel
 # profile must land inside the smoke wall-clock budget (sample-smoke),
-# and every benchmark must still run for one iteration (bench-smoke).
-check: build vet fmt-check race equivalence serve-smoke sweep-smoke chaos-smoke sample-smoke bench-smoke
+# a 2-node peer cluster must hold the load contract under a short
+# measured wsload run (load-smoke), and every benchmark must still run
+# for one iteration (bench-smoke).
+check: build vet fmt-check race equivalence serve-smoke sweep-smoke chaos-smoke sample-smoke load-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -64,6 +66,14 @@ chaos-smoke:
 sample-smoke:
 	timeout 120 $(GO) run ./cmd/wsstudy fig6 -opt sample=16 > /dev/null
 
+# Boot a 2-node consistent-hash cluster in-process and hold it to the
+# load contract: a short warmed wsload run must sustain a nonzero
+# cached rate with zero wrong responses (each key computed exactly once
+# cluster-wide, the second copy arriving by peer-fill), and an uncached
+# overload storm must shed cleanly with 429 + Retry-After.
+load-smoke:
+	$(GO) test -race -count 1 -run 'TestLoadSmoke|TestLoadOverloadSheds' ./cmd/wsload/
+
 test:
 	$(GO) test ./...
 
@@ -74,20 +84,21 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzReplay -fuzztime=30s ./internal/trace/
 
-# Delivery + sweep-engine benchmarks; results are archived in
-# $(BENCH_OUT) for comparison against the numbers quoted in DESIGN.md
-# (BENCH_PR2.json holds the pre-sharding baseline). Three counted runs
+# Delivery, sweep-engine, and serving-tier benchmarks (ring lookup,
+# warm peer-fill, wsload cached-RPS and overload shedding); results are
+# archived in $(BENCH_OUT) for comparison against the numbers quoted in
+# DESIGN.md (BENCH_PR2.json holds the pre-sharding baseline). Three counted runs
 # per benchmark so the archived file shows the spread — shared hosts
 # swing several percent run to run; compare medians, not single samples.
 bench:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkRefDelivery|BenchmarkFanout|BenchmarkFanoutScaling|BenchmarkSuiteTraceReuse|BenchmarkAblationLRUBank|BenchmarkDirectoryShardScaling|BenchmarkMemsysSharded|BenchmarkSampledProfiler' \
-		-benchmem -benchtime 10x -count 3 -json . > $(BENCH_OUT)
+		-bench 'BenchmarkRefDelivery|BenchmarkFanout|BenchmarkFanoutScaling|BenchmarkSuiteTraceReuse|BenchmarkAblationLRUBank|BenchmarkDirectoryShardScaling|BenchmarkMemsysSharded|BenchmarkSampledProfiler|BenchmarkClusterRingOwner|BenchmarkClusterPeerFetch|BenchmarkWsloadCachedRPS|BenchmarkWsloadOverloadShed' \
+		-benchmem -benchtime 10x -count 3 -json . ./internal/cluster/ > $(BENCH_OUT)
 	@grep -o '"Output":"[^"]*ns/op[^"]*"' $(BENCH_OUT) | head -40
 
 # One iteration of every benchmark: proves the benchmark set still
 # compiles and runs end to end without paying for stable timings.
 bench-smoke:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkRefDelivery|BenchmarkFanout|BenchmarkFanoutScaling|BenchmarkSuiteTraceReuse|BenchmarkAblationLRUBank|BenchmarkDirectoryShardScaling|BenchmarkMemsysSharded|BenchmarkSampledProfiler' \
-		-benchtime 1x -count 1 . > /dev/null
+		-bench 'BenchmarkRefDelivery|BenchmarkFanout|BenchmarkFanoutScaling|BenchmarkSuiteTraceReuse|BenchmarkAblationLRUBank|BenchmarkDirectoryShardScaling|BenchmarkMemsysSharded|BenchmarkSampledProfiler|BenchmarkClusterRingOwner|BenchmarkClusterPeerFetch|BenchmarkWsloadCachedRPS|BenchmarkWsloadOverloadShed' \
+		-benchtime 1x -count 1 . ./internal/cluster/ > /dev/null

@@ -1,0 +1,178 @@
+package wss
+
+// Load-harness benchmarks for the horizontal serving tier. Both drive
+// a real 2-node in-process cluster through the facade (StartNode +
+// RunLoad) exactly as `wsstudy serve` + `wsload` would over localhost.
+//
+//   - BenchmarkWsloadCachedRPS: warmed keys served from cache and
+//     peer-fill. Reports cached_rps against compute_rps (the rate a
+//     single key's kernel could sustain) — the archived ratio is the
+//     serving tier's whole reason to exist.
+//   - BenchmarkWsloadOverloadShed: an uncached open-loop storm against
+//     one compute slot per node. Reports served vs cleanly shed RPS;
+//     any contract-violating response fails the benchmark.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"wsstudy/internal/obs"
+)
+
+// benchKernelCost is the fixed cost of the synthetic load kernel; its
+// inverse is the compute ceiling a cache-less tier could sustain on
+// one key.
+const benchKernelCost = 10 * time.Millisecond
+
+func benchKernel() Experiment {
+	return Experiment{
+		ID:    "benchkern",
+		Title: "fixed-cost kernel for load benchmarks",
+		Run: func(ctx context.Context, opt Options) (*Report, error) {
+			select {
+			case <-time.After(benchKernelCost):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			r := &Report{Title: "benchkern"}
+			r.AddNote("cache=%d", opt.CacheBytes)
+			return r, nil
+		},
+	}
+}
+
+// bootLoadBench starts a 2-node cluster for load benchmarks and
+// returns the nodes plus their recorders. Shut down via the returned
+// stop func (benchmarks boot per-iteration clusters, so t.Cleanup
+// ordering is not enough).
+func bootLoadBench(b *testing.B, slots int, tweak func(cfg *NodeConfig)) ([]*Node, []*Recorder, func()) {
+	b.Helper()
+	lns := make([]net.Listener, 2)
+	peers := make(map[string]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lns[i] = ln
+		peers[fmt.Sprintf("b%d", i)] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*Node, 2)
+	recs := make([]*Recorder, 2)
+	for i := range nodes {
+		recs[i] = NewRecorder()
+		cfg := NodeConfig{
+			Listener:       lns[i],
+			NodeID:         fmt.Sprintf("b%d", i),
+			PeerAddrs:      peers,
+			Store:          StoreConfig{Slots: slots},
+			Registry:       []Experiment{benchKernel()},
+			DefaultScale:   ScaleQuick,
+			RequestTimeout: 30 * time.Second,
+			Recorder:       recs[i],
+		}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		node, err := StartNode(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, n := range nodes {
+			_ = n.Shutdown(ctx)
+		}
+	}
+	return nodes, recs, stop
+}
+
+func targetURLs(nodes []*Node) []string {
+	urls := make([]string, len(nodes))
+	for i, n := range nodes {
+		urls[i] = n.URL()
+	}
+	return urls
+}
+
+// BenchmarkWsloadCachedRPS measures sustained cached throughput: 4
+// warmed keys spread over 2 nodes under open-loop load. Every key is
+// computed exactly once cluster-wide (the second copy arrives by
+// peer-fill), so extra_computes must report 0.
+func BenchmarkWsloadCachedRPS(b *testing.B) {
+	const keys = 4
+	nodes, recs, stop := bootLoadBench(b, 4, nil)
+	defer stop()
+
+	var servedRPS float64
+	for i := 0; i < b.N; i++ {
+		res, err := RunLoad(context.Background(), LoadConfig{
+			Targets:    targetURLs(nodes),
+			Experiment: "benchkern",
+			Keys:       keys,
+			RPS:        2000,
+			Duration:   250 * time.Millisecond,
+			Warm:       true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Wrong != 0 {
+			b.Fatalf("wrong = %d: %v", res.Wrong, res.WrongSample)
+		}
+		servedRPS += res.ServedRPS
+	}
+
+	var computes uint64
+	for _, rec := range recs {
+		computes += rec.Snapshot().Durations[obs.StoreComputeWall].Count
+	}
+	computeRPS := float64(time.Second) / float64(benchKernelCost)
+	cachedRPS := servedRPS / float64(b.N)
+	b.ReportMetric(cachedRPS, "cached_rps")
+	b.ReportMetric(computeRPS, "compute_rps")
+	b.ReportMetric(cachedRPS/computeRPS, "rps_ratio")
+	b.ReportMetric(float64(computes-keys), "extra_computes")
+	if computes != keys {
+		b.Fatalf("cluster ran %d computes for %d keys (peer-fill should cover the rest)", computes, keys)
+	}
+}
+
+// BenchmarkWsloadOverloadShed measures clean degradation: a fresh
+// cluster per iteration (so every key is cold), one compute slot per
+// node, and far more offered keys than the slots can absorb. The tier
+// must split the storm into served and cleanly shed — zero wrong.
+func BenchmarkWsloadOverloadShed(b *testing.B) {
+	var servedRPS, shedRPS float64
+	for i := 0; i < b.N; i++ {
+		nodes, _, stop := bootLoadBench(b, 1, func(cfg *NodeConfig) {
+			cfg.WaitBudget = 300 * time.Millisecond
+			cfg.RequestTimeout = 10 * time.Second
+		})
+		res, err := RunLoad(context.Background(), LoadConfig{
+			Targets:    targetURLs(nodes),
+			Experiment: "benchkern",
+			Keys:       64,
+			RPS:        300,
+			Duration:   500 * time.Millisecond,
+			Timeout:    30 * time.Second,
+		})
+		stop()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Wrong != 0 {
+			b.Fatalf("wrong = %d under overload: %v", res.Wrong, res.WrongSample)
+		}
+		servedRPS += res.ServedRPS
+		shedRPS += res.ShedRPS
+	}
+	b.ReportMetric(servedRPS/float64(b.N), "served_rps")
+	b.ReportMetric(shedRPS/float64(b.N), "shed_rps")
+}

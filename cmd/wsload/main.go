@@ -1,0 +1,97 @@
+// Command wsload drives a wsstudy serving tier with open-loop load and
+// reports whether it held up: sustained served RPS, clean 429 shedding,
+// latency quantiles, and a hard zero-wrong-responses verdict.
+//
+// Usage:
+//
+//	wsload -targets http://h1:8080,http://h2:8080 [-experiment gridlu]
+//	       [-rps 200] [-duration 5s] [-keys 8] [-skew 1.2] [-inflight 512]
+//	       [-timeout 10s] [-seed 1] [-warm]
+//
+// The result prints as JSON on stdout; the exit status is 1 when any
+// response violated the serving contract (Wrong > 0), so CI can gate on
+// a load run directly.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"wsstudy/internal/load"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wsload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("wsload", flag.ContinueOnError)
+	targets := fs.String("targets", "", "comma-separated node base URLs (required)")
+	experiment := fs.String("experiment", "gridlu", "experiment id to request")
+	scale := fs.String("scale", "quick", "opt.scale for every request")
+	rps := fs.Float64("rps", 200, "offered arrival rate (open loop)")
+	duration := fs.Duration("duration", 5*time.Second, "measured window")
+	keys := fs.Int("keys", 1, "distinct result keys to spread over")
+	skew := fs.Float64("skew", 0, "key popularity: 0 = uniform, >1 = Zipf s parameter")
+	inflight := fs.Int("inflight", 512, "max concurrent requests before client-side drop")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	seed := fs.Int64("seed", 1, "key-pick RNG seed")
+	warm := fs.Bool("warm", false, "request every key from every target once, unmeasured, before the window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *targets == "" {
+		fs.Usage()
+		return fmt.Errorf("-targets is required")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := load.Run(ctx, load.Config{
+		Targets:     splitTargets(*targets),
+		Experiment:  *experiment,
+		Scale:       *scale,
+		RPS:         *rps,
+		Duration:    *duration,
+		Keys:        *keys,
+		Skew:        *skew,
+		MaxInFlight: *inflight,
+		Timeout:     *timeout,
+		Seed:        *seed,
+		Warm:        *warm,
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	if res.Wrong > 0 {
+		return fmt.Errorf("%d wrong responses (first: %s)", res.Wrong, res.WrongSample[0])
+	}
+	return nil
+}
+
+func splitTargets(raw string) []string {
+	var out []string
+	for _, t := range strings.Split(raw, ",") {
+		if t = strings.TrimSpace(strings.TrimSuffix(t, "/")); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -73,6 +73,14 @@ func run(args []string) error {
 	var opts optList
 	fs.Var(&opts, "opt", "one Options axis as field=value (repeatable; fields: "+strings.Join(core.AxisFields(), ", ")+"), e.g. -opt sample=16")
 	dataBytes := fs.Uint64("data-bytes", 1<<30, "sweep: total problem size for the grain (perf-per-dollar) advice")
+	nodeID := fs.String("node-id", "", "serve: this node's id in the -peers map (empty = standalone)")
+	peersFlag := fs.String("peers", "", "serve: full cluster membership as id=url,id=url,... (identical on every node, self included)")
+	vnodes := fs.Int("vnodes", 0, "serve: virtual nodes per ring member (0 = 128)")
+	peerFetch := fs.Duration("peer-fetch-budget", 0, "serve: per-attempt peer-fill budget (0 = 2s; also capped at 10% of the request deadline)")
+	peerWait := fs.Duration("peer-wait-budget", 0, "serve: total budget polling an owner that is still computing (0 = 15s)")
+	peerProbe := fs.Duration("peer-probe", 0, "serve: cooldown before a degraded peer is probed again (0 = 15s)")
+	crawl := fs.String("crawl", "", "serve: experiment id for the background precompute crawler over the -axis lattice (requires -node-id)")
+	crawlInterval := fs.Duration("crawl-interval", 0, "serve: pacing between crawler steps (0 = 1s)")
 	reqTimeout := fs.Duration("request-timeout", 0, "serve: per-request deadline (0 = none)")
 	computeLimit := fs.Duration("compute-timeout", 0, "serve: per-computation deadline (0 = none)")
 	drain := fs.Duration("drain", 30*time.Second, "serve: graceful-shutdown budget for in-flight runs")
@@ -163,17 +171,33 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			return err
+		}
+		if (*nodeID == "") != (peers == nil) {
+			return fmt.Errorf("-node-id and -peers must be set together")
+		}
 		return serveFromFlags(ctx, rec, serveParams{
-			addr:         *addr,
-			slots:        *slots,
-			entries:      *storeEntries,
-			maxBytes:     *storeBytes,
-			dir:          *storeDir,
-			sweepDir:     *sweepDir,
-			defaultScale: scale,
-			reqTimeout:   *reqTimeout,
-			computeLimit: *computeLimit,
-			drain:        *drain,
+			addr:          *addr,
+			slots:         *slots,
+			entries:       *storeEntries,
+			maxBytes:      *storeBytes,
+			dir:           *storeDir,
+			sweepDir:      *sweepDir,
+			defaultScale:  scale,
+			reqTimeout:    *reqTimeout,
+			computeLimit:  *computeLimit,
+			drain:         *drain,
+			nodeID:        *nodeID,
+			peers:         peers,
+			vnodes:        *vnodes,
+			fetchBudget:   *peerFetch,
+			waitBudget:    *peerWait,
+			peerProbe:     *peerProbe,
+			crawl:         *crawl,
+			crawlAxes:     axes,
+			crawlInterval: *crawlInterval,
 		})
 	case "sweep":
 		return runSweep(ctx, rec, sweepParams{

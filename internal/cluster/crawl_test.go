@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"wsstudy/internal/fault"
+	"wsstudy/internal/obs"
+	"wsstudy/internal/store"
+	"wsstudy/internal/sweep"
+)
+
+// crawlSpecFor is the lattice the crawler tests walk: gridlu (the
+// instant analytic cell from the global registry — StartCrawler
+// validates specs through the same sweep canonicalizer as /v1/sweeps,
+// which resolves experiments globally) over a few cache sizes.
+func crawlSpecFor(interval time.Duration) CrawlSpec {
+	return CrawlSpec{
+		Experiment: "gridlu",
+		Axes: []sweep.Axis{
+			{Field: "cache", Values: []string{"4096", "8192", "16384", "32768"}},
+		},
+		Interval: interval,
+	}
+}
+
+// crawlCells enumerates the spec's cells the same way the crawler does.
+func crawlCells(t *testing.T, spec CrawlSpec) []sweep.Cell {
+	t.Helper()
+	canon, err := sweep.Spec{Experiment: spec.Experiment, Scale: "quick", Axes: spec.Axes}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canon.Cells()
+}
+
+func newCrawlCluster(t *testing.T, self string, members []string) (*Cluster, *obs.Recorder, *store.Store) {
+	t.Helper()
+	rec := obs.New()
+	st, err := store.New(store.Config{Recorder: rec, Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close(context.Background()) })
+	peers := make(map[string]string, len(members))
+	for i, id := range members {
+		peers[id] = fmt.Sprintf("http://127.0.0.1:%d", 20000+i)
+	}
+	cl, err := New(Config{Self: self, Peers: peers, Store: st, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl, rec, st
+}
+
+// TestCrawlerWarmsOwnedCells: a single-member cluster owns the whole
+// lattice; the crawler warms every cell into the local store, then
+// idles (warm cells are skipped, steps keep ticking).
+func TestCrawlerWarmsOwnedCells(t *testing.T) {
+	cl, rec, st := newCrawlCluster(t, "a", []string{"a"})
+	spec := crawlSpecFor(2 * time.Millisecond)
+	cells := crawlCells(t, spec)
+
+	owned, err := cl.StartCrawler(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owned != len(cells) {
+		t.Fatalf("single member owns %d cells, want all %d", owned, len(cells))
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for rec.Snapshot().Counter(obs.ClusterCrawlWarmed) < uint64(len(cells)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("crawler warmed %d cells, want %d",
+				rec.Snapshot().Counter(obs.ClusterCrawlWarmed), len(cells))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, cell := range cells {
+		if !st.Cached(cell.Key) {
+			t.Errorf("cell %s not cached after crawl", cell.Key)
+		}
+	}
+	// Once warm, further steps skip without re-warming.
+	steps := rec.Snapshot().Counter(obs.ClusterCrawlSteps)
+	warmed := rec.Snapshot().Counter(obs.ClusterCrawlWarmed)
+	time.Sleep(20 * time.Millisecond)
+	if got := rec.Snapshot().Counter(obs.ClusterCrawlWarmed); got != warmed {
+		t.Errorf("warm cells were re-warmed (%d -> %d)", warmed, got)
+	}
+	if got := rec.Snapshot().Counter(obs.ClusterCrawlSteps); got <= steps {
+		t.Error("crawler stopped stepping after warming")
+	}
+}
+
+// TestCrawlerPartitionsLattice: across a 3-member ring, the members'
+// owned-cell counts partition the lattice — no cell is crawled twice,
+// none is dropped.
+func TestCrawlerPartitionsLattice(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	spec := crawlSpecFor(time.Hour) // never actually steps; ownership math only
+	total := 0
+	var cells []sweep.Cell
+	for _, self := range members {
+		cl, _, _ := newCrawlCluster(t, self, members)
+		cells = crawlCells(t, spec)
+		owned, err := cl.StartCrawler(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += owned
+	}
+	if total != len(cells) {
+		t.Fatalf("members own %d cells in total, want exactly the %d lattice cells", total, len(cells))
+	}
+}
+
+// TestCrawlerStepFailpoint: an injected crawl fault ("cluster.crawl.step")
+// counts an error and skips the step — it never warms a faulted cell and
+// never touches the store.
+func TestCrawlerStepFailpoint(t *testing.T) {
+	t.Cleanup(fault.DisarmAll)
+	if err := fault.Arm("cluster.crawl.step", fault.Trigger{Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	cl, rec, st := newCrawlCluster(t, "a", []string{"a"})
+	if _, err := cl.StartCrawler(crawlSpecFor(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rec.Snapshot().Counter(obs.ClusterCrawlErrors) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("injected crawl faults never surfaced in cluster.crawl.errors")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := rec.Snapshot().Counter(obs.ClusterCrawlWarmed); got != 0 {
+		t.Fatalf("faulted crawler warmed %d cells, want 0", got)
+	}
+	if st.Len() != 0 {
+		t.Fatalf("faulted crawler populated the store (%d entries)", st.Len())
+	}
+}
+
+// TestCrawlerValidation: bad specs fail up front, double-start fails,
+// and a crawler cannot start on a closed cluster.
+func TestCrawlerValidation(t *testing.T) {
+	cl, _, _ := newCrawlCluster(t, "a", []string{"a"})
+	if _, err := cl.StartCrawler(CrawlSpec{Experiment: "nope",
+		Axes: []sweep.Axis{{Field: "cache", Values: []string{"4096"}}}}); err == nil {
+		t.Fatal("StartCrawler accepted an unknown experiment")
+	}
+	if _, err := cl.StartCrawler(CrawlSpec{Experiment: "gridlu"}); err == nil {
+		t.Fatal("StartCrawler accepted an empty lattice")
+	}
+	if _, err := cl.StartCrawler(crawlSpecFor(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.StartCrawler(crawlSpecFor(time.Hour)); err == nil {
+		t.Fatal("StartCrawler started twice")
+	}
+
+	cl2, _, _ := newCrawlCluster(t, "b", []string{"b"})
+	cl2.Close()
+	if _, err := cl2.StartCrawler(crawlSpecFor(time.Hour)); err == nil {
+		t.Fatal("StartCrawler started on a closed cluster")
+	}
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"wsstudy/internal/obs"
+)
+
+// Peer states reported by Health. "self" marks this node's own ring
+// entry (never fetched from); "degraded" means recent fetches failed
+// and peer-fill is bypassing the peer — every owned-elsewhere miss
+// computes locally — until the cooldown expires and one fetch probes
+// it again.
+const (
+	StateOK       = "ok"
+	StateDegraded = "degraded"
+	StateSelf     = "self"
+)
+
+// peer is one remote member: its base URL plus the same degradation
+// state machine the store runs for its disk and capture subsystems
+// (degrade on failure, bypass during the cooldown, let one operation
+// through as a probe, heal on success).
+type peer struct {
+	id   string
+	addr string
+
+	cooldown time.Duration
+	counter  *obs.Counter // cluster.peer.degraded, shared across peers
+
+	mu       sync.Mutex
+	degraded bool
+	reason   string
+	retryAt  time.Time
+}
+
+// available reports whether the next peer-fill should talk to this
+// peer: always when healthy, once per cooldown when degraded (the
+// probe).
+func (p *peer) available() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.degraded {
+		return true
+	}
+	return !time.Now().Before(p.retryAt)
+}
+
+// degrade marks the peer failed, starting (or restarting) the bypass
+// cooldown. Only the transition into degraded counts, so the metric
+// counts incidents, not skipped fills.
+func (p *peer) degrade(reason string) {
+	p.mu.Lock()
+	wasHealthy := !p.degraded
+	p.degraded = true
+	p.reason = reason
+	p.retryAt = time.Now().Add(p.cooldown)
+	p.mu.Unlock()
+	if wasHealthy {
+		p.counter.Inc()
+	}
+}
+
+// heal clears the degradation after a successful fetch.
+func (p *peer) heal() {
+	p.mu.Lock()
+	p.degraded = false
+	p.reason = ""
+	p.mu.Unlock()
+}
+
+// PeerStatus is one ring member's row in Health.
+type PeerStatus struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr"`
+	State string `json:"state"` // "ok" | "degraded" | "self"
+	// Reason explains a degradation (last fetch failure).
+	Reason string `json:"reason,omitempty"`
+	// Share is the member's exact fraction of the key space.
+	Share float64 `json:"share"`
+}
+
+// Health is the cluster's ring and per-peer status, embedded in the
+// /healthz document. A degraded peer does not degrade the node: every
+// request still answers, at worst by computing locally.
+type Health struct {
+	Self   string       `json:"self"`
+	VNodes int          `json:"vnodes"`
+	Peers  []PeerStatus `json:"peers"`
+}
+
+// Health snapshots the ring and every member's state, sorted by id.
+func (c *Cluster) Health() Health {
+	shares := c.ring.Shares()
+	h := Health{Self: c.cfg.Self, VNodes: c.ring.VNodes()}
+	for _, id := range c.ring.Members() {
+		ps := PeerStatus{ID: id, Share: shares[id]}
+		if id == c.cfg.Self {
+			ps.State = StateSelf
+			ps.Addr = c.cfg.Peers[id]
+		} else {
+			p := c.peers[id]
+			ps.Addr = p.addr
+			p.mu.Lock()
+			if p.degraded {
+				ps.State = StateDegraded
+				ps.Reason = p.reason
+			} else {
+				ps.State = StateOK
+			}
+			p.mu.Unlock()
+		}
+		h.Peers = append(h.Peers, ps)
+	}
+	sort.Slice(h.Peers, func(i, j int) bool { return h.Peers[i].ID < h.Peers[j].ID })
+	return h
+}
+
+// Degraded reports whether any peer is currently degraded.
+func (h Health) Degraded() bool {
+	for _, p := range h.Peers {
+		if p.State == StateDegraded {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,144 @@
+// Package cluster is the horizontal serving tier: N wsstudy serve
+// processes, each fronting its own content-addressed result store,
+// agree on a consistent-hash ring over result keys. Every key has one
+// owner; a node that misses locally asks the owner for the finished
+// rendering over HTTP before computing — peer-fill — and the owner's
+// own store singleflight makes a cluster-wide thundering herd on a
+// cold key cost exactly one kernel run. A background crawler warms the
+// quick-scale Options lattice cells this node owns during idle compute
+// slots, and per-peer degradation (mirroring the store's disk/capture
+// subsystems) keeps a dead or slow peer from ever stalling the request
+// path: peer-fill is an optimization, local compute is the fallback.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"wsstudy/internal/store"
+)
+
+// DefaultVNodes is the per-member virtual-node count. 128 points per
+// member keeps the measured load imbalance within ~±25% of fair share
+// at small cluster sizes (see TestRingBalance) at a memory cost of one
+// 16-byte point per vnode.
+const DefaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring over result keys. Each
+// member contributes VNodes points at positions derived only from its
+// id, so every process that is handed the same member list computes
+// the same ring — ownership is a pure function of configuration, with
+// no coordination protocol. Adding or removing one member moves only
+// the keys in the arcs its points cover (≈ 1/N of the space), which is
+// the property that lets a cluster grow without a global cache flush.
+type Ring struct {
+	vnodes int
+	ids    []string // sorted member ids
+	points []ringPoint
+}
+
+// ringPoint is one virtual node: a position on the 64-bit circle and
+// the member that owns the arc ending there.
+type ringPoint struct {
+	pos uint64
+	id  string
+}
+
+// NewRing builds a ring from member ids. The ids are deduplicated and
+// sorted, so any permutation of the same list builds an identical
+// ring. vnodes <= 0 means DefaultVNodes.
+func NewRing(ids []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(ids))
+	var members []string
+	for _, id := range ids {
+		if id == "" {
+			return nil, fmt.Errorf("cluster: empty member id")
+		}
+		if !seen[id] {
+			seen[id] = true
+			members = append(members, id)
+		}
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: a ring needs at least one member")
+	}
+	sort.Strings(members)
+	r := &Ring{vnodes: vnodes, ids: members}
+	r.points = make([]ringPoint, 0, len(members)*vnodes)
+	for _, id := range members {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{pos: vnodePos(id, v), id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		// A position collision (astronomically unlikely with 64-bit
+		// SHA-256 prefixes) resolves by id so the ring stays a pure
+		// function of the member set.
+		return r.points[i].id < r.points[j].id
+	})
+	return r, nil
+}
+
+// vnodePos places virtual node v of member id on the circle: the first
+// 8 bytes of SHA-256("id\x00v"). The NUL separator keeps ("n1", 0)
+// distinct from ("n", 10).
+func vnodePos(id string, v int) uint64 {
+	h := sha256.Sum256([]byte(id + "\x00" + strconv.Itoa(v)))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// Owner maps a result key to its owning member: the first ring point
+// clockwise from the key's position (wrapping past zero). Keys are
+// SHA-256 content addresses, so their first 8 bytes are already
+// uniform on the circle — no re-hashing needed.
+func (r *Ring) Owner(key store.Key) string {
+	pos := binary.BigEndian.Uint64(key[:8])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].id
+}
+
+// Members returns the sorted member ids.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.ids))
+	copy(out, r.ids)
+	return out
+}
+
+// VNodes reports the per-member virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Shares reports each member's exact fraction of the key space (arc
+// length over 2^64) — the /healthz ring summary, and what the balance
+// test bounds.
+func (r *Ring) Shares() map[string]float64 {
+	arcs := make(map[string]uint64, len(r.ids))
+	for i, p := range r.points {
+		prev := r.points[(i+len(r.points)-1)%len(r.points)].pos
+		// Arc (prev, p.pos] belongs to p.id; the uint64 subtraction
+		// wraps correctly for the arc crossing zero. A full-circle
+		// single-point ring degenerates to 0, handled below.
+		arcs[p.id] += p.pos - prev
+	}
+	shares := make(map[string]float64, len(r.ids))
+	if len(r.ids) == 1 {
+		shares[r.ids[0]] = 1
+		return shares
+	}
+	const whole = float64(1<<63) * 2
+	for id, a := range arcs {
+		shares[id] = float64(a) / whole
+	}
+	return shares
+}

@@ -1,0 +1,328 @@
+// Package load is the measured-RPS harness behind cmd/wsload: an
+// open-loop load generator for the v1 serving tier. Open-loop means
+// arrivals follow a fixed schedule regardless of how fast responses
+// come back — the honest way to measure a server, since a closed loop
+// (wait-then-send) silently slows its own offered load down to
+// whatever the server sustains and hides queueing collapse. Requests
+// spread over a configurable key set with optional Zipf skew
+// (cache-style traffic is never uniform), latencies land in an
+// internal/obs histogram, and the verdict separates healthy outcomes
+// (200 served, 429+Retry-After shed) from wrong ones (anything else),
+// so a run proves both a sustained cached-RPS figure and clean
+// shedding under overload.
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"wsstudy/internal/core"
+	"wsstudy/internal/obs"
+)
+
+// Config is one load run.
+type Config struct {
+	// Targets are the node base URLs ("http://host:port") traffic
+	// round-robins over. Required.
+	Targets []string
+	// Experiment is the report requested (default "gridlu", the
+	// analytic lattice cell — the serving tier's cache workhorse).
+	Experiment string
+	// Scale is the opt.scale sent (default "quick").
+	Scale string
+	// Keys is how many distinct result keys the run spreads over
+	// (default 1). Key i requests opt.cache=4096*(i+1), so every key
+	// is a distinct content address.
+	Keys int
+	// Skew selects the key popularity distribution: 0 = uniform,
+	// otherwise the Zipf s parameter (must be > 1; higher = hotter
+	// head). Cache tiers live on skew, so the harness can model it.
+	Skew float64
+	// RPS is the offered arrival rate. Required (> 0).
+	RPS float64
+	// Duration bounds the run. Required (> 0).
+	Duration time.Duration
+	// MaxInFlight caps concurrent outstanding requests; arrivals past
+	// the cap are dropped client-side and reported, never silently
+	// queued (that would close the loop). 0 = 512.
+	MaxInFlight int
+	// Timeout bounds one request (0 = 10s).
+	Timeout time.Duration
+	// Seed seeds the key-pick sequence (0 = 1), so runs are repeatable.
+	Seed int64
+	// Warm, when true, first requests every key from every target
+	// once, sequentially and unmeasured, so the measured window sees a
+	// fully warm tier.
+	Warm bool
+	// Recorder receives the latency histogram (nil = private).
+	Recorder *obs.Recorder
+}
+
+// Result is the run's verdict.
+type Result struct {
+	Duration time.Duration `json:"duration_ns"`
+	// Offered is the configured arrival rate; Sent counts arrivals
+	// actually dispatched, Dropped the arrivals shed client-side at
+	// the in-flight cap.
+	Offered float64 `json:"offered_rps"`
+	Sent    int     `json:"sent"`
+	Dropped int     `json:"dropped"`
+	// Statuses histograms the HTTP responses; NetErrors counts
+	// transport-level failures (dial, timeout).
+	Statuses  map[int]int `json:"statuses"`
+	NetErrors int         `json:"net_errors"`
+	// Wrong counts responses outside the healthy contract: any status
+	// other than 200/304/429, a 200 whose body is not a schema-valid
+	// ReportV1, or a 429 without Retry-After. A clean run has zero.
+	Wrong       int      `json:"wrong"`
+	WrongSample []string `json:"wrong_sample,omitempty"`
+	// ServedRPS is 200s per second of run time — the sustained rate
+	// the tier actually answered with content. ShedRPS is 429s per
+	// second (clean rejections).
+	ServedRPS float64 `json:"served_rps"`
+	ShedRPS   float64 `json:"shed_rps"`
+	// Latency summarizes per-request wall time (network included).
+	Latency obs.DurationStats `json:"latency"`
+	// P50/P90/P99 are bucket-resolution quantiles of Latency.
+	P50 time.Duration `json:"p50_ns"`
+	P90 time.Duration `json:"p90_ns"`
+	P99 time.Duration `json:"p99_ns"`
+}
+
+// tally is the run's mutable scoreboard.
+type tally struct {
+	mu        sync.Mutex
+	statuses  map[int]int
+	netErrors int
+	wrong     int
+	samples   []string
+}
+
+func (t *tally) status(code int) {
+	t.mu.Lock()
+	t.statuses[code]++
+	t.mu.Unlock()
+}
+
+func (t *tally) fail(format string, args ...any) {
+	t.mu.Lock()
+	t.wrong++
+	if len(t.samples) < 8 {
+		t.samples = append(t.samples, fmt.Sprintf(format, args...))
+	}
+	t.mu.Unlock()
+}
+
+// Run executes one load run and returns its verdict. ctx cancellation
+// stops the arrival schedule early; everything dispatched still
+// completes and is counted.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("load: at least one target required")
+	}
+	if cfg.RPS <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("load: RPS and Duration must be positive")
+	}
+	if cfg.Skew != 0 && cfg.Skew <= 1 {
+		return nil, fmt.Errorf("load: Skew must be 0 (uniform) or > 1 (Zipf s)")
+	}
+	if cfg.Experiment == "" {
+		cfg.Experiment = "gridlu"
+	}
+	if cfg.Scale == "" {
+		cfg.Scale = "quick"
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 512
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = obs.New()
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	urls := make([][]string, len(cfg.Targets)) // [target][key]
+	for ti, base := range cfg.Targets {
+		urls[ti] = make([]string, cfg.Keys)
+		for k := 0; k < cfg.Keys; k++ {
+			urls[ti][k] = fmt.Sprintf("%s/v1/experiments/%s/report?opt.scale=%s&opt.cache=%d",
+				base, cfg.Experiment, cfg.Scale, keyCache(k))
+		}
+	}
+	client := &http.Client{
+		Timeout:   cfg.Timeout,
+		Transport: &http.Transport{MaxIdleConnsPerHost: cfg.MaxInFlight},
+	}
+	// The transport is private to this run: drop its keep-alive pool on
+	// exit so target servers can drain promptly after a load run.
+	defer client.CloseIdleConnections()
+	t := &tally{statuses: make(map[int]int)}
+	latency := cfg.Recorder.Histogram("load.request.wall")
+
+	if cfg.Warm {
+		for ti := range urls {
+			for _, u := range urls[ti] {
+				if err := warmOne(ctx, client, u); err != nil {
+					return nil, fmt.Errorf("load: warming %s: %w", u, err)
+				}
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var zipf *rand.Zipf
+	if cfg.Skew != 0 && cfg.Keys > 1 {
+		zipf = rand.NewZipf(rng, cfg.Skew, 1, uint64(cfg.Keys-1))
+	}
+	pickKey := func() int {
+		if cfg.Keys == 1 {
+			return 0
+		}
+		if zipf != nil {
+			return int(zipf.Uint64())
+		}
+		return rng.Intn(cfg.Keys)
+	}
+
+	sem := make(chan struct{}, cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	next := start
+	sent, dropped, target := 0, 0, 0
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		// Open loop: the schedule advances by interval per arrival;
+		// if we are behind, dispatch immediately (catch up) rather
+		// than letting server slowness stretch the offered rate.
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(interval)
+		u := urls[target%len(urls)][pickKey()]
+		target++
+		select {
+		case sem <- struct{}{}:
+			sent++
+			wg.Add(1)
+			go func(u string) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				hit(client, u, t, latency)
+			}(u)
+		default:
+			dropped++
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Duration:    elapsed,
+		Offered:     cfg.RPS,
+		Sent:        sent,
+		Dropped:     dropped,
+		Statuses:    t.statuses,
+		NetErrors:   t.netErrors,
+		Wrong:       t.wrong,
+		WrongSample: t.samples,
+		ServedRPS:   float64(t.statuses[http.StatusOK]) / elapsed.Seconds(),
+		ShedRPS:     float64(t.statuses[http.StatusTooManyRequests]) / elapsed.Seconds(),
+	}
+	if ds, ok := cfg.Recorder.Snapshot().Durations["load.request.wall"]; ok {
+		res.Latency = ds
+	}
+	res.P50 = res.Latency.Quantile(0.50)
+	res.P90 = res.Latency.Quantile(0.90)
+	res.P99 = res.Latency.Quantile(0.99)
+	return res, nil
+}
+
+// keyCache maps key index i to its opt.cache value: distinct positive
+// byte counts, each a distinct content address.
+func keyCache(i int) uint64 { return 4096 * uint64(i+1) }
+
+// warmOne performs one unmeasured warm-up GET, retrying 429/202 until
+// the key is actually served (ctx bounds the loop).
+func warmOne(ctx context.Context, client *http.Client, u string) error {
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return nil
+		case http.StatusTooManyRequests, http.StatusAccepted:
+			if attempt > 100 {
+				return fmt.Errorf("still %d after %d attempts", resp.StatusCode, attempt)
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(50 * time.Millisecond):
+			}
+		default:
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// hit performs one measured request and scores it.
+func hit(client *http.Client, u string, t *tally, latency *obs.Histogram) {
+	start := time.Now()
+	resp, err := client.Get(u)
+	if err != nil {
+		latency.Observe(time.Since(start))
+		t.mu.Lock()
+		t.netErrors++
+		t.mu.Unlock()
+		return
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	latency.Observe(time.Since(start))
+	t.status(resp.StatusCode)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if rerr != nil {
+			t.fail("200 with unreadable body: %v", rerr)
+			return
+		}
+		var v struct {
+			SchemaVersion int `json:"schema_version"`
+		}
+		if err := json.Unmarshal(body, &v); err != nil ||
+			v.SchemaVersion < core.MinReportSchemaVersion || v.SchemaVersion > core.ReportSchemaVersion {
+			t.fail("200 body is not a valid ReportV1 (schema %d, err %v)", v.SchemaVersion, err)
+		}
+	case http.StatusNotModified:
+		// Healthy (only seen if a caller sends validators).
+	case http.StatusTooManyRequests:
+		if resp.Header.Get("Retry-After") == "" {
+			t.fail("429 without Retry-After")
+		}
+	default:
+		t.fail("unexpected status %d: %.120s", resp.StatusCode, body)
+	}
+}

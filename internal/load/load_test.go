@@ -1,0 +1,182 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wsstudy/internal/core"
+)
+
+func fakeReport() string {
+	return fmt.Sprintf(`{"schema_version": %d, "title": "fake"}`, core.ReportSchemaVersion)
+}
+
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"no targets", Config{RPS: 10, Duration: time.Second}},
+		{"no rps", Config{Targets: []string{"http://x"}, Duration: time.Second}},
+		{"no duration", Config{Targets: []string{"http://x"}, RPS: 10}},
+		{"bad skew", Config{Targets: []string{"http://x"}, RPS: 10, Duration: time.Second, Skew: 0.5}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Run(ctx, tc.cfg); err == nil {
+				t.Fatal("Run accepted an invalid config")
+			}
+		})
+	}
+}
+
+// TestRunHealthyServer: a server answering valid reports yields a
+// clean verdict — zero wrong, positive served RPS, sane quantiles.
+func TestRunHealthyServer(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		fmt.Fprint(w, fakeReport())
+	}))
+	defer srv.Close()
+
+	res, err := Run(context.Background(), Config{
+		Targets:  []string{srv.URL},
+		RPS:      200,
+		Duration: 300 * time.Millisecond,
+		Keys:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wrong != 0 {
+		t.Fatalf("wrong = %d (%v), want 0", res.Wrong, res.WrongSample)
+	}
+	if res.Sent == 0 || int64(res.Sent) != hits.Load() {
+		t.Fatalf("sent %d, server saw %d", res.Sent, hits.Load())
+	}
+	if res.ServedRPS <= 0 {
+		t.Fatalf("served RPS = %v, want > 0", res.ServedRPS)
+	}
+	if res.Latency.Count != uint64(res.Sent) {
+		t.Fatalf("latency count %d != sent %d", res.Latency.Count, res.Sent)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("quantiles p50=%v p99=%v", res.P50, res.P99)
+	}
+}
+
+// TestRunScoresContractViolations: clean 429s are shed (not wrong);
+// 429 without Retry-After, 500s, and schema-garbage 200s are wrong.
+func TestRunScoresContractViolations(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		handler   http.HandlerFunc
+		wantWrong bool
+	}{
+		{"clean 429", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		}, false},
+		{"429 without retry-after", func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusTooManyRequests)
+		}, true},
+		{"500", func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusInternalServerError)
+		}, true},
+		{"schema garbage", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, `{"schema_version": 9999}`)
+		}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(tc.handler)
+			defer srv.Close()
+			res, err := Run(context.Background(), Config{
+				Targets:  []string{srv.URL},
+				RPS:      100,
+				Duration: 100 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (res.Wrong > 0) != tc.wantWrong {
+				t.Fatalf("wrong = %d (%v), wantWrong = %v", res.Wrong, res.WrongSample, tc.wantWrong)
+			}
+			if tc.name == "clean 429" && res.ShedRPS <= 0 {
+				t.Fatal("clean 429s did not count as shed")
+			}
+		})
+	}
+}
+
+// TestRunOpenLoopDrops: a stalled server with MaxInFlight 1 cannot
+// absorb the offered rate — the open loop keeps arriving and counts
+// the overflow as client-side drops instead of silently queueing.
+func TestRunOpenLoopDrops(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		fmt.Fprint(w, fakeReport())
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	done := make(chan *Result, 1)
+	go func() {
+		res, err := Run(context.Background(), Config{
+			Targets:     []string{srv.URL},
+			RPS:         500,
+			Duration:    200 * time.Millisecond,
+			MaxInFlight: 1,
+			Timeout:     5 * time.Second,
+		})
+		if err != nil {
+			panic(err)
+		}
+		done <- res
+	}()
+	time.Sleep(250 * time.Millisecond)
+	release <- struct{}{} // let the one in-flight request finish so Run drains
+	res := <-done
+	if res.Sent != 1 {
+		t.Fatalf("sent %d, want 1 (the single in-flight slot)", res.Sent)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("open loop recorded no drops against a stalled server")
+	}
+}
+
+// TestRunZipfSkew: with strong skew, the hottest key dominates.
+func TestRunZipfSkew(t *testing.T) {
+	var byKey [8]atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var cache uint64
+		fmt.Sscan(r.URL.Query().Get("opt.cache"), &cache)
+		byKey[cache/4096-1].Add(1)
+		fmt.Fprint(w, fakeReport())
+	}))
+	defer srv.Close()
+
+	res, err := Run(context.Background(), Config{
+		Targets:  []string{srv.URL},
+		RPS:      500,
+		Duration: 300 * time.Millisecond,
+		Keys:     8,
+		Skew:     2.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wrong != 0 {
+		t.Fatalf("wrong = %d", res.Wrong)
+	}
+	head := byKey[0].Load()
+	if head*2 < int64(res.Sent) {
+		t.Fatalf("Zipf s=2 head key got %d of %d requests, want a clear majority", head, res.Sent)
+	}
+}

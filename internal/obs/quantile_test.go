@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDurationStatsQuantile: quantiles read the power-of-two bucket
+// upper edges, clamped into [Min, Max], so a reported p99 is always a
+// real (if coarse) upper bound on the 99th-percentile observation.
+func TestDurationStatsQuantile(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var ds DurationStats
+		if got := ds.Quantile(0.99); got != 0 {
+			t.Fatalf("Quantile on empty stats = %v, want 0", got)
+		}
+	})
+
+	t.Run("uniform spread", func(t *testing.T) {
+		rec := New()
+		h := rec.Histogram("q")
+		// 90 fast observations and 10 slow ones: p50 must land in the
+		// fast bucket, p99 in the slow one.
+		for i := 0; i < 90; i++ {
+			h.Observe(100 * time.Microsecond) // bucket [64µs, 128µs)
+		}
+		for i := 0; i < 10; i++ {
+			h.Observe(50 * time.Millisecond) // bucket [32.768ms, 65.536ms)
+		}
+		ds := rec.Snapshot().Durations["q"]
+		if p50 := ds.Quantile(0.50); p50 != 128*time.Microsecond {
+			t.Errorf("p50 = %v, want the fast bucket's upper edge (128µs)", p50)
+		}
+		p99 := ds.Quantile(0.99)
+		if p99 < 32*time.Millisecond || p99 > ds.Max {
+			t.Errorf("p99 = %v, want within the slow bucket, clamped to max %v", p99, ds.Max)
+		}
+	})
+
+	t.Run("clamped to observed range", func(t *testing.T) {
+		rec := New()
+		h := rec.Histogram("q")
+		h.Observe(3 * time.Millisecond)
+		h.Observe(5 * time.Millisecond)
+		ds := rec.Snapshot().Durations["q"]
+		if got := ds.Quantile(0); got < ds.Min {
+			t.Errorf("q0 = %v below observed min %v", got, ds.Min)
+		}
+		if got := ds.Quantile(1); got > ds.Max {
+			t.Errorf("q1 = %v above observed max %v", got, ds.Max)
+		}
+	})
+
+	t.Run("monotone", func(t *testing.T) {
+		rec := New()
+		h := rec.Histogram("q")
+		for i := 1; i <= 64; i++ {
+			h.Observe(time.Duration(i) * time.Millisecond)
+		}
+		ds := rec.Snapshot().Durations["q"]
+		prev := time.Duration(0)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := ds.Quantile(q)
+			if v < prev {
+				t.Fatalf("Quantile(%v) = %v < previous %v; quantiles must be monotone", q, v, prev)
+			}
+			prev = v
+		}
+	})
+}

@@ -123,6 +123,38 @@ const (
 	// (the bare ?scale= alias), so the alias's removal can be
 	// data-driven.
 	ServeDeprecated = "serve.deprecated"
+
+	// ClusterPeerHits counts local store misses answered by fetching the
+	// finished rendering from the key's ring owner — computations this
+	// node did not run. ClusterPeerMisses counts peer-fill attempts that
+	// came back empty (owner still computing past the wait budget, owner
+	// shedding load) and fell through to local compute; ClusterPeerSkipped
+	// counts fills skipped without any network traffic (peer degraded and
+	// inside its cooldown); ClusterPeerDegraded counts peer degradation
+	// incidents (transitions only, mirroring store.degraded); and
+	// ClusterPeerCorrupt counts owner responses rejected by the digest or
+	// schema check — never served, never cached.
+	ClusterPeerHits     = "cluster.peer.hits"
+	ClusterPeerMisses   = "cluster.peer.misses"
+	ClusterPeerSkipped  = "cluster.peer.skipped"
+	ClusterPeerDegraded = "cluster.peer.degraded"
+	ClusterPeerCorrupt  = "cluster.peer.corrupt"
+	// ClusterPeerFetchWall is the wall-time histogram of peer-fill
+	// attempts, successful or not (the price of asking before computing).
+	ClusterPeerFetchWall = "cluster.peer.fetch.wall"
+	// ClusterInternalRequests counts /v1/internal/reports/{key} requests
+	// served to peers; ClusterInternalComputing the subset answered 202
+	// because the owner was still computing the key.
+	ClusterInternalRequests  = "cluster.internal.requests"
+	ClusterInternalComputing = "cluster.internal.computing"
+	// ClusterCrawlSteps counts precompute-crawler steps taken (a step
+	// considers one owned lattice cell); ClusterCrawlWarmed the steps
+	// that actually computed-or-revived a cold cell into the local store;
+	// ClusterCrawlErrors the steps that failed (injected faults included)
+	// and were skipped without stopping the crawler.
+	ClusterCrawlSteps  = "cluster.crawl.steps"
+	ClusterCrawlWarmed = "cluster.crawl.warmed"
+	ClusterCrawlErrors = "cluster.crawl.errors"
 )
 
 // GaugeValue is a gauge's level and high-water mark at snapshot time.
@@ -149,6 +181,45 @@ func (d DurationStats) Mean() time.Duration {
 		return 0
 	}
 	return d.Sum / time.Duration(d.Count)
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) from the power-of-two
+// bucket counts. The estimate is conservative: it returns the upper edge
+// of the bucket holding the q-th observation, clamped to [Min, Max], so
+// a reported p99 is never below the true one by more than the bucket
+// resolution (a factor of two). With no observations it returns 0.
+func (d DurationStats) Quantile(q float64) time.Duration {
+	if d.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the observation we want.
+	rank := uint64(q*float64(d.Count-1)) + 1
+	var seen uint64
+	for i, n := range d.Buckets {
+		seen += n
+		if seen >= rank {
+			// Bucket 0 is sub-microsecond; bucket i covers
+			// [2^(i-1), 2^i) microseconds — report the upper edge.
+			upper := time.Microsecond
+			if i > 0 {
+				upper = time.Duration(1<<uint(i)) * time.Microsecond
+			}
+			if upper < d.Min {
+				upper = d.Min
+			}
+			if upper > d.Max {
+				upper = d.Max
+			}
+			return upper
+		}
+	}
+	return d.Max
 }
 
 // Metrics is an immutable snapshot of a Recorder, the form metrics travel

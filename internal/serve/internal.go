@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+
+	"wsstudy/internal/cluster"
+	"wsstudy/internal/core"
+	"wsstudy/internal/obs"
+	"wsstudy/internal/store"
+)
+
+// handleInternalReport is the peer-fill endpoint:
+//
+//	GET /v1/internal/reports/{key}?id=<experiment>&opt.<axis>=...
+//
+// It answers from the local store without ever making the calling peer
+// wait for a computation: a resident or persisted rendering returns
+// 200 with the frozen ReportV1 bytes, a body digest header, and the
+// same strong ETag the public endpoint uses; a cold key spawns one
+// deduplicated background store.Get and answers 202 + Retry-After so
+// the peer polls — the store's singleflight underneath makes the whole
+// cluster's interest in the key cost one compute. The {key} path
+// element is authoritative: the owner re-derives the key from the
+// explicit opt.* parameters and rejects a mismatch, so a version- or
+// registry-skewed peer can never be served (or cache) bytes filed
+// under the wrong address.
+func (s *Server) handleInternalReport(w http.ResponseWriter, r *http.Request) {
+	s.internalReqs.Inc()
+	raw := r.PathValue("key")
+	kb, err := hex.DecodeString(raw)
+	if err != nil || len(kb) != len(store.Key{}) {
+		writeError(w, http.StatusBadRequest, "malformed result key %q", raw)
+		return
+	}
+	key := store.Key(kb)
+
+	id := r.URL.Query().Get("id")
+	e, ok := s.byID[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown experiment %q", id)
+		return
+	}
+	opt := core.Options{Timeout: s.cfg.ComputeTimeout}
+	for _, f := range core.AxisFields() {
+		if v := r.URL.Query().Get("opt." + f); v != "" {
+			if err := opt.SetAxis(f, v); err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+	}
+	if derived := store.KeyFor(id, opt); derived != key {
+		writeError(w, http.StatusBadRequest,
+			"key mismatch: request names %s but options derive %s", key, derived)
+		return
+	}
+
+	etag := etagFor(key, core.FormatJSON)
+	w.Header().Set("Etag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	if res, ok := s.cfg.Store.Peek(key, id); ok {
+		sum := sha256.Sum256(res.JSON)
+		w.Header().Set("Content-Type", core.FormatJSON.ContentType())
+		w.Header().Set("X-Wsstudy-Key", key.String())
+		w.Header().Set(cluster.DigestHeader, hex.EncodeToString(sum[:]))
+		_, _ = w.Write(res.JSON)
+		return
+	}
+	if s.cfg.Store.Health().Closed {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+
+	// Cold: warm in the background, tell the peer to poll. The peer's
+	// retry loop owns the waiting; this handler never blocks on compute.
+	s.warmAsync(key, e, opt)
+	s.internalComputing.Inc()
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusAccepted, struct {
+		Status string `json:"status"`
+		Key    string `json:"key"`
+	}{Status: "computing", Key: key.String()})
+}
+
+// warmAsync spawns at most one background store.Get per key. The Get
+// runs detached from the triggering request (peers poll; none of them
+// is "the" client) on a context carrying the server recorder; the
+// store's own singleflight and slot queue bound the real work. ErrBusy
+// and compute errors are dropped here — the next poll re-kicks the
+// warm, and the store does not cache errors.
+func (s *Server) warmAsync(key store.Key, e core.Experiment, opt core.Options) {
+	s.warmMu.Lock()
+	if s.warming[key] {
+		s.warmMu.Unlock()
+		return
+	}
+	s.warming[key] = true
+	s.warmMu.Unlock()
+	go func() {
+		defer func() {
+			s.warmMu.Lock()
+			delete(s.warming, key)
+			s.warmMu.Unlock()
+		}()
+		ctx := obs.With(context.Background(), s.cfg.Recorder)
+		_, _ = s.cfg.Store.Get(ctx, e, opt)
+	}()
+}

@@ -41,6 +41,7 @@ import (
 	"sync"
 	"time"
 
+	"wsstudy/internal/cluster"
 	"wsstudy/internal/core"
 	"wsstudy/internal/fault"
 	"wsstudy/internal/obs"
@@ -79,6 +80,11 @@ type Config struct {
 	ComputeTimeout time.Duration
 	// RetryAfter is the hint sent with 429 responses (0 = 1s).
 	RetryAfter time.Duration
+	// Cluster, when non-nil, reports the node's ring and per-peer
+	// state in /healthz. The internal peer-fill endpoint is served
+	// either way (it is just a Peek-or-warm view of the store), but
+	// only clustered nodes have peers to call it.
+	Cluster *cluster.Cluster
 }
 
 // Server is the v1 HTTP front of the result store.
@@ -92,7 +98,14 @@ type Server struct {
 	http *http.Server
 	ln   net.Listener
 
+	// warming tracks keys being computed in the background for peers
+	// (the internal endpoint's 202 path), deduplicating the spawned
+	// store.Get per key.
+	warmMu  sync.Mutex
+	warming map[store.Key]bool
+
 	requests, busy, notModified, errs, deprecated *obs.Counter
+	internalReqs, internalComputing               *obs.Counter
 	latency                                       *obs.Histogram
 }
 
@@ -109,15 +122,18 @@ func New(cfg Config) (*Server, error) {
 	}
 	rec := cfg.Recorder
 	s := &Server{
-		cfg:         cfg,
-		list:        cfg.Registry,
-		byID:        make(map[string]core.Experiment, len(cfg.Registry)),
-		requests:    rec.Counter(obs.ServeRequests),
-		busy:        rec.Counter(obs.ServeBusy),
-		notModified: rec.Counter(obs.ServeNotModified),
-		errs:        rec.Counter(obs.ServeErrors),
-		deprecated:  rec.Counter(obs.ServeDeprecated),
-		latency:     rec.Histogram(obs.ServeRequestWall),
+		cfg:               cfg,
+		list:              cfg.Registry,
+		byID:              make(map[string]core.Experiment, len(cfg.Registry)),
+		warming:           make(map[store.Key]bool),
+		requests:          rec.Counter(obs.ServeRequests),
+		busy:              rec.Counter(obs.ServeBusy),
+		notModified:       rec.Counter(obs.ServeNotModified),
+		errs:              rec.Counter(obs.ServeErrors),
+		deprecated:        rec.Counter(obs.ServeDeprecated),
+		internalReqs:      rec.Counter(obs.ClusterInternalRequests),
+		internalComputing: rec.Counter(obs.ClusterInternalComputing),
+		latency:           rec.Histogram(obs.ServeRequestWall),
 	}
 	for _, e := range cfg.Registry {
 		s.byID[e.ID] = e
@@ -132,6 +148,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/sweeps", s.handleSweeps) // GET (list) and POST (submit)
 	route(mux, "/v1/sweeps/{id}", "GET", s.handleSweepGet)
 	route(mux, "/v1/sweeps/{id}/grain", "GET", s.handleSweepGrain)
+	route(mux, cluster.InternalReportPath+"{key}", "GET", s.handleInternalReport)
 	route(mux, "/healthz", "GET", s.handleHealth)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
@@ -170,6 +187,13 @@ func (s *Server) Start(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return s.StartListener(ln), nil
+}
+
+// StartListener serves on an already-bound listener and returns its
+// address. Cluster tests use it to hand every node a pre-bound port so
+// the full peer map is known before any node boots.
+func (s *Server) StartListener(ln net.Listener) string {
 	hs := &http.Server{Handler: s.handler}
 	s.mu.Lock()
 	s.http, s.ln = hs, ln
@@ -179,7 +203,21 @@ func (s *Server) Start(addr string) (string, error) {
 		// would already have surfaced to clients as connection errors.
 		_ = hs.Serve(ln)
 	}()
-	return ln.Addr().String(), nil
+	return ln.Addr().String()
+}
+
+// Abort force-closes the HTTP side — listener and all live
+// connections — without draining and without touching the store. It is
+// the in-process stand-in for SIGKILLing a node: peers observe
+// connection errors mid-request, exactly as the owner-death drill
+// needs. The store keeps running; use Shutdown for a real drain.
+func (s *Server) Abort() {
+	s.mu.Lock()
+	hs := s.http
+	s.mu.Unlock()
+	if hs != nil {
+		_ = hs.Close()
+	}
 }
 
 // Addr returns the bound listen address ("" before Start).
@@ -322,6 +360,10 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 type healthResponse struct {
 	Status string       `json:"status"` // "ok" | "degraded" | "down"
 	Store  store.Health `json:"store"`
+	// Cluster reports the ring and per-peer state on clustered nodes.
+	// A degraded peer marks the node degraded-but-serving: requests
+	// that would have peer-filled compute locally instead.
+	Cluster *cluster.Health `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -330,6 +372,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	if h.Disk.State == store.StateDegraded || h.Capture.State == store.StateDegraded {
 		resp.Status = "degraded"
+	}
+	if s.cfg.Cluster != nil {
+		ch := s.cfg.Cluster.Health()
+		resp.Cluster = &ch
+		if ch.Degraded() {
+			resp.Status = "degraded"
+		}
 	}
 	if h.Closed {
 		resp.Status = "down"

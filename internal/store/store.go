@@ -76,6 +76,16 @@ type Result struct {
 // 429 with Retry-After) and retry.
 var ErrBusy = errors.New("store: compute slots saturated")
 
+// FillFunc is a fill-without-compute hook: given a key about to be
+// computed, it may produce the finished Result from somewhere cheaper
+// than running the experiment (the cluster layer fetches it from the
+// key's ring owner). A true return short-circuits the compute — the
+// result is persisted and cached exactly as a computed one would be; a
+// false return falls through to core.Execute. The hook must only
+// return results that already passed DecodeResult-grade validation:
+// whatever it returns is served verbatim.
+type FillFunc func(ctx context.Context, key Key, e core.Experiment, opt core.Options) (*Result, bool)
+
 // ErrClosed reports a lookup against a store that has been Closed.
 var ErrClosed = errors.New("store: closed")
 
@@ -136,6 +146,7 @@ type Store struct {
 
 	mu       sync.Mutex
 	closed   bool
+	peerFill FillFunc
 	entries  map[Key]*lruEntry
 	head     *lruEntry // most recently used
 	tail     *lruEntry // least recently used
@@ -280,6 +291,26 @@ func (s *Store) Get(ctx context.Context, e core.Experiment, opt core.Options) (*
 // their fan-out to what the store will actually run in parallel.
 func (s *Store) Slots() int { return s.cfg.Slots }
 
+// SetPeerFill installs (or clears, with nil) the fill-without-compute
+// hook consulted by flight leaders after the disk probe and before
+// core.Execute. It is set after construction because the hook's owner
+// (the cluster layer) is itself built around the store.
+func (s *Store) SetPeerFill(f FillFunc) {
+	s.mu.Lock()
+	s.peerFill = f
+	s.mu.Unlock()
+}
+
+// Load reports the compute pool's instantaneous occupancy: slots in
+// use, leaders waiting for a slot, and the slot capacity. The
+// precompute crawler uses it to confine warming to idle capacity.
+func (s *Store) Load() (inUse, waiting, slots int) {
+	s.mu.Lock()
+	waiting = s.waiters
+	s.mu.Unlock()
+	return len(s.slots), waiting, s.cfg.Slots
+}
+
 // Cached reports whether key is resident in memory without touching
 // LRU order, flights, or counters.
 func (s *Store) Cached(key Key) bool {
@@ -374,6 +405,29 @@ func (s *Store) compute(ctx context.Context, key Key, e core.Experiment, opt cor
 	if res, ok := s.loadDisk(key, e.ID); ok {
 		s.diskHits.Inc()
 		return res, nil
+	}
+
+	// Fill-without-compute: before paying for core.Execute, ask the
+	// installed hook (the cluster layer's peer-fill) for the finished
+	// rendering. The hook runs detached from the leader's cancellation —
+	// like the compute itself, its result outlives one impatient client —
+	// but inherits the leader's deadline so a slow peer cannot stall the
+	// request past its budget (the hook is expected to give up well
+	// before then and let the local compute fit the remaining time).
+	s.mu.Lock()
+	fill := s.peerFill
+	s.mu.Unlock()
+	if fill != nil {
+		fctx := s.base
+		if dl, ok := ctx.Deadline(); ok {
+			var cancel context.CancelFunc
+			fctx, cancel = context.WithDeadline(s.base, dl)
+			defer cancel()
+		}
+		if res, ok := fill(fctx, key, e, opt); ok {
+			s.saveDisk(res)
+			return res, nil
+		}
 	}
 
 	// The run itself, under the shared RetryPolicy. Attempts execute on
@@ -514,18 +568,34 @@ func (s *Store) loadDisk(key Key, id string) (*Result, bool) {
 		s.disk.degrade("load: " + err.Error())
 		return nil, false
 	}
-	// Any schema version in [Min, Current] revives: newer versions only
-	// add optional fields, so an older document reads back losslessly
-	// (e.g. a version-1 report revives with a nil Sampling). Outside the
-	// range — unknown future versions or pre-v1 junk — quarantine.
-	var v core.ReportV1
-	if jerr := json.Unmarshal(raw, &v); jerr != nil ||
-		v.SchemaVersion < core.MinReportSchemaVersion || v.SchemaVersion > core.ReportSchemaVersion {
+	res, derr := DecodeResult(key, id, raw)
+	if derr != nil {
 		s.quarantine(key)
 		return nil, false
 	}
 	s.disk.heal()
-	return &Result{Key: key, ID: id, Report: v.Report(), JSON: raw}, true
+	return res, true
+}
+
+// DecodeResult validates raw as a servable ReportV1 rendering of key
+// and rebuilds the full Result (Report included, so text and CSV
+// renderings still work). Any schema version in [Min, Current] revives:
+// newer versions only add optional fields, so an older document reads
+// back losslessly (e.g. a version-1 report revives with a nil
+// Sampling). Outside the range — unknown future versions or pre-v1
+// junk — or on malformed JSON it returns an error. Disk revival and
+// the cluster's peer-fill share this gate, so bytes from either source
+// meet the same bar before they are served or cached.
+func DecodeResult(key Key, id string, raw []byte) (*Result, error) {
+	var v core.ReportV1
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("store: decoding %s: %w", key, err)
+	}
+	if v.SchemaVersion < core.MinReportSchemaVersion || v.SchemaVersion > core.ReportSchemaVersion {
+		return nil, fmt.Errorf("store: %s: schema version %d outside [%d, %d]",
+			key, v.SchemaVersion, core.MinReportSchemaVersion, core.ReportSchemaVersion)
+	}
+	return &Result{Key: key, ID: id, Report: v.Report(), JSON: raw}, nil
 }
 
 // quarantine moves a corrupt or schema-stale persisted report aside so

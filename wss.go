@@ -26,8 +26,10 @@ import (
 	"time"
 
 	"wsstudy/internal/cache"
+	"wsstudy/internal/cluster"
 	"wsstudy/internal/core"
 	"wsstudy/internal/cost"
+	"wsstudy/internal/load"
 	"wsstudy/internal/machine"
 	"wsstudy/internal/memsys"
 	"wsstudy/internal/obs"
@@ -229,6 +231,52 @@ type (
 
 // NewSweepEngine builds a lattice-sweep engine over an existing store.
 func NewSweepEngine(cfg SweepConfig) (*SweepEngine, error) { return sweep.NewEngine(cfg) }
+
+// Horizontal serving tier.
+
+type (
+	// Cluster is one node's view of the consistent-hash serving tier:
+	// result keys map to ring owners, local misses peer-fill from the
+	// owner before computing, and a background crawler precomputes the
+	// cells this node owns. Wire it into a store via SetPeerFill, or let
+	// StartNode do the full assembly.
+	Cluster = cluster.Cluster
+	// ClusterConfig assembles a Cluster from a static peer map.
+	ClusterConfig = cluster.Config
+	// ClusterRing is the immutable consistent-hash ring: ownership is a
+	// pure function of the member set, so every node that is handed the
+	// same peer list computes the same assignment.
+	ClusterRing = cluster.Ring
+	// ClusterHealth is the ring + per-peer status block embedded in
+	// /healthz on cluster members.
+	ClusterHealth = cluster.Health
+	// CrawlSpec configures the background lattice-precompute crawler.
+	CrawlSpec = cluster.CrawlSpec
+	// Node is one fully assembled serving node: store, sweep engine,
+	// optional cluster membership and crawler, HTTP server.
+	Node = serve.Node
+	// NodeConfig assembles a Node end to end (StartNode).
+	NodeConfig = serve.NodeConfig
+	// LoadConfig is one open-loop load run against a serving tier.
+	LoadConfig = load.Config
+	// LoadResult is a load run's verdict: sustained served RPS, clean
+	// 429 shedding, latency quantiles, and a zero-wrong-responses gate.
+	LoadResult = load.Result
+)
+
+// NewCluster builds a cluster member from a static peer map.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// NewRing builds a consistent-hash ring over member ids (vnodes <= 0
+// uses the default of 128 points per member).
+func NewRing(ids []string, vnodes int) (*ClusterRing, error) { return cluster.NewRing(ids, vnodes) }
+
+// StartNode boots one serving node — standalone, or a cluster member
+// when NodeID and PeerAddrs are set.
+func StartNode(cfg NodeConfig) (*Node, error) { return serve.StartNode(cfg) }
+
+// RunLoad executes one open-loop load run (the engine behind cmd/wsload).
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) { return load.Run(ctx, cfg) }
 
 // Observability.
 
